@@ -1,0 +1,26 @@
+//! # emst-analysis — experiment harness substrate
+//!
+//! Dependency-free statistics and sweep machinery used by the bench
+//! binaries that regenerate the paper's tables and figures:
+//!
+//! * [`Summary`] — mean/σ/median/CI of trial samples;
+//! * [`fit_line`] / [`fit_loglog_exponent`] — OLS fits, including the
+//!   Fig 3(b) `log W` vs `log log n` slope extraction;
+//! * [`sweep()`] / [`sweep_multi`] — parameter sweeps with independent
+//!   seeded trials, fanned out over cores;
+//! * [`parallel_map`] — scoped-thread, order-preserving parallel map;
+//! * [`Table`] — fixed-width and CSV table emission.
+
+pub mod parallel;
+pub mod regression;
+pub mod summary;
+pub mod svg;
+pub mod sweep;
+pub mod table;
+
+pub use parallel::parallel_map;
+pub use regression::{fit_line, fit_loglog_exponent, LineFit};
+pub use summary::{quantile, Summary};
+pub use svg::{LineChart, Scale, Series, UnitSquarePlot};
+pub use sweep::{sweep, sweep_multi, SweepPoint};
+pub use table::{fnum, Table};

@@ -1,0 +1,138 @@
+//! Scoped-thread parallel map for trial fan-out.
+//!
+//! Experiment sweeps run many independent seeded trials; this helper
+//! spreads them over the machine's cores with `std::thread::scope` — no
+//! extra dependencies, deterministic output order, panics propagated.
+//! Work is distributed by atomic index-stealing so unevenly sized trials
+//! (e.g. different `n` per item) balance naturally.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` in parallel, preserving order. `f` runs on up to
+/// `available_parallelism()` worker threads; each item is processed exactly
+/// once. Panics in `f` propagate to the caller.
+pub fn parallel_map<I, O, F>(items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<O>> = (0..items.len()).map(|_| None).collect();
+    {
+        // Hand each worker a disjoint set of result slots via raw indexing
+        // guarded by the index-stealing counter: no two workers ever
+        // receive the same index, so the unsafe writes are disjoint.
+        let slots_ptr = SendPtr(slots.as_mut_ptr());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let next = &next;
+                let f = &f;
+                let slots_ptr = slots_ptr;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let out = f(&items[i]);
+                    // SAFETY: `i` is unique to this worker (fetch_add), in
+                    // bounds, and the scope outlives all writes.
+                    unsafe {
+                        *slots_ptr.get().add(i) = Some(out);
+                    }
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was processed"))
+        .collect()
+}
+
+/// A `Send`/`Copy` raw-pointer wrapper for the disjoint-slot pattern above.
+/// Accessed through [`SendPtr::get`] so closures capture the whole wrapper
+/// (edition-2021 disjoint capture would otherwise capture the bare pointer
+/// field, which is `!Send`).
+struct SendPtr<T>(*mut T);
+
+// Manual impls: `derive` would add a spurious `T: Copy` bound.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[42u32], |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs must all complete.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn results_can_be_heavy_types() {
+        let items: Vec<usize> = (0..50).collect();
+        let out = parallel_map(&items, |&n| vec![n; n]);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.len(), i);
+            assert!(v.iter().all(|&x| x == i));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..16).collect();
+        let _ = parallel_map(&items, |&x| {
+            if x == 7 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,162 @@
+//! Ordinary-least-squares line fitting.
+//!
+//! Figure 3(b) of the paper plots `log W` against `log log n` and reads the
+//! exponent of the `log` in the energy complexity off the slope: writing
+//! `W = c·logᵇ n` gives `log W = log c + b·log log n`, so GHS / EOPT /
+//! Co-NNT should show slopes ≈ 2 / 1 / 0. [`fit_line`] computes `b`, the
+//! intercept, and `R²` for that figure.
+
+/// An OLS fit `y ≈ intercept + slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (1 for a perfect fit; 0 when the model
+    /// explains nothing; defined as 1 when the response is constant and
+    /// perfectly fitted).
+    pub r_squared: f64,
+}
+
+impl LineFit {
+    /// Predicted response at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits a line by ordinary least squares. Panics when fewer than two
+/// points are given or all `x` coincide (the slope is then undefined).
+///
+/// ```
+/// let f = emst_analysis::fit_line(&[1.0, 2.0, 3.0], &[3.0, 5.0, 7.0]);
+/// assert!((f.slope - 2.0).abs() < 1e-12);
+/// assert!((f.intercept - 1.0).abs() < 1e-12);
+/// assert_eq!(f.r_squared, 1.0);
+/// ```
+pub fn fit_line(xs: &[f64], ys: &[f64]) -> LineFit {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    assert!(xs.len() >= 2, "need at least two points to fit a line");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    assert!(
+        sxx > 0.0,
+        "all x values coincide; slope is undefined"
+    );
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (intercept + slope * x);
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LineFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Convenience for Fig 3(b): fits `log y = log c + b·log log x` over the
+/// pairs with `x > e` (so `log log x > 0`) and `y > 0`; returns the fit in
+/// that transformed space.
+pub fn fit_loglog_exponent(ns: &[f64], ys: &[f64]) -> LineFit {
+    let pts: (Vec<f64>, Vec<f64>) = ns
+        .iter()
+        .zip(ys)
+        .filter(|(&n, &y)| n > std::f64::consts::E && y > 0.0)
+        .map(|(&n, &y)| (n.ln().ln(), y.ln()))
+        .unzip();
+    fit_line(&pts.0, &pts.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x - 1.0).collect();
+        let f = fit_line(&xs, &ys);
+        assert!((f.slope - 2.5).abs() < 1e-12);
+        assert!((f.intercept + 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_reasonable_r2() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 3.0 * x + 5.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let f = fit_line(&xs, &ys);
+        assert!((f.slope - 3.0).abs() < 0.01);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    fn constant_response_gives_zero_slope_perfect_fit() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [4.0, 4.0, 4.0];
+        let f = fit_line(&xs, &ys);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 4.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_rejected() {
+        let _ = fit_line(&[1.0], &[2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "coincide")]
+    fn vertical_line_rejected() {
+        let _ = fit_line(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn loglog_exponent_recovers_power_of_log() {
+        // y = 7·(ln n)³ → slope 3 in (log log n, log y) space.
+        let ns: Vec<f64> = (1..=12).map(|k| (50 * k * k) as f64).collect();
+        let ys: Vec<f64> = ns.iter().map(|n| 7.0 * n.ln().powi(3)).collect();
+        let f = fit_loglog_exponent(&ns, &ys);
+        assert!((f.slope - 3.0).abs() < 1e-9, "slope {}", f.slope);
+        assert!((f.intercept - 7f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_exponent_flat_for_constant_energy() {
+        let ns: Vec<f64> = vec![50.0, 100.0, 500.0, 1000.0, 5000.0];
+        let ys: Vec<f64> = vec![2.0; 5];
+        let f = fit_loglog_exponent(&ns, &ys);
+        assert!(f.slope.abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_exponent_skips_degenerate_points() {
+        // n ≤ e and y ≤ 0 rows are dropped rather than poisoning the fit.
+        let ns = [2.0, 50.0, 100.0, 500.0, 1000.0];
+        let ys = [0.0, 3.0_f64.ln().exp(), 3.0, 3.0, 3.0];
+        let f = fit_loglog_exponent(&ns, &ys);
+        assert!(f.slope.abs() < 0.2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Descriptive statistics over trial samples.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean (0 for empty samples).
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for size < 2).
+    pub std_dev: f64,
+    /// Minimum (+∞ for empty samples).
+    pub min: f64,
+    /// Maximum (−∞ for empty samples).
+    pub max: f64,
+    /// Median (0 for empty samples).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `xs`.
+    pub fn of(xs: &[f64]) -> Self {
+        let count = xs.len();
+        if count == 0 {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                median: 0.0,
+            };
+        }
+        let mean = xs.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = xs.to_vec();
+        sorted.sort_unstable_by(|a, b| a.total_cmp(b));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median,
+        }
+    }
+
+    /// Standard error of the mean (0 for size < 2).
+    pub fn sem(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.std_dev / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of a ~95 % normal confidence interval on the mean.
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.sem()
+    }
+}
+
+/// Quantile of a sample at `q ∈ [0, 1]` by nearest-rank with linear
+/// interpolation; panics on empty input or out-of-range `q`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0,1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable_by(|a, b| a.total_cmp(b));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let t = pos - lo as f64;
+        sorted[lo] * (1.0 - t) + sorted[hi] * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn even_sample_median_interpolates() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 10.0]);
+        assert!((s.median - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = Summary::of(&[]);
+        assert_eq!(e.count, 0);
+        assert_eq!(e.mean, 0.0);
+        assert_eq!(e.sem(), 0.0);
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn sem_shrinks_with_sample_size() {
+        let small = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        let xs: Vec<f64> = (0..400).map(|i| 1.0 + (i % 4) as f64).collect();
+        let large = Summary::of(&xs);
+        assert!(large.sem() < small.sem());
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [4.0, 1.0, 3.0, 2.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert!((quantile(&xs, 0.25) - 2.0).abs() < 1e-12);
+        assert!((quantile(&xs, 0.125) - 1.5).abs() < 1e-12); // interpolated
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn quantile_rejects_empty() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn summary_handles_unsorted_negatives() {
+        let s = Summary::of(&[-3.0, 5.0, -10.0, 2.0]);
+        assert_eq!(s.min, -10.0);
+        assert_eq!(s.max, 5.0);
+    }
+}

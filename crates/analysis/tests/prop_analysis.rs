@@ -1,0 +1,67 @@
+//! Property-based tests for the analysis substrate.
+
+use emst_analysis::{fit_line, parallel_map, quantile, sweep, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    /// OLS recovers exact lines regardless of sampling.
+    #[test]
+    fn fit_line_recovers_exact_lines(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        xs in proptest::collection::vec(-1000.0f64..1000.0, 2..50),
+    ) {
+        // Need at least two distinct x values.
+        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-6));
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let f = fit_line(&xs, &ys);
+        prop_assert!((f.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((f.intercept - intercept).abs() < 1e-4 * (1.0 + intercept.abs()));
+        prop_assert!(f.r_squared > 1.0 - 1e-9);
+    }
+
+    /// Summary invariants: min ≤ median ≤ max, mean within [min, max],
+    /// σ ≥ 0, and the mean matches a direct computation.
+    #[test]
+    fn summary_invariants(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&xs);
+        prop_assert_eq!(s.count, xs.len());
+        prop_assert!(s.min <= s.median + 1e-9 && s.median <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean + 1e-6 && s.mean <= s.max + 1e-6);
+        prop_assert!(s.std_dev >= 0.0);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantile_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+                         qa in 0.0f64..1.0, qb in 0.0f64..1.0) {
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(quantile(&xs, lo) <= quantile(&xs, hi) + 1e-12);
+        let s = Summary::of(&xs);
+        prop_assert!(quantile(&xs, 0.0) == s.min);
+        prop_assert!(quantile(&xs, 1.0) == s.max);
+    }
+
+    /// parallel_map is exactly serial map.
+    #[test]
+    fn parallel_map_equals_serial(xs in proptest::collection::vec(0u64..1_000_000, 0..300)) {
+        let f = |&x: &u64| x.wrapping_mul(2654435761).rotate_left(13);
+        let par = parallel_map(&xs, f);
+        let ser: Vec<u64> = xs.iter().map(f).collect();
+        prop_assert_eq!(par, ser);
+    }
+
+    /// sweep's per-trial values land at stable (param, trial) positions.
+    #[test]
+    fn sweep_is_positionally_stable(nparams in 1usize..6, trials in 1usize..6) {
+        let params: Vec<usize> = (0..nparams).collect();
+        let pts = sweep(&params, trials, |&p, t| (p * 1000 + t as usize) as f64);
+        for (i, pt) in pts.iter().enumerate() {
+            for t in 0..trials {
+                prop_assert_eq!(pt.values[t], (i * 1000 + t) as f64);
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Criterion benches for the substrate algorithms: sequential MST
+//! baselines, RGG construction, spatial queries, and the three distributed
+//! protocols individually. Useful for catching performance regressions in
+//! the simulator itself (the experiment sweeps run thousands of these).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emst_bench::{instance, BASE_SEED};
+use emst_core::{run_eopt, run_ghs, run_nnt, run_nnt_configured, GhsVariant, RankScheme};
+use emst_geom::{paper_phase2_radius, BucketGrid};
+use emst_graph::{
+    boruvka_mst, euclidean_mst, euclidean_mst_delaunay, kruskal_mst, prim_mst, Graph,
+};
+use emst_radio::{ContentionConfig, EnergyConfig};
+use std::hint::black_box;
+
+fn bench_sequential_mst(c: &mut Criterion) {
+    let pts = instance(BASE_SEED, 2000, 0);
+    let g = Graph::geometric(&pts, paper_phase2_radius(2000));
+    let mut group = c.benchmark_group("sequential_mst_n2000");
+    group.bench_function("kruskal", |b| b.iter(|| black_box(kruskal_mst(&g))));
+    group.bench_function("prim", |b| b.iter(|| black_box(prim_mst(&g))));
+    group.bench_function("boruvka", |b| b.iter(|| black_box(boruvka_mst(&g))));
+    group.bench_function("euclidean_mst", |b| b.iter(|| black_box(euclidean_mst(&pts))));
+    group.bench_function("euclidean_mst_delaunay", |b| {
+        b.iter(|| black_box(euclidean_mst_delaunay(&pts)))
+    });
+    group.finish();
+}
+
+fn bench_delaunay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delaunay_edges");
+    group.sample_size(10);
+    for n in [500usize, 2000] {
+        let pts = instance(BASE_SEED, n, 0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(emst_graph::delaunay_edges(&pts)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contention_nnt_n300");
+    group.sample_size(10);
+    let pts = instance(BASE_SEED, 300, 0);
+    group.bench_function("collision_free", |b| {
+        b.iter(|| black_box(run_nnt(&pts)))
+    });
+    group.bench_function("slotted_aloha", |b| {
+        b.iter(|| {
+            black_box(run_nnt_configured(
+                &pts,
+                RankScheme::Diagonal,
+                EnergyConfig::paper(),
+                Some(ContentionConfig::default()),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_rgg_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rgg_build");
+    for n in [1000usize, 5000] {
+        let pts = instance(BASE_SEED, n, 0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(Graph::geometric(&pts, paper_phase2_radius(n))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_queries(c: &mut Criterion) {
+    let pts = instance(BASE_SEED, 5000, 0);
+    let grid = BucketGrid::for_radius(&pts, 0.05);
+    let mut group = c.benchmark_group("grid_queries_n5000");
+    group.bench_function("k_nearest_32", |b| {
+        b.iter(|| black_box(grid.k_nearest(1234, 32)))
+    });
+    group.bench_function("neighbors_within", |b| {
+        b.iter(|| black_box(grid.neighbors_within(1234, 0.05)))
+    });
+    group.finish();
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols_n1000");
+    group.sample_size(10);
+    let pts = instance(BASE_SEED, 1000, 0);
+    let r = paper_phase2_radius(1000);
+    group.bench_function("ghs_original", |b| {
+        b.iter(|| black_box(run_ghs(&pts, r, GhsVariant::Original)))
+    });
+    group.bench_function("ghs_modified", |b| {
+        b.iter(|| black_box(run_ghs(&pts, r, GhsVariant::Modified)))
+    });
+    group.bench_function("eopt", |b| b.iter(|| black_box(run_eopt(&pts))));
+    group.bench_function("co_nnt", |b| b.iter(|| black_box(run_nnt(&pts))));
+    group.finish();
+}
+
+criterion_group!(
+    baselines,
+    bench_sequential_mst,
+    bench_rgg_construction,
+    bench_grid_queries,
+    bench_protocols,
+    bench_delaunay,
+    bench_contention
+);
+criterion_main!(baselines);

@@ -1,0 +1,94 @@
+//! Criterion benches, one group per paper table/figure (E1–E7 in
+//! DESIGN.md). These measure the *runtime* of regenerating each artefact
+//! at a reduced size — the artefacts themselves (energy numbers, slopes,
+//! quality ratios) are printed by the `src/bin/*` binaries; `cargo bench`
+//! exists to keep the reproduction pipeline itself fast and regression-
+//! checked.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emst_bench::{
+    connectivity_trial, exactness_trial, fig3_energies, giant_row, knn_energy_ratio, quality_row,
+    BASE_SEED,
+};
+use std::hint::black_box;
+
+/// E1/E2 — the Figure 3 kernel (GHS + EOPT + Co-NNT on one instance).
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_energy");
+    g.sample_size(10);
+    for n in [200usize, 800] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(fig3_energies(BASE_SEED, n, 0)))
+        });
+    }
+    g.finish();
+}
+
+/// E3 — the §VII quality comparison kernel.
+fn bench_quality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quality_table");
+    g.sample_size(10);
+    for n in [500usize, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(quality_row(BASE_SEED, n, 0)))
+        });
+    }
+    g.finish();
+}
+
+/// E4 — the Theorem 5.2 giant-component measurement.
+fn bench_giant(c: &mut Criterion) {
+    let mut g = c.benchmark_group("giant_component");
+    g.sample_size(10);
+    for n in [1000usize, 4000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(giant_row(BASE_SEED, n, 1.96, 0)))
+        });
+    }
+    g.finish();
+}
+
+/// E5 — the Theorem 5.1 connectivity trial.
+fn bench_connectivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("connectivity");
+    g.sample_size(10);
+    for n in [1000usize, 4000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(connectivity_trial(BASE_SEED, n, 1.6, 0)))
+        });
+    }
+    g.finish();
+}
+
+/// E6 — the Lemma 4.1 k-NN energy kernel.
+fn bench_lower_bound(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lower_bound");
+    g.sample_size(10);
+    for k in [4usize, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(knn_energy_ratio(BASE_SEED, 2000, k, 0)))
+        });
+    }
+    g.finish();
+}
+
+/// E7 — the exactness check (EOPT vs sequential MST).
+fn bench_exactness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exactness");
+    g.sample_size(10);
+    g.bench_function("n=500", |b| {
+        b.iter(|| black_box(exactness_trial(BASE_SEED, 500, 0)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig3,
+    bench_quality,
+    bench_giant,
+    bench_connectivity,
+    bench_lower_bound,
+    bench_exactness
+);
+criterion_main!(figures);

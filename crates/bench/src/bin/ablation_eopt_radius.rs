@@ -1,0 +1,64 @@
+//! **A2 — ablation (§V):** EOPT's phase-1 radius constant.
+//!
+//! Phase 1 must be *supercritical* (so a giant fragment emerges and most
+//! merging happens at `O(1/n)` energy per message) but not *too large* (or
+//! phase 1 itself becomes expensive — in the limit it degenerates to plain
+//! GHS at the connectivity radius). This sweep varies the multiplier `m₁`
+//! in `r₁ = m₁·√(1/n)` around the paper's 1.4 and reports total energy,
+//! the fragment structure after phase 1, and how often the beyond-paper
+//! recovery pass fired.
+//!
+//! Run: `cargo run --release -p emst-bench --bin ablation_eopt_radius [-- --trials N --csv]`
+
+use emst_analysis::{fnum, sweep_multi, Table};
+use emst_bench::{eopt_radius_row, Options};
+
+fn main() {
+    let opts = Options::from_env();
+    let n = if opts.quick { 1000 } else { 4000 };
+    let multipliers = [0.6, 0.8, 1.0, 1.2, 1.4, 1.7, 2.0, 2.5, 3.0];
+    eprintln!(
+        "ablation_eopt_radius: phase-1 multiplier sweep at n = {n} ({} trials, seed {:#x})",
+        opts.trials, opts.seed
+    );
+
+    let rows = sweep_multi(&multipliers, opts.trials, |&m, t| {
+        eopt_radius_row(opts.seed, n, m, t)
+    });
+    let mut table = Table::new([
+        "m1 (r1 = m1/sqrt(n))",
+        "energy",
+        "frags after p1",
+        "largest frag",
+        "recovery rate",
+    ]);
+    for (m, [e, frags, largest, rec]) in &rows {
+        table.row([
+            fnum(*m, 2),
+            fnum(e.mean, 2),
+            fnum(frags.mean, 1),
+            fnum(largest.mean, 0),
+            fnum(rec.mean, 2),
+        ]);
+    }
+    println!("{}", table.render());
+    if opts.csv {
+        println!("{}", table.to_csv());
+    }
+
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.1[0].mean.total_cmp(&b.1[0].mean))
+        .unwrap();
+    println!("shape checks:");
+    println!(
+        "  energy-minimising multiplier ≈ {:.2} (paper uses 1.40)",
+        best.0
+    );
+    let sub = &rows[0]; // m = 0.6, subcritical
+    let paper = rows.iter().find(|(m, _)| (*m - 1.4).abs() < 1e-9).unwrap();
+    println!(
+        "  subcritical m = {:.1}: largest fragment {:.0} of {n}; paper m = 1.4: {:.0} — giant emerges",
+        sub.0, sub.1[2].mean, paper.1[2].mean
+    );
+}

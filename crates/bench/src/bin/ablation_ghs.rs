@@ -1,0 +1,66 @@
+//! **A1 — ablation (§V-A):** original GHS vs modified GHS at the
+//! connectivity radius.
+//!
+//! The modification replaces test/accept/reject probing with a cached
+//! neighbour fragment table maintained by announcements. Message
+//! complexity drops from `O(n log n + |E|)` to `O(n·φ)` (φ = phases);
+//! at the connectivity radius `|E| = Θ(n log n)`, so both variants remain
+//! `Θ(log² n)` in *energy* — the asymptotic gain materialises only inside
+//! EOPT's percolation-radius phase. This ablation shows exactly that:
+//! a solid message/energy win here, but the same growth exponent.
+//!
+//! Run: `cargo run --release -p emst-bench --bin ablation_ghs [-- --trials N --csv]`
+
+use emst_analysis::{fit_loglog_exponent, fnum, sweep_multi, Table};
+use emst_bench::{ghs_variant_row, Options};
+
+fn main() {
+    let opts = Options::from_env();
+    let sizes: Vec<usize> = if opts.quick {
+        vec![100, 200, 400]
+    } else {
+        vec![100, 250, 500, 1000, 2000, 4000]
+    };
+    eprintln!(
+        "ablation_ghs: original vs modified GHS ({} trials per point, seed {:#x})",
+        opts.trials, opts.seed
+    );
+
+    let rows = sweep_multi(&sizes, opts.trials, |&n, t| ghs_variant_row(opts.seed, n, t));
+    let mut table = Table::new([
+        "n",
+        "orig msgs",
+        "orig energy",
+        "mod msgs",
+        "mod energy",
+        "msg save",
+        "energy save",
+    ]);
+    for (n, [om, oe, mm, me]) in &rows {
+        table.row([
+            n.to_string(),
+            fnum(om.mean, 0),
+            fnum(oe.mean, 2),
+            fnum(mm.mean, 0),
+            fnum(me.mean, 2),
+            format!("{:.1}%", (1.0 - mm.mean / om.mean) * 100.0),
+            format!("{:.1}%", (1.0 - me.mean / oe.mean) * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    if opts.csv {
+        println!("{}", table.to_csv());
+    }
+
+    let ns: Vec<f64> = rows.iter().map(|(n, _)| *n as f64).collect();
+    let oe: Vec<f64> = rows.iter().map(|(_, s)| s[1].mean).collect();
+    let me: Vec<f64> = rows.iter().map(|(_, s)| s[3].mean).collect();
+    let fo = fit_loglog_exponent(&ns, &oe);
+    let fm = fit_loglog_exponent(&ns, &me);
+    println!("shape checks:");
+    println!(
+        "  both variants grow like log^2 n at the connectivity radius: slopes {:.2} (orig) vs {:.2} (mod)",
+        fo.slope, fm.slope
+    );
+    println!("  modified wins on constants, not exponents — the asymptotic win needs EOPT's phase 1");
+}

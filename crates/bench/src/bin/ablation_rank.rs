@@ -1,0 +1,85 @@
+//! **A3 — ablation (§VI):** the diagonal ranking of this paper vs the
+//! x-ranking of Khan et al. \[15\] for NNT construction.
+//!
+//! §VI motivates the new ranking: under the x-rank "there are few nodes
+//! that need to go far away to find the nearest node of higher rank", so
+//! the construction does not fit a unit-disk radius of `Θ(√(log n/n))`.
+//! Under the diagonal rank, Lemma 6.3 bounds every connection distance by
+//! `Θ(√(log n/n))` whp. Measured here as the max tree edge normalised by
+//! `√(ln n/n)` — flat for the diagonal rank, growing for the x-rank —
+//! plus the energy of both runs.
+//!
+//! Run: `cargo run --release -p emst-bench --bin ablation_rank [-- --trials N --csv]`
+
+use emst_analysis::{fnum, sweep_multi, Table};
+use emst_bench::{rank_scheme_row, Options};
+
+fn main() {
+    let opts = Options::from_env();
+    let sizes: Vec<usize> = if opts.quick {
+        vec![200, 800]
+    } else {
+        vec![200, 500, 1000, 2000, 5000]
+    };
+    eprintln!(
+        "ablation_rank: diagonal vs x-rank NNT ({} trials per point, seed {:#x})",
+        opts.trials, opts.seed
+    );
+
+    let rows = sweep_multi(&sizes, opts.trials, |&n, t| rank_scheme_row(opts.seed, n, t));
+    let mut table = Table::new([
+        "n",
+        "max edge diag",
+        "max edge x",
+        "max edge id",
+        "diag/unit",
+        "x/unit",
+        "energy diag",
+        "energy x",
+        "energy id",
+        "len ratio diag",
+        "len ratio id",
+    ]);
+    for (n, s) in &rows {
+        let unit = ((*n as f64).ln() / *n as f64).sqrt();
+        table.row([
+            n.to_string(),
+            fnum(s[0].mean, 4),
+            fnum(s[3].mean, 4),
+            fnum(s[6].mean, 4),
+            fnum(s[0].mean / unit, 2),
+            fnum(s[3].mean / unit, 2),
+            fnum(s[1].mean, 3),
+            fnum(s[4].mean, 3),
+            fnum(s[7].mean, 3),
+            fnum(s[2].mean, 3),
+            fnum(s[8].mean, 3),
+        ]);
+    }
+    println!("{}", table.render());
+    if opts.csv {
+        println!("{}", table.to_csv());
+    }
+
+    let first = &rows[0];
+    let last = rows.last().unwrap();
+    let unit = |n: usize| ((n as f64).ln() / n as f64).sqrt();
+    println!("shape checks:");
+    println!(
+        "  diag normalised max edge: {:.2} → {:.2} (≈ flat, Lemma 6.3)",
+        first.1[0].mean / unit(first.0),
+        last.1[0].mean / unit(last.0)
+    );
+    println!(
+        "  x-rank normalised max edge: {:.2} → {:.2} (grows — needs power beyond the unit disk)",
+        first.1[3].mean / unit(first.0),
+        last.1[3].mean / unit(last.0)
+    );
+    println!(
+        "  id-rank (no coordinates, [15]) quality ratio: {:.3} → {:.3} (O(log n)-approx) vs diagonal {:.3} → {:.3} (O(1))",
+        first.1[8].mean,
+        last.1[8].mean,
+        first.1[2].mean,
+        last.1[2].mean
+    );
+}

@@ -1,0 +1,85 @@
+//! **A4 — generalised cost exponent (§II):** one tree minimises
+//! `Σ_{(u,v)∈T} d(u,v)^α` for every `α > 0` simultaneously.
+//!
+//! §II notes (via Kruskal's construction) that the Euclidean MST minimises
+//! the generalised objective for all α. Verified here two ways:
+//!
+//! 1. For each α, rebuild the MST with edge weights `d^α` — the edge set
+//!    must be identical to the α = 1 tree.
+//! 2. Report the cost of MST vs Co-NNT vs a deliberately bad (greedy
+//!    max-weight) spanning tree under each α — the MST must dominate, and
+//!    the gap must widen with α (longer edges are punished harder).
+//!
+//! Run: `cargo run --release -p emst-bench --bin alpha_sweep [-- --trials N --csv]`
+
+use emst_analysis::{fnum, Table};
+use emst_bench::{instance, Options};
+use emst_core::run_nnt;
+use emst_graph::{kruskal_mst, Edge, Graph, SpanningTree, UnionFind};
+
+/// Max-weight spanning tree (anti-Kruskal): a valid but poor tree.
+fn worst_tree(g: &Graph) -> SpanningTree {
+    let mut edges: Vec<Edge> = g.edges().to_vec();
+    edges.sort_unstable_by(|a, b| b.w.total_cmp(&a.w));
+    let mut uf = UnionFind::new(g.n());
+    let mut out = Vec::new();
+    for e in edges {
+        if uf.union(e.u as usize, e.v as usize) {
+            out.push(e);
+        }
+    }
+    SpanningTree::new(g.n(), out)
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let n = if opts.quick { 300 } else { 1000 };
+    let alphas = [0.5, 1.0, 2.0, 3.0, 4.0];
+    eprintln!("alpha_sweep: Σ d^α invariance of the MST at n = {n} (seed {:#x})", opts.seed);
+
+    let pts = instance(opts.seed, n, 0);
+    let r = 2.0 * emst_geom::paper_phase2_radius(n);
+    let g = Graph::geometric(&pts, r);
+    let mst = kruskal_mst(&g).expect("connected at twice the §VII radius");
+    let nnt = run_nnt(&pts);
+    let bad = worst_tree(&g);
+
+    // Check 1: the α-weighted MST has the same edge set for every α.
+    let mut invariant = true;
+    for &alpha in &alphas {
+        let edges_alpha: Vec<Edge> = g
+            .edges()
+            .iter()
+            .map(|e| Edge::new(e.u as usize, e.v as usize, e.w.powf(alpha)))
+            .collect();
+        let g_alpha = Graph::from_edges(g.n(), edges_alpha);
+        let mst_alpha = kruskal_mst(&g_alpha).expect("same connectivity");
+        if !mst_alpha.same_edges(&mst) {
+            invariant = false;
+            println!("  !! alpha = {alpha}: MST edge set changed");
+        }
+    }
+    println!(
+        "check 1: MST edge set invariant across α ∈ {alphas:?}: {}",
+        if invariant { "YES (as §II claims)" } else { "NO" }
+    );
+
+    // Check 2: cost dominance table.
+    let mut table = Table::new(["alpha", "MST cost", "Co-NNT cost", "worst-tree cost", "NNT/MST", "worst/MST"]);
+    for &alpha in &alphas {
+        let (cm, cn, cw) = (mst.cost(alpha), nnt.tree.cost(alpha), bad.cost(alpha));
+        table.row([
+            fnum(alpha, 1),
+            fnum(cm, 4),
+            fnum(cn, 4),
+            fnum(cw, 4),
+            fnum(cn / cm, 3),
+            fnum(cw / cm, 1),
+        ]);
+    }
+    println!("{}", table.render());
+    if opts.csv {
+        println!("{}", table.to_csv());
+    }
+    assert!(invariant, "MST α-invariance violated");
+}

@@ -1,0 +1,73 @@
+//! **E5 — Theorem 5.1 (Gupta–Kumar):** the connectivity threshold of the
+//! random geometric graph at radius `r = m·√(ln n/n)`.
+//!
+//! The theorem guarantees connectivity whp for `c₂ = m² > 4` (`m > 2`);
+//! the §VII experiments use `m = 1.6` and rely on empirical connectivity.
+//! This binary sweeps `m` at several sizes and reports the empirical
+//! probability of connectivity, exhibiting the sharp threshold and
+//! justifying the paper's choice.
+//!
+//! Run: `cargo run --release -p emst-bench --bin connectivity [-- --trials N --csv]`
+
+use emst_analysis::{fnum, sweep, Table};
+use emst_bench::{connectivity_trial, Options};
+
+fn main() {
+    let mut opts = Options::from_env();
+    // Probabilities need more trials than energy means.
+    if opts.trials == Options::default().trials {
+        opts.trials = if opts.quick { 10 } else { 40 };
+    }
+    eprintln!(
+        "connectivity: P(connected) vs radius multiplier ({} trials per point, seed {:#x})",
+        opts.trials, opts.seed
+    );
+
+    let sizes: Vec<usize> = if opts.quick {
+        vec![200, 1000]
+    } else {
+        vec![200, 1000, 5000]
+    };
+    let multipliers = [0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.4];
+
+    let mut table = Table::new(["m (r = m·sqrt(ln n/n))", "c2 = m^2", "n=200", "n=1000", "n=5000"]);
+    let mut results: Vec<Vec<f64>> = Vec::new();
+    for &m in &multipliers {
+        let mut row = Vec::new();
+        for &n in &sizes {
+            let pts = sweep(&[n], opts.trials, |&n, t| {
+                connectivity_trial(opts.seed, n, m, t)
+            });
+            row.push(pts[0].summary.mean);
+        }
+        results.push(row);
+    }
+    for (i, &m) in multipliers.iter().enumerate() {
+        let mut cells = vec![fnum(m, 2), fnum(m * m, 2)];
+        for j in 0..3 {
+            cells.push(if j < sizes.len() {
+                fnum(results[i][j], 2)
+            } else {
+                "-".to_string()
+            });
+        }
+        table.row(cells);
+    }
+    println!("{}", table.render());
+    if opts.csv {
+        println!("{}", table.to_csv());
+    }
+
+    println!("shape checks:");
+    let first = &results[0];
+    let last = &results[multipliers.len() - 1];
+    println!(
+        "  monotone threshold: P at m=0.6 → {:.2}, P at m=2.4 → {:.2}",
+        first[0], last[0]
+    );
+    let at16 = &results[multipliers.iter().position(|&m| m == 1.6).unwrap()];
+    println!(
+        "  §VII's m = 1.6 is empirically connected: {}",
+        at16.iter().take(sizes.len()).map(|p| fnum(*p, 2)).collect::<Vec<_>>().join(" / ")
+    );
+}

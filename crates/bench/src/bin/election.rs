@@ -1,0 +1,91 @@
+//! **E12 — leader election (Section IV context):** the energy cost of the
+//! problem behind the paper's lower bound.
+//!
+//! The `Ω(log n)` bound of Theorem 4.1 comes from the Korach–Moran–Zaks
+//! message bound for leader election / spanning-tree construction. Two
+//! elections over the radio model:
+//!
+//! * max-id **flooding** — every improvement is re-broadcast; expected
+//!   `Θ(log n)` announcements per node → `Θ(log² n)` energy;
+//! * **tree-based** — BFS tree + convergecast + winner broadcast; exactly
+//!   `3n − 2` messages → `Θ(log n)` energy, matching the lower bound.
+//!
+//! The measured growth exponents (in `(log log n, log W)` space, as in
+//! Fig 3(b)) separate the two classes.
+//!
+//! Run: `cargo run --release -p emst-bench --bin election [-- --trials N --csv]`
+
+use emst_analysis::{fit_loglog_exponent, fnum, sweep_multi, Table};
+use emst_bench::{instance, Options};
+use emst_core::{run_election_flood, run_election_tree};
+use emst_geom::paper_phase2_radius;
+
+fn main() {
+    let opts = Options::from_env();
+    let sizes: Vec<usize> = if opts.quick {
+        vec![100, 200, 400]
+    } else {
+        vec![100, 250, 500, 1000, 2000, 4000]
+    };
+    eprintln!(
+        "election: flood vs tree-based leader election ({} trials per point, seed {:#x})",
+        opts.trials, opts.seed
+    );
+
+    let rows = sweep_multi(&sizes, opts.trials, |&n, t| {
+        let pts = instance(opts.seed, n, t);
+        let r = paper_phase2_radius(n);
+        let flood = run_election_flood(&pts, r);
+        let tree = run_election_tree(&pts, r);
+        assert_eq!(flood.leader, tree.leader, "elections disagree");
+        [
+            flood.stats.energy,
+            tree.stats.energy,
+            flood.stats.messages as f64,
+            tree.stats.messages as f64,
+        ]
+    });
+
+    let mut table = Table::new([
+        "n",
+        "flood energy",
+        "tree energy",
+        "flood msgs",
+        "tree msgs",
+        "flood/tree",
+    ]);
+    for (n, [fe, te, fm, tm]) in &rows {
+        table.row([
+            n.to_string(),
+            fnum(fe.mean, 3),
+            fnum(te.mean, 3),
+            fnum(fm.mean, 0),
+            fnum(tm.mean, 0),
+            fnum(fe.mean / te.mean, 2),
+        ]);
+    }
+    println!("{}", table.render());
+    if opts.csv {
+        println!("{}", table.to_csv());
+    }
+
+    let ns: Vec<f64> = rows.iter().map(|(n, _)| *n as f64).collect();
+    let flood_fit = fit_loglog_exponent(
+        &ns,
+        &rows.iter().map(|(_, s)| s[0].mean).collect::<Vec<_>>(),
+    );
+    let tree_fit = fit_loglog_exponent(
+        &ns,
+        &rows.iter().map(|(_, s)| s[1].mean).collect::<Vec<_>>(),
+    );
+    println!("shape checks:");
+    println!(
+        "  flood loglog slope {:.2} (log²n class) vs tree {:.2} (log n class — the Theorem 4.1 optimum)",
+        flood_fit.slope, tree_fit.slope
+    );
+    println!(
+        "  tree election messages are exactly 3n−2: {}",
+        rows.iter()
+            .all(|(n, s)| (s[3].mean - (3 * n - 2) as f64).abs() < 1e-9)
+    );
+}

@@ -1,0 +1,54 @@
+//! **E7 — exactness:** EOPT constructs the *exact* MST (Theorem 5.3's
+//! correctness half, §V).
+//!
+//! For each trial, run EOPT with the §VII parameters and compare its edge
+//! set against the Euclidean MST computed sequentially (Kruskal). When the
+//! connectivity-radius graph is disconnected (rare at these sizes), the
+//! trial is reported separately — exactness of the full MST is vacuous
+//! there, though the forest still matches Kruskal per component (that
+//! invariant is enforced by the test suite).
+//!
+//! Run: `cargo run --release -p emst-bench --bin exactness [-- --trials N]`
+
+use emst_analysis::{parallel_map, Table};
+use emst_bench::{exactness_trial, Options};
+
+fn main() {
+    let mut opts = Options::from_env();
+    if opts.trials == Options::default().trials {
+        opts.trials = if opts.quick { 5 } else { 20 };
+    }
+    eprintln!(
+        "exactness: EOPT vs sequential Euclidean MST ({} trials per n, seed {:#x})",
+        opts.trials, opts.seed
+    );
+
+    let sizes: Vec<usize> = if opts.quick {
+        vec![100, 300]
+    } else {
+        vec![100, 300, 1000, 3000]
+    };
+    let mut table = Table::new(["n", "trials", "connected", "exact matches", "mismatches"]);
+    let mut all_exact = true;
+    for &n in &sizes {
+        let trials: Vec<u64> = (0..opts.trials as u64).collect();
+        let results = parallel_map(&trials, |&t| exactness_trial(opts.seed, n, t));
+        let connected = results.iter().filter(|r| r.is_some()).count();
+        let exact = results.iter().filter(|r| **r == Some(1.0)).count();
+        let mismatches = connected - exact;
+        all_exact &= mismatches == 0;
+        table.row([
+            n.to_string(),
+            opts.trials.to_string(),
+            connected.to_string(),
+            exact.to_string(),
+            mismatches.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "verdict: EOPT output {} the exact Euclidean MST on every connected instance",
+        if all_exact { "EQUALS" } else { "DIFFERS FROM" }
+    );
+    assert!(all_exact, "exactness violated — see table above");
+}

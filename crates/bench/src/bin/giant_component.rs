@@ -1,0 +1,116 @@
+//! **E4 — Theorem 5.2 / Figure 1:** the giant-component structure of the
+//! random geometric graph at the percolation radius `r = √(c₁/n)`.
+//!
+//! The theorem claims a unique giant component of `Θ(n)` nodes whp, with
+//! all other components trapped in small regions of at most `β·log² n`
+//! nodes. This binary sweeps both `n` (at the §VII constant
+//! `c₁ = 1.4² = 1.96`) and `c₁` (at fixed `n`), reporting the giant
+//! fraction, the component count, the largest non-giant component and the
+//! empirical `β̂ = max-region-nodes / ln² n`.
+//!
+//! Run: `cargo run --release -p emst-bench --bin giant_component [-- --trials N --csv]`
+
+use emst_analysis::{fnum, sweep_multi, Table, UnitSquarePlot};
+use emst_bench::{giant_row, instance, save_svg, Options};
+
+fn main() {
+    let opts = Options::from_env();
+    eprintln!(
+        "giant_component: Theorem 5.2 structure ({} trials per point, seed {:#x})",
+        opts.trials, opts.seed
+    );
+
+    // Sweep n at the paper's constant.
+    let sizes: Vec<usize> = if opts.quick {
+        vec![500, 1000, 2000]
+    } else {
+        vec![500, 1000, 2000, 4000, 8000, 16000]
+    };
+    let c_paper = 1.96;
+    let rows = sweep_multi(&sizes, opts.trials, |&n, t| {
+        giant_row(opts.seed, n, c_paper, t)
+    });
+    let mut t1 = Table::new([
+        "n",
+        "giant frac",
+        "components",
+        "2nd comp nodes",
+        "ln^2 n",
+        "beta_hat",
+    ]);
+    for (n, [gf, comps, second, beta]) in &rows {
+        let l = (*n as f64).ln();
+        t1.row([
+            n.to_string(),
+            fnum(gf.mean, 3),
+            fnum(comps.mean, 1),
+            fnum(second.mean, 1),
+            fnum(l * l, 1),
+            fnum(beta.mean, 3),
+        ]);
+    }
+    println!("-- n sweep at c1 = {c_paper} (the §VII constant) --");
+    println!("{}", t1.render());
+    if opts.csv {
+        println!("{}", t1.to_csv());
+    }
+
+    // Sweep c1 at fixed n: the percolation transition.
+    let n_fixed = if opts.quick { 2000 } else { 8000 };
+    let cs = [0.25, 0.5, 1.0, 1.44, 1.96, 2.56, 4.0, 9.0, 16.0];
+    let rows = sweep_multi(&cs, opts.trials, |&c, t| {
+        giant_row(opts.seed ^ 0x9999, n_fixed, c, t)
+    });
+    let mut t2 = Table::new(["c1", "giant frac", "components", "2nd comp nodes", "beta_hat"]);
+    for (c, [gf, comps, second, beta]) in &rows {
+        t2.row([
+            fnum(*c, 2),
+            fnum(gf.mean, 3),
+            fnum(comps.mean, 1),
+            fnum(second.mean, 1),
+            fnum(beta.mean, 3),
+        ]);
+    }
+    println!("-- c1 sweep at n = {n_fixed} (percolation transition) --");
+    println!("{}", t2.render());
+    if opts.csv {
+        println!("{}", t2.to_csv());
+    }
+
+    // Optional SVG: a Figure-1-style map of one instance at the paper's
+    // radius — giant component in one colour, small components in another,
+    // RGG edges in grey.
+    if opts.svg_dir.is_some() {
+        let n_map = 2000;
+        let pts = instance(opts.seed, n_map, 0);
+        let r = (c_paper / n_map as f64).sqrt();
+        let g = emst_graph::Graph::geometric(&pts, r);
+        let comps = emst_graph::Components::of(&g);
+        let giant = comps.largest().unwrap();
+        let mut plot = UnitSquarePlot::new(format!(
+            "Figure 1: giant component at r = sqrt({c_paper}/n), n = {n_map}"
+        ));
+        for (i, p) in pts.iter().enumerate() {
+            plot.points
+                .push((p.x, p.y, if comps.label[i] == giant { 0 } else { 1 }));
+        }
+        for e in g.edges() {
+            let (u, v) = e.endpoints();
+            plot.edges.push(((pts[u].x, pts[u].y), (pts[v].x, pts[v].y)));
+        }
+        save_svg(&opts, "fig1_giant_map", &plot.render());
+    }
+
+    println!("shape checks:");
+    let (gf_lo, gf_paper) = (rows[0].1[0].mean, rows[4].1[0].mean);
+    println!(
+        "  subcritical c1 = {} → giant frac {:.3}; paper c1 = {} → {:.3} (transition visible: {})",
+        rows[0].0,
+        gf_lo,
+        rows[4].0,
+        gf_paper,
+        gf_paper > 5.0 * gf_lo
+    );
+    let last_beta = rows.last().unwrap().1[3].mean;
+    println!("  beta_hat stays O(1) in the supercritical regime: {last_beta:.3}");
+}

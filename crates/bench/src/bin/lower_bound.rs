@@ -1,0 +1,87 @@
+//! **E6 — Lemma 4.1 / Theorem 4.1:** empirical validation of the
+//! lower-bound machinery.
+//!
+//! * **Lemma 4.1** states that, whp, reaching one's `k` nearest neighbours
+//!   costs at least `k/(b·n)` energy for a suitable constant `b` — i.e.
+//!   `n·d(k)²/k` is bounded below by a constant. The first sweep measures
+//!   that normalised ratio across `k` and `n`.
+//! * **Theorem 4.1** combines it with the Korach–Moran–Zaks counting bound
+//!   to get `Ω(log n)` energy for any spanning-tree construction. The
+//!   second table shows EOPT's measured energy divided by `ln n` staying
+//!   bounded (the algorithm is `O(log n)`, so the ratio is Θ(1) — the two
+//!   bounds pinch), against the trivial `Ω(1)` floor
+//!   `L_MST = Σ_{e∈MST} |e|²`.
+//!
+//! Run: `cargo run --release -p emst-bench --bin lower_bound [-- --trials N --csv]`
+
+use emst_analysis::{fnum, sweep, sweep_multi, Table};
+use emst_bench::{instance, knn_energy_ratio, Options};
+use emst_core::run_eopt;
+use emst_graph::euclidean_mst;
+
+fn main() {
+    let opts = Options::from_env();
+    eprintln!(
+        "lower_bound: Lemma 4.1 k-NN energy + Theorem 4.1 pinch ({} trials, seed {:#x})",
+        opts.trials, opts.seed
+    );
+
+    // Lemma 4.1: normalised k-NN reach energy n·d(k)²/k.
+    let n_fixed = if opts.quick { 1000 } else { 4000 };
+    let ks = [1usize, 2, 4, 8, 16, 32, 64];
+    let rows = sweep(&ks, opts.trials, |&k, t| {
+        knn_energy_ratio(opts.seed, n_fixed, k, t)
+    });
+    let mut t1 = Table::new(["k", "mean n·d(k)²/k", "min over trials"]);
+    for pt in &rows {
+        t1.row([
+            pt.param.to_string(),
+            fnum(pt.summary.mean, 4),
+            fnum(pt.summary.min, 4),
+        ]);
+    }
+    println!("-- Lemma 4.1 at n = {n_fixed}: ratio bounded below by 1/b --");
+    println!("{}", t1.render());
+    if opts.csv {
+        println!("{}", t1.to_csv());
+    }
+    let min_ratio = rows
+        .iter()
+        .map(|p| p.summary.min)
+        .fold(f64::INFINITY, f64::min);
+    println!("  empirical 1/b ≈ {min_ratio:.4} (> 0 as the lemma requires)\n");
+
+    // Theorem 4.1 pinch: EOPT energy / ln n vs the trivial Ω(1) floor.
+    let sizes: Vec<usize> = if opts.quick {
+        vec![200, 400, 800]
+    } else {
+        vec![250, 500, 1000, 2000, 4000]
+    };
+    let rows = sweep_multi(&sizes, opts.trials, |&n, t| {
+        let pts = instance(opts.seed ^ 0x44, n, t);
+        let eopt = run_eopt(&pts);
+        let lmst = euclidean_mst(&pts).cost(2.0);
+        [eopt.stats.energy, eopt.stats.energy / (n as f64).ln(), lmst]
+    });
+    let mut t2 = Table::new(["n", "EOPT energy", "energy / ln n", "L_MST = Σ|e|²"]);
+    for (n, [e, ratio, lmst]) in &rows {
+        t2.row([
+            n.to_string(),
+            fnum(e.mean, 2),
+            fnum(ratio.mean, 3),
+            fnum(lmst.mean, 3),
+        ]);
+    }
+    println!("-- Theorem 4.1 pinch: Ω(log n) ≤ energy ≤ O(log n) --");
+    println!("{}", t2.render());
+    if opts.csv {
+        println!("{}", t2.to_csv());
+    }
+    let first = rows.first().unwrap().1[1].mean;
+    let last = rows.last().unwrap().1[1].mean;
+    println!(
+        "  energy/ln n drifts by x{:.2} over a {}x size range (Θ(1) if the bounds pinch)",
+        last / first,
+        rows.last().unwrap().0 / rows.first().unwrap().0
+    );
+}

@@ -1,0 +1,78 @@
+//! **E3 — §VII in-text quality numbers:** Co-NNT versus the exact MST.
+//!
+//! The paper reports, for 1000 and 5000 nodes: total edge length
+//! `Σ|e|` of **22.9 / 50.5** for Co-NNT against **20.8 / 46.3** for MST,
+//! and sums of squared edges of **0.68** (Co-NNT) vs **0.52** (MST),
+//! constants independent of `n`.
+//!
+//! Run: `cargo run --release -p emst-bench --bin quality_table [-- --trials N --csv]`
+
+use emst_analysis::{fnum, sweep_multi, Table};
+use emst_bench::{quality_row, Options};
+
+/// Paper-reported values keyed by n: `(nnt_len, mst_len)`.
+const PAPER_LEN: [(usize, f64, f64); 2] = [(1000, 22.9, 20.8), (5000, 50.5, 46.3)];
+
+fn main() {
+    let opts = Options::from_env();
+    let sizes: Vec<usize> = if opts.quick {
+        vec![500, 1000]
+    } else {
+        vec![1000, 5000]
+    };
+    eprintln!(
+        "quality_table: Co-NNT vs MST tree cost ({} trials per point, seed {:#x})",
+        opts.trials, opts.seed
+    );
+
+    let rows = sweep_multi(&sizes, opts.trials, |&n, t| quality_row(opts.seed, n, t));
+
+    let mut table = Table::new([
+        "n",
+        "Σ|e| NNT",
+        "Σ|e| MST",
+        "paper NNT",
+        "paper MST",
+        "Σ|e|² NNT",
+        "Σ|e|² MST",
+        "len ratio",
+        "sq ratio",
+    ]);
+    for (n, [nl, ml, ns, ms]) in &rows {
+        let paper = PAPER_LEN.iter().find(|p| p.0 == *n);
+        table.row([
+            n.to_string(),
+            fnum(nl.mean, 2),
+            fnum(ml.mean, 2),
+            paper.map_or("-".into(), |p| fnum(p.1, 1)),
+            paper.map_or("-".into(), |p| fnum(p.2, 1)),
+            fnum(ns.mean, 3),
+            fnum(ms.mean, 3),
+            fnum(nl.mean / ml.mean, 3),
+            fnum(ns.mean / ms.mean, 3),
+        ]);
+    }
+    println!("{}", table.render());
+    if opts.csv {
+        println!("{}", table.to_csv());
+    }
+
+    println!("shape checks:");
+    for (n, [nl, ml, ns, ms]) in &rows {
+        println!(
+            "  n={n}: NNT within {:.1}% of MST length; Σ|e|² constants {:.2} vs {:.2} (paper 0.68 vs 0.52)",
+            (nl.mean / ml.mean - 1.0) * 100.0,
+            ns.mean,
+            ms.mean
+        );
+    }
+    if rows.len() == 2 {
+        // Σ|e| grows like √n (Steele): ratio between sizes ≈ √(n₂/n₁).
+        let growth = rows[1].1[1].mean / rows[0].1[1].mean;
+        let expect = (rows[1].0 as f64 / rows[0].0 as f64).sqrt();
+        println!(
+            "  MST Σ|e| growth {:.2} vs √(n₂/n₁) = {:.2} (Steele Θ(√n) regime)",
+            growth, expect
+        );
+    }
+}

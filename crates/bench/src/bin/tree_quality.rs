@@ -1,0 +1,135 @@
+//! **T1 — build-energy vs use-cost:** the full trade-off across every
+//! spanning-tree construction in the workspace.
+//!
+//! The paper's motivation (§I–II) is that a tree is built once and used
+//! many times (data aggregation epochs, broadcasts), so both the
+//! construction energy *and* the tree's per-use cost `Σ d²` matter. This
+//! table lines up all five constructions:
+//!
+//! | construction | build energy | tree quality |
+//! |---|---|---|
+//! | GHS (orig/mod) | Θ(log² n) | exact MST |
+//! | EOPT           | Θ(log n)  | exact MST |
+//! | Co-NNT         | Θ(1)      | O(1)-approx |
+//! | id-rank NNT    | —         | O(log n)-approx |
+//! | BFS flood      | Θ(log n)  | Θ(log n)-factor worse |
+//!
+//! and derives the break-even number of aggregation epochs at which a
+//! cheaper-to-build but worse tree loses to EOPT's exact MST.
+//!
+//! Run: `cargo run --release -p emst-bench --bin tree_quality [-- --trials N --csv]`
+
+use emst_analysis::{fnum, sweep_multi, Table};
+use emst_bench::{instance, Options};
+use emst_core::{
+    run_bfs_tree, run_eopt, run_ghs, run_nnt_with, GhsVariant, RankScheme,
+};
+use emst_geom::paper_phase2_radius;
+use emst_graph::euclidean_mst;
+
+/// Rows: per algorithm `(build energy, Σ|e|² of tree)` + MST Σ|e|².
+fn measure(seed: u64, n: usize, trial: u64) -> [f64; 13] {
+    let pts = instance(seed, n, trial);
+    let r = paper_phase2_radius(n);
+    let ghs_o = run_ghs(&pts, r, GhsVariant::Original);
+    let ghs_m = run_ghs(&pts, r, GhsVariant::Modified);
+    let eopt = run_eopt(&pts);
+    let nnt = run_nnt_with(&pts, RankScheme::Diagonal);
+    let nnt_id = run_nnt_with(&pts, RankScheme::NodeId);
+    let bfs = run_bfs_tree(&pts, r, 0);
+    let mst_sq = euclidean_mst(&pts).cost(2.0);
+    [
+        ghs_o.stats.energy,
+        ghs_o.tree.cost(2.0),
+        ghs_m.stats.energy,
+        ghs_m.tree.cost(2.0),
+        eopt.stats.energy,
+        eopt.tree.cost(2.0),
+        nnt.stats.energy,
+        nnt.tree.cost(2.0),
+        nnt_id.stats.energy,
+        nnt_id.tree.cost(2.0),
+        bfs.stats.energy,
+        bfs.tree.cost(2.0),
+        mst_sq,
+    ]
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let n = if opts.quick { 400 } else { 2000 };
+    eprintln!(
+        "tree_quality: build energy vs per-use tree cost at n = {n} ({} trials, seed {:#x})",
+        opts.trials, opts.seed
+    );
+
+    let rows = sweep_multi(&[n], opts.trials, |&n, t| measure(opts.seed, n, t));
+    let (_, s) = &rows[0];
+    let mst_sq = s[12].mean;
+
+    let algos = [
+        ("GHS (original)", 0, true),
+        ("GHS (modified)", 2, true),
+        ("EOPT", 4, true),
+        ("Co-NNT (diagonal)", 6, false),
+        ("NNT (id-rank)", 8, false),
+        ("BFS flood", 10, false),
+    ];
+    let eopt_build = s[4].mean;
+    let eopt_use = s[5].mean;
+    let mut table = Table::new([
+        "construction",
+        "build energy",
+        "tree Σ|e|²",
+        "quality vs MST",
+        "break-even epochs vs EOPT",
+    ]);
+    for (name, i, exact) in algos {
+        let build = s[i].mean;
+        let use_cost = s[i + 1].mean;
+        // Epochs at which (build + k·use) crosses EOPT's line; exact trees
+        // never lose on use, so break-even is driven by build alone.
+        let breakeven = if use_cost > eopt_use + 1e-12 {
+            let k = (eopt_build - build) / (use_cost - eopt_use);
+            if k <= 0.0 {
+                "never ahead".to_string()
+            } else {
+                format!("{k:.1}")
+            }
+        } else if build > eopt_build {
+            "never ahead".to_string()
+        } else {
+            "-".to_string()
+        };
+        table.row([
+            name.to_string(),
+            fnum(build, 2),
+            fnum(use_cost, 4),
+            if exact {
+                "exact".to_string()
+            } else {
+                format!("x{:.3}", use_cost / mst_sq)
+            },
+            breakeven,
+        ]);
+    }
+    println!("{}", table.render());
+    if opts.csv {
+        println!("{}", table.to_csv());
+    }
+
+    println!("shape checks:");
+    println!(
+        "  exact constructions really are exact: GHS/EOPT Σ|e|² == MST Σ|e|² ({})",
+        (s[1].mean - mst_sq).abs() < 1e-9 && (s[5].mean - mst_sq).abs() < 1e-9
+    );
+    println!(
+        "  BFS tree is ~{}x worse to use despite Θ(log n) build energy",
+        fnum(s[11].mean / mst_sq, 1)
+    );
+    println!(
+        "  Co-NNT: {:.0}% of EOPT's build energy at {:.0}% quality penalty",
+        100.0 * s[6].mean / eopt_build,
+        100.0 * (s[7].mean / mst_sq - 1.0)
+    );
+}

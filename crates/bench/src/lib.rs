@@ -1,0 +1,36 @@
+//! # emst-bench — experiment harness
+//!
+//! Shared machinery for the experiment binaries (`src/bin/*`) and Criterion
+//! benches (`benches/*`) that regenerate every table and figure of the
+//! paper's evaluation (§VII) plus the theorem-validation and ablation
+//! experiments indexed in DESIGN.md.
+//!
+//! Everything is seeded: instance `(n, trial)` is produced by
+//! `trial_rng(BASE_SEED ^ n, trial)`, so any row of any table can be
+//! regenerated in isolation.
+
+pub mod cli;
+pub mod runner;
+
+pub use cli::Options;
+pub use runner::*;
+
+/// Base seed for all experiments.
+pub const BASE_SEED: u64 = 0xE0E7_2008;
+
+/// Writes an SVG next to the experiment's other outputs when `--svg DIR`
+/// was given; creates the directory as needed.
+pub fn save_svg(opts: &Options, name: &str, svg: &str) {
+    if let Some(dir) = &opts.svg_dir {
+        let path = std::path::Path::new(dir);
+        if let Err(e) = std::fs::create_dir_all(path) {
+            eprintln!("cannot create {dir}: {e}");
+            return;
+        }
+        let file = path.join(format!("{name}.svg"));
+        match std::fs::write(&file, svg) {
+            Ok(()) => eprintln!("wrote {}", file.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", file.display()),
+        }
+    }
+}

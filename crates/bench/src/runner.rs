@@ -1,0 +1,191 @@
+//! Single-trial experiment kernels shared by binaries and Criterion
+//! benches.
+
+use emst_core::{
+    run_eopt, run_eopt_with, run_ghs, run_nnt_with, EoptConfig, GhsVariant, RankScheme,
+};
+use emst_geom::{paper_phase2_radius, trial_rng, uniform_points, Point};
+use emst_graph::euclidean_mst;
+use emst_percolation::giant_stats;
+
+/// The seeded instance for `(seed, n, trial)`.
+pub fn instance(seed: u64, n: usize, trial: u64) -> Vec<Point> {
+    uniform_points(n, &mut trial_rng(seed ^ (n as u64) << 20, trial))
+}
+
+/// Fig 3 kernel: total energy of GHS (original, §VII baseline), EOPT and
+/// Co-NNT on the *same* instance. Radii follow §VII exactly.
+pub fn fig3_energies(seed: u64, n: usize, trial: u64) -> [f64; 3] {
+    let pts = instance(seed, n, trial);
+    let ghs = run_ghs(&pts, paper_phase2_radius(n), GhsVariant::Original);
+    let eopt = run_eopt(&pts);
+    let nnt = run_nnt_with(&pts, RankScheme::Diagonal);
+    [ghs.stats.energy, eopt.stats.energy, nnt.stats.energy]
+}
+
+/// §VII quality kernel: `(Σ|e| NNT, Σ|e| MST, Σ|e|² NNT, Σ|e|² MST)`.
+pub fn quality_row(seed: u64, n: usize, trial: u64) -> [f64; 4] {
+    let pts = instance(seed, n, trial);
+    let nnt = run_nnt_with(&pts, RankScheme::Diagonal);
+    let mst = euclidean_mst(&pts);
+    [
+        nnt.tree.cost(1.0),
+        mst.cost(1.0),
+        nnt.tree.cost(2.0),
+        mst.cost(2.0),
+    ]
+}
+
+/// Theorem 5.2 kernel at radius `√(c₁/n)`: `(giant fraction, components,
+/// second-largest component, β̂)`.
+pub fn giant_row(seed: u64, n: usize, c1: f64, trial: u64) -> [f64; 4] {
+    let pts = instance(seed, n, trial);
+    let s = giant_stats(&pts, (c1 / n as f64).sqrt());
+    [
+        s.giant_fraction(),
+        s.components as f64,
+        s.second_component_nodes as f64,
+        s.beta_hat(),
+    ]
+}
+
+/// Theorem 5.1 kernel: 1.0 if `G(n, m·√(ln n/n))` is connected else 0.0.
+pub fn connectivity_trial(seed: u64, n: usize, multiplier: f64, trial: u64) -> f64 {
+    let pts = instance(seed, n, trial);
+    let r = multiplier * ((n as f64).ln() / n as f64).sqrt();
+    let g = emst_graph::Graph::geometric(&pts, r);
+    if emst_graph::is_connected(&g) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Lemma 4.1 kernel: mean over nodes of `n·d(k)²/k`, where `d(k)` is the
+/// distance to the k-th nearest neighbour — the lemma lower-bounds the
+/// energy to reach `k` neighbours by `k/(b·n)`, i.e. this ratio should be
+/// bounded away from 0 by `1/b`.
+pub fn knn_energy_ratio(seed: u64, n: usize, k: usize, trial: u64) -> f64 {
+    let pts = instance(seed, n, trial);
+    let grid = emst_geom::BucketGrid::for_radius(&pts, (k as f64 / n as f64).sqrt());
+    let mut sum = 0.0;
+    for u in 0..n {
+        let d = grid
+            .kth_nearest_distance(u, k)
+            .expect("k < n by construction");
+        sum += n as f64 * d * d / k as f64;
+    }
+    sum / n as f64
+}
+
+/// EOPT ablation kernel: `(energy, fragments after step 1, giant size,
+/// recovery used)` for an explicit phase-1 multiplier.
+pub fn eopt_radius_row(seed: u64, n: usize, m1: f64, trial: u64) -> [f64; 4] {
+    let pts = instance(seed, n, trial);
+    let cfg = EoptConfig {
+        phase1_multiplier: m1,
+        ..EoptConfig::default()
+    };
+    let out = run_eopt_with(&pts, &cfg);
+    [
+        out.stats.energy,
+        out.fragments_after_step1 as f64,
+        out.largest_fragment as f64,
+        if out.recovery_used { 1.0 } else { 0.0 },
+    ]
+}
+
+/// GHS-variant ablation kernel: `(messages, energy)` for original then
+/// modified on the same instance.
+pub fn ghs_variant_row(seed: u64, n: usize, trial: u64) -> [f64; 4] {
+    let pts = instance(seed, n, trial);
+    let r = paper_phase2_radius(n);
+    let orig = run_ghs(&pts, r, GhsVariant::Original);
+    let modi = run_ghs(&pts, r, GhsVariant::Modified);
+    [
+        orig.stats.messages as f64,
+        orig.stats.energy,
+        modi.stats.messages as f64,
+        modi.stats.energy,
+    ]
+}
+
+/// Ranking ablation kernel: per scheme (diagonal, x-rank, id-rank) the
+/// `(max edge, energy, Σ|e| quality ratio vs MST)` on the same instance.
+pub fn rank_scheme_row(seed: u64, n: usize, trial: u64) -> [f64; 9] {
+    let pts = instance(seed, n, trial);
+    let mst_len = euclidean_mst(&pts).cost(1.0);
+    let mut out = [0.0; 9];
+    for (k, scheme) in [RankScheme::Diagonal, RankScheme::XOrder, RankScheme::NodeId]
+        .into_iter()
+        .enumerate()
+    {
+        let run = run_nnt_with(&pts, scheme);
+        out[3 * k] = run.tree.max_edge_len();
+        out[3 * k + 1] = run.stats.energy;
+        out[3 * k + 2] = run.tree.cost(1.0) / mst_len;
+    }
+    out
+}
+
+/// EOPT exactness kernel: 1.0 when EOPT's tree equals the Euclidean MST
+/// (given connectivity), else 0.0; `None` when the §VII radius leaves the
+/// instance disconnected (exactness is then vacuous for the full MST).
+pub fn exactness_trial(seed: u64, n: usize, trial: u64) -> Option<f64> {
+    let pts = instance(seed, n, trial);
+    let out = run_eopt(&pts);
+    if out.fragment_count != 1 {
+        return None;
+    }
+    let mst = euclidean_mst(&pts);
+    Some(if out.tree.same_edges(&mst) { 1.0 } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BASE_SEED;
+
+    #[test]
+    fn instances_are_reproducible_and_distinct() {
+        let a = instance(BASE_SEED, 100, 0);
+        let b = instance(BASE_SEED, 100, 0);
+        assert_eq!(a, b);
+        assert_ne!(instance(BASE_SEED, 100, 1), a);
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn fig3_energies_ordering_holds_at_moderate_n() {
+        let [ghs, eopt, nnt] = fig3_energies(BASE_SEED, 1200, 0);
+        assert!(ghs > eopt, "GHS {ghs} must exceed EOPT {eopt}");
+        assert!(eopt > nnt, "EOPT {eopt} must exceed Co-NNT {nnt}");
+    }
+
+    #[test]
+    fn quality_row_has_sane_ratios() {
+        let [nl, ml, ns, ms] = quality_row(BASE_SEED, 500, 0);
+        assert!(nl >= ml, "NNT length {nl} below MST {ml}");
+        assert!(ns >= ms);
+        assert!(nl / ml < 1.5);
+    }
+
+    #[test]
+    fn connectivity_monotone_in_radius() {
+        let lo = connectivity_trial(BASE_SEED, 500, 0.5, 0);
+        let hi = connectivity_trial(BASE_SEED, 500, 3.0, 0);
+        assert!(hi >= lo);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn knn_ratio_is_order_one() {
+        let r = knn_energy_ratio(BASE_SEED, 1000, 8, 0);
+        assert!(r > 0.05 && r < 5.0, "ratio {r}");
+    }
+
+    #[test]
+    fn exactness_holds() {
+        assert_eq!(exactness_trial(BASE_SEED, 400, 0), Some(1.0));
+    }
+}

@@ -1,0 +1,198 @@
+//! Neighbour discovery.
+//!
+//! §II stipulates that nodes initially do **not** know the distances to
+//! their neighbours. Every radius-disciplined protocol therefore begins
+//! with one *hello* local broadcast per node at the operating radius;
+//! receivers measure the sender's distance (the standard RSSI abstraction)
+//! and record `(id, distance)`. Cost: `n` messages, `n·a·r^α` energy — at
+//! the connectivity radius this is `O(log n)` total, dominated by every
+//! algorithm that follows.
+//!
+//! Two interchangeable implementations are provided:
+//!
+//! * [`HelloProtocol`] — a genuine reactive protocol on the discrete-event
+//!   engine (one broadcast in round 0, listen in round 1);
+//! * [`discover`] — the stage-orchestrated equivalent used inside the GHS
+//!   machinery (identical messages, energy and round count).
+//!
+//! A test asserts the two produce identical neighbour tables and charges.
+
+use emst_radio::{Ctx, Delivery, NodeProtocol, RadioNet, SyncEngine};
+
+/// One discovered neighbour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Neighbour node id.
+    pub id: u32,
+    /// Measured Euclidean distance.
+    pub dist: f64,
+}
+
+/// Neighbour table: for each node, its neighbours sorted by
+/// `(distance, id)` ascending.
+pub type NeighborTable = Vec<Vec<Neighbor>>;
+
+/// Message kind charged for hello broadcasts.
+pub const HELLO_KIND: &str = "discovery/hello";
+
+/// Stage-orchestrated neighbour discovery: every node broadcasts once at
+/// `radius` (kind `kind`), one synchronous round. Returns the sorted
+/// neighbour table.
+pub fn discover(net: &mut RadioNet<'_>, radius: f64, kind: &'static str) -> NeighborTable {
+    let n = net.n();
+    let mut table: NeighborTable = vec![Vec::new(); n];
+    for u in 0..n {
+        // Receivers of u's hello learn (u, dist).
+        let receivers = net.local_broadcast(u, radius, kind);
+        for (v, d) in receivers {
+            table[v].push(Neighbor {
+                id: u as u32,
+                dist: d,
+            });
+        }
+    }
+    for row in &mut table {
+        row.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    }
+    net.tick_round();
+    table
+}
+
+/// Reactive hello protocol: broadcast in round 0, collect in round 1.
+#[derive(Debug)]
+pub struct HelloProtocol {
+    radius: f64,
+    sent: bool,
+    heard: Vec<Neighbor>,
+}
+
+impl HelloProtocol {
+    /// New instance broadcasting at `radius`.
+    pub fn new(radius: f64) -> Self {
+        HelloProtocol {
+            radius,
+            sent: false,
+            heard: Vec::new(),
+        }
+    }
+
+    /// Neighbours heard so far, sorted by `(distance, id)`.
+    pub fn neighbors(&self) -> Vec<Neighbor> {
+        let mut v = self.heard.clone();
+        v.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        v
+    }
+}
+
+impl NodeProtocol for HelloProtocol {
+    type Msg = ();
+
+    fn on_round(&mut self, inbox: &[Delivery<()>], ctx: &mut Ctx<'_, ()>) {
+        for d in inbox {
+            self.heard.push(Neighbor {
+                id: d.from as u32,
+                dist: d.dist,
+            });
+        }
+        if !self.sent {
+            self.sent = true;
+            ctx.broadcast(self.radius, HELLO_KIND, ());
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.sent
+    }
+}
+
+/// Runs [`HelloProtocol`] on the discrete-event engine and returns the
+/// neighbour table plus the network (for ledger inspection).
+pub fn discover_reactive<'a>(
+    net: RadioNet<'a>,
+    radius: f64,
+) -> (NeighborTable, RadioNet<'a>) {
+    let n = net.n();
+    let nodes = (0..n).map(|_| HelloProtocol::new(radius)).collect();
+    let mut eng = SyncEngine::new(net, nodes);
+    eng.run(16).expect("hello quiesces in two rounds");
+    let (net, nodes) = eng.into_parts();
+    (nodes.iter().map(|p| p.neighbors()).collect(), net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_geom::{trial_rng, uniform_points};
+
+    #[test]
+    fn orchestrated_discovery_finds_symmetric_neighbors() {
+        let pts = uniform_points(200, &mut trial_rng(81, 0));
+        let mut net = RadioNet::new(&pts, 0.15);
+        let table = discover(&mut net, 0.15, HELLO_KIND);
+        // Symmetry.
+        for u in 0..200 {
+            for nb in &table[u] {
+                assert!(
+                    table[nb.id as usize].iter().any(|x| x.id as usize == u),
+                    "asymmetric neighbourhood {u} <-> {}",
+                    nb.id
+                );
+            }
+        }
+        // Completeness against brute force.
+        for u in 0..200 {
+            let brute = (0..200)
+                .filter(|&v| v != u && pts[u].dist(&pts[v]) <= 0.15)
+                .count();
+            assert_eq!(table[u].len(), brute, "node {u}");
+        }
+        // Sortedness.
+        for row in &table {
+            for w in row.windows(2) {
+                assert!(w[0].dist <= w[1].dist);
+            }
+        }
+        // Exactly n messages at radius² each.
+        assert_eq!(net.ledger().total_messages(), 200);
+        assert!((net.ledger().total_energy() - 200.0 * 0.15 * 0.15).abs() < 1e-9);
+        assert_eq!(net.clock().now(), 1);
+    }
+
+    #[test]
+    fn reactive_and_orchestrated_agree() {
+        let pts = uniform_points(150, &mut trial_rng(82, 0));
+        let r = 0.12;
+        let mut net1 = RadioNet::new(&pts, r);
+        let t1 = discover(&mut net1, r, HELLO_KIND);
+        let net2 = RadioNet::new(&pts, r);
+        let (t2, net2) = discover_reactive(net2, r);
+        for u in 0..150 {
+            assert_eq!(t1[u].len(), t2[u].len(), "node {u}");
+            for (a, b) in t1[u].iter().zip(t2[u].iter()) {
+                assert_eq!(a.id, b.id);
+                assert!((a.dist - b.dist).abs() < 1e-12);
+            }
+        }
+        assert_eq!(
+            net1.ledger().total_messages(),
+            net2.ledger().total_messages()
+        );
+        assert!(
+            (net1.ledger().total_energy() - net2.ledger().total_energy()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn isolated_node_has_no_neighbors() {
+        let pts = vec![
+            emst_geom::Point::new(0.1, 0.1),
+            emst_geom::Point::new(0.9, 0.9),
+        ];
+        let mut net = RadioNet::new(&pts, 0.2);
+        let table = discover(&mut net, 0.2, HELLO_KIND);
+        assert!(table[0].is_empty());
+        assert!(table[1].is_empty());
+        // Both still paid for their hello.
+        assert_eq!(net.ledger().total_messages(), 2);
+    }
+}

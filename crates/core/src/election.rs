@@ -1,0 +1,218 @@
+//! Distributed leader election — the problem the paper's lower bound is
+//! really about.
+//!
+//! Section IV derives the `Ω(log n)` energy bound from Korach, Moran and
+//! Zaks' message lower bound for *leader election / spanning tree
+//! construction*, the two being classically equivalent. Two elections are
+//! implemented over the radio model:
+//!
+//! * [`run_election_flood`] — the folklore max-id flood: every node
+//!   repeatedly broadcasts the largest id it has heard whenever that value
+//!   improves. Simple, `O(diameter)` time, but a node may re-announce up
+//!   to `O(log n)` times in expectation (each improvement halves the
+//!   candidates that could beat it), so the energy is `Θ(log² n)`-ish at
+//!   the connectivity radius — the same class as plain GHS.
+//! * [`run_election_tree`] — election along a BFS spanning tree: build
+//!   the flooding tree ([`crate::bfs_tree`]), convergecast the maximum id
+//!   to the root, and broadcast the winner back down. Exactly
+//!   `n + 2(n−1)` messages and `Θ(log n)` energy — matching the Theorem
+//!   4.1 lower bound, and a concrete witness that the spanning-tree ↔
+//!   election equivalence preserves energy optimality.
+
+use emst_graph::SpanningTree;
+use emst_radio::{Ctx, Delivery, NodeProtocol, RadioNet, RunStats, SyncEngine};
+
+/// Outcome of a leader election.
+#[derive(Debug, Clone)]
+pub struct ElectionOutcome {
+    /// The elected leader (the maximum id of the root component).
+    pub leader: usize,
+    /// Whether every node agreed on that leader.
+    pub agreed: bool,
+    /// Energy/messages/rounds.
+    pub stats: RunStats,
+}
+
+/// Max-id flooding node.
+#[derive(Debug)]
+struct FloodElect {
+    radius: f64,
+    best: usize,
+    announced: Option<usize>,
+}
+
+impl NodeProtocol for FloodElect {
+    type Msg = usize;
+
+    fn on_round(&mut self, inbox: &[Delivery<usize>], ctx: &mut Ctx<'_, usize>) {
+        for d in inbox {
+            self.best = self.best.max(d.msg);
+        }
+        if self.announced != Some(self.best) {
+            self.announced = Some(self.best);
+            ctx.broadcast(self.radius, "elect/flood", self.best);
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.announced == Some(self.best)
+    }
+}
+
+/// Leader election by max-id flooding at `radius`.
+pub fn run_election_flood(points: &[emst_geom::Point], radius: f64) -> ElectionOutcome {
+    let n = points.len();
+    if n == 0 {
+        return ElectionOutcome {
+            leader: 0,
+            agreed: true,
+            stats: RunStats::default(),
+        };
+    }
+    let net = RadioNet::new(points, radius);
+    let nodes: Vec<FloodElect> = (0..n)
+        .map(|i| FloodElect {
+            radius,
+            best: i,
+            announced: None,
+        })
+        .collect();
+    let mut eng = SyncEngine::new(net, nodes);
+    eng.run(4 * n as u64 + 16).expect("flood election quiesces");
+    let (net, nodes) = eng.into_parts();
+    let leader = nodes.iter().map(|e| e.best).max().unwrap_or(0);
+    let agreed = nodes.iter().all(|e| e.best == leader);
+    ElectionOutcome {
+        leader,
+        agreed,
+        stats: RunStats::capture(&net),
+    }
+}
+
+/// Leader election along a BFS spanning tree: one flood to build the tree
+/// (`n` broadcasts), a convergecast of the maximum id (`n−1` unicasts),
+/// and a winner broadcast down the tree (`n−1` unicasts).
+pub fn run_election_tree(points: &[emst_geom::Point], radius: f64) -> ElectionOutcome {
+    let n = points.len();
+    if n == 0 {
+        return ElectionOutcome {
+            leader: 0,
+            agreed: true,
+            stats: RunStats::default(),
+        };
+    }
+    let bfs = crate::bfs_tree::run_bfs_tree(points, radius, 0);
+    let mut stats = bfs.stats.clone();
+    // Orchestrated convergecast + downcast along the tree, charged per
+    // hop on a fresh net handle and absorbed into the stats.
+    let mut net = RadioNet::new(points, radius);
+    let tree: &SpanningTree = &bfs.tree;
+    let adj = tree.adjacency();
+    // Orientation: parent via BFS from the root.
+    let mut parent = vec![usize::MAX; n];
+    parent[0] = 0;
+    let mut order = vec![0usize];
+    let mut qi = 0;
+    while qi < order.len() {
+        let u = order[qi];
+        qi += 1;
+        for &v in &adj[u] {
+            if parent[v] == usize::MAX {
+                parent[v] = u;
+                order.push(v);
+            }
+        }
+    }
+    // Convergecast (leaf → root): each non-root reports its subtree max.
+    let mut submax: Vec<usize> = (0..n).collect();
+    for &u in order.iter().rev() {
+        if parent[u] != u && parent[u] != usize::MAX {
+            net.unicast(u, parent[u], "elect/convergecast");
+            let p = parent[u];
+            submax[p] = submax[p].max(submax[u]);
+        }
+    }
+    let leader = submax[0];
+    // Winner broadcast (root → leaves).
+    for &u in &order {
+        if parent[u] != u && parent[u] != usize::MAX {
+            net.unicast(parent[u], u, "elect/winner");
+        }
+    }
+    net.advance_rounds(2 * tree.depth_from(0) as u64);
+    stats.absorb(&RunStats::capture(&net));
+    // Agreement holds for every node the tree reaches.
+    let agreed = bfs.reached == n;
+    ElectionOutcome {
+        leader,
+        agreed,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_geom::{paper_phase2_radius, trial_rng, uniform_points, Point};
+
+    #[test]
+    fn flood_elects_global_max() {
+        let n = 300;
+        let pts = uniform_points(n, &mut trial_rng(1001, 0));
+        let out = run_election_flood(&pts, paper_phase2_radius(n));
+        assert_eq!(out.leader, n - 1);
+        assert!(out.agreed);
+        assert!(out.stats.messages >= n as u64);
+    }
+
+    #[test]
+    fn tree_elects_global_max_with_exact_message_count() {
+        let n = 300;
+        let pts = uniform_points(n, &mut trial_rng(1002, 0));
+        let out = run_election_tree(&pts, paper_phase2_radius(n));
+        assert_eq!(out.leader, n - 1);
+        assert!(out.agreed);
+        // n tree broadcasts + (n−1) up + (n−1) down.
+        assert_eq!(out.stats.messages, (n + 2 * (n - 1)) as u64);
+    }
+
+    #[test]
+    fn tree_election_is_cheaper_than_flooding() {
+        let n = 800;
+        let pts = uniform_points(n, &mut trial_rng(1003, 0));
+        let r = paper_phase2_radius(n);
+        let flood = run_election_flood(&pts, r);
+        let tree = run_election_tree(&pts, r);
+        assert_eq!(flood.leader, tree.leader);
+        assert!(
+            tree.stats.energy < flood.stats.energy,
+            "tree {} vs flood {}",
+            tree.stats.energy,
+            flood.stats.energy
+        );
+    }
+
+    #[test]
+    fn disconnected_instance_elects_component_leader() {
+        let pts = vec![
+            Point::new(0.1, 0.1),
+            Point::new(0.12, 0.1),
+            Point::new(0.9, 0.9),
+        ];
+        let out = run_election_flood(&pts, 0.1);
+        // Node 2 never hears 0/1 and stays its own leader.
+        assert!(!out.agreed);
+        assert_eq!(out.leader, 2);
+        let tree = run_election_tree(&pts, 0.1);
+        assert!(!tree.agreed);
+        assert_eq!(tree.leader, 1, "root component max id");
+    }
+
+    #[test]
+    fn single_node_elects_itself() {
+        let pts = vec![Point::new(0.5, 0.5)];
+        let out = run_election_flood(&pts, 0.2);
+        assert_eq!(out.leader, 0);
+        assert!(out.agreed);
+    }
+}

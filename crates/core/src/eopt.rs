@@ -1,0 +1,304 @@
+//! EOPT — the paper's energy-optimal two-step distributed MST algorithm
+//! (§V).
+//!
+//! **Step 1.** Every node limits its radius to `r₁ = √(c₁/n)` (percolation
+//! regime) and runs modified GHS. By Theorem 5.2 the surviving fragments
+//! are, whp, one giant fragment of `Θ(n)` nodes plus small fragments of at
+//! most `β·log² n` nodes trapped in small regions. Sending a message costs
+//! only `O(1/n)` here, so the `O(n log n)` messages of this step cost
+//! `O(log n)` energy in total.
+//!
+//! **Step 2.** Each fragment computes its size by broadcast/convergecast;
+//! fragments above the `β·log² n` threshold declare themselves giant and
+//! become *passive* (they only accept connections and keep their fragment
+//! id, so their members never announce). All nodes raise their radius to
+//! `r₂ = √(c₂·log n/n)` (connectivity regime, Theorem 5.1) and modified
+//! GHS resumes on the remaining small fragments — only `O(log log n)`
+//! phases whp, because each small region holds `O(log² n)` fragments.
+//!
+//! The output is the **exact** MST of `G(points, r₂)` — every added edge is
+//! a fragment MOE, and the step-1 radius restriction is harmless because a
+//! fragment strictly contained in its `G(r₁)`-component has its *global*
+//! MOE within distance `r₁` (the cut property at work; see DESIGN.md).
+//!
+//! Robustness beyond the paper: if more than one fragment crosses the giant
+//! threshold (possible at small `n` or an aggressive threshold), two
+//! passive fragments could stall without merging. The implementation then
+//! runs a *recovery pass* — one more modified-GHS round with passivity
+//! cleared — and reports it in the outcome so experiments can count how
+//! often the theorem's "unique giant" prediction failed.
+
+use crate::ghs::{GhsEngine, GhsVariant, EOPT1_KINDS, EOPT2_KINDS};
+use emst_geom::{paper_phase1_radius, paper_phase2_radius, Point};
+use emst_graph::SpanningTree;
+use emst_radio::{RadioNet, RunStats};
+
+/// EOPT parameters. `Default` reproduces §VII: `r₁ = 1.4·√(1/n)`,
+/// `r₂ = 1.6·√(ln n/n)`, giant threshold `β·ln² n` with `β = 1`.
+#[derive(Debug, Clone, Copy)]
+pub struct EoptConfig {
+    /// Step-1 radius multiplier `m₁` in `r₁ = m₁·√(1/n)`.
+    pub phase1_multiplier: f64,
+    /// Step-2 radius multiplier `m₂` in `r₂ = m₂·√(ln n/n)`.
+    pub phase2_multiplier: f64,
+    /// Giant threshold coefficient `β`: a fragment is giant when its size
+    /// exceeds `β·ln² n`.
+    pub beta: f64,
+}
+
+impl Default for EoptConfig {
+    fn default() -> Self {
+        EoptConfig {
+            phase1_multiplier: emst_geom::PAPER_PHASE1_MULTIPLIER,
+            phase2_multiplier: emst_geom::PAPER_PHASE2_MULTIPLIER,
+            beta: 1.0,
+        }
+    }
+}
+
+impl EoptConfig {
+    /// Step-1 radius for `n` nodes.
+    pub fn radius1(&self, n: usize) -> f64 {
+        paper_phase1_radius(n) * (self.phase1_multiplier / emst_geom::PAPER_PHASE1_MULTIPLIER)
+    }
+
+    /// Step-2 radius for `n` nodes.
+    pub fn radius2(&self, n: usize) -> f64 {
+        paper_phase2_radius(n) * (self.phase2_multiplier / emst_geom::PAPER_PHASE2_MULTIPLIER)
+    }
+
+    /// Giant-size threshold for `n` nodes: `β·ln² n` (natural log; the
+    /// asymptotic statement is base-independent).
+    pub fn giant_threshold(&self, n: usize) -> f64 {
+        let l = (n.max(2) as f64).ln();
+        self.beta * l * l
+    }
+}
+
+/// Outcome of an EOPT run.
+#[derive(Debug, Clone)]
+pub struct EoptOutcome {
+    /// The constructed tree — the exact MST of `G(points, r₂)` when that
+    /// graph is connected.
+    pub tree: SpanningTree,
+    /// Aggregate energy/messages/rounds (per-step attribution lives in the
+    /// ledger under the `eopt1/`, `eopt2/` prefixes).
+    pub stats: RunStats,
+    /// GHS phases executed in step 1.
+    pub phases_step1: usize,
+    /// GHS phases executed in step 2 (excluding any recovery pass).
+    pub phases_step2: usize,
+    /// Fragments remaining after step 1.
+    pub fragments_after_step1: usize,
+    /// Size of the largest fragment after step 1.
+    pub largest_fragment: usize,
+    /// Number of fragments that crossed the giant threshold.
+    pub giants_declared: usize,
+    /// Whether the beyond-paper recovery pass had to run.
+    pub recovery_used: bool,
+    /// Fragments remaining at the end (1 iff `G(points, r₂)` is connected).
+    pub fragment_count: usize,
+}
+
+/// Runs EOPT with the §VII parameters.
+///
+/// ```
+/// use emst_geom::{trial_rng, uniform_points};
+/// let pts = uniform_points(150, &mut trial_rng(1, 0));
+/// let out = emst_core::run_eopt(&pts);
+/// assert!(out.tree.is_valid());
+/// // The output is the exact MST whenever the instance is connected.
+/// if out.fragment_count == 1 {
+///     assert!(out.tree.same_edges(&emst_graph::euclidean_mst(&pts)));
+/// }
+/// ```
+pub fn run_eopt(points: &[Point]) -> EoptOutcome {
+    run_eopt_with(points, &EoptConfig::default())
+}
+
+/// Runs EOPT with explicit parameters.
+pub fn run_eopt_with(points: &[Point], cfg: &EoptConfig) -> EoptOutcome {
+    run_eopt_configured(points, cfg, emst_radio::EnergyConfig::paper())
+}
+
+/// [`run_eopt_with`] under an explicit energy configuration (extended
+/// rx/idle model of §VIII).
+pub fn run_eopt_configured(
+    points: &[Point],
+    cfg: &EoptConfig,
+    energy: emst_radio::EnergyConfig,
+) -> EoptOutcome {
+    let n = points.len();
+    // `ln 1 = 0` would degenerate the connectivity radius; clamp the size
+    // used for radii so single-node instances still get positive power.
+    let r1 = cfg.radius1(n.max(2));
+    let r2 = cfg.radius2(n.max(2)).max(r1);
+    let mut net = RadioNet::with_config(points, r2.max(r1), energy);
+
+    let (tree, outcome_parts) = {
+        let mut eng = GhsEngine::new(&mut net, GhsVariant::Modified);
+
+        // Step 1: percolation-regime GHS.
+        eng.discover(r1, &EOPT1_KINDS);
+        let phases_step1 = eng.run_phases(&EOPT1_KINDS);
+        let fragments_after_step1 = eng.fragment_count();
+        let largest_fragment = eng.fragment_sizes().first().copied().unwrap_or(0);
+
+        // Step 2 preamble: size computation and giant declaration.
+        let rows = eng.classify_passive_by_size(cfg.giant_threshold(n.max(2)), &EOPT1_KINDS);
+        let giants_declared = rows.iter().filter(|r| r.2).count();
+
+        // Step 2: connectivity-regime GHS with passive giant(s). The hello
+        // broadcast doubles as the fresh id announcement at the new radius.
+        eng.discover(r2, &EOPT2_KINDS);
+        let phases_step2 = eng.run_phases(&EOPT2_KINDS);
+
+        // Recovery (beyond the paper): multiple passive giants can stall.
+        let mut recovery_used = false;
+        if eng.fragment_count() > 1 && giants_declared > 1 {
+            recovery_used = true;
+            eng.clear_passive();
+            eng.run_phases(&EOPT2_KINDS);
+        }
+        let fragment_count = eng.fragment_count();
+        (
+            eng.tree(),
+            (
+                phases_step1,
+                phases_step2,
+                fragments_after_step1,
+                largest_fragment,
+                giants_declared,
+                recovery_used,
+                fragment_count,
+            ),
+        )
+    };
+    let (
+        phases_step1,
+        phases_step2,
+        fragments_after_step1,
+        largest_fragment,
+        giants_declared,
+        recovery_used,
+        fragment_count,
+    ) = outcome_parts;
+    EoptOutcome {
+        tree,
+        stats: RunStats::capture(&net),
+        phases_step1,
+        phases_step2,
+        fragments_after_step1,
+        largest_fragment,
+        giants_declared,
+        recovery_used,
+        fragment_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_geom::{trial_rng, uniform_points};
+    use emst_graph::{kruskal_forest, Graph};
+
+    #[test]
+    fn eopt_builds_exact_mst_of_connectivity_graph() {
+        for seed in 0..4 {
+            let pts = uniform_points(300, &mut trial_rng(201, seed));
+            let out = run_eopt(&pts);
+            let cfg = EoptConfig::default();
+            let g = Graph::geometric(&pts, cfg.radius2(300));
+            let reference = SpanningTree::new(300, kruskal_forest(&g));
+            assert!(
+                out.tree.same_edges(&reference),
+                "seed {seed}: EOPT differs from Kruskal"
+            );
+        }
+    }
+
+    #[test]
+    fn eopt_matches_euclidean_mst_when_connected() {
+        let pts = uniform_points(400, &mut trial_rng(202, 0));
+        let out = run_eopt(&pts);
+        if out.fragment_count == 1 {
+            let emst = emst_graph::euclidean_mst(&pts);
+            assert!(out.tree.same_edges(&emst), "EOPT must be the exact MST");
+        }
+    }
+
+    #[test]
+    fn step1_leaves_giant_and_small_fragments() {
+        let pts = uniform_points(2000, &mut trial_rng(203, 0));
+        let out = run_eopt(&pts);
+        // At c₁ = 1.96 the giant holds a constant fraction of nodes.
+        assert!(
+            out.largest_fragment > 2000 / 10,
+            "giant too small: {}",
+            out.largest_fragment
+        );
+        assert!(out.fragments_after_step1 > 1);
+        assert!(out.giants_declared >= 1);
+    }
+
+    #[test]
+    fn eopt_uses_less_energy_than_ghs() {
+        let pts = uniform_points(1500, &mut trial_rng(204, 0));
+        let out = run_eopt(&pts);
+        let ghs = crate::ghs::run_ghs(
+            &pts,
+            EoptConfig::default().radius2(1500),
+            GhsVariant::Original,
+        );
+        assert!(
+            out.stats.energy < ghs.stats.energy,
+            "EOPT {} vs GHS {}",
+            out.stats.energy,
+            ghs.stats.energy
+        );
+    }
+
+    #[test]
+    fn energy_attribution_covers_both_steps() {
+        let pts = uniform_points(500, &mut trial_rng(205, 0));
+        let out = run_eopt(&pts);
+        let e1 = out.stats.ledger.energy_with_prefix("eopt1/");
+        let e2 = out.stats.ledger.energy_with_prefix("eopt2/");
+        assert!(e1 > 0.0 && e2 > 0.0);
+        assert!((e1 + e2 - out.stats.energy).abs() < 1e-9);
+        // Step-1 messages are cheap: mean energy per message far below the
+        // step-2 mean (r₁² ≪ r₂²).
+        let m1 = out.stats.ledger.messages_with_prefix("eopt1/") as f64;
+        let m2 = out.stats.ledger.messages_with_prefix("eopt2/") as f64;
+        assert!(e1 / m1 < e2 / m2);
+    }
+
+    #[test]
+    fn tiny_instances() {
+        for n in [1usize, 2, 3, 5] {
+            let pts = uniform_points(n, &mut trial_rng(206, n as u64));
+            let out = run_eopt(&pts);
+            // At tiny n the graph may be disconnected; the tree must still
+            // be a valid forest (edge count n − fragments).
+            assert_eq!(
+                out.tree.edges().len(),
+                n - out.fragment_count,
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn config_radii_scale_correctly() {
+        let cfg = EoptConfig {
+            phase1_multiplier: 2.8,
+            phase2_multiplier: 3.2,
+            beta: 2.0,
+        };
+        let n = 100;
+        assert!((cfg.radius1(n) - 2.8 * (1.0 / 100.0f64).sqrt()).abs() < 1e-12);
+        assert!((cfg.radius2(n) - 3.2 * ((100.0f64).ln() / 100.0).sqrt()).abs() < 1e-12);
+        let l = (100f64).ln();
+        assert!((cfg.giant_threshold(n) - 2.0 * l * l).abs() < 1e-12);
+    }
+}

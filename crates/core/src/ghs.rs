@@ -1,0 +1,948 @@
+//! The GHS family: synchronous Gallager–Humblet–Spira MST construction,
+//! in the original (test/accept/reject) and modified (neighbour-cache,
+//! §V-A) variants.
+//!
+//! ## Phase structure
+//!
+//! Execution proceeds in Borůvka-style phases under the standard
+//! synchroniser abstraction (the variant the authors simulate in §VII).
+//! Per phase, every *active* fragment runs:
+//!
+//! 1. **Initiate** — the leader broadcasts along the fragment tree
+//!    (`size−1` messages, `depth` rounds);
+//! 2. **MOE search** — each member finds its minimum outgoing edge:
+//!    *original*: probe incident edges in ascending weight order with
+//!    test/accept/reject exchanges (2 messages each; a rejected edge is
+//!    marked on both sides and never re-tested — fragments only grow);
+//!    *modified*: a free lookup in the cached neighbour fragment table
+//!    (§V-A), kept exact by announcements;
+//! 3. **Report** — convergecast of candidates to the leader
+//!    (`size−1` messages, `depth` rounds);
+//! 4. **Change-root + connect** — the leader forwards authority along the
+//!    tree path to the MOE endpoint, which sends *connect* over the MOE;
+//! 5. **Merge** — fragments joined by connect edges coalesce; the new
+//!    fragment id is the higher endpoint of the merge's core edge, or the
+//!    passive (giant) fragment's id when one is involved, so giant members
+//!    never re-announce (§V-A's second technique);
+//! 6. **Announce** (*modified only*) — every node whose fragment id changed
+//!    makes one local broadcast at the operating radius; receivers update
+//!    their caches.
+//!
+//! All messages are charged hop-by-hop at true distances; the round clock
+//! advances by the depth of each broadcast/convergecast stage (fragments
+//! progress in parallel, so stages cost the *maximum* depth over active
+//! fragments).
+//!
+//! ## Correctness
+//!
+//! Every added edge is the minimum outgoing edge of some fragment at the
+//! time of addition, so by the cut property the final forest is the minimum
+//! spanning forest of the visible graph `G(points, radius)` — tests verify
+//! agreement with Kruskal edge-for-edge. The two-phase EOPT algorithm
+//! (`crate::eopt`) drives this same engine at two radii.
+
+use crate::discovery::{discover, NeighborTable};
+use emst_graph::{Edge, SpanningTree};
+use emst_radio::{RadioNet, RunStats};
+use std::collections::{BTreeMap, HashMap};
+
+/// Which MOE-search mechanism to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GhsVariant {
+    /// Classical GHS: test/accept/reject message exchanges.
+    Original,
+    /// §V-A modified GHS: neighbour fragment-id cache + announcements.
+    Modified,
+}
+
+/// Message-kind labels for one GHS execution, so composite algorithms
+/// (EOPT) can attribute energy per step.
+#[derive(Debug, Clone, Copy)]
+pub struct GhsKinds {
+    /// Hello/announce broadcast that seeds discovery and the id caches.
+    pub hello: &'static str,
+    /// Initiate broadcast along fragment trees.
+    pub initiate: &'static str,
+    /// Test/accept/reject exchanges (original variant only).
+    pub test: &'static str,
+    /// Report convergecast.
+    pub report: &'static str,
+    /// Change-root forwarding.
+    pub chroot: &'static str,
+    /// Connect over the chosen MOE.
+    pub connect: &'static str,
+    /// Fragment-id announcements (modified variant only).
+    pub announce: &'static str,
+    /// Fragment-size computation traffic (EOPT step 2 preamble).
+    pub size: &'static str,
+}
+
+/// Kind labels for a standalone GHS run.
+pub const GHS_KINDS: GhsKinds = GhsKinds {
+    hello: "ghs/hello",
+    initiate: "ghs/initiate",
+    test: "ghs/test",
+    report: "ghs/report",
+    chroot: "ghs/chroot",
+    connect: "ghs/connect",
+    announce: "ghs/announce",
+    size: "ghs/size",
+};
+
+/// Kind labels for EOPT step 1.
+pub const EOPT1_KINDS: GhsKinds = GhsKinds {
+    hello: "eopt1/hello",
+    initiate: "eopt1/initiate",
+    test: "eopt1/test",
+    report: "eopt1/report",
+    chroot: "eopt1/chroot",
+    connect: "eopt1/connect",
+    announce: "eopt1/announce",
+    size: "eopt1/size",
+};
+
+/// Kind labels for EOPT step 2.
+pub const EOPT2_KINDS: GhsKinds = GhsKinds {
+    hello: "eopt2/hello",
+    initiate: "eopt2/initiate",
+    test: "eopt2/test",
+    report: "eopt2/report",
+    chroot: "eopt2/chroot",
+    connect: "eopt2/connect",
+    announce: "eopt2/announce",
+    size: "eopt2/size",
+};
+
+/// One cached neighbour entry.
+#[derive(Debug, Clone, Copy)]
+struct Nbr {
+    id: u32,
+    dist: f64,
+    /// Cached fragment id of this neighbour (modified variant; kept exact
+    /// by announcements).
+    frag: u32,
+    /// Permanently rejected (both endpoints known to share a fragment).
+    rejected: bool,
+}
+
+/// A candidate outgoing edge `(w, u, v)` with the global tie-break order
+/// `(w, min(u,v), max(u,v))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cand {
+    w: f64,
+    u: u32,
+    v: u32,
+}
+
+impl Cand {
+    fn key(&self) -> (f64, u32, u32) {
+        let (a, b) = if self.u < self.v {
+            (self.u, self.v)
+        } else {
+            (self.v, self.u)
+        };
+        (self.w, a, b)
+    }
+
+    fn better_than(&self, other: &Cand) -> bool {
+        let (sw, sa, sb) = self.key();
+        let (ow, oa, ob) = other.key();
+        sw.total_cmp(&ow).then_with(|| (sa, sb).cmp(&(oa, ob))) == std::cmp::Ordering::Less
+    }
+}
+
+/// The synchronous GHS engine over a [`RadioNet`].
+///
+/// Constructed with singleton fragments; [`GhsEngine::discover`] seeds
+/// neighbour tables (and, for the modified variant, the id caches) at a
+/// given radius; [`GhsEngine::run_phases`] merges fragments to quiescence.
+/// EOPT calls `discover` twice with different radii around a passivation
+/// step.
+pub struct GhsEngine<'a, 'n> {
+    net: &'n mut RadioNet<'a>,
+    variant: GhsVariant,
+    radius: f64,
+    /// Fragment id per node (the id of some node — the fragment leader).
+    frag: Vec<u32>,
+    /// Parent in the fragment tree; `parent[u] == u` for leaders.
+    parent: Vec<u32>,
+    children: Vec<Vec<u32>>,
+    nbrs: Vec<Vec<Nbr>>,
+    /// `nbr_index[u][v]` = position of `v` in `nbrs[u]`.
+    nbr_index: Vec<HashMap<u32, u32>>,
+    /// Accumulated tree adjacency (for re-rooting after merges).
+    tree_adj: Vec<Vec<(u32, f64)>>,
+    tree_edges: Vec<Edge>,
+    /// Fragments that do not search for MOEs (the giant in EOPT step 2).
+    passive: std::collections::HashSet<u32>,
+    /// Fragments with no outgoing edge at the current radius.
+    inactive: std::collections::HashSet<u32>,
+    phases: usize,
+}
+
+impl<'a, 'n> GhsEngine<'a, 'n> {
+    /// Fresh engine: every node is its own single-node fragment.
+    pub fn new(net: &'n mut RadioNet<'a>, variant: GhsVariant) -> Self {
+        let n = net.n();
+        GhsEngine {
+            net,
+            variant,
+            radius: 0.0,
+            frag: (0..n as u32).collect(),
+            parent: (0..n as u32).collect(),
+            children: vec![Vec::new(); n],
+            nbrs: vec![Vec::new(); n],
+            nbr_index: vec![HashMap::new(); n],
+            tree_adj: vec![Vec::new(); n],
+            tree_edges: Vec::new(),
+            passive: Default::default(),
+            inactive: Default::default(),
+            phases: 0,
+        }
+    }
+
+    /// Number of executed merge phases so far.
+    pub fn phases(&self) -> usize {
+        self.phases
+    }
+
+    /// Fragment id of node `u`.
+    pub fn frag_of(&self, u: usize) -> usize {
+        self.frag[u] as usize
+    }
+
+    /// The accumulated spanning forest.
+    pub fn tree(&self) -> SpanningTree {
+        SpanningTree::new(self.net.n(), self.tree_edges.clone())
+    }
+
+    /// Members per fragment, keyed by fragment id (sorted map so that all
+    /// iteration — and therefore floating-point energy summation — is
+    /// deterministic).
+    pub fn fragments(&self) -> BTreeMap<u32, Vec<u32>> {
+        let mut m: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for (u, &f) in self.frag.iter().enumerate() {
+            m.entry(f).or_default().push(u as u32);
+        }
+        m
+    }
+
+    /// Current number of fragments.
+    pub fn fragment_count(&self) -> usize {
+        self.fragments().len()
+    }
+
+    /// Sorted (descending) fragment sizes.
+    pub fn fragment_sizes(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.fragments().values().map(|m| m.len()).collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+
+    /// Ids of fragments currently marked passive.
+    pub fn passive_fragments(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.passive.iter().map(|&f| f as usize).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Clears all passivity (EOPT's recovery pass).
+    pub fn clear_passive(&mut self) {
+        self.passive.clear();
+        self.inactive.clear();
+    }
+
+    /// Seeds the engine with an existing forest: the given `(u, v, w)`
+    /// edges become fragment-internal tree edges with **no radio traffic**
+    /// — used for repair scenarios where surviving nodes already know
+    /// their tree neighbours from an earlier construction. Each seeded
+    /// fragment's id/leader is its maximum member id. Must be called on a
+    /// fresh engine (before any phases); the edges must form a forest.
+    pub fn seed_forest(&mut self, edges: &[(usize, usize, f64)]) {
+        assert_eq!(self.phases, 0, "seed_forest requires a fresh engine");
+        let n = self.net.n();
+        let mut uf = emst_graph::UnionFind::new(n);
+        for &(u, v, w) in edges {
+            assert!(uf.union(u, v), "seed edges must form a forest");
+            self.tree_edges.push(Edge::new(u, v, w));
+            self.tree_adj[u].push((v as u32, w));
+            self.tree_adj[v].push((u as u32, w));
+        }
+        let (labels, sizes) = uf.labels();
+        let mut leader_of_label: Vec<u32> = vec![0; sizes.len()];
+        for (u, &l) in labels.iter().enumerate() {
+            leader_of_label[l] = leader_of_label[l].max(u as u32);
+        }
+        for (u, &l) in labels.iter().enumerate() {
+            self.frag[u] = leader_of_label[l];
+        }
+        for &leader in &leader_of_label {
+            self.reroot(leader);
+        }
+    }
+
+    /// Neighbour discovery + id announcement at `radius`: every node makes
+    /// one local broadcast carrying its id and current fragment id
+    /// (`O(log n)`-bit payload). One synchronous round, `n` messages.
+    /// Resets reject marks and the exhausted-fragment set — a larger radius
+    /// can expose new outgoing edges.
+    pub fn discover(&mut self, radius: f64, kinds: &GhsKinds) {
+        assert!(radius > 0.0, "discovery radius must be positive");
+        self.radius = radius;
+        let table: NeighborTable = discover(self.net, radius, kinds.hello);
+        let n = table.len();
+        for u in 0..n {
+            self.nbrs[u] = table[u]
+                .iter()
+                .map(|nb| Nbr {
+                    id: nb.id,
+                    dist: nb.dist,
+                    frag: self.frag[nb.id as usize],
+                    rejected: false,
+                })
+                .collect();
+            self.nbr_index[u] = self
+                .nbrs[u]
+                .iter()
+                .enumerate()
+                .map(|(i, nb)| (nb.id, i as u32))
+                .collect();
+        }
+        self.inactive.clear();
+    }
+
+    /// Depth of the fragment tree rooted at `leader` (via child lists).
+    fn depth(&self, leader: u32) -> u64 {
+        let mut depth = 0u64;
+        let mut frontier = vec![leader];
+        let mut next = Vec::new();
+        loop {
+            next.clear();
+            for &u in &frontier {
+                next.extend_from_slice(&self.children[u as usize]);
+            }
+            if next.is_empty() {
+                return depth;
+            }
+            depth += 1;
+            std::mem::swap(&mut frontier, &mut next);
+        }
+    }
+
+    /// Charges one message per tree edge of `members` in the top-down
+    /// direction (initiate-style broadcast); returns the fragment depth.
+    fn charge_broadcast(&mut self, members: &[u32], kind: &'static str) {
+        for &u in members {
+            let p = self.parent[u as usize];
+            if p != u {
+                self.net.unicast(p as usize, u as usize, kind);
+            }
+        }
+    }
+
+    /// Charges one message per tree edge in the bottom-up direction
+    /// (report-style convergecast).
+    fn charge_convergecast(&mut self, members: &[u32], kind: &'static str) {
+        for &u in members {
+            let p = self.parent[u as usize];
+            if p != u {
+                self.net.unicast(u as usize, p as usize, kind);
+            }
+        }
+    }
+
+    /// Local MOE of node `u` under the modified variant: a pure cache
+    /// lookup, zero messages. The neighbour list is distance-sorted, so the
+    /// first foreign entry is the minimum outgoing edge.
+    fn local_moe_modified(&self, u: usize) -> Option<Cand> {
+        let my = self.frag[u];
+        self.nbrs[u]
+            .iter()
+            .find(|nb| nb.frag != my)
+            .map(|nb| Cand {
+                w: nb.dist,
+                u: u as u32,
+                v: nb.id,
+            })
+    }
+
+    /// Local MOE of node `u` under the original variant: probe unrejected
+    /// edges in ascending weight order with test/accept/reject exchanges.
+    /// Returns the candidate and the number of exchanges performed.
+    fn local_moe_original(&mut self, u: usize, kinds: &GhsKinds) -> (Option<Cand>, u64) {
+        let my = self.frag[u];
+        let mut exchanges = 0u64;
+        let mut found = None;
+        for i in 0..self.nbrs[u].len() {
+            let nb = self.nbrs[u][i];
+            if nb.rejected {
+                continue;
+            }
+            // test -> accept/reject exchange, 2 messages at distance d.
+            self.net.exchange(u, nb.id as usize, kinds.test);
+            exchanges += 1;
+            if self.frag[nb.id as usize] == my {
+                // Reject: mark on both sides, permanently.
+                self.nbrs[u][i].rejected = true;
+                let back = self.nbr_index[nb.id as usize][&(u as u32)] as usize;
+                self.nbrs[nb.id as usize][back].rejected = true;
+            } else {
+                found = Some(Cand {
+                    w: nb.dist,
+                    u: u as u32,
+                    v: nb.id,
+                });
+                break;
+            }
+        }
+        (found, exchanges)
+    }
+
+    /// Executes one phase. Returns the number of fragment merges performed
+    /// (0 means the engine has quiesced at this radius).
+    fn phase(&mut self, kinds: &GhsKinds) -> usize {
+        let frags = self.fragments();
+        let active: Vec<(u32, &Vec<u32>)> = frags
+            .iter()
+            .filter(|(f, _)| !self.passive.contains(f) && !self.inactive.contains(f))
+            .map(|(&f, m)| (f, m))
+            .collect();
+        if active.is_empty() {
+            return 0;
+        }
+        self.phases += 1;
+
+        // Stage A: initiate broadcasts.
+        let mut max_depth = 0u64;
+        let active_owned: Vec<(u32, Vec<u32>)> =
+            active.iter().map(|(f, m)| (*f, (*m).clone())).collect();
+        for (f, members) in &active_owned {
+            max_depth = max_depth.max(self.depth(*f));
+            self.charge_broadcast(members, kinds.initiate);
+        }
+        self.net.advance_rounds(max_depth);
+
+        // Stage B: local MOE search.
+        let mut local: BTreeMap<u32, Cand> = BTreeMap::new(); // best per fragment
+        let mut max_exchanges = 0u64;
+        for (f, members) in &active_owned {
+            for &u in members {
+                let (cand, ex) = match self.variant {
+                    GhsVariant::Modified => (self.local_moe_modified(u as usize), 0),
+                    GhsVariant::Original => self.local_moe_original(u as usize, kinds),
+                };
+                max_exchanges = max_exchanges.max(ex);
+                if let Some(c) = cand {
+                    match local.get(f) {
+                        Some(best) if !c.better_than(best) => {}
+                        _ => {
+                            local.insert(*f, c);
+                        }
+                    }
+                }
+            }
+        }
+        self.net.advance_rounds(2 * max_exchanges);
+
+        // Stage C: report convergecasts.
+        for (_, members) in &active_owned {
+            self.charge_convergecast(members, kinds.report);
+        }
+        self.net.advance_rounds(max_depth);
+
+        // Fragments with no outgoing edge are exhausted at this radius.
+        for (f, _) in &active_owned {
+            if !local.contains_key(f) {
+                self.inactive.insert(*f);
+            }
+        }
+        if local.is_empty() {
+            return 0;
+        }
+
+        // Stage D: change-root along the leader→endpoint path, then connect.
+        let mut max_path = 0u64;
+        for (f, cand) in &local {
+            // Path from the MOE endpoint up to the leader.
+            let mut path = vec![cand.u];
+            let mut cur = cand.u;
+            while cur != *f {
+                cur = self.parent[cur as usize];
+                path.push(cur);
+            }
+            max_path = max_path.max(path.len() as u64 - 1);
+            // Authority flows leader → endpoint.
+            for pair in path.windows(2) {
+                self.net
+                    .unicast(pair[1] as usize, pair[0] as usize, kinds.chroot);
+            }
+            self.net
+                .unicast(cand.u as usize, cand.v as usize, kinds.connect);
+        }
+        self.net.advance_rounds(max_path + 1);
+
+        // Stage E: merge bookkeeping (no messages).
+        let merges = self.merge(&local);
+
+        // Stage F: announcements (modified variant).
+        if self.variant == GhsVariant::Modified {
+            let changed: Vec<u32> = merges.changed;
+            if !changed.is_empty() {
+                for &u in &changed {
+                    let new_frag = self.frag[u as usize];
+                    let receivers = self.net.local_broadcast(u as usize, self.radius, kinds.announce);
+                    for (v, _) in receivers {
+                        if let Some(&idx) = self.nbr_index[v].get(&u) {
+                            self.nbrs[v][idx as usize].frag = new_frag;
+                        }
+                    }
+                }
+                self.net.advance_rounds(1);
+            }
+        }
+        merges.merged_groups
+    }
+
+    /// Coalesces fragments along the chosen connect edges. Returns the
+    /// nodes whose fragment id changed and the number of merged groups.
+    fn merge(&mut self, chosen: &BTreeMap<u32, Cand>) -> MergeResult {
+        // Union-find over fragment ids (dense map).
+        let frags = self.fragments();
+        let ids: Vec<u32> = frags.keys().copied().collect();
+        let index: HashMap<u32, usize> = ids.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+        let mut uf = emst_graph::UnionFind::new(ids.len());
+        for (f, cand) in chosen {
+            let g = self.frag[cand.v as usize];
+            uf.union(index[f], index[&g]);
+        }
+        // Deduplicate connect edges (mutual choice of the same edge).
+        let mut new_edges: Vec<Edge> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for cand in chosen.values() {
+            let (a, b) = if cand.u < cand.v {
+                (cand.u, cand.v)
+            } else {
+                (cand.v, cand.u)
+            };
+            if seen.insert((a, b)) {
+                new_edges.push(Edge::new(a as usize, b as usize, cand.w));
+            }
+        }
+        // Group fragments.
+        let mut groups: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+        for &f in &ids {
+            groups.entry(uf.find(index[&f])).or_default().push(f);
+        }
+        // Record new tree edges.
+        for e in &new_edges {
+            self.tree_adj[e.u as usize].push((e.v, e.w));
+            self.tree_adj[e.v as usize].push((e.u, e.w));
+            self.tree_edges.push(*e);
+        }
+        let mut changed: Vec<u32> = Vec::new();
+        let mut merged_groups = 0usize;
+        for group in groups.values() {
+            if group.len() < 2 {
+                continue;
+            }
+            merged_groups += 1;
+            // New fragment id: a passive member's id if present (the giant
+            // keeps its id), else the higher endpoint of the group's core
+            // edge (its minimum chosen edge, which both sides selected).
+            let passives: Vec<u32> = group
+                .iter()
+                .copied()
+                .filter(|f| self.passive.contains(f))
+                .collect();
+            assert!(
+                passives.len() <= 1,
+                "two passive fragments cannot be joined (no fragment chose \
+                 an edge out of a passive one): {passives:?}"
+            );
+            let new_id = if let Some(&p) = passives.first() {
+                p
+            } else {
+                let core = group
+                    .iter()
+                    .filter_map(|f| chosen.get(f))
+                    .min_by(|a, b| a.key().0.total_cmp(&b.key().0).then_with(|| {
+                        let ka = (a.key().1, a.key().2);
+                        let kb = (b.key().1, b.key().2);
+                        ka.cmp(&kb)
+                    }))
+                    .expect("non-trivial group has at least one chosen edge");
+                core.u.max(core.v)
+            };
+            // Relabel members and re-root the merged tree at the new leader.
+            let mut members: Vec<u32> = Vec::new();
+            for f in group {
+                members.extend_from_slice(&frags[f]);
+                self.inactive.remove(f);
+                if self.passive.contains(f) && *f != new_id {
+                    // The passive flag follows the surviving id.
+                    self.passive.remove(f);
+                    self.passive.insert(new_id);
+                }
+            }
+            for &u in &members {
+                if self.frag[u as usize] != new_id {
+                    self.frag[u as usize] = new_id;
+                    changed.push(u);
+                }
+            }
+            self.reroot(new_id);
+        }
+        MergeResult {
+            changed,
+            merged_groups,
+        }
+    }
+
+    /// Re-roots the fragment containing `leader` at `leader` by BFS over
+    /// the accumulated tree adjacency, rebuilding parent/child pointers.
+    fn reroot(&mut self, leader: u32) {
+        let mut visited = std::collections::HashSet::new();
+        visited.insert(leader);
+        self.parent[leader as usize] = leader;
+        self.children[leader as usize].clear();
+        let mut queue = std::collections::VecDeque::from([leader]);
+        while let Some(u) = queue.pop_front() {
+            let nbrs: Vec<u32> = self.tree_adj[u as usize].iter().map(|&(v, _)| v).collect();
+            for v in nbrs {
+                if visited.insert(v) {
+                    self.parent[v as usize] = u;
+                    self.children[v as usize].clear();
+                    self.children[u as usize].push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+
+    /// Runs phases until no active fragment can merge. Returns the number
+    /// of phases executed by this call.
+    pub fn run_phases(&mut self, kinds: &GhsKinds) -> usize {
+        // A phase with zero merges means no active fragment found an
+        // outgoing edge (any found edge merges something), so every active
+        // fragment was just marked exhausted and the engine has quiesced at
+        // this radius.
+        let before = self.phases;
+        while self.phase(kinds) > 0 {}
+        self.phases - before
+    }
+
+    /// EOPT step-2 preamble: every fragment computes its size by a
+    /// broadcast + convergecast along its tree and the leader's verdict is
+    /// broadcast back (`3·(size−1)` messages per fragment, `3·depth`
+    /// rounds). Fragments larger than `threshold` become passive. Returns
+    /// `(fragment id, size, passive?)` rows.
+    pub fn classify_passive_by_size(
+        &mut self,
+        threshold: f64,
+        kinds: &GhsKinds,
+    ) -> Vec<(usize, usize, bool)> {
+        let frags = self.fragments();
+        let mut rows = Vec::new();
+        let mut max_depth = 0u64;
+        let owned: Vec<(u32, Vec<u32>)> = frags.into_iter().collect();
+        for (f, members) in &owned {
+            max_depth = max_depth.max(self.depth(*f));
+            self.charge_broadcast(members, kinds.size); // size request
+            self.charge_convergecast(members, kinds.size); // partial sums
+            self.charge_broadcast(members, kinds.size); // verdict
+            let passive = members.len() as f64 > threshold;
+            if passive {
+                self.passive.insert(*f);
+            }
+            rows.push((*f as usize, members.len(), passive));
+        }
+        self.net.advance_rounds(3 * max_depth);
+        rows.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        rows
+    }
+}
+
+/// Internal result of a merge stage.
+struct MergeResult {
+    changed: Vec<u32>,
+    merged_groups: usize,
+}
+
+/// Outcome of a standalone GHS run.
+#[derive(Debug, Clone)]
+pub struct GhsOutcome {
+    /// The constructed forest (a spanning tree iff `G(points, radius)` is
+    /// connected).
+    pub tree: SpanningTree,
+    /// Energy/messages/rounds.
+    pub stats: RunStats,
+    /// Number of merge phases executed.
+    pub phases: usize,
+    /// Fragments remaining (1 for a connected instance).
+    pub fragment_count: usize,
+}
+
+/// Runs GHS (original or modified) at a fixed radius over `points`,
+/// including the initial neighbour-discovery broadcast.
+pub fn run_ghs(points: &[emst_geom::Point], radius: f64, variant: GhsVariant) -> GhsOutcome {
+    run_ghs_configured(points, radius, variant, emst_radio::EnergyConfig::paper())
+}
+
+/// [`run_ghs`] under an explicit energy configuration (extended rx/idle
+/// model of §VIII).
+pub fn run_ghs_configured(
+    points: &[emst_geom::Point],
+    radius: f64,
+    variant: GhsVariant,
+    energy: emst_radio::EnergyConfig,
+) -> GhsOutcome {
+    let mut net = RadioNet::with_config(points, radius, energy);
+    let (tree, phases, fragment_count) = {
+        let mut eng = GhsEngine::new(&mut net, variant);
+        eng.discover(radius, &GHS_KINDS);
+        eng.run_phases(&GHS_KINDS);
+        (eng.tree(), eng.phases(), eng.fragment_count())
+    };
+    GhsOutcome {
+        tree,
+        stats: RunStats::capture(&net),
+        phases,
+        fragment_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_geom::{paper_phase2_radius, trial_rng, uniform_points, Point};
+    use emst_graph::{kruskal_forest, Graph};
+
+    fn check_matches_kruskal(points: &[Point], radius: f64, variant: GhsVariant) -> GhsOutcome {
+        let out = run_ghs(points, radius, variant);
+        let g = Graph::geometric(points, radius);
+        let forest = kruskal_forest(&g);
+        let reference = SpanningTree::new(points.len(), forest);
+        assert!(
+            out.tree.same_edges(&reference),
+            "GHS {variant:?} tree differs from Kruskal forest (n={}, r={radius})",
+            points.len()
+        );
+        out
+    }
+
+    #[test]
+    fn modified_ghs_builds_exact_mst_small() {
+        let pts = uniform_points(60, &mut trial_rng(101, 0));
+        let r = paper_phase2_radius(60);
+        let out = check_matches_kruskal(&pts, r, GhsVariant::Modified);
+        assert!(out.phases >= 1);
+        assert!(out.stats.energy > 0.0);
+    }
+
+    #[test]
+    fn original_ghs_builds_exact_mst_small() {
+        let pts = uniform_points(60, &mut trial_rng(102, 0));
+        let r = paper_phase2_radius(60);
+        check_matches_kruskal(&pts, r, GhsVariant::Original);
+    }
+
+    #[test]
+    fn both_variants_agree_across_seeds() {
+        for seed in 0..4 {
+            let pts = uniform_points(150, &mut trial_rng(103, seed));
+            let r = paper_phase2_radius(150);
+            let a = run_ghs(&pts, r, GhsVariant::Modified);
+            let b = run_ghs(&pts, r, GhsVariant::Original);
+            assert!(a.tree.same_edges(&b.tree), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn disconnected_radius_yields_min_spanning_forest() {
+        let pts = uniform_points(200, &mut trial_rng(104, 0));
+        let r = emst_geom::paper_phase1_radius(200); // percolation regime
+        let out = check_matches_kruskal(&pts, r, GhsVariant::Modified);
+        assert!(out.fragment_count > 1, "phase-1 radius should not connect");
+    }
+
+    #[test]
+    fn modified_uses_fewer_messages_than_original() {
+        let pts = uniform_points(300, &mut trial_rng(105, 0));
+        let r = paper_phase2_radius(300);
+        let orig = run_ghs(&pts, r, GhsVariant::Original);
+        let modi = run_ghs(&pts, r, GhsVariant::Modified);
+        // Test traffic scales with |E|; announcements with n·phases. At the
+        // connectivity radius |E| ≫ n, so the modified variant must win on
+        // messages.
+        assert!(
+            modi.stats.messages < orig.stats.messages,
+            "modified {} vs original {}",
+            modi.stats.messages,
+            orig.stats.messages
+        );
+        // No test messages in the modified run, none rejected twice in the
+        // original one.
+        assert_eq!(modi.stats.ledger.kind("ghs/test").messages, 0);
+        assert!(orig.stats.ledger.kind("ghs/test").messages > 0);
+        // Announcements only in the modified run.
+        assert!(modi.stats.ledger.kind("ghs/announce").messages > 0);
+        assert_eq!(orig.stats.ledger.kind("ghs/announce").messages, 0);
+    }
+
+    #[test]
+    fn phase_count_is_logarithmic() {
+        let pts = uniform_points(500, &mut trial_rng(106, 0));
+        let r = paper_phase2_radius(500);
+        let out = run_ghs(&pts, r, GhsVariant::Modified);
+        assert!(
+            out.phases as f64 <= (500f64).log2() + 2.0,
+            "phases = {}",
+            out.phases
+        );
+    }
+
+    #[test]
+    fn two_nodes() {
+        let pts = vec![Point::new(0.4, 0.5), Point::new(0.6, 0.5)];
+        let out = run_ghs(&pts, 0.5, GhsVariant::Modified);
+        assert_eq!(out.tree.edges().len(), 1);
+        assert!(out.tree.is_valid());
+        assert_eq!(out.fragment_count, 1);
+    }
+
+    #[test]
+    fn single_node() {
+        let pts = vec![Point::new(0.5, 0.5)];
+        let out = run_ghs(&pts, 0.5, GhsVariant::Modified);
+        assert!(out.tree.is_valid());
+        assert_eq!(out.tree.edges().len(), 0);
+        assert_eq!(out.fragment_count, 1);
+    }
+
+    #[test]
+    fn original_rejects_each_edge_at_most_once() {
+        // Message bound: test messages ≤ 2·(2·|E|) + 2·n·phases
+        // (each edge rejected once per side, plus ≤1 accept probe per node
+        // per phase).
+        let pts = uniform_points(250, &mut trial_rng(107, 0));
+        let r = paper_phase2_radius(250);
+        let g = Graph::geometric(&pts, r);
+        let out = run_ghs(&pts, r, GhsVariant::Original);
+        let tests = out.stats.ledger.kind("ghs/test").messages;
+        let bound = 2 * (2 * g.m() as u64) + 2 * (250 * out.phases as u64);
+        assert!(tests <= bound, "tests {tests} > bound {bound}");
+    }
+
+    #[test]
+    fn rounds_and_energy_are_positive_and_finite() {
+        let pts = uniform_points(100, &mut trial_rng(108, 0));
+        let r = paper_phase2_radius(100);
+        let out = run_ghs(&pts, r, GhsVariant::Modified);
+        assert!(out.stats.rounds > 0);
+        assert!(out.stats.energy.is_finite() && out.stats.energy > 0.0);
+        assert!(out.stats.messages as usize >= 100); // at least the hellos
+    }
+
+    #[test]
+    fn seed_forest_preserves_fragments_and_completes_mst() {
+        use emst_radio::RadioNet;
+        let pts = uniform_points(120, &mut trial_rng(109, 0));
+        let r = paper_phase2_radius(120);
+        // First compute the true MST, then seed the engine with half of
+        // its edges: the run must complete it to the same tree (seeded
+        // MST edges are always consistent with the cut property).
+        let full = run_ghs(&pts, r, GhsVariant::Modified);
+        let seed_edges: Vec<(usize, usize, f64)> = full
+            .tree
+            .edges()
+            .iter()
+            .take(60)
+            .map(|e| (e.u as usize, e.v as usize, e.w))
+            .collect();
+        let mut net = RadioNet::new(&pts, r);
+        let (tree, frag_before) = {
+            let mut eng = GhsEngine::new(&mut net, GhsVariant::Modified);
+            eng.seed_forest(&seed_edges);
+            let before = eng.fragment_count();
+            eng.discover(r, &GHS_KINDS);
+            eng.run_phases(&GHS_KINDS);
+            (eng.tree(), before)
+        };
+        assert_eq!(frag_before, 120 - 60);
+        assert!(tree.same_edges(&full.tree), "seeded run must converge to the same MST");
+        // Cheaper than the full run (fewer phases of merging to do).
+        assert!(net.ledger().total_energy() < full.stats.energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "forest")]
+    fn seed_forest_rejects_cycles() {
+        use emst_radio::RadioNet;
+        let pts = uniform_points(4, &mut trial_rng(110, 0));
+        let mut net = RadioNet::new(&pts, 0.5);
+        let mut eng = GhsEngine::new(&mut net, GhsVariant::Modified);
+        eng.seed_forest(&[(0, 1, 0.1), (1, 2, 0.1), (2, 0, 0.1)]);
+    }
+
+    #[test]
+    fn passive_fragment_only_accepts_connections() {
+        use emst_radio::RadioNet;
+        // Build a full MST but mark the (single) final fragment passive
+        // halfway: classify with threshold 0 so every fragment becomes
+        // passive, then confirm run_phases makes no progress (passive
+        // fragments never search).
+        let pts = uniform_points(80, &mut trial_rng(111, 0));
+        let r = paper_phase2_radius(80);
+        let mut net = RadioNet::new(&pts, r);
+        let mut eng = GhsEngine::new(&mut net, GhsVariant::Modified);
+        eng.discover(r, &GHS_KINDS);
+        // All singletons; make everything passive.
+        let rows = eng.classify_passive_by_size(0.0, &GHS_KINDS);
+        assert!(rows.iter().all(|r| r.2), "threshold 0 ⇒ all passive");
+        let phases = eng.run_phases(&GHS_KINDS);
+        assert_eq!(phases, 0, "all-passive network must stay frozen");
+        assert_eq!(eng.fragment_count(), 80);
+        // Clearing passivity unfreezes the run.
+        eng.clear_passive();
+        eng.run_phases(&GHS_KINDS);
+        assert_eq!(eng.fragment_count(), 1);
+        assert!(eng.tree().is_valid());
+    }
+
+    #[test]
+    fn per_kind_attribution_is_complete() {
+        let pts = uniform_points(150, &mut trial_rng(112, 0));
+        let r = paper_phase2_radius(150);
+        let out = run_ghs(&pts, r, GhsVariant::Original);
+        let known = ["ghs/hello", "ghs/initiate", "ghs/test", "ghs/report",
+                     "ghs/chroot", "ghs/connect", "ghs/announce", "ghs/size"];
+        let sum: u64 = known.iter().map(|k| out.stats.ledger.kind(k).messages).sum();
+        assert_eq!(sum, out.stats.messages, "unattributed messages exist");
+        // Hello is exactly one broadcast per node.
+        assert_eq!(out.stats.ledger.kind("ghs/hello").messages, 150);
+        // A spanning run sends exactly n−1 connects plus duplicates for
+        // mutually-chosen core edges: between n−1 and 2(n−1).
+        let connects = out.stats.ledger.kind("ghs/connect").messages;
+        assert!((149..=298).contains(&connects), "connects = {connects}");
+    }
+
+    #[test]
+    fn deeper_fragments_cost_more_rounds() {
+        // A path-like instance (collinear points) yields deep fragment
+        // trees; rounds must exceed those of a compact instance of equal
+        // size.
+        let line: Vec<Point> = (0..60)
+            .map(|i| Point::new(0.05 + 0.015 * i as f64, 0.5))
+            .collect();
+        let blob = uniform_points(60, &mut trial_rng(113, 0));
+        let line_out = run_ghs(&line, 0.05, GhsVariant::Modified);
+        let blob_out = run_ghs(&blob, paper_phase2_radius(60), GhsVariant::Modified);
+        assert_eq!(line_out.fragment_count, 1);
+        assert!(
+            line_out.stats.rounds > blob_out.stats.rounds,
+            "line {} vs blob {}",
+            line_out.stats.rounds,
+            blob_out.stats.rounds
+        );
+    }
+}

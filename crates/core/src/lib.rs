@@ -1,0 +1,34 @@
+//! # emst-core — the paper's distributed MST algorithms
+//!
+//! Reproduction of the algorithmic contributions of *Energy-Optimal
+//! Distributed Algorithms for Minimum Spanning Trees* (Choi, Khan, Kumar,
+//! Pandurangan; SPAA'08 / IEEE JSAC'09), over the `emst-radio` simulator:
+//!
+//! * [`discovery`] — the initial hello broadcast through which nodes learn
+//!   neighbour distances (§II denies them a-priori edge weights);
+//! * [`ghs`] — synchronous GHS in the **original** (test/accept/reject)
+//!   and **modified** (§V-A neighbour-cache) variants; the original at the
+//!   connectivity radius is the paper's `Θ(log² n)`-energy baseline;
+//! * [`eopt`] — the **two-step energy-optimal algorithm** of §V:
+//!   percolation-radius GHS, giant detection, connectivity-radius GHS with
+//!   a passive giant; `O(log n)` expected energy, exact MST output;
+//! * [`nnt`] — **Co-NNT** (§VI): the coordinate-aware nearest-neighbour
+//!   tree with `O(1)` expected energy and constant MST approximation,
+//!   under both the diagonal rank (this paper) and the x-rank of \[15\].
+//!
+//! Every run returns its tree plus a [`emst_radio::RunStats`] with exact
+//! per-message-kind energy attribution.
+
+pub mod bfs_tree;
+pub mod discovery;
+pub mod election;
+pub mod eopt;
+pub mod ghs;
+pub mod nnt;
+
+pub use bfs_tree::{run_bfs_configured, run_bfs_tree, BfsNode, BfsOutcome};
+pub use election::{run_election_flood, run_election_tree, ElectionOutcome};
+pub use discovery::{discover, discover_reactive, HelloProtocol, Neighbor, NeighborTable};
+pub use eopt::{run_eopt, run_eopt_configured, run_eopt_with, EoptConfig, EoptOutcome};
+pub use ghs::{run_ghs, run_ghs_configured, GhsEngine, GhsKinds, GhsOutcome, GhsVariant, EOPT1_KINDS, EOPT2_KINDS, GHS_KINDS};
+pub use nnt::{run_nnt, run_nnt_configured, run_nnt_with, NntMsg, NntNode, NntOutcome, RankScheme};

@@ -1,0 +1,645 @@
+//! Co-NNT — the coordinate-aware nearest-neighbour-tree algorithm (§VI):
+//! `O(1)` expected energy, `O(n)` expected messages, constant-factor
+//! approximation to the MST.
+//!
+//! Every node `u` knows its own coordinates and connects to the *nearest
+//! node of higher rank*, where `rank(u) < rank(v)` iff
+//! `xᵤ+yᵤ < xᵥ+yᵥ` (ties by `y`) — the diagonal ranking introduced by this
+//! paper. To find that node, `u` transmits a *request* carrying its
+//! coordinates at doubling-area radii `rᵢ = √(2ⁱ/n)`, `i = 1, …,
+//! ⌈lg(n·Lᵤ²)⌉`, where `Lᵤ` is the *potential distance* — the distance to
+//! the farthest point of `u`'s potential region `Rᵤ` (the part of the unit
+//! square with higher rank). Any higher-ranked receiver unicasts a *reply*;
+//! `u` picks the nearest replier and sends a *connect*.
+//!
+//! The resulting edge set is acyclic (edges strictly increase rank) and
+//! spans all nodes except the globally highest-ranked one — a spanning
+//! tree. Theorem 6.1 shows `E[Σ|e|²] ≤ 4`, hence the constant
+//! approximation.
+//!
+//! The x-ranking of Khan et al. \[15\] (`rank` by `x`, ties by `y`) is also
+//! implemented for the A3 ablation: it achieves the same expected bounds
+//! but its worst nodes must probe `Θ(1)` distances, which is why §VI calls
+//! it unsuitable for the unit-disk regime — observable here as a much
+//! larger maximum edge length.
+//!
+//! This protocol runs on the reactive discrete-event engine: each probe
+//! phase occupies three synchronous rounds (request broadcast → replies →
+//! connect).
+
+use emst_geom::{diag_rank_less, nnt_probe_phases, nnt_probe_radius, x_rank_less, Point};
+use emst_graph::{Edge, SpanningTree};
+use emst_radio::{Ctx, Delivery, NodeProtocol, RadioNet, RunStats, SyncEngine};
+
+/// Which total order on nodes to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankScheme {
+    /// This paper's ranking: by `x + y`, ties by `y` (§VI).
+    Diagonal,
+    /// Khan et al. \[15\]: by `x`, ties by `y` (ablation baseline).
+    XOrder,
+    /// Coordinate-free ranking by node id — the NNT of Khan–Pandurangan
+    /// \[14\]/\[15\] that needs no location information but only guarantees an
+    /// `O(log n)` approximation (§III, Related Work). Included as the
+    /// related-work comparator: its nearest higher-ranked node can be
+    /// anywhere in the square.
+    NodeId,
+}
+
+impl RankScheme {
+    /// Strict rank order on `(id, position)` pairs.
+    #[inline]
+    pub fn less(&self, u: (usize, &Point), v: (usize, &Point)) -> bool {
+        match self {
+            RankScheme::Diagonal => diag_rank_less(u.1, v.1),
+            RankScheme::XOrder => x_rank_less(u.1, v.1),
+            RankScheme::NodeId => u.0 < v.0,
+        }
+    }
+
+    /// The potential distance `Lᵤ`: distance from `u` to the farthest point
+    /// of its potential region. The region is a convex polygon (half-plane
+    /// ∩ unit square), so the farthest point is one of its vertices.
+    pub fn potential_distance(&self, u: &Point) -> f64 {
+        let candidates: Vec<Point> = match self {
+            RankScheme::Diagonal => {
+                let s = u.x + u.y;
+                if s <= 1.0 {
+                    vec![
+                        Point::new(s, 0.0),
+                        Point::new(1.0, 0.0),
+                        Point::new(1.0, 1.0),
+                        Point::new(0.0, 1.0),
+                        Point::new(0.0, s),
+                    ]
+                } else {
+                    vec![
+                        Point::new(1.0, s - 1.0),
+                        Point::new(1.0, 1.0),
+                        Point::new(s - 1.0, 1.0),
+                    ]
+                }
+            }
+            RankScheme::XOrder => vec![
+                Point::new(u.x, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(1.0, 1.0),
+                Point::new(u.x, 1.0),
+            ],
+            // Without coordinates the higher-id node can sit anywhere.
+            RankScheme::NodeId => vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(0.0, 1.0),
+                Point::new(1.0, 1.0),
+            ],
+        };
+        candidates
+            .iter()
+            .map(|c| u.dist(c))
+            .fold(0.0, f64::max)
+    }
+
+    /// The potential area `Aᵤ`: area of the potential region (the part of
+    /// the unit square holding higher-ranked positions). For the id rank
+    /// the region is position-independent (the whole square).
+    pub fn potential_area(&self, u: &Point) -> f64 {
+        match self {
+            RankScheme::Diagonal => {
+                let s = u.x + u.y;
+                if s <= 1.0 {
+                    // Complement of the lower-left triangle below x+y = s.
+                    1.0 - s * s / 2.0
+                } else {
+                    // Upper-right triangle above x+y = s.
+                    let t = 2.0 - s;
+                    t * t / 2.0
+                }
+            }
+            RankScheme::XOrder => 1.0 - u.x,
+            RankScheme::NodeId => 1.0,
+        }
+    }
+
+    /// The potential angle `αᵤ = 2·Aᵤ/Lᵤ²` (§VI): the angle of a pie slice
+    /// of radius `Lᵤ` whose area equals the potential area. Lemma 6.1
+    /// proves `αᵤ ≥ 1/2` for the diagonal ranking — the key to the `O(1)`
+    /// energy bound. Returns +∞ for the degenerate top-ranked corner
+    /// (`Lᵤ = 0`).
+    pub fn potential_angle(&self, u: &Point) -> f64 {
+        let l = self.potential_distance(u);
+        if l <= 0.0 {
+            return f64::INFINITY;
+        }
+        2.0 * self.potential_area(u) / (l * l)
+    }
+}
+
+/// Protocol messages. Requests carry the sender's coordinates
+/// (`O(log n)` bits at fixed precision), which lets receivers compare
+/// ranks and aim their reply power exactly.
+#[derive(Debug, Clone)]
+pub enum NntMsg {
+    /// "Is anyone of higher rank in range?" with the sender's position.
+    Request(Point),
+    /// "I am; here I am." (Distance is measured physically on receipt.)
+    Reply,
+    /// "You are my parent."
+    Connect,
+}
+
+/// Per-node Co-NNT state machine.
+#[derive(Debug)]
+pub struct NntNode {
+    scheme: RankScheme,
+    /// Probe phases this node may use (from its potential distance).
+    max_phases: u32,
+    /// Next probe phase (1-based).
+    phase: u32,
+    /// Chosen parent and distance, once connected.
+    parent: Option<(usize, f64)>,
+    /// Number of probe phases actually transmitted.
+    phases_used: u32,
+    /// Replies received in the current phase.
+    best_reply: Option<(usize, f64)>,
+    exhausted: bool,
+}
+
+impl NntNode {
+    fn new(scheme: RankScheme, max_phases: u32) -> Self {
+        NntNode {
+            scheme,
+            max_phases,
+            phase: 1,
+            parent: None,
+            phases_used: 0,
+            best_reply: None,
+            exhausted: false,
+        }
+    }
+
+    /// The chosen parent, if any.
+    pub fn parent(&self) -> Option<(usize, f64)> {
+        self.parent
+    }
+
+    /// Probe phases transmitted by this node.
+    pub fn phases_used(&self) -> u32 {
+        self.phases_used
+    }
+}
+
+impl NodeProtocol for NntNode {
+    type Msg = NntMsg;
+
+    fn on_round(&mut self, inbox: &[Delivery<NntMsg>], ctx: &mut Ctx<'_, NntMsg>) {
+        let me = ctx.pos();
+        // Serve requests regardless of own progress: higher-ranked nodes
+        // must answer even after they have connected.
+        for d in inbox {
+            match &d.msg {
+                NntMsg::Request(sender_pos) => {
+                    if self.scheme.less((d.from, sender_pos), (ctx.me(), &me)) {
+                        ctx.unicast(d.from, "nnt/reply", NntMsg::Reply);
+                    }
+                }
+                NntMsg::Reply => {
+                    let better = match self.best_reply {
+                        None => true,
+                        Some((_, bd)) => d.dist < bd,
+                    };
+                    if better {
+                        self.best_reply = Some((d.from, d.dist));
+                    }
+                }
+                NntMsg::Connect => { /* parent side: nothing to do */ }
+            }
+        }
+        if self.parent.is_some() || self.exhausted {
+            return;
+        }
+        // Phase i spans rounds 3(i−1) (request), +1 (replies), +2 (connect).
+        let round = ctx.round();
+        let phase_round = round % 3;
+        let current = (round / 3 + 1) as u32;
+        match phase_round {
+            0 => {
+                if current == self.phase {
+                    if self.phase > self.max_phases {
+                        self.exhausted = true;
+                        return;
+                    }
+                    let r = nnt_probe_radius(self.phase, ctx.n().max(2));
+                    self.best_reply = None;
+                    self.phases_used += 1;
+                    ctx.broadcast(r, "nnt/request", NntMsg::Request(me));
+                }
+            }
+            2 => {
+                if current == self.phase {
+                    if let Some((p, d)) = self.best_reply.take() {
+                        ctx.unicast(p, "nnt/connect", NntMsg::Connect);
+                        self.parent = Some((p, d));
+                    } else {
+                        self.phase += 1;
+                        if self.phase > self.max_phases {
+                            self.exhausted = true;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.parent.is_some() || self.exhausted
+    }
+}
+
+/// Outcome of a Co-NNT run.
+#[derive(Debug, Clone)]
+pub struct NntOutcome {
+    /// The nearest-neighbour tree (valid spanning tree for ≥ 1 node under
+    /// either ranking with distinct coordinates).
+    pub tree: SpanningTree,
+    /// Energy/messages/rounds.
+    pub stats: RunStats,
+    /// Nodes that exhausted all probe phases without connecting — exactly
+    /// one (the top-ranked node) on distinct-coordinate instances.
+    pub unconnected: usize,
+    /// Maximum probe phases used by any node.
+    pub max_phases_used: u32,
+}
+
+/// Runs Co-NNT with the paper's diagonal ranking.
+///
+/// ```
+/// use emst_geom::{trial_rng, uniform_points};
+/// let pts = uniform_points(100, &mut trial_rng(2, 0));
+/// let out = emst_core::run_nnt(&pts);
+/// assert!(out.tree.is_valid());
+/// assert_eq!(out.unconnected, 1); // only the top-ranked node is free
+/// assert!(out.tree.cost(2.0) < 4.0); // Theorem 6.1's bound
+/// ```
+pub fn run_nnt(points: &[Point]) -> NntOutcome {
+    run_nnt_with(points, RankScheme::Diagonal)
+}
+
+/// Runs Co-NNT with an explicit ranking scheme.
+pub fn run_nnt_with(points: &[Point], scheme: RankScheme) -> NntOutcome {
+    run_nnt_configured(
+        points,
+        scheme,
+        emst_radio::EnergyConfig::paper(),
+        None,
+    )
+}
+
+/// [`run_nnt_with`] under an explicit energy configuration and, optionally,
+/// the slotted-ALOHA contention layer (§VIII).
+pub fn run_nnt_configured(
+    points: &[Point],
+    scheme: RankScheme,
+    energy: emst_radio::EnergyConfig,
+    contention: Option<emst_radio::ContentionConfig>,
+) -> NntOutcome {
+    let n = points.len();
+    if n == 0 {
+        return NntOutcome {
+            tree: SpanningTree::new(0, Vec::new()),
+            stats: RunStats::default(),
+            unconnected: 0,
+            max_phases_used: 0,
+        };
+    }
+    // Grid sized for the common early probe radius; larger probes still
+    // resolve correctly (they scan more cells).
+    let net = RadioNet::with_config(points, nnt_probe_radius(2, n.max(2)), energy);
+    let nodes: Vec<NntNode> = points
+        .iter()
+        .map(|p| {
+            let l = scheme.potential_distance(p);
+            NntNode::new(scheme, nnt_probe_phases(l, n.max(2)))
+        })
+        .collect();
+    let worst = nodes.iter().map(|nd| nd.max_phases).max().unwrap_or(1);
+    let mut eng = match contention {
+        Some(cfg) => SyncEngine::with_contention(net, nodes, cfg),
+        None => SyncEngine::new(net, nodes),
+    };
+    // run() counts logical rounds, which are MAC-agnostic.
+    eng.run(3 * worst as u64 + 6).expect("Co-NNT quiesces");
+    let (net, nodes) = eng.into_parts();
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    let mut unconnected = 0usize;
+    let mut max_phases_used = 0u32;
+    for (u, node) in nodes.iter().enumerate() {
+        max_phases_used = max_phases_used.max(node.phases_used());
+        match node.parent() {
+            Some((p, d)) => edges.push(Edge::new(u, p, d)),
+            None => unconnected += 1,
+        }
+    }
+    NntOutcome {
+        tree: SpanningTree::new(n, edges),
+        stats: RunStats::capture(&net),
+        unconnected,
+        max_phases_used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_geom::{trial_rng, uniform_points};
+
+    #[test]
+    fn potential_distance_known_points() {
+        let s = RankScheme::Diagonal;
+        // Origin: whole square is the potential region; farthest is (1,1).
+        assert!((s.potential_distance(&Point::new(0.0, 0.0)) - 2f64.sqrt()).abs() < 1e-12);
+        // (1,0): region is the upper triangle; farthest is (0,1).
+        assert!((s.potential_distance(&Point::new(1.0, 0.0)) - 2f64.sqrt()).abs() < 1e-12);
+        // (1,1): top rank; region degenerates to a point.
+        assert!(s.potential_distance(&Point::new(1.0, 1.0)) < 1e-12);
+        let x = RankScheme::XOrder;
+        // x-rank from (0, 0.5): farthest is a right corner.
+        let expect = Point::new(0.0, 0.5).dist(&Point::new(1.0, 1.0));
+        assert!((x.potential_distance(&Point::new(0.0, 0.5)) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn potential_area_known_points() {
+        let d = RankScheme::Diagonal;
+        // Origin: whole square has higher rank.
+        assert!((d.potential_area(&Point::new(0.0, 0.0)) - 1.0).abs() < 1e-12);
+        // Centre of the diagonal: half the square minus nothing → s = 1,
+        // area = 1 − 1/2 = 1/2.
+        assert!((d.potential_area(&Point::new(0.5, 0.5)) - 0.5).abs() < 1e-12);
+        // Top corner: nothing above.
+        assert!(d.potential_area(&Point::new(1.0, 1.0)) < 1e-12);
+        let x = RankScheme::XOrder;
+        assert!((x.potential_area(&Point::new(0.25, 0.9)) - 0.75).abs() < 1e-12);
+        assert!((RankScheme::NodeId.potential_area(&Point::new(0.3, 0.3)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma_6_1_potential_angle_at_least_half() {
+        // αᵤ ≥ 1/2 radian for every node under the diagonal ranking.
+        let pts = uniform_points(2000, &mut trial_rng(313, 0));
+        let d = RankScheme::Diagonal;
+        for p in &pts {
+            let a = d.potential_angle(p);
+            assert!(a >= 0.5 - 1e-9, "alpha = {a} at {p}");
+        }
+        // Boundary cases from the proof's Figure 2.
+        assert!(d.potential_angle(&Point::new(1.0, 0.0)) >= 0.5 - 1e-9);
+        assert!(d.potential_angle(&Point::new(0.0, 0.0)) >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn lemma_6_2_expected_squared_parent_distance_bound() {
+        // E[dᵤ²] ≤ 2/(n·αᵤ): check the empirical parent distances of a
+        // Co-NNT run against the per-node bound, averaged (the bound is in
+        // expectation over placements, so compare sums with slack).
+        let n = 1500;
+        let pts = uniform_points(n, &mut trial_rng(314, 0));
+        let out = run_nnt(&pts);
+        let d = RankScheme::Diagonal;
+        let mut sum_sq = 0.0;
+        let mut sum_bound = 0.0;
+        for e in out.tree.edges() {
+            let (u, v) = e.endpoints();
+            let child = if emst_geom::diag_rank_less(&pts[u], &pts[v]) { u } else { v };
+            sum_sq += e.w * e.w;
+            sum_bound += 2.0 / (n as f64 * d.potential_angle(&pts[child]));
+        }
+        assert!(
+            sum_sq <= sum_bound * 1.5,
+            "Σ d² = {sum_sq} exceeds Lemma 6.2 budget {sum_bound}"
+        );
+        // Theorem 6.1: the absolute bound E[Σ|e|²] ≤ 4.
+        assert!(sum_sq <= 4.0, "Theorem 6.1 bound violated: {sum_sq}");
+    }
+
+    #[test]
+    fn potential_distance_covers_nearest_higher_rank() {
+        // The nearest higher-ranked node always lies within Lᵤ.
+        let pts = uniform_points(300, &mut trial_rng(301, 0));
+        for scheme in [RankScheme::Diagonal, RankScheme::XOrder, RankScheme::NodeId] {
+            for u in 0..pts.len() {
+                let lu = scheme.potential_distance(&pts[u]);
+                let nearest = (0..pts.len())
+                    .filter(|&v| v != u && scheme.less((u, &pts[u]), (v, &pts[v])))
+                    .map(|v| pts[u].dist(&pts[v]))
+                    .fold(f64::INFINITY, f64::min);
+                if nearest.is_finite() {
+                    assert!(
+                        nearest <= lu + 1e-12,
+                        "{scheme:?}: node {u} nearest {nearest} > Lu {lu}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nnt_builds_valid_spanning_tree() {
+        for seed in 0..5 {
+            let pts = uniform_points(200, &mut trial_rng(302, seed));
+            let out = run_nnt(&pts);
+            assert!(out.tree.is_valid(), "seed {seed}: {:?}", out.tree.validate());
+            assert_eq!(out.unconnected, 1, "only the top-ranked node is free");
+        }
+    }
+
+    #[test]
+    fn nnt_connects_to_nearest_higher_ranked_node() {
+        let pts = uniform_points(150, &mut trial_rng(303, 0));
+        let out = run_nnt(&pts);
+        // Reconstruct parents from edges.
+        let mut parent = vec![usize::MAX; pts.len()];
+        for e in out.tree.edges() {
+            let (u, v) = e.endpoints();
+            // The lower-ranked endpoint is the child.
+            if diag_rank_less(&pts[u], &pts[v]) {
+                parent[u] = v;
+            } else {
+                parent[v] = u;
+            }
+        }
+        for u in 0..pts.len() {
+            let brute = (0..pts.len())
+                .filter(|&v| v != u && diag_rank_less(&pts[u], &pts[v]))
+                .min_by(|&a, &b| pts[u].dist(&pts[a]).total_cmp(&pts[u].dist(&pts[b])));
+            match brute {
+                Some(b) => assert_eq!(
+                    parent[u], b,
+                    "node {u}: got parent {} want {b}",
+                    parent[u]
+                ),
+                None => assert_eq!(parent[u], usize::MAX, "top node must be root"),
+            }
+        }
+    }
+
+    #[test]
+    fn xorder_scheme_also_spans() {
+        let pts = uniform_points(200, &mut trial_rng(304, 0));
+        let out = run_nnt_with(&pts, RankScheme::XOrder);
+        assert!(out.tree.is_valid());
+        assert_eq!(out.unconnected, 1);
+    }
+
+    #[test]
+    fn nnt_message_count_is_linear() {
+        // Expected O(n) messages (Theorem 6.2); assert a generous linear
+        // bound that a quadratic regression would break immediately.
+        let n = 1000;
+        let pts = uniform_points(n, &mut trial_rng(305, 0));
+        let out = run_nnt(&pts);
+        assert!(
+            out.stats.messages < 40 * n as u64,
+            "messages {} not O(n)",
+            out.stats.messages
+        );
+    }
+
+    #[test]
+    fn nnt_energy_is_constant_scale() {
+        // Theorem 6.2: E[energy] = O(1). Check it does not grow with n.
+        let e_small = run_nnt(&uniform_points(200, &mut trial_rng(306, 0)))
+            .stats
+            .energy;
+        let e_large = run_nnt(&uniform_points(3200, &mut trial_rng(306, 1)))
+            .stats
+            .energy;
+        assert!(
+            e_large < e_small * 4.0 + 10.0,
+            "energy grew from {e_small} to {e_large}"
+        );
+    }
+
+    #[test]
+    fn nnt_quality_is_constant_factor_of_mst() {
+        let pts = uniform_points(500, &mut trial_rng(307, 0));
+        let out = run_nnt(&pts);
+        let mst = emst_graph::euclidean_mst(&pts);
+        let ratio1 = out.tree.cost(1.0) / mst.cost(1.0);
+        let ratio2 = out.tree.cost(2.0) / mst.cost(2.0);
+        assert!(ratio1 >= 1.0 - 1e-9 && ratio1 < 2.5, "length ratio {ratio1}");
+        assert!(ratio2 >= 1.0 - 1e-9 && ratio2 < 4.0, "energy ratio {ratio2}");
+    }
+
+    #[test]
+    fn tiny_instances() {
+        assert!(run_nnt(&[]).tree.is_valid());
+        let one = run_nnt(&[Point::new(0.3, 0.3)]);
+        assert!(one.tree.is_valid());
+        assert_eq!(one.unconnected, 1);
+        let two = run_nnt(&[Point::new(0.2, 0.2), Point::new(0.8, 0.8)]);
+        assert!(two.tree.is_valid());
+        assert_eq!(two.tree.edges().len(), 1);
+    }
+
+    #[test]
+    fn node_id_scheme_spans_and_roots_at_max_id() {
+        let pts = uniform_points(150, &mut trial_rng(309, 0));
+        let out = run_nnt_with(&pts, RankScheme::NodeId);
+        assert!(out.tree.is_valid(), "{:?}", out.tree.validate());
+        assert_eq!(out.unconnected, 1);
+        // Every edge connects a node to the true nearest higher-id node.
+        let mut parent = vec![usize::MAX; pts.len()];
+        for e in out.tree.edges() {
+            let (u, v) = e.endpoints();
+            // endpoints are normalised u < v, and ranks are ids: v is the
+            // parent of u only if v is u's choice; but u < v always, so the
+            // child is the lower id exactly when the edge came from u.
+            parent[u] = v;
+        }
+        for u in 0..pts.len() - 1 {
+            let brute = ((u + 1)..pts.len())
+                .min_by(|&a, &b| pts[u].dist(&pts[a]).total_cmp(&pts[u].dist(&pts[b])))
+                .unwrap();
+            assert_eq!(parent[u], brute, "node {u}");
+        }
+        assert_eq!(parent[pts.len() - 1], usize::MAX);
+    }
+
+    #[test]
+    fn node_id_scheme_is_worse_approximation_than_diagonal() {
+        // [15]'s id-rank NNT is an O(log n) approximation; the diagonal
+        // rank is O(1). At moderate n the id-rank cost must already be
+        // visibly worse.
+        let pts = uniform_points(800, &mut trial_rng(310, 0));
+        let diag = run_nnt_with(&pts, RankScheme::Diagonal);
+        let byid = run_nnt_with(&pts, RankScheme::NodeId);
+        let mst = emst_graph::euclidean_mst(&pts);
+        let r_diag = diag.tree.cost(1.0) / mst.cost(1.0);
+        let r_id = byid.tree.cost(1.0) / mst.cost(1.0);
+        assert!(
+            r_id > r_diag * 1.25,
+            "id-rank ratio {r_id} should clearly exceed diagonal {r_diag}"
+        );
+    }
+
+    #[test]
+    fn nnt_under_contention_builds_the_same_tree_at_higher_cost() {
+        use emst_radio::{ContentionConfig, EnergyConfig};
+        let pts = uniform_points(200, &mut trial_rng(311, 0));
+        let clean = run_nnt(&pts);
+        let contended = run_nnt_configured(
+            &pts,
+            RankScheme::Diagonal,
+            EnergyConfig::paper(),
+            Some(ContentionConfig::default()),
+        );
+        // Contention delays but never loses messages, and the protocol is
+        // schedule-driven by logical rounds, so the tree is identical.
+        assert!(contended.tree.same_edges(&clean.tree));
+        // Retries cost extra energy (collisions among simultaneous
+        // requests/replies are common) and many more clock rounds.
+        assert!(contended.stats.energy > clean.stats.energy);
+        assert!(contended.stats.rounds > clean.stats.rounds);
+        // Constant-factor energy overhead, as §VIII claims for RBN.
+        assert!(
+            contended.stats.energy < 40.0 * clean.stats.energy,
+            "energy blow-up {} vs {}",
+            contended.stats.energy,
+            clean.stats.energy
+        );
+    }
+
+    #[test]
+    fn extended_energy_model_shifts_the_balance() {
+        use emst_radio::EnergyConfig;
+        let pts = uniform_points(300, &mut trial_rng(312, 0));
+        let cfg = EnergyConfig::extended(emst_geom::PathLoss::paper(), 1e-4, 0.0);
+        let out = run_nnt_configured(&pts, RankScheme::Diagonal, cfg, None);
+        assert!(out.stats.rx_energy > 0.0);
+        assert!(out.stats.full_energy() > out.stats.energy);
+        // The tree itself is untouched by accounting changes.
+        let clean = run_nnt(&pts);
+        assert!(out.tree.same_edges(&clean.tree));
+        assert_eq!(out.stats.messages, clean.stats.messages);
+    }
+
+    #[test]
+    fn diag_max_edge_shorter_than_xorder_max_edge() {
+        // §VI's motivation for the new ranking: with the x-rank some nodes
+        // must reach far; the diagonal rank keeps every hop short. Compare
+        // the max edge averaged over seeds.
+        let mut d_sum = 0.0;
+        let mut x_sum = 0.0;
+        for seed in 0..5 {
+            let pts = uniform_points(400, &mut trial_rng(308, seed));
+            d_sum += run_nnt_with(&pts, RankScheme::Diagonal).tree.max_edge_len();
+            x_sum += run_nnt_with(&pts, RankScheme::XOrder).tree.max_edge_len();
+        }
+        assert!(
+            d_sum < x_sum,
+            "diagonal max edges {d_sum} should beat x-rank {x_sum}"
+        );
+    }
+}

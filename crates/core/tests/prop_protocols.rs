@@ -1,0 +1,104 @@
+//! Property-based tests across the distributed protocols: on arbitrary
+//! point clouds (not just uniform ones) the protocols must keep their
+//! structural guarantees.
+
+use emst_core::{run_eopt, run_ghs, run_nnt, run_nnt_with, GhsVariant, RankScheme};
+use emst_geom::Point;
+use emst_graph::{kruskal_forest, Graph, SpanningTree};
+use proptest::prelude::*;
+
+/// Clouds with distinct coordinates (dedupe very close pairs so ranking and
+/// MOE tie-breaks stay unambiguous).
+fn cloud(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(
+        (0.001f64..0.999, 0.001f64..0.999).prop_map(|(x, y)| Point::new(x, y)),
+        2..max,
+    )
+    .prop_map(|mut pts| {
+        pts.sort_by(|a, b| (a.x, a.y).partial_cmp(&(b.x, b.y)).unwrap());
+        pts.dedup_by(|a, b| a.dist(b) < 1e-6);
+        pts
+    })
+    .prop_filter("need at least two distinct points", |p| p.len() >= 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// GHS (both variants) computes the minimum spanning forest of the
+    /// visible graph at any radius, on any cloud.
+    #[test]
+    fn ghs_equals_kruskal_forest(pts in cloud(40), r in 0.05f64..1.0) {
+        let g = Graph::geometric(&pts, r);
+        let reference = SpanningTree::new(pts.len(), kruskal_forest(&g));
+        for variant in [GhsVariant::Modified, GhsVariant::Original] {
+            let out = run_ghs(&pts, r, variant);
+            prop_assert!(
+                out.tree.same_edges(&reference),
+                "{variant:?} mismatch at r={r}"
+            );
+        }
+    }
+
+    /// EOPT's tree always equals the Kruskal forest of the connectivity
+    /// graph — the exactness claim of Theorem 5.3, radius-restricted.
+    #[test]
+    fn eopt_is_exact(pts in cloud(40)) {
+        let out = run_eopt(&pts);
+        let cfg = emst_core::EoptConfig::default();
+        let g = Graph::geometric(&pts, cfg.radius2(pts.len().max(2)));
+        let reference = SpanningTree::new(pts.len(), kruskal_forest(&g));
+        prop_assert!(out.tree.same_edges(&reference));
+    }
+
+    /// Co-NNT always yields a spanning tree with exactly one root, under
+    /// both rankings, on any distinct-coordinate cloud.
+    #[test]
+    fn nnt_always_spans(pts in cloud(60)) {
+        for scheme in [RankScheme::Diagonal, RankScheme::XOrder] {
+            let out = run_nnt_with(&pts, scheme);
+            prop_assert!(out.tree.is_valid(), "{scheme:?}: {:?}", out.tree.validate());
+            prop_assert_eq!(out.unconnected, 1);
+        }
+    }
+
+    /// NNT cost dominates MST cost but never by more than the trivial
+    /// n·max-edge bound; and every NNT edge goes to the true nearest
+    /// higher-ranked node.
+    #[test]
+    fn nnt_edges_are_nearest_higher_rank(pts in cloud(40)) {
+        let out = run_nnt(&pts);
+        let mut parent = vec![usize::MAX; pts.len()];
+        for e in out.tree.edges() {
+            let (u, v) = e.endpoints();
+            if emst_geom::diag_rank_less(&pts[u], &pts[v]) {
+                parent[u] = v;
+            } else {
+                parent[v] = u;
+            }
+        }
+        for u in 0..pts.len() {
+            let brute = (0..pts.len())
+                .filter(|&v| v != u && emst_geom::diag_rank_less(&pts[u], &pts[v]))
+                .min_by(|&a, &b| pts[u].dist(&pts[a]).total_cmp(&pts[u].dist(&pts[b])));
+            match brute {
+                Some(b) => prop_assert_eq!(parent[u], b),
+                None => prop_assert_eq!(parent[u], usize::MAX),
+            }
+        }
+        let mst = emst_graph::euclidean_mst(&pts);
+        prop_assert!(out.tree.cost(1.0) >= mst.cost(1.0) - 1e-9);
+    }
+
+    /// Energy ledgers are internally consistent: per-kind tallies sum to
+    /// the totals, and rounds/messages are nonzero whenever edges exist.
+    #[test]
+    fn ledger_consistency(pts in cloud(30), r in 0.2f64..0.9) {
+        let out = run_ghs(&pts, r, GhsVariant::Modified);
+        let kind_sum: f64 = out.stats.ledger.kinds().map(|(_, t)| t.energy).sum();
+        prop_assert!((kind_sum - out.stats.energy).abs() < 1e-9);
+        let msg_sum: u64 = out.stats.ledger.kinds().map(|(_, t)| t.messages).sum();
+        prop_assert_eq!(msg_sum, out.stats.messages);
+        prop_assert!(out.stats.messages >= pts.len() as u64); // hellos
+    }
+}

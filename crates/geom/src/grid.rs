@@ -1,0 +1,585 @@
+//! Bucket-grid spatial index over points in the unit square.
+//!
+//! Random-geometric-graph construction, nearest-neighbour queries (Co-NNT),
+//! k-nearest-neighbour distances (the Lemma 4.1 lower-bound experiment) and
+//! percolation cell statistics all reduce to local queries on a uniform
+//! grid. With cell size `Θ(r)` and `n` uniform points, a disk query of
+//! radius `r` touches `O(1)` cells and `O(n r²)` points in expectation, so
+//! building the whole RGG edge list costs `O(n + |E|)`.
+//!
+//! Point indices are stored as `u32` internally (the simulations run at
+//! `n ≤ 10⁶`, far below `u32::MAX`), halving the index memory versus
+//! `usize` — see the type-size guidance in the Rust Performance Book.
+
+use crate::point::Point;
+
+/// A uniform bucket grid over `[0,1]²`.
+///
+/// The grid borrows the point slice; it is cheap to rebuild whenever the
+/// operating radius changes (EOPT rebuilds between its two phases).
+///
+/// ```
+/// use emst_geom::{BucketGrid, Point};
+/// let pts = vec![
+///     Point::new(0.50, 0.50),
+///     Point::new(0.52, 0.50),
+///     Point::new(0.90, 0.90),
+/// ];
+/// let grid = BucketGrid::for_radius(&pts, 0.1);
+/// let nb = grid.neighbors_within(0, 0.1);
+/// assert_eq!(nb.len(), 1);           // only the point 0.02 away
+/// assert_eq!(nb[0].0, 1);
+/// assert_eq!(grid.k_nearest(0, 2).len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BucketGrid<'a> {
+    points: &'a [Point],
+    cell_size: f64,
+    side: usize,
+    /// CSR offsets: points of cell `c` are `order[cell_start[c]..cell_start[c+1]]`.
+    cell_start: Vec<u32>,
+    order: Vec<u32>,
+}
+
+impl<'a> BucketGrid<'a> {
+    /// Builds a grid with the given cell size (must be positive). Points are
+    /// expected in the unit square; out-of-range coordinates are clamped to
+    /// the boundary cells so queries remain correct for points *on* the
+    /// border (x = 1.0 or y = 1.0).
+    pub fn new(points: &'a [Point], cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be positive and finite, got {cell_size}"
+        );
+        assert!(
+            points.len() < u32::MAX as usize,
+            "too many points for u32 indices"
+        );
+        let side = ((1.0 / cell_size).ceil() as usize).max(1);
+        let ncells = side * side;
+        let mut counts = vec![0u32; ncells + 1];
+        let cell_idx = |p: &Point| -> usize {
+            let cx = ((p.x / cell_size) as usize).min(side - 1);
+            let cy = ((p.y / cell_size) as usize).min(side - 1);
+            cy * side + cx
+        };
+        for p in points {
+            counts[cell_idx(p) + 1] += 1;
+        }
+        for c in 0..ncells {
+            counts[c + 1] += counts[c];
+        }
+        let cell_start = counts.clone();
+        let mut cursor = counts;
+        let mut order = vec![0u32; points.len()];
+        for (i, p) in points.iter().enumerate() {
+            let c = cell_idx(p);
+            order[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+        BucketGrid {
+            points,
+            cell_size,
+            side,
+            cell_start,
+            order,
+        }
+    }
+
+    /// Convenience constructor sizing cells to the query radius (one ring of
+    /// neighbouring cells covers a disk of that radius).
+    pub fn for_radius(points: &'a [Point], radius: f64) -> Self {
+        // Cap the cell count: for very small radii a cell per radius would
+        // allocate quadratically many empty cells. n cells per side keeps
+        // build cost O(n) while still bounding points per cell.
+        let n = points.len().max(1);
+        let min_cell = 1.0 / (n as f64).sqrt().ceil().max(1.0) / 4.0;
+        BucketGrid::new(points, radius.max(min_cell))
+    }
+
+    /// The points this grid indexes.
+    #[inline]
+    pub fn points(&self) -> &'a [Point] {
+        self.points
+    }
+
+    /// Grid cell size.
+    #[inline]
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Cells per side.
+    #[inline]
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Number of points in grid cell `(cx, cy)`.
+    pub fn cell_population(&self, cx: usize, cy: usize) -> usize {
+        assert!(cx < self.side && cy < self.side, "cell out of range");
+        let c = cy * self.side + cx;
+        (self.cell_start[c + 1] - self.cell_start[c]) as usize
+    }
+
+    /// Grid coordinates of the cell containing `p`.
+    #[inline]
+    pub fn cell_of(&self, p: &Point) -> (usize, usize) {
+        let cx = ((p.x / self.cell_size) as usize).min(self.side - 1);
+        let cy = ((p.y / self.cell_size) as usize).min(self.side - 1);
+        (cx, cy)
+    }
+
+    #[inline]
+    fn cell_points(&self, cx: usize, cy: usize) -> &[u32] {
+        let c = cy * self.side + cx;
+        &self.order[self.cell_start[c] as usize..self.cell_start[c + 1] as usize]
+    }
+
+    /// Calls `f(index, distance)` for every point within Euclidean distance
+    /// `radius` of `center` (inclusive), including any point coincident with
+    /// `center` itself; callers filter self-indices as needed.
+    pub fn for_each_in_disk<F: FnMut(usize, f64)>(&self, center: &Point, radius: f64, mut f: F) {
+        if radius < 0.0 {
+            return;
+        }
+        let (ccx, ccy) = self.cell_of(center);
+        let reach = (radius / self.cell_size).ceil() as usize + 1;
+        let x0 = ccx.saturating_sub(reach);
+        let x1 = (ccx + reach).min(self.side - 1);
+        let y0 = ccy.saturating_sub(reach);
+        let y1 = (ccy + reach).min(self.side - 1);
+        let r_sq = radius * radius;
+        for cy in y0..=y1 {
+            for cx in x0..=x1 {
+                for &i in self.cell_points(cx, cy) {
+                    let d_sq = center.dist_sq(&self.points[i as usize]);
+                    if d_sq <= r_sq {
+                        f(i as usize, d_sq.sqrt());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Indices and distances of all points within `radius` of point `i`,
+    /// excluding `i` itself.
+    pub fn neighbors_within(&self, i: usize, radius: f64) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        self.for_each_in_disk(&self.points[i], radius, |j, d| {
+            if j != i {
+                out.push((j, d));
+            }
+        });
+        out
+    }
+
+    /// Number of points within `radius` of point `i`, excluding `i`.
+    pub fn degree_within(&self, i: usize, radius: f64) -> usize {
+        let mut deg = 0usize;
+        self.for_each_in_disk(&self.points[i], radius, |j, _| {
+            if j != i {
+                deg += 1;
+            }
+        });
+        deg
+    }
+
+    /// Calls `f(u, v, dist)` once per unordered pair `{u, v}` (with `u < v`)
+    /// at Euclidean distance ≤ `radius` — the edge set of the RGG `G(n, r)`.
+    pub fn for_each_edge_within<F: FnMut(usize, usize, f64)>(&self, radius: f64, mut f: F) {
+        if radius < 0.0 {
+            return;
+        }
+        let r_sq = radius * radius;
+        for u in 0..self.points.len() {
+            let pu = &self.points[u];
+            let (ccx, ccy) = self.cell_of(pu);
+            let reach = (radius / self.cell_size).ceil() as usize + 1;
+            let x0 = ccx.saturating_sub(reach);
+            let x1 = (ccx + reach).min(self.side - 1);
+            let y0 = ccy.saturating_sub(reach);
+            let y1 = (ccy + reach).min(self.side - 1);
+            for cy in y0..=y1 {
+                for cx in x0..=x1 {
+                    for &vi in self.cell_points(cx, cy) {
+                        let v = vi as usize;
+                        if v <= u {
+                            continue;
+                        }
+                        let d_sq = pu.dist_sq(&self.points[v]);
+                        if d_sq <= r_sq {
+                            f(u, v, d_sq.sqrt());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Nearest point to `center` (excluding index `exclude`, pass
+    /// `usize::MAX` to exclude nothing) among points satisfying `pred`.
+    /// Expanding-ring search: after scanning all cells within Chebyshev cell
+    /// distance `l`, any unscanned point is at Euclidean distance
+    /// ≥ `l·cell_size`, so the current best is confirmed once it is within
+    /// that bound.
+    pub fn nearest_matching<P: FnMut(usize) -> bool>(
+        &self,
+        center: &Point,
+        exclude: usize,
+        mut pred: P,
+    ) -> Option<(usize, f64)> {
+        let (ccx, ccy) = self.cell_of(center);
+        let mut best: Option<(usize, f64)> = None;
+        let max_ring = self.side; // covers the whole square from any cell
+        for ring in 0..=max_ring {
+            // Confirmed: no unscanned point can beat the current best.
+            if let Some((_, d)) = best {
+                if d <= (ring as f64 - 1.0).max(0.0) * self.cell_size {
+                    break;
+                }
+            }
+            let mut visit = |cx: usize, cy: usize| {
+                for &i in self.cell_points(cx, cy) {
+                    let i = i as usize;
+                    if i == exclude || !pred(i) {
+                        continue;
+                    }
+                    let d = center.dist(&self.points[i]);
+                    if best.is_none() || d < best.unwrap().1 {
+                        best = Some((i, d));
+                    }
+                }
+            };
+            if ring == 0 {
+                visit(ccx, ccy);
+                continue;
+            }
+            let x0 = ccx as isize - ring as isize;
+            let x1 = ccx as isize + ring as isize;
+            let y0 = ccy as isize - ring as isize;
+            let y1 = ccy as isize + ring as isize;
+            let in_range = |v: isize| v >= 0 && (v as usize) < self.side;
+            // Top and bottom rows of the ring.
+            for cx in x0..=x1 {
+                if in_range(cx) {
+                    if in_range(y0) {
+                        visit(cx as usize, y0 as usize);
+                    }
+                    if in_range(y1) {
+                        visit(cx as usize, y1 as usize);
+                    }
+                }
+            }
+            // Left and right columns, excluding corners already visited.
+            for cy in (y0 + 1)..y1 {
+                if in_range(cy) {
+                    if in_range(x0) {
+                        visit(x0 as usize, cy as usize);
+                    }
+                    if in_range(x1) {
+                        visit(x1 as usize, cy as usize);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// The `k` nearest points to point `i` (excluding `i`), sorted by
+    /// ascending distance. Returns fewer than `k` entries if the instance
+    /// has fewer than `k + 1` points.
+    pub fn k_nearest(&self, i: usize, k: usize) -> Vec<(usize, f64)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let center = &self.points[i];
+        let (ccx, ccy) = self.cell_of(center);
+        let mut found: Vec<(usize, f64)> = Vec::with_capacity(k + 8);
+        let max_ring = self.side;
+        for ring in 0..=max_ring {
+            // Stop once the k-th best is confirmed against unscanned rings.
+            if found.len() >= k {
+                found.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
+                found.truncate(k.max(found.len().min(4 * k)));
+                let kth = found[k - 1].1;
+                if kth <= (ring as f64 - 1.0).max(0.0) * self.cell_size {
+                    found.truncate(k);
+                    return found;
+                }
+            }
+            let mut visit = |cx: usize, cy: usize| {
+                for &j in self.cell_points(cx, cy) {
+                    let j = j as usize;
+                    if j != i {
+                        found.push((j, center.dist(&self.points[j])));
+                    }
+                }
+            };
+            if ring == 0 {
+                visit(ccx, ccy);
+                continue;
+            }
+            let x0 = ccx as isize - ring as isize;
+            let x1 = ccx as isize + ring as isize;
+            let y0 = ccy as isize - ring as isize;
+            let y1 = ccy as isize + ring as isize;
+            let in_range = |v: isize| v >= 0 && (v as usize) < self.side;
+            for cx in x0..=x1 {
+                if in_range(cx) {
+                    if in_range(y0) {
+                        visit(cx as usize, y0 as usize);
+                    }
+                    if in_range(y1) {
+                        visit(cx as usize, y1 as usize);
+                    }
+                }
+            }
+            for cy in (y0 + 1)..y1 {
+                if in_range(cy) {
+                    if in_range(x0) {
+                        visit(x0 as usize, cy as usize);
+                    }
+                    if in_range(x1) {
+                        visit(x1 as usize, cy as usize);
+                    }
+                }
+            }
+        }
+        found.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
+        found.truncate(k);
+        found
+    }
+
+    /// Distance from point `i` to its `k`-th nearest neighbour (1-indexed:
+    /// `k = 1` is the nearest). `None` if fewer than `k` other points exist.
+    pub fn kth_nearest_distance(&self, i: usize, k: usize) -> Option<f64> {
+        let nn = self.k_nearest(i, k);
+        if nn.len() == k {
+            Some(nn[k - 1].1)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{trial_rng, uniform_points};
+
+    /// Brute-force disk query for cross-checking.
+    fn brute_within(points: &[Point], center: &Point, radius: f64) -> Vec<usize> {
+        let mut v: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| center.dist(p) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn disk_query_matches_brute_force() {
+        let mut rng = trial_rng(11, 0);
+        let pts = uniform_points(400, &mut rng);
+        let grid = BucketGrid::for_radius(&pts, 0.1);
+        for qi in [0usize, 17, 200, 399] {
+            let mut got = Vec::new();
+            grid.for_each_in_disk(&pts[qi], 0.1, |j, _| got.push(j));
+            got.sort_unstable();
+            assert_eq!(got, brute_within(&pts, &pts[qi], 0.1), "query {qi}");
+        }
+    }
+
+    #[test]
+    fn disk_query_includes_center_point() {
+        let pts = vec![Point::new(0.5, 0.5), Point::new(0.9, 0.9)];
+        let grid = BucketGrid::new(&pts, 0.25);
+        let mut got = Vec::new();
+        grid.for_each_in_disk(&pts[0], 0.01, |j, _| got.push(j));
+        assert_eq!(got, vec![0]);
+    }
+
+    #[test]
+    fn neighbors_within_excludes_self() {
+        let pts = vec![
+            Point::new(0.5, 0.5),
+            Point::new(0.52, 0.5),
+            Point::new(0.9, 0.9),
+        ];
+        let grid = BucketGrid::new(&pts, 0.1);
+        let nb = grid.neighbors_within(0, 0.05);
+        assert_eq!(nb.len(), 1);
+        assert_eq!(nb[0].0, 1);
+        assert!((nb[0].1 - 0.02).abs() < 1e-12);
+        assert_eq!(grid.degree_within(0, 0.05), 1);
+    }
+
+    #[test]
+    fn edge_enumeration_matches_brute_force() {
+        let mut rng = trial_rng(12, 0);
+        let pts = uniform_points(200, &mut rng);
+        let r = 0.12;
+        let grid = BucketGrid::for_radius(&pts, r);
+        let mut edges = Vec::new();
+        grid.for_each_edge_within(r, |u, v, d| {
+            assert!(u < v);
+            assert!((pts[u].dist(&pts[v]) - d).abs() < 1e-12);
+            edges.push((u, v));
+        });
+        edges.sort_unstable();
+        let mut brute = Vec::new();
+        for u in 0..pts.len() {
+            for v in (u + 1)..pts.len() {
+                if pts[u].dist(&pts[v]) <= r {
+                    brute.push((u, v));
+                }
+            }
+        }
+        assert_eq!(edges, brute);
+    }
+
+    #[test]
+    fn edges_have_no_duplicates() {
+        let mut rng = trial_rng(13, 0);
+        let pts = uniform_points(300, &mut rng);
+        let grid = BucketGrid::for_radius(&pts, 0.2);
+        let mut seen = std::collections::HashSet::new();
+        grid.for_each_edge_within(0.2, |u, v, _| {
+            assert!(seen.insert((u, v)), "duplicate edge ({u},{v})");
+        });
+    }
+
+    #[test]
+    fn nearest_matching_finds_global_nearest() {
+        let mut rng = trial_rng(14, 0);
+        let pts = uniform_points(300, &mut rng);
+        let grid = BucketGrid::for_radius(&pts, 0.05);
+        for qi in [0usize, 50, 299] {
+            let got = grid.nearest_matching(&pts[qi], qi, |_| true).unwrap();
+            let brute = (0..pts.len())
+                .filter(|&j| j != qi)
+                .map(|j| (j, pts[qi].dist(&pts[j])))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap();
+            assert_eq!(got.0, brute.0, "query {qi}");
+            assert!((got.1 - brute.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nearest_matching_respects_predicate() {
+        // Nearest point with a *higher diagonal rank* — the Co-NNT query.
+        let mut rng = trial_rng(15, 0);
+        let pts = uniform_points(250, &mut rng);
+        let grid = BucketGrid::for_radius(&pts, 0.05);
+        use crate::point::diag_rank_less;
+        for qi in 0..pts.len() {
+            let got = grid.nearest_matching(&pts[qi], qi, |j| diag_rank_less(&pts[qi], &pts[j]));
+            let brute = (0..pts.len())
+                .filter(|&j| j != qi && diag_rank_less(&pts[qi], &pts[j]))
+                .map(|j| (j, pts[qi].dist(&pts[j])))
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+            match (got, brute) {
+                (Some((gi, gd)), Some((bi, bd))) => {
+                    assert_eq!(gi, bi, "query {qi}");
+                    assert!((gd - bd).abs() < 1e-12);
+                }
+                (None, None) => {} // highest-ranked node has no successor
+                (g, b) => panic!("mismatch at {qi}: {g:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_matching_none_when_no_match() {
+        let pts = vec![Point::new(0.5, 0.5), Point::new(0.6, 0.6)];
+        let grid = BucketGrid::new(&pts, 0.25);
+        assert!(grid.nearest_matching(&pts[0], 0, |_| false).is_none());
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force() {
+        let mut rng = trial_rng(16, 0);
+        let pts = uniform_points(150, &mut rng);
+        let grid = BucketGrid::for_radius(&pts, 0.08);
+        for qi in [3usize, 75, 149] {
+            for k in [1usize, 5, 20, 149] {
+                let got = grid.k_nearest(qi, k);
+                let mut brute: Vec<(usize, f64)> = (0..pts.len())
+                    .filter(|&j| j != qi)
+                    .map(|j| (j, pts[qi].dist(&pts[j])))
+                    .collect();
+                brute.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
+                brute.truncate(k);
+                assert_eq!(got.len(), brute.len());
+                for (g, b) in got.iter().zip(brute.iter()) {
+                    assert!((g.1 - b.1).abs() < 1e-12, "q={qi} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_nearest_handles_small_instances() {
+        let pts = vec![Point::new(0.1, 0.1), Point::new(0.2, 0.2)];
+        let grid = BucketGrid::new(&pts, 0.5);
+        assert_eq!(grid.k_nearest(0, 0).len(), 0);
+        assert_eq!(grid.k_nearest(0, 1).len(), 1);
+        assert_eq!(grid.k_nearest(0, 5).len(), 1); // only one other point
+        assert!(grid.kth_nearest_distance(0, 2).is_none());
+        assert!(grid.kth_nearest_distance(0, 1).is_some());
+    }
+
+    #[test]
+    fn boundary_points_are_indexed() {
+        // x = 1.0 and y = 1.0 must clamp into the last cell, not overflow.
+        let pts = vec![Point::new(1.0, 1.0), Point::new(0.99, 0.99)];
+        let grid = BucketGrid::new(&pts, 0.1);
+        let nb = grid.neighbors_within(0, 0.05);
+        assert_eq!(nb.len(), 1);
+    }
+
+    #[test]
+    fn cell_population_counts_points() {
+        let pts = vec![
+            Point::new(0.05, 0.05),
+            Point::new(0.06, 0.07),
+            Point::new(0.95, 0.95),
+        ];
+        let grid = BucketGrid::new(&pts, 0.1);
+        assert_eq!(grid.cell_population(0, 0), 2);
+        assert_eq!(grid.cell_population(grid.side() - 1, grid.side() - 1), 1);
+        let total: usize = (0..grid.side())
+            .flat_map(|cy| (0..grid.side()).map(move |cx| (cx, cy)))
+            .map(|(cx, cy)| grid.cell_population(cx, cy))
+            .sum();
+        assert_eq!(total, pts.len());
+    }
+
+    #[test]
+    fn for_radius_caps_cell_count() {
+        let pts = uniform_points(10, &mut trial_rng(17, 0));
+        // Tiny radius must not allocate a huge grid.
+        let grid = BucketGrid::for_radius(&pts, 1e-9);
+        assert!(grid.side() <= 4 * 4 * 10); // bounded by ~4·sqrt(n) per side
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn zero_cell_size_rejected() {
+        let pts = vec![Point::new(0.5, 0.5)];
+        let _ = BucketGrid::new(&pts, 0.0);
+    }
+
+    #[test]
+    fn empty_point_set_is_fine() {
+        let pts: Vec<Point> = vec![];
+        let grid = BucketGrid::new(&pts, 0.1);
+        let mut called = false;
+        grid.for_each_edge_within(0.5, |_, _, _| called = true);
+        assert!(!called);
+    }
+}

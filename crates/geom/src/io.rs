@@ -1,0 +1,152 @@
+//! Plain-text point-set serialisation.
+//!
+//! Format: one `x y` pair per line (full `f64` round-trip precision),
+//! `#`-prefixed comment lines and blank lines ignored. Lets experiments be
+//! re-run on pinned instances and lets the `emst` CLI exchange node fields
+//! with external tools.
+
+use crate::point::Point;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from point-set parsing / file handling.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A data line that is not two floats, with its 1-based line number.
+    Parse { line: usize, content: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "line {line}: expected `x y`, found {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Serialises points to a writer (one `x y` per line, round-trip exact via
+/// the shortest-representation float formatting).
+pub fn write_points<W: Write>(mut w: W, points: &[Point]) -> Result<(), IoError> {
+    writeln!(w, "# energy-mst point set: {} nodes in the unit square", points.len())?;
+    for p in points {
+        writeln!(w, "{} {}", p.x, p.y)?;
+    }
+    Ok(())
+}
+
+/// Parses points from a reader.
+pub fn read_points<R: BufRead>(r: R) -> Result<Vec<Point>, IoError> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |s: Option<&str>| -> Option<f64> { s.and_then(|v| v.parse().ok()) };
+        match (parse(it.next()), parse(it.next()), it.next()) {
+            (Some(x), Some(y), None) => out.push(Point::new(x, y)),
+            _ => {
+                return Err(IoError::Parse {
+                    line: i + 1,
+                    content: t.to_string(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Writes points to a file path.
+pub fn save_points<P: AsRef<Path>>(path: P, points: &[Point]) -> Result<(), IoError> {
+    let f = std::fs::File::create(path)?;
+    write_points(BufWriter::new(f), points)
+}
+
+/// Reads points from a file path.
+pub fn load_points<P: AsRef<Path>>(path: P) -> Result<Vec<Point>, IoError> {
+    let f = std::fs::File::open(path)?;
+    read_points(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{trial_rng, uniform_points};
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let pts = uniform_points(200, &mut trial_rng(801, 0));
+        let mut buf = Vec::new();
+        write_points(&mut buf, &pts).unwrap();
+        let back = read_points(buf.as_slice()).unwrap();
+        assert_eq!(pts, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# header\n\n0.25 0.75\n  # indented comment\n0.5 0.5\n\n";
+        let pts = read_points(text.as_bytes()).unwrap();
+        assert_eq!(
+            pts,
+            vec![Point::new(0.25, 0.75), Point::new(0.5, 0.5)]
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "0.1 0.2\nnot a point\n";
+        let err = read_points(text.as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line, content } => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "not a point");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn extra_columns_are_rejected() {
+        let err = read_points("0.1 0.2 0.3\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }));
+        assert!(format!("{err}").contains("line 1"));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let pts = uniform_points(50, &mut trial_rng(802, 0));
+        let path = std::env::temp_dir().join("emst_io_test_points.txt");
+        save_points(&path, &pts).unwrap();
+        let back = load_points(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(pts, back);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_points("/nonexistent/emst/points.txt").unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+        assert!(format!("{err}").contains("i/o error"));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_set() {
+        assert!(read_points("".as_bytes()).unwrap().is_empty());
+        assert!(read_points("# only comments\n".as_bytes()).unwrap().is_empty());
+    }
+}

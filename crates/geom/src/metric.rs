@@ -1,0 +1,177 @@
+//! Distance metrics and the radiated-energy cost model.
+//!
+//! The paper assumes the radiation energy to transmit one message from `u`
+//! to `v` is `w(u,v) = a · d(u,v)^α` for constants `a` and the path-loss
+//! exponent `α` (§II); `α = 2` is used throughout for energy accounting,
+//! while tree *quality* is evaluated under both `α = 1` (Euclidean MST) and
+//! `α = 2`.
+
+use crate::point::Point;
+
+/// A metric on points. Implementations must satisfy symmetry and identity
+/// of indiscernibles; the triangle inequality is exercised by property tests
+/// but not relied upon by the algorithms.
+pub trait Metric {
+    /// Distance between two points under this metric.
+    fn dist(&self, a: &Point, b: &Point) -> f64;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Standard Euclidean (L2) metric — the paper's default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+impl Metric for Euclidean {
+    #[inline]
+    fn dist(&self, a: &Point, b: &Point) -> f64 {
+        a.dist(b)
+    }
+    fn name(&self) -> &'static str {
+        "euclidean"
+    }
+}
+
+/// Chebyshev (L∞) metric used in the Theorem 5.2 percolation argument.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Chebyshev;
+
+impl Metric for Chebyshev {
+    #[inline]
+    fn dist(&self, a: &Point, b: &Point) -> f64 {
+        a.dist_linf(b)
+    }
+    fn name(&self) -> &'static str {
+        "chebyshev"
+    }
+}
+
+/// The radiated-energy model `w(u,v) = a · d(u,v)^α` of §II.
+///
+/// `PathLoss::paper()` gives the concrete instance used for all energy
+/// accounting in the reproduction: `a = 1`, `α = 2`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathLoss {
+    /// Multiplicative constant `a`.
+    pub a: f64,
+    /// Path-loss exponent `α` (≥ 1 for physical plausibility; the paper
+    /// calls for a "small positive number").
+    pub alpha: f64,
+}
+
+impl PathLoss {
+    /// Constructs a path-loss model; panics on non-positive parameters so
+    /// configuration errors surface at setup time rather than as NaN energy.
+    pub fn new(a: f64, alpha: f64) -> Self {
+        assert!(a > 0.0, "path-loss constant a must be positive, got {a}");
+        assert!(
+            alpha > 0.0,
+            "path-loss exponent alpha must be positive, got {alpha}"
+        );
+        PathLoss { a, alpha }
+    }
+
+    /// The paper's energy model: `w(u,v) = d(u,v)²`.
+    pub fn paper() -> Self {
+        PathLoss { a: 1.0, alpha: 2.0 }
+    }
+
+    /// Energy to transmit one message over distance `d`.
+    #[inline]
+    pub fn energy_for_distance(&self, d: f64) -> f64 {
+        debug_assert!(d >= 0.0, "negative distance {d}");
+        if self.alpha == 2.0 {
+            self.a * d * d
+        } else {
+            self.a * d.powf(self.alpha)
+        }
+    }
+
+    /// Energy to transmit one message from `u` to `v`.
+    #[inline]
+    pub fn energy(&self, u: &Point, v: &Point) -> f64 {
+        self.energy_for_distance(u.dist(v))
+    }
+
+    /// Energy of a bidirectional exchange (request + reply) between `u`
+    /// and `v`. §II: "if u wants to send a message to v and v replies back
+    /// to u then the cost associated with this bi-directional communication
+    /// is 2·w(u,v)".
+    #[inline]
+    pub fn energy_bidirectional(&self, u: &Point, v: &Point) -> f64 {
+        2.0 * self.energy(u, v)
+    }
+}
+
+impl Default for PathLoss {
+    fn default() -> Self {
+        PathLoss::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_matches_point_dist() {
+        let a = Point::new(0.1, 0.4);
+        let b = Point::new(0.6, 0.8);
+        assert_eq!(Euclidean.dist(&a, &b), a.dist(&b));
+        assert_eq!(Euclidean.name(), "euclidean");
+    }
+
+    #[test]
+    fn chebyshev_matches_point_linf() {
+        let a = Point::new(0.1, 0.4);
+        let b = Point::new(0.6, 0.8);
+        assert_eq!(Chebyshev.dist(&a, &b), a.dist_linf(&b));
+    }
+
+    #[test]
+    fn paper_model_is_squared_distance() {
+        let m = PathLoss::paper();
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(0.3, 0.4);
+        assert!((m.energy(&a, &b) - 0.25).abs() < 1e-15);
+        assert!((m.energy_bidirectional(&a, &b) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn energy_scales_with_a() {
+        let m = PathLoss::new(3.0, 2.0);
+        assert!((m.energy_for_distance(2.0) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_quadratic_alpha_uses_powf() {
+        let m = PathLoss::new(1.0, 4.0);
+        assert!((m.energy_for_distance(0.5) - 0.0625).abs() < 1e-15);
+        let m1 = PathLoss::new(1.0, 1.0);
+        assert!((m1.energy_for_distance(0.5) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_distance_costs_nothing() {
+        let m = PathLoss::paper();
+        assert_eq!(m.energy_for_distance(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_non_positive_alpha() {
+        let _ = PathLoss::new(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "a must be positive")]
+    fn rejects_non_positive_a() {
+        let _ = PathLoss::new(0.0, 2.0);
+    }
+
+    #[test]
+    fn default_is_paper_model() {
+        assert_eq!(PathLoss::default(), PathLoss::paper());
+    }
+}

@@ -1,0 +1,241 @@
+//! Two-dimensional points in the unit square.
+//!
+//! The paper's model (§II) places `n` nodes uniformly at random in the unit
+//! square `[0,1]²`. Every geometric quantity in the reproduction — edge
+//! weights, transmission radii, percolation cells — is derived from these
+//! points, so [`Point`] is deliberately a plain `f64` pair with value
+//! semantics and no hidden state.
+
+use std::fmt;
+
+/// A point in the plane.
+///
+/// Coordinates are finite `f64`s; samplers in this crate only ever produce
+/// points inside `[0,1]²` but the type itself places no such restriction so
+/// that tests can probe boundary behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// This is the paper's default message energy (`α = 2`, `a = 1`):
+    /// transmitting one message over the edge `(u, v)` costs
+    /// `d(u,v)²` (§II, "energy complexity").
+    ///
+    /// ```
+    /// use emst_geom::Point;
+    /// let u = Point::new(0.0, 0.0);
+    /// let v = Point::new(0.3, 0.4);
+    /// assert_eq!(u.dist_sq(&v), 0.25); // one message costs 0.25
+    /// assert_eq!(u.dist(&v), 0.5);
+    /// ```
+    #[inline]
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Chebyshev (L∞) distance to `other`.
+    ///
+    /// The percolation proof of Theorem 5.2 replaces Euclidean distance by
+    /// `max(|x₁−x₂|, |y₁−y₂|)` "to simplify the analysis"; we expose it so
+    /// the percolation crate can follow the proof exactly.
+    #[inline]
+    pub fn dist_linf(&self, other: &Point) -> f64 {
+        let dx = (self.x - other.x).abs();
+        let dy = (self.y - other.y).abs();
+        dx.max(dy)
+    }
+
+    /// Euclidean distance raised to the power `alpha`.
+    ///
+    /// Generalised path-loss cost `d^α` (§II allows any small positive α;
+    /// the paper focuses on α ∈ {1, 2}).
+    #[inline]
+    pub fn dist_pow(&self, other: &Point, alpha: f64) -> f64 {
+        if alpha == 2.0 {
+            self.dist_sq(other)
+        } else if alpha == 1.0 {
+            self.dist(other)
+        } else {
+            self.dist(other).powf(alpha)
+        }
+    }
+
+    /// The diagonal rank key used by Co-NNT (§VI): nodes are ordered by
+    /// `x + y`, ties broken by `y`. Returns the primary key.
+    #[inline]
+    pub fn diag_sum(&self) -> f64 {
+        self.x + self.y
+    }
+
+    /// True if the point lies in the closed unit square.
+    #[inline]
+    pub fn in_unit_square(&self) -> bool {
+        (0.0..=1.0).contains(&self.x) && (0.0..=1.0).contains(&self.y)
+    }
+
+    /// Component-wise midpoint, used by test helpers.
+    #[inline]
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// Total order on points by the Co-NNT diagonal rank (§VI):
+/// `rank(u) < rank(v)` iff `xᵤ+yᵤ < xᵥ+yᵥ`, or the sums are equal and
+/// `yᵤ < yᵥ`. Distinct random points are totally ordered with probability 1.
+#[inline]
+pub fn diag_rank_less(u: &Point, v: &Point) -> bool {
+    let (su, sv) = (u.diag_sum(), v.diag_sum());
+    su < sv || (su == sv && u.y < v.y)
+}
+
+/// Total order on points by the x-rank of Khan et al. \[15\]:
+/// `rank(u) < rank(v)` iff `xᵤ < xᵥ`, ties broken by `y`. Kept for the A3
+/// ablation comparing ranking schemes.
+#[inline]
+pub fn x_rank_less(u: &Point, v: &Point) -> bool {
+    u.x < v.x || (u.x == v.x && u.y < v.y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_sq_matches_hand_computed() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let a = Point::new(0.2, 0.9);
+        let b = Point::new(0.7, 0.1);
+        assert_eq!(a.dist(&b), b.dist(&a));
+        assert_eq!(a.dist_linf(&b), b.dist_linf(&a));
+    }
+
+    #[test]
+    fn dist_to_self_is_zero() {
+        let p = Point::new(0.42, 0.17);
+        assert_eq!(p.dist(&p), 0.0);
+        assert_eq!(p.dist_sq(&p), 0.0);
+        assert_eq!(p.dist_linf(&p), 0.0);
+    }
+
+    #[test]
+    fn linf_le_euclidean_le_sqrt2_linf() {
+        let a = Point::new(0.11, 0.53);
+        let b = Point::new(0.87, 0.22);
+        let l2 = a.dist(&b);
+        let linf = a.dist_linf(&b);
+        assert!(linf <= l2 + 1e-15);
+        assert!(l2 <= linf * std::f64::consts::SQRT_2 + 1e-15);
+    }
+
+    #[test]
+    fn dist_pow_special_cases_agree_with_generic() {
+        let a = Point::new(0.1, 0.2);
+        let b = Point::new(0.9, 0.5);
+        assert!((a.dist_pow(&b, 2.0) - a.dist(&b).powf(2.0)).abs() < 1e-12);
+        assert!((a.dist_pow(&b, 1.0) - a.dist(&b)).abs() < 1e-12);
+        assert!((a.dist_pow(&b, 3.5) - a.dist(&b).powf(3.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diag_rank_orders_by_sum_then_y() {
+        let lo = Point::new(0.1, 0.1); // sum 0.2
+        let hi = Point::new(0.9, 0.9); // sum 1.8
+        assert!(diag_rank_less(&lo, &hi));
+        assert!(!diag_rank_less(&hi, &lo));
+        // Equal sums: tie broken by y.
+        let a = Point::new(0.6, 0.2); // sum 0.8, y = 0.2
+        let b = Point::new(0.3, 0.5); // sum 0.8, y = 0.5
+        assert!(diag_rank_less(&a, &b));
+        assert!(!diag_rank_less(&b, &a));
+    }
+
+    #[test]
+    fn diag_rank_is_irreflexive() {
+        let p = Point::new(0.5, 0.5);
+        assert!(!diag_rank_less(&p, &p));
+    }
+
+    #[test]
+    fn x_rank_orders_by_x_then_y() {
+        let a = Point::new(0.2, 0.9);
+        let b = Point::new(0.3, 0.0);
+        assert!(x_rank_less(&a, &b));
+        let c = Point::new(0.2, 0.95);
+        assert!(x_rank_less(&a, &c));
+        assert!(!x_rank_less(&c, &a));
+    }
+
+    #[test]
+    fn in_unit_square_boundaries() {
+        assert!(Point::new(0.0, 0.0).in_unit_square());
+        assert!(Point::new(1.0, 1.0).in_unit_square());
+        assert!(!Point::new(1.0 + 1e-12, 0.5).in_unit_square());
+        assert!(!Point::new(0.5, -1e-12).in_unit_square());
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.5);
+        let m = a.midpoint(&b);
+        assert_eq!(m, Point::new(0.5, 0.25));
+        assert!((a.dist(&m) - b.dist(&m)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_formats_with_six_decimals() {
+        let p = Point::new(0.5, 0.25);
+        assert_eq!(format!("{p}"), "(0.500000, 0.250000)");
+    }
+
+    #[test]
+    fn from_tuple_roundtrip() {
+        let p: Point = (0.25, 0.75).into();
+        assert_eq!(p, Point::new(0.25, 0.75));
+    }
+}

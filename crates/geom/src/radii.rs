@@ -1,0 +1,163 @@
+//! The paper's canonical transmission radii.
+//!
+//! Three radius regimes matter in the paper:
+//!
+//! * **Percolation radius** `r₁ = √(c₁/n)` (Theorem 5.2): above the site
+//!   percolation threshold there is whp a unique giant component and every
+//!   other component is trapped in a small region of ≤ β·log² n nodes.
+//!   The experiments (§VII) use `r₁ = 1.4·√(1/n)`, i.e. `c₁ = 1.96`.
+//! * **Connectivity radius** `r₂ = √(c₂·ln n / n)` (Theorem 5.1, after
+//!   Gupta–Kumar): for `c₂ > 4`(paper's sufficient constant) the random
+//!   geometric graph is connected whp. The experiments use
+//!   `r₂ = 1.6·√(ln n / n)`, i.e. `c₂ = 2.56` — smaller than the sufficient
+//!   constant but empirically connected at the simulated sizes.
+//! * **Co-NNT probe radii** `rᵢ = √(2ⁱ/n)` (§VI): doubling-area escalation.
+
+/// Multiplier used by §VII for the percolation radius: `r₁ = 1.4·√(1/n)`.
+pub const PAPER_PHASE1_MULTIPLIER: f64 = 1.4;
+
+/// Multiplier used by §VII for the connectivity radius:
+/// `r₂ = 1.6·√(ln n / n)`.
+pub const PAPER_PHASE2_MULTIPLIER: f64 = 1.6;
+
+/// Percolation-regime radius `√(c₁/n)`.
+///
+/// Panics if `n == 0` or `c1 <= 0`.
+#[inline]
+pub fn percolation_radius(c1: f64, n: usize) -> f64 {
+    assert!(n > 0, "need at least one node");
+    assert!(c1 > 0.0, "c1 must be positive, got {c1}");
+    (c1 / n as f64).sqrt()
+}
+
+/// Connectivity-regime radius `√(c₂·ln n / n)`.
+///
+/// For `n = 1` (where `ln n = 0`) this returns 0; callers should treat a
+/// single node as trivially connected.
+#[inline]
+pub fn connectivity_radius(c2: f64, n: usize) -> f64 {
+    assert!(n > 0, "need at least one node");
+    assert!(c2 > 0.0, "c2 must be positive, got {c2}");
+    (c2 * (n as f64).ln() / n as f64).sqrt()
+}
+
+/// The §VII phase-1 radius `1.4·√(1/n)`.
+#[inline]
+pub fn paper_phase1_radius(n: usize) -> f64 {
+    percolation_radius(PAPER_PHASE1_MULTIPLIER * PAPER_PHASE1_MULTIPLIER, n)
+}
+
+/// The §VII phase-2 / GHS radius `1.6·√(ln n / n)`.
+///
+/// ```
+/// let r = emst_geom::paper_phase2_radius(1000);
+/// assert!((r - 1.6 * (1000f64.ln() / 1000.0).sqrt()).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn paper_phase2_radius(n: usize) -> f64 {
+    connectivity_radius(PAPER_PHASE2_MULTIPLIER * PAPER_PHASE2_MULTIPLIER, n)
+}
+
+/// Co-NNT probe radius for phase `i ≥ 1`: `rᵢ = √(2ⁱ/n)` (§VI). The probed
+/// disk area doubles each phase, so the expected number of higher-ranked
+/// nodes heard doubles too.
+#[inline]
+pub fn nnt_probe_radius(i: u32, n: usize) -> f64 {
+    assert!(n > 0, "need at least one node");
+    assert!(i >= 1, "probe phases are 1-indexed");
+    (2f64.powi(i as i32) / n as f64).sqrt()
+}
+
+/// Number of Co-NNT probe phases needed to cover a potential distance `l`:
+/// `m = ⌈log₂(n·l²)⌉`, clamped to at least 1 (§VI uses `m = ⌈lg n·Lᵤ²⌉`).
+#[inline]
+pub fn nnt_probe_phases(l: f64, n: usize) -> u32 {
+    assert!(n > 0, "need at least one node");
+    if l <= 0.0 {
+        return 1;
+    }
+    let m = (n as f64 * l * l).log2().ceil();
+    if m < 1.0 {
+        1
+    } else {
+        m as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percolation_radius_scales_as_inverse_sqrt_n() {
+        let r100 = percolation_radius(1.96, 100);
+        let r400 = percolation_radius(1.96, 400);
+        assert!((r100 / r400 - 2.0).abs() < 1e-12);
+        assert!((r100 - 0.14).abs() < 1e-12);
+    }
+
+    #[test]
+    fn connectivity_radius_matches_formula() {
+        let n = 1000;
+        let r = connectivity_radius(2.56, n);
+        let expect = (2.56 * (n as f64).ln() / n as f64).sqrt();
+        assert_eq!(r, expect);
+    }
+
+    #[test]
+    fn paper_radii_match_section_vii() {
+        let n = 1000;
+        let r1 = paper_phase1_radius(n);
+        assert!((r1 - 1.4 * (1.0 / n as f64).sqrt()).abs() < 1e-12);
+        let r2 = paper_phase2_radius(n);
+        assert!((r2 - 1.6 * ((n as f64).ln() / n as f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase2_radius_exceeds_phase1_for_n_ge_3() {
+        // ln n > (1.4/1.6)² ≈ 0.766 for all n ≥ 3, so the phase-2 radius is
+        // strictly larger — the EOPT radius increase in Step 2 is real.
+        for n in [3usize, 10, 100, 5000] {
+            assert!(
+                paper_phase2_radius(n) > paper_phase1_radius(n),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn nnt_probe_radii_double_in_area() {
+        let n = 500;
+        for i in 1..10 {
+            let a_i = nnt_probe_radius(i, n).powi(2);
+            let a_next = nnt_probe_radius(i + 1, n).powi(2);
+            assert!((a_next / a_i - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nnt_probe_phase_count_covers_potential_distance() {
+        let n = 1000;
+        // The final probe radius must reach the potential distance l.
+        for &l in &[0.05, 0.3, 1.0, std::f64::consts::SQRT_2] {
+            let m = nnt_probe_phases(l, n);
+            assert!(
+                nnt_probe_radius(m, n) >= l - 1e-12,
+                "l = {l}, m = {m}, r_m = {}",
+                nnt_probe_radius(m, n)
+            );
+        }
+    }
+
+    #[test]
+    fn nnt_probe_phases_at_least_one() {
+        assert_eq!(nnt_probe_phases(0.0, 100), 1);
+        assert_eq!(nnt_probe_phases(1e-9, 100), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = percolation_radius(1.0, 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the geometry substrate.
+
+use emst_geom::{
+    diag_rank_less, nnt_probe_phases, nnt_probe_radius, BucketGrid, PathLoss, Point,
+};
+use proptest::prelude::*;
+
+fn unit_point() -> impl Strategy<Value = Point> {
+    (0.0f64..=1.0, 0.0f64..=1.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn point_cloud(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(unit_point(), 1..max)
+}
+
+proptest! {
+    /// Metric axioms for the Euclidean distance.
+    #[test]
+    fn euclidean_triangle_inequality(a in unit_point(), b in unit_point(), c in unit_point()) {
+        prop_assert!(a.dist(&c) <= a.dist(&b) + b.dist(&c) + 1e-12);
+    }
+
+    #[test]
+    fn euclidean_symmetry(a in unit_point(), b in unit_point()) {
+        prop_assert!((a.dist(&b) - b.dist(&a)).abs() < 1e-15);
+    }
+
+    /// L∞ ≤ L2 ≤ √2·L∞ in the plane.
+    #[test]
+    fn metric_equivalence(a in unit_point(), b in unit_point()) {
+        let l2 = a.dist(&b);
+        let linf = a.dist_linf(&b);
+        prop_assert!(linf <= l2 + 1e-15);
+        prop_assert!(l2 <= linf * std::f64::consts::SQRT_2 + 1e-15);
+    }
+
+    /// The diagonal rank is a strict total order on distinct points.
+    #[test]
+    fn diag_rank_total_order(a in unit_point(), b in unit_point()) {
+        if a != b {
+            prop_assert!(diag_rank_less(&a, &b) ^ diag_rank_less(&b, &a));
+        } else {
+            prop_assert!(!diag_rank_less(&a, &b));
+        }
+    }
+
+    #[test]
+    fn diag_rank_transitive(a in unit_point(), b in unit_point(), c in unit_point()) {
+        if diag_rank_less(&a, &b) && diag_rank_less(&b, &c) {
+            prop_assert!(diag_rank_less(&a, &c));
+        }
+    }
+
+    /// Energy model: monotone in distance, scales as d^α.
+    #[test]
+    fn energy_monotone_in_distance(d1 in 0.0f64..1.0, d2 in 0.0f64..1.0,
+                                   alpha in 0.5f64..4.0) {
+        let m = PathLoss::new(1.0, alpha);
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(m.energy_for_distance(lo) <= m.energy_for_distance(hi) + 1e-15);
+    }
+
+    /// Grid disk queries agree with brute force on random clouds and radii.
+    #[test]
+    fn grid_disk_matches_brute_force(pts in point_cloud(120), r in 0.0f64..0.7,
+                                     qraw in 0usize..1000) {
+        let q = qraw % pts.len();
+        let grid = BucketGrid::for_radius(&pts, r.max(1e-3));
+        let mut got: Vec<usize> = Vec::new();
+        grid.for_each_in_disk(&pts[q], r, |j, _| got.push(j));
+        got.sort_unstable();
+        let mut brute: Vec<usize> = (0..pts.len())
+            .filter(|&j| pts[q].dist(&pts[j]) <= r)
+            .collect();
+        brute.sort_unstable();
+        prop_assert_eq!(got, brute);
+    }
+
+    /// Edge enumeration yields each qualifying unordered pair exactly once.
+    #[test]
+    fn grid_edges_match_brute_force(pts in point_cloud(80), r in 0.01f64..0.8) {
+        let grid = BucketGrid::for_radius(&pts, r);
+        let mut got = Vec::new();
+        grid.for_each_edge_within(r, |u, v, _| got.push((u, v)));
+        got.sort_unstable();
+        let mut brute = Vec::new();
+        for u in 0..pts.len() {
+            for v in (u + 1)..pts.len() {
+                if pts[u].dist(&pts[v]) <= r {
+                    brute.push((u, v));
+                }
+            }
+        }
+        prop_assert_eq!(got, brute);
+    }
+
+    /// Predicate-filtered nearest neighbour agrees with brute force.
+    #[test]
+    fn grid_nearest_matching_is_correct(pts in point_cloud(100), qraw in 0usize..1000) {
+        let q = qraw % pts.len();
+        let grid = BucketGrid::for_radius(&pts, 0.05);
+        let got = grid.nearest_matching(&pts[q], q, |j| diag_rank_less(&pts[q], &pts[j]));
+        let brute = (0..pts.len())
+            .filter(|&j| j != q && diag_rank_less(&pts[q], &pts[j]))
+            .map(|j| (j, pts[q].dist(&pts[j])))
+            .min_by(|a, b| a.1.total_cmp(&b.1));
+        match (got, brute) {
+            (Some((_, gd)), Some((_, bd))) => prop_assert!((gd - bd).abs() < 1e-12),
+            (None, None) => {}
+            (g, b) => prop_assert!(false, "mismatch {:?} vs {:?}", g, b),
+        }
+    }
+
+    /// k-NN distances agree with brute force for all k.
+    #[test]
+    fn grid_k_nearest_is_correct(pts in point_cloud(60), qraw in 0usize..1000,
+                                 k in 1usize..60) {
+        let q = qraw % pts.len();
+        let grid = BucketGrid::for_radius(&pts, 0.08);
+        let got = grid.k_nearest(q, k);
+        let mut brute: Vec<f64> = (0..pts.len())
+            .filter(|&j| j != q)
+            .map(|j| pts[q].dist(&pts[j]))
+            .collect();
+        brute.sort_unstable_by(|a, b| a.total_cmp(b));
+        brute.truncate(k);
+        prop_assert_eq!(got.len(), brute.len());
+        for (g, b) in got.iter().zip(brute.iter()) {
+            prop_assert!((g.1 - b).abs() < 1e-12);
+        }
+    }
+
+    /// NNT probe schedule: the last probe radius always covers l, and the
+    /// penultimate one does not overshoot by more than the doubling factor.
+    #[test]
+    fn nnt_probe_schedule_covers(l in 0.001f64..1.5, n in 2usize..100_000) {
+        let m = nnt_probe_phases(l, n);
+        prop_assert!(nnt_probe_radius(m, n) >= l - 1e-12);
+        if m > 1 {
+            prop_assert!(nnt_probe_radius(m - 1, n) < l + 1e-9);
+        }
+    }
+}

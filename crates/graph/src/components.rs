@@ -1,0 +1,195 @@
+//! Connected components of undirected graphs.
+//!
+//! Theorem 5.1/5.2 experiments need component structure of the RGG at both
+//! radius regimes: connectivity testing at `r₂ = √(c₂ ln n/n)` and the
+//! giant-component/small-component decomposition at `r₁ = √(c₁/n)`.
+
+use crate::adjacency::Graph;
+
+/// Connected-component decomposition.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Dense component label per vertex, in `0..count`.
+    pub label: Vec<usize>,
+    /// Component sizes, indexed by label.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Labels components by iterative BFS (no recursion: instances can be
+    /// large and degenerate).
+    pub fn of(g: &Graph) -> Self {
+        let n = g.n();
+        let mut label = vec![usize::MAX; n];
+        let mut sizes = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        for s in 0..n {
+            if label[s] != usize::MAX {
+                continue;
+            }
+            let c = sizes.len();
+            sizes.push(0);
+            label[s] = c;
+            queue.push_back(s);
+            while let Some(u) = queue.pop_front() {
+                sizes[c] += 1;
+                for (v, _) in g.neighbors(u) {
+                    if label[v] == usize::MAX {
+                        label[v] = c;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        Components { label, sizes }
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// True if the graph is connected (vacuously true for the empty graph).
+    #[inline]
+    pub fn is_connected(&self) -> bool {
+        self.count() <= 1
+    }
+
+    /// Label of the largest component, or `None` for the empty graph.
+    pub fn largest(&self) -> Option<usize> {
+        (0..self.sizes.len()).max_by_key(|&c| self.sizes[c])
+    }
+
+    /// Size of the largest component (0 for the empty graph).
+    pub fn largest_size(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Size of the largest component as a fraction of all vertices.
+    pub fn giant_fraction(&self) -> f64 {
+        let n: usize = self.sizes.iter().sum();
+        if n == 0 {
+            0.0
+        } else {
+            self.largest_size() as f64 / n as f64
+        }
+    }
+
+    /// Sizes of all components except the largest, descending. These are
+    /// the "small components" of Theorem 5.2.
+    pub fn small_component_sizes(&self) -> Vec<usize> {
+        let giant = match self.largest() {
+            Some(g) => g,
+            None => return Vec::new(),
+        };
+        let mut v: Vec<usize> = (0..self.sizes.len())
+            .filter(|&c| c != giant)
+            .map(|c| self.sizes[c])
+            .collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+
+    /// Vertices of component `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        (0..self.label.len()).filter(|&v| self.label[v] == c).collect()
+    }
+}
+
+/// Convenience: is the graph connected?
+pub fn is_connected(g: &Graph) -> bool {
+    Components::of(g).is_connected()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::Edge;
+
+    fn graph(n: usize, pairs: &[(usize, usize)]) -> Graph {
+        Graph::from_edges(
+            n,
+            pairs.iter().map(|&(u, v)| Edge::new(u, v, 1.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn single_component_path() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let c = Components::of(&g);
+        assert_eq!(c.count(), 1);
+        assert!(c.is_connected());
+        assert_eq!(c.largest_size(), 4);
+        assert_eq!(c.giant_fraction(), 1.0);
+        assert!(c.small_component_sizes().is_empty());
+    }
+
+    #[test]
+    fn two_components() {
+        let g = graph(5, &[(0, 1), (2, 3), (3, 4)]);
+        let c = Components::of(&g);
+        assert_eq!(c.count(), 2);
+        assert!(!c.is_connected());
+        assert_eq!(c.largest_size(), 3);
+        assert_eq!(c.small_component_sizes(), vec![2]);
+        assert_eq!(c.label[0], c.label[1]);
+        assert_eq!(c.label[2], c.label[4]);
+        assert_ne!(c.label[0], c.label[2]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        let g = graph(4, &[(1, 2)]);
+        let c = Components::of(&g);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.largest_size(), 2);
+        let mut small = c.small_component_sizes();
+        small.sort_unstable();
+        assert_eq!(small, vec![1, 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph(0, &[]);
+        let c = Components::of(&g);
+        assert_eq!(c.count(), 0);
+        assert!(c.is_connected());
+        assert_eq!(c.largest(), None);
+        assert_eq!(c.giant_fraction(), 0.0);
+    }
+
+    #[test]
+    fn members_returns_component_vertices() {
+        let g = graph(5, &[(0, 1), (2, 3), (3, 4)]);
+        let c = Components::of(&g);
+        let mut m = c.members(c.label[2]);
+        m.sort_unstable();
+        assert_eq!(m, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn sizes_sum_to_n() {
+        let g = graph(7, &[(0, 1), (1, 2), (4, 5)]);
+        let c = Components::of(&g);
+        assert_eq!(c.sizes.iter().sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn geometric_connectivity_at_large_radius() {
+        use emst_geom::{trial_rng, uniform_points};
+        let pts = uniform_points(200, &mut trial_rng(31, 0));
+        // Radius √2 connects everything in the unit square.
+        let g = Graph::geometric(&pts, 1.5);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn geometric_disconnection_at_tiny_radius() {
+        use emst_geom::{trial_rng, uniform_points};
+        let pts = uniform_points(200, &mut trial_rng(32, 0));
+        let g = Graph::geometric(&pts, 1e-6);
+        let c = Components::of(&g);
+        assert_eq!(c.count(), 200, "tiny radius must isolate every node");
+    }
+}

@@ -1,0 +1,331 @@
+//! Delaunay triangulation (Bowyer–Watson) and the Delaunay-based exact
+//! Euclidean MST.
+//!
+//! The Euclidean MST is a subgraph of the Delaunay triangulation, so
+//! `MST(points) = MST(Delaunay edges)` — a classical `O(n log n)`-class
+//! route to the exact EMST that does not depend on a connectivity radius.
+//! In this workspace it serves two roles:
+//!
+//! * a third, structurally independent EMST oracle (grid-Kruskal, brute
+//!   Prim and Delaunay-Kruskal agree ⇒ very strong correctness evidence
+//!   for the baseline the §VII quality table is measured against);
+//! * a planar `O(n)`-edge backbone some topology-control schemes prefer
+//!   over the `Θ(n log n)`-edge RGG (see the `topology_control` example).
+//!
+//! The implementation is the textbook incremental Bowyer–Watson with a
+//! super-triangle, straightforward `f64` in-circumcircle tests and a small
+//! safety margin. Random (generic-position) inputs — the paper's setting —
+//! are handled exactly; degenerate inputs (many collinear/cocircular
+//! points) may produce a triangulation that misses Delaunay edges, so
+//! [`euclidean_mst_delaunay`] verifies its output spans and falls back to
+//! the radius-growing method otherwise.
+
+use crate::adjacency::Edge;
+use crate::mst;
+use crate::tree::SpanningTree;
+use crate::union_find::UnionFind;
+use emst_geom::Point;
+
+/// A triangle by vertex indices into an internal point array (the last
+/// three points are the super-triangle's vertices).
+#[derive(Debug, Clone, Copy)]
+struct Tri {
+    v: [u32; 3],
+    /// Circumcenter.
+    cx: f64,
+    cy: f64,
+    /// Squared circumradius.
+    r2: f64,
+}
+
+/// Circumcircle of three points; `None` when (near-)collinear.
+fn circumcircle(a: &Point, b: &Point, c: &Point) -> Option<(f64, f64, f64)> {
+    let d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+    if d.abs() < 1e-12 {
+        return None;
+    }
+    let a2 = a.x * a.x + a.y * a.y;
+    let b2 = b.x * b.x + b.y * b.y;
+    let c2 = c.x * c.x + c.y * c.y;
+    let ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+    let uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+    let dx = a.x - ux;
+    let dy = a.y - uy;
+    Some((ux, uy, dx * dx + dy * dy))
+}
+
+/// The Delaunay triangulation's undirected edge set over `points`
+/// (indices into `points`), weighted by Euclidean length.
+///
+/// For fewer than 2 points the result is empty; for exactly 2 it is the
+/// single connecting edge. Degenerate inputs may yield a subset of the
+/// true Delaunay edges (see module docs).
+pub fn delaunay_edges(points: &[Point]) -> Vec<Edge> {
+    let n = points.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    if n == 2 {
+        return vec![Edge::new(0, 1, points[0].dist(&points[1]))];
+    }
+    // Working point array with the super-triangle appended. The unit
+    // square is covered comfortably by this giant triangle.
+    let mut pts: Vec<Point> = points.to_vec();
+    let s0 = n as u32;
+    let (s1, s2) = (n as u32 + 1, n as u32 + 2);
+    pts.push(Point::new(-10.0, -10.0));
+    pts.push(Point::new(30.0, -10.0));
+    pts.push(Point::new(-10.0, 30.0));
+
+    let make = |v: [u32; 3], pts: &[Point]| -> Option<Tri> {
+        circumcircle(
+            &pts[v[0] as usize],
+            &pts[v[1] as usize],
+            &pts[v[2] as usize],
+        )
+        .map(|(cx, cy, r2)| Tri { v, cx, cy, r2 })
+    };
+    let mut tris: Vec<Tri> =
+        vec![make([s0, s1, s2], &pts).expect("super-triangle is non-degenerate")];
+
+    let mut bad: Vec<usize> = Vec::new();
+    let mut boundary: Vec<(u32, u32)> = Vec::new();
+    for p in 0..n {
+        let pt = pts[p];
+        // Triangles whose circumcircle contains the new point. The small
+        // epsilon biases towards re-triangulation, which is safe (it can
+        // only produce extra candidate edges for the MST step).
+        bad.clear();
+        for (i, t) in tris.iter().enumerate() {
+            let dx = pt.x - t.cx;
+            let dy = pt.y - t.cy;
+            if dx * dx + dy * dy <= t.r2 * (1.0 + 1e-12) + 1e-18 {
+                bad.push(i);
+            }
+        }
+        // Boundary of the cavity: edges appearing in exactly one bad
+        // triangle.
+        boundary.clear();
+        for &i in &bad {
+            let v = tris[i].v;
+            for (a, b) in [(v[0], v[1]), (v[1], v[2]), (v[2], v[0])] {
+                let key = (a.min(b), a.max(b));
+                if let Some(pos) = boundary.iter().position(|&e| e == key) {
+                    boundary.swap_remove(pos);
+                } else {
+                    boundary.push(key);
+                }
+            }
+        }
+        // Remove bad triangles (descending indices keep swap_remove sane).
+        for &i in bad.iter().rev() {
+            tris.swap_remove(i);
+        }
+        // Re-triangulate the cavity as a fan from the new point.
+        for &(a, b) in &boundary {
+            if let Some(t) = make([a, b, p as u32], &pts) {
+                tris.push(t);
+            }
+        }
+    }
+
+    // Collect edges of triangles not touching the super-triangle.
+    let mut seen = std::collections::HashSet::new();
+    let mut edges = Vec::new();
+    for t in &tris {
+        if t.v.iter().any(|&v| v >= n as u32) {
+            continue;
+        }
+        for (a, b) in [(t.v[0], t.v[1]), (t.v[1], t.v[2]), (t.v[2], t.v[0])] {
+            let key = (a.min(b), a.max(b));
+            if seen.insert(key) {
+                edges.push(Edge::new(
+                    key.0 as usize,
+                    key.1 as usize,
+                    points[key.0 as usize].dist(&points[key.1 as usize]),
+                ));
+            }
+        }
+    }
+    edges
+}
+
+/// Exact Euclidean MST via the Delaunay triangulation: Kruskal over the
+/// `O(n)` Delaunay edges. Falls back to the radius-growing method
+/// ([`mst::euclidean_mst`]) if the triangulation fails to span (degenerate
+/// input), so the result is always a valid spanning tree for `n ≥ 1`.
+pub fn euclidean_mst_delaunay(points: &[Point]) -> SpanningTree {
+    let n = points.len();
+    if n <= 1 {
+        return SpanningTree::new(n, Vec::new());
+    }
+    let edges = delaunay_edges(points);
+    let mut sorted = edges;
+    sorted.sort_unstable_by(|a, b| {
+        a.w.total_cmp(&b.w).then_with(|| (a.u, a.v).cmp(&(b.u, b.v)))
+    });
+    let mut uf = UnionFind::new(n);
+    let mut out = Vec::with_capacity(n - 1);
+    for e in sorted {
+        if uf.union(e.u as usize, e.v as usize) {
+            out.push(e);
+        }
+    }
+    let t = SpanningTree::new(n, out);
+    if t.is_valid() {
+        t
+    } else {
+        mst::euclidean_mst(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_geom::{trial_rng, uniform_points};
+
+    /// Brute-force Delaunay check: an edge (u, v) is Delaunay iff some
+    /// circle through u and v contains no other point — for testing we use
+    /// the stronger triangle criterion on the produced triangulation
+    /// indirectly, via the MST property and edge-count bounds.
+    #[test]
+    fn triangulation_edge_count_bounds() {
+        // Planar graph: |E| ≤ 3n − 6; Delaunay of generic points is a
+        // triangulation of the convex hull: |E| ≥ 2n − 3 for n ≥ 3... use
+        // the safe lower bound n − 1 (spanning) plus planarity.
+        for seed in 0..5 {
+            let pts = uniform_points(200, &mut trial_rng(601, seed));
+            let edges = delaunay_edges(&pts);
+            assert!(edges.len() <= 3 * pts.len() - 6, "planarity violated");
+            assert!(edges.len() >= pts.len() - 1, "not spanning");
+        }
+    }
+
+    #[test]
+    fn triangulation_spans_random_points() {
+        let pts = uniform_points(300, &mut trial_rng(602, 0));
+        let edges = delaunay_edges(&pts);
+        let mut uf = UnionFind::new(pts.len());
+        for e in &edges {
+            uf.union(e.u as usize, e.v as usize);
+        }
+        assert_eq!(uf.set_count(), 1);
+    }
+
+    #[test]
+    fn contains_all_nearest_neighbor_edges() {
+        // The nearest-neighbour graph is a subgraph of Delaunay.
+        let pts = uniform_points(150, &mut trial_rng(603, 0));
+        let edges = delaunay_edges(&pts);
+        let has = |u: usize, v: usize| {
+            edges
+                .iter()
+                .any(|e| e.endpoints() == (u.min(v), u.max(v)))
+        };
+        for u in 0..pts.len() {
+            let nn = (0..pts.len())
+                .filter(|&v| v != u)
+                .min_by(|&a, &b| pts[u].dist(&pts[a]).total_cmp(&pts[u].dist(&pts[b])))
+                .unwrap();
+            assert!(has(u, nn), "nearest-neighbour edge ({u},{nn}) missing");
+        }
+    }
+
+    #[test]
+    fn delaunay_mst_matches_grid_mst() {
+        for seed in 0..8 {
+            let pts = uniform_points(250, &mut trial_rng(604, seed));
+            let a = euclidean_mst_delaunay(&pts);
+            let b = mst::euclidean_mst(&pts);
+            assert!(a.is_valid());
+            assert!(
+                a.same_edges(&b),
+                "seed {seed}: Delaunay MST {} vs grid MST {}",
+                a.cost(1.0),
+                b.cost(1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_circumcircle_property_small() {
+        // Direct Delaunay check on a small instance: for every produced
+        // triangle, no input point lies strictly inside its circumcircle.
+        let pts = uniform_points(60, &mut trial_rng(605, 0));
+        // Re-run the internals: easiest is to re-derive triangles from the
+        // edge set via the MST property — instead check pairwise: every
+        // Delaunay edge admits an empty circle (the circumcircle of its
+        // diametral circle shrunk): weaker but meaningful — the *diametral*
+        // test characterises Gabriel edges, a subset; so check that all
+        // Gabriel edges are present.
+        let edges = delaunay_edges(&pts);
+        let has = |u: usize, v: usize| {
+            edges
+                .iter()
+                .any(|e| e.endpoints() == (u.min(v), u.max(v)))
+        };
+        for u in 0..pts.len() {
+            for v in (u + 1)..pts.len() {
+                let mid = pts[u].midpoint(&pts[v]);
+                let r2 = pts[u].dist_sq(&pts[v]) / 4.0;
+                let gabriel = (0..pts.len())
+                    .filter(|&w| w != u && w != v)
+                    .all(|w| mid.dist_sq(&pts[w]) > r2 + 1e-15);
+                if gabriel {
+                    assert!(has(u, v), "Gabriel edge ({u},{v}) missing from Delaunay");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert!(delaunay_edges(&[]).is_empty());
+        assert!(delaunay_edges(&[Point::new(0.5, 0.5)]).is_empty());
+        let two = delaunay_edges(&[Point::new(0.2, 0.2), Point::new(0.8, 0.8)]);
+        assert_eq!(two.len(), 1);
+        let t = euclidean_mst_delaunay(&[Point::new(0.2, 0.2), Point::new(0.8, 0.8)]);
+        assert!(t.is_valid());
+        assert_eq!(t.edges().len(), 1);
+    }
+
+    #[test]
+    fn three_points_form_one_triangle() {
+        let pts = [
+            Point::new(0.1, 0.1),
+            Point::new(0.9, 0.2),
+            Point::new(0.5, 0.8),
+        ];
+        let edges = delaunay_edges(&pts);
+        assert_eq!(edges.len(), 3);
+    }
+
+    #[test]
+    fn collinear_input_still_yields_spanning_mst() {
+        // Perfectly collinear points degenerate the triangulation; the MST
+        // wrapper must fall back and still span.
+        let pts: Vec<Point> = (0..20)
+            .map(|i| Point::new(0.05 + 0.045 * i as f64, 0.5))
+            .collect();
+        let t = euclidean_mst_delaunay(&pts);
+        assert!(t.is_valid(), "{:?}", t.validate());
+        // The MST of collinear points is the path; cost = span length.
+        assert!((t.cost(1.0) - 0.045 * 19.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clustered_points_are_handled() {
+        let mut rng = trial_rng(606, 0);
+        let mut pts =
+            emst_geom::sampler::uniform_points_in_rect(50, (0.0, 0.0), (0.05, 0.05), &mut rng);
+        pts.extend(emst_geom::sampler::uniform_points_in_rect(
+            50,
+            (0.95, 0.95),
+            (1.0, 1.0),
+            &mut rng,
+        ));
+        let a = euclidean_mst_delaunay(&pts);
+        let b = mst::euclidean_mst(&pts);
+        assert!(a.same_edges(&b));
+    }
+}

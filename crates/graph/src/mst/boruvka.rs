@@ -1,0 +1,189 @@
+//! Borůvka's algorithm: repeated minimum-outgoing-edge contraction.
+//!
+//! This is the sequential skeleton of GHS — each "phase" every component
+//! selects its minimum-weight outgoing edge (MOE) and all selected edges are
+//! added simultaneously. `O(m log n)` total. Having it here lets the test
+//! suite cross-check the *phase structure* of the distributed GHS (number of
+//! phases, fragment sizes per phase) against an implementation with no
+//! message-passing machinery at all.
+
+use crate::adjacency::{Edge, Graph};
+use crate::tree::SpanningTree;
+use crate::union_find::UnionFind;
+
+/// Outcome of a Borůvka run: the tree plus per-phase fragment counts
+/// (including the initial `n` singletons), exposed for phase-structure
+/// comparisons with distributed GHS.
+#[derive(Debug, Clone)]
+pub struct BoruvkaRun {
+    /// The spanning tree (or forest edges if the graph is disconnected).
+    pub edges: Vec<Edge>,
+    /// `fragments[p]` = number of fragments at the start of phase `p`;
+    /// the run stops when no fragment has an outgoing edge.
+    pub fragments: Vec<usize>,
+}
+
+/// Minimum spanning tree of a connected graph; `None` if disconnected.
+pub fn boruvka_mst(g: &Graph) -> Option<SpanningTree> {
+    let run = boruvka_run(g);
+    let t = SpanningTree::new(g.n(), run.edges);
+    if t.is_valid() {
+        Some(t)
+    } else {
+        None
+    }
+}
+
+/// Full Borůvka execution with phase statistics. Works on disconnected
+/// graphs (produces the minimum spanning forest).
+///
+/// Ties are broken by `(w, u, v)` lexicographic order, which makes the MOE
+/// choice a strict total order on edges and guarantees the simultaneous
+/// additions are acyclic even with duplicate weights.
+pub fn boruvka_run(g: &Graph) -> BoruvkaRun {
+    let n = g.n();
+    let mut uf = UnionFind::new(n);
+    let mut out: Vec<Edge> = Vec::with_capacity(n.saturating_sub(1));
+    let mut fragments = Vec::new();
+    loop {
+        fragments.push(uf.set_count());
+        // MOE per fragment root.
+        let mut moe: Vec<Option<Edge>> = vec![None; n];
+        let mut any = false;
+        for e in g.edges() {
+            let (ru, rv) = (uf.find(e.u as usize), uf.find(e.v as usize));
+            if ru == rv {
+                continue;
+            }
+            any = true;
+            for r in [ru, rv] {
+                let better = match &moe[r] {
+                    None => true,
+                    Some(cur) => {
+                        (e.w, e.u, e.v) < (cur.w, cur.u, cur.v)
+                            || (e.w == cur.w && (e.u, e.v) < (cur.u, cur.v))
+                    }
+                };
+                if better {
+                    moe[r] = Some(*e);
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        for r in 0..n {
+            if let Some(e) = moe[r] {
+                if uf.union(e.u as usize, e.v as usize) {
+                    out.push(e);
+                }
+            }
+        }
+    }
+    BoruvkaRun {
+        edges: out,
+        fragments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(n: usize, pairs: &[(usize, usize, f64)]) -> Graph {
+        Graph::from_edges(
+            n,
+            pairs.iter().map(|&(u, v, w)| Edge::new(u, v, w)).collect(),
+        )
+    }
+
+    #[test]
+    fn simple_square_with_diagonal() {
+        let graph = g(
+            4,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 3.0),
+                (3, 0, 4.0),
+                (0, 2, 5.0),
+            ],
+        );
+        let t = boruvka_mst(&graph).unwrap();
+        assert_eq!(t.cost(1.0), 6.0);
+    }
+
+    #[test]
+    fn phase_count_is_logarithmic() {
+        // A path of 64 unit edges with distinct weights halves the number
+        // of fragments each phase: ≤ log2(64) + 1 phases.
+        let n = 64;
+        let pairs: Vec<(usize, usize, f64)> =
+            (1..n).map(|i| (i - 1, i, 1.0 + i as f64 * 1e-3)).collect();
+        let run = boruvka_run(&g(n, &pairs));
+        assert_eq!(run.edges.len(), n - 1);
+        assert_eq!(run.fragments[0], n);
+        assert!(
+            run.fragments.len() <= 8,
+            "too many phases: {:?}",
+            run.fragments
+        );
+        // Fragment counts at least halve every phase.
+        for w in run.fragments.windows(2) {
+            assert!(w[1] <= w[0].div_ceil(2) || w[1] == 1, "{:?}", run.fragments);
+        }
+    }
+
+    #[test]
+    fn disconnected_gives_forest() {
+        let graph = g(5, &[(0, 1, 1.0), (1, 2, 2.0), (3, 4, 1.0)]);
+        assert!(boruvka_mst(&graph).is_none());
+        let run = boruvka_run(&graph);
+        assert_eq!(run.edges.len(), 3);
+    }
+
+    #[test]
+    fn handles_duplicate_weights_without_cycles() {
+        // Complete graph on 4 vertices, all weights equal: tie-breaking by
+        // endpoint order must keep the simultaneous additions acyclic.
+        let mut pairs = Vec::new();
+        for u in 0..4usize {
+            for v in (u + 1)..4 {
+                pairs.push((u, v, 1.0));
+            }
+        }
+        let t = boruvka_mst(&g(4, &pairs)).unwrap();
+        assert!(t.is_valid());
+    }
+
+    #[test]
+    fn agrees_with_kruskal_and_prim_on_random_graphs() {
+        use emst_geom::{trial_rng, uniform_points};
+        use emst_geom::BucketGrid;
+        for seed in 0..5 {
+            let pts = uniform_points(150, &mut trial_rng(61, seed));
+            let grid = BucketGrid::for_radius(&pts, 0.3);
+            let mut edges = Vec::new();
+            grid.for_each_edge_within(0.3, |u, v, d| edges.push(Edge::new(u, v, d)));
+            let graph = Graph::from_edges(pts.len(), edges);
+            let b = boruvka_mst(&graph);
+            let k = super::super::kruskal_mst(&graph);
+            let p = super::super::prim_mst(&graph);
+            match (b, k, p) {
+                (Some(b), Some(k), Some(p)) => {
+                    assert!(b.same_edges(&k), "seed {seed}");
+                    assert!(b.same_edges(&p), "seed {seed}");
+                }
+                (None, None, None) => {}
+                other => panic!("seed {seed}: inconsistent {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_run() {
+        let run = boruvka_run(&g(0, &[]));
+        assert!(run.edges.is_empty());
+        assert_eq!(run.fragments, vec![0]);
+    }
+}

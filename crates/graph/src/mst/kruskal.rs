@@ -1,0 +1,123 @@
+//! Kruskal's algorithm: sort edges, add any edge that joins two components.
+//!
+//! `O(m log m)`; the canonical correctness oracle in this workspace because
+//! its proof (cut + cycle property) is the same argument that establishes
+//! EOPT's exactness in §V.
+
+use crate::adjacency::{Edge, Graph};
+use crate::tree::SpanningTree;
+use crate::union_find::UnionFind;
+
+/// Minimum spanning tree of a connected graph; `None` if `g` is
+/// disconnected (n ≤ 1 yields the empty tree).
+pub fn kruskal_mst(g: &Graph) -> Option<SpanningTree> {
+    let forest = kruskal_forest(g);
+    let t = SpanningTree::new(g.n(), forest);
+    if t.is_valid() {
+        Some(t)
+    } else {
+        None
+    }
+}
+
+/// Minimum spanning *forest* of an arbitrary graph: the union of MSTs of
+/// its connected components. Always succeeds; the edge count is
+/// `n − #components`.
+pub fn kruskal_forest(g: &Graph) -> Vec<Edge> {
+    let mut edges: Vec<Edge> = g.edges().to_vec();
+    edges.sort_unstable_by(|a, b| {
+        a.w.total_cmp(&b.w).then_with(|| (a.u, a.v).cmp(&(b.u, b.v)))
+    });
+    let mut uf = UnionFind::new(g.n());
+    let mut out = Vec::with_capacity(g.n().saturating_sub(1));
+    for e in edges {
+        if uf.union(e.u as usize, e.v as usize) {
+            out.push(e);
+            if out.len() + 1 == g.n() {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(n: usize, pairs: &[(usize, usize, f64)]) -> Graph {
+        Graph::from_edges(
+            n,
+            pairs.iter().map(|&(u, v, w)| Edge::new(u, v, w)).collect(),
+        )
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Classic 4-cycle with a diagonal.
+        let graph = g(
+            4,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 3.0),
+                (3, 0, 4.0),
+                (0, 2, 5.0),
+            ],
+        );
+        let t = kruskal_mst(&graph).unwrap();
+        assert_eq!(t.cost(1.0), 6.0);
+        assert_eq!(t.edge_pairs_sorted(), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn disconnected_returns_none_but_forest_succeeds() {
+        let graph = g(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        assert!(kruskal_mst(&graph).is_none());
+        let forest = kruskal_forest(&graph);
+        assert_eq!(forest.len(), 2);
+    }
+
+    #[test]
+    fn picks_lighter_parallel_route() {
+        let graph = g(3, &[(0, 1, 10.0), (0, 2, 1.0), (1, 2, 1.5)]);
+        let t = kruskal_mst(&graph).unwrap();
+        assert_eq!(t.cost(1.0), 2.5);
+        assert_eq!(t.edge_pairs_sorted(), vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn single_vertex_and_empty() {
+        assert!(kruskal_mst(&g(1, &[])).unwrap().is_valid());
+        assert!(kruskal_mst(&g(0, &[])).unwrap().is_valid());
+    }
+
+    #[test]
+    fn forest_respects_components() {
+        let graph = g(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (0, 2, 3.0),
+                (3, 4, 1.0),
+                (4, 5, 2.0),
+                (3, 5, 0.5),
+            ],
+        );
+        let forest = kruskal_forest(&graph);
+        assert_eq!(forest.len(), 4); // 6 vertices − 2 components
+        let total: f64 = forest.iter().map(|e| e.w).sum();
+        assert_eq!(total, 1.0 + 2.0 + 1.0 + 0.5);
+    }
+
+    #[test]
+    fn deterministic_under_equal_weights() {
+        // Tie-break by endpoints keeps output deterministic.
+        let graph = g(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]);
+        let a = kruskal_mst(&graph).unwrap();
+        let b = kruskal_mst(&graph).unwrap();
+        assert!(a.same_edges(&b));
+        assert_eq!(a.edge_pairs_sorted(), vec![(0, 1), (0, 2)]);
+    }
+}

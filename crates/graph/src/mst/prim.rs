@@ -1,0 +1,138 @@
+//! Prim's algorithm with a lazy binary heap.
+//!
+//! `O(m log m)` over CSR adjacency. Included as an independent oracle: a
+//! vertex-growing algorithm whose failure modes are disjoint from
+//! Kruskal's edge-sorting ones, so agreement between the two is strong
+//! evidence both are right.
+
+use crate::adjacency::{Edge, Graph};
+use crate::tree::SpanningTree;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Ordered heap entry; `total_cmp` via a wrapper because `f64: !Ord`.
+#[derive(Debug, PartialEq)]
+struct HeapKey(f64, usize, usize); // (weight, from, to)
+
+impl Eq for HeapKey {}
+
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| (self.1, self.2).cmp(&(other.1, other.2)))
+    }
+}
+
+/// Minimum spanning tree of a connected graph; `None` if disconnected.
+pub fn prim_mst(g: &Graph) -> Option<SpanningTree> {
+    let n = g.n();
+    if n <= 1 {
+        return Some(SpanningTree::new(n, Vec::new()));
+    }
+    let mut in_tree = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<HeapKey>> = BinaryHeap::new();
+    let mut edges = Vec::with_capacity(n - 1);
+    in_tree[0] = true;
+    for (v, w) in g.neighbors(0) {
+        heap.push(Reverse(HeapKey(w, 0, v)));
+    }
+    while let Some(Reverse(HeapKey(w, from, to))) = heap.pop() {
+        if in_tree[to] {
+            continue; // stale entry
+        }
+        in_tree[to] = true;
+        edges.push(Edge::new(from, to, w));
+        for (v, vw) in g.neighbors(to) {
+            if !in_tree[v] {
+                heap.push(Reverse(HeapKey(vw, to, v)));
+            }
+        }
+        if edges.len() == n - 1 {
+            break;
+        }
+    }
+    if edges.len() == n - 1 {
+        Some(SpanningTree::new(n, edges))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(n: usize, pairs: &[(usize, usize, f64)]) -> Graph {
+        Graph::from_edges(
+            n,
+            pairs.iter().map(|&(u, v, w)| Edge::new(u, v, w)).collect(),
+        )
+    }
+
+    #[test]
+    fn matches_known_mst() {
+        let graph = g(
+            5,
+            &[
+                (0, 1, 2.0),
+                (0, 3, 6.0),
+                (1, 2, 3.0),
+                (1, 3, 8.0),
+                (1, 4, 5.0),
+                (2, 4, 7.0),
+                (3, 4, 9.0),
+            ],
+        );
+        let t = prim_mst(&graph).unwrap();
+        assert!(t.is_valid());
+        assert_eq!(t.cost(1.0), 16.0); // 2 + 3 + 5 + 6
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let graph = g(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        assert!(prim_mst(&graph).is_none());
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        assert!(prim_mst(&g(0, &[])).unwrap().is_valid());
+        assert!(prim_mst(&g(1, &[])).unwrap().is_valid());
+        let two = prim_mst(&g(2, &[(0, 1, 0.5)])).unwrap();
+        assert_eq!(two.cost(1.0), 0.5);
+    }
+
+    #[test]
+    fn agrees_with_kruskal_on_random_geometric_graphs() {
+        use emst_geom::{trial_rng, uniform_points};
+        for seed in 0..5 {
+            let pts = uniform_points(200, &mut trial_rng(51, seed));
+            let graph = Graph::geometric(&pts, 0.25);
+            let p = prim_mst(&graph);
+            let k = super::super::kruskal_mst(&graph);
+            match (p, k) {
+                (Some(p), Some(k)) => {
+                    assert!(p.same_edges(&k), "seed {seed}");
+                }
+                (None, None) => {}
+                (p, k) => panic!("seed {seed}: prim {:?} kruskal {:?}", p.is_some(), k.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn stale_heap_entries_are_skipped() {
+        // Triangle where vertex 2 is reachable via two edges; the heavier
+        // must be discarded as stale.
+        let graph = g(3, &[(0, 1, 1.0), (0, 2, 5.0), (1, 2, 1.0)]);
+        let t = prim_mst(&graph).unwrap();
+        assert_eq!(t.cost(1.0), 2.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Proximity graphs: the Gabriel graph and the relative neighbourhood
+//! graph (RNG).
+//!
+//! Topology control — one of the paper's motivating applications (§I,
+//! citing Santi \[24\]) — keeps a sparse subgraph over which routing and
+//! broadcast stay cheap. The classical hierarchy
+//!
+//! ```text
+//! MST ⊆ RNG ⊆ Gabriel ⊆ Delaunay
+//! ```
+//!
+//! makes these graphs natural companions to the MST algorithms here: all
+//! four are connected, planar, locally computable to different degrees,
+//! and trade edge count against path quality. The implementations filter
+//! the Delaunay edge set (every Gabriel/RNG edge is Delaunay), giving
+//! `O(n)`-edge candidate sets and near-linear total work; the definitions
+//! are checked pairwise in tests against brute force.
+//!
+//! * **Gabriel**: `(u,v)` is kept iff the disk with diameter `uv` contains
+//!   no other point: `∀w: d²(u,w) + d²(w,v) > d²(u,v)`.
+//! * **RNG**: `(u,v)` is kept iff no point is simultaneously closer to
+//!   both ends: `∀w: max(d(u,w), d(w,v)) ≥ d(u,v)` ("lune" emptiness).
+
+use crate::adjacency::{Edge, Graph};
+use crate::delaunay::delaunay_edges;
+use emst_geom::{BucketGrid, Point};
+
+/// The Gabriel graph over `points`.
+pub fn gabriel_graph(points: &[Point]) -> Graph {
+    let candidates = delaunay_edges(points);
+    let grid = BucketGrid::for_radius(points, 0.05_f64.max(typical_spacing(points.len())));
+    let edges: Vec<Edge> = candidates
+        .into_iter()
+        .filter(|e| {
+            let (u, v) = e.endpoints();
+            gabriel_ok(points, &grid, u, v)
+        })
+        .collect();
+    Graph::from_edges(points.len(), edges)
+}
+
+/// The relative neighbourhood graph over `points`.
+pub fn rng_graph(points: &[Point]) -> Graph {
+    let candidates = delaunay_edges(points);
+    let grid = BucketGrid::for_radius(points, 0.05_f64.max(typical_spacing(points.len())));
+    let edges: Vec<Edge> = candidates
+        .into_iter()
+        .filter(|e| {
+            let (u, v) = e.endpoints();
+            rng_ok(points, &grid, u, v)
+        })
+        .collect();
+    Graph::from_edges(points.len(), edges)
+}
+
+fn typical_spacing(n: usize) -> f64 {
+    (1.0 / (n.max(1) as f64)).sqrt()
+}
+
+/// Diametral-disk emptiness: no third point inside the circle with
+/// diameter `uv` (boundary points do not disqualify — consistent with the
+/// strict-interior definition and distinct random inputs).
+fn gabriel_ok(points: &[Point], grid: &BucketGrid<'_>, u: usize, v: usize) -> bool {
+    let mid = points[u].midpoint(&points[v]);
+    let r2 = points[u].dist_sq(&points[v]) / 4.0;
+    let mut ok = true;
+    grid.for_each_in_disk(&mid, r2.sqrt(), |w, _| {
+        if w != u && w != v && mid.dist_sq(&points[w]) < r2 - 1e-15 {
+            ok = false;
+        }
+    });
+    ok
+}
+
+/// Lune emptiness: no third point strictly closer to both endpoints than
+/// they are to each other.
+fn rng_ok(points: &[Point], grid: &BucketGrid<'_>, u: usize, v: usize) -> bool {
+    let d = points[u].dist(&points[v]);
+    let mut ok = true;
+    // The lune is contained in the disk of radius d around the midpoint.
+    let mid = points[u].midpoint(&points[v]);
+    grid.for_each_in_disk(&mid, d, |w, _| {
+        if w != u
+            && w != v
+            && points[u].dist(&points[w]) < d - 1e-15
+            && points[v].dist(&points[w]) < d - 1e-15
+        {
+            ok = false;
+        }
+    });
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use crate::mst::euclidean_mst;
+    use emst_geom::{trial_rng, uniform_points};
+    use std::collections::HashSet;
+
+    fn edge_set(g: &Graph) -> HashSet<(u32, u32)> {
+        g.edges().iter().map(|e| (e.u, e.v)).collect()
+    }
+
+    fn brute_gabriel(points: &[Point]) -> HashSet<(u32, u32)> {
+        let n = points.len();
+        let mut out = HashSet::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let mid = points[u].midpoint(&points[v]);
+                let r2 = points[u].dist_sq(&points[v]) / 4.0;
+                if (0..n)
+                    .filter(|&w| w != u && w != v)
+                    .all(|w| mid.dist_sq(&points[w]) >= r2 - 1e-15)
+                {
+                    out.insert((u as u32, v as u32));
+                }
+            }
+        }
+        out
+    }
+
+    fn brute_rng(points: &[Point]) -> HashSet<(u32, u32)> {
+        let n = points.len();
+        let mut out = HashSet::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let d = points[u].dist(&points[v]);
+                if (0..n).filter(|&w| w != u && w != v).all(|w| {
+                    points[u].dist(&points[w]) >= d - 1e-15
+                        || points[v].dist(&points[w]) >= d - 1e-15
+                }) {
+                    out.insert((u as u32, v as u32));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn gabriel_matches_brute_force() {
+        for seed in 0..4 {
+            let pts = uniform_points(120, &mut trial_rng(901, seed));
+            assert_eq!(edge_set(&gabriel_graph(&pts)), brute_gabriel(&pts), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rng_matches_brute_force() {
+        for seed in 0..4 {
+            let pts = uniform_points(120, &mut trial_rng(902, seed));
+            assert_eq!(edge_set(&rng_graph(&pts)), brute_rng(&pts), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hierarchy_mst_rng_gabriel_delaunay() {
+        let pts = uniform_points(250, &mut trial_rng(903, 0));
+        let mst: HashSet<(u32, u32)> = euclidean_mst(&pts)
+            .edges()
+            .iter()
+            .map(|e| (e.u, e.v))
+            .collect();
+        let rng = edge_set(&rng_graph(&pts));
+        let gg = edge_set(&gabriel_graph(&pts));
+        let dt: HashSet<(u32, u32)> = delaunay_edges(&pts).iter().map(|e| (e.u, e.v)).collect();
+        assert!(mst.is_subset(&rng), "MST ⊄ RNG");
+        assert!(rng.is_subset(&gg), "RNG ⊄ Gabriel");
+        assert!(gg.is_subset(&dt), "Gabriel ⊄ Delaunay");
+        // And the containments are strict at this size.
+        assert!(mst.len() < rng.len());
+        assert!(rng.len() < gg.len());
+        assert!(gg.len() < dt.len());
+    }
+
+    #[test]
+    fn proximity_graphs_are_connected_and_sparse() {
+        let pts = uniform_points(300, &mut trial_rng(904, 0));
+        let gg = gabriel_graph(&pts);
+        let rng = rng_graph(&pts);
+        assert!(is_connected(&gg));
+        assert!(is_connected(&rng));
+        // Planar bounds.
+        assert!(gg.m() <= 3 * pts.len() - 6);
+        assert!(rng.m() <= 3 * pts.len() - 6);
+        // Known expected densities for uniform points: RNG ≈ 1.27·n edges,
+        // Gabriel ≈ 2·n edges; assert loose brackets.
+        let rng_density = rng.m() as f64 / pts.len() as f64;
+        let gg_density = gg.m() as f64 / pts.len() as f64;
+        assert!(rng_density > 1.0 && rng_density < 1.6, "RNG density {rng_density}");
+        assert!(gg_density > 1.6 && gg_density < 2.4, "Gabriel density {gg_density}");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let empty: Vec<Point> = vec![];
+        assert_eq!(gabriel_graph(&empty).m(), 0);
+        assert_eq!(rng_graph(&empty).m(), 0);
+        let two = vec![Point::new(0.2, 0.2), Point::new(0.8, 0.8)];
+        assert_eq!(gabriel_graph(&two).m(), 1);
+        assert_eq!(rng_graph(&two).m(), 1);
+        // Three points: the longest edge of an obtuse-ish triangle drops
+        // from the Gabriel graph when the opposite vertex is inside its
+        // diametral disk.
+        let tri = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 0.1),
+        ];
+        let gg = gabriel_graph(&tri);
+        assert!(edge_set(&gg).contains(&(0, 2)));
+        assert!(edge_set(&gg).contains(&(1, 2)));
+        assert!(!edge_set(&gg).contains(&(0, 1)), "long edge must drop");
+    }
+}

@@ -1,0 +1,274 @@
+//! Spanning trees: representation, validation, and cost functionals.
+//!
+//! The paper evaluates trees under the generalised cost
+//! `Σ_{(u,v)∈T} d(u,v)^α` (§II): `α = 1` is the Euclidean MST objective,
+//! `α = 2` the energy objective. Kruskal's exchange argument shows one tree
+//! minimises all of them simultaneously; the A4 ablation verifies this
+//! empirically.
+
+use crate::adjacency::Edge;
+use crate::union_find::UnionFind;
+
+/// Why a candidate edge set fails to be a spanning tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// Wrong edge count: a spanning tree on `n ≥ 1` vertices has `n − 1`
+    /// edges.
+    WrongEdgeCount { expected: usize, actual: usize },
+    /// The edges contain a cycle (some union was redundant).
+    HasCycle,
+    /// The edges do not connect all vertices.
+    Disconnected { components: usize },
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::WrongEdgeCount { expected, actual } => {
+                write!(f, "expected {expected} edges, found {actual}")
+            }
+            TreeError::HasCycle => write!(f, "edge set contains a cycle"),
+            TreeError::Disconnected { components } => {
+                write!(f, "edge set leaves {components} components")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// A candidate spanning tree on vertices `0..n`.
+#[derive(Debug, Clone)]
+pub struct SpanningTree {
+    n: usize,
+    edges: Vec<Edge>,
+}
+
+impl SpanningTree {
+    /// Wraps an edge set; call [`SpanningTree::validate`] to check it.
+    pub fn new(n: usize, edges: Vec<Edge>) -> Self {
+        SpanningTree { n, edges }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The edge set.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Verifies the spanning-tree invariants: `n − 1` edges, acyclic,
+    /// connected. The empty tree on 0 or 1 vertices is valid.
+    pub fn validate(&self) -> Result<(), TreeError> {
+        let expected = self.n.saturating_sub(1);
+        if self.edges.len() != expected {
+            return Err(TreeError::WrongEdgeCount {
+                expected,
+                actual: self.edges.len(),
+            });
+        }
+        let mut uf = UnionFind::new(self.n);
+        for e in &self.edges {
+            if !uf.union(e.u as usize, e.v as usize) {
+                return Err(TreeError::HasCycle);
+            }
+        }
+        if self.n > 0 && uf.set_count() != 1 {
+            return Err(TreeError::Disconnected {
+                components: uf.set_count(),
+            });
+        }
+        Ok(())
+    }
+
+    /// True if the invariants hold.
+    pub fn is_valid(&self) -> bool {
+        self.validate().is_ok()
+    }
+
+    /// Generalised tree cost `Σ w(e)^α`. Edge weights are Euclidean
+    /// lengths for geometric instances, so `alpha = 1.0` is the total edge
+    /// length and `alpha = 2.0` the sum of squared lengths reported in
+    /// §VII.
+    pub fn cost(&self, alpha: f64) -> f64 {
+        if alpha == 1.0 {
+            self.edges.iter().map(|e| e.w).sum()
+        } else if alpha == 2.0 {
+            self.edges.iter().map(|e| e.w * e.w).sum()
+        } else {
+            self.edges.iter().map(|e| e.w.powf(alpha)).sum()
+        }
+    }
+
+    /// Length of the longest edge (0 for trees with no edges). Bounded by
+    /// the operating radius for trees built by radius-constrained
+    /// algorithms; Lemma 6.3 bounds it by `Θ(√(log n / n))` whp for the
+    /// diagonal-rank NNT.
+    pub fn max_edge_len(&self) -> f64 {
+        self.edges.iter().map(|e| e.w).fold(0.0, f64::max)
+    }
+
+    /// Vertex degrees within the tree.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.n];
+        for e in &self.edges {
+            deg[e.u as usize] += 1;
+            deg[e.v as usize] += 1;
+        }
+        deg
+    }
+
+    /// Canonical sorted list of endpoint pairs, for edge-set comparison.
+    pub fn edge_pairs_sorted(&self) -> Vec<(u32, u32)> {
+        let mut v: Vec<(u32, u32)> = self.edges.iter().map(|e| (e.u, e.v)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// True if `self` and `other` span the same vertices with the same edge
+    /// set (weights not compared — endpoints determine weights in geometric
+    /// instances).
+    pub fn same_edges(&self, other: &SpanningTree) -> bool {
+        self.n == other.n && self.edge_pairs_sorted() == other.edge_pairs_sorted()
+    }
+
+    /// Adjacency lists of the tree (`n` small vectors).
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for e in &self.edges {
+            adj[e.u as usize].push(e.v as usize);
+            adj[e.v as usize].push(e.u as usize);
+        }
+        adj
+    }
+
+    /// BFS depth of the tree rooted at `root` (number of levels below the
+    /// root on the deepest path). Used for round-complexity accounting of
+    /// broadcast/convergecast along fragment trees.
+    pub fn depth_from(&self, root: usize) -> usize {
+        assert!(root < self.n.max(1), "root out of range");
+        if self.n <= 1 {
+            return 0;
+        }
+        let adj = self.adjacency();
+        let mut depth = vec![usize::MAX; self.n];
+        depth[root] = 0;
+        let mut q = std::collections::VecDeque::from([root]);
+        let mut max_d = 0;
+        while let Some(u) = q.pop_front() {
+            for &v in &adj[u] {
+                if depth[v] == usize::MAX {
+                    depth[v] = depth[u] + 1;
+                    max_d = max_d.max(depth[v]);
+                    q.push_back(v);
+                }
+            }
+        }
+        max_d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(n: usize, pairs: &[(usize, usize, f64)]) -> SpanningTree {
+        SpanningTree::new(
+            n,
+            pairs.iter().map(|&(u, v, w)| Edge::new(u, v, w)).collect(),
+        )
+    }
+
+    #[test]
+    fn valid_path_tree() {
+        let t = tree(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]);
+        assert!(t.is_valid());
+        assert_eq!(t.cost(1.0), 6.0);
+        assert_eq!(t.cost(2.0), 14.0);
+        assert_eq!(t.max_edge_len(), 3.0);
+        assert_eq!(t.degrees(), vec![1, 2, 2, 1]);
+        assert_eq!(t.depth_from(0), 3);
+        assert_eq!(t.depth_from(1), 2);
+    }
+
+    #[test]
+    fn wrong_edge_count_detected() {
+        let t = tree(4, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        assert_eq!(
+            t.validate(),
+            Err(TreeError::WrongEdgeCount {
+                expected: 3,
+                actual: 2
+            })
+        );
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let t = tree(4, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]);
+        assert_eq!(t.validate(), Err(TreeError::HasCycle));
+    }
+
+    #[test]
+    fn disconnection_detected() {
+        // Correct count, acyclic... impossible: n-1 acyclic edges on n
+        // vertices always connect. Force the disconnect branch with a
+        // 5-vertex set where an edge repeats → cycle fires first; so build
+        // count mismatch instead and assert HasCycle is not spuriously hit.
+        let t = tree(5, &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]);
+        assert!(matches!(
+            t.validate(),
+            Err(TreeError::WrongEdgeCount { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_and_singleton_trees_valid() {
+        assert!(tree(0, &[]).is_valid());
+        assert!(tree(1, &[]).is_valid());
+        assert_eq!(tree(1, &[]).cost(2.0), 0.0);
+        assert_eq!(tree(1, &[]).max_edge_len(), 0.0);
+        assert_eq!(tree(1, &[]).depth_from(0), 0);
+    }
+
+    #[test]
+    fn cost_alpha_generalises() {
+        let t = tree(3, &[(0, 1, 2.0), (1, 2, 3.0)]);
+        assert!((t.cost(3.0) - (8.0 + 27.0)).abs() < 1e-12);
+        assert!((t.cost(0.5) - (2f64.sqrt() + 3f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_edges_ignores_order_and_weights() {
+        let a = tree(3, &[(0, 1, 1.0), (1, 2, 2.0)]);
+        let b = tree(3, &[(2, 1, 9.0), (1, 0, 9.0)]);
+        assert!(a.same_edges(&b));
+        let c = tree(3, &[(0, 1, 1.0), (0, 2, 2.0)]);
+        assert!(!a.same_edges(&c));
+    }
+
+    #[test]
+    fn star_tree_depth() {
+        let t = tree(5, &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)]);
+        assert_eq!(t.depth_from(0), 1);
+        assert_eq!(t.depth_from(3), 2);
+        assert_eq!(t.degrees()[0], 4);
+    }
+
+    #[test]
+    fn display_of_errors() {
+        let e = TreeError::Disconnected { components: 3 };
+        assert!(format!("{e}").contains("3 components"));
+        let e = TreeError::WrongEdgeCount {
+            expected: 4,
+            actual: 2,
+        };
+        assert!(format!("{e}").contains("expected 4"));
+        assert!(format!("{}", TreeError::HasCycle).contains("cycle"));
+    }
+}

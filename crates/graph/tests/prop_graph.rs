@@ -1,0 +1,167 @@
+//! Property-based tests for the graph substrate: the three MST algorithms
+//! agree, MST optimality invariants (cut/cycle properties), and union-find
+//! consistency with component labelling.
+
+use emst_graph::{
+    boruvka_mst, euclidean_mst, kruskal_mst, prim_mst, Components, Edge, Graph, SpanningTree,
+    UnionFind,
+};
+use proptest::prelude::*;
+
+/// Random weighted graph on `n` vertices: a random spanning-ish backbone
+/// plus random extra edges, with distinct weights (perturbed).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        let extra = proptest::collection::vec((0..n, 0..n, 0.0f64..1.0), 0..80);
+        let backbone = proptest::collection::vec(0.0f64..1.0, n - 1);
+        (Just(n), backbone, extra).prop_map(|(n, backbone, extra)| {
+            let mut edges = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for (i, w) in backbone.into_iter().enumerate() {
+                // chain keeps the graph connected
+                let (u, v) = (i, i + 1);
+                seen.insert((u, v));
+                edges.push(Edge::new(u, v, w + (i as f64) * 1e-9));
+            }
+            for (k, (u, v, w)) in extra.into_iter().enumerate() {
+                if u == v {
+                    continue;
+                }
+                let key = (u.min(v), u.max(v));
+                if seen.insert(key) {
+                    edges.push(Edge::new(u, v, w + (k as f64) * 1e-9 + 1e-7));
+                }
+            }
+            Graph::from_edges(n, edges)
+        })
+    })
+}
+
+fn unit_points(max: usize) -> impl Strategy<Value = Vec<emst_geom::Point>> {
+    proptest::collection::vec(
+        (0.0f64..=1.0, 0.0f64..=1.0).prop_map(|(x, y)| emst_geom::Point::new(x, y)),
+        2..max,
+    )
+}
+
+proptest! {
+    /// All three MST algorithms produce identical trees on connected graphs
+    /// with distinct weights.
+    #[test]
+    fn mst_algorithms_agree(g in arb_graph()) {
+        let k = kruskal_mst(&g).expect("backbone keeps g connected");
+        let p = prim_mst(&g).expect("connected");
+        let b = boruvka_mst(&g).expect("connected");
+        prop_assert!(k.is_valid());
+        prop_assert!(k.same_edges(&p), "kruskal != prim");
+        prop_assert!(k.same_edges(&b), "kruskal != boruvka");
+    }
+
+    /// Cycle property: for every non-tree edge, every tree edge on the path
+    /// between its endpoints is no heavier.
+    #[test]
+    fn mst_cycle_property(g in arb_graph()) {
+        let t = kruskal_mst(&g).unwrap();
+        let adj = t.adjacency();
+        // Map tree edges to weights for path lookup.
+        let mut wmap = std::collections::HashMap::new();
+        for e in t.edges() {
+            wmap.insert((e.u.min(e.v), e.u.max(e.v)), e.w);
+        }
+        let in_tree: std::collections::HashSet<(u32, u32)> =
+            t.edges().iter().map(|e| (e.u, e.v)).collect();
+        for e in g.edges() {
+            if in_tree.contains(&(e.u, e.v)) {
+                continue;
+            }
+            // BFS path from e.u to e.v in the tree.
+            let n = g.n();
+            let mut prev = vec![usize::MAX; n];
+            let (src, dst) = (e.u as usize, e.v as usize);
+            prev[src] = src;
+            let mut q = std::collections::VecDeque::from([src]);
+            while let Some(u) = q.pop_front() {
+                if u == dst { break; }
+                for &v in &adj[u] {
+                    if prev[v] == usize::MAX {
+                        prev[v] = u;
+                        q.push_back(v);
+                    }
+                }
+            }
+            let mut cur = dst;
+            while cur != src {
+                let p = prev[cur];
+                let key = ((p.min(cur)) as u32, (p.max(cur)) as u32);
+                let tw = wmap[&key];
+                prop_assert!(
+                    tw <= e.w + 1e-12,
+                    "tree edge {:?} ({}) heavier than non-tree edge ({},{}) ({})",
+                    key, tw, e.u, e.v, e.w
+                );
+                cur = p;
+            }
+        }
+    }
+
+    /// The MST cost lower-bounds every other spanning tree we can build by
+    /// perturbing it (swap one non-tree edge in, drop the heaviest cycle
+    /// edge — the classic exchange must never reduce cost).
+    #[test]
+    fn mst_cost_is_minimal_among_component_trees(g in arb_graph()) {
+        let t = kruskal_mst(&g).unwrap();
+        let cost = t.cost(1.0);
+        // Any spanning tree found by a different edge order (shuffled
+        // Kruskal-by-index) costs at least as much.
+        let mut uf = UnionFind::new(g.n());
+        let mut alt = Vec::new();
+        for e in g.edges() {  // insertion order, not weight order
+            if uf.union(e.u as usize, e.v as usize) {
+                alt.push(*e);
+            }
+        }
+        let alt = SpanningTree::new(g.n(), alt);
+        prop_assert!(alt.is_valid());
+        prop_assert!(cost <= alt.cost(1.0) + 1e-9);
+    }
+
+    /// Components labelling agrees with union-find over the same edges.
+    #[test]
+    fn components_match_union_find(g in arb_graph()) {
+        let c = Components::of(&g);
+        let mut uf = UnionFind::new(g.n());
+        for e in g.edges() {
+            uf.union(e.u as usize, e.v as usize);
+        }
+        prop_assert_eq!(c.count(), uf.set_count());
+        for u in 0..g.n() {
+            for v in (u + 1)..g.n() {
+                prop_assert_eq!(c.label[u] == c.label[v], uf.same(u, v));
+            }
+        }
+    }
+
+    /// Euclidean MST on random points is a valid tree whose edges shrink as
+    /// points multiply (sanity of the Steele Θ(√n) total-length regime:
+    /// cost(1.0) stays below the trivial bound n·√2).
+    #[test]
+    fn euclidean_mst_valid_on_random_points(pts in unit_points(60)) {
+        let t = euclidean_mst(&pts);
+        prop_assert!(t.is_valid());
+        prop_assert!(t.cost(1.0) <= (pts.len() as f64) * std::f64::consts::SQRT_2);
+        // Degree bound for Euclidean MSTs: max degree ≤ 6.
+        let max_deg = t.degrees().into_iter().max().unwrap_or(0);
+        prop_assert!(max_deg <= 6, "Euclidean MST degree {} > 6", max_deg);
+    }
+
+    /// Sum of squared MST edges is bounded by a constant in expectation
+    /// (§III cites Θ(1)); assert the much weaker deterministic bound that
+    /// it never exceeds the total length times the max edge.
+    #[test]
+    fn mst_squared_cost_bound(pts in unit_points(60)) {
+        let t = euclidean_mst(&pts);
+        let c1 = t.cost(1.0);
+        let c2 = t.cost(2.0);
+        prop_assert!(c2 <= c1 * t.max_edge_len() + 1e-12);
+    }
+}

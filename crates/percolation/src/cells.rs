@@ -1,0 +1,179 @@
+//! The site-percolation cell grid of Theorem 5.2.
+//!
+//! The proof subdivides the unit square into cells of side `r/2` so that
+//! any two nodes in neighbouring cells are within distance `r` (under the
+//! paper's L∞ simplification, which includes diagonal neighbours). A cell
+//! is **good** when it holds at least `c/8` nodes, half of the expected
+//! `c/4` where `r = √(c/n)`; above the site-percolation threshold the good
+//! cells form a unique giant cluster whose complement splits into small
+//! regions.
+
+use emst_geom::Point;
+
+/// Occupancy grid over the unit square with square cells of side
+/// `cell_side`.
+#[derive(Debug, Clone)]
+pub struct CellGrid {
+    side: usize,
+    cell_side: f64,
+    /// Node count per cell, row-major (`cy * side + cx`).
+    counts: Vec<u32>,
+    /// Node indices per cell, row-major, CSR-style.
+    starts: Vec<u32>,
+    members: Vec<u32>,
+}
+
+impl CellGrid {
+    /// Builds the grid; points outside the unit square are clamped into
+    /// boundary cells.
+    pub fn new(points: &[Point], cell_side: f64) -> Self {
+        assert!(
+            cell_side.is_finite() && cell_side > 0.0,
+            "cell side must be positive, got {cell_side}"
+        );
+        let side = ((1.0 / cell_side).ceil() as usize).max(1);
+        let ncells = side * side;
+        let idx = |p: &Point| {
+            let cx = ((p.x / cell_side) as usize).min(side - 1);
+            let cy = ((p.y / cell_side) as usize).min(side - 1);
+            cy * side + cx
+        };
+        let mut counts = vec![0u32; ncells];
+        for p in points {
+            counts[idx(p)] += 1;
+        }
+        let mut starts = vec![0u32; ncells + 1];
+        for c in 0..ncells {
+            starts[c + 1] = starts[c] + counts[c];
+        }
+        let mut cursor = starts.clone();
+        let mut members = vec![0u32; points.len()];
+        for (i, p) in points.iter().enumerate() {
+            let c = idx(p);
+            members[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+        CellGrid {
+            side,
+            cell_side,
+            counts,
+            starts,
+            members,
+        }
+    }
+
+    /// The Theorem 5.2 grid for transmission radius `r`: cell side `r/2`.
+    pub fn for_radius(points: &[Point], r: f64) -> Self {
+        CellGrid::new(points, r / 2.0)
+    }
+
+    /// Cells per side.
+    #[inline]
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Cell side length.
+    #[inline]
+    pub fn cell_side(&self) -> f64 {
+        self.cell_side
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.side * self.side
+    }
+
+    /// Node count in cell `(cx, cy)`.
+    #[inline]
+    pub fn count(&self, cx: usize, cy: usize) -> usize {
+        self.counts[cy * self.side + cx] as usize
+    }
+
+    /// Node indices inside cell index `c` (row-major).
+    #[inline]
+    pub fn members_of(&self, c: usize) -> &[u32] {
+        &self.members[self.starts[c] as usize..self.starts[c + 1] as usize]
+    }
+
+    /// Good-cell mask at occupancy threshold `min_count` (row-major).
+    pub fn good_mask(&self, min_count: usize) -> Vec<bool> {
+        self.counts.iter().map(|&c| c as usize >= min_count).collect()
+    }
+
+    /// The paper's goodness threshold for radius `r = √(c/n)`:
+    /// `c/8 = n·r²/8` nodes, at least 1.
+    pub fn paper_threshold(n: usize, r: f64) -> usize {
+        ((n as f64 * r * r) / 8.0).ceil().max(1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_geom::{trial_rng, uniform_points};
+
+    #[test]
+    fn counts_partition_all_points() {
+        let pts = uniform_points(500, &mut trial_rng(401, 0));
+        let g = CellGrid::new(&pts, 0.13);
+        let total: usize = (0..g.side())
+            .flat_map(|cy| (0..g.side()).map(move |cx| (cx, cy)))
+            .map(|(cx, cy)| g.count(cx, cy))
+            .sum();
+        assert_eq!(total, 500);
+        let member_total: usize = (0..g.num_cells()).map(|c| g.members_of(c).len()).sum();
+        assert_eq!(member_total, 500);
+    }
+
+    #[test]
+    fn members_live_in_their_cell() {
+        let pts = uniform_points(300, &mut trial_rng(402, 0));
+        let g = CellGrid::new(&pts, 0.1);
+        for c in 0..g.num_cells() {
+            let (cx, cy) = (c % g.side(), c / g.side());
+            for &i in g.members_of(c) {
+                let p = &pts[i as usize];
+                let x0 = cx as f64 * 0.1;
+                let y0 = cy as f64 * 0.1;
+                // Clamped boundary points allowed at the upper edge.
+                assert!(p.x >= x0 - 1e-12 && (p.x <= x0 + 0.1 + 1e-12 || cx == g.side() - 1));
+                assert!(p.y >= y0 - 1e-12 && (p.y <= y0 + 0.1 + 1e-12 || cy == g.side() - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn for_radius_halves_cell_side() {
+        let pts = uniform_points(10, &mut trial_rng(403, 0));
+        let g = CellGrid::for_radius(&pts, 0.2);
+        assert!((g.cell_side() - 0.1).abs() < 1e-15);
+        assert_eq!(g.side(), 10);
+    }
+
+    #[test]
+    fn good_mask_thresholds() {
+        let pts = vec![
+            Point::new(0.05, 0.05),
+            Point::new(0.06, 0.06),
+            Point::new(0.95, 0.95),
+        ];
+        let g = CellGrid::new(&pts, 0.1);
+        let mask = g.good_mask(2);
+        assert!(mask[0]); // two points in cell (0,0)
+        assert!(!mask[g.num_cells() - 1]); // one point in the last cell
+        let all = g.good_mask(1);
+        assert_eq!(all.iter().filter(|&&b| b).count(), 2);
+    }
+
+    #[test]
+    fn paper_threshold_formula() {
+        // r = √(c/n) with c = 1.96, n = 400 → c/8 = 0.245 → ceil = 1.
+        assert_eq!(CellGrid::paper_threshold(400, (1.96f64 / 400.0).sqrt()), 1);
+        // c = 16 → threshold 2.
+        assert_eq!(CellGrid::paper_threshold(400, (16.0f64 / 400.0).sqrt()), 2);
+        // Never below 1.
+        assert_eq!(CellGrid::paper_threshold(10, 1e-6), 1);
+    }
+}

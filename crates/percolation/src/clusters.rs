@@ -1,0 +1,256 @@
+//! Cluster labelling on the cell grid: the giant cluster of good cells and
+//! the small regions of its complement (Theorem 5.2's geometry).
+
+use crate::cells::CellGrid;
+use emst_graph::UnionFind;
+
+/// Cell adjacency used for clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adjacency {
+    /// 4-neighbourhood (edge-sharing cells).
+    Four,
+    /// 8-neighbourhood (edge- or corner-sharing). This matches the paper's
+    /// L∞ distance simplification: with cell side `r/2`, any two nodes in
+    /// 8-adjacent cells are within L∞ distance `r`.
+    Eight,
+}
+
+/// Labelled clusters over a boolean cell mask.
+#[derive(Debug, Clone)]
+pub struct CellClusters {
+    side: usize,
+    /// Cluster label per cell (`usize::MAX` for cells outside the mask).
+    pub label: Vec<usize>,
+    /// Cells per cluster.
+    pub sizes: Vec<usize>,
+}
+
+impl CellClusters {
+    /// Labels the connected clusters of `true` cells in `mask` (row-major,
+    /// `side × side`) under the given adjacency.
+    pub fn label(mask: &[bool], side: usize, adj: Adjacency) -> Self {
+        assert_eq!(mask.len(), side * side, "mask/grid size mismatch");
+        let mut uf = UnionFind::new(mask.len());
+        let offsets: &[(isize, isize)] = match adj {
+            Adjacency::Four => &[(1, 0), (0, 1)],
+            Adjacency::Eight => &[(1, 0), (0, 1), (1, 1), (1, -1)],
+        };
+        for cy in 0..side {
+            for cx in 0..side {
+                let c = cy * side + cx;
+                if !mask[c] {
+                    continue;
+                }
+                for &(dx, dy) in offsets {
+                    let (nx, ny) = (cx as isize + dx, cy as isize + dy);
+                    if nx < 0 || ny < 0 || nx as usize >= side || ny as usize >= side {
+                        continue;
+                    }
+                    let nc = ny as usize * side + nx as usize;
+                    if mask[nc] {
+                        uf.union(c, nc);
+                    }
+                }
+            }
+        }
+        // Dense labels over masked cells only.
+        let mut label = vec![usize::MAX; mask.len()];
+        let mut sizes = Vec::new();
+        let mut label_of_root = std::collections::HashMap::new();
+        for c in 0..mask.len() {
+            if !mask[c] {
+                continue;
+            }
+            let r = uf.find(c);
+            let l = *label_of_root.entry(r).or_insert_with(|| {
+                sizes.push(0);
+                sizes.len() - 1
+            });
+            label[c] = l;
+            sizes[l] += 1;
+        }
+        CellClusters { side, label, sizes }
+    }
+
+    /// Number of clusters.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Label of the largest cluster, or `None` when the mask is empty.
+    pub fn largest(&self) -> Option<usize> {
+        (0..self.sizes.len()).max_by_key(|&l| self.sizes[l])
+    }
+
+    /// Size (in cells) of the largest cluster.
+    pub fn largest_size(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Cells per side of the underlying grid.
+    #[inline]
+    pub fn side(&self) -> usize {
+        self.side
+    }
+}
+
+/// Statistics of the small regions — the maximal connected clusters of the
+/// complement of the giant good-cell cluster (grey cells in Fig. 1(b)).
+#[derive(Debug, Clone, Default)]
+pub struct SmallRegions {
+    /// Cell counts of each region, descending.
+    pub cells: Vec<usize>,
+    /// Node counts of each region, descending.
+    pub nodes: Vec<usize>,
+}
+
+impl SmallRegions {
+    /// Number of regions.
+    pub fn count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Largest region node count (0 when no regions exist).
+    pub fn max_nodes(&self) -> usize {
+        self.nodes.first().copied().unwrap_or(0)
+    }
+
+    /// Largest region cell count.
+    pub fn max_cells(&self) -> usize {
+        self.cells.first().copied().unwrap_or(0)
+    }
+}
+
+/// Extracts the small regions: complement of the largest good-cell cluster,
+/// clustered under the same adjacency, with per-region node counts from
+/// `grid`.
+pub fn small_regions(
+    grid: &CellGrid,
+    good: &[bool],
+    clusters: &CellClusters,
+    adj: Adjacency,
+) -> SmallRegions {
+    let giant = clusters.largest();
+    // Complement mask: every cell not in the giant cluster.
+    let mask: Vec<bool> = (0..good.len())
+        .map(|c| match giant {
+            Some(g) => clusters.label[c] != g,
+            None => true,
+        })
+        .collect();
+    let comp = CellClusters::label(&mask, clusters.side(), adj);
+    let mut cells = vec![0usize; comp.count()];
+    let mut nodes = vec![0usize; comp.count()];
+    for c in 0..mask.len() {
+        let l = comp.label[c];
+        if l != usize::MAX {
+            cells[l] += 1;
+            nodes[l] += grid.members_of(c).len();
+        }
+    }
+    let mut pairs: Vec<(usize, usize)> = cells.into_iter().zip(nodes).collect();
+    pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(b.0.cmp(&a.0)));
+    SmallRegions {
+        cells: pairs.iter().map(|p| p.0).collect(),
+        nodes: pairs.iter().map(|p| p.1).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_geom::Point;
+
+    fn mask_from(rows: &[&str]) -> (Vec<bool>, usize) {
+        let side = rows.len();
+        let mut mask = vec![false; side * side];
+        for (cy, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), side);
+            for (cx, ch) in row.chars().enumerate() {
+                mask[cy * side + cx] = ch == '#';
+            }
+        }
+        (mask, side)
+    }
+
+    #[test]
+    fn four_adjacency_clusters() {
+        // A vertical chain is one 4-cluster…
+        let (mask, side) = mask_from(&["##.", ".#.", ".##"]);
+        let c = CellClusters::label(&mask, side, Adjacency::Four);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.largest_size(), 5);
+        // …but separated pairs are not.
+        let (mask, side) = mask_from(&["##.", "...", ".##"]);
+        let c = CellClusters::label(&mask, side, Adjacency::Four);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.largest_size(), 2);
+    }
+
+    #[test]
+    fn eight_adjacency_joins_diagonals() {
+        let (mask, side) = mask_from(&["#..", ".#.", "..#"]);
+        let four = CellClusters::label(&mask, side, Adjacency::Four);
+        assert_eq!(four.count(), 3);
+        let eight = CellClusters::label(&mask, side, Adjacency::Eight);
+        assert_eq!(eight.count(), 1);
+        assert_eq!(eight.largest_size(), 3);
+    }
+
+    #[test]
+    fn empty_mask_has_no_clusters() {
+        let (mask, side) = mask_from(&["...", "...", "..."]);
+        let c = CellClusters::label(&mask, side, Adjacency::Eight);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.largest(), None);
+        assert_eq!(c.largest_size(), 0);
+    }
+
+    #[test]
+    fn labels_cover_exactly_masked_cells() {
+        let (mask, side) = mask_from(&["##..", "..##", "#..#", "####"]);
+        let c = CellClusters::label(&mask, side, Adjacency::Eight);
+        for i in 0..mask.len() {
+            assert_eq!(mask[i], c.label[i] != usize::MAX, "cell {i}");
+        }
+        assert_eq!(c.sizes.iter().sum::<usize>(), mask.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn small_regions_of_simple_grid() {
+        // 4×4 grid; nodes only on the left half → left cells good, right
+        // cells form the complement region.
+        let mut pts = Vec::new();
+        for cy in 0..4 {
+            for cx in 0..2 {
+                // two nodes per left cell
+                pts.push(Point::new(cx as f64 * 0.25 + 0.1, cy as f64 * 0.25 + 0.1));
+                pts.push(Point::new(cx as f64 * 0.25 + 0.12, cy as f64 * 0.25 + 0.12));
+            }
+        }
+        // one stray node in the far right column
+        pts.push(Point::new(0.9, 0.9));
+        let grid = CellGrid::new(&pts, 0.25);
+        assert_eq!(grid.side(), 4);
+        let good = grid.good_mask(2);
+        let clusters = CellClusters::label(&good, 4, Adjacency::Eight);
+        assert_eq!(clusters.count(), 1);
+        assert_eq!(clusters.largest_size(), 8);
+        let regions = small_regions(&grid, &good, &clusters, Adjacency::Eight);
+        assert_eq!(regions.count(), 1); // the whole right half
+        assert_eq!(regions.max_cells(), 8);
+        assert_eq!(regions.max_nodes(), 1); // just the stray node
+    }
+
+    #[test]
+    fn full_mask_leaves_no_small_regions() {
+        let (mask, side) = mask_from(&["##", "##"]);
+        let pts = vec![Point::new(0.1, 0.1)];
+        let grid = CellGrid::new(&pts, 0.5);
+        let clusters = CellClusters::label(&mask, side, Adjacency::Eight);
+        let regions = small_regions(&grid, &mask, &clusters, Adjacency::Eight);
+        assert_eq!(regions.count(), 0);
+        assert_eq!(regions.max_nodes(), 0);
+    }
+}

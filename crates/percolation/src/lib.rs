@@ -1,0 +1,23 @@
+//! # emst-percolation — site-percolation analysis of random geometric graphs
+//!
+//! Machinery for validating Theorem 5.2 of the paper empirically: at the
+//! percolation radius `r = √(c₁/n)` the random geometric graph has, whp,
+//!
+//! * a unique **giant component** with `Θ(n)` nodes, and
+//! * all other components trapped in **small regions** — maximal clusters
+//!   of non-good cells — each holding at most `β·log² n` nodes.
+//!
+//! The proof's reduction is implemented literally: subdivide the unit
+//! square into cells of side `r/2` ([`CellGrid`]), mark cells holding at
+//! least `c/8` nodes as *good*, cluster good cells ([`CellClusters`]), and
+//! decompose the complement of the largest cluster into small regions
+//! ([`clusters::small_regions`]). [`giant_stats`] joins this cell-level
+//! view with the actual component structure of `G(points, r)`.
+
+pub mod cells;
+pub mod clusters;
+pub mod stats;
+
+pub use cells::CellGrid;
+pub use clusters::{small_regions, Adjacency, CellClusters, SmallRegions};
+pub use stats::{giant_stats, giant_stats_with, GiantStats};

@@ -1,0 +1,130 @@
+//! Property-based tests for the percolation machinery: cluster labelling
+//! against a brute-force flood fill, and partition invariants of the
+//! small-region decomposition.
+
+use emst_geom::Point;
+use emst_percolation::{small_regions, Adjacency, CellClusters, CellGrid};
+use proptest::prelude::*;
+
+fn arb_mask() -> impl Strategy<Value = (Vec<bool>, usize)> {
+    (2usize..14).prop_flat_map(|side| {
+        proptest::collection::vec(any::<bool>(), side * side)
+            .prop_map(move |mask| (mask, side))
+    })
+}
+
+/// Brute-force flood-fill labelling for cross-checking.
+fn brute_clusters(mask: &[bool], side: usize, adj: Adjacency) -> Vec<usize> {
+    let offsets: Vec<(isize, isize)> = match adj {
+        Adjacency::Four => vec![(1, 0), (-1, 0), (0, 1), (0, -1)],
+        Adjacency::Eight => (-1..=1)
+            .flat_map(|dx| (-1..=1).map(move |dy| (dx, dy)))
+            .filter(|&(dx, dy)| dx != 0 || dy != 0)
+            .collect(),
+    };
+    let mut label = vec![usize::MAX; mask.len()];
+    let mut next = 0usize;
+    for start in 0..mask.len() {
+        if !mask[start] || label[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        label[start] = next;
+        while let Some(c) = stack.pop() {
+            let (cx, cy) = ((c % side) as isize, (c / side) as isize);
+            for &(dx, dy) in &offsets {
+                let (nx, ny) = (cx + dx, cy + dy);
+                if nx < 0 || ny < 0 || nx as usize >= side || ny as usize >= side {
+                    continue;
+                }
+                let nc = ny as usize * side + nx as usize;
+                if mask[nc] && label[nc] == usize::MAX {
+                    label[nc] = next;
+                    stack.push(nc);
+                }
+            }
+        }
+        next += 1;
+    }
+    label
+}
+
+proptest! {
+    /// Cluster labelling matches flood fill for both adjacencies (labels
+    /// up to renaming: compare the induced partitions).
+    #[test]
+    fn labelling_matches_flood_fill((mask, side) in arb_mask()) {
+        for adj in [Adjacency::Four, Adjacency::Eight] {
+            let ours = CellClusters::label(&mask, side, adj);
+            let brute = brute_clusters(&mask, side, adj);
+            for a in 0..mask.len() {
+                for b in (a + 1)..mask.len() {
+                    if mask[a] && mask[b] {
+                        prop_assert_eq!(
+                            ours.label[a] == ours.label[b],
+                            brute[a] == brute[b],
+                            "{:?}: cells {} vs {}", adj, a, b
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(
+                ours.count(),
+                brute.iter().filter(|&&l| l != usize::MAX)
+                    .collect::<std::collections::HashSet<_>>().len()
+            );
+        }
+    }
+
+    /// Cluster sizes sum to the number of masked cells; the largest label
+    /// really is the largest.
+    #[test]
+    fn cluster_sizes_partition_mask((mask, side) in arb_mask()) {
+        let c = CellClusters::label(&mask, side, Adjacency::Eight);
+        let masked = mask.iter().filter(|&&b| b).count();
+        prop_assert_eq!(c.sizes.iter().sum::<usize>(), masked);
+        if let Some(l) = c.largest() {
+            prop_assert_eq!(c.sizes[l], c.largest_size());
+            prop_assert!(c.sizes.iter().all(|&s| s <= c.largest_size()));
+        } else {
+            prop_assert_eq!(masked, 0);
+        }
+    }
+
+    /// Small regions partition exactly the cells outside the giant good
+    /// cluster, and their node counts sum to the nodes outside it.
+    #[test]
+    fn small_regions_partition_complement(
+        pts in proptest::collection::vec(
+            (0.0f64..1.0, 0.0f64..1.0).prop_map(|(x, y)| Point::new(x, y)),
+            1..120,
+        ),
+        cell in 0.08f64..0.4,
+        threshold in 1usize..4,
+    ) {
+        let grid = CellGrid::new(&pts, cell);
+        let good = grid.good_mask(threshold);
+        let clusters = CellClusters::label(&good, grid.side(), Adjacency::Eight);
+        let regions = small_regions(&grid, &good, &clusters, Adjacency::Eight);
+        // Cell partition: complement of the giant cluster.
+        let giant_cells = clusters.largest_size();
+        prop_assert_eq!(
+            regions.cells.iter().sum::<usize>(),
+            grid.num_cells() - giant_cells
+        );
+        // Node partition: everything not inside the giant cluster's cells.
+        let giant_label = clusters.largest();
+        let nodes_in_giant: usize = (0..grid.num_cells())
+            .filter(|&c| giant_label.is_some() && clusters.label[c] == giant_label.unwrap())
+            .map(|c| grid.members_of(c).len())
+            .sum();
+        prop_assert_eq!(
+            regions.nodes.iter().sum::<usize>(),
+            pts.len() - nodes_in_giant
+        );
+        // Descending order by nodes.
+        for w in regions.nodes.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+    }
+}

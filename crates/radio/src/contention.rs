@@ -1,0 +1,360 @@
+//! Slotted-ALOHA contention layer — the interference model the paper
+//! defers to future work (§VIII).
+//!
+//! The paper assumes collision-free delivery and notes that combining its
+//! algorithms with the contention-resolution protocol of Khan et al. \[15\]
+//! costs an `O(n log n)` factor in *time* and only a constant factor in
+//! *energy* under the Radio Broadcast Network (RBN) interference model.
+//! This module lets experiments measure that trade-off concretely.
+//!
+//! Model: one logical protocol round expands into MAC **slots**. Every
+//! pending transmission attempts each slot independently with probability
+//! `p` (slotted ALOHA). Under RBN, a node `v` successfully receives a
+//! transmission from `u` in a slot iff `u` transmits and **no other node
+//! within interference range of `v`** transmits in the same slot. Each
+//! attempt is charged full transmit energy (retries are why energy grows
+//! by a constant factor); a broadcast completes once *every* node in its
+//! target disk has received it, a unicast once its addressee has.
+//!
+//! The interference range of a transmission is its transmission radius
+//! (for a unicast: the sender-receiver distance) times `range_factor`
+//! (≥ 1; 1.0 is the pure protocol-model RBN).
+
+use emst_geom::Point;
+
+/// Contention configuration for [`crate::SyncEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContentionConfig {
+    /// Per-slot transmission probability **cap** (slotted ALOHA). The
+    /// effective per-transmission rate adapts downwards to
+    /// `min(cap, 2/(1 + local contenders))` — an idealised carrier-sense
+    /// load estimate that models adaptive backoff; without it a dense
+    /// broadcast wave (hundreds of simultaneous transmitters, as in a
+    /// flood) drives plain fixed-p ALOHA into its classic collapse.
+    pub attempt_probability: f64,
+    /// Interference range as a multiple of the transmission range.
+    pub range_factor: f64,
+    /// Hard cap on slots per logical round (guards against livelock in
+    /// pathological configurations; hitting it panics loudly rather than
+    /// silently dropping messages).
+    pub max_slots_per_round: u32,
+    /// RNG seed for the backoff coin flips.
+    pub seed: u64,
+}
+
+impl Default for ContentionConfig {
+    fn default() -> Self {
+        ContentionConfig {
+            attempt_probability: 0.25,
+            range_factor: 1.0,
+            max_slots_per_round: 100_000,
+            seed: 0x5EED_3AC1,
+        }
+    }
+}
+
+/// xorshift64* — a tiny deterministic RNG so the contention layer does not
+/// pull `rand` into `emst-radio`'s public dependency set.
+#[derive(Debug, Clone)]
+pub(crate) struct SlotRng(u64);
+
+impl SlotRng {
+    pub(crate) fn new(seed: u64) -> Self {
+        SlotRng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in [0, 1).
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub(crate) fn coin(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// One in-flight transmission during contention resolution.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingTx {
+    /// Sender.
+    pub from: usize,
+    /// Transmission radius (unicast: exact distance to the addressee).
+    pub radius: f64,
+    /// Indices (into the engine's outbox bookkeeping) of receivers that
+    /// still need this message.
+    pub waiting: Vec<usize>,
+    /// Energy charged per attempt.
+    pub energy_per_attempt: f64,
+    /// Message kind (for ledger attribution of retries).
+    pub kind: &'static str,
+}
+
+/// Resolves one logical round of transmissions under slotted ALOHA + RBN.
+///
+/// `positions` gives node coordinates; `deliver(tx_index, receiver)` is
+/// invoked exactly once per (transmission, receiver) on success;
+/// `charge(tx_index)` once per attempt. Returns the number of slots used.
+pub(crate) fn resolve_round<FD, FC>(
+    cfg: &ContentionConfig,
+    rng: &mut SlotRng,
+    positions: &[Point],
+    pending: &mut [PendingTx],
+    mut deliver: FD,
+    mut charge: FC,
+) -> u32
+where
+    FD: FnMut(usize, usize),
+    FC: FnMut(usize),
+{
+    let mut slots = 0u32;
+    // Adaptive per-transmission attempt rates, refreshed periodically as
+    // the pending set drains: p_i = min(cap, 2/(1 + local contenders)),
+    // where j contends with i when j's interference disk can cover one of
+    // i's receivers (dist(sender_i, sender_j) ≤ r_i + r_j·range_factor).
+    let mut rates: Vec<f64> = vec![cfg.attempt_probability; pending.len()];
+    let mut refresh = 0u32;
+    while pending.iter().any(|t| !t.waiting.is_empty()) {
+        if slots >= refresh {
+            for i in 0..pending.len() {
+                if pending[i].waiting.is_empty() {
+                    continue;
+                }
+                let pi = positions[pending[i].from];
+                let mut contenders = 0usize;
+                for (j, other) in pending.iter().enumerate() {
+                    if j != i
+                        && !other.waiting.is_empty()
+                        && pi.dist(&positions[other.from])
+                            <= pending[i].radius + other.radius * cfg.range_factor
+                    {
+                        contenders += 1;
+                    }
+                }
+                rates[i] = cfg
+                    .attempt_probability
+                    .min(2.0 / (1.0 + contenders as f64));
+            }
+            refresh = slots + 16;
+        }
+        slots += 1;
+        assert!(
+            slots <= cfg.max_slots_per_round,
+            "contention livelock: {} transmissions unresolved after {} slots",
+            pending.iter().filter(|t| !t.waiting.is_empty()).count(),
+            slots
+        );
+        // Decide who transmits this slot.
+        let active: Vec<usize> = (0..pending.len())
+            .filter(|&i| !pending[i].waiting.is_empty() && rng.coin(rates[i]))
+            .collect();
+        if active.is_empty() {
+            continue;
+        }
+        for &i in &active {
+            charge(i);
+        }
+        // Successful receptions: v receives from tx i iff v is within i's
+        // radius and no OTHER active transmission interferes at v.
+        for &i in &active {
+            let tx_pos = positions[pending[i].from];
+            let mut delivered_local: Vec<usize> = Vec::new();
+            for (wi, &v) in pending[i].waiting.iter().enumerate() {
+                let in_range =
+                    tx_pos.dist(&positions[v]) <= pending[i].radius * (1.0 + 1e-12);
+                if !in_range {
+                    // Defensive: waiting sets are built from range queries,
+                    // so this should not occur.
+                    continue;
+                }
+                let jammed = active.iter().any(|&j| {
+                    j != i && {
+                        let other = &pending[j];
+                        positions[other.from].dist(&positions[v])
+                            <= other.radius * cfg.range_factor * (1.0 + 1e-12)
+                    }
+                });
+                if !jammed {
+                    delivered_local.push(wi);
+                }
+            }
+            // Remove delivered receivers (descending to keep indices valid).
+            for &wi in delivered_local.iter().rev() {
+                let v = pending[i].waiting.swap_remove(wi);
+                deliver(i, v);
+            }
+        }
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn single_transmission_needs_expected_attempts() {
+        let positions = pts(&[(0.1, 0.5), (0.2, 0.5)]);
+        let cfg = ContentionConfig {
+            attempt_probability: 0.5,
+            ..Default::default()
+        };
+        let mut rng = SlotRng::new(7);
+        let mut pending = vec![PendingTx {
+            from: 0,
+            radius: 0.15,
+            waiting: vec![1],
+            energy_per_attempt: 0.15 * 0.15,
+            kind: "t",
+        }];
+        let mut delivered = Vec::new();
+        let mut attempts = 0;
+        let slots = resolve_round(
+            &cfg,
+            &mut rng,
+            &positions,
+            &mut pending,
+            |i, v| delivered.push((i, v)),
+            |_| attempts += 1,
+        );
+        assert_eq!(delivered, vec![(0, 1)]);
+        assert!(attempts >= 1);
+        assert!(slots >= attempts as u32);
+    }
+
+    #[test]
+    fn two_nearby_transmitters_collide_until_separated_in_time() {
+        // Nodes 0 and 1 both broadcast to node 2 between them: any slot in
+        // which both transmit delivers nothing; eventually one transmits
+        // alone and wins.
+        let positions = pts(&[(0.4, 0.5), (0.6, 0.5), (0.5, 0.5)]);
+        let cfg = ContentionConfig::default();
+        let mut rng = SlotRng::new(99);
+        let mut pending = vec![
+            PendingTx {
+                from: 0,
+                radius: 0.15,
+                waiting: vec![2],
+                energy_per_attempt: 1.0,
+                kind: "a",
+            },
+            PendingTx {
+                from: 1,
+                radius: 0.15,
+                waiting: vec![2],
+                energy_per_attempt: 1.0,
+                kind: "b",
+            },
+        ];
+        let mut delivered = Vec::new();
+        let mut attempts = 0usize;
+        resolve_round(
+            &cfg,
+            &mut rng,
+            &positions,
+            &mut pending,
+            |i, v| delivered.push((i, v)),
+            |_| attempts += 1,
+        );
+        delivered.sort_unstable();
+        assert_eq!(delivered, vec![(0, 2), (1, 2)]);
+        // Collisions force strictly more attempts than deliveries whp with
+        // this seed; at minimum each tx attempted once.
+        assert!(attempts >= 2);
+    }
+
+    #[test]
+    fn distant_transmitters_do_not_interfere() {
+        // Far-apart pairs can share a slot — no cross-jamming.
+        let positions = pts(&[(0.1, 0.1), (0.15, 0.1), (0.9, 0.9), (0.85, 0.9)]);
+        let cfg = ContentionConfig {
+            attempt_probability: 1.0, // always transmit
+            ..Default::default()
+        };
+        let mut rng = SlotRng::new(3);
+        let mut pending = vec![
+            PendingTx {
+                from: 0,
+                radius: 0.1,
+                waiting: vec![1],
+                energy_per_attempt: 0.01,
+                kind: "a",
+            },
+            PendingTx {
+                from: 2,
+                radius: 0.1,
+                waiting: vec![3],
+                energy_per_attempt: 0.01,
+                kind: "b",
+            },
+        ];
+        let mut attempts = 0usize;
+        let slots = resolve_round(
+            &cfg,
+            &mut rng,
+            &positions,
+            &mut pending,
+            |_, _| {},
+            |_| attempts += 1,
+        );
+        assert_eq!(slots, 1, "both should deliver in the first slot");
+        assert_eq!(attempts, 2);
+    }
+
+    #[test]
+    fn colocated_always_on_transmitters_livelock_is_detected() {
+        // p = 1 with two mutually interfering transmissions can never
+        // resolve — the guard must fire instead of spinning forever.
+        let positions = pts(&[(0.4, 0.5), (0.6, 0.5), (0.5, 0.5)]);
+        let cfg = ContentionConfig {
+            attempt_probability: 1.0,
+            max_slots_per_round: 50,
+            ..Default::default()
+        };
+        let mut rng = SlotRng::new(1);
+        let mut pending = vec![
+            PendingTx {
+                from: 0,
+                radius: 0.2,
+                waiting: vec![2],
+                energy_per_attempt: 1.0,
+                kind: "a",
+            },
+            PendingTx {
+                from: 1,
+                radius: 0.2,
+                waiting: vec![2],
+                energy_per_attempt: 1.0,
+                kind: "b",
+            },
+        ];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            resolve_round(&cfg, &mut rng, &positions, &mut pending, |_, _| {}, |_| {})
+        }));
+        assert!(result.is_err(), "livelock guard must panic");
+    }
+
+    #[test]
+    fn slot_rng_is_deterministic_and_uniformish() {
+        let mut a = SlotRng::new(42);
+        let mut b = SlotRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = SlotRng::new(7);
+        let mean: f64 = (0..10_000).map(|_| r.next_f64()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

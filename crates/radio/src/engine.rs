@@ -1,0 +1,627 @@
+//! Synchronous discrete-event engine for reactive per-node protocols.
+//!
+//! The engine executes the model of §II directly: time is a sequence of
+//! rounds; in each round every node reads the messages delivered to it
+//! (those sent in the previous round), updates its local state, and emits at
+//! most a bounded number of transmissions, each charged to the energy
+//! ledger at send time. Neighbour discovery and Co-NNT run on this engine
+//! as genuine message-passing state machines; the GHS family uses
+//! stage-orchestrated simulation (see `emst-core::ghs`) under the standard
+//! synchroniser abstraction.
+
+use crate::contention::{resolve_round, ContentionConfig, PendingTx, SlotRng};
+use crate::network::RadioNet;
+use emst_geom::Point;
+
+/// A message delivered to a node, with the measured distance to the sender
+/// (the RSSI abstraction: receivers can estimate the sender's distance).
+#[derive(Debug, Clone)]
+pub struct Delivery<M> {
+    /// Sender node id.
+    pub from: usize,
+    /// Euclidean distance to the sender.
+    pub dist: f64,
+    /// Payload.
+    pub msg: M,
+}
+
+/// A transmission requested by a node during its round callback.
+#[derive(Debug, Clone)]
+enum Outgoing<M> {
+    Unicast {
+        to: usize,
+        kind: &'static str,
+        msg: M,
+    },
+    Broadcast {
+        radius: f64,
+        kind: &'static str,
+        msg: M,
+    },
+}
+
+/// Per-round context handed to a node: identity, geometry it is entitled to
+/// know, and the outbox.
+pub struct Ctx<'c, M> {
+    me: usize,
+    pos: Point,
+    n: usize,
+    round: u64,
+    outbox: &'c mut Vec<(usize, Outgoing<M>)>,
+}
+
+impl<'c, M> Ctx<'c, M> {
+    /// This node's id.
+    #[inline]
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// This node's position. (Only coordinate-aware protocols such as
+    /// Co-NNT may consult it — the GHS family must not, per §II; that
+    /// discipline is by convention, enforced in code review of protocols.)
+    #[inline]
+    pub fn pos(&self) -> Point {
+        self.pos
+    }
+
+    /// Network size `n`, which §VI assumes nodes know approximately.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current round number.
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Queues a unicast to `to`; delivered next round, energy `a·d^α`.
+    pub fn unicast(&mut self, to: usize, kind: &'static str, msg: M) {
+        self.outbox.push((self.me, Outgoing::Unicast { to, kind, msg }));
+    }
+
+    /// Queues a local broadcast at power `radius`; delivered next round to
+    /// every node within `radius`, energy `a·radius^α` once.
+    pub fn broadcast(&mut self, radius: f64, kind: &'static str, msg: M) {
+        self.outbox
+            .push((self.me, Outgoing::Broadcast { radius, kind, msg }));
+    }
+}
+
+/// A reactive per-node protocol.
+pub trait NodeProtocol {
+    /// Message payload type.
+    type Msg: Clone;
+
+    /// Called once per round for every node, with the messages delivered
+    /// this round (sent last round). `inbox` order is deterministic:
+    /// ascending sender id, unicasts before broadcast receptions from the
+    /// same round.
+    fn on_round(&mut self, inbox: &[Delivery<Self::Msg>], ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// True when this node has terminated (it may still receive messages).
+    fn done(&self) -> bool;
+}
+
+/// Error from [`SyncEngine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundLimitExceeded {
+    /// The limit that was hit.
+    pub max_rounds: u64,
+}
+
+impl std::fmt::Display for RoundLimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol did not quiesce within {} rounds", self.max_rounds)
+    }
+}
+
+impl std::error::Error for RoundLimitExceeded {}
+
+/// Synchronous executor: one protocol instance per node over a
+/// [`RadioNet`].
+pub struct SyncEngine<'a, P: NodeProtocol> {
+    net: RadioNet<'a>,
+    nodes: Vec<P>,
+    inboxes: Vec<Vec<Delivery<P::Msg>>>,
+    contention: Option<(ContentionConfig, SlotRng)>,
+    /// Logical protocol rounds executed. Equals the clock under
+    /// collision-free delivery; under contention one logical round spans
+    /// many clock rounds (MAC slots), and protocols are scheduled by the
+    /// logical counter so their phase arithmetic is MAC-agnostic.
+    logical_round: u64,
+}
+
+impl<'a, P: NodeProtocol> SyncEngine<'a, P> {
+    /// Creates an engine; `nodes.len()` must equal the network size.
+    pub fn new(net: RadioNet<'a>, nodes: Vec<P>) -> Self {
+        assert_eq!(
+            net.n(),
+            nodes.len(),
+            "one protocol instance per network node required"
+        );
+        let n = nodes.len();
+        SyncEngine {
+            net,
+            nodes,
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            contention: None,
+            logical_round: 0,
+        }
+    }
+
+    /// Creates an engine whose transmissions contend under slotted ALOHA +
+    /// RBN interference (§VIII) instead of the paper's collision-free
+    /// assumption. Each logical round expands into MAC slots; every
+    /// attempt radiates full transmit energy and the clock advances by the
+    /// number of slots used.
+    pub fn with_contention(net: RadioNet<'a>, nodes: Vec<P>, cfg: ContentionConfig) -> Self {
+        let mut eng = SyncEngine::new(net, nodes);
+        let rng = SlotRng::new(cfg.seed);
+        eng.contention = Some((cfg, rng));
+        eng
+    }
+
+    /// Executes one round. Returns `true` if any message was transmitted.
+    pub fn step(&mut self) -> bool {
+        let n = self.nodes.len();
+        let round = self.logical_round;
+        self.logical_round += 1;
+        let mut outbox: Vec<(usize, Outgoing<P::Msg>)> = Vec::new();
+        // Deliver: swap each inbox out, call the node, collect sends.
+        for i in 0..n {
+            let inbox = std::mem::take(&mut self.inboxes[i]);
+            let mut ctx = Ctx {
+                me: i,
+                pos: self.net.pos(i),
+                n,
+                round,
+                outbox: &mut outbox,
+            };
+            self.nodes[i].on_round(&inbox, &mut ctx);
+        }
+        let sent = !outbox.is_empty();
+        if self.contention.is_some() {
+            self.transmit_contended(outbox);
+        } else {
+            self.transmit_collision_free(outbox);
+        }
+        // Deterministic inbox order: by sender id (stable by arrival within
+        // equal senders).
+        for inbox in &mut self.inboxes {
+            inbox.sort_by_key(|d| d.from);
+        }
+        sent
+    }
+
+    /// The paper's §II semantics: every transmission is delivered in one
+    /// attempt; one logical round is one clock round.
+    fn transmit_collision_free(&mut self, outbox: Vec<(usize, Outgoing<P::Msg>)>) {
+        for (from, out) in outbox {
+            match out {
+                Outgoing::Unicast { to, kind, msg } => {
+                    self.net.unicast(from, to, kind);
+                    let dist = self.net.dist(from, to);
+                    self.inboxes[to].push(Delivery { from, dist, msg });
+                }
+                Outgoing::Broadcast { radius, kind, msg } => {
+                    let receivers = self.net.local_broadcast(from, radius, kind);
+                    for (to, dist) in receivers {
+                        self.inboxes[to].push(Delivery {
+                            from,
+                            dist,
+                            msg: msg.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        self.net.tick_round();
+    }
+
+    /// §VIII semantics: the round's transmissions contend in MAC slots
+    /// until every intended receiver has heard its message; retries are
+    /// charged in full and the clock advances by the slot count.
+    fn transmit_contended(&mut self, outbox: Vec<(usize, Outgoing<P::Msg>)>) {
+        let positions = self.net.points();
+        let loss = self.net.loss();
+        let mut pending: Vec<PendingTx> = Vec::with_capacity(outbox.len());
+        let mut payloads: Vec<P::Msg> = Vec::with_capacity(outbox.len());
+        for (from, out) in outbox {
+            match out {
+                Outgoing::Unicast { to, kind, msg } => {
+                    let d = positions[from].dist(&positions[to]);
+                    pending.push(PendingTx {
+                        from,
+                        radius: d,
+                        waiting: vec![to],
+                        energy_per_attempt: loss.energy_for_distance(d),
+                        kind,
+                    });
+                    payloads.push(msg);
+                }
+                Outgoing::Broadcast { radius, kind, msg } => {
+                    let waiting: Vec<usize> = self
+                        .net
+                        .neighbors(from, radius)
+                        .into_iter()
+                        .map(|(v, _)| v)
+                        .collect();
+                    pending.push(PendingTx {
+                        from,
+                        radius,
+                        waiting,
+                        energy_per_attempt: loss.energy_for_distance(radius),
+                        kind,
+                    });
+                    payloads.push(msg);
+                }
+            }
+        }
+        // Transmissions with no in-range receiver still radiate once.
+        let mut attempts: Vec<usize> = pending
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.waiting.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        let froms: Vec<usize> = pending.iter().map(|t| t.from).collect();
+        let kinds: Vec<&'static str> = pending.iter().map(|t| t.kind).collect();
+        let energies: Vec<f64> = pending.iter().map(|t| t.energy_per_attempt).collect();
+        let mut delivered: Vec<(usize, usize)> = Vec::new();
+        let (cfg, rng) = self.contention.as_mut().expect("contended path");
+        let slots = resolve_round(
+            cfg,
+            rng,
+            positions,
+            &mut pending,
+            |i, v| delivered.push((i, v)),
+            |i| attempts.push(i),
+        );
+        for &i in &attempts {
+            self.net.charge_attempt(kinds[i], energies[i]);
+        }
+        self.net.charge_receptions(delivered.len() as u64);
+        for (i, v) in delivered {
+            self.inboxes[v].push(Delivery {
+                from: froms[i],
+                dist: positions[froms[i]].dist(&positions[v]),
+                msg: payloads[i].clone(),
+            });
+        }
+        self.net.advance_rounds(slots.max(1) as u64);
+    }
+
+    /// Runs until quiescence — every node reports `done()` and no messages
+    /// are in flight — or fails after `max_rounds`.
+    pub fn run(&mut self, max_rounds: u64) -> Result<u64, RoundLimitExceeded> {
+        let start = self.logical_round;
+        loop {
+            let elapsed = self.logical_round - start;
+            if elapsed >= max_rounds {
+                return Err(RoundLimitExceeded { max_rounds });
+            }
+            let sent = self.step();
+            let pending = self.inboxes.iter().any(|b| !b.is_empty());
+            if !sent && !pending && self.nodes.iter().all(|p| p.done()) {
+                return Ok(self.logical_round - start);
+            }
+        }
+    }
+
+    /// The underlying network (ledger, clock, geometry).
+    #[inline]
+    pub fn net(&self) -> &RadioNet<'a> {
+        &self.net
+    }
+
+    /// The protocol instances.
+    #[inline]
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Consumes the engine, returning network and nodes.
+    pub fn into_parts(self) -> (RadioNet<'a>, Vec<P>) {
+        (self.net, self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_geom::Point;
+
+    /// Toy protocol: node 0 floods a token by local broadcast; every node
+    /// re-broadcasts the first time it hears it. Tests delivery, energy
+    /// accounting, and quiescence.
+    struct Flood {
+        has_token: bool,
+        announced: bool,
+        radius: f64,
+    }
+
+    impl NodeProtocol for Flood {
+        type Msg = ();
+
+        fn on_round(&mut self, inbox: &[Delivery<()>], ctx: &mut Ctx<'_, ()>) {
+            if !inbox.is_empty() {
+                self.has_token = true;
+            }
+            if self.has_token && !self.announced {
+                self.announced = true;
+                ctx.broadcast(self.radius, "flood", ());
+            }
+        }
+
+        fn done(&self) -> bool {
+            self.announced
+        }
+    }
+
+    fn flood_net(pts: &[Point], radius: f64) -> (u64, f64, usize) {
+        let net = RadioNet::new(pts, radius);
+        let nodes = (0..pts.len())
+            .map(|i| Flood {
+                has_token: i == 0,
+                announced: false,
+                radius,
+            })
+            .collect();
+        let mut eng = SyncEngine::new(net, nodes);
+        let rounds = eng.run(10_000).expect("flood must quiesce");
+        let informed = eng.nodes().iter().filter(|f| f.has_token).count();
+        (rounds, eng.net().ledger().total_energy(), informed)
+    }
+
+    #[test]
+    fn flood_reaches_connected_line() {
+        // 5 nodes in a line, spacing 0.2, radius 0.25: hop-by-hop flood.
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(0.1 + 0.2 * i as f64, 0.5)).collect();
+        let (rounds, energy, informed) = flood_net(&pts, 0.25);
+        assert_eq!(informed, 5);
+        // 5 broadcasts at radius 0.25 → energy 5·0.0625.
+        assert!((energy - 5.0 * 0.0625).abs() < 1e-12);
+        // One hop per round plus the final quiet round.
+        assert!(rounds >= 5 && rounds <= 7, "rounds = {rounds}");
+    }
+
+    #[test]
+    fn flood_stops_at_gap() {
+        // Two clusters with a gap wider than the radius.
+        let pts = vec![
+            Point::new(0.1, 0.5),
+            Point::new(0.2, 0.5),
+            Point::new(0.8, 0.5),
+            Point::new(0.9, 0.5),
+        ];
+        let net = RadioNet::new(&pts, 0.15);
+        let nodes = (0..4)
+            .map(|i| Flood {
+                has_token: i == 0,
+                announced: false,
+                radius: 0.15,
+            })
+            .collect();
+        let mut eng = SyncEngine::new(net, nodes);
+        // Nodes 2,3 never announce → run() would hit the limit; use steps.
+        for _ in 0..20 {
+            eng.step();
+        }
+        let informed = eng.nodes().iter().filter(|f| f.has_token).count();
+        assert_eq!(informed, 2);
+    }
+
+    /// Ping-pong protocol: tests unicast delivery, distances, and inbox
+    /// determinism.
+    struct PingPong {
+        peer: usize,
+        is_server: bool,
+        got: u32,
+        want: u32,
+        last_dist: f64,
+    }
+
+    impl NodeProtocol for PingPong {
+        type Msg = u32;
+
+        fn on_round(&mut self, inbox: &[Delivery<u32>], ctx: &mut Ctx<'_, u32>) {
+            if ctx.round() == 0 && !self.is_server {
+                ctx.unicast(self.peer, "ping", 0);
+                return;
+            }
+            for d in inbox {
+                self.got += 1;
+                self.last_dist = d.dist;
+                if d.msg + 1 < self.want {
+                    ctx.unicast(self.peer, "pong", d.msg + 1);
+                }
+            }
+        }
+
+        fn done(&self) -> bool {
+            self.got > 0 || !self.is_server
+        }
+    }
+
+    #[test]
+    fn ping_pong_measures_distance() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(0.3, 0.4)];
+        let net = RadioNet::new(&pts, 1.0);
+        let nodes = vec![
+            PingPong {
+                peer: 1,
+                is_server: false,
+                got: 0,
+                want: 4,
+                last_dist: 0.0,
+            },
+            PingPong {
+                peer: 0,
+                is_server: true,
+                got: 0,
+                want: 4,
+                last_dist: 0.0,
+            },
+        ];
+        let mut eng = SyncEngine::new(net, nodes);
+        eng.run(100).unwrap();
+        let (net, nodes) = eng.into_parts();
+        assert_eq!(net.ledger().total_messages(), 4); // 0,1,2,3 volley
+        assert!((net.ledger().total_energy() - 4.0 * 0.25).abs() < 1e-12);
+        assert!((nodes[1].last_dist - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_times_out_on_livelock() {
+        // A protocol that never goes quiet.
+        struct Chatter;
+        impl NodeProtocol for Chatter {
+            type Msg = ();
+            fn on_round(&mut self, _inbox: &[Delivery<()>], ctx: &mut Ctx<'_, ()>) {
+                ctx.broadcast(0.1, "noise", ());
+            }
+            fn done(&self) -> bool {
+                false
+            }
+        }
+        let pts = vec![Point::new(0.5, 0.5)];
+        let net = RadioNet::new(&pts, 1.0);
+        let mut eng = SyncEngine::new(net, vec![Chatter]);
+        let err = eng.run(25).unwrap_err();
+        assert_eq!(err.max_rounds, 25);
+        assert!(format!("{err}").contains("25 rounds"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one protocol instance per network node")]
+    fn engine_rejects_mismatched_counts() {
+        let pts = vec![Point::new(0.5, 0.5)];
+        let net = RadioNet::new(&pts, 1.0);
+        let _ = SyncEngine::<Flood>::new(net, vec![]);
+    }
+
+    fn run_flood_line(contended: bool) -> (u64, f64, u64, usize) {
+        let pts: Vec<Point> = (0..5)
+            .map(|i| Point::new(0.1 + 0.2 * i as f64, 0.5))
+            .collect();
+        let nodes: Vec<Flood> = (0..5)
+            .map(|i| Flood {
+                has_token: i == 0,
+                announced: false,
+                radius: 0.25,
+            })
+            .collect();
+        let net = RadioNet::new(&pts, 0.25);
+        let mut eng = if contended {
+            SyncEngine::with_contention(net, nodes, crate::ContentionConfig::default())
+        } else {
+            SyncEngine::new(net, nodes)
+        };
+        eng.run(100_000).expect("flood quiesces");
+        let informed = eng.nodes().iter().filter(|f| f.has_token).count();
+        (
+            eng.net().clock().now(),
+            eng.net().ledger().total_energy(),
+            eng.net().ledger().total_messages(),
+            informed,
+        )
+    }
+
+    #[test]
+    fn contended_flood_delivers_everything_at_higher_cost() {
+        let (rounds_cf, energy_cf, msgs_cf, informed_cf) = run_flood_line(false);
+        let (rounds_ct, energy_ct, msgs_ct, informed_ct) = run_flood_line(true);
+        assert_eq!(informed_cf, 5);
+        assert_eq!(informed_ct, 5, "contention must not lose messages");
+        // The chain flood never has simultaneous transmitters, so no
+        // collisions occur: message/energy cost matches the collision-free
+        // run exactly, and only *time* inflates (idle ALOHA slots while
+        // the lone transmitter waits for its coin).
+        assert_eq!(msgs_ct, msgs_cf);
+        assert!((energy_ct - energy_cf).abs() < 1e-12);
+        assert!(rounds_ct > rounds_cf, "{rounds_ct} vs {rounds_cf}");
+    }
+
+    #[test]
+    fn simultaneous_broadcasts_pay_collision_retries() {
+        // Every node holds the token from the start: all five broadcast in
+        // round 0 and mutually interfere — retries are mandatory.
+        let pts: Vec<Point> = (0..5)
+            .map(|i| Point::new(0.1 + 0.2 * i as f64, 0.5))
+            .collect();
+        let mk = || -> Vec<Flood> {
+            (0..5)
+                .map(|_| Flood {
+                    has_token: true,
+                    announced: false,
+                    radius: 0.25,
+                })
+                .collect()
+        };
+        let net_cf = RadioNet::new(&pts, 0.25);
+        let mut cf = SyncEngine::new(net_cf, mk());
+        cf.run(100).unwrap();
+        let net_ct = RadioNet::new(&pts, 0.25);
+        let mut ct =
+            SyncEngine::with_contention(net_ct, mk(), crate::ContentionConfig::default());
+        ct.run(100_000).unwrap();
+        let (m_cf, e_cf) = (
+            cf.net().ledger().total_messages(),
+            cf.net().ledger().total_energy(),
+        );
+        let (m_ct, e_ct) = (
+            ct.net().ledger().total_messages(),
+            ct.net().ledger().total_energy(),
+        );
+        assert_eq!(m_cf, 5);
+        assert!(m_ct > m_cf, "collisions must force retries: {m_ct}");
+        assert!(e_ct > e_cf);
+        // Constant-factor overhead, as the paper claims for RBN contention
+        // resolution.
+        assert!(e_ct < 30.0 * e_cf, "energy blow-up {e_ct} vs {e_cf}");
+        // Every node still ends up having heard someone (inbox effects are
+        // observable through announced: all announced trivially here), and
+        // crucially delivery completed without the livelock guard firing.
+    }
+
+    #[test]
+    fn contended_runs_are_deterministic() {
+        let a = run_flood_line(true);
+        let b = run_flood_line(true);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
+        assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn extended_energy_model_charges_rx_and_idle() {
+        use crate::network::EnergyConfig;
+        let pts: Vec<Point> = (0..3)
+            .map(|i| Point::new(0.3 + 0.2 * i as f64, 0.5))
+            .collect();
+        let cfg = EnergyConfig::extended(emst_geom::PathLoss::paper(), 0.01, 0.001);
+        let net = RadioNet::with_config(&pts, 0.25, cfg);
+        let nodes: Vec<Flood> = (0..3)
+            .map(|i| Flood {
+                has_token: i == 0,
+                announced: false,
+                radius: 0.25,
+            })
+            .collect();
+        let mut eng = SyncEngine::new(net, nodes);
+        let rounds = eng.run(100).unwrap();
+        let ledger = eng.net().ledger();
+        // 3 broadcasts; node 1 hears nodes 0 and 2, node 0 and 2 hear 1 and
+        // each other (distance 0.4 > 0.25? positions 0.3,0.5,0.7: 0-1 and
+        // 1-2 in range (0.2), 0-2 out of range (0.4)). Receptions: b0→{1},
+        // b1→{0,2}, b2→{1} = 4.
+        assert_eq!(ledger.rx_count(), 4);
+        assert!((ledger.rx_energy() - 0.04).abs() < 1e-12);
+        // Idle: n·rounds·0.001.
+        assert!((ledger.idle_energy() - 3.0 * rounds as f64 * 0.001).abs() < 1e-12);
+        assert!(ledger.full_energy() > ledger.total_energy());
+    }
+}

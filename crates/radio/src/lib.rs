@@ -1,0 +1,25 @@
+//! # emst-radio — synchronous radio-network simulator
+//!
+//! Implements the communication model of §II of the paper:
+//!
+//! * nodes at fixed positions in the unit square, adaptive transmission
+//!   power, energy `w(u,v) = a·d(u,v)^α` per message ([`RadioNet`]);
+//! * local broadcast: one transmission at power `ρ` costs `a·ρ^α` and
+//!   reaches every node within distance `ρ`;
+//! * synchronous rounds, collision-free delivery (the paper's RBN
+//!   simplification), `O(log n)`-bit messages;
+//! * exact energy/message accounting per message kind ([`EnergyLedger`]);
+//! * a discrete-event executor for reactive per-node state machines
+//!   ([`SyncEngine`] / [`NodeProtocol`]).
+
+pub mod contention;
+pub mod energy;
+pub mod engine;
+pub mod network;
+pub mod stats;
+
+pub use contention::ContentionConfig;
+pub use energy::{EnergyLedger, Tally};
+pub use engine::{Ctx, Delivery, NodeProtocol, RoundLimitExceeded, SyncEngine};
+pub use network::{Clock, EnergyConfig, RadioNet};
+pub use stats::RunStats;

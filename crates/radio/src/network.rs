@@ -1,0 +1,427 @@
+//! The radio network: positions, power-controlled transmission primitives,
+//! and the synchronous round clock.
+//!
+//! Model (§II of the paper):
+//!
+//! * nodes are points in the unit square; the unit-disk graph at the
+//!   operating radius defines who can hear whom;
+//! * nodes set their transmission power adaptively, so a unicast to a node
+//!   at distance `d` costs `a·d^α` and a *local broadcast* at power `ρ`
+//!   costs `a·ρ^α` while reaching every node within `ρ`;
+//! * communication is synchronous, one message per node per time step, and
+//!   collision-free (RBN with the paper's no-collision simplification);
+//! * a message carries `O(log n)` bits — message size is tracked only as a
+//!   count since energy is size-independent in the model.
+
+use crate::energy::EnergyLedger;
+use emst_geom::{BucketGrid, PathLoss, Point};
+
+/// Energy configuration: the paper's radiated-energy model plus the
+/// extended per-reception and idle/listen costs that §VIII defers to
+/// future work (after Min & Chandrakasan's critique that transmit-only
+/// accounting understates radio energy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyConfig {
+    /// Transmit path-loss model `w = a·d^α`.
+    pub loss: PathLoss,
+    /// Energy consumed per message *received* (0 in the paper's model).
+    pub rx: f64,
+    /// Energy consumed per node per round spent awake (0 in the paper's
+    /// model).
+    pub idle_per_round: f64,
+}
+
+impl EnergyConfig {
+    /// The paper's §II model: transmit-only.
+    pub fn paper() -> Self {
+        EnergyConfig {
+            loss: PathLoss::paper(),
+            rx: 0.0,
+            idle_per_round: 0.0,
+        }
+    }
+
+    /// An extended model with explicit rx/idle costs.
+    pub fn extended(loss: PathLoss, rx: f64, idle_per_round: f64) -> Self {
+        assert!(rx >= 0.0 && idle_per_round >= 0.0, "negative energy cost");
+        EnergyConfig {
+            loss,
+            rx,
+            idle_per_round,
+        }
+    }
+}
+
+impl Default for EnergyConfig {
+    fn default() -> Self {
+        EnergyConfig::paper()
+    }
+}
+
+/// Synchronous round clock. Protocols advance it by the true round cost of
+/// each communication stage (e.g. a fragment broadcast advances by the
+/// fragment-tree depth).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Clock {
+    rounds: u64,
+}
+
+impl Clock {
+    /// Current round.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Advances by one round.
+    #[inline]
+    pub fn tick(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Advances by `n` rounds.
+    #[inline]
+    pub fn advance(&mut self, n: u64) {
+        self.rounds += n;
+    }
+}
+
+/// A radio network over a fixed set of node positions.
+///
+/// Owns the energy ledger and round clock; borrows the positions. The
+/// spatial grid is sized for `max_query_radius` but queries at larger radii
+/// remain correct (they just scan more cells).
+///
+/// ```
+/// use emst_geom::Point;
+/// use emst_radio::RadioNet;
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(0.3, 0.4)];
+/// let mut net = RadioNet::new(&pts, 1.0);
+/// net.unicast(0, 1, "demo/ping");           // energy d² = 0.25
+/// net.local_broadcast(1, 0.6, "demo/hello"); // energy 0.6² = 0.36
+/// assert_eq!(net.ledger().total_messages(), 2);
+/// assert!((net.ledger().total_energy() - 0.61).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RadioNet<'a> {
+    points: &'a [Point],
+    config: EnergyConfig,
+    grid: BucketGrid<'a>,
+    ledger: EnergyLedger,
+    clock: Clock,
+}
+
+impl<'a> RadioNet<'a> {
+    /// Creates a network with the paper's default energy model
+    /// (`w = d²`).
+    pub fn new(points: &'a [Point], max_query_radius: f64) -> Self {
+        RadioNet::with_loss(points, max_query_radius, PathLoss::paper())
+    }
+
+    /// Creates a network with an explicit path-loss model (rx/idle stay 0).
+    pub fn with_loss(points: &'a [Point], max_query_radius: f64, loss: PathLoss) -> Self {
+        RadioNet::with_config(
+            points,
+            max_query_radius,
+            EnergyConfig {
+                loss,
+                ..EnergyConfig::paper()
+            },
+        )
+    }
+
+    /// Creates a network with a full energy configuration.
+    pub fn with_config(
+        points: &'a [Point],
+        max_query_radius: f64,
+        config: EnergyConfig,
+    ) -> Self {
+        assert!(
+            max_query_radius > 0.0,
+            "need a positive query radius, got {max_query_radius}"
+        );
+        RadioNet {
+            points,
+            config,
+            grid: BucketGrid::for_radius(points, max_query_radius),
+            ledger: EnergyLedger::new(),
+            clock: Clock::default(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Node positions.
+    #[inline]
+    pub fn points(&self) -> &'a [Point] {
+        self.points
+    }
+
+    /// Position of node `u`.
+    #[inline]
+    pub fn pos(&self, u: usize) -> Point {
+        self.points[u]
+    }
+
+    /// Euclidean distance between two nodes.
+    #[inline]
+    pub fn dist(&self, u: usize, v: usize) -> f64 {
+        self.points[u].dist(&self.points[v])
+    }
+
+    /// The path-loss model in force.
+    #[inline]
+    pub fn loss(&self) -> PathLoss {
+        self.config.loss
+    }
+
+    /// The full energy configuration.
+    #[inline]
+    pub fn config(&self) -> EnergyConfig {
+        self.config
+    }
+
+    /// Read access to the energy ledger.
+    #[inline]
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// Read access to the round clock.
+    #[inline]
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// Mutable clock access for protocols that account rounds themselves.
+    #[inline]
+    pub fn clock_mut(&mut self) -> &mut Clock {
+        &mut self.clock
+    }
+
+    /// Neighbours of `u` within `radius` with distances (the unit-disk
+    /// neighbourhood at the current operating radius).
+    pub fn neighbors(&self, u: usize, radius: f64) -> Vec<(usize, f64)> {
+        self.grid.neighbors_within(u, radius)
+    }
+
+    /// Degree of `u` at `radius`.
+    pub fn degree(&self, u: usize, radius: f64) -> usize {
+        self.grid.degree_within(u, radius)
+    }
+
+    /// The spatial index (for read-only geometric queries by protocols).
+    #[inline]
+    pub fn grid(&self) -> &BucketGrid<'a> {
+        &self.grid
+    }
+
+    /// Sends one message from `u` to `v` with power exactly reaching `v`:
+    /// charges `a·d(u,v)^α`. Power control may exceed any nominal unit-disk
+    /// radius (Co-NNT escalates beyond it), so no radius check is applied
+    /// here; radius-disciplined protocols should assert on their side.
+    pub fn unicast(&mut self, u: usize, v: usize, kind: &'static str) {
+        assert!(u != v, "node {u} cannot unicast to itself");
+        let e = self.config.loss.energy(&self.points[u], &self.points[v]);
+        self.ledger.charge(kind, e);
+        if self.config.rx > 0.0 {
+            self.ledger.charge_rx(1, self.config.rx);
+        }
+    }
+
+    /// A request/reply exchange between `u` and `v`: two messages, total
+    /// energy `2·a·d^α` (§II's bidirectional cost).
+    pub fn exchange(&mut self, u: usize, v: usize, kind: &'static str) {
+        self.unicast(u, v, kind);
+        self.unicast(v, u, kind);
+    }
+
+    /// Local broadcast: `u` transmits once at power `radius`, reaching every
+    /// node within `radius`. Charges `a·radius^α` for the single
+    /// transmission and returns the receivers (excluding `u`).
+    pub fn local_broadcast(
+        &mut self,
+        u: usize,
+        radius: f64,
+        kind: &'static str,
+    ) -> Vec<(usize, f64)> {
+        assert!(radius >= 0.0, "negative broadcast radius");
+        let e = self.config.loss.energy_for_distance(radius);
+        self.ledger.charge(kind, e);
+        let receivers = self.grid.neighbors_within(u, radius);
+        if self.config.rx > 0.0 {
+            self.ledger.charge_rx(receivers.len() as u64, self.config.rx);
+        }
+        receivers
+    }
+
+    /// Charges a broadcast without materialising the receiver list (for
+    /// protocols that already know their neighbourhood).
+    /// NOTE: under a non-zero rx cost this still charges receivers (via a
+    /// degree query) so the two broadcast flavours stay energy-equivalent.
+    pub fn local_broadcast_silent(&mut self, u: usize, radius: f64, kind: &'static str) {
+        assert!(radius >= 0.0, "negative broadcast radius");
+        let e = self.config.loss.energy_for_distance(radius);
+        self.ledger.charge(kind, e);
+        if self.config.rx > 0.0 {
+            let deg = self.grid.degree_within(u, radius) as u64;
+            self.ledger.charge_rx(deg, self.config.rx);
+        }
+    }
+
+    /// Advances the round clock by one, charging idle energy for every
+    /// node under the extended model. All protocol code advances time
+    /// through this (or [`RadioNet::advance_rounds`]) so idle accounting
+    /// cannot be bypassed.
+    pub fn tick_round(&mut self) {
+        self.advance_rounds(1);
+    }
+
+    /// Advances the round clock by `k`, charging `k·n·idle_per_round`.
+    pub fn advance_rounds(&mut self, k: u64) {
+        self.clock.advance(k);
+        if self.config.idle_per_round > 0.0 {
+            self.ledger
+                .charge_idle(k as f64 * self.n() as f64 * self.config.idle_per_round);
+        }
+    }
+
+    /// Charges one transmission attempt at an explicit energy — used by the
+    /// contention layer to account ALOHA retries (each retry radiates the
+    /// full transmit energy again).
+    pub fn charge_attempt(&mut self, kind: &'static str, energy: f64) {
+        self.ledger.charge(kind, energy);
+    }
+
+    /// Charges `count` successful receptions under the extended model
+    /// (no-op when the rx cost is zero).
+    pub fn charge_receptions(&mut self, count: u64) {
+        if self.config.rx > 0.0 {
+            self.ledger.charge_rx(count, self.config.rx);
+        }
+    }
+
+    /// Takes the ledger out (e.g. to merge into a parent protocol's stats),
+    /// leaving an empty one.
+    pub fn take_ledger(&mut self) -> EnergyLedger {
+        std::mem::take(&mut self.ledger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_geom::{trial_rng, uniform_points};
+
+    #[test]
+    fn clock_advances() {
+        let mut c = Clock::default();
+        assert_eq!(c.now(), 0);
+        c.tick();
+        c.advance(4);
+        assert_eq!(c.now(), 5);
+    }
+
+    #[test]
+    fn unicast_charges_squared_distance() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(0.3, 0.4)];
+        let mut net = RadioNet::new(&pts, 1.0);
+        net.unicast(0, 1, "t");
+        assert!((net.ledger().total_energy() - 0.25).abs() < 1e-15);
+        assert_eq!(net.ledger().total_messages(), 1);
+    }
+
+    #[test]
+    fn exchange_is_twice_unicast() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(0.3, 0.4)];
+        let mut net = RadioNet::new(&pts, 1.0);
+        net.exchange(0, 1, "t");
+        assert!((net.ledger().total_energy() - 0.5).abs() < 1e-15);
+        assert_eq!(net.ledger().total_messages(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot unicast to itself")]
+    fn self_unicast_rejected() {
+        let pts = vec![Point::new(0.0, 0.0)];
+        let mut net = RadioNet::new(&pts, 1.0);
+        net.unicast(0, 0, "t");
+    }
+
+    #[test]
+    fn broadcast_charges_radius_power_and_reaches_disk() {
+        let pts = vec![
+            Point::new(0.5, 0.5),
+            Point::new(0.55, 0.5),
+            Point::new(0.9, 0.9),
+        ];
+        let mut net = RadioNet::new(&pts, 1.0);
+        let rcv = net.local_broadcast(0, 0.1, "b");
+        assert_eq!(rcv.len(), 1);
+        assert_eq!(rcv[0].0, 1);
+        assert!((net.ledger().total_energy() - 0.01).abs() < 1e-15);
+        assert_eq!(net.ledger().total_messages(), 1);
+    }
+
+    #[test]
+    fn broadcast_silent_charges_same_energy() {
+        let pts = vec![Point::new(0.5, 0.5), Point::new(0.6, 0.5)];
+        let mut a = RadioNet::new(&pts, 1.0);
+        let mut b = RadioNet::new(&pts, 1.0);
+        a.local_broadcast(0, 0.2, "b");
+        b.local_broadcast_silent(0, 0.2, "b");
+        assert_eq!(a.ledger().total_energy(), b.ledger().total_energy());
+    }
+
+    #[test]
+    fn neighbors_respect_radius() {
+        let pts = uniform_points(300, &mut trial_rng(71, 0));
+        let net = RadioNet::new(&pts, 0.1);
+        for u in [0usize, 100, 299] {
+            let nb = net.neighbors(u, 0.1);
+            for &(v, d) in &nb {
+                assert!(d <= 0.1 + 1e-12);
+                assert!((net.dist(u, v) - d).abs() < 1e-12);
+            }
+            assert_eq!(net.degree(u, 0.1), nb.len());
+            let brute = (0..300)
+                .filter(|&v| v != u && pts[u].dist(&pts[v]) <= 0.1)
+                .count();
+            assert_eq!(nb.len(), brute);
+        }
+    }
+
+    #[test]
+    fn queries_beyond_grid_radius_are_correct() {
+        // Grid sized for 0.05 but queried at 0.5 must still be exhaustive.
+        let pts = uniform_points(200, &mut trial_rng(72, 0));
+        let net = RadioNet::new(&pts, 0.05);
+        let nb = net.neighbors(7, 0.5);
+        let brute = (0..200)
+            .filter(|&v| v != 7 && pts[7].dist(&pts[v]) <= 0.5)
+            .count();
+        assert_eq!(nb.len(), brute);
+    }
+
+    #[test]
+    fn take_ledger_resets() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let mut net = RadioNet::new(&pts, 1.5);
+        net.unicast(0, 1, "t");
+        let l = net.take_ledger();
+        assert_eq!(l.total_messages(), 1);
+        assert_eq!(net.ledger().total_messages(), 0);
+    }
+
+    #[test]
+    fn custom_loss_model_applies() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0)];
+        let mut net = RadioNet::with_loss(&pts, 1.0, PathLoss::new(2.0, 1.0));
+        net.unicast(0, 1, "t");
+        assert!((net.ledger().total_energy() - 1.0).abs() < 1e-15); // 2·0.5¹
+    }
+}

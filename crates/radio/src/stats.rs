@@ -1,0 +1,116 @@
+//! Run statistics: the (energy, messages, rounds) triple the paper's
+//! evaluation reports, captured from a network after a protocol run.
+
+use crate::energy::EnergyLedger;
+use crate::network::RadioNet;
+use std::fmt;
+
+/// Summary of one protocol execution.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Total radiated (transmit) energy — the paper's energy complexity.
+    pub energy: f64,
+    /// Reception energy under the extended model (0 under §II's model).
+    pub rx_energy: f64,
+    /// Idle/listen energy under the extended model (0 under §II's model).
+    pub idle_energy: f64,
+    /// Total number of transmissions (message complexity).
+    pub messages: u64,
+    /// Synchronous rounds consumed (time complexity).
+    pub rounds: u64,
+    /// Full per-kind ledger for attribution.
+    pub ledger: EnergyLedger,
+}
+
+impl RunStats {
+    /// Snapshot from a network handle.
+    pub fn capture(net: &RadioNet<'_>) -> Self {
+        let ledger = net.ledger().clone();
+        RunStats {
+            energy: ledger.total_energy(),
+            rx_energy: ledger.rx_energy(),
+            idle_energy: ledger.idle_energy(),
+            messages: ledger.total_messages(),
+            rounds: net.clock().now(),
+            ledger,
+        }
+    }
+
+    /// Whole-radio energy: transmit + receive + idle.
+    pub fn full_energy(&self) -> f64 {
+        self.energy + self.rx_energy + self.idle_energy
+    }
+
+    /// Folds another run's statistics into this one (sequential protocol
+    /// composition: rounds add, ledgers merge).
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.ledger.merge(&other.ledger);
+        self.energy = self.ledger.total_energy();
+        self.rx_energy = self.ledger.rx_energy();
+        self.idle_energy = self.ledger.idle_energy();
+        self.messages = self.ledger.total_messages();
+        self.rounds += other.rounds;
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "energy {:.6}, {} msgs, {} rounds",
+            self.energy, self.messages, self.rounds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_geom::Point;
+
+    #[test]
+    fn capture_reflects_ledger_and_clock() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(0.6, 0.8)];
+        let mut net = RadioNet::new(&pts, 1.5);
+        net.unicast(0, 1, "x");
+        net.clock_mut().advance(3);
+        let s = RunStats::capture(&net);
+        assert!((s.energy - 1.0).abs() < 1e-12);
+        assert_eq!(s.messages, 1);
+        assert_eq!(s.rounds, 3);
+        assert_eq!(s.ledger.kind("x").messages, 1);
+    }
+
+    #[test]
+    fn absorb_adds_rounds_and_merges_energy() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(0.3, 0.4)];
+        let mut net = RadioNet::new(&pts, 1.0);
+        net.unicast(0, 1, "a");
+        net.clock_mut().advance(2);
+        let mut s1 = RunStats::capture(&net);
+        let mut net2 = RadioNet::new(&pts, 1.0);
+        net2.exchange(0, 1, "b");
+        net2.clock_mut().advance(5);
+        let s2 = RunStats::capture(&net2);
+        s1.absorb(&s2);
+        assert_eq!(s1.messages, 3);
+        assert_eq!(s1.rounds, 7);
+        assert!((s1.energy - 0.75).abs() < 1e-12);
+        assert_eq!(s1.ledger.kind("b").messages, 2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = RunStats {
+            energy: 1.5,
+            rx_energy: 0.0,
+            idle_energy: 0.0,
+            messages: 10,
+            rounds: 4,
+            ledger: EnergyLedger::new(),
+        };
+        let txt = format!("{s}");
+        assert!(txt.contains("10 msgs"));
+        assert!(txt.contains("4 rounds"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the radio simulator: the contention layer
+//! must deliver exactly the collision-free message set (later and at
+//! higher cost, never lossily), and energy accounting must stay
+//! internally consistent under any configuration.
+
+use emst_geom::Point;
+use emst_radio::{
+    ContentionConfig, Ctx, Delivery, EnergyConfig, NodeProtocol, RadioNet, SyncEngine,
+};
+use proptest::prelude::*;
+
+fn cloud(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(
+        (0.0f64..=1.0, 0.0f64..=1.0).prop_map(|(x, y)| Point::new(x, y)),
+        2..max,
+    )
+}
+
+/// Gossip protocol: every node broadcasts its id once in round 0; each
+/// node records everything it hears (ids can arrive over multiple rounds
+/// under contention). Quiesces when all have sent.
+struct Gossip {
+    radius: f64,
+    sent: bool,
+    heard: Vec<usize>,
+}
+
+impl NodeProtocol for Gossip {
+    type Msg = usize;
+
+    fn on_round(&mut self, inbox: &[Delivery<usize>], ctx: &mut Ctx<'_, usize>) {
+        for d in inbox {
+            self.heard.push(d.msg);
+        }
+        if !self.sent {
+            self.sent = true;
+            ctx.broadcast(self.radius, "gossip", ctx.me());
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.sent
+    }
+}
+
+fn run_gossip(pts: &[Point], radius: f64, contention: Option<ContentionConfig>) -> Vec<Vec<usize>> {
+    let net = RadioNet::new(pts, radius.max(1e-3));
+    let nodes: Vec<Gossip> = (0..pts.len())
+        .map(|_| Gossip {
+            radius,
+            sent: false,
+            heard: Vec::new(),
+        })
+        .collect();
+    let mut eng = match contention {
+        Some(cfg) => SyncEngine::with_contention(net, nodes, cfg),
+        None => SyncEngine::new(net, nodes),
+    };
+    eng.run(64).expect("gossip quiesces");
+    eng.nodes()
+        .iter()
+        .map(|g| {
+            let mut h = g.heard.clone();
+            h.sort_unstable();
+            h
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Contention delivers exactly the collision-free message sets.
+    #[test]
+    fn contention_is_lossless(pts in cloud(24), radius in 0.05f64..0.6, seed in 1u64..1000) {
+        let clean = run_gossip(&pts, radius, None);
+        let noisy = run_gossip(
+            &pts,
+            radius,
+            Some(ContentionConfig {
+                seed,
+                ..ContentionConfig::default()
+            }),
+        );
+        prop_assert_eq!(clean, noisy);
+    }
+
+    /// Contention never reduces messages, energy, or rounds.
+    #[test]
+    fn contention_only_adds_cost(pts in cloud(20), radius in 0.05f64..0.5) {
+        let run = |cont: Option<ContentionConfig>| {
+            let net = RadioNet::new(&pts, radius.max(1e-3));
+            let nodes: Vec<Gossip> = (0..pts.len())
+                .map(|_| Gossip { radius, sent: false, heard: Vec::new() })
+                .collect();
+            let mut eng = match cont {
+                Some(cfg) => SyncEngine::with_contention(net, nodes, cfg),
+                None => SyncEngine::new(net, nodes),
+            };
+            eng.run(64).unwrap();
+            (
+                eng.net().ledger().total_messages(),
+                eng.net().ledger().total_energy(),
+                eng.net().clock().now(),
+            )
+        };
+        let (m0, e0, r0) = run(None);
+        let (m1, e1, r1) = run(Some(ContentionConfig::default()));
+        prop_assert!(m1 >= m0);
+        prop_assert!(e1 >= e0 - 1e-12);
+        prop_assert!(r1 >= r0);
+    }
+
+    /// Under the extended model, full energy decomposes exactly into
+    /// tx + rx + idle, and rx receptions equal total deliveries.
+    #[test]
+    fn extended_accounting_decomposes(pts in cloud(20), radius in 0.05f64..0.5,
+                                      rx in 0.0f64..0.1, idle in 0.0f64..0.01) {
+        let cfg = EnergyConfig::extended(emst_geom::PathLoss::paper(), rx.max(1e-9), idle.max(1e-9));
+        let net = RadioNet::with_config(&pts, radius.max(1e-3), cfg);
+        let nodes: Vec<Gossip> = (0..pts.len())
+            .map(|_| Gossip { radius, sent: false, heard: Vec::new() })
+            .collect();
+        let mut eng = SyncEngine::new(net, nodes);
+        eng.run(64).unwrap();
+        let total_heard: usize = eng.nodes().iter().map(|g| g.heard.len()).sum();
+        let ledger = eng.net().ledger();
+        prop_assert_eq!(ledger.rx_count(), total_heard as u64);
+        let expect_rx = total_heard as f64 * cfg.rx;
+        prop_assert!((ledger.rx_energy() - expect_rx).abs() < 1e-9);
+        let expect_idle = eng.net().clock().now() as f64 * pts.len() as f64 * cfg.idle_per_round;
+        prop_assert!((ledger.idle_energy() - expect_idle).abs() < 1e-9);
+        prop_assert!(
+            (ledger.full_energy()
+                - (ledger.total_energy() + ledger.rx_energy() + ledger.idle_energy()))
+            .abs()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Data aggregation over an MST — the paper's §II motivating application.
+//!
+//! A sink collects an aggregate (min/max/avg) from every sensor. The
+//! standard paradigm routes each node's locally aggregated value to its
+//! parent in a tree rooted at the sink; one "epoch" costs one message per
+//! tree edge. The paper notes the MST is the *optimal* aggregation tree
+//! for this cost model (`Σ d²` per epoch).
+//!
+//! This example builds the aggregation tree with EOPT (distributed, no
+//! coordinates) and compares the per-epoch energy against two common
+//! alternatives: direct transmission to the sink (single-hop star) and a
+//! shortest-path tree (SPT, which minimises latency, not energy). It then
+//! runs an actual max-aggregation epoch over the simulator and checks that
+//! the aggregate is correct.
+//!
+//! ```text
+//! cargo run --release --example data_aggregation
+//! ```
+
+use energy_mst::core::run_eopt;
+use energy_mst::geom::{paper_phase2_radius, trial_rng, uniform_points, PathLoss, Point};
+use energy_mst::graph::Graph;
+use std::collections::BinaryHeap;
+
+/// Dijkstra SPT from `root` over the RGG with weights d² (energy metric);
+/// returns parent pointers.
+fn shortest_path_tree(g: &Graph, root: usize) -> Vec<usize> {
+    let n = g.n();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<usize> = (0..n).collect();
+    dist[root] = 0.0;
+    let mut heap: BinaryHeap<(std::cmp::Reverse<u64>, usize)> = BinaryHeap::new();
+    let key = |d: f64| std::cmp::Reverse(d.to_bits());
+    heap.push((key(0.0), root));
+    while let Some((std::cmp::Reverse(bits), u)) = heap.pop() {
+        let d = f64::from_bits(bits);
+        if d > dist[u] {
+            continue;
+        }
+        for (v, w) in g.neighbors(u) {
+            let nd = d + w * w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                parent[v] = u;
+                heap.push((key(nd), v));
+            }
+        }
+    }
+    parent
+}
+
+/// Per-epoch energy of an aggregation tree given parent pointers: each
+/// non-root node sends one message to its parent.
+fn epoch_energy(points: &[Point], parent: &[usize], root: usize, loss: &PathLoss) -> f64 {
+    parent
+        .iter()
+        .enumerate()
+        .filter(|&(u, &p)| u != root && p != u)
+        .map(|(u, &p)| loss.energy(&points[u], &points[p]))
+        .sum()
+}
+
+/// Runs one max-aggregation epoch bottom-up and returns (aggregate,
+/// messages) — a functional check that the tree actually aggregates.
+fn aggregate_max(parent: &[usize], root: usize, readings: &[f64]) -> (f64, usize) {
+    let n = parent.len();
+    // Children lists + leaf-up propagation order by repeated peeling.
+    let mut pending: Vec<usize> = vec![0; n]; // children not yet reported
+    for (u, &p) in parent.iter().enumerate() {
+        if u != root {
+            pending[p] += 1;
+        }
+    }
+    let mut acc = readings.to_vec();
+    let mut ready: Vec<usize> = (0..n).filter(|&u| u != root && pending[u] == 0).collect();
+    let mut messages = 0;
+    while let Some(u) = ready.pop() {
+        let p = parent[u];
+        messages += 1;
+        if acc[u] > acc[p] {
+            acc[p] = acc[u];
+        }
+        pending[p] -= 1;
+        if p != root && pending[p] == 0 {
+            ready.push(p);
+        }
+    }
+    (acc[root], messages)
+}
+
+fn main() {
+    let n = 800;
+    let points = uniform_points(n, &mut trial_rng(11, 0));
+    let loss = PathLoss::paper();
+
+    // Build the aggregation tree distributively (EOPT) and root it at the
+    // sink: node closest to the square's centre.
+    let sink = (0..n)
+        .min_by(|&a, &b| {
+            let c = Point::new(0.5, 0.5);
+            points[a].dist(&c).total_cmp(&points[b].dist(&c))
+        })
+        .unwrap();
+    let eopt = run_eopt(&points);
+    assert_eq!(eopt.fragment_count, 1, "instance must be connected");
+
+    // Parent pointers of the MST rooted at the sink.
+    let adj = eopt.tree.adjacency();
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut stack = vec![sink];
+    let mut seen = vec![false; n];
+    seen[sink] = true;
+    while let Some(u) = stack.pop() {
+        for &v in &adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                parent[v] = u;
+                stack.push(v);
+            }
+        }
+    }
+
+    // Alternatives.
+    let g = Graph::geometric(&points, paper_phase2_radius(n));
+    let spt = shortest_path_tree(&g, sink);
+    let star: Vec<usize> = (0..n).map(|u| if u == sink { u } else { sink }).collect();
+
+    let e_mst = epoch_energy(&points, &parent, sink, &loss);
+    let e_spt = epoch_energy(&points, &spt, sink, &loss);
+    let e_star = epoch_energy(&points, &star, sink, &loss);
+
+    println!("data aggregation at a central sink, n = {n}");
+    println!("  one-time tree construction (EOPT): {:.2} energy, {} messages",
+             eopt.stats.energy, eopt.stats.messages);
+    println!("\nper-epoch aggregation energy (one message per node):");
+    println!("  MST tree (EOPT):      {e_mst:>10.4}");
+    println!("  shortest-path tree:   {e_spt:>10.4}  ({:.2}x MST)", e_spt / e_mst);
+    println!("  direct-to-sink star:  {e_star:>10.4}  ({:.0}x MST)", e_star / e_mst);
+
+    // Functional check: aggregate a max over the tree.
+    let readings: Vec<f64> = (0..n).map(|u| (u as f64 * 0.37).sin().abs()).collect();
+    let truth = readings.iter().cloned().fold(f64::MIN, f64::max);
+    let (got, msgs) = aggregate_max(&parent, sink, &readings);
+    assert_eq!(msgs, n - 1, "every non-sink node reports exactly once");
+    assert_eq!(got, truth, "aggregated max must match ground truth");
+    println!("\nmax-aggregation epoch: {} messages, aggregate {:.6} == ground truth ✓", msgs, got);
+
+    // Break-even: construction cost amortises after this many epochs vs
+    // the star topology.
+    let breakeven = eopt.stats.energy / (e_star - e_mst);
+    println!("EOPT construction amortises vs direct transmission after {breakeven:.1} epochs");
+}

@@ -1,0 +1,98 @@
+//! ASCII rendition of the paper's Figure 1: the giant component and the
+//! small regions of a sparse random geometric graph.
+//!
+//! At `r₁ = 1.4·√(1/n)` (EOPT's phase-1 radius) the RGG is far below the
+//! connectivity threshold, yet Theorem 5.2 guarantees one giant component
+//! plus only small trapped components. This example draws the node field
+//! as a character grid — `#` cells intersect the giant component, `o`
+//! cells hold only smaller components, `·` cells are empty — and prints
+//! the component census underneath.
+//!
+//! ```text
+//! cargo run --release --example percolation_map
+//! ```
+
+use energy_mst::geom::{paper_phase1_radius, trial_rng, uniform_points};
+use energy_mst::graph::{Components, Graph};
+use energy_mst::percolation::giant_stats;
+
+fn main() {
+    let n = 4000;
+    let points = uniform_points(n, &mut trial_rng(42, 0));
+    let r = paper_phase1_radius(n);
+    let g = Graph::geometric(&points, r);
+    let comps = Components::of(&g);
+    let giant = comps.largest().expect("non-empty instance");
+
+    // Character grid: 64×64 cells over the unit square.
+    let side = 64usize;
+    let mut has_giant = vec![false; side * side];
+    let mut has_other = vec![false; side * side];
+    for (i, p) in points.iter().enumerate() {
+        let cx = ((p.x * side as f64) as usize).min(side - 1);
+        let cy = ((p.y * side as f64) as usize).min(side - 1);
+        if comps.label[i] == giant {
+            has_giant[cy * side + cx] = true;
+        } else {
+            has_other[cy * side + cx] = true;
+        }
+    }
+    println!(
+        "n = {n}, r1 = {r:.4}  —  '#' giant component, 'o' small components, '·' empty"
+    );
+    for cy in (0..side).rev() {
+        let row: String = (0..side)
+            .map(|cx| {
+                let c = cy * side + cx;
+                if has_giant[c] {
+                    '#'
+                } else if has_other[c] {
+                    'o'
+                } else {
+                    '·'
+                }
+            })
+            .collect();
+        println!("{row}");
+    }
+
+    // Census, cross-checked against the percolation analyser.
+    let stats = giant_stats(&points, r);
+    let small = comps.small_component_sizes();
+    let ln2 = (n as f64).ln().powi(2);
+    println!("\ncomponent census:");
+    println!(
+        "  giant: {} nodes ({:.1}% of n)",
+        stats.giant_component_nodes,
+        stats.giant_fraction() * 100.0
+    );
+    println!(
+        "  other: {} components, largest {} nodes (β·ln² n bound: ln² n = {:.0})",
+        small.len(),
+        small.first().copied().unwrap_or(0),
+        ln2
+    );
+    let histogram = {
+        let mut bins = [0usize; 5]; // 1, 2-3, 4-7, 8-15, 16+
+        for &s in &small {
+            let b = match s {
+                1 => 0,
+                2..=3 => 1,
+                4..=7 => 2,
+                8..=15 => 3,
+                _ => 4,
+            };
+            bins[b] += 1;
+        }
+        bins
+    };
+    println!(
+        "  small-component size histogram: 1:{} 2-3:{} 4-7:{} 8-15:{} 16+:{}",
+        histogram[0], histogram[1], histogram[2], histogram[3], histogram[4]
+    );
+    assert_eq!(stats.giant_component_nodes + small.iter().sum::<usize>(), n);
+    assert!(
+        (small.first().copied().unwrap_or(0) as f64) < 3.0 * ln2,
+        "a 'small' component outgrew the Theorem 5.2 bound"
+    );
+}

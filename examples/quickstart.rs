@@ -1,0 +1,63 @@
+//! Quickstart: build an MST over a random sensor field three ways and
+//! compare energy, messages, rounds and tree quality.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use energy_mst::core::{run_eopt, run_ghs, run_nnt, GhsVariant};
+use energy_mst::geom::{paper_phase2_radius, trial_rng, uniform_points};
+use energy_mst::graph::euclidean_mst;
+
+fn main() {
+    // 1. A sensor field: 1000 nodes uniform in the unit square.
+    let n = 1000;
+    let points = uniform_points(n, &mut trial_rng(7, 0));
+
+    // 2. The classical baseline: GHS at the connectivity radius
+    //    1.6·√(ln n / n) — energy grows as Θ(log² n).
+    let ghs = run_ghs(&points, paper_phase2_radius(n), GhsVariant::Original);
+
+    // 3. The paper's energy-optimal algorithm: two-phase EOPT — exact MST
+    //    at Θ(log n) energy.
+    let eopt = run_eopt(&points);
+
+    // 4. With coordinates: Co-NNT — O(1) energy, constant-factor
+    //    approximation.
+    let nnt = run_nnt(&points);
+
+    // 5. Sequential ground truth for quality comparison.
+    let mst = euclidean_mst(&points);
+
+    println!("n = {n} random nodes in the unit square\n");
+    println!("{:<22} {:>12} {:>10} {:>8} {:>12} {:>12}",
+             "algorithm", "energy", "messages", "rounds", "tree Σ|e|", "tree Σ|e|²");
+    println!("{}", "-".repeat(82));
+    for (name, energy, msgs, rounds, t) in [
+        ("GHS (original)", ghs.stats.energy, ghs.stats.messages, ghs.stats.rounds, &ghs.tree),
+        ("EOPT (this paper)", eopt.stats.energy, eopt.stats.messages, eopt.stats.rounds, &eopt.tree),
+        ("Co-NNT (coords)", nnt.stats.energy, nnt.stats.messages, nnt.stats.rounds, &nnt.tree),
+    ] {
+        println!(
+            "{name:<22} {energy:>12.3} {msgs:>10} {rounds:>8} {:>12.3} {:>12.4}",
+            t.cost(1.0),
+            t.cost(2.0)
+        );
+    }
+    println!(
+        "{:<22} {:>12} {:>10} {:>8} {:>12.3} {:>12.4}",
+        "sequential MST", "-", "-", "-", mst.cost(1.0), mst.cost(2.0)
+    );
+
+    // EOPT is exact; Co-NNT is a constant-factor approximation.
+    assert!(eopt.tree.same_edges(&mst), "EOPT must output the exact MST");
+    println!(
+        "\nEOPT tree == sequential MST (exact). Co-NNT is within {:.1}% on Σ|e|.",
+        (nnt.tree.cost(1.0) / mst.cost(1.0) - 1.0) * 100.0
+    );
+    println!(
+        "energy ratio GHS : EOPT : Co-NNT = {:.1} : {:.1} : 1",
+        ghs.stats.energy / nnt.stats.energy,
+        eopt.stats.energy / nnt.stats.energy
+    );
+}

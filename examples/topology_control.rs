@@ -1,0 +1,134 @@
+//! Topology control and broadcast — the paper's other §I/§II motivating
+//! applications.
+//!
+//! Keeping every radio at the connectivity power `r₂ = 1.6·√(ln n/n)`
+//! yields a dense graph with `Θ(log n)` average degree. Topology-control
+//! algorithms instead keep a sparse energy-efficient subgraph; the MST is
+//! the extreme point of that trade-off (minimal total power, degree ≤ 6).
+//! And §II cites [5, 27]: broadcasting along the MST costs within a
+//! constant factor of the optimal broadcast.
+//!
+//! This example builds the MST with EOPT and compares the full RGG
+//! topology against the MST topology on: edge count, maximum degree,
+//! total link energy, and the energy of a one-to-all broadcast (each
+//! internal node forwards once at the power reaching its farthest child).
+//!
+//! ```text
+//! cargo run --release --example topology_control
+//! ```
+
+use energy_mst::core::run_eopt;
+use energy_mst::geom::{paper_phase2_radius, trial_rng, uniform_points};
+use energy_mst::graph::{gabriel_graph, rng_graph, Graph};
+
+fn main() {
+    let n = 1200;
+    let points = uniform_points(n, &mut trial_rng(23, 0));
+    let r = paper_phase2_radius(n);
+
+    // Dense topology: every node at full connectivity power.
+    let full = Graph::geometric(&points, r);
+
+    // Sparse topology: the MST, built distributively.
+    let eopt = run_eopt(&points);
+    assert_eq!(eopt.fragment_count, 1, "instance must be connected");
+    let mst = &eopt.tree;
+
+    // The classical topology-control ladder between those extremes
+    // (Santi [24]): MST ⊆ RNG ⊆ Gabriel ⊆ full RGG in sparseness.
+    let gg = gabriel_graph(&points);
+    let rng_g = rng_graph(&points);
+
+    let link_energy = |g: &Graph| -> f64 { g.edges().iter().map(|e| e.w * e.w).sum() };
+    let full_link_energy = link_energy(&full);
+    let mst_link_energy = mst.cost(2.0);
+    let mst_max_deg = mst.degrees().into_iter().max().unwrap_or(0);
+
+    println!("topology control, n = {n}, radius r2 = {r:.4}");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>12}",
+        "", "full RGG", "Gabriel", "RNG", "MST (EOPT)"
+    );
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>12}",
+        "edges",
+        full.m(),
+        gg.m(),
+        rng_g.m(),
+        mst.edges().len()
+    );
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>12}",
+        "max degree",
+        full.max_degree(),
+        gg.max_degree(),
+        rng_g.max_degree(),
+        mst_max_deg
+    );
+    println!(
+        "{:<26} {:>10.2} {:>10.2} {:>10.2} {:>12.2}",
+        "avg degree",
+        full.avg_degree(),
+        gg.avg_degree(),
+        rng_g.avg_degree(),
+        2.0 * mst.edges().len() as f64 / n as f64
+    );
+    println!(
+        "{:<26} {:>10.3} {:>10.4} {:>10.4} {:>12.4}",
+        "total link energy Σd²",
+        full_link_energy,
+        link_energy(&gg),
+        link_energy(&rng_g),
+        mst_link_energy
+    );
+    // Sandwich sanity: the ladder really is a chain of subgraphs.
+    assert!(mst.edges().len() <= rng_g.m() && rng_g.m() <= gg.m() && gg.m() <= full.m());
+
+    // Broadcast from a root along each topology. RGG broadcast: flood at
+    // full power r (every node transmits once at power r). MST broadcast:
+    // each internal node transmits once at the power reaching its farthest
+    // child (the local-broadcast primitive of §II).
+    let root = 0usize;
+    let flood_energy = n as f64 * r * r;
+
+    let adj = mst.adjacency();
+    let mut parent = vec![usize::MAX; n];
+    parent[root] = root;
+    let mut order = vec![root];
+    let mut qi = 0;
+    while qi < order.len() {
+        let u = order[qi];
+        qi += 1;
+        for &v in &adj[u] {
+            if parent[v] == usize::MAX {
+                parent[v] = u;
+                order.push(v);
+            }
+        }
+    }
+    let mut mst_broadcast = 0.0;
+    for u in 0..n {
+        let farthest_child = adj[u]
+            .iter()
+            .filter(|&&v| parent[v] == u)
+            .map(|&v| points[u].dist(&points[v]))
+            .fold(0.0f64, f64::max);
+        mst_broadcast += farthest_child * farthest_child;
+    }
+
+    println!("\none-to-all broadcast energy:");
+    println!("  flood at full power:     {flood_energy:>10.4}");
+    println!(
+        "  along the MST:           {mst_broadcast:>10.4}  ({:.1}x cheaper)",
+        flood_energy / mst_broadcast
+    );
+
+    // The MST degree bound for Euclidean instances.
+    assert!(mst_max_deg <= 6, "Euclidean MST degree bound violated");
+    println!("\nMST max degree {mst_max_deg} ≤ 6 (Euclidean bound) — radios need tiny neighbour tables");
+    println!(
+        "sparsification: {:.1}% of links dropped, {:.1}% of link energy saved",
+        (1.0 - mst.edges().len() as f64 / full.m() as f64) * 100.0,
+        (1.0 - mst_link_energy / full_link_energy) * 100.0
+    );
+}

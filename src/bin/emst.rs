@@ -1,0 +1,238 @@
+//! `emst` — unified command-line front end for the library.
+//!
+//! ```text
+//! emst gen   --n 1000 [--seed S] [--out points.txt]
+//! emst run   --algo <ghs|ghs-mod|eopt|nnt|nnt-x|nnt-id|bfs>
+//!            (--n 1000 [--seed S] | --in points.txt)
+//!            [--radius R] [--tree out.txt] [--verbose]
+//! emst mst   (--n 1000 [--seed S] | --in points.txt) [--tree out.txt]
+//! emst stats (--n 1000 [--seed S] | --in points.txt) [--radius R]
+//! ```
+//!
+//! `run` executes a distributed algorithm over the radio simulator and
+//! prints its energy / message / round statistics plus tree quality
+//! against the exact MST; `stats` reports connectivity and giant-component
+//! structure at a radius (defaults to the §VII connectivity radius).
+
+use energy_mst::core::{
+    run_bfs_tree, run_eopt, run_ghs, run_nnt_with, GhsVariant, RankScheme,
+};
+use energy_mst::geom::{
+    load_points, paper_phase1_radius, paper_phase2_radius, save_points, trial_rng,
+    uniform_points, Point,
+};
+use energy_mst::graph::{euclidean_mst, SpanningTree};
+use energy_mst::percolation::giant_stats;
+use energy_mst::radio::RunStats;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  emst gen   --n N [--seed S] [--out FILE]\n  emst run   --algo ghs|ghs-mod|eopt|nnt|nnt-x|nnt-id|bfs (--n N [--seed S] | --in FILE) [--radius R] [--tree FILE] [--verbose]\n  emst mst   (--n N [--seed S] | --in FILE) [--tree FILE]\n  emst stats (--n N [--seed S] | --in FILE) [--radius R]"
+    );
+    exit(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if !a.starts_with("--") {
+            eprintln!("unexpected argument {a}");
+            usage();
+        }
+        let key = a.trim_start_matches("--").to_string();
+        if key == "verbose" {
+            flags.insert(key, "true".into());
+            i += 1;
+        } else {
+            if i + 1 >= args.len() {
+                eprintln!("flag --{key} needs a value");
+                usage();
+            }
+            flags.insert(key, args[i + 1].clone());
+            i += 2;
+        }
+    }
+    flags
+}
+
+fn points_from(flags: &HashMap<String, String>) -> Vec<Point> {
+    if let Some(path) = flags.get("in") {
+        match load_points(path) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                exit(1)
+            }
+        }
+    } else if let Some(n) = flags.get("n") {
+        let n: usize = n.parse().unwrap_or_else(|_| {
+            eprintln!("--n must be an integer");
+            usage()
+        });
+        let seed: u64 = flags
+            .get("seed")
+            .map(|s| s.parse().expect("--seed must be an integer"))
+            .unwrap_or(1);
+        uniform_points(n, &mut trial_rng(seed, 0))
+    } else {
+        eprintln!("need --n or --in");
+        usage()
+    }
+}
+
+fn maybe_save_tree(flags: &HashMap<String, String>, tree: &SpanningTree) {
+    if let Some(path) = flags.get("tree") {
+        let mut out = String::new();
+        out.push_str("# u v weight\n");
+        for e in tree.edges() {
+            out.push_str(&format!("{} {} {}\n", e.u, e.v, e.w));
+        }
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        }
+        println!("tree written to {path}");
+    }
+}
+
+fn print_stats(label: &str, stats: &RunStats, tree: &SpanningTree, points: &[Point]) {
+    println!("algorithm:     {label}");
+    println!("energy (tx):   {:.6}", stats.energy);
+    if stats.rx_energy > 0.0 || stats.idle_energy > 0.0 {
+        println!("energy (rx):   {:.6}", stats.rx_energy);
+        println!("energy (idle): {:.6}", stats.idle_energy);
+        println!("energy (full): {:.6}", stats.full_energy());
+    }
+    println!("messages:      {}", stats.messages);
+    println!("rounds:        {}", stats.rounds);
+    println!("tree edges:    {}", tree.edges().len());
+    println!("tree Σ|e|:     {:.6}", tree.cost(1.0));
+    println!("tree Σ|e|²:    {:.6}", tree.cost(2.0));
+    if points.len() >= 2 && tree.is_valid() {
+        let mst = euclidean_mst(points);
+        println!(
+            "vs exact MST:  Σ|e| x{:.4}, Σ|e|² x{:.4}{}",
+            tree.cost(1.0) / mst.cost(1.0),
+            tree.cost(2.0) / mst.cost(2.0),
+            if tree.same_edges(&mst) { " (exact)" } else { "" }
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => usage(),
+    };
+    let flags = parse_flags(rest);
+    match cmd {
+        "gen" => {
+            let pts = points_from(&flags);
+            match flags.get("out") {
+                Some(path) => {
+                    save_points(path, &pts).unwrap_or_else(|e| {
+                        eprintln!("cannot write {path}: {e}");
+                        exit(1)
+                    });
+                    println!("{} points written to {path}", pts.len());
+                }
+                None => {
+                    let mut buf = Vec::new();
+                    energy_mst::geom::write_points(&mut buf, &pts).unwrap();
+                    print!("{}", String::from_utf8(buf).unwrap());
+                }
+            }
+        }
+        "run" => {
+            let pts = points_from(&flags);
+            let n = pts.len();
+            let radius: f64 = flags
+                .get("radius")
+                .map(|r| r.parse().expect("--radius must be a float"))
+                .unwrap_or_else(|| paper_phase2_radius(n.max(2)));
+            let algo = flags.get("algo").map(String::as_str).unwrap_or_else(|| {
+                eprintln!("run needs --algo");
+                usage()
+            });
+            let (label, tree, stats) = match algo {
+                "ghs" => {
+                    let o = run_ghs(&pts, radius, GhsVariant::Original);
+                    ("GHS (original)", o.tree, o.stats)
+                }
+                "ghs-mod" => {
+                    let o = run_ghs(&pts, radius, GhsVariant::Modified);
+                    ("GHS (modified)", o.tree, o.stats)
+                }
+                "eopt" => {
+                    let o = run_eopt(&pts);
+                    ("EOPT", o.tree, o.stats)
+                }
+                "nnt" => {
+                    let o = run_nnt_with(&pts, RankScheme::Diagonal);
+                    ("Co-NNT (diagonal rank)", o.tree, o.stats)
+                }
+                "nnt-x" => {
+                    let o = run_nnt_with(&pts, RankScheme::XOrder);
+                    ("NNT (x-rank)", o.tree, o.stats)
+                }
+                "nnt-id" => {
+                    let o = run_nnt_with(&pts, RankScheme::NodeId);
+                    ("NNT (id-rank, no coordinates)", o.tree, o.stats)
+                }
+                "bfs" => {
+                    let o = run_bfs_tree(&pts, radius, 0);
+                    ("BFS flooding tree", o.tree, o.stats)
+                }
+                other => {
+                    eprintln!("unknown algorithm {other}");
+                    usage()
+                }
+            };
+            print_stats(label, &stats, &tree, &pts);
+            if flags.contains_key("verbose") {
+                println!("--- per-kind ledger ---\n{}", stats.ledger);
+            }
+            maybe_save_tree(&flags, &tree);
+        }
+        "mst" => {
+            let pts = points_from(&flags);
+            let tree = euclidean_mst(&pts);
+            println!("exact Euclidean MST: {} edges", tree.edges().len());
+            println!("Σ|e|:  {:.6}", tree.cost(1.0));
+            println!("Σ|e|²: {:.6}", tree.cost(2.0));
+            maybe_save_tree(&flags, &tree);
+        }
+        "stats" => {
+            let pts = points_from(&flags);
+            let n = pts.len().max(2);
+            let radius: f64 = flags
+                .get("radius")
+                .map(|r| r.parse().expect("--radius must be a float"))
+                .unwrap_or_else(|| paper_phase2_radius(n));
+            let g = energy_mst::graph::Graph::geometric(&pts, radius);
+            let comps = energy_mst::graph::Components::of(&g);
+            println!("n = {}, radius = {radius:.5}", pts.len());
+            println!("edges: {}, avg degree {:.2}", g.m(), g.avg_degree());
+            println!(
+                "components: {} (largest {}, {:.1}%)",
+                comps.count(),
+                comps.largest_size(),
+                100.0 * comps.giant_fraction()
+            );
+            let r1 = paper_phase1_radius(n);
+            let s = giant_stats(&pts, r1);
+            println!(
+                "at the percolation radius r1 = {r1:.5}: giant {:.1}%, {} components, largest small component {}",
+                100.0 * s.giant_fraction(),
+                s.components,
+                s.second_component_nodes
+            );
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,13 @@
+//! # energy-mst — facade crate
+//!
+//! Re-exports the whole workspace: a Rust reproduction of *Energy-Optimal
+//! Distributed Algorithms for Minimum Spanning Trees* (Choi, Khan, Kumar,
+//! Pandurangan; SPAA'08 / IEEE JSAC'09). See the README for a tour and
+//! DESIGN.md for the system inventory.
+
+pub use emst_analysis as analysis;
+pub use emst_core as core;
+pub use emst_geom as geom;
+pub use emst_graph as graph;
+pub use emst_percolation as percolation;
+pub use emst_radio as radio;

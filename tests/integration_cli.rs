@@ -1,0 +1,100 @@
+//! End-to-end tests of the `emst` command-line binary (spawned as a real
+//! subprocess via `CARGO_BIN_EXE_emst`).
+
+use std::process::Command;
+
+fn emst(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_emst"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn gen_writes_parseable_points() {
+    let dir = std::env::temp_dir().join("emst_cli_test_gen");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("pts.txt");
+    let out = emst(&["gen", "--n", "120", "--seed", "5", "--out", file.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let pts = energy_mst::geom::load_points(&file).unwrap();
+    assert_eq!(pts.len(), 120);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gen_to_stdout_round_trips() {
+    let out = emst(&["gen", "--n", "30", "--seed", "7"]);
+    assert!(out.status.success());
+    let pts = energy_mst::geom::read_points(out.stdout.as_slice()).unwrap();
+    assert_eq!(pts.len(), 30);
+    // Deterministic: same seed, same points.
+    let out2 = emst(&["gen", "--n", "30", "--seed", "7"]);
+    assert_eq!(out.stdout, out2.stdout);
+}
+
+#[test]
+fn run_eopt_reports_exactness() {
+    let out = emst(&["run", "--algo", "eopt", "--n", "250", "--seed", "3"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("EOPT"), "{text}");
+    assert!(text.contains("(exact)"), "EOPT must report exactness:\n{text}");
+    assert!(text.contains("energy (tx):"));
+}
+
+#[test]
+fn run_all_algorithms_succeed() {
+    for algo in ["ghs", "ghs-mod", "nnt", "nnt-x", "nnt-id", "bfs"] {
+        let out = emst(&["run", "--algo", algo, "--n", "150", "--seed", "4"]);
+        assert!(
+            out.status.success(),
+            "{algo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("tree edges:"), "{algo}: {text}");
+    }
+}
+
+#[test]
+fn run_writes_tree_file() {
+    let dir = std::env::temp_dir().join("emst_cli_test_tree");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("tree.txt");
+    let out = emst(&[
+        "run", "--algo", "nnt", "--n", "100", "--seed", "1", "--tree",
+        file.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let content = std::fs::read_to_string(&file).unwrap();
+    // Header plus n−1 edges.
+    assert_eq!(content.lines().count(), 1 + 99, "{content}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mst_subcommand_reports_costs() {
+    let out = emst(&["mst", "--n", "200", "--seed", "2"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("199 edges"));
+    assert!(text.contains("Σ|e|"));
+}
+
+#[test]
+fn stats_subcommand_reports_structure() {
+    let out = emst(&["stats", "--n", "500", "--seed", "6"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("components"));
+    assert!(text.contains("percolation radius"));
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    assert!(!emst(&[]).status.success());
+    assert!(!emst(&["run", "--algo", "nope", "--n", "10"]).status.success());
+    assert!(!emst(&["run", "--algo", "eopt"]).status.success()); // no --n/--in
+    assert!(!emst(&["frobnicate"]).status.success());
+}

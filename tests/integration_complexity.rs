@@ -1,0 +1,90 @@
+//! Asymptotic-shape integration tests: run miniature versions of the
+//! paper's sweeps and assert the complexity-class separations that
+//! Figure 3(b) visualises. Thresholds are deliberately loose — these are
+//! class separations, not point estimates.
+
+use energy_mst::analysis::{fit_line, fit_loglog_exponent, sweep_multi};
+use energy_mst::core::{run_eopt, run_ghs, run_nnt, GhsVariant};
+use energy_mst::geom::{paper_phase2_radius, trial_rng, uniform_points};
+
+fn energies(n: usize, t: u64) -> [f64; 3] {
+    let pts = uniform_points(n, &mut trial_rng(4242 ^ n as u64, t));
+    [
+        run_ghs(&pts, paper_phase2_radius(n), GhsVariant::Original)
+            .stats
+            .energy,
+        run_eopt(&pts).stats.energy,
+        run_nnt(&pts).stats.energy,
+    ]
+}
+
+#[test]
+fn figure_3b_slope_separation() {
+    let sizes = [100usize, 250, 600, 1500, 3500];
+    let rows = sweep_multi(&sizes, 3, |&n, t| energies(n, t));
+    let ns: Vec<f64> = sizes.iter().map(|&n| n as f64).collect();
+    let slope = |k: usize| {
+        let ys: Vec<f64> = rows.iter().map(|(_, s)| s[k].mean).collect();
+        fit_loglog_exponent(&ns, &ys).slope
+    };
+    let (s_ghs, s_eopt, s_nnt) = (slope(0), slope(1), slope(2));
+    // Class separation: GHS clearly superlinear in log-exponent, EOPT in
+    // between, NNT flat.
+    assert!(s_ghs > 1.6, "GHS slope {s_ghs} (paper ≈ 2)");
+    assert!(
+        s_eopt > 0.25 && s_eopt < 1.6,
+        "EOPT slope {s_eopt} (paper ≈ 1)"
+    );
+    assert!(s_nnt.abs() < 0.35, "NNT slope {s_nnt} (paper ≈ 0)");
+    assert!(s_ghs > s_eopt + 0.5 && s_eopt > s_nnt + 0.2);
+}
+
+#[test]
+fn ghs_energy_is_linear_in_log_squared() {
+    let sizes = [100usize, 250, 600, 1500, 3500];
+    let rows = sweep_multi(&sizes, 3, |&n, t| energies(n, t));
+    let xs: Vec<f64> = sizes.iter().map(|&n| (n as f64).ln().powi(2)).collect();
+    let ys: Vec<f64> = rows.iter().map(|(_, s)| s[0].mean).collect();
+    let fit = fit_line(&xs, &ys);
+    assert!(fit.slope > 0.0);
+    assert!(fit.r_squared > 0.98, "R² = {} for GHS ~ ln²n", fit.r_squared);
+}
+
+#[test]
+fn nnt_message_complexity_is_linear() {
+    // Theorem 6.2: O(n) messages. Fit messages ≈ a + b·n and require an
+    // excellent linear fit with a sane per-node constant.
+    let sizes = [200usize, 500, 1000, 2000];
+    let rows = sweep_multi(&sizes, 3, |&n, t| {
+        let pts = uniform_points(n, &mut trial_rng(555, t ^ (n as u64) << 8));
+        [run_nnt(&pts).stats.messages as f64]
+    });
+    let xs: Vec<f64> = sizes.iter().map(|&n| n as f64).collect();
+    let ys: Vec<f64> = rows.iter().map(|(_, s)| s[0].mean).collect();
+    let fit = fit_line(&xs, &ys);
+    assert!(fit.r_squared > 0.99, "R² = {}", fit.r_squared);
+    assert!(
+        fit.slope > 2.0 && fit.slope < 30.0,
+        "messages per node = {}",
+        fit.slope
+    );
+}
+
+#[test]
+fn eopt_rounds_stay_polylogarithmic() {
+    // Time complexity sanity: rounds grow far slower than n.
+    let r_small = {
+        let pts = uniform_points(250, &mut trial_rng(888, 0));
+        run_eopt(&pts).stats.rounds
+    };
+    let r_large = {
+        let pts = uniform_points(4000, &mut trial_rng(888, 1));
+        run_eopt(&pts).stats.rounds
+    };
+    let growth = r_large as f64 / r_small as f64;
+    let n_growth = 4000.0 / 250.0;
+    assert!(
+        growth < n_growth / 2.0,
+        "rounds grew x{growth:.1} over a x{n_growth} size increase"
+    );
+}

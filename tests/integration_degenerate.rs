@@ -1,0 +1,108 @@
+//! Degenerate-input robustness: lattice point sets maximise ties (equal
+//! distances everywhere), which stresses every tie-break rule in the
+//! workspace. The MST is no longer unique, so algorithms may legitimately
+//! return different edge sets — but all must return *valid* trees of
+//! *equal cost* under every exponent α.
+
+use energy_mst::core::{run_eopt, run_ghs, run_nnt, GhsVariant};
+use energy_mst::geom::Point;
+use energy_mst::graph::{
+    boruvka_mst, euclidean_mst, euclidean_mst_delaunay, kruskal_mst, prim_mst, Graph,
+};
+
+/// A k×k unit lattice scaled into the unit square.
+fn lattice(k: usize) -> Vec<Point> {
+    let step = 1.0 / (k + 1) as f64;
+    (0..k)
+        .flat_map(|i| (0..k).map(move |j| Point::new((i + 1) as f64 * step, (j + 1) as f64 * step)))
+        .collect()
+}
+
+#[test]
+fn sequential_msts_agree_in_cost_on_lattice() {
+    let pts = lattice(8);
+    let g = Graph::geometric(&pts, 0.2);
+    let k = kruskal_mst(&g).unwrap();
+    let p = prim_mst(&g).unwrap();
+    let b = boruvka_mst(&g).unwrap();
+    let e = euclidean_mst(&pts);
+    let d = euclidean_mst_delaunay(&pts);
+    for t in [&k, &p, &b, &e, &d] {
+        assert!(t.is_valid());
+    }
+    // Equal-cost under α = 1 and α = 2 even though edge sets may differ.
+    for alpha in [1.0, 2.0] {
+        let costs = [
+            k.cost(alpha),
+            p.cost(alpha),
+            b.cost(alpha),
+            e.cost(alpha),
+            d.cost(alpha),
+        ];
+        for c in &costs {
+            assert!(
+                (c - costs[0]).abs() < 1e-9,
+                "alpha {alpha}: costs diverge: {costs:?}"
+            );
+        }
+    }
+    // The lattice MST cost is exactly (k²−1)·step: every edge is a grid
+    // step.
+    let step = 1.0 / 9.0;
+    assert!((k.cost(1.0) - 63.0 * step).abs() < 1e-9);
+}
+
+#[test]
+fn distributed_algorithms_handle_lattice_ties() {
+    let pts = lattice(7); // 49 nodes
+    let r = 0.3;
+    let ghs_o = run_ghs(&pts, r, GhsVariant::Original);
+    let ghs_m = run_ghs(&pts, r, GhsVariant::Modified);
+    let reference = kruskal_mst(&Graph::geometric(&pts, r)).unwrap();
+    assert!(ghs_o.tree.is_valid());
+    assert!(ghs_m.tree.is_valid());
+    assert!((ghs_o.tree.cost(1.0) - reference.cost(1.0)).abs() < 1e-9);
+    assert!((ghs_m.tree.cost(1.0) - reference.cost(1.0)).abs() < 1e-9);
+
+    let eopt = run_eopt(&pts);
+    assert!(eopt.tree.is_valid());
+    assert!((eopt.tree.cost(1.0) - euclidean_mst(&pts).cost(1.0)).abs() < 1e-9);
+}
+
+#[test]
+fn nnt_handles_lattice_rank_ties() {
+    // Diagonal ranks tie heavily on a lattice (equal x+y along
+    // anti-diagonals); the y tie-break must keep the order total.
+    let pts = lattice(7);
+    let out = run_nnt(&pts);
+    assert!(out.tree.is_valid(), "{:?}", out.tree.validate());
+    assert_eq!(out.unconnected, 1);
+}
+
+#[test]
+fn collinear_points_through_the_full_stack() {
+    let pts: Vec<Point> = (0..25)
+        .map(|i| Point::new(0.04 + 0.038 * i as f64, 0.5))
+        .collect();
+    let eopt = run_eopt(&pts);
+    assert!(eopt.tree.is_valid());
+    let mst = euclidean_mst(&pts);
+    assert!((eopt.tree.cost(1.0) - mst.cost(1.0)).abs() < 1e-9);
+    let nnt = run_nnt(&pts);
+    assert!(nnt.tree.is_valid());
+}
+
+#[test]
+fn duplicate_coordinates_do_not_break_structures() {
+    // Exact duplicates: zero-length edges are legal in the model (energy
+    // 0); trees must still validate.
+    let mut pts = lattice(4);
+    pts.push(pts[3]); // duplicate of an existing point
+    pts.push(pts[7]);
+    let g = Graph::geometric(&pts, 0.4);
+    let t = kruskal_mst(&g).unwrap();
+    assert!(t.is_valid());
+    // The two duplicates connect at zero cost.
+    let zero_edges = t.edges().iter().filter(|e| e.w == 0.0).count();
+    assert_eq!(zero_edges, 2);
+}

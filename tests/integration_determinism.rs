@@ -1,0 +1,60 @@
+//! Reproducibility guarantees: every published number regenerates
+//! bit-for-bit from `(seed, parameters)`.
+
+use energy_mst::core::{run_eopt, run_ghs, run_nnt, GhsVariant};
+use energy_mst::geom::{paper_phase2_radius, trial_rng, uniform_points};
+
+#[test]
+fn identical_seeds_give_identical_runs() {
+    let make = || uniform_points(400, &mut trial_rng(31337, 5));
+    let (a, b) = (make(), make());
+    assert_eq!(a, b);
+
+    let e1 = run_eopt(&a);
+    let e2 = run_eopt(&b);
+    assert_eq!(e1.stats.energy.to_bits(), e2.stats.energy.to_bits());
+    assert_eq!(e1.stats.messages, e2.stats.messages);
+    assert_eq!(e1.stats.rounds, e2.stats.rounds);
+    assert!(e1.tree.same_edges(&e2.tree));
+
+    let g1 = run_ghs(&a, paper_phase2_radius(400), GhsVariant::Original);
+    let g2 = run_ghs(&b, paper_phase2_radius(400), GhsVariant::Original);
+    assert_eq!(g1.stats.energy.to_bits(), g2.stats.energy.to_bits());
+    assert_eq!(g1.phases, g2.phases);
+
+    let n1 = run_nnt(&a);
+    let n2 = run_nnt(&b);
+    assert_eq!(n1.stats.energy.to_bits(), n2.stats.energy.to_bits());
+    assert!(n1.tree.same_edges(&n2.tree));
+}
+
+#[test]
+fn different_trials_give_different_instances_and_energies() {
+    let a = uniform_points(400, &mut trial_rng(31337, 0));
+    let b = uniform_points(400, &mut trial_rng(31337, 1));
+    assert_ne!(a, b);
+    let ea = run_eopt(&a).stats.energy;
+    let eb = run_eopt(&b).stats.energy;
+    assert_ne!(ea.to_bits(), eb.to_bits());
+}
+
+#[test]
+fn parallel_sweep_equals_serial_sweep() {
+    // The sweep harness must not change results, only wall-clock.
+    let ns = [100usize, 200];
+    let kernel = |&n: &usize, t: u64| {
+        let pts = uniform_points(n, &mut trial_rng(777, t));
+        run_nnt(&pts).stats.energy
+    };
+    let swept = energy_mst::analysis::sweep(&ns, 4, kernel);
+    for (i, &n) in ns.iter().enumerate() {
+        for t in 0..4u64 {
+            let serial = kernel(&n, t);
+            assert_eq!(
+                serial.to_bits(),
+                swept[i].values[t as usize].to_bits(),
+                "n={n} trial={t}"
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Cross-crate integration tests: the full pipeline from instance
+//! generation through distributed protocols to statistical analysis, as
+//! the experiment binaries exercise it.
+
+use energy_mst::core::{run_eopt, run_ghs, run_nnt, GhsVariant};
+use energy_mst::geom::{paper_phase2_radius, trial_rng, uniform_points};
+use energy_mst::graph::{euclidean_mst, kruskal_forest, Graph, SpanningTree};
+use energy_mst::percolation::giant_stats;
+
+#[test]
+fn eopt_is_exact_and_cheapest_of_the_exact_algorithms() {
+    let n = 800;
+    let pts = uniform_points(n, &mut trial_rng(9001, 0));
+    let r = paper_phase2_radius(n);
+
+    let eopt = run_eopt(&pts);
+    let ghs_orig = run_ghs(&pts, r, GhsVariant::Original);
+    let ghs_mod = run_ghs(&pts, r, GhsVariant::Modified);
+
+    // All three exact algorithms agree with the sequential MST.
+    let mst = euclidean_mst(&pts);
+    assert_eq!(eopt.fragment_count, 1);
+    assert!(eopt.tree.same_edges(&mst));
+    assert!(ghs_orig.tree.same_edges(&mst));
+    assert!(ghs_mod.tree.same_edges(&mst));
+
+    // EOPT is the cheapest, as Theorem 5.3 predicts.
+    assert!(eopt.stats.energy < ghs_mod.stats.energy);
+    assert!(ghs_mod.stats.energy < ghs_orig.stats.energy);
+}
+
+#[test]
+fn energy_hierarchy_matches_the_paper_across_sizes() {
+    for (seed, n) in [(9002u64, 400usize), (9003, 1500)] {
+        let pts = uniform_points(n, &mut trial_rng(seed, 0));
+        let ghs = run_ghs(&pts, paper_phase2_radius(n), GhsVariant::Original);
+        let eopt = run_eopt(&pts);
+        let nnt = run_nnt(&pts);
+        assert!(
+            ghs.stats.energy > eopt.stats.energy && eopt.stats.energy > nnt.stats.energy,
+            "n = {n}: {} / {} / {}",
+            ghs.stats.energy,
+            eopt.stats.energy,
+            nnt.stats.energy
+        );
+    }
+}
+
+#[test]
+fn nnt_quality_matches_section_vii_constants() {
+    // §VII: Σ|e|² of Co-NNT ≈ 0.68 and MST ≈ 0.52, independent of n.
+    let mut nnt_sq = Vec::new();
+    let mut mst_sq = Vec::new();
+    for trial in 0..3 {
+        let pts = uniform_points(1000, &mut trial_rng(9004, trial));
+        nnt_sq.push(run_nnt(&pts).tree.cost(2.0));
+        mst_sq.push(euclidean_mst(&pts).cost(2.0));
+    }
+    let nnt_mean = nnt_sq.iter().sum::<f64>() / 3.0;
+    let mst_mean = mst_sq.iter().sum::<f64>() / 3.0;
+    assert!((nnt_mean - 0.68).abs() < 0.15, "Σ|e|² NNT = {nnt_mean}");
+    assert!((mst_mean - 0.52).abs() < 0.12, "Σ|e|² MST = {mst_mean}");
+    assert!(nnt_mean > mst_mean);
+}
+
+#[test]
+fn eopt_phase_structure_follows_theorem_5_2() {
+    let n = 3000;
+    let pts = uniform_points(n, &mut trial_rng(9005, 0));
+    let eopt = run_eopt(&pts);
+    // Phase 1 leaves a giant plus small fragments…
+    assert!(eopt.largest_fragment as f64 > 0.25 * n as f64);
+    assert!(eopt.fragments_after_step1 > 1);
+    // …and phase 2 needs far fewer phases than phase 1 (O(log log n) vs
+    // O(log n)).
+    assert!(
+        eopt.phases_step2 <= eopt.phases_step1,
+        "step2 {} vs step1 {}",
+        eopt.phases_step2,
+        eopt.phases_step1
+    );
+    // The percolation analyser sees the same structure.
+    let stats = giant_stats(&pts, energy_mst::geom::paper_phase1_radius(n));
+    assert!(stats.giant_fraction() > 0.25);
+}
+
+#[test]
+fn ghs_on_disconnected_instance_yields_per_component_msts() {
+    // Two clusters far apart at a radius that cannot bridge them.
+    let mut rng = trial_rng(9006, 0);
+    let mut pts = energy_mst::geom::sampler::uniform_points_in_rect(
+        60,
+        (0.0, 0.0),
+        (0.2, 0.2),
+        &mut rng,
+    );
+    pts.extend(energy_mst::geom::sampler::uniform_points_in_rect(
+        60,
+        (0.8, 0.8),
+        (1.0, 1.0),
+        &mut rng,
+    ));
+    let r = 0.12;
+    let out = run_ghs(&pts, r, GhsVariant::Modified);
+    let g = Graph::geometric(&pts, r);
+    let reference = SpanningTree::new(pts.len(), kruskal_forest(&g));
+    assert!(out.tree.same_edges(&reference));
+    assert!(out.fragment_count >= 2);
+}
+
+#[test]
+fn per_kind_ledgers_attribute_every_message() {
+    let pts = uniform_points(500, &mut trial_rng(9007, 0));
+    let eopt = run_eopt(&pts);
+    let l = &eopt.stats.ledger;
+    // Both steps present, totals consistent.
+    assert!(l.messages_with_prefix("eopt1/") > 0);
+    assert!(l.messages_with_prefix("eopt2/") > 0);
+    assert_eq!(
+        l.messages_with_prefix("eopt1/") + l.messages_with_prefix("eopt2/"),
+        eopt.stats.messages
+    );
+    // Modified GHS inside EOPT never sends test messages.
+    assert_eq!(l.kind("eopt1/test").messages, 0);
+    assert_eq!(l.kind("eopt2/test").messages, 0);
+    // Hellos: exactly one per node per step.
+    assert_eq!(l.kind("eopt1/hello").messages, 500);
+    assert_eq!(l.kind("eopt2/hello").messages, 500);
+}
