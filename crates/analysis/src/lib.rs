@@ -9,8 +9,11 @@
 //! * [`sweep()`] / [`sweep_multi`] — parameter sweeps with independent
 //!   seeded trials, fanned out over cores;
 //! * [`parallel_map`] — scoped-thread, order-preserving parallel map;
-//! * [`Table`] — fixed-width and CSV table emission.
+//! * [`Table`] — fixed-width and CSV table emission;
+//! * [`metrics`] — table renderers over a run's
+//!   [`MetricsSink`](emst_radio::MetricsSink) aggregates.
 
+pub mod metrics;
 pub mod parallel;
 pub mod regression;
 pub mod summary;
@@ -18,6 +21,7 @@ pub mod svg;
 pub mod sweep;
 pub mod table;
 
+pub use metrics::{kind_table, phase_table, round_bucket_table, summary_line};
 pub use parallel::parallel_map;
 pub use regression::{fit_line, fit_loglog_exponent, LineFit};
 pub use summary::{quantile, Summary};

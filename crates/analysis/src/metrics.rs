@@ -1,0 +1,183 @@
+//! Table emitters over a [`MetricsSink`] — turn the trace-derived
+//! aggregates of a run into the same aligned/CSV tables the experiment
+//! binaries use for everything else.
+//!
+//! Used by the `emst run --metrics` CLI and the `phase_breakdown`
+//! experiment binary; kept here so every consumer renders identically.
+
+use crate::{fnum, Table};
+use emst_radio::{MetricsSink, PhaseKey};
+
+/// Per-message-kind breakdown: kind, messages, energy, share of total.
+pub fn kind_table(m: &MetricsSink) -> Table {
+    let total = m.total_energy();
+    let mut t = Table::new(["kind", "messages", "energy", "% energy"]);
+    for (kind, tally) in m.kinds() {
+        t.row([
+            kind.to_string(),
+            tally.messages.to_string(),
+            fnum(tally.energy, 6),
+            fnum(100.0 * tally.energy / total.max(f64::MIN_POSITIVE), 1),
+        ]);
+    }
+    t
+}
+
+/// Chronological per-phase breakdown: one row per phase transition seen
+/// in the trace (scope, phase index, stage, start round) with the
+/// messages/energy attributed to that phase. A leading `setup` row
+/// collects traffic sent before the first phase marker (e.g. reactive
+/// protocols, which have no orchestrated phases, put everything there).
+pub fn phase_table(m: &MetricsSink) -> Table {
+    let mut t = Table::new([
+        "scope", "phase", "stage", "round", "messages", "energy", "% energy",
+    ]);
+    let total = m.total_energy().max(f64::MIN_POSITIVE);
+    let mut emit = |start: Option<u64>, key: &PhaseKey| {
+        let tally = m
+            .phases()
+            .find(|(k, _)| *k == key)
+            .map(|(_, t)| *t)
+            .unwrap_or_default();
+        t.row([
+            if key.scope.is_empty() {
+                "-".to_string()
+            } else {
+                key.scope.to_string()
+            },
+            key.index.to_string(),
+            key.stage.to_string(),
+            start.map_or("-".to_string(), |r| r.to_string()),
+            tally.messages.to_string(),
+            fnum(tally.energy, 6),
+            fnum(100.0 * tally.energy / total, 1),
+        ]);
+    };
+    if m.phases().any(|(k, _)| *k == PhaseKey::SETUP) {
+        emit(None, &PhaseKey::SETUP);
+    }
+    for (start, key) in m.phase_log() {
+        emit(Some(*start), key);
+    }
+    t
+}
+
+/// Buckets the per-round histogram into fixed-width windows of
+/// `rounds_per_bucket` rounds: bucket index, round range, messages,
+/// energy. With `rounds_per_bucket = 3` this recovers, for a
+/// collision-free Co-NNT run, the probe-escalation ladder (probe phase
+/// `i` occupies rounds `3(i−1) .. 3i`).
+pub fn round_bucket_table(m: &MetricsSink, rounds_per_bucket: u64) -> Table {
+    assert!(rounds_per_bucket > 0, "bucket width must be positive");
+    let mut t = Table::new(["bucket", "rounds", "messages", "energy"]);
+    let mut bucket: Option<(u64, u64, f64)> = None; // (index, msgs, energy)
+    let flush = |b: Option<(u64, u64, f64)>, t: &mut Table| {
+        if let Some((i, msgs, energy)) = b {
+            t.row([
+                (i + 1).to_string(),
+                format!("{}..{}", i * rounds_per_bucket, (i + 1) * rounds_per_bucket),
+                msgs.to_string(),
+                fnum(energy, 6),
+            ]);
+        }
+    };
+    for ((round, _), tally) in m.round_kinds() {
+        let i = round / rounds_per_bucket;
+        match bucket {
+            Some((cur, msgs, energy)) if cur == i => {
+                bucket = Some((cur, msgs + tally.messages, energy + tally.energy));
+            }
+            other => {
+                flush(other, &mut t);
+                bucket = Some((i, tally.messages, tally.energy));
+            }
+        }
+    }
+    flush(bucket, &mut t);
+    t
+}
+
+/// One-line headline numbers of a run's metrics: totals, rounds, power
+/// watermark and the worst single-node battery draw.
+pub fn summary_line(m: &MetricsSink) -> String {
+    let watermark = match m.max_power_at() {
+        Some((node, round)) => format!(
+            "max power {:.5} (node {node}, round {round})",
+            m.max_power()
+        ),
+        None => "no transmissions".to_string(),
+    };
+    format!(
+        "energy {:.6}, {} messages, {} rounds, {watermark}, max node energy {:.6}",
+        m.total_energy(),
+        m.total_messages(),
+        m.rounds(),
+        m.max_node_energy()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_radio::{TraceEvent, TraceSink};
+
+    fn sink_with_traffic() -> MetricsSink {
+        let mut m = MetricsSink::new();
+        m.record(&TraceEvent::Phase {
+            round: 0,
+            scope: "ghs",
+            index: 1,
+            stage: "initiate",
+        });
+        m.record(&TraceEvent::Message {
+            round: 0,
+            kind: "ghs/initiate",
+            src: 0,
+            dst: Some(1),
+            power: 0.1,
+            energy: 0.01,
+        });
+        m.record(&TraceEvent::Message {
+            round: 4,
+            kind: "ghs/report",
+            src: 1,
+            dst: Some(0),
+            power: 0.2,
+            energy: 0.04,
+        });
+        m
+    }
+
+    #[test]
+    fn kind_table_lists_each_kind_once() {
+        let t = kind_table(&sink_with_traffic());
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        assert!(csv.contains("ghs/initiate,1,"));
+        assert!(csv.contains("ghs/report,1,"));
+    }
+
+    #[test]
+    fn phase_table_follows_the_log() {
+        let t = phase_table(&sink_with_traffic());
+        assert_eq!(t.len(), 1); // no setup traffic, one phase marker
+        let csv = t.to_csv();
+        assert!(csv.contains("ghs,1,initiate,0,2,"));
+    }
+
+    #[test]
+    fn round_buckets_cover_all_traffic() {
+        let t = round_bucket_table(&sink_with_traffic(), 3);
+        let csv = t.to_csv();
+        // Rounds 0 and 4 fall into buckets 1 (0..3) and 2 (3..6).
+        assert!(csv.contains("1,0..3,1,"));
+        assert!(csv.contains("2,3..6,1,"));
+    }
+
+    #[test]
+    fn summary_line_mentions_watermark() {
+        let s = summary_line(&sink_with_traffic());
+        assert!(s.contains("2 messages"));
+        assert!(s.contains("node 1, round 4"));
+    }
+}

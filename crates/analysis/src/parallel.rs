@@ -35,7 +35,6 @@ where
             for _ in 0..threads {
                 let next = &next;
                 let f = &f;
-                let slots_ptr = slots_ptr;
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {

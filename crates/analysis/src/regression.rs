@@ -43,10 +43,7 @@ pub fn fit_line(xs: &[f64], ys: &[f64]) -> LineFit {
     let my = ys.iter().sum::<f64>() / n;
     let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
     let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
-    assert!(
-        sxx > 0.0,
-        "all x values coincide; slope is undefined"
-    );
+    assert!(sxx > 0.0, "all x values coincide; slope is undefined");
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
     let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();

@@ -70,7 +70,7 @@ fn fmt_num(x: f64) -> String {
         return "0".into();
     }
     let a = x.abs();
-    if a >= 1000.0 || a < 0.01 {
+    if !(0.01..1000.0).contains(&a) {
         format!("{x:.1e}")
     } else if a >= 10.0 {
         format!("{x:.0}")
@@ -330,7 +330,9 @@ impl UnitSquarePlot {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -391,7 +393,10 @@ mod tests {
     fn log_scale_drops_nonpositive_points() {
         let mut c = LineChart::new("t", "x", "y");
         c.y_scale = Scale::Log;
-        c.add(Series::new("s", vec![(1.0, 0.0), (2.0, 10.0), (3.0, 100.0)]));
+        c.add(Series::new(
+            "s",
+            vec![(1.0, 0.0), (2.0, 10.0), (3.0, 100.0)],
+        ));
         let svg = c.render();
         // The zero-y point is filtered: only two markers on the path...
         // markers are drawn for finite points regardless; the path has two
@@ -425,7 +430,7 @@ mod tests {
         assert_eq!(fmt_num(0.0), "0");
         assert_eq!(fmt_num(12345.0), "1.2e4");
         assert_eq!(fmt_num(42.0), "42");
-        assert_eq!(fmt_num(3.14159), "3.14");
+        assert_eq!(fmt_num(4.56789), "4.57");
         assert_eq!(fmt_num(0.001), "1.0e-3");
     }
 }

@@ -37,9 +37,7 @@ where
         .iter()
         .enumerate()
         .map(|(p, param)| {
-            let values: Vec<f64> = (0..trials)
-                .map(|t| results[p * trials + t])
-                .collect();
+            let values: Vec<f64> = (0..trials).map(|t| results[p * trials + t]).collect();
             SweepPoint {
                 param: param.clone(),
                 summary: Summary::of(&values),
@@ -72,9 +70,7 @@ where
         .enumerate()
         .map(|(p, param)| {
             let summaries: [Summary; K] = std::array::from_fn(|k| {
-                let vals: Vec<f64> = (0..trials)
-                    .map(|t| results[p * trials + t][k])
-                    .collect();
+                let vals: Vec<f64> = (0..trials).map(|t| results[p * trials + t][k]).collect();
                 Summary::of(&vals)
             });
             (param.clone(), summaries)
@@ -114,9 +110,7 @@ mod tests {
     #[test]
     fn sweep_multi_separates_series() {
         let params = [10usize, 20];
-        let pts = sweep_multi(&params, 3, |&p, t| {
-            [p as f64, p as f64 * 2.0 + t as f64]
-        });
+        let pts = sweep_multi(&params, 3, |&p, t| [p as f64, p as f64 * 2.0 + t as f64]);
         assert_eq!(pts.len(), 2);
         let (p0, s0) = &pts[0];
         assert_eq!(*p0, 10);

@@ -5,12 +5,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use emst_bench::{instance, BASE_SEED};
-use emst_core::{run_eopt, run_ghs, run_nnt, run_nnt_configured, GhsVariant, RankScheme};
+use emst_core::{EoptConfig, GhsVariant, Protocol, RankScheme, Sim};
 use emst_geom::{paper_phase2_radius, BucketGrid};
 use emst_graph::{
     boruvka_mst, euclidean_mst, euclidean_mst_delaunay, kruskal_mst, prim_mst, Graph,
 };
-use emst_radio::{ContentionConfig, EnergyConfig};
+use emst_radio::ContentionConfig;
 use std::hint::black_box;
 
 fn bench_sequential_mst(c: &mut Criterion) {
@@ -20,7 +20,9 @@ fn bench_sequential_mst(c: &mut Criterion) {
     group.bench_function("kruskal", |b| b.iter(|| black_box(kruskal_mst(&g))));
     group.bench_function("prim", |b| b.iter(|| black_box(prim_mst(&g))));
     group.bench_function("boruvka", |b| b.iter(|| black_box(boruvka_mst(&g))));
-    group.bench_function("euclidean_mst", |b| b.iter(|| black_box(euclidean_mst(&pts))));
+    group.bench_function("euclidean_mst", |b| {
+        b.iter(|| black_box(euclidean_mst(&pts)))
+    });
     group.bench_function("euclidean_mst_delaunay", |b| {
         b.iter(|| black_box(euclidean_mst_delaunay(&pts)))
     });
@@ -44,16 +46,15 @@ fn bench_contention(c: &mut Criterion) {
     group.sample_size(10);
     let pts = instance(BASE_SEED, 300, 0);
     group.bench_function("collision_free", |b| {
-        b.iter(|| black_box(run_nnt(&pts)))
+        b.iter(|| black_box(Sim::new(&pts).run(Protocol::Nnt(RankScheme::Diagonal))))
     });
     group.bench_function("slotted_aloha", |b| {
         b.iter(|| {
-            black_box(run_nnt_configured(
-                &pts,
-                RankScheme::Diagonal,
-                EnergyConfig::paper(),
-                Some(ContentionConfig::default()),
-            ))
+            black_box(
+                Sim::new(&pts)
+                    .contention(ContentionConfig::default())
+                    .run(Protocol::Nnt(RankScheme::Diagonal)),
+            )
         })
     });
     group.finish();
@@ -89,13 +90,29 @@ fn bench_protocols(c: &mut Criterion) {
     let pts = instance(BASE_SEED, 1000, 0);
     let r = paper_phase2_radius(1000);
     group.bench_function("ghs_original", |b| {
-        b.iter(|| black_box(run_ghs(&pts, r, GhsVariant::Original)))
+        b.iter(|| {
+            black_box(
+                Sim::new(&pts)
+                    .radius(r)
+                    .run(Protocol::Ghs(GhsVariant::Original)),
+            )
+        })
     });
     group.bench_function("ghs_modified", |b| {
-        b.iter(|| black_box(run_ghs(&pts, r, GhsVariant::Modified)))
+        b.iter(|| {
+            black_box(
+                Sim::new(&pts)
+                    .radius(r)
+                    .run(Protocol::Ghs(GhsVariant::Modified)),
+            )
+        })
     });
-    group.bench_function("eopt", |b| b.iter(|| black_box(run_eopt(&pts))));
-    group.bench_function("co_nnt", |b| b.iter(|| black_box(run_nnt(&pts))));
+    group.bench_function("eopt", |b| {
+        b.iter(|| black_box(Sim::new(&pts).run(Protocol::Eopt(EoptConfig::default()))))
+    });
+    group.bench_function("co_nnt", |b| {
+        b.iter(|| black_box(Sim::new(&pts).run(Protocol::Nnt(RankScheme::Diagonal))))
+    });
     group.finish();
 }
 

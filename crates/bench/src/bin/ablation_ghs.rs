@@ -26,7 +26,9 @@ fn main() {
         opts.trials, opts.seed
     );
 
-    let rows = sweep_multi(&sizes, opts.trials, |&n, t| ghs_variant_row(opts.seed, n, t));
+    let rows = sweep_multi(&sizes, opts.trials, |&n, t| {
+        ghs_variant_row(opts.seed, n, t)
+    });
     let mut table = Table::new([
         "n",
         "orig msgs",
@@ -62,5 +64,7 @@ fn main() {
         "  both variants grow like log^2 n at the connectivity radius: slopes {:.2} (orig) vs {:.2} (mod)",
         fo.slope, fm.slope
     );
-    println!("  modified wins on constants, not exponents — the asymptotic win needs EOPT's phase 1");
+    println!(
+        "  modified wins on constants, not exponents — the asymptotic win needs EOPT's phase 1"
+    );
 }

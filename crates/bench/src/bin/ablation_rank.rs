@@ -26,7 +26,9 @@ fn main() {
         opts.trials, opts.seed
     );
 
-    let rows = sweep_multi(&sizes, opts.trials, |&n, t| rank_scheme_row(opts.seed, n, t));
+    let rows = sweep_multi(&sizes, opts.trials, |&n, t| {
+        rank_scheme_row(opts.seed, n, t)
+    });
     let mut table = Table::new([
         "n",
         "max edge diag",

@@ -14,7 +14,7 @@
 
 use emst_analysis::{fnum, Table};
 use emst_bench::{instance, Options};
-use emst_core::run_nnt;
+use emst_core::{Protocol, RankScheme, Sim};
 use emst_graph::{kruskal_mst, Edge, Graph, SpanningTree, UnionFind};
 
 /// Max-weight spanning tree (anti-Kruskal): a valid but poor tree.
@@ -35,13 +35,16 @@ fn main() {
     let opts = Options::from_env();
     let n = if opts.quick { 300 } else { 1000 };
     let alphas = [0.5, 1.0, 2.0, 3.0, 4.0];
-    eprintln!("alpha_sweep: Σ d^α invariance of the MST at n = {n} (seed {:#x})", opts.seed);
+    eprintln!(
+        "alpha_sweep: Σ d^α invariance of the MST at n = {n} (seed {:#x})",
+        opts.seed
+    );
 
     let pts = instance(opts.seed, n, 0);
     let r = 2.0 * emst_geom::paper_phase2_radius(n);
     let g = Graph::geometric(&pts, r);
     let mst = kruskal_mst(&g).expect("connected at twice the §VII radius");
-    let nnt = run_nnt(&pts);
+    let nnt = Sim::new(&pts).run(Protocol::Nnt(RankScheme::Diagonal));
     let bad = worst_tree(&g);
 
     // Check 1: the α-weighted MST has the same edge set for every α.
@@ -61,11 +64,22 @@ fn main() {
     }
     println!(
         "check 1: MST edge set invariant across α ∈ {alphas:?}: {}",
-        if invariant { "YES (as §II claims)" } else { "NO" }
+        if invariant {
+            "YES (as §II claims)"
+        } else {
+            "NO"
+        }
     );
 
     // Check 2: cost dominance table.
-    let mut table = Table::new(["alpha", "MST cost", "Co-NNT cost", "worst-tree cost", "NNT/MST", "worst/MST"]);
+    let mut table = Table::new([
+        "alpha",
+        "MST cost",
+        "Co-NNT cost",
+        "worst-tree cost",
+        "NNT/MST",
+        "worst/MST",
+    ]);
     for &alpha in &alphas {
         let (cm, cn, cw) = (mst.cost(alpha), nnt.tree.cost(alpha), bad.cost(alpha));
         table.row([

@@ -30,7 +30,13 @@ fn main() {
     };
     let multipliers = [0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.4];
 
-    let mut table = Table::new(["m (r = m·sqrt(ln n/n))", "c2 = m^2", "n=200", "n=1000", "n=5000"]);
+    let mut table = Table::new([
+        "m (r = m·sqrt(ln n/n))",
+        "c2 = m^2",
+        "n=200",
+        "n=1000",
+        "n=5000",
+    ]);
     let mut results: Vec<Vec<f64>> = Vec::new();
     for &m in &multipliers {
         let mut row = Vec::new();
@@ -45,10 +51,9 @@ fn main() {
     for (i, &m) in multipliers.iter().enumerate() {
         let mut cells = vec![fnum(m, 2), fnum(m * m, 2)];
         for j in 0..3 {
-            cells.push(if j < sizes.len() {
-                fnum(results[i][j], 2)
-            } else {
-                "-".to_string()
+            cells.push(match results[i].get(j) {
+                Some(&v) => fnum(v, 2),
+                None => "-".to_string(),
             });
         }
         table.row(cells);
@@ -68,6 +73,10 @@ fn main() {
     let at16 = &results[multipliers.iter().position(|&m| m == 1.6).unwrap()];
     println!(
         "  §VII's m = 1.6 is empirically connected: {}",
-        at16.iter().take(sizes.len()).map(|p| fnum(*p, 2)).collect::<Vec<_>>().join(" / ")
+        at16.iter()
+            .take(sizes.len())
+            .map(|p| fnum(*p, 2))
+            .collect::<Vec<_>>()
+            .join(" / ")
     );
 }

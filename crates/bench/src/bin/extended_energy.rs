@@ -21,19 +21,23 @@
 
 use emst_analysis::{fnum, sweep_multi, Table};
 use emst_bench::{instance, Options};
-use emst_core::{
-    run_eopt_configured, run_ghs_configured, run_nnt_configured, EoptConfig, GhsVariant,
-    RankScheme,
-};
+use emst_core::{EoptConfig, GhsVariant, Protocol, RankScheme, Sim};
 use emst_geom::{paper_phase2_radius, PathLoss};
 use emst_radio::EnergyConfig;
 
 /// Full-radio energy of the three algorithms on one instance under `cfg`.
 fn full_energies(seed: u64, n: usize, cfg: EnergyConfig, trial: u64) -> [f64; 3] {
     let pts = instance(seed, n, trial);
-    let ghs = run_ghs_configured(&pts, paper_phase2_radius(n), GhsVariant::Original, cfg);
-    let eopt = run_eopt_configured(&pts, &EoptConfig::default(), cfg);
-    let nnt = run_nnt_configured(&pts, RankScheme::Diagonal, cfg, None);
+    let ghs = Sim::new(&pts)
+        .radius(paper_phase2_radius(n))
+        .energy(cfg)
+        .run(Protocol::Ghs(GhsVariant::Original));
+    let eopt = Sim::new(&pts)
+        .energy(cfg)
+        .run(Protocol::Eopt(EoptConfig::default()));
+    let nnt = Sim::new(&pts)
+        .energy(cfg)
+        .run(Protocol::Nnt(RankScheme::Diagonal));
     [
         ghs.stats.full_energy(),
         eopt.stats.full_energy(),
@@ -124,7 +128,8 @@ fn main() {
     let heavy = &rows.last().unwrap().1;
     println!(
         "  ordering GHS > EOPT > Co-NNT preserved at every rx cost: {}",
-        rows.iter().all(|(_, [g, e, c])| g.mean > e.mean && e.mean > c.mean)
+        rows.iter()
+            .all(|(_, [g, e, c])| g.mean > e.mean && e.mean > c.mean)
     );
     println!(
         "  GHS/EOPT gap NARROWS with rx cost: {:.1} → {:.1} — EOPT's id announcements are \

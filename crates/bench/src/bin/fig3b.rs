@@ -121,8 +121,5 @@ fn main() {
         f_eopt.r_squared,
         f_eopt.slope > 0.0
     );
-    println!(
-        "  Co-NNT is Θ(1): ln-n coefficient {:.4} ≈ 0",
-        f_nnt.slope
-    );
+    println!("  Co-NNT is Θ(1): ln-n coefficient {:.4} ≈ 0", f_nnt.slope);
 }

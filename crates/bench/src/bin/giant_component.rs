@@ -61,7 +61,13 @@ fn main() {
     let rows = sweep_multi(&cs, opts.trials, |&c, t| {
         giant_row(opts.seed ^ 0x9999, n_fixed, c, t)
     });
-    let mut t2 = Table::new(["c1", "giant frac", "components", "2nd comp nodes", "beta_hat"]);
+    let mut t2 = Table::new([
+        "c1",
+        "giant frac",
+        "components",
+        "2nd comp nodes",
+        "beta_hat",
+    ]);
     for (c, [gf, comps, second, beta]) in &rows {
         t2.row([
             fnum(*c, 2),
@@ -96,7 +102,8 @@ fn main() {
         }
         for e in g.edges() {
             let (u, v) = e.endpoints();
-            plot.edges.push(((pts[u].x, pts[u].y), (pts[v].x, pts[v].y)));
+            plot.edges
+                .push(((pts[u].x, pts[u].y), (pts[v].x, pts[v].y)));
         }
         save_svg(&opts, "fig1_giant_map", &plot.render());
     }

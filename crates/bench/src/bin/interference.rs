@@ -13,49 +13,45 @@
 
 use emst_analysis::{fnum, sweep_multi, Table};
 use emst_bench::{instance, Options};
-use emst_core::{run_bfs_configured, run_nnt_configured, RankScheme};
+use emst_core::{Protocol, RankScheme, Sim};
 use emst_geom::paper_phase2_radius;
-use emst_radio::{ContentionConfig, EnergyConfig};
+use emst_radio::ContentionConfig;
 
 /// `(energy ratio, message ratio, round ratio, trees equal)` for one
 /// protocol run with/without contention.
-fn inflation(
-    seed: u64,
-    n: usize,
-    trial: u64,
-    which: &str,
-    p_attempt: f64,
-) -> [f64; 4] {
+fn inflation(seed: u64, n: usize, trial: u64, which: &str, p_attempt: f64) -> [f64; 4] {
     let pts = instance(seed, n, trial);
     let mac = ContentionConfig {
         attempt_probability: p_attempt,
         seed: seed ^ trial,
         ..ContentionConfig::default()
     };
-    let (clean, noisy) = match which {
-        "nnt" => {
-            let a = run_nnt_configured(&pts, RankScheme::Diagonal, EnergyConfig::paper(), None);
-            let b = run_nnt_configured(
-                &pts,
-                RankScheme::Diagonal,
-                EnergyConfig::paper(),
-                Some(mac),
-            );
-            ((a.tree, a.stats), (b.tree, b.stats))
-        }
-        "bfs" => {
-            let r = paper_phase2_radius(n);
-            let a = run_bfs_configured(&pts, r, 0, EnergyConfig::paper(), None);
-            let b = run_bfs_configured(&pts, r, 0, EnergyConfig::paper(), Some(mac));
-            ((a.tree, a.stats), (b.tree, b.stats))
-        }
+    let protocol = match which {
+        "nnt" => Protocol::Nnt(RankScheme::Diagonal),
+        "bfs" => Protocol::Bfs { root: 0 },
         _ => unreachable!(),
     };
+    let sim = |contended: bool| {
+        let mut sim = Sim::new(&pts);
+        if let Protocol::Bfs { .. } = protocol {
+            sim = sim.radius(paper_phase2_radius(n));
+        }
+        if contended {
+            sim = sim.contention(mac);
+        }
+        sim.run(protocol)
+    };
+    let (clean, noisy) = (sim(false), sim(true));
+    let (clean, noisy) = ((clean.tree, clean.stats), (noisy.tree, noisy.stats));
     [
         noisy.1.energy / clean.1.energy,
         noisy.1.messages as f64 / clean.1.messages as f64,
         noisy.1.rounds as f64 / clean.1.rounds as f64,
-        if noisy.0.same_edges(&clean.0) { 1.0 } else { 0.0 },
+        if noisy.0.same_edges(&clean.0) {
+            1.0
+        } else {
+            0.0
+        },
     ]
 }
 
@@ -75,13 +71,7 @@ fn main() {
         let rows = sweep_multi(&sizes, opts.trials, |&n, t| {
             inflation(opts.seed, n, t, which, 0.25)
         });
-        let mut table = Table::new([
-            "n",
-            "energy x",
-            "messages x",
-            "rounds x",
-            "tree preserved",
-        ]);
+        let mut table = Table::new(["n", "energy x", "messages x", "rounds x", "tree preserved"]);
         for (n, [e, m, r, same]) in &rows {
             table.row([
                 n.to_string(),

@@ -16,7 +16,7 @@
 
 use emst_analysis::{fnum, sweep, sweep_multi, Table};
 use emst_bench::{instance, knn_energy_ratio, Options};
-use emst_core::run_eopt;
+use emst_core::{EoptConfig, Protocol, Sim};
 use emst_graph::euclidean_mst;
 
 fn main() {
@@ -59,7 +59,7 @@ fn main() {
     };
     let rows = sweep_multi(&sizes, opts.trials, |&n, t| {
         let pts = instance(opts.seed ^ 0x44, n, t);
-        let eopt = run_eopt(&pts);
+        let eopt = Sim::new(&pts).run(Protocol::Eopt(EoptConfig::default()));
         let lmst = euclidean_mst(&pts).cost(2.0);
         [eopt.stats.energy, eopt.stats.energy / (n as f64).ln(), lmst]
     });

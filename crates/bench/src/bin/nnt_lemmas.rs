@@ -17,7 +17,7 @@
 
 use emst_analysis::{fnum, sweep_multi, Table};
 use emst_bench::{instance, Options};
-use emst_core::{run_nnt, RankScheme};
+use emst_core::{Protocol, RankScheme, Sim};
 use emst_geom::diag_rank_less;
 
 fn main() {
@@ -41,19 +41,26 @@ fn main() {
         .map(|p| x.potential_angle(p))
         .fold(f64::INFINITY, f64::min);
     println!("Lemma 6.1 (α ≥ 1/2):");
-    println!("  diagonal rank: min α over 20k positions = {min_alpha_diag:.4} (bound 0.5) — holds: {}", min_alpha_diag >= 0.5 - 1e-9);
+    println!(
+        "  diagonal rank: min α over 20k positions = {min_alpha_diag:.4} (bound 0.5) — holds: {}",
+        min_alpha_diag >= 0.5 - 1e-9
+    );
     println!("  x-rank:        min α over 20k positions = {min_alpha_x:.4} — the bound fails for the old ranking\n");
 
     // Lemmas 6.2/6.3 + Theorem 6.1 from actual runs.
     let rows = sweep_multi(&[n], opts.trials, |&n, t| {
         let pts = instance(opts.seed ^ 0xA5, n, t);
-        let out = run_nnt(&pts);
+        let out = Sim::new(&pts).run(Protocol::Nnt(RankScheme::Diagonal));
         let mut sum_sq = 0.0;
         let mut budget = 0.0;
         let mut max_edge = 0.0f64;
         for e in out.tree.edges() {
             let (u, v) = e.endpoints();
-            let child = if diag_rank_less(&pts[u], &pts[v]) { u } else { v };
+            let child = if diag_rank_less(&pts[u], &pts[v]) {
+                u
+            } else {
+                v
+            };
             sum_sq += e.w * e.w;
             budget += 2.0 / (n as f64 * d.potential_angle(&pts[child]));
             max_edge = max_edge.max(e.w);

@@ -1,0 +1,161 @@
+//! **O1 — per-phase energy breakdown:** where each protocol's energy
+//! actually goes, from the trace layer rather than from protocol-specific
+//! plumbing.
+//!
+//! Attaches a `MetricsSink` to one run of each algorithm and prints:
+//!
+//! * **GHS (modified)** — energy per Borůvka phase and per stage
+//!   (initiate / test / report / change-root / connect / announce),
+//!   exposing the paper's `Θ(log n)`-phases × `Θ(log n)`-energy-per-phase
+//!   structure behind the `Θ(log² n)` total;
+//! * **EOPT** — step 1 (percolation radius) vs step 2 (connectivity
+//!   radius) vs the beyond-paper recovery pass, the empirical face of
+//!   §V's claim that step 1's `O(n log n)` messages are energetically
+//!   free and the total is dominated by `O(n)` messages at `r₂`;
+//! * **Co-NNT** — the probe-escalation ladder: each 3-round window is one
+//!   probe phase at doubling area `2ⁱ/n`, and §VI's geometric argument
+//!   predicts participation (and thus energy) decaying fast enough for an
+//!   `O(1)` total.
+//!
+//! Every table is cross-checked against the run's own ledger: the sink's
+//! running total must equal `RunStats::energy` bitwise (same float
+//! accumulation order), and the phase / ladder partition sums must agree
+//! to 1e-9 (re-summing buckets reassociates the additions).
+//!
+//! Run: `cargo run --release -p emst-bench --bin phase_breakdown [-- --csv]`
+
+use emst_analysis::{fnum, phase_table, round_bucket_table, summary_line, Table};
+use emst_bench::{instance, Options};
+use emst_core::{EoptConfig, GhsVariant, Protocol, RankScheme, Sim};
+use emst_geom::{nnt_probe_radius, paper_phase2_radius};
+use emst_radio::MetricsSink;
+
+fn main() {
+    let opts = Options::from_env();
+    let n = if opts.quick { 300 } else { 1000 };
+    eprintln!(
+        "phase_breakdown: per-phase energy attribution at n = {n} (seed {:#x})",
+        opts.seed
+    );
+    let pts = instance(opts.seed, n, 0);
+    let r = paper_phase2_radius(n);
+
+    // --- GHS (modified): Borůvka phase × stage table. ---
+    let mut m = MetricsSink::new();
+    let ghs = Sim::new(&pts)
+        .radius(r)
+        .sink(&mut m)
+        .run(Protocol::Ghs(GhsVariant::Modified));
+    println!("== GHS (modified) at the connectivity radius ==");
+    println!("{}", summary_line(&m));
+    println!("{}", phase_table(&m).render());
+    if opts.csv {
+        println!("{}", phase_table(&m).to_csv());
+    }
+    // The sink's running total is bitwise-exact (same accumulation order
+    // as the ledger); re-summing the per-stage partition rounds
+    // differently, so that check is tolerance-tight instead.
+    assert_eq!(m.total_energy(), ghs.stats.energy, "GHS sink drifted");
+    let phase_sum: f64 = m.phases().map(|(_, t)| t.energy).sum();
+    let ghs_phases = ghs.detail.as_ghs().expect("GHS detail").phases;
+    println!(
+        "phases: {ghs_phases}; sink total == run total exactly: {}; stage sums within 1e-9: {}\n",
+        m.total_energy() == ghs.stats.energy,
+        (phase_sum - ghs.stats.energy).abs() < 1e-9
+    );
+
+    // --- EOPT: step attribution. ---
+    let mut m = MetricsSink::new();
+    let eopt = Sim::new(&pts)
+        .sink(&mut m)
+        .run(Protocol::Eopt(EoptConfig::default()));
+    assert_eq!(m.total_energy(), eopt.stats.energy, "EOPT sink drifted");
+    let d = eopt.detail.as_eopt().expect("EOPT detail");
+    println!("== EOPT ==");
+    println!("{}", summary_line(&m));
+    let mut steps = Table::new(["step", "messages", "energy", "% energy"]);
+    // Kind prefixes partition the traffic: `eopt1/`, `eopt2/` (which
+    // includes `eopt2/recover/`), with the recovery pass also isolated.
+    let mut sums = [(0u64, 0.0f64); 3]; // step1, step2 (non-recovery), recovery
+    for (kind, t) in m.kinds() {
+        let slot = if kind.starts_with("eopt2/recover/") {
+            2
+        } else if kind.starts_with("eopt2/") {
+            1
+        } else {
+            0
+        };
+        sums[slot].0 += t.messages;
+        sums[slot].1 += t.energy;
+    }
+    for (label, (msgs, energy)) in [
+        ("step 1 (percolation r1)", sums[0]),
+        ("step 2 (connectivity r2)", sums[1]),
+        ("recovery pass", sums[2]),
+    ] {
+        steps.row([
+            label.to_string(),
+            msgs.to_string(),
+            fnum(energy, 6),
+            fnum(100.0 * energy / eopt.stats.energy, 1),
+        ]);
+    }
+    println!("{}", steps.render());
+    if opts.csv {
+        println!("{}", steps.to_csv());
+    }
+    println!(
+        "step-1 phases {}, step-2 phases {}, recovery used: {}; per-phase stage log has {} entries",
+        d.phases_step1,
+        d.phases_step2,
+        d.recovery_used,
+        m.phase_log().len()
+    );
+    println!(
+        "step 1 carries {:.0}% of the messages but {:.0}% of the energy (cheap percolation radius)\n",
+        100.0 * sums[0].0 as f64 / eopt.stats.messages as f64,
+        100.0 * sums[0].1 / eopt.stats.energy
+    );
+
+    // --- Co-NNT: the probe-escalation ladder from the round histogram. ---
+    let mut m = MetricsSink::new();
+    let nnt = Sim::new(&pts)
+        .sink(&mut m)
+        .run(Protocol::Nnt(RankScheme::Diagonal));
+    println!("== Co-NNT (diagonal rank) ==");
+    println!("{}", summary_line(&m));
+    // Collision-free probe phase i occupies rounds 3(i−1)..3i, so the
+    // 3-round buckets of the histogram ARE the escalation ladder.
+    let ladder = round_bucket_table(&m, 3);
+    println!("{}", ladder.render());
+    if opts.csv {
+        println!("{}", ladder.to_csv());
+    }
+    let mut probe_info = Table::new(["probe phase", "radius", "area x n"]);
+    let max_phase = nnt.detail.as_nnt().expect("NNT detail").max_phases_used;
+    for i in 1..=max_phase {
+        let pr = nnt_probe_radius(i, n);
+        probe_info.row([
+            i.to_string(),
+            fnum(pr, 5),
+            fnum(std::f64::consts::PI * pr * pr * n as f64, 1),
+        ]);
+    }
+    println!("{}", probe_info.render());
+    let bucket_sum: f64 = m.round_kinds().map(|(_, t)| t.energy).sum();
+    println!(
+        "sink total == run total exactly: {}; ladder sums within 1e-9: {}",
+        m.total_energy() == nnt.stats.energy,
+        (bucket_sum - nnt.stats.energy).abs() < 1e-9
+    );
+
+    assert!(
+        (phase_sum - ghs.stats.energy).abs() < 1e-9,
+        "GHS stage sums drifted"
+    );
+    assert!(
+        (bucket_sum - nnt.stats.energy).abs() < 1e-9,
+        "NNT ladder sums drifted"
+    );
+    assert_eq!(m.total_energy(), nnt.stats.energy, "NNT sink drifted");
+}

@@ -80,7 +80,10 @@ fn main() {
     ] {
         let pts = survival_points(sizes);
         if pts.len() < 3 {
-            println!("{label}: too few distinct sizes to fit ({} points)", pts.len());
+            println!(
+                "{label}: too few distinct sizes to fit ({} points)",
+                pts.len()
+            );
             continue;
         }
         let (xs, ys): (Vec<f64>, Vec<f64>) = pts.iter().copied().unzip();

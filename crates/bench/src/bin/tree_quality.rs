@@ -21,9 +21,7 @@
 
 use emst_analysis::{fnum, sweep_multi, Table};
 use emst_bench::{instance, Options};
-use emst_core::{
-    run_bfs_tree, run_eopt, run_ghs, run_nnt_with, GhsVariant, RankScheme,
-};
+use emst_core::{EoptConfig, GhsVariant, Protocol, RankScheme, Sim};
 use emst_geom::paper_phase2_radius;
 use emst_graph::euclidean_mst;
 
@@ -31,12 +29,16 @@ use emst_graph::euclidean_mst;
 fn measure(seed: u64, n: usize, trial: u64) -> [f64; 13] {
     let pts = instance(seed, n, trial);
     let r = paper_phase2_radius(n);
-    let ghs_o = run_ghs(&pts, r, GhsVariant::Original);
-    let ghs_m = run_ghs(&pts, r, GhsVariant::Modified);
-    let eopt = run_eopt(&pts);
-    let nnt = run_nnt_with(&pts, RankScheme::Diagonal);
-    let nnt_id = run_nnt_with(&pts, RankScheme::NodeId);
-    let bfs = run_bfs_tree(&pts, r, 0);
+    let ghs_o = Sim::new(&pts)
+        .radius(r)
+        .run(Protocol::Ghs(GhsVariant::Original));
+    let ghs_m = Sim::new(&pts)
+        .radius(r)
+        .run(Protocol::Ghs(GhsVariant::Modified));
+    let eopt = Sim::new(&pts).run(Protocol::Eopt(EoptConfig::default()));
+    let nnt = Sim::new(&pts).run(Protocol::Nnt(RankScheme::Diagonal));
+    let nnt_id = Sim::new(&pts).run(Protocol::Nnt(RankScheme::NodeId));
+    let bfs = Sim::new(&pts).radius(r).run(Protocol::Bfs { root: 0 });
     let mst_sq = euclidean_mst(&pts).cost(2.0);
     [
         ghs_o.stats.energy,

@@ -81,7 +81,9 @@ impl Options {
         if self.quick {
             vec![50, 100, 200, 400, 800]
         } else {
-            vec![50, 100, 250, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000]
+            vec![
+                50, 100, 250, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000,
+            ]
         }
     }
 }

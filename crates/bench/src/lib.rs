@@ -6,8 +6,8 @@
 //! experiments indexed in DESIGN.md.
 //!
 //! Everything is seeded: instance `(n, trial)` is produced by
-//! `trial_rng(BASE_SEED ^ n, trial)`, so any row of any table can be
-//! regenerated in isolation.
+//! `trial_rng(mix_seed(BASE_SEED, n), trial)`, so any row of any table
+//! can be regenerated in isolation.
 
 pub mod cli;
 pub mod runner;

@@ -1,32 +1,35 @@
 //! Single-trial experiment kernels shared by binaries and Criterion
 //! benches.
 
-use emst_core::{
-    run_eopt, run_eopt_with, run_ghs, run_nnt_with, EoptConfig, GhsVariant, RankScheme,
-};
-use emst_geom::{paper_phase2_radius, trial_rng, uniform_points, Point};
+use emst_core::{EoptConfig, GhsVariant, Protocol, RankScheme, Sim};
+use emst_geom::{mix_seed, paper_phase2_radius, trial_rng, uniform_points, Point};
 use emst_graph::euclidean_mst;
 use emst_percolation::giant_stats;
 
-/// The seeded instance for `(seed, n, trial)`.
+/// The seeded instance for `(seed, n, trial)`. The experiment seed and
+/// the instance size are combined with the SplitMix64 finaliser — a plain
+/// `seed ^ (n << 20)` base is invertible under XOR, so distinct
+/// `(seed, n)` pairs could alias the same point stream across sizes.
 pub fn instance(seed: u64, n: usize, trial: u64) -> Vec<Point> {
-    uniform_points(n, &mut trial_rng(seed ^ (n as u64) << 20, trial))
+    uniform_points(n, &mut trial_rng(mix_seed(seed, n as u64), trial))
 }
 
 /// Fig 3 kernel: total energy of GHS (original, §VII baseline), EOPT and
 /// Co-NNT on the *same* instance. Radii follow §VII exactly.
 pub fn fig3_energies(seed: u64, n: usize, trial: u64) -> [f64; 3] {
     let pts = instance(seed, n, trial);
-    let ghs = run_ghs(&pts, paper_phase2_radius(n), GhsVariant::Original);
-    let eopt = run_eopt(&pts);
-    let nnt = run_nnt_with(&pts, RankScheme::Diagonal);
+    let ghs = Sim::new(&pts)
+        .radius(paper_phase2_radius(n))
+        .run(Protocol::Ghs(GhsVariant::Original));
+    let eopt = Sim::new(&pts).run(Protocol::Eopt(EoptConfig::default()));
+    let nnt = Sim::new(&pts).run(Protocol::Nnt(RankScheme::Diagonal));
     [ghs.stats.energy, eopt.stats.energy, nnt.stats.energy]
 }
 
 /// §VII quality kernel: `(Σ|e| NNT, Σ|e| MST, Σ|e|² NNT, Σ|e|² MST)`.
 pub fn quality_row(seed: u64, n: usize, trial: u64) -> [f64; 4] {
     let pts = instance(seed, n, trial);
-    let nnt = run_nnt_with(&pts, RankScheme::Diagonal);
+    let nnt = Sim::new(&pts).run(Protocol::Nnt(RankScheme::Diagonal));
     let mst = euclidean_mst(&pts);
     [
         nnt.tree.cost(1.0),
@@ -86,12 +89,13 @@ pub fn eopt_radius_row(seed: u64, n: usize, m1: f64, trial: u64) -> [f64; 4] {
         phase1_multiplier: m1,
         ..EoptConfig::default()
     };
-    let out = run_eopt_with(&pts, &cfg);
+    let out = Sim::new(&pts).run(Protocol::Eopt(cfg));
+    let d = *out.detail.as_eopt().expect("EOPT detail");
     [
         out.stats.energy,
-        out.fragments_after_step1 as f64,
-        out.largest_fragment as f64,
-        if out.recovery_used { 1.0 } else { 0.0 },
+        d.fragments_after_step1 as f64,
+        d.largest_fragment as f64,
+        if d.recovery_used { 1.0 } else { 0.0 },
     ]
 }
 
@@ -100,8 +104,12 @@ pub fn eopt_radius_row(seed: u64, n: usize, m1: f64, trial: u64) -> [f64; 4] {
 pub fn ghs_variant_row(seed: u64, n: usize, trial: u64) -> [f64; 4] {
     let pts = instance(seed, n, trial);
     let r = paper_phase2_radius(n);
-    let orig = run_ghs(&pts, r, GhsVariant::Original);
-    let modi = run_ghs(&pts, r, GhsVariant::Modified);
+    let orig = Sim::new(&pts)
+        .radius(r)
+        .run(Protocol::Ghs(GhsVariant::Original));
+    let modi = Sim::new(&pts)
+        .radius(r)
+        .run(Protocol::Ghs(GhsVariant::Modified));
     [
         orig.stats.messages as f64,
         orig.stats.energy,
@@ -120,7 +128,7 @@ pub fn rank_scheme_row(seed: u64, n: usize, trial: u64) -> [f64; 9] {
         .into_iter()
         .enumerate()
     {
-        let run = run_nnt_with(&pts, scheme);
+        let run = Sim::new(&pts).run(Protocol::Nnt(scheme));
         out[3 * k] = run.tree.max_edge_len();
         out[3 * k + 1] = run.stats.energy;
         out[3 * k + 2] = run.tree.cost(1.0) / mst_len;
@@ -133,8 +141,8 @@ pub fn rank_scheme_row(seed: u64, n: usize, trial: u64) -> [f64; 9] {
 /// instance disconnected (exactness is then vacuous for the full MST).
 pub fn exactness_trial(seed: u64, n: usize, trial: u64) -> Option<f64> {
     let pts = instance(seed, n, trial);
-    let out = run_eopt(&pts);
-    if out.fragment_count != 1 {
+    let out = Sim::new(&pts).run(Protocol::Eopt(EoptConfig::default()));
+    if out.fragments != 1 {
         return None;
     }
     let mst = euclidean_mst(&pts);
@@ -182,6 +190,18 @@ mod tests {
     fn knn_ratio_is_order_one() {
         let r = knn_energy_ratio(BASE_SEED, 1000, 8, 0);
         assert!(r > 0.05 && r < 5.0, "ratio {r}");
+    }
+
+    #[test]
+    fn seed_mixing_avoids_cross_size_stream_collisions() {
+        // Regression: the old base `seed ^ (n << 20)` is invertible under
+        // XOR, so (seed, 1000) and (seed ^ (1000 << 20) ^ (2000 << 20),
+        // 2000) shared one RNG base — the larger instance reproduced the
+        // smaller one as its prefix. SplitMix64 mixing must break this.
+        let colliding = BASE_SEED ^ (1000u64 << 20) ^ (2000u64 << 20);
+        let a = instance(BASE_SEED, 1000, 0);
+        let b = instance(colliding, 2000, 0);
+        assert_ne!(&b[..1000], &a[..], "cross-size stream collision");
     }
 
     #[test]

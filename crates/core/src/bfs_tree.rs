@@ -86,24 +86,42 @@ pub struct BfsOutcome {
 }
 
 /// Builds a BFS spanning tree rooted at `root` by flooding at `radius`.
+#[deprecated(note = "use `emst_core::Sim` with `.radius(r)` and `Protocol::Bfs { root }`")]
 pub fn run_bfs_tree(points: &[emst_geom::Point], radius: f64, root: usize) -> BfsOutcome {
-    run_bfs_configured(
+    run_bfs_inner(
         points,
         radius,
         root,
         emst_radio::EnergyConfig::paper(),
+        None,
         None,
     )
 }
 
 /// [`run_bfs_tree`] under an explicit energy configuration and optional
 /// contention layer.
+#[deprecated(
+    note = "use `emst_core::Sim` with `.energy(..)`/`.contention(..)` and `Protocol::Bfs { root }`"
+)]
 pub fn run_bfs_configured(
     points: &[emst_geom::Point],
     radius: f64,
     root: usize,
     energy: emst_radio::EnergyConfig,
     contention: Option<emst_radio::ContentionConfig>,
+) -> BfsOutcome {
+    run_bfs_inner(points, radius, root, energy, contention, None)
+}
+
+/// Shared implementation behind [`crate::Sim`] and the deprecated
+/// wrappers.
+pub(crate) fn run_bfs_inner<'p>(
+    points: &'p [emst_geom::Point],
+    radius: f64,
+    root: usize,
+    energy: emst_radio::EnergyConfig,
+    contention: Option<emst_radio::ContentionConfig>,
+    sink: Option<&'p mut dyn emst_radio::TraceSink>,
 ) -> BfsOutcome {
     let n = points.len();
     assert!(root < n.max(1), "root out of range");
@@ -114,7 +132,10 @@ pub fn run_bfs_configured(
             reached: 0,
         };
     }
-    let net = RadioNet::with_config(points, radius, energy);
+    let mut net = RadioNet::with_config(points, radius, energy);
+    if let Some(sink) = sink {
+        net.set_sink(sink);
+    }
     let nodes: Vec<BfsNode> = (0..n).map(|i| BfsNode::new(radius, i == root)).collect();
     let mut eng = match contention {
         Some(cfg) => SyncEngine::with_contention(net, nodes, cfg),
@@ -139,6 +160,7 @@ pub fn run_bfs_configured(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests deliberately exercise the legacy wrappers
 mod tests {
     use super::*;
     use emst_geom::{paper_phase2_radius, trial_rng, uniform_points, Point};

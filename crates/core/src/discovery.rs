@@ -107,10 +107,7 @@ impl NodeProtocol for HelloProtocol {
 
 /// Runs [`HelloProtocol`] on the discrete-event engine and returns the
 /// neighbour table plus the network (for ledger inspection).
-pub fn discover_reactive<'a>(
-    net: RadioNet<'a>,
-    radius: f64,
-) -> (NeighborTable, RadioNet<'a>) {
+pub fn discover_reactive<'a>(net: RadioNet<'a>, radius: f64) -> (NeighborTable, RadioNet<'a>) {
     let n = net.n();
     let nodes = (0..n).map(|_| HelloProtocol::new(radius)).collect();
     let mut eng = SyncEngine::new(net, nodes);
@@ -177,9 +174,7 @@ mod tests {
             net1.ledger().total_messages(),
             net2.ledger().total_messages()
         );
-        assert!(
-            (net1.ledger().total_energy() - net2.ledger().total_energy()).abs() < 1e-9
-        );
+        assert!((net1.ledger().total_energy() - net2.ledger().total_energy()).abs() < 1e-9);
     }
 
     #[test]

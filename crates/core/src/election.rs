@@ -101,7 +101,14 @@ pub fn run_election_tree(points: &[emst_geom::Point], radius: f64) -> ElectionOu
             stats: RunStats::default(),
         };
     }
-    let bfs = crate::bfs_tree::run_bfs_tree(points, radius, 0);
+    let bfs = crate::bfs_tree::run_bfs_inner(
+        points,
+        radius,
+        0,
+        emst_radio::EnergyConfig::paper(),
+        None,
+        None,
+    );
     let mut stats = bfs.stats.clone();
     // Orchestrated convergecast + downcast along the tree, charged per
     // hop on a fresh net handle and absorbed into the stats.

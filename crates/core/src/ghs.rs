@@ -59,6 +59,9 @@ pub enum GhsVariant {
 /// (EOPT) can attribute energy per step.
 #[derive(Debug, Clone, Copy)]
 pub struct GhsKinds {
+    /// Scope label for trace phase events (`"ghs"`, `"eopt1"`, …); also
+    /// the namespace prefix of every kind below.
+    pub scope: &'static str,
     /// Hello/announce broadcast that seeds discovery and the id caches.
     pub hello: &'static str,
     /// Initiate broadcast along fragment trees.
@@ -79,6 +82,7 @@ pub struct GhsKinds {
 
 /// Kind labels for a standalone GHS run.
 pub const GHS_KINDS: GhsKinds = GhsKinds {
+    scope: "ghs",
     hello: "ghs/hello",
     initiate: "ghs/initiate",
     test: "ghs/test",
@@ -91,6 +95,7 @@ pub const GHS_KINDS: GhsKinds = GhsKinds {
 
 /// Kind labels for EOPT step 1.
 pub const EOPT1_KINDS: GhsKinds = GhsKinds {
+    scope: "eopt1",
     hello: "eopt1/hello",
     initiate: "eopt1/initiate",
     test: "eopt1/test",
@@ -103,6 +108,7 @@ pub const EOPT1_KINDS: GhsKinds = GhsKinds {
 
 /// Kind labels for EOPT step 2.
 pub const EOPT2_KINDS: GhsKinds = GhsKinds {
+    scope: "eopt2",
     hello: "eopt2/hello",
     initiate: "eopt2/initiate",
     test: "eopt2/test",
@@ -111,6 +117,21 @@ pub const EOPT2_KINDS: GhsKinds = GhsKinds {
     connect: "eopt2/connect",
     announce: "eopt2/announce",
     size: "eopt2/size",
+};
+
+/// Kind labels for EOPT's beyond-paper recovery pass. Nested under the
+/// `eopt2/` namespace so step-level prefix sums (`eopt1/` + `eopt2/` =
+/// total) keep holding, while `eopt2/recover/` isolates recovery cost.
+pub const EOPT2_RECOVERY_KINDS: GhsKinds = GhsKinds {
+    scope: "eopt2/recover",
+    hello: "eopt2/recover/hello",
+    initiate: "eopt2/recover/initiate",
+    test: "eopt2/recover/test",
+    report: "eopt2/recover/report",
+    chroot: "eopt2/recover/chroot",
+    connect: "eopt2/recover/connect",
+    announce: "eopt2/recover/announce",
+    size: "eopt2/recover/size",
 };
 
 /// One cached neighbour entry.
@@ -288,11 +309,12 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
     /// can expose new outgoing edges.
     pub fn discover(&mut self, radius: f64, kinds: &GhsKinds) {
         assert!(radius > 0.0, "discovery radius must be positive");
+        self.net
+            .note_phase(kinds.scope, self.phases as u64, "discover");
         self.radius = radius;
         let table: NeighborTable = discover(self.net, radius, kinds.hello);
-        let n = table.len();
-        for u in 0..n {
-            self.nbrs[u] = table[u]
+        for (u, row) in table.iter().enumerate() {
+            self.nbrs[u] = row
                 .iter()
                 .map(|nb| Nbr {
                     id: nb.id,
@@ -301,8 +323,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
                     rejected: false,
                 })
                 .collect();
-            self.nbr_index[u] = self
-                .nbrs[u]
+            self.nbr_index[u] = self.nbrs[u]
                 .iter()
                 .enumerate()
                 .map(|(i, nb)| (nb.id, i as u32))
@@ -356,14 +377,11 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
     /// first foreign entry is the minimum outgoing edge.
     fn local_moe_modified(&self, u: usize) -> Option<Cand> {
         let my = self.frag[u];
-        self.nbrs[u]
-            .iter()
-            .find(|nb| nb.frag != my)
-            .map(|nb| Cand {
-                w: nb.dist,
-                u: u as u32,
-                v: nb.id,
-            })
+        self.nbrs[u].iter().find(|nb| nb.frag != my).map(|nb| Cand {
+            w: nb.dist,
+            u: u as u32,
+            v: nb.id,
+        })
     }
 
     /// Local MOE of node `u` under the original variant: probe unrejected
@@ -411,8 +429,10 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
             return 0;
         }
         self.phases += 1;
+        let phase_no = self.phases as u64;
 
         // Stage A: initiate broadcasts.
+        self.net.note_phase(kinds.scope, phase_no, "initiate");
         let mut max_depth = 0u64;
         let active_owned: Vec<(u32, Vec<u32>)> =
             active.iter().map(|(f, m)| (*f, (*m).clone())).collect();
@@ -423,6 +443,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
         self.net.advance_rounds(max_depth);
 
         // Stage B: local MOE search.
+        self.net.note_phase(kinds.scope, phase_no, "test");
         let mut local: BTreeMap<u32, Cand> = BTreeMap::new(); // best per fragment
         let mut max_exchanges = 0u64;
         for (f, members) in &active_owned {
@@ -445,6 +466,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
         self.net.advance_rounds(2 * max_exchanges);
 
         // Stage C: report convergecasts.
+        self.net.note_phase(kinds.scope, phase_no, "report");
         for (_, members) in &active_owned {
             self.charge_convergecast(members, kinds.report);
         }
@@ -461,6 +483,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
         }
 
         // Stage D: change-root along the leader→endpoint path, then connect.
+        self.net.note_phase(kinds.scope, phase_no, "change-root");
         let mut max_path = 0u64;
         for (f, cand) in &local {
             // Path from the MOE endpoint up to the leader.
@@ -488,9 +511,12 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
         if self.variant == GhsVariant::Modified {
             let changed: Vec<u32> = merges.changed;
             if !changed.is_empty() {
+                self.net.note_phase(kinds.scope, phase_no, "announce");
                 for &u in &changed {
                     let new_frag = self.frag[u as usize];
-                    let receivers = self.net.local_broadcast(u as usize, self.radius, kinds.announce);
+                    let receivers =
+                        self.net
+                            .local_broadcast(u as usize, self.radius, kinds.announce);
                     for (v, _) in receivers {
                         if let Some(&idx) = self.nbr_index[v].get(&u) {
                             self.nbrs[v][idx as usize].frag = new_frag;
@@ -565,11 +591,13 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
                 let core = group
                     .iter()
                     .filter_map(|f| chosen.get(f))
-                    .min_by(|a, b| a.key().0.total_cmp(&b.key().0).then_with(|| {
-                        let ka = (a.key().1, a.key().2);
-                        let kb = (b.key().1, b.key().2);
-                        ka.cmp(&kb)
-                    }))
+                    .min_by(|a, b| {
+                        a.key().0.total_cmp(&b.key().0).then_with(|| {
+                            let ka = (a.key().1, a.key().2);
+                            let kb = (b.key().1, b.key().2);
+                            ka.cmp(&kb)
+                        })
+                    })
                     .expect("non-trivial group has at least one chosen edge");
                 core.u.max(core.v)
             };
@@ -590,6 +618,8 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
                     changed.push(u);
                 }
             }
+            self.net
+                .note_merge(new_id as usize, group.len() - 1, members.len());
             self.reroot(new_id);
         }
         MergeResult {
@@ -641,6 +671,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
         threshold: f64,
         kinds: &GhsKinds,
     ) -> Vec<(usize, usize, bool)> {
+        self.net.note_phase(kinds.scope, self.phases as u64, "size");
         let frags = self.fragments();
         let mut rows = Vec::new();
         let mut max_depth = 0u64;
@@ -657,7 +688,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
             rows.push((*f as usize, members.len(), passive));
         }
         self.net.advance_rounds(3 * max_depth);
-        rows.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        rows.sort_unstable_by_key(|r| std::cmp::Reverse(r.1));
         rows
     }
 }
@@ -684,19 +715,42 @@ pub struct GhsOutcome {
 
 /// Runs GHS (original or modified) at a fixed radius over `points`,
 /// including the initial neighbour-discovery broadcast.
+#[deprecated(note = "use `emst_core::Sim` with `Protocol::Ghs(variant)`")]
 pub fn run_ghs(points: &[emst_geom::Point], radius: f64, variant: GhsVariant) -> GhsOutcome {
-    run_ghs_configured(points, radius, variant, emst_radio::EnergyConfig::paper())
+    run_ghs_inner(
+        points,
+        radius,
+        variant,
+        emst_radio::EnergyConfig::paper(),
+        None,
+    )
 }
 
 /// [`run_ghs`] under an explicit energy configuration (extended rx/idle
 /// model of §VIII).
+#[deprecated(note = "use `emst_core::Sim` with `.energy(..)` and `Protocol::Ghs(variant)`")]
 pub fn run_ghs_configured(
     points: &[emst_geom::Point],
     radius: f64,
     variant: GhsVariant,
     energy: emst_radio::EnergyConfig,
 ) -> GhsOutcome {
+    run_ghs_inner(points, radius, variant, energy, None)
+}
+
+/// Shared implementation behind [`crate::Sim`] and the deprecated
+/// wrappers.
+pub(crate) fn run_ghs_inner<'p>(
+    points: &'p [emst_geom::Point],
+    radius: f64,
+    variant: GhsVariant,
+    energy: emst_radio::EnergyConfig,
+    sink: Option<&'p mut dyn emst_radio::TraceSink>,
+) -> GhsOutcome {
     let mut net = RadioNet::with_config(points, radius, energy);
+    if let Some(sink) = sink {
+        net.set_sink(sink);
+    }
     let (tree, phases, fragment_count) = {
         let mut eng = GhsEngine::new(&mut net, variant);
         eng.discover(radius, &GHS_KINDS);
@@ -712,6 +766,7 @@ pub fn run_ghs_configured(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests deliberately exercise the legacy wrappers
 mod tests {
     use super::*;
     use emst_geom::{paper_phase2_radius, trial_rng, uniform_points, Point};
@@ -869,7 +924,10 @@ mod tests {
             (eng.tree(), before)
         };
         assert_eq!(frag_before, 120 - 60);
-        assert!(tree.same_edges(&full.tree), "seeded run must converge to the same MST");
+        assert!(
+            tree.same_edges(&full.tree),
+            "seeded run must converge to the same MST"
+        );
         // Cheaper than the full run (fewer phases of merging to do).
         assert!(net.ledger().total_energy() < full.stats.energy);
     }
@@ -914,9 +972,20 @@ mod tests {
         let pts = uniform_points(150, &mut trial_rng(112, 0));
         let r = paper_phase2_radius(150);
         let out = run_ghs(&pts, r, GhsVariant::Original);
-        let known = ["ghs/hello", "ghs/initiate", "ghs/test", "ghs/report",
-                     "ghs/chroot", "ghs/connect", "ghs/announce", "ghs/size"];
-        let sum: u64 = known.iter().map(|k| out.stats.ledger.kind(k).messages).sum();
+        let known = [
+            "ghs/hello",
+            "ghs/initiate",
+            "ghs/test",
+            "ghs/report",
+            "ghs/chroot",
+            "ghs/connect",
+            "ghs/announce",
+            "ghs/size",
+        ];
+        let sum: u64 = known
+            .iter()
+            .map(|k| out.stats.ledger.kind(k).messages)
+            .sum();
         assert_eq!(sum, out.stats.messages, "unattributed messages exist");
         // Hello is exactly one broadcast per node.
         assert_eq!(out.stats.ledger.kind("ghs/hello").messages, 150);

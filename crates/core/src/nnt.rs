@@ -94,10 +94,7 @@ impl RankScheme {
                 Point::new(1.0, 1.0),
             ],
         };
-        candidates
-            .iter()
-            .map(|c| u.dist(c))
-            .fold(0.0, f64::max)
+        candidates.iter().map(|c| u.dist(c)).fold(0.0, f64::max)
     }
 
     /// The potential area `Aᵤ`: area of the potential region (the part of
@@ -223,28 +220,24 @@ impl NodeProtocol for NntNode {
         let phase_round = round % 3;
         let current = (round / 3 + 1) as u32;
         match phase_round {
-            0 => {
-                if current == self.phase {
+            0 if current == self.phase => {
+                if self.phase > self.max_phases {
+                    self.exhausted = true;
+                    return;
+                }
+                let r = nnt_probe_radius(self.phase, ctx.n().max(2));
+                self.best_reply = None;
+                self.phases_used += 1;
+                ctx.broadcast(r, "nnt/request", NntMsg::Request(me));
+            }
+            2 if current == self.phase => {
+                if let Some((p, d)) = self.best_reply.take() {
+                    ctx.unicast(p, "nnt/connect", NntMsg::Connect);
+                    self.parent = Some((p, d));
+                } else {
+                    self.phase += 1;
                     if self.phase > self.max_phases {
                         self.exhausted = true;
-                        return;
-                    }
-                    let r = nnt_probe_radius(self.phase, ctx.n().max(2));
-                    self.best_reply = None;
-                    self.phases_used += 1;
-                    ctx.broadcast(r, "nnt/request", NntMsg::Request(me));
-                }
-            }
-            2 => {
-                if current == self.phase {
-                    if let Some((p, d)) = self.best_reply.take() {
-                        ctx.unicast(p, "nnt/connect", NntMsg::Connect);
-                        self.parent = Some((p, d));
-                    } else {
-                        self.phase += 1;
-                        if self.phase > self.max_phases {
-                            self.exhausted = true;
-                        }
                     }
                 }
             }
@@ -273,36 +266,51 @@ pub struct NntOutcome {
 }
 
 /// Runs Co-NNT with the paper's diagonal ranking.
-///
-/// ```
-/// use emst_geom::{trial_rng, uniform_points};
-/// let pts = uniform_points(100, &mut trial_rng(2, 0));
-/// let out = emst_core::run_nnt(&pts);
-/// assert!(out.tree.is_valid());
-/// assert_eq!(out.unconnected, 1); // only the top-ranked node is free
-/// assert!(out.tree.cost(2.0) < 4.0); // Theorem 6.1's bound
-/// ```
+#[deprecated(note = "use `emst_core::Sim` with `Protocol::Nnt(RankScheme::Diagonal)`")]
 pub fn run_nnt(points: &[Point]) -> NntOutcome {
-    run_nnt_with(points, RankScheme::Diagonal)
+    run_nnt_inner(
+        points,
+        RankScheme::Diagonal,
+        emst_radio::EnergyConfig::paper(),
+        None,
+        None,
+    )
 }
 
 /// Runs Co-NNT with an explicit ranking scheme.
+#[deprecated(note = "use `emst_core::Sim` with `Protocol::Nnt(scheme)`")]
 pub fn run_nnt_with(points: &[Point], scheme: RankScheme) -> NntOutcome {
-    run_nnt_configured(
+    run_nnt_inner(
         points,
         scheme,
         emst_radio::EnergyConfig::paper(),
+        None,
         None,
     )
 }
 
 /// [`run_nnt_with`] under an explicit energy configuration and, optionally,
 /// the slotted-ALOHA contention layer (§VIII).
+#[deprecated(
+    note = "use `emst_core::Sim` with `.energy(..)`/`.contention(..)` and `Protocol::Nnt(scheme)`"
+)]
 pub fn run_nnt_configured(
     points: &[Point],
     scheme: RankScheme,
     energy: emst_radio::EnergyConfig,
     contention: Option<emst_radio::ContentionConfig>,
+) -> NntOutcome {
+    run_nnt_inner(points, scheme, energy, contention, None)
+}
+
+/// Shared implementation behind [`crate::Sim`] and the deprecated
+/// wrappers.
+pub(crate) fn run_nnt_inner<'p>(
+    points: &'p [Point],
+    scheme: RankScheme,
+    energy: emst_radio::EnergyConfig,
+    contention: Option<emst_radio::ContentionConfig>,
+    sink: Option<&'p mut dyn emst_radio::TraceSink>,
 ) -> NntOutcome {
     let n = points.len();
     if n == 0 {
@@ -315,7 +323,10 @@ pub fn run_nnt_configured(
     }
     // Grid sized for the common early probe radius; larger probes still
     // resolve correctly (they scan more cells).
-    let net = RadioNet::with_config(points, nnt_probe_radius(2, n.max(2)), energy);
+    let mut net = RadioNet::with_config(points, nnt_probe_radius(2, n.max(2)), energy);
+    if let Some(sink) = sink {
+        net.set_sink(sink);
+    }
     let nodes: Vec<NntNode> = points
         .iter()
         .map(|p| {
@@ -350,6 +361,7 @@ pub fn run_nnt_configured(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests deliberately exercise the legacy wrappers
 mod tests {
     use super::*;
     use emst_geom::{trial_rng, uniform_points};
@@ -411,7 +423,11 @@ mod tests {
         let mut sum_bound = 0.0;
         for e in out.tree.edges() {
             let (u, v) = e.endpoints();
-            let child = if emst_geom::diag_rank_less(&pts[u], &pts[v]) { u } else { v };
+            let child = if emst_geom::diag_rank_less(&pts[u], &pts[v]) {
+                u
+            } else {
+                v
+            };
             sum_sq += e.w * e.w;
             sum_bound += 2.0 / (n as f64 * d.potential_angle(&pts[child]));
         }
@@ -449,7 +465,11 @@ mod tests {
         for seed in 0..5 {
             let pts = uniform_points(200, &mut trial_rng(302, seed));
             let out = run_nnt(&pts);
-            assert!(out.tree.is_valid(), "seed {seed}: {:?}", out.tree.validate());
+            assert!(
+                out.tree.is_valid(),
+                "seed {seed}: {:?}",
+                out.tree.validate()
+            );
             assert_eq!(out.unconnected, 1, "only the top-ranked node is free");
         }
     }
@@ -474,11 +494,7 @@ mod tests {
                 .filter(|&v| v != u && diag_rank_less(&pts[u], &pts[v]))
                 .min_by(|&a, &b| pts[u].dist(&pts[a]).total_cmp(&pts[u].dist(&pts[b])));
             match brute {
-                Some(b) => assert_eq!(
-                    parent[u], b,
-                    "node {u}: got parent {} want {b}",
-                    parent[u]
-                ),
+                Some(b) => assert_eq!(parent[u], b, "node {u}: got parent {} want {b}", parent[u]),
                 None => assert_eq!(parent[u], usize::MAX, "top node must be root"),
             }
         }
@@ -528,8 +544,8 @@ mod tests {
         let mst = emst_graph::euclidean_mst(&pts);
         let ratio1 = out.tree.cost(1.0) / mst.cost(1.0);
         let ratio2 = out.tree.cost(2.0) / mst.cost(2.0);
-        assert!(ratio1 >= 1.0 - 1e-9 && ratio1 < 2.5, "length ratio {ratio1}");
-        assert!(ratio2 >= 1.0 - 1e-9 && ratio2 < 4.0, "energy ratio {ratio2}");
+        assert!((1.0 - 1e-9..2.5).contains(&ratio1), "length ratio {ratio1}");
+        assert!((1.0 - 1e-9..4.0).contains(&ratio2), "energy ratio {ratio2}");
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! `Sim` — the unified protocol-run API.
+//!
+//! Every distributed algorithm in this crate (GHS, EOPT, Co-NNT, BFS
+//! flood) used to ship its own family of `run_*` entrypoints whose
+//! signatures drifted apart as knobs accumulated (energy model,
+//! contention layer, now trace sinks). `Sim` replaces them with one
+//! builder:
+//!
+//! ```
+//! use emst_core::{Protocol, Sim};
+//! use emst_geom::{trial_rng, uniform_points};
+//! use emst_radio::MetricsSink;
+//!
+//! let pts = uniform_points(120, &mut trial_rng(1, 0));
+//! let mut metrics = MetricsSink::new();
+//! let out = Sim::new(&pts)
+//!     .sink(&mut metrics)
+//!     .run(Protocol::Eopt(Default::default()));
+//! assert!(out.tree.is_valid());
+//! // The metrics ledger reproduces the run total exactly (same
+//! // accumulation order), not merely within a tolerance.
+//! assert_eq!(metrics.total_energy(), out.stats.energy);
+//! assert_eq!(metrics.total_messages(), out.stats.messages);
+//! ```
+//!
+//! The four protocols keep their protocol-specific read-outs in
+//! [`Detail`]; everything any experiment compares across protocols
+//! (tree, stats, surviving fragment count) lives directly on
+//! [`RunOutput`].
+
+use crate::bfs_tree::run_bfs_inner;
+use crate::eopt::{run_eopt_inner, EoptConfig};
+use crate::ghs::{run_ghs_inner, GhsVariant};
+use crate::nnt::{run_nnt_inner, RankScheme};
+use emst_geom::Point;
+use emst_graph::SpanningTree;
+use emst_radio::{ContentionConfig, EnergyConfig, RunStats, TraceSink};
+
+/// Which algorithm to run. Radius semantics differ by protocol:
+/// GHS and BFS operate at the radius set with [`Sim::radius`]; EOPT and
+/// Co-NNT derive their own radii (`r₁`/`r₂`, probe ladder) from `n`.
+#[derive(Debug, Clone, Copy)]
+pub enum Protocol {
+    /// GHS (original or modified) at the configured radius.
+    Ghs(GhsVariant),
+    /// The paper's two-step energy-optimal algorithm (§V).
+    Eopt(EoptConfig),
+    /// Coordinate-aware nearest-neighbour tree (§VI).
+    Nnt(RankScheme),
+    /// Flooding BFS tree rooted at `root`, at the configured radius.
+    Bfs {
+        /// The flood origin.
+        root: usize,
+    },
+}
+
+/// Protocol-specific read-outs of a [`Sim::run`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Detail {
+    /// GHS extras.
+    Ghs(GhsDetail),
+    /// EOPT extras.
+    Eopt(EoptDetail),
+    /// Co-NNT extras.
+    Nnt(NntDetail),
+    /// BFS extras.
+    Bfs(BfsDetail),
+}
+
+/// GHS-specific outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GhsDetail {
+    /// Borůvka phases executed.
+    pub phases: usize,
+}
+
+/// EOPT-specific outputs (see [`crate::EoptOutcome`] for field docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EoptDetail {
+    /// GHS phases executed in step 1.
+    pub phases_step1: usize,
+    /// GHS phases executed in step 2 (excluding any recovery pass).
+    pub phases_step2: usize,
+    /// Fragments remaining after step 1.
+    pub fragments_after_step1: usize,
+    /// Size of the largest fragment after step 1.
+    pub largest_fragment: usize,
+    /// Fragments that crossed the giant threshold.
+    pub giants_declared: usize,
+    /// Whether the beyond-paper recovery pass had to run.
+    pub recovery_used: bool,
+}
+
+/// Co-NNT-specific outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NntDetail {
+    /// Nodes that exhausted all probe phases without connecting.
+    pub unconnected: usize,
+    /// Maximum probe phases used by any node.
+    pub max_phases_used: u32,
+}
+
+/// BFS-specific outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BfsDetail {
+    /// Nodes reached from the root (including the root).
+    pub reached: usize,
+}
+
+impl Detail {
+    /// The GHS read-out, if this was a GHS run.
+    pub fn as_ghs(&self) -> Option<&GhsDetail> {
+        match self {
+            Detail::Ghs(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The EOPT read-out, if this was an EOPT run.
+    pub fn as_eopt(&self) -> Option<&EoptDetail> {
+        match self {
+            Detail::Eopt(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The Co-NNT read-out, if this was a Co-NNT run.
+    pub fn as_nnt(&self) -> Option<&NntDetail> {
+        match self {
+            Detail::Nnt(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The BFS read-out, if this was a BFS run.
+    pub fn as_bfs(&self) -> Option<&BfsDetail> {
+        match self {
+            Detail::Bfs(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// Uniform result of any protocol run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The constructed forest (a spanning tree iff `fragments == 1`).
+    pub tree: SpanningTree,
+    /// Aggregate energy/messages/rounds plus the per-kind ledger.
+    pub stats: RunStats,
+    /// Connected components of the output forest (`n − |edges|`); `1`
+    /// means the tree spans.
+    pub fragments: usize,
+    /// Protocol-specific extras.
+    pub detail: Detail,
+}
+
+impl RunOutput {
+    fn build(tree: SpanningTree, stats: RunStats, detail: Detail) -> Self {
+        let fragments = tree.n().saturating_sub(tree.edges().len());
+        RunOutput {
+            tree,
+            stats,
+            fragments,
+            detail,
+        }
+    }
+}
+
+/// Builder for a single protocol run over a fixed point set.
+///
+/// Defaults: paper energy model (`rx = idle = 0`), no contention layer,
+/// no trace sink. `radius` is mandatory for [`Protocol::Ghs`] and
+/// [`Protocol::Bfs`] and ignored by the protocols that derive their own
+/// radii ([`Protocol::Eopt`], [`Protocol::Nnt`]).
+pub struct Sim<'a> {
+    points: &'a [Point],
+    radius: Option<f64>,
+    energy: EnergyConfig,
+    contention: Option<ContentionConfig>,
+    sink: Option<&'a mut dyn TraceSink>,
+}
+
+impl<'a> Sim<'a> {
+    /// Starts a run description over `points`.
+    pub fn new(points: &'a [Point]) -> Self {
+        Sim {
+            points,
+            radius: None,
+            energy: EnergyConfig::paper(),
+            contention: None,
+            sink: None,
+        }
+    }
+
+    /// Sets the operating radius (required for GHS and BFS).
+    pub fn radius(mut self, r: f64) -> Self {
+        assert!(r.is_finite() && r > 0.0, "radius must be positive");
+        self.radius = Some(r);
+        self
+    }
+
+    /// Sets the energy accounting model (default: [`EnergyConfig::paper`]).
+    pub fn energy(mut self, cfg: EnergyConfig) -> Self {
+        self.energy = cfg;
+        self
+    }
+
+    /// Enables the slotted-ALOHA contention layer (§VIII). Only the
+    /// reactive protocols (Co-NNT, BFS) model contention; [`Sim::run`]
+    /// panics if this is combined with GHS or EOPT, whose orchestrated
+    /// schedules assume the paper's collision-free RBN abstraction.
+    pub fn contention(mut self, cfg: ContentionConfig) -> Self {
+        self.contention = Some(cfg);
+        self
+    }
+
+    /// Attaches a trace sink that receives every structured event of the
+    /// run (round boundaries, per-message energy, phase transitions,
+    /// fragment merges). Untraced runs pay no observation cost.
+    pub fn sink(mut self, sink: &'a mut dyn TraceSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Executes `protocol` and returns the uniform [`RunOutput`].
+    ///
+    /// # Panics
+    ///
+    /// If GHS/BFS run without a radius, if BFS's root is out of range,
+    /// or if a contention layer is combined with an orchestrated
+    /// protocol (GHS/EOPT).
+    pub fn run(self, protocol: Protocol) -> RunOutput {
+        let Sim {
+            points,
+            radius,
+            energy,
+            contention,
+            sink,
+        } = self;
+        match protocol {
+            Protocol::Ghs(variant) => {
+                assert!(
+                    contention.is_none(),
+                    "GHS is orchestrated over the collision-free RBN model; \
+                     the contention layer applies to Nnt/Bfs only"
+                );
+                let r = radius.expect("Protocol::Ghs requires Sim::radius");
+                let out = run_ghs_inner(points, r, variant, energy, sink);
+                RunOutput::build(
+                    out.tree,
+                    out.stats,
+                    Detail::Ghs(GhsDetail { phases: out.phases }),
+                )
+            }
+            Protocol::Eopt(cfg) => {
+                assert!(
+                    contention.is_none(),
+                    "EOPT is orchestrated over the collision-free RBN model; \
+                     the contention layer applies to Nnt/Bfs only"
+                );
+                let out = run_eopt_inner(points, &cfg, energy, sink);
+                RunOutput::build(
+                    out.tree,
+                    out.stats,
+                    Detail::Eopt(EoptDetail {
+                        phases_step1: out.phases_step1,
+                        phases_step2: out.phases_step2,
+                        fragments_after_step1: out.fragments_after_step1,
+                        largest_fragment: out.largest_fragment,
+                        giants_declared: out.giants_declared,
+                        recovery_used: out.recovery_used,
+                    }),
+                )
+            }
+            Protocol::Nnt(scheme) => {
+                let out = run_nnt_inner(points, scheme, energy, contention, sink);
+                RunOutput::build(
+                    out.tree,
+                    out.stats,
+                    Detail::Nnt(NntDetail {
+                        unconnected: out.unconnected,
+                        max_phases_used: out.max_phases_used,
+                    }),
+                )
+            }
+            Protocol::Bfs { root } => {
+                let r = radius.expect("Protocol::Bfs requires Sim::radius");
+                let out = run_bfs_inner(points, r, root, energy, contention, sink);
+                RunOutput::build(
+                    out.tree,
+                    out.stats,
+                    Detail::Bfs(BfsDetail {
+                        reached: out.reached,
+                    }),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_geom::{paper_phase2_radius, trial_rng, uniform_points};
+    use emst_radio::MetricsSink;
+
+    #[test]
+    #[allow(deprecated)]
+    fn sim_matches_legacy_wrappers_exactly() {
+        let pts = uniform_points(200, &mut trial_rng(901, 0));
+        let r = paper_phase2_radius(200);
+
+        let a = Sim::new(&pts)
+            .radius(r)
+            .run(Protocol::Ghs(GhsVariant::Modified));
+        let b = crate::ghs::run_ghs(&pts, r, GhsVariant::Modified);
+        assert!(a.tree.same_edges(&b.tree));
+        assert_eq!(a.stats.energy, b.stats.energy);
+        assert_eq!(a.detail.as_ghs().unwrap().phases, b.phases);
+
+        let a = Sim::new(&pts).run(Protocol::Eopt(EoptConfig::default()));
+        let b = crate::eopt::run_eopt(&pts);
+        assert!(a.tree.same_edges(&b.tree));
+        assert_eq!(a.stats.energy, b.stats.energy);
+        assert_eq!(a.fragments, b.fragment_count);
+
+        let a = Sim::new(&pts).run(Protocol::Nnt(RankScheme::Diagonal));
+        let b = crate::nnt::run_nnt(&pts);
+        assert!(a.tree.same_edges(&b.tree));
+        assert_eq!(a.detail.as_nnt().unwrap().unconnected, b.unconnected);
+
+        let a = Sim::new(&pts).radius(r).run(Protocol::Bfs { root: 0 });
+        let b = crate::bfs_tree::run_bfs_tree(&pts, r, 0);
+        assert!(a.tree.same_edges(&b.tree));
+        assert_eq!(a.detail.as_bfs().unwrap().reached, b.reached);
+    }
+
+    #[test]
+    fn fragments_counts_components() {
+        let pts = uniform_points(300, &mut trial_rng(902, 0));
+        let out = Sim::new(&pts).run(Protocol::Eopt(EoptConfig::default()));
+        assert_eq!(out.fragments, 300 - out.tree.edges().len());
+        let detail = out.detail.as_eopt().unwrap();
+        assert!(detail.phases_step1 > 0);
+    }
+
+    #[test]
+    fn sink_observes_every_protocol() {
+        let pts = uniform_points(150, &mut trial_rng(903, 0));
+        let r = paper_phase2_radius(150);
+        let protocols = [
+            Protocol::Ghs(GhsVariant::Original),
+            Protocol::Ghs(GhsVariant::Modified),
+            Protocol::Eopt(EoptConfig::default()),
+            Protocol::Nnt(RankScheme::Diagonal),
+            Protocol::Bfs { root: 0 },
+        ];
+        for p in protocols {
+            let mut m = MetricsSink::new();
+            let out = Sim::new(&pts).radius(r).sink(&mut m).run(p);
+            assert_eq!(m.total_energy(), out.stats.energy, "{p:?}");
+            assert_eq!(m.total_messages(), out.stats.messages, "{p:?}");
+            assert_eq!(m.rounds(), out.stats.rounds, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn contended_reactive_runs_trace_retries() {
+        use emst_radio::ContentionConfig;
+        let pts = uniform_points(100, &mut trial_rng(904, 0));
+        let mut m = MetricsSink::new();
+        let out = Sim::new(&pts)
+            .contention(ContentionConfig::default())
+            .sink(&mut m)
+            .run(Protocol::Nnt(RankScheme::Diagonal));
+        // Contended deliveries go through charge_attempt; the sink must
+        // still reproduce the ledger exactly.
+        assert_eq!(m.total_energy(), out.stats.energy);
+        assert_eq!(m.total_messages(), out.stats.messages);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires Sim::radius")]
+    fn ghs_without_radius_panics() {
+        let pts = uniform_points(10, &mut trial_rng(905, 0));
+        let _ = Sim::new(&pts).run(Protocol::Ghs(GhsVariant::Modified));
+    }
+
+    #[test]
+    #[should_panic(expected = "contention layer applies to Nnt/Bfs only")]
+    fn contended_ghs_panics() {
+        use emst_radio::ContentionConfig;
+        let pts = uniform_points(10, &mut trial_rng(906, 0));
+        let _ = Sim::new(&pts)
+            .radius(0.5)
+            .contention(ContentionConfig::default())
+            .run(Protocol::Ghs(GhsVariant::Modified));
+    }
+}

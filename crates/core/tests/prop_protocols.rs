@@ -2,7 +2,7 @@
 //! point clouds (not just uniform ones) the protocols must keep their
 //! structural guarantees.
 
-use emst_core::{run_eopt, run_ghs, run_nnt, run_nnt_with, GhsVariant, RankScheme};
+use emst_core::{GhsVariant, Protocol, RankScheme, Sim};
 use emst_geom::Point;
 use emst_graph::{kruskal_forest, Graph, SpanningTree};
 use proptest::prelude::*;
@@ -32,7 +32,7 @@ proptest! {
         let g = Graph::geometric(&pts, r);
         let reference = SpanningTree::new(pts.len(), kruskal_forest(&g));
         for variant in [GhsVariant::Modified, GhsVariant::Original] {
-            let out = run_ghs(&pts, r, variant);
+            let out = Sim::new(&pts).radius(r).run(Protocol::Ghs(variant));
             prop_assert!(
                 out.tree.same_edges(&reference),
                 "{variant:?} mismatch at r={r}"
@@ -44,8 +44,8 @@ proptest! {
     /// graph — the exactness claim of Theorem 5.3, radius-restricted.
     #[test]
     fn eopt_is_exact(pts in cloud(40)) {
-        let out = run_eopt(&pts);
         let cfg = emst_core::EoptConfig::default();
+        let out = Sim::new(&pts).run(Protocol::Eopt(cfg));
         let g = Graph::geometric(&pts, cfg.radius2(pts.len().max(2)));
         let reference = SpanningTree::new(pts.len(), kruskal_forest(&g));
         prop_assert!(out.tree.same_edges(&reference));
@@ -56,9 +56,9 @@ proptest! {
     #[test]
     fn nnt_always_spans(pts in cloud(60)) {
         for scheme in [RankScheme::Diagonal, RankScheme::XOrder] {
-            let out = run_nnt_with(&pts, scheme);
+            let out = Sim::new(&pts).run(Protocol::Nnt(scheme));
             prop_assert!(out.tree.is_valid(), "{scheme:?}: {:?}", out.tree.validate());
-            prop_assert_eq!(out.unconnected, 1);
+            prop_assert_eq!(out.detail.as_nnt().unwrap().unconnected, 1);
         }
     }
 
@@ -67,7 +67,7 @@ proptest! {
     /// higher-ranked node.
     #[test]
     fn nnt_edges_are_nearest_higher_rank(pts in cloud(40)) {
-        let out = run_nnt(&pts);
+        let out = Sim::new(&pts).run(Protocol::Nnt(RankScheme::Diagonal));
         let mut parent = vec![usize::MAX; pts.len()];
         for e in out.tree.edges() {
             let (u, v) = e.endpoints();
@@ -94,7 +94,7 @@ proptest! {
     /// the totals, and rounds/messages are nonzero whenever edges exist.
     #[test]
     fn ledger_consistency(pts in cloud(30), r in 0.2f64..0.9) {
-        let out = run_ghs(&pts, r, GhsVariant::Modified);
+        let out = Sim::new(&pts).radius(r).run(Protocol::Ghs(GhsVariant::Modified));
         let kind_sum: f64 = out.stats.ledger.kinds().map(|(_, t)| t.energy).sum();
         prop_assert!((kind_sum - out.stats.energy).abs() < 1e-9);
         let msg_sum: u64 = out.stats.ledger.kinds().map(|(_, t)| t.messages).sum();

@@ -40,7 +40,11 @@ impl From<std::io::Error> for IoError {
 /// Serialises points to a writer (one `x y` per line, round-trip exact via
 /// the shortest-representation float formatting).
 pub fn write_points<W: Write>(mut w: W, points: &[Point]) -> Result<(), IoError> {
-    writeln!(w, "# energy-mst point set: {} nodes in the unit square", points.len())?;
+    writeln!(
+        w,
+        "# energy-mst point set: {} nodes in the unit square",
+        points.len()
+    )?;
     for p in points {
         writeln!(w, "{} {}", p.x, p.y)?;
     }
@@ -101,10 +105,7 @@ mod tests {
     fn comments_and_blanks_are_ignored() {
         let text = "# header\n\n0.25 0.75\n  # indented comment\n0.5 0.5\n\n";
         let pts = read_points(text.as_bytes()).unwrap();
-        assert_eq!(
-            pts,
-            vec![Point::new(0.25, 0.75), Point::new(0.5, 0.5)]
-        );
+        assert_eq!(pts, vec![Point::new(0.25, 0.75), Point::new(0.5, 0.5)]);
     }
 
     #[test]
@@ -147,6 +148,8 @@ mod tests {
     #[test]
     fn empty_input_gives_empty_set() {
         assert!(read_points("".as_bytes()).unwrap().is_empty());
-        assert!(read_points("# only comments\n".as_bytes()).unwrap().is_empty());
+        assert!(read_points("# only comments\n".as_bytes())
+            .unwrap()
+            .is_empty());
     }
 }

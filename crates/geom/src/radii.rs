@@ -118,10 +118,7 @@ mod tests {
         // ln n > (1.4/1.6)² ≈ 0.766 for all n ≥ 3, so the phase-2 radius is
         // strictly larger — the EOPT radius increase in Step 2 is real.
         for n in [3usize, 10, 100, 5000] {
-            assert!(
-                paper_phase2_radius(n) > paper_phase1_radius(n),
-                "n = {n}"
-            );
+            assert!(paper_phase2_radius(n) > paper_phase1_radius(n), "n = {n}");
         }
     }
 

@@ -1,8 +1,6 @@
 //! Property-based tests for the geometry substrate.
 
-use emst_geom::{
-    diag_rank_less, nnt_probe_phases, nnt_probe_radius, BucketGrid, PathLoss, Point,
-};
+use emst_geom::{diag_rank_less, nnt_probe_phases, nnt_probe_radius, BucketGrid, PathLoss, Point};
 use proptest::prelude::*;
 
 fn unit_point() -> impl Strategy<Value = Point> {

@@ -210,7 +210,11 @@ mod tests {
     fn neighbors_are_symmetric() {
         let g = Graph::from_edges(
             4,
-            vec![Edge::new(0, 1, 0.5), Edge::new(1, 2, 0.25), Edge::new(0, 3, 1.0)],
+            vec![
+                Edge::new(0, 1, 0.5),
+                Edge::new(1, 2, 0.25),
+                Edge::new(0, 3, 1.0),
+            ],
         );
         for u in 0..4 {
             for (v, w) in g.neighbors(u) {

@@ -93,7 +93,9 @@ impl Components {
 
     /// Vertices of component `c`.
     pub fn members(&self, c: usize) -> Vec<usize> {
-        (0..self.label.len()).filter(|&v| self.label[v] == c).collect()
+        (0..self.label.len())
+            .filter(|&v| self.label[v] == c)
+            .collect()
     }
 }
 

@@ -162,7 +162,8 @@ pub fn euclidean_mst_delaunay(points: &[Point]) -> SpanningTree {
     let edges = delaunay_edges(points);
     let mut sorted = edges;
     sorted.sort_unstable_by(|a, b| {
-        a.w.total_cmp(&b.w).then_with(|| (a.u, a.v).cmp(&(b.u, b.v)))
+        a.w.total_cmp(&b.w)
+            .then_with(|| (a.u, a.v).cmp(&(b.u, b.v)))
     });
     let mut uf = UnionFind::new(n);
     let mut out = Vec::with_capacity(n - 1);
@@ -217,11 +218,7 @@ mod tests {
         // The nearest-neighbour graph is a subgraph of Delaunay.
         let pts = uniform_points(150, &mut trial_rng(603, 0));
         let edges = delaunay_edges(&pts);
-        let has = |u: usize, v: usize| {
-            edges
-                .iter()
-                .any(|e| e.endpoints() == (u.min(v), u.max(v)))
-        };
+        let has = |u: usize, v: usize| edges.iter().any(|e| e.endpoints() == (u.min(v), u.max(v)));
         for u in 0..pts.len() {
             let nn = (0..pts.len())
                 .filter(|&v| v != u)
@@ -259,11 +256,7 @@ mod tests {
         // test characterises Gabriel edges, a subset; so check that all
         // Gabriel edges are present.
         let edges = delaunay_edges(&pts);
-        let has = |u: usize, v: usize| {
-            edges
-                .iter()
-                .any(|e| e.endpoints() == (u.min(v), u.max(v)))
-        };
+        let has = |u: usize, v: usize| edges.iter().any(|e| e.endpoints() == (u.min(v), u.max(v)));
         for u in 0..pts.len() {
             for v in (u + 1)..pts.len() {
                 let mid = pts[u].midpoint(&pts[v]);

@@ -72,11 +72,9 @@ pub fn boruvka_run(g: &Graph) -> BoruvkaRun {
         if !any {
             break;
         }
-        for r in 0..n {
-            if let Some(e) = moe[r] {
-                if uf.union(e.u as usize, e.v as usize) {
-                    out.push(e);
-                }
+        for e in moe.iter().flatten() {
+            if uf.union(e.u as usize, e.v as usize) {
+                out.push(*e);
             }
         }
     }
@@ -158,8 +156,8 @@ mod tests {
 
     #[test]
     fn agrees_with_kruskal_and_prim_on_random_graphs() {
-        use emst_geom::{trial_rng, uniform_points};
         use emst_geom::BucketGrid;
+        use emst_geom::{trial_rng, uniform_points};
         for seed in 0..5 {
             let pts = uniform_points(150, &mut trial_rng(61, seed));
             let grid = BucketGrid::for_radius(&pts, 0.3);

@@ -26,7 +26,8 @@ pub fn kruskal_mst(g: &Graph) -> Option<SpanningTree> {
 pub fn kruskal_forest(g: &Graph) -> Vec<Edge> {
     let mut edges: Vec<Edge> = g.edges().to_vec();
     edges.sort_unstable_by(|a, b| {
-        a.w.total_cmp(&b.w).then_with(|| (a.u, a.v).cmp(&(b.u, b.v)))
+        a.w.total_cmp(&b.w)
+            .then_with(|| (a.u, a.v).cmp(&(b.u, b.v)))
     });
     let mut uf = UnionFind::new(g.n());
     let mut out = Vec::with_capacity(g.n().saturating_sub(1));

@@ -15,7 +15,7 @@ mod kruskal;
 mod prim;
 
 pub use boruvka::{boruvka_mst, boruvka_run, BoruvkaRun};
-pub use kruskal::{kruskal_mst, kruskal_forest};
+pub use kruskal::{kruskal_forest, kruskal_mst};
 pub use prim::prim_mst;
 
 use crate::adjacency::Graph;
@@ -134,12 +134,8 @@ mod tests {
     fn euclidean_mst_handles_clustered_points() {
         // Two tight clusters far apart force the radius-doubling fallback.
         let mut rng = trial_rng(42, 0);
-        let mut pts = emst_geom::sampler::uniform_points_in_rect(
-            30,
-            (0.0, 0.0),
-            (0.01, 0.01),
-            &mut rng,
-        );
+        let mut pts =
+            emst_geom::sampler::uniform_points_in_rect(30, (0.0, 0.0), (0.01, 0.01), &mut rng);
         pts.extend(emst_geom::sampler::uniform_points_in_rect(
             30,
             (0.99, 0.99),

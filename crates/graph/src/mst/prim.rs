@@ -122,7 +122,11 @@ mod tests {
                     assert!(p.same_edges(&k), "seed {seed}");
                 }
                 (None, None) => {}
-                (p, k) => panic!("seed {seed}: prim {:?} kruskal {:?}", p.is_some(), k.is_some()),
+                (p, k) => panic!(
+                    "seed {seed}: prim {:?} kruskal {:?}",
+                    p.is_some(),
+                    k.is_some()
+                ),
             }
         }
     }

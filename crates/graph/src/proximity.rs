@@ -142,7 +142,11 @@ mod tests {
     fn gabriel_matches_brute_force() {
         for seed in 0..4 {
             let pts = uniform_points(120, &mut trial_rng(901, seed));
-            assert_eq!(edge_set(&gabriel_graph(&pts)), brute_gabriel(&pts), "seed {seed}");
+            assert_eq!(
+                edge_set(&gabriel_graph(&pts)),
+                brute_gabriel(&pts),
+                "seed {seed}"
+            );
         }
     }
 
@@ -188,8 +192,14 @@ mod tests {
         // Gabriel ≈ 2·n edges; assert loose brackets.
         let rng_density = rng.m() as f64 / pts.len() as f64;
         let gg_density = gg.m() as f64 / pts.len() as f64;
-        assert!(rng_density > 1.0 && rng_density < 1.6, "RNG density {rng_density}");
-        assert!(gg_density > 1.6 && gg_density < 2.4, "Gabriel density {gg_density}");
+        assert!(
+            rng_density > 1.0 && rng_density < 1.6,
+            "RNG density {rng_density}"
+        );
+        assert!(
+            gg_density > 1.6 && gg_density < 2.4,
+            "Gabriel density {gg_density}"
+        );
     }
 
     #[test]

@@ -99,7 +99,10 @@ impl CellGrid {
 
     /// Good-cell mask at occupancy threshold `min_count` (row-major).
     pub fn good_mask(&self, min_count: usize) -> Vec<bool> {
-        self.counts.iter().map(|&c| c as usize >= min_count).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as usize >= min_count)
+            .collect()
     }
 
     /// The paper's goodness threshold for radius `r = √(c/n)`:

@@ -211,10 +211,13 @@ mod tests {
     fn labels_cover_exactly_masked_cells() {
         let (mask, side) = mask_from(&["##..", "..##", "#..#", "####"]);
         let c = CellClusters::label(&mask, side, Adjacency::Eight);
-        for i in 0..mask.len() {
-            assert_eq!(mask[i], c.label[i] != usize::MAX, "cell {i}");
+        for (i, (&m, &l)) in mask.iter().zip(&c.label).enumerate() {
+            assert_eq!(m, l != usize::MAX, "cell {i}");
         }
-        assert_eq!(c.sizes.iter().sum::<usize>(), mask.iter().filter(|&&b| b).count());
+        assert_eq!(
+            c.sizes.iter().sum::<usize>(),
+            mask.iter().filter(|&&b| b).count()
+        );
     }
 
     #[test]

@@ -60,8 +60,7 @@ impl GiantStats {
     /// `beta·ln² n` nodes.
     pub fn theorem_holds(&self, min_fraction: f64, beta: f64) -> bool {
         let l = (self.n.max(3) as f64).ln();
-        self.giant_fraction() >= min_fraction
-            && (self.regions.max_nodes() as f64) <= beta * l * l
+        self.giant_fraction() >= min_fraction && (self.regions.max_nodes() as f64) <= beta * l * l
     }
 }
 

@@ -8,8 +8,7 @@ use proptest::prelude::*;
 
 fn arb_mask() -> impl Strategy<Value = (Vec<bool>, usize)> {
     (2usize..14).prop_flat_map(|side| {
-        proptest::collection::vec(any::<bool>(), side * side)
-            .prop_map(move |mask| (mask, side))
+        proptest::collection::vec(any::<bool>(), side * side).prop_map(move |mask| (mask, side))
     })
 }
 

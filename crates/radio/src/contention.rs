@@ -139,9 +139,7 @@ where
                         contenders += 1;
                     }
                 }
-                rates[i] = cfg
-                    .attempt_probability
-                    .min(2.0 / (1.0 + contenders as f64));
+                rates[i] = cfg.attempt_probability.min(2.0 / (1.0 + contenders as f64));
             }
             refresh = slots + 16;
         }
@@ -168,8 +166,7 @@ where
             let tx_pos = positions[pending[i].from];
             let mut delivered_local: Vec<usize> = Vec::new();
             for (wi, &v) in pending[i].waiting.iter().enumerate() {
-                let in_range =
-                    tx_pos.dist(&positions[v]) <= pending[i].radius * (1.0 + 1e-12);
+                let in_range = tx_pos.dist(&positions[v]) <= pending[i].radius * (1.0 + 1e-12);
                 if !in_range {
                     // Defensive: waiting sets are built from range queries,
                     // so this should not occur.

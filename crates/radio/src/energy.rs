@@ -162,7 +162,11 @@ impl fmt::Display for EnergyLedger {
             self.total.messages, self.total.energy
         )?;
         for (k, t) in &self.by_kind {
-            writeln!(f, "  {k:<24} {:>10} msgs  {:>12.6} energy", t.messages, t.energy)?;
+            writeln!(
+                f,
+                "  {k:<24} {:>10} msgs  {:>12.6} energy",
+                t.messages, t.energy
+            )?;
         }
         Ok(())
     }

@@ -79,7 +79,8 @@ impl<'c, M> Ctx<'c, M> {
 
     /// Queues a unicast to `to`; delivered next round, energy `a·d^α`.
     pub fn unicast(&mut self, to: usize, kind: &'static str, msg: M) {
-        self.outbox.push((self.me, Outgoing::Unicast { to, kind, msg }));
+        self.outbox
+            .push((self.me, Outgoing::Unicast { to, kind, msg }));
     }
 
     /// Queues a local broadcast at power `radius`; delivered next round to
@@ -114,7 +115,11 @@ pub struct RoundLimitExceeded {
 
 impl std::fmt::Display for RoundLimitExceeded {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "protocol did not quiesce within {} rounds", self.max_rounds)
+        write!(
+            f,
+            "protocol did not quiesce within {} rounds",
+            self.max_rounds
+        )
     }
 }
 
@@ -269,6 +274,7 @@ impl<'a, P: NodeProtocol> SyncEngine<'a, P> {
             .collect();
         let froms: Vec<usize> = pending.iter().map(|t| t.from).collect();
         let kinds: Vec<&'static str> = pending.iter().map(|t| t.kind).collect();
+        let radii: Vec<f64> = pending.iter().map(|t| t.radius).collect();
         let energies: Vec<f64> = pending.iter().map(|t| t.energy_per_attempt).collect();
         let mut delivered: Vec<(usize, usize)> = Vec::new();
         let (cfg, rng) = self.contention.as_mut().expect("contended path");
@@ -281,7 +287,8 @@ impl<'a, P: NodeProtocol> SyncEngine<'a, P> {
             |i| attempts.push(i),
         );
         for &i in &attempts {
-            self.net.charge_attempt(kinds[i], energies[i]);
+            self.net
+                .charge_attempt(kinds[i], froms[i], radii[i], energies[i]);
         }
         self.net.charge_receptions(delivered.len() as u64);
         for (i, v) in delivered {
@@ -379,13 +386,15 @@ mod tests {
     #[test]
     fn flood_reaches_connected_line() {
         // 5 nodes in a line, spacing 0.2, radius 0.25: hop-by-hop flood.
-        let pts: Vec<Point> = (0..5).map(|i| Point::new(0.1 + 0.2 * i as f64, 0.5)).collect();
+        let pts: Vec<Point> = (0..5)
+            .map(|i| Point::new(0.1 + 0.2 * i as f64, 0.5))
+            .collect();
         let (rounds, energy, informed) = flood_net(&pts, 0.25);
         assert_eq!(informed, 5);
         // 5 broadcasts at radius 0.25 → energy 5·0.0625.
         assert!((energy - 5.0 * 0.0625).abs() < 1e-12);
         // One hop per round plus the final quiet round.
-        assert!(rounds >= 5 && rounds <= 7, "rounds = {rounds}");
+        assert!((5..=7).contains(&rounds), "rounds = {rounds}");
     }
 
     #[test]
@@ -565,8 +574,7 @@ mod tests {
         let mut cf = SyncEngine::new(net_cf, mk());
         cf.run(100).unwrap();
         let net_ct = RadioNet::new(&pts, 0.25);
-        let mut ct =
-            SyncEngine::with_contention(net_ct, mk(), crate::ContentionConfig::default());
+        let mut ct = SyncEngine::with_contention(net_ct, mk(), crate::ContentionConfig::default());
         ct.run(100_000).unwrap();
         let (m_cf, e_cf) = (
             cf.net().ledger().total_messages(),

@@ -17,9 +17,13 @@ pub mod energy;
 pub mod engine;
 pub mod network;
 pub mod stats;
+pub mod trace;
 
 pub use contention::ContentionConfig;
 pub use energy::{EnergyLedger, Tally};
 pub use engine::{Ctx, Delivery, NodeProtocol, RoundLimitExceeded, SyncEngine};
 pub use network::{Clock, EnergyConfig, RadioNet};
 pub use stats::RunStats;
+pub use trace::{
+    CsvSink, JsonlSink, MergeMark, MetricsSink, NullSink, PhaseKey, TeeSink, TraceEvent, TraceSink,
+};

@@ -14,6 +14,7 @@
 //!   count since energy is size-independent in the model.
 
 use crate::energy::EnergyLedger;
+use crate::trace::{TraceEvent, TraceSink};
 use emst_geom::{BucketGrid, PathLoss, Point};
 
 /// Energy configuration: the paper's radiated-energy model plus the
@@ -92,6 +93,11 @@ impl Clock {
 /// spatial grid is sized for `max_query_radius` but queries at larger radii
 /// remain correct (they just scan more cells).
 ///
+/// An optional [`TraceSink`] can be attached with [`RadioNet::set_sink`];
+/// every transmission, clock advance, and protocol-reported phase/merge is
+/// then mirrored to it as a [`TraceEvent`]. Without a sink, no event is
+/// even constructed.
+///
 /// ```
 /// use emst_geom::Point;
 /// use emst_radio::RadioNet;
@@ -102,13 +108,25 @@ impl Clock {
 /// assert_eq!(net.ledger().total_messages(), 2);
 /// assert!((net.ledger().total_energy() - 0.61).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone)]
 pub struct RadioNet<'a> {
     points: &'a [Point],
     config: EnergyConfig,
     grid: BucketGrid<'a>,
     ledger: EnergyLedger,
     clock: Clock,
+    sink: Option<&'a mut dyn TraceSink>,
+}
+
+impl std::fmt::Debug for RadioNet<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RadioNet")
+            .field("n", &self.n())
+            .field("config", &self.config)
+            .field("ledger", &self.ledger)
+            .field("clock", &self.clock)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl<'a> RadioNet<'a> {
@@ -131,11 +149,7 @@ impl<'a> RadioNet<'a> {
     }
 
     /// Creates a network with a full energy configuration.
-    pub fn with_config(
-        points: &'a [Point],
-        max_query_radius: f64,
-        config: EnergyConfig,
-    ) -> Self {
+    pub fn with_config(points: &'a [Point], max_query_radius: f64, config: EnergyConfig) -> Self {
         assert!(
             max_query_radius > 0.0,
             "need a positive query radius, got {max_query_radius}"
@@ -146,6 +160,34 @@ impl<'a> RadioNet<'a> {
             grid: BucketGrid::for_radius(points, max_query_radius),
             ledger: EnergyLedger::new(),
             clock: Clock::default(),
+            sink: None,
+        }
+    }
+
+    /// Attaches a trace sink: every subsequent transmission, clock advance
+    /// and protocol-reported phase/merge is mirrored to it. The sink
+    /// borrow lives as long as the network's point borrow.
+    pub fn set_sink(&mut self, sink: &'a mut dyn TraceSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches the current sink, if any.
+    pub fn clear_sink(&mut self) {
+        self.sink = None;
+    }
+
+    /// Whether a trace sink is attached (events are being emitted).
+    #[inline]
+    pub fn traced(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits an event to the sink if one is attached; the closure defers
+    /// event construction so untraced runs pay nothing.
+    #[inline]
+    fn emit(&mut self, build: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(&build());
         }
     }
 
@@ -231,6 +273,20 @@ impl<'a> RadioNet<'a> {
         if self.config.rx > 0.0 {
             self.ledger.charge_rx(1, self.config.rx);
         }
+        let round = self.clock.now();
+        let power = if self.sink.is_some() {
+            self.points[u].dist(&self.points[v])
+        } else {
+            0.0
+        };
+        self.emit(|| TraceEvent::Message {
+            round,
+            kind,
+            src: u,
+            dst: Some(v),
+            power,
+            energy: e,
+        });
     }
 
     /// A request/reply exchange between `u` and `v`: two messages, total
@@ -254,8 +310,18 @@ impl<'a> RadioNet<'a> {
         self.ledger.charge(kind, e);
         let receivers = self.grid.neighbors_within(u, radius);
         if self.config.rx > 0.0 {
-            self.ledger.charge_rx(receivers.len() as u64, self.config.rx);
+            self.ledger
+                .charge_rx(receivers.len() as u64, self.config.rx);
         }
+        let round = self.clock.now();
+        self.emit(|| TraceEvent::Message {
+            round,
+            kind,
+            src: u,
+            dst: None,
+            power: radius,
+            energy: e,
+        });
         receivers
     }
 
@@ -271,6 +337,15 @@ impl<'a> RadioNet<'a> {
             let deg = self.grid.degree_within(u, radius) as u64;
             self.ledger.charge_rx(deg, self.config.rx);
         }
+        let round = self.clock.now();
+        self.emit(|| TraceEvent::Message {
+            round,
+            kind,
+            src: u,
+            dst: None,
+            power: radius,
+            energy: e,
+        });
     }
 
     /// Advances the round clock by one, charging idle energy for every
@@ -283,18 +358,59 @@ impl<'a> RadioNet<'a> {
 
     /// Advances the round clock by `k`, charging `k·n·idle_per_round`.
     pub fn advance_rounds(&mut self, k: u64) {
+        if k == 0 {
+            return;
+        }
+        let from = self.clock.now();
         self.clock.advance(k);
         if self.config.idle_per_round > 0.0 {
             self.ledger
                 .charge_idle(k as f64 * self.n() as f64 * self.config.idle_per_round);
         }
+        let to = self.clock.now();
+        self.emit(|| TraceEvent::Rounds { from, to });
     }
 
-    /// Charges one transmission attempt at an explicit energy — used by the
-    /// contention layer to account ALOHA retries (each retry radiates the
-    /// full transmit energy again).
-    pub fn charge_attempt(&mut self, kind: &'static str, energy: f64) {
+    /// Charges one transmission attempt by `src` at an explicit power and
+    /// energy — used by the contention layer to account ALOHA retries
+    /// (each retry radiates the full transmit energy again).
+    pub fn charge_attempt(&mut self, kind: &'static str, src: usize, power: f64, energy: f64) {
         self.ledger.charge(kind, energy);
+        let round = self.clock.now();
+        self.emit(|| TraceEvent::Message {
+            round,
+            kind,
+            src,
+            dst: None,
+            power,
+            energy,
+        });
+    }
+
+    /// Reports a protocol phase transition to the trace sink (no energy or
+    /// clock effect). `scope` namespaces the protocol (`"ghs"`, `"eopt1"`,
+    /// …), `index` counts phases within it, `stage` labels the step.
+    pub fn note_phase(&mut self, scope: &'static str, index: u64, stage: &'static str) {
+        let round = self.clock.now();
+        self.emit(|| TraceEvent::Phase {
+            round,
+            scope,
+            index,
+            stage,
+        });
+    }
+
+    /// Reports a fragment merge to the trace sink (no energy or clock
+    /// effect): `absorbed` fragments joined the fragment led by `leader`,
+    /// which now has `size` members.
+    pub fn note_merge(&mut self, leader: usize, absorbed: usize, size: usize) {
+        let round = self.clock.now();
+        self.emit(|| TraceEvent::Merge {
+            round,
+            leader,
+            absorbed,
+            size,
+        });
     }
 
     /// Charges `count` successful receptions under the extended model

@@ -1,0 +1,24 @@
+//! Test-runner configuration.
+
+/// How many cases each property test draws. Only the field this
+/// workspace's tests configure is modelled.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Cases per property test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the full-workspace suite fast
+        // while still exercising each property broadly.
+        ProptestConfig { cases: 64 }
+    }
+}

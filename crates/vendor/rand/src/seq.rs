@@ -1,0 +1,18 @@
+//! Sequence helpers: `SliceRandom::shuffle`.
+
+use crate::{Rng, RngCore};
+
+/// Slice extension for random reordering.
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}

@@ -17,9 +17,9 @@
 //! cargo run --release --example data_aggregation
 //! ```
 
-use energy_mst::core::run_eopt;
 use energy_mst::geom::{paper_phase2_radius, trial_rng, uniform_points, PathLoss, Point};
 use energy_mst::graph::Graph;
+use energy_mst::{Protocol, Sim};
 use std::collections::BinaryHeap;
 
 /// Dijkstra SPT from `root` over the RGG with weights d² (energy metric);
@@ -101,8 +101,8 @@ fn main() {
             points[a].dist(&c).total_cmp(&points[b].dist(&c))
         })
         .unwrap();
-    let eopt = run_eopt(&points);
-    assert_eq!(eopt.fragment_count, 1, "instance must be connected");
+    let eopt = Sim::new(&points).run(Protocol::Eopt(Default::default()));
+    assert_eq!(eopt.fragments, 1, "instance must be connected");
 
     // Parent pointers of the MST rooted at the sink.
     let adj = eopt.tree.adjacency();
@@ -130,12 +130,20 @@ fn main() {
     let e_star = epoch_energy(&points, &star, sink, &loss);
 
     println!("data aggregation at a central sink, n = {n}");
-    println!("  one-time tree construction (EOPT): {:.2} energy, {} messages",
-             eopt.stats.energy, eopt.stats.messages);
+    println!(
+        "  one-time tree construction (EOPT): {:.2} energy, {} messages",
+        eopt.stats.energy, eopt.stats.messages
+    );
     println!("\nper-epoch aggregation energy (one message per node):");
     println!("  MST tree (EOPT):      {e_mst:>10.4}");
-    println!("  shortest-path tree:   {e_spt:>10.4}  ({:.2}x MST)", e_spt / e_mst);
-    println!("  direct-to-sink star:  {e_star:>10.4}  ({:.0}x MST)", e_star / e_mst);
+    println!(
+        "  shortest-path tree:   {e_spt:>10.4}  ({:.2}x MST)",
+        e_spt / e_mst
+    );
+    println!(
+        "  direct-to-sink star:  {e_star:>10.4}  ({:.0}x MST)",
+        e_star / e_mst
+    );
 
     // Functional check: aggregate a max over the tree.
     let readings: Vec<f64> = (0..n).map(|u| (u as f64 * 0.37).sin().abs()).collect();
@@ -143,7 +151,10 @@ fn main() {
     let (got, msgs) = aggregate_max(&parent, sink, &readings);
     assert_eq!(msgs, n - 1, "every non-sink node reports exactly once");
     assert_eq!(got, truth, "aggregated max must match ground truth");
-    println!("\nmax-aggregation epoch: {} messages, aggregate {:.6} == ground truth ✓", msgs, got);
+    println!(
+        "\nmax-aggregation epoch: {} messages, aggregate {:.6} == ground truth ✓",
+        msgs, got
+    );
 
     // Break-even: construction cost amortises after this many epochs vs
     // the star topology.

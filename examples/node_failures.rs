@@ -23,10 +23,13 @@
 //! cargo run --release --example node_failures
 //! ```
 
-use energy_mst::core::{run_eopt, EoptConfig, GhsEngine, GhsVariant, EOPT1_KINDS, EOPT2_KINDS};
-use energy_mst::geom::{paper_phase1_radius, paper_phase2_radius, trial_rng, uniform_points, Point};
+use energy_mst::core::{EoptConfig, GhsEngine, GhsVariant, EOPT1_KINDS, EOPT2_KINDS};
+use energy_mst::geom::{
+    paper_phase1_radius, paper_phase2_radius, trial_rng, uniform_points, Point,
+};
 use energy_mst::graph::euclidean_mst;
 use energy_mst::radio::{RadioNet, RunStats};
+use energy_mst::{Protocol, Sim};
 use rand::seq::SliceRandom;
 
 fn main() {
@@ -35,8 +38,8 @@ fn main() {
     let points = uniform_points(n, &mut rng);
 
     // Initial construction.
-    let initial = run_eopt(&points);
-    assert_eq!(initial.fragment_count, 1);
+    let initial = Sim::new(&points).run(Protocol::Eopt(Default::default()));
+    assert_eq!(initial.fragments, 1);
     println!(
         "initial EOPT build: {} nodes, energy {:.2}",
         n, initial.stats.energy
@@ -53,9 +56,9 @@ fn main() {
     // Old index → new index for surviving-edge translation.
     let mut new_id = vec![usize::MAX; n];
     let mut next = 0usize;
-    for u in 0..n {
+    for (u, slot) in new_id.iter_mut().enumerate() {
         if !dead.contains(&u) {
-            new_id[u] = next;
+            *slot = next;
             next += 1;
         }
     }
@@ -67,7 +70,7 @@ fn main() {
     );
 
     // Strategy 1: rebuild from scratch.
-    let rebuild = run_eopt(&survivors);
+    let rebuild = Sim::new(&survivors).run(Protocol::Eopt(Default::default()));
     let fresh_mst = euclidean_mst(&survivors);
     assert!(rebuild.tree.same_edges(&fresh_mst));
     println!(

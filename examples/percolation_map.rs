@@ -37,9 +37,7 @@ fn main() {
             has_other[cy * side + cx] = true;
         }
     }
-    println!(
-        "n = {n}, r1 = {r:.4}  —  '#' giant component, 'o' small components, '·' empty"
-    );
+    println!("n = {n}, r1 = {r:.4}  —  '#' giant component, 'o' small components, '·' empty");
     for cy in (0..side).rev() {
         let row: String = (0..side)
             .map(|cx| {

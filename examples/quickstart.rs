@@ -5,9 +5,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use energy_mst::core::{run_eopt, run_ghs, run_nnt, GhsVariant};
+use energy_mst::core::{EoptConfig, GhsVariant, RankScheme};
 use energy_mst::geom::{paper_phase2_radius, trial_rng, uniform_points};
 use energy_mst::graph::euclidean_mst;
+use energy_mst::{MetricsSink, Protocol, Sim};
 
 fn main() {
     // 1. A sensor field: 1000 nodes uniform in the unit square.
@@ -16,27 +17,53 @@ fn main() {
 
     // 2. The classical baseline: GHS at the connectivity radius
     //    1.6·√(ln n / n) — energy grows as Θ(log² n).
-    let ghs = run_ghs(&points, paper_phase2_radius(n), GhsVariant::Original);
+    let ghs = Sim::new(&points)
+        .radius(paper_phase2_radius(n))
+        .run(Protocol::Ghs(GhsVariant::Original));
 
     // 3. The paper's energy-optimal algorithm: two-phase EOPT — exact MST
-    //    at Θ(log n) energy.
-    let eopt = run_eopt(&points);
+    //    at Θ(log n) energy. Attach a metrics sink to see where the
+    //    energy goes (per message kind, per round, per GHS stage).
+    let mut metrics = MetricsSink::new();
+    let eopt = Sim::new(&points)
+        .sink(&mut metrics)
+        .run(Protocol::Eopt(EoptConfig::default()));
 
     // 4. With coordinates: Co-NNT — O(1) energy, constant-factor
     //    approximation.
-    let nnt = run_nnt(&points);
+    let nnt = Sim::new(&points).run(Protocol::Nnt(RankScheme::Diagonal));
 
     // 5. Sequential ground truth for quality comparison.
     let mst = euclidean_mst(&points);
 
     println!("n = {n} random nodes in the unit square\n");
-    println!("{:<22} {:>12} {:>10} {:>8} {:>12} {:>12}",
-             "algorithm", "energy", "messages", "rounds", "tree Σ|e|", "tree Σ|e|²");
+    println!(
+        "{:<22} {:>12} {:>10} {:>8} {:>12} {:>12}",
+        "algorithm", "energy", "messages", "rounds", "tree Σ|e|", "tree Σ|e|²"
+    );
     println!("{}", "-".repeat(82));
     for (name, energy, msgs, rounds, t) in [
-        ("GHS (original)", ghs.stats.energy, ghs.stats.messages, ghs.stats.rounds, &ghs.tree),
-        ("EOPT (this paper)", eopt.stats.energy, eopt.stats.messages, eopt.stats.rounds, &eopt.tree),
-        ("Co-NNT (coords)", nnt.stats.energy, nnt.stats.messages, nnt.stats.rounds, &nnt.tree),
+        (
+            "GHS (original)",
+            ghs.stats.energy,
+            ghs.stats.messages,
+            ghs.stats.rounds,
+            &ghs.tree,
+        ),
+        (
+            "EOPT (this paper)",
+            eopt.stats.energy,
+            eopt.stats.messages,
+            eopt.stats.rounds,
+            &eopt.tree,
+        ),
+        (
+            "Co-NNT (coords)",
+            nnt.stats.energy,
+            nnt.stats.messages,
+            nnt.stats.rounds,
+            &nnt.tree,
+        ),
     ] {
         println!(
             "{name:<22} {energy:>12.3} {msgs:>10} {rounds:>8} {:>12.3} {:>12.4}",
@@ -46,7 +73,12 @@ fn main() {
     }
     println!(
         "{:<22} {:>12} {:>10} {:>8} {:>12.3} {:>12.4}",
-        "sequential MST", "-", "-", "-", mst.cost(1.0), mst.cost(2.0)
+        "sequential MST",
+        "-",
+        "-",
+        "-",
+        mst.cost(1.0),
+        mst.cost(2.0)
     );
 
     // EOPT is exact; Co-NNT is a constant-factor approximation.
@@ -60,4 +92,20 @@ fn main() {
         ghs.stats.energy / nnt.stats.energy,
         eopt.stats.energy / nnt.stats.energy
     );
+
+    // The sink saw every message of the EOPT run: its totals reproduce
+    // the run stats exactly, and it can attribute energy per kind.
+    assert_eq!(metrics.total_energy(), eopt.stats.energy);
+    println!(
+        "
+EOPT energy by message kind (from the trace sink):"
+    );
+    let mut kinds: Vec<_> = metrics.kinds().collect();
+    kinds.sort_by(|a, b| b.1.energy.total_cmp(&a.1.energy));
+    for (kind, tally) in kinds.into_iter().take(5) {
+        println!(
+            "  {kind:<24} {:>10.4} energy {:>8} msgs",
+            tally.energy, tally.messages
+        );
+    }
 }

@@ -17,9 +17,9 @@
 //! cargo run --release --example topology_control
 //! ```
 
-use energy_mst::core::run_eopt;
 use energy_mst::geom::{paper_phase2_radius, trial_rng, uniform_points};
 use energy_mst::graph::{gabriel_graph, rng_graph, Graph};
+use energy_mst::{Protocol, Sim};
 
 fn main() {
     let n = 1200;
@@ -30,8 +30,8 @@ fn main() {
     let full = Graph::geometric(&points, r);
 
     // Sparse topology: the MST, built distributively.
-    let eopt = run_eopt(&points);
-    assert_eq!(eopt.fragment_count, 1, "instance must be connected");
+    let eopt = Sim::new(&points).run(Protocol::Eopt(Default::default()));
+    assert_eq!(eopt.fragments, 1, "instance must be connected");
     let mst = &eopt.tree;
 
     // The classical topology-control ladder between those extremes
@@ -125,7 +125,9 @@ fn main() {
 
     // The MST degree bound for Euclidean instances.
     assert!(mst_max_deg <= 6, "Euclidean MST degree bound violated");
-    println!("\nMST max degree {mst_max_deg} ≤ 6 (Euclidean bound) — radios need tiny neighbour tables");
+    println!(
+        "\nMST max degree {mst_max_deg} ≤ 6 (Euclidean bound) — radios need tiny neighbour tables"
+    );
     println!(
         "sparsification: {:.1}% of links dropped, {:.1}% of link energy saved",
         (1.0 - mst.edges().len() as f64 / full.m() as f64) * 100.0,

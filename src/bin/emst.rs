@@ -14,24 +14,68 @@
 //! against the exact MST; `stats` reports connectivity and giant-component
 //! structure at a radius (defaults to the §VII connectivity radius).
 
-use energy_mst::core::{
-    run_bfs_tree, run_eopt, run_ghs, run_nnt_with, GhsVariant, RankScheme,
-};
+use energy_mst::core::{EoptConfig, GhsVariant, RankScheme};
 use energy_mst::geom::{
-    load_points, paper_phase1_radius, paper_phase2_radius, save_points, trial_rng,
-    uniform_points, Point,
+    load_points, paper_phase1_radius, paper_phase2_radius, save_points, trial_rng, uniform_points,
+    Point,
 };
 use energy_mst::graph::{euclidean_mst, SpanningTree};
 use energy_mst::percolation::giant_stats;
 use energy_mst::radio::RunStats;
+use energy_mst::{CsvSink, JsonlSink, MetricsSink, Protocol, Sim, TeeSink, TraceSink};
 use std::collections::HashMap;
+use std::io::BufWriter;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  emst gen   --n N [--seed S] [--out FILE]\n  emst run   --algo ghs|ghs-mod|eopt|nnt|nnt-x|nnt-id|bfs (--n N [--seed S] | --in FILE) [--radius R] [--tree FILE] [--verbose]\n  emst mst   (--n N [--seed S] | --in FILE) [--tree FILE]\n  emst stats (--n N [--seed S] | --in FILE) [--radius R]"
+        "usage:\n  emst gen   --n N [--seed S] [--out FILE]\n  emst run   --algo ghs|ghs-mod|eopt|nnt|nnt-x|nnt-id|bfs (--n N [--seed S] | --in FILE) [--radius R] [--tree FILE] [--trace FILE[.csv]] [--metrics] [--verbose]\n  emst mst   (--n N [--seed S] | --in FILE) [--tree FILE]\n  emst stats (--n N [--seed S] | --in FILE) [--radius R]"
     );
     exit(2)
+}
+
+/// A file-backed event log: JSONL by default, CSV for `.csv` paths.
+enum FileSink {
+    Jsonl(JsonlSink<BufWriter<std::fs::File>>),
+    Csv(CsvSink<BufWriter<std::fs::File>>),
+}
+
+impl FileSink {
+    fn create(path: &str) -> std::io::Result<Self> {
+        if path.ends_with(".csv") {
+            Ok(FileSink::Csv(CsvSink::create(path)?))
+        } else {
+            Ok(FileSink::Jsonl(JsonlSink::create(path)?))
+        }
+    }
+
+    fn as_sink(&mut self) -> &mut dyn TraceSink {
+        match self {
+            FileSink::Jsonl(s) => s,
+            FileSink::Csv(s) => s,
+        }
+    }
+
+    fn finish(self) -> std::io::Result<()> {
+        match self {
+            FileSink::Jsonl(s) => s.finish().map(drop),
+            FileSink::Csv(s) => s.finish().map(drop),
+        }
+    }
+}
+
+fn print_metrics(metrics: &MetricsSink) {
+    use energy_mst::analysis::{kind_table, phase_table, summary_line};
+    println!("--- metrics ---");
+    println!("{}", summary_line(metrics));
+    println!("\nper message kind:\n{}", kind_table(metrics).render());
+    let phases = phase_table(metrics);
+    if !phases.is_empty() {
+        println!("per phase:\n{}", phases.render());
+    }
+    if !metrics.merges().is_empty() {
+        println!("fragment merges: {}", metrics.merges().len());
+    }
 }
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -44,7 +88,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             usage();
         }
         let key = a.trim_start_matches("--").to_string();
-        if key == "verbose" {
+        if key == "verbose" || key == "metrics" {
             flags.insert(key, "true".into());
             i += 1;
         } else {
@@ -118,7 +162,11 @@ fn print_stats(label: &str, stats: &RunStats, tree: &SpanningTree, points: &[Poi
             "vs exact MST:  Σ|e| x{:.4}, Σ|e|² x{:.4}{}",
             tree.cost(1.0) / mst.cost(1.0),
             tree.cost(2.0) / mst.cost(2.0),
-            if tree.same_edges(&mst) { " (exact)" } else { "" }
+            if tree.same_edges(&mst) {
+                " (exact)"
+            } else {
+                ""
+            }
         );
     }
 }
@@ -159,45 +207,70 @@ fn main() {
                 eprintln!("run needs --algo");
                 usage()
             });
-            let (label, tree, stats) = match algo {
-                "ghs" => {
-                    let o = run_ghs(&pts, radius, GhsVariant::Original);
-                    ("GHS (original)", o.tree, o.stats)
-                }
-                "ghs-mod" => {
-                    let o = run_ghs(&pts, radius, GhsVariant::Modified);
-                    ("GHS (modified)", o.tree, o.stats)
-                }
-                "eopt" => {
-                    let o = run_eopt(&pts);
-                    ("EOPT", o.tree, o.stats)
-                }
-                "nnt" => {
-                    let o = run_nnt_with(&pts, RankScheme::Diagonal);
-                    ("Co-NNT (diagonal rank)", o.tree, o.stats)
-                }
-                "nnt-x" => {
-                    let o = run_nnt_with(&pts, RankScheme::XOrder);
-                    ("NNT (x-rank)", o.tree, o.stats)
-                }
-                "nnt-id" => {
-                    let o = run_nnt_with(&pts, RankScheme::NodeId);
-                    ("NNT (id-rank, no coordinates)", o.tree, o.stats)
-                }
-                "bfs" => {
-                    let o = run_bfs_tree(&pts, radius, 0);
-                    ("BFS flooding tree", o.tree, o.stats)
-                }
+            let (label, protocol, needs_radius) = match algo {
+                "ghs" => ("GHS (original)", Protocol::Ghs(GhsVariant::Original), true),
+                "ghs-mod" => ("GHS (modified)", Protocol::Ghs(GhsVariant::Modified), true),
+                "eopt" => ("EOPT", Protocol::Eopt(EoptConfig::default()), false),
+                "nnt" => (
+                    "Co-NNT (diagonal rank)",
+                    Protocol::Nnt(RankScheme::Diagonal),
+                    false,
+                ),
+                "nnt-x" => ("NNT (x-rank)", Protocol::Nnt(RankScheme::XOrder), false),
+                "nnt-id" => (
+                    "NNT (id-rank, no coordinates)",
+                    Protocol::Nnt(RankScheme::NodeId),
+                    false,
+                ),
+                "bfs" => ("BFS flooding tree", Protocol::Bfs { root: 0 }, true),
                 other => {
                     eprintln!("unknown algorithm {other}");
                     usage()
                 }
             };
-            print_stats(label, &stats, &tree, &pts);
+            let mut metrics = flags.contains_key("metrics").then(MetricsSink::new);
+            let mut file = flags.get("trace").map(|path| {
+                FileSink::create(path).unwrap_or_else(|e| {
+                    eprintln!("cannot create {path}: {e}");
+                    exit(1)
+                })
+            });
+            let run = |sink: Option<&mut dyn TraceSink>| {
+                let mut sim = Sim::new(&pts);
+                if needs_radius {
+                    sim = sim.radius(radius);
+                }
+                if let Some(s) = sink {
+                    sim = sim.sink(s);
+                }
+                sim.run(protocol)
+            };
+            let out = match (&mut metrics, &mut file) {
+                (None, None) => run(None),
+                (Some(m), None) => run(Some(m)),
+                (None, Some(f)) => run(Some(f.as_sink())),
+                (Some(m), Some(f)) => {
+                    let mut tee = TeeSink::new(m, f.as_sink());
+                    run(Some(&mut tee))
+                }
+            };
+            print_stats(label, &out.stats, &out.tree, &pts);
             if flags.contains_key("verbose") {
-                println!("--- per-kind ledger ---\n{}", stats.ledger);
+                println!("--- per-kind ledger ---\n{}", out.stats.ledger);
             }
-            maybe_save_tree(&flags, &tree);
+            if let Some(m) = &metrics {
+                print_metrics(m);
+            }
+            if let Some(f) = file {
+                match f.finish() {
+                    Ok(()) => println!("trace written to {}", flags["trace"]),
+                    Err(e) => {
+                        eprintln!("trace write failed: {e}");
+                        exit(1);
+                    }
+                }
+            }
+            maybe_save_tree(&flags, &out.tree);
         }
         "mst" => {
             let pts = points_from(&flags);

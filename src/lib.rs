@@ -11,3 +11,8 @@ pub use emst_geom as geom;
 pub use emst_graph as graph;
 pub use emst_percolation as percolation;
 pub use emst_radio as radio;
+
+// The unified run API and its observability surface, re-exported at the
+// top level: `energy_mst::Sim::new(&pts).sink(&mut metrics).run(..)`.
+pub use emst_core::{Detail, Protocol, RunOutput, Sim};
+pub use emst_radio::{CsvSink, JsonlSink, MetricsSink, NullSink, TeeSink, TraceEvent, TraceSink};

@@ -15,8 +15,20 @@ fn gen_writes_parseable_points() {
     let dir = std::env::temp_dir().join("emst_cli_test_gen");
     std::fs::create_dir_all(&dir).unwrap();
     let file = dir.join("pts.txt");
-    let out = emst(&["gen", "--n", "120", "--seed", "5", "--out", file.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = emst(&[
+        "gen",
+        "--n",
+        "120",
+        "--seed",
+        "5",
+        "--out",
+        file.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let pts = energy_mst::geom::load_points(&file).unwrap();
     assert_eq!(pts.len(), 120);
     std::fs::remove_dir_all(&dir).ok();
@@ -36,10 +48,17 @@ fn gen_to_stdout_round_trips() {
 #[test]
 fn run_eopt_reports_exactness() {
     let out = emst(&["run", "--algo", "eopt", "--n", "250", "--seed", "3"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("EOPT"), "{text}");
-    assert!(text.contains("(exact)"), "EOPT must report exactness:\n{text}");
+    assert!(
+        text.contains("(exact)"),
+        "EOPT must report exactness:\n{text}"
+    );
     assert!(text.contains("energy (tx):"));
 }
 
@@ -63,7 +82,14 @@ fn run_writes_tree_file() {
     std::fs::create_dir_all(&dir).unwrap();
     let file = dir.join("tree.txt");
     let out = emst(&[
-        "run", "--algo", "nnt", "--n", "100", "--seed", "1", "--tree",
+        "run",
+        "--algo",
+        "nnt",
+        "--n",
+        "100",
+        "--seed",
+        "1",
+        "--tree",
         file.to_str().unwrap(),
     ]);
     assert!(out.status.success());
@@ -94,7 +120,9 @@ fn stats_subcommand_reports_structure() {
 #[test]
 fn bad_usage_exits_nonzero() {
     assert!(!emst(&[]).status.success());
-    assert!(!emst(&["run", "--algo", "nope", "--n", "10"]).status.success());
+    assert!(!emst(&["run", "--algo", "nope", "--n", "10"])
+        .status
+        .success());
     assert!(!emst(&["run", "--algo", "eopt"]).status.success()); // no --n/--in
     assert!(!emst(&["frobnicate"]).status.success());
 }

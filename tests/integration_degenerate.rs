@@ -4,11 +4,12 @@
 //! return different edge sets — but all must return *valid* trees of
 //! *equal cost* under every exponent α.
 
-use energy_mst::core::{run_eopt, run_ghs, run_nnt, GhsVariant};
+use energy_mst::core::{GhsVariant, RankScheme};
 use energy_mst::geom::Point;
 use energy_mst::graph::{
     boruvka_mst, euclidean_mst, euclidean_mst_delaunay, kruskal_mst, prim_mst, Graph,
 };
+use energy_mst::{Protocol, Sim};
 
 /// A k×k unit lattice scaled into the unit square.
 fn lattice(k: usize) -> Vec<Point> {
@@ -56,15 +57,19 @@ fn sequential_msts_agree_in_cost_on_lattice() {
 fn distributed_algorithms_handle_lattice_ties() {
     let pts = lattice(7); // 49 nodes
     let r = 0.3;
-    let ghs_o = run_ghs(&pts, r, GhsVariant::Original);
-    let ghs_m = run_ghs(&pts, r, GhsVariant::Modified);
+    let ghs_o = Sim::new(&pts)
+        .radius(r)
+        .run(Protocol::Ghs(GhsVariant::Original));
+    let ghs_m = Sim::new(&pts)
+        .radius(r)
+        .run(Protocol::Ghs(GhsVariant::Modified));
     let reference = kruskal_mst(&Graph::geometric(&pts, r)).unwrap();
     assert!(ghs_o.tree.is_valid());
     assert!(ghs_m.tree.is_valid());
     assert!((ghs_o.tree.cost(1.0) - reference.cost(1.0)).abs() < 1e-9);
     assert!((ghs_m.tree.cost(1.0) - reference.cost(1.0)).abs() < 1e-9);
 
-    let eopt = run_eopt(&pts);
+    let eopt = Sim::new(&pts).run(Protocol::Eopt(Default::default()));
     assert!(eopt.tree.is_valid());
     assert!((eopt.tree.cost(1.0) - euclidean_mst(&pts).cost(1.0)).abs() < 1e-9);
 }
@@ -74,9 +79,9 @@ fn nnt_handles_lattice_rank_ties() {
     // Diagonal ranks tie heavily on a lattice (equal x+y along
     // anti-diagonals); the y tie-break must keep the order total.
     let pts = lattice(7);
-    let out = run_nnt(&pts);
+    let out = Sim::new(&pts).run(Protocol::Nnt(RankScheme::Diagonal));
     assert!(out.tree.is_valid(), "{:?}", out.tree.validate());
-    assert_eq!(out.unconnected, 1);
+    assert_eq!(out.detail.as_nnt().unwrap().unconnected, 1);
 }
 
 #[test]
@@ -84,11 +89,11 @@ fn collinear_points_through_the_full_stack() {
     let pts: Vec<Point> = (0..25)
         .map(|i| Point::new(0.04 + 0.038 * i as f64, 0.5))
         .collect();
-    let eopt = run_eopt(&pts);
+    let eopt = Sim::new(&pts).run(Protocol::Eopt(Default::default()));
     assert!(eopt.tree.is_valid());
     let mst = euclidean_mst(&pts);
     assert!((eopt.tree.cost(1.0) - mst.cost(1.0)).abs() < 1e-9);
-    let nnt = run_nnt(&pts);
+    let nnt = Sim::new(&pts).run(Protocol::Nnt(RankScheme::Diagonal));
     assert!(nnt.tree.is_valid());
 }
 

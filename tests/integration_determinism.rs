@@ -1,8 +1,9 @@
 //! Reproducibility guarantees: every published number regenerates
 //! bit-for-bit from `(seed, parameters)`.
 
-use energy_mst::core::{run_eopt, run_ghs, run_nnt, GhsVariant};
+use energy_mst::core::{GhsVariant, RankScheme};
 use energy_mst::geom::{paper_phase2_radius, trial_rng, uniform_points};
+use energy_mst::{Protocol, Sim};
 
 #[test]
 fn identical_seeds_give_identical_runs() {
@@ -10,20 +11,28 @@ fn identical_seeds_give_identical_runs() {
     let (a, b) = (make(), make());
     assert_eq!(a, b);
 
-    let e1 = run_eopt(&a);
-    let e2 = run_eopt(&b);
+    let e1 = Sim::new(&a).run(Protocol::Eopt(Default::default()));
+    let e2 = Sim::new(&b).run(Protocol::Eopt(Default::default()));
     assert_eq!(e1.stats.energy.to_bits(), e2.stats.energy.to_bits());
     assert_eq!(e1.stats.messages, e2.stats.messages);
     assert_eq!(e1.stats.rounds, e2.stats.rounds);
     assert!(e1.tree.same_edges(&e2.tree));
 
-    let g1 = run_ghs(&a, paper_phase2_radius(400), GhsVariant::Original);
-    let g2 = run_ghs(&b, paper_phase2_radius(400), GhsVariant::Original);
+    let ghs = |p| {
+        Sim::new(p)
+            .radius(paper_phase2_radius(400))
+            .run(Protocol::Ghs(GhsVariant::Original))
+    };
+    let g1 = ghs(&a);
+    let g2 = ghs(&b);
     assert_eq!(g1.stats.energy.to_bits(), g2.stats.energy.to_bits());
-    assert_eq!(g1.phases, g2.phases);
+    assert_eq!(
+        g1.detail.as_ghs().unwrap().phases,
+        g2.detail.as_ghs().unwrap().phases
+    );
 
-    let n1 = run_nnt(&a);
-    let n2 = run_nnt(&b);
+    let n1 = Sim::new(&a).run(Protocol::Nnt(RankScheme::Diagonal));
+    let n2 = Sim::new(&b).run(Protocol::Nnt(RankScheme::Diagonal));
     assert_eq!(n1.stats.energy.to_bits(), n2.stats.energy.to_bits());
     assert!(n1.tree.same_edges(&n2.tree));
 }
@@ -33,8 +42,14 @@ fn different_trials_give_different_instances_and_energies() {
     let a = uniform_points(400, &mut trial_rng(31337, 0));
     let b = uniform_points(400, &mut trial_rng(31337, 1));
     assert_ne!(a, b);
-    let ea = run_eopt(&a).stats.energy;
-    let eb = run_eopt(&b).stats.energy;
+    let ea = Sim::new(&a)
+        .run(Protocol::Eopt(Default::default()))
+        .stats
+        .energy;
+    let eb = Sim::new(&b)
+        .run(Protocol::Eopt(Default::default()))
+        .stats
+        .energy;
     assert_ne!(ea.to_bits(), eb.to_bits());
 }
 
@@ -44,7 +59,10 @@ fn parallel_sweep_equals_serial_sweep() {
     let ns = [100usize, 200];
     let kernel = |&n: &usize, t: u64| {
         let pts = uniform_points(n, &mut trial_rng(777, t));
-        run_nnt(&pts).stats.energy
+        Sim::new(&pts)
+            .run(Protocol::Nnt(RankScheme::Diagonal))
+            .stats
+            .energy
     };
     let swept = energy_mst::analysis::sweep(&ns, 4, kernel);
     for (i, &n) in ns.iter().enumerate() {

@@ -2,10 +2,11 @@
 //! generation through distributed protocols to statistical analysis, as
 //! the experiment binaries exercise it.
 
-use energy_mst::core::{run_eopt, run_ghs, run_nnt, GhsVariant};
+use energy_mst::core::{GhsVariant, RankScheme};
 use energy_mst::geom::{paper_phase2_radius, trial_rng, uniform_points};
 use energy_mst::graph::{euclidean_mst, kruskal_forest, Graph, SpanningTree};
 use energy_mst::percolation::giant_stats;
+use energy_mst::{Protocol, Sim};
 
 #[test]
 fn eopt_is_exact_and_cheapest_of_the_exact_algorithms() {
@@ -13,13 +14,17 @@ fn eopt_is_exact_and_cheapest_of_the_exact_algorithms() {
     let pts = uniform_points(n, &mut trial_rng(9001, 0));
     let r = paper_phase2_radius(n);
 
-    let eopt = run_eopt(&pts);
-    let ghs_orig = run_ghs(&pts, r, GhsVariant::Original);
-    let ghs_mod = run_ghs(&pts, r, GhsVariant::Modified);
+    let eopt = Sim::new(&pts).run(Protocol::Eopt(Default::default()));
+    let ghs_orig = Sim::new(&pts)
+        .radius(r)
+        .run(Protocol::Ghs(GhsVariant::Original));
+    let ghs_mod = Sim::new(&pts)
+        .radius(r)
+        .run(Protocol::Ghs(GhsVariant::Modified));
 
     // All three exact algorithms agree with the sequential MST.
     let mst = euclidean_mst(&pts);
-    assert_eq!(eopt.fragment_count, 1);
+    assert_eq!(eopt.fragments, 1);
     assert!(eopt.tree.same_edges(&mst));
     assert!(ghs_orig.tree.same_edges(&mst));
     assert!(ghs_mod.tree.same_edges(&mst));
@@ -33,9 +38,11 @@ fn eopt_is_exact_and_cheapest_of_the_exact_algorithms() {
 fn energy_hierarchy_matches_the_paper_across_sizes() {
     for (seed, n) in [(9002u64, 400usize), (9003, 1500)] {
         let pts = uniform_points(n, &mut trial_rng(seed, 0));
-        let ghs = run_ghs(&pts, paper_phase2_radius(n), GhsVariant::Original);
-        let eopt = run_eopt(&pts);
-        let nnt = run_nnt(&pts);
+        let ghs = Sim::new(&pts)
+            .radius(paper_phase2_radius(n))
+            .run(Protocol::Ghs(GhsVariant::Original));
+        let eopt = Sim::new(&pts).run(Protocol::Eopt(Default::default()));
+        let nnt = Sim::new(&pts).run(Protocol::Nnt(RankScheme::Diagonal));
         assert!(
             ghs.stats.energy > eopt.stats.energy && eopt.stats.energy > nnt.stats.energy,
             "n = {n}: {} / {} / {}",
@@ -53,7 +60,12 @@ fn nnt_quality_matches_section_vii_constants() {
     let mut mst_sq = Vec::new();
     for trial in 0..3 {
         let pts = uniform_points(1000, &mut trial_rng(9004, trial));
-        nnt_sq.push(run_nnt(&pts).tree.cost(2.0));
+        nnt_sq.push(
+            Sim::new(&pts)
+                .run(Protocol::Nnt(RankScheme::Diagonal))
+                .tree
+                .cost(2.0),
+        );
         mst_sq.push(euclidean_mst(&pts).cost(2.0));
     }
     let nnt_mean = nnt_sq.iter().sum::<f64>() / 3.0;
@@ -67,17 +79,18 @@ fn nnt_quality_matches_section_vii_constants() {
 fn eopt_phase_structure_follows_theorem_5_2() {
     let n = 3000;
     let pts = uniform_points(n, &mut trial_rng(9005, 0));
-    let eopt = run_eopt(&pts);
+    let eopt = Sim::new(&pts).run(Protocol::Eopt(Default::default()));
+    let d = eopt.detail.as_eopt().unwrap();
     // Phase 1 leaves a giant plus small fragments…
-    assert!(eopt.largest_fragment as f64 > 0.25 * n as f64);
-    assert!(eopt.fragments_after_step1 > 1);
+    assert!(d.largest_fragment as f64 > 0.25 * n as f64);
+    assert!(d.fragments_after_step1 > 1);
     // …and phase 2 needs far fewer phases than phase 1 (O(log log n) vs
     // O(log n)).
     assert!(
-        eopt.phases_step2 <= eopt.phases_step1,
+        d.phases_step2 <= d.phases_step1,
         "step2 {} vs step1 {}",
-        eopt.phases_step2,
-        eopt.phases_step1
+        d.phases_step2,
+        d.phases_step1
     );
     // The percolation analyser sees the same structure.
     let stats = giant_stats(&pts, energy_mst::geom::paper_phase1_radius(n));
@@ -88,12 +101,8 @@ fn eopt_phase_structure_follows_theorem_5_2() {
 fn ghs_on_disconnected_instance_yields_per_component_msts() {
     // Two clusters far apart at a radius that cannot bridge them.
     let mut rng = trial_rng(9006, 0);
-    let mut pts = energy_mst::geom::sampler::uniform_points_in_rect(
-        60,
-        (0.0, 0.0),
-        (0.2, 0.2),
-        &mut rng,
-    );
+    let mut pts =
+        energy_mst::geom::sampler::uniform_points_in_rect(60, (0.0, 0.0), (0.2, 0.2), &mut rng);
     pts.extend(energy_mst::geom::sampler::uniform_points_in_rect(
         60,
         (0.8, 0.8),
@@ -101,17 +110,19 @@ fn ghs_on_disconnected_instance_yields_per_component_msts() {
         &mut rng,
     ));
     let r = 0.12;
-    let out = run_ghs(&pts, r, GhsVariant::Modified);
+    let out = Sim::new(&pts)
+        .radius(r)
+        .run(Protocol::Ghs(GhsVariant::Modified));
     let g = Graph::geometric(&pts, r);
     let reference = SpanningTree::new(pts.len(), kruskal_forest(&g));
     assert!(out.tree.same_edges(&reference));
-    assert!(out.fragment_count >= 2);
+    assert!(out.fragments >= 2);
 }
 
 #[test]
 fn per_kind_ledgers_attribute_every_message() {
     let pts = uniform_points(500, &mut trial_rng(9007, 0));
-    let eopt = run_eopt(&pts);
+    let eopt = Sim::new(&pts).run(Protocol::Eopt(Default::default()));
     let l = &eopt.stats.ledger;
     // Both steps present, totals consistent.
     assert!(l.messages_with_prefix("eopt1/") > 0);
