@@ -22,7 +22,7 @@ pub mod sweep;
 pub mod table;
 
 pub use metrics::{kind_table, phase_table, round_bucket_table, summary_line};
-pub use parallel::parallel_map;
+pub use parallel::{effective_parallelism, parallel_map, set_thread_override};
 pub use regression::{fit_line, fit_loglog_exponent, LineFit};
 pub use summary::{quantile, Summary};
 pub use svg::{LineChart, Scale, Series, UnitSquarePlot};

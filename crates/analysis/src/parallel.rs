@@ -8,8 +8,41 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Explicit worker-thread override (0 = unset). Set programmatically via
+/// [`set_thread_override`] (the bench binaries' `--threads` flag) or, when
+/// unset, read from the `EMST_THREADS` environment variable.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker-thread count used by [`parallel_map`]. `None` (or
+/// `Some(0)`) clears the override, falling back to `EMST_THREADS` and then
+/// `available_parallelism()`. Thread count never affects results — output
+/// order and per-item computation are identical at any setting.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The worker-thread count [`parallel_map`] will use: the programmatic
+/// override if set, else `EMST_THREADS` (when parseable and non-zero),
+/// else `available_parallelism()`.
+pub fn effective_parallelism() -> usize {
+    let explicit = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(v) = std::env::var("EMST_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Maps `f` over `items` in parallel, preserving order. `f` runs on up to
-/// `available_parallelism()` worker threads; each item is processed exactly
+/// [`effective_parallelism`] worker threads; each item is processed exactly
 /// once. Panics in `f` propagate to the caller.
 pub fn parallel_map<I, O, F>(items: &[I], f: F) -> Vec<O>
 where
@@ -17,10 +50,7 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
+    let threads = effective_parallelism().min(items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -121,6 +151,22 @@ mod tests {
             assert_eq!(v.len(), i);
             assert!(v.iter().all(|&x| x == i));
         }
+    }
+
+    #[test]
+    fn thread_override_preserves_results() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial = {
+            set_thread_override(Some(1));
+            parallel_map(&items, |&x| x.wrapping_mul(0x9E37_79B9).rotate_left(7))
+        };
+        let wide = {
+            set_thread_override(Some(8));
+            parallel_map(&items, |&x| x.wrapping_mul(0x9E37_79B9).rotate_left(7))
+        };
+        set_thread_override(None);
+        assert_eq!(serial, wide);
+        assert!(effective_parallelism() >= 1);
     }
 
     #[test]

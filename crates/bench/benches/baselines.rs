@@ -116,12 +116,42 @@ fn bench_protocols(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_ghs_5000(c: &mut Criterion) {
+    // The hot-protocol scaling target: GHS at the paper's largest
+    // experiment size. The topology-cache refactor is judged against this
+    // group (see BENCH_core.json for the tracked trajectory).
+    let mut group = c.benchmark_group("ghs_n5000");
+    group.sample_size(10);
+    let pts = instance(BASE_SEED, 5000, 0);
+    let r = paper_phase2_radius(5000);
+    group.bench_function("ghs_original", |b| {
+        b.iter(|| {
+            black_box(
+                Sim::new(&pts)
+                    .radius(r)
+                    .run(Protocol::Ghs(GhsVariant::Original)),
+            )
+        })
+    });
+    group.bench_function("ghs_modified", |b| {
+        b.iter(|| {
+            black_box(
+                Sim::new(&pts)
+                    .radius(r)
+                    .run(Protocol::Ghs(GhsVariant::Modified)),
+            )
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     baselines,
     bench_sequential_mst,
     bench_rgg_construction,
     bench_grid_queries,
     bench_protocols,
+    bench_ghs_5000,
     bench_delaunay,
     bench_contention
 );

@@ -10,8 +10,8 @@
 //!
 //! Run: `cargo run --release -p emst-bench --bin ablation_eopt_radius [-- --trials N --csv]`
 
-use emst_analysis::{fnum, sweep_multi, Table};
-use emst_bench::{eopt_radius_row, Options};
+use emst_analysis::{fnum, Table};
+use emst_bench::{eopt_radius_row, run_sweep_multi, Options};
 
 fn main() {
     let opts = Options::from_env();
@@ -22,7 +22,7 @@ fn main() {
         opts.trials, opts.seed
     );
 
-    let rows = sweep_multi(&multipliers, opts.trials, |&m, t| {
+    let rows = run_sweep_multi(&opts, &multipliers, |&m, t| {
         eopt_radius_row(opts.seed, n, m, t)
     });
     let mut table = Table::new([

@@ -11,8 +11,8 @@
 //!
 //! Run: `cargo run --release -p emst-bench --bin ablation_ghs [-- --trials N --csv]`
 
-use emst_analysis::{fit_loglog_exponent, fnum, sweep_multi, Table};
-use emst_bench::{ghs_variant_row, Options};
+use emst_analysis::{fit_loglog_exponent, fnum, Table};
+use emst_bench::{ghs_variant_row, run_sweep_multi, Options};
 
 fn main() {
     let opts = Options::from_env();
@@ -26,9 +26,7 @@ fn main() {
         opts.trials, opts.seed
     );
 
-    let rows = sweep_multi(&sizes, opts.trials, |&n, t| {
-        ghs_variant_row(opts.seed, n, t)
-    });
+    let rows = run_sweep_multi(&opts, &sizes, |&n, t| ghs_variant_row(opts.seed, n, t));
     let mut table = Table::new([
         "n",
         "orig msgs",

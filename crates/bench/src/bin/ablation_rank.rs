@@ -11,8 +11,8 @@
 //!
 //! Run: `cargo run --release -p emst-bench --bin ablation_rank [-- --trials N --csv]`
 
-use emst_analysis::{fnum, sweep_multi, Table};
-use emst_bench::{rank_scheme_row, Options};
+use emst_analysis::{fnum, Table};
+use emst_bench::{rank_scheme_row, run_sweep_multi, Options};
 
 fn main() {
     let opts = Options::from_env();
@@ -26,9 +26,7 @@ fn main() {
         opts.trials, opts.seed
     );
 
-    let rows = sweep_multi(&sizes, opts.trials, |&n, t| {
-        rank_scheme_row(opts.seed, n, t)
-    });
+    let rows = run_sweep_multi(&opts, &sizes, |&n, t| rank_scheme_row(opts.seed, n, t));
     let mut table = Table::new([
         "n",
         "max edge diag",

@@ -1,0 +1,104 @@
+//! Per-protocol wall-time and throughput summary — the repo's perf
+//! trajectory tracker.
+//!
+//! Times one full `Sim` run per protocol at n ∈ {500, 2000, 5000}
+//! (`--quick`: n = 500 only), repeating `--trials` times and reporting the
+//! mean and best wall time plus throughput (nodes simulated per second).
+//! Results are printed as a table and written to `BENCH_core.json` so
+//! perf changes land in version control alongside the code that caused
+//! them.
+//!
+//! Timing reps run **serially** regardless of `--threads` — concurrent
+//! reps would contend for cores and corrupt the numbers. The instance is
+//! built outside the timed region; each rep times protocol execution only.
+
+use emst_bench::{instance, Options};
+use emst_core::{EoptConfig, GhsVariant, Protocol, RankScheme, Sim};
+use emst_geom::paper_phase2_radius;
+use std::time::Instant;
+
+struct Row {
+    protocol: &'static str,
+    n: usize,
+    mean_ms: f64,
+    best_ms: f64,
+    nodes_per_s: f64,
+}
+
+fn protocols(n: usize) -> Vec<(&'static str, Protocol)> {
+    vec![
+        ("ghs_original", Protocol::Ghs(GhsVariant::Original)),
+        ("ghs_modified", Protocol::Ghs(GhsVariant::Modified)),
+        ("eopt", Protocol::Eopt(EoptConfig::default())),
+        ("co_nnt", Protocol::Nnt(RankScheme::Diagonal)),
+        ("bfs", Protocol::Bfs { root: n / 2 }),
+    ]
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let sizes: Vec<usize> = if opts.quick {
+        vec![500]
+    } else {
+        vec![500, 2000, 5000]
+    };
+    let reps = opts.trials.max(1);
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in &sizes {
+        let pts = instance(opts.seed, n, 0);
+        let r = paper_phase2_radius(n);
+        for (name, proto) in protocols(n) {
+            let mut total = 0.0f64;
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let out = Sim::new(&pts).radius(r).run(proto);
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                assert!(out.stats.messages > 0, "{name} n={n}: empty run");
+                total += ms;
+                best = best.min(ms);
+            }
+            let mean_ms = total / reps as f64;
+            rows.push(Row {
+                protocol: name,
+                n,
+                mean_ms,
+                best_ms: best,
+                nodes_per_s: n as f64 / (mean_ms / 1e3),
+            });
+        }
+    }
+
+    println!(
+        "{:<14} {:>6} {:>12} {:>12} {:>14}",
+        "protocol", "n", "mean ms", "best ms", "nodes/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>6} {:>12.3} {:>12.3} {:>14.0}",
+            r.protocol, r.n, r.mean_ms, r.best_ms, r.nodes_per_s
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"bench_core/v1\",\n");
+    json.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    json.push_str(&format!("  \"reps\": {},\n", reps));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"mean_ms\": {:.3}, \
+             \"best_ms\": {:.3}, \"nodes_per_s\": {:.0}}}{}\n",
+            r.protocol,
+            r.n,
+            r.mean_ms,
+            r.best_ms,
+            r.nodes_per_s,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_core.json";
+    std::fs::write(path, &json).expect("cannot write BENCH_core.json");
+    eprintln!("wrote {path}");
+}

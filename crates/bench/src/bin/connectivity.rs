@@ -9,8 +9,8 @@
 //!
 //! Run: `cargo run --release -p emst-bench --bin connectivity [-- --trials N --csv]`
 
-use emst_analysis::{fnum, sweep, Table};
-use emst_bench::{connectivity_trial, Options};
+use emst_analysis::{fnum, Table};
+use emst_bench::{connectivity_trial, run_sweep, Options};
 
 fn main() {
     let mut opts = Options::from_env();
@@ -41,9 +41,7 @@ fn main() {
     for &m in &multipliers {
         let mut row = Vec::new();
         for &n in &sizes {
-            let pts = sweep(&[n], opts.trials, |&n, t| {
-                connectivity_trial(opts.seed, n, m, t)
-            });
+            let pts = run_sweep(&opts, &[n], |&n, t| connectivity_trial(opts.seed, n, m, t));
             row.push(pts[0].summary.mean);
         }
         results.push(row);

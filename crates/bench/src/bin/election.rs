@@ -15,8 +15,8 @@
 //!
 //! Run: `cargo run --release -p emst-bench --bin election [-- --trials N --csv]`
 
-use emst_analysis::{fit_loglog_exponent, fnum, sweep_multi, Table};
-use emst_bench::{instance, Options};
+use emst_analysis::{fit_loglog_exponent, fnum, Table};
+use emst_bench::{instance, run_sweep_multi, Options};
 use emst_core::{run_election_flood, run_election_tree};
 use emst_geom::paper_phase2_radius;
 
@@ -32,7 +32,7 @@ fn main() {
         opts.trials, opts.seed
     );
 
-    let rows = sweep_multi(&sizes, opts.trials, |&n, t| {
+    let rows = run_sweep_multi(&opts, &sizes, |&n, t| {
         let pts = instance(opts.seed, n, t);
         let r = paper_phase2_radius(n);
         let flood = run_election_flood(&pts, r);

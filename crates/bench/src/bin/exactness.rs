@@ -10,8 +10,8 @@
 //!
 //! Run: `cargo run --release -p emst-bench --bin exactness [-- --trials N]`
 
-use emst_analysis::{parallel_map, Table};
-use emst_bench::{exactness_trial, Options};
+use emst_analysis::Table;
+use emst_bench::{exactness_trial, run_trials, Options};
 
 fn main() {
     let mut opts = Options::from_env();
@@ -31,8 +31,7 @@ fn main() {
     let mut table = Table::new(["n", "trials", "connected", "exact matches", "mismatches"]);
     let mut all_exact = true;
     for &n in &sizes {
-        let trials: Vec<u64> = (0..opts.trials as u64).collect();
-        let results = parallel_map(&trials, |&t| exactness_trial(opts.seed, n, t));
+        let results = run_trials(&opts, |t| exactness_trial(opts.seed, n, t));
         let connected = results.iter().filter(|r| r.is_some()).count();
         let exact = results.iter().filter(|r| **r == Some(1.0)).count();
         let mismatches = connected - exact;

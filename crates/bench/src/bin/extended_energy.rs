@@ -19,8 +19,8 @@
 //!
 //! Run: `cargo run --release -p emst-bench --bin extended_energy [-- --trials N --csv]`
 
-use emst_analysis::{fnum, sweep_multi, Table};
-use emst_bench::{instance, Options};
+use emst_analysis::{fnum, Table};
+use emst_bench::{instance, run_sweep_multi, Options};
 use emst_core::{EoptConfig, GhsVariant, Protocol, RankScheme, Sim};
 use emst_geom::{paper_phase2_radius, PathLoss};
 use emst_radio::EnergyConfig;
@@ -68,7 +68,7 @@ fn main() {
         "GHS/EOPT",
         "EOPT/NNT",
     ]);
-    let rows = sweep_multi(&rho_factors, opts.trials, |&f, t| {
+    let rows = run_sweep_multi(&opts, &rho_factors, |&f, t| {
         let cfg = EnergyConfig::extended(PathLoss::paper(), f * tx_unit, 0.0);
         full_energies(opts.seed, n, cfg, t)
     });
@@ -90,7 +90,7 @@ fn main() {
 
     // Idle sweep: per-node per-round cost as a fraction of the tx unit.
     let iota_factors = [0.0, 1e-4, 1e-3, 1e-2];
-    let rows_idle = sweep_multi(&iota_factors, opts.trials, |&f, t| {
+    let rows_idle = run_sweep_multi(&opts, &iota_factors, |&f, t| {
         let cfg = EnergyConfig::extended(PathLoss::paper(), 0.0, f * tx_unit);
         full_energies(opts.seed ^ 0x88, n, cfg, t)
     });

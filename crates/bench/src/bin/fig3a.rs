@@ -8,8 +8,8 @@
 //!
 //! Run: `cargo run --release -p emst-bench --bin fig3a [-- --trials N --csv --quick]`
 
-use emst_analysis::{fnum, sweep_multi, LineChart, Series, Table};
-use emst_bench::{fig3_energies, save_svg, Options};
+use emst_analysis::{fnum, LineChart, Series, Table};
+use emst_bench::{fig3_energies, run_sweep_multi, save_svg, Options};
 
 fn main() {
     let opts = Options::from_env();
@@ -19,7 +19,7 @@ fn main() {
         opts.trials, opts.seed
     );
 
-    let rows = sweep_multi(&sizes, opts.trials, |&n, t| fig3_energies(opts.seed, n, t));
+    let rows = run_sweep_multi(&opts, &sizes, |&n, t| fig3_energies(opts.seed, n, t));
 
     let mut table = Table::new([
         "n",

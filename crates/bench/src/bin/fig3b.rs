@@ -6,8 +6,8 @@
 //!
 //! Run: `cargo run --release -p emst-bench --bin fig3b [-- --trials N --csv --quick]`
 
-use emst_analysis::{fit_loglog_exponent, fnum, sweep_multi, LineChart, Series, Table};
-use emst_bench::{fig3_energies, save_svg, Options};
+use emst_analysis::{fit_loglog_exponent, fnum, LineChart, Series, Table};
+use emst_bench::{fig3_energies, run_sweep_multi, save_svg, Options};
 
 fn main() {
     let opts = Options::from_env();
@@ -17,7 +17,7 @@ fn main() {
         opts.trials, opts.seed
     );
 
-    let rows = sweep_multi(&sizes, opts.trials, |&n, t| fig3_energies(opts.seed, n, t));
+    let rows = run_sweep_multi(&opts, &sizes, |&n, t| fig3_energies(opts.seed, n, t));
 
     // The transformed series, printed like the paper's plot.
     let mut table = Table::new(["n", "loglog n", "log GHS", "log EOPT", "log Co-NNT"]);

@@ -10,8 +10,8 @@
 //!
 //! Run: `cargo run --release -p emst-bench --bin giant_component [-- --trials N --csv]`
 
-use emst_analysis::{fnum, sweep_multi, Table, UnitSquarePlot};
-use emst_bench::{giant_row, instance, save_svg, Options};
+use emst_analysis::{fnum, Table, UnitSquarePlot};
+use emst_bench::{giant_row, instance, run_sweep_multi, save_svg, Options};
 
 fn main() {
     let opts = Options::from_env();
@@ -27,9 +27,7 @@ fn main() {
         vec![500, 1000, 2000, 4000, 8000, 16000]
     };
     let c_paper = 1.96;
-    let rows = sweep_multi(&sizes, opts.trials, |&n, t| {
-        giant_row(opts.seed, n, c_paper, t)
-    });
+    let rows = run_sweep_multi(&opts, &sizes, |&n, t| giant_row(opts.seed, n, c_paper, t));
     let mut t1 = Table::new([
         "n",
         "giant frac",
@@ -58,7 +56,7 @@ fn main() {
     // Sweep c1 at fixed n: the percolation transition.
     let n_fixed = if opts.quick { 2000 } else { 8000 };
     let cs = [0.25, 0.5, 1.0, 1.44, 1.96, 2.56, 4.0, 9.0, 16.0];
-    let rows = sweep_multi(&cs, opts.trials, |&c, t| {
+    let rows = run_sweep_multi(&opts, &cs, |&c, t| {
         giant_row(opts.seed ^ 0x9999, n_fixed, c, t)
     });
     let mut t2 = Table::new([

@@ -11,8 +11,8 @@
 //!
 //! Run: `cargo run --release -p emst-bench --bin interference [-- --trials N --csv]`
 
-use emst_analysis::{fnum, sweep_multi, Table};
-use emst_bench::{instance, Options};
+use emst_analysis::{fnum, Table};
+use emst_bench::{instance, run_sweep_multi, Options};
 use emst_core::{Protocol, RankScheme, Sim};
 use emst_geom::paper_phase2_radius;
 use emst_radio::ContentionConfig;
@@ -68,7 +68,7 @@ fn main() {
     );
 
     for which in ["nnt", "bfs"] {
-        let rows = sweep_multi(&sizes, opts.trials, |&n, t| {
+        let rows = run_sweep_multi(&opts, &sizes, |&n, t| {
             inflation(opts.seed, n, t, which, 0.25)
         });
         let mut table = Table::new(["n", "energy x", "messages x", "rounds x", "tree preserved"]);
@@ -98,7 +98,7 @@ fn main() {
     // Backoff-probability ablation at fixed n.
     let n = if opts.quick { 200 } else { 500 };
     let ps = [0.05, 0.1, 0.25, 0.5];
-    let rows = sweep_multi(&ps, opts.trials, |&p, t| {
+    let rows = run_sweep_multi(&opts, &ps, |&p, t| {
         inflation(opts.seed ^ 0x77, n, t, "nnt", p)
     });
     let mut table = Table::new(["attempt p", "energy x", "rounds x"]);

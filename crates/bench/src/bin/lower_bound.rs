@@ -14,8 +14,8 @@
 //!
 //! Run: `cargo run --release -p emst-bench --bin lower_bound [-- --trials N --csv]`
 
-use emst_analysis::{fnum, sweep, sweep_multi, Table};
-use emst_bench::{instance, knn_energy_ratio, Options};
+use emst_analysis::{fnum, Table};
+use emst_bench::{instance, knn_energy_ratio, run_sweep, run_sweep_multi, Options};
 use emst_core::{EoptConfig, Protocol, Sim};
 use emst_graph::euclidean_mst;
 
@@ -29,7 +29,7 @@ fn main() {
     // Lemma 4.1: normalised k-NN reach energy n·d(k)²/k.
     let n_fixed = if opts.quick { 1000 } else { 4000 };
     let ks = [1usize, 2, 4, 8, 16, 32, 64];
-    let rows = sweep(&ks, opts.trials, |&k, t| {
+    let rows = run_sweep(&opts, &ks, |&k, t| {
         knn_energy_ratio(opts.seed, n_fixed, k, t)
     });
     let mut t1 = Table::new(["k", "mean n·d(k)²/k", "min over trials"]);
@@ -57,7 +57,7 @@ fn main() {
     } else {
         vec![250, 500, 1000, 2000, 4000]
     };
-    let rows = sweep_multi(&sizes, opts.trials, |&n, t| {
+    let rows = run_sweep_multi(&opts, &sizes, |&n, t| {
         let pts = instance(opts.seed ^ 0x44, n, t);
         let eopt = Sim::new(&pts).run(Protocol::Eopt(EoptConfig::default()));
         let lmst = euclidean_mst(&pts).cost(2.0);

@@ -15,8 +15,8 @@
 //!
 //! Run: `cargo run --release -p emst-bench --bin nnt_lemmas [-- --trials N --csv]`
 
-use emst_analysis::{fnum, sweep_multi, Table};
-use emst_bench::{instance, Options};
+use emst_analysis::{fnum, Table};
+use emst_bench::{instance, run_sweep_multi, Options};
 use emst_core::{Protocol, RankScheme, Sim};
 use emst_geom::diag_rank_less;
 
@@ -48,7 +48,7 @@ fn main() {
     println!("  x-rank:        min α over 20k positions = {min_alpha_x:.4} — the bound fails for the old ranking\n");
 
     // Lemmas 6.2/6.3 + Theorem 6.1 from actual runs.
-    let rows = sweep_multi(&[n], opts.trials, |&n, t| {
+    let rows = run_sweep_multi(&opts, &[n], |&n, t| {
         let pts = instance(opts.seed ^ 0xA5, n, t);
         let out = Sim::new(&pts).run(Protocol::Nnt(RankScheme::Diagonal));
         let mut sum_sq = 0.0;

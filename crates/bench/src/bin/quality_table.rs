@@ -7,8 +7,8 @@
 //!
 //! Run: `cargo run --release -p emst-bench --bin quality_table [-- --trials N --csv]`
 
-use emst_analysis::{fnum, sweep_multi, Table};
-use emst_bench::{quality_row, Options};
+use emst_analysis::{fnum, Table};
+use emst_bench::{quality_row, run_sweep_multi, Options};
 
 /// Paper-reported values keyed by n: `(nnt_len, mst_len)`.
 const PAPER_LEN: [(usize, f64, f64); 2] = [(1000, 22.9, 20.8), (5000, 50.5, 46.3)];
@@ -25,7 +25,7 @@ fn main() {
         opts.trials, opts.seed
     );
 
-    let rows = sweep_multi(&sizes, opts.trials, |&n, t| quality_row(opts.seed, n, t));
+    let rows = run_sweep_multi(&opts, &sizes, |&n, t| quality_row(opts.seed, n, t));
 
     let mut table = Table::new([
         "n",

@@ -16,8 +16,8 @@
 //!
 //! Run: `cargo run --release -p emst-bench --bin region_tails [-- --trials N --csv]`
 
-use emst_analysis::{fit_line, fnum, parallel_map, Table};
-use emst_bench::{instance, Options};
+use emst_analysis::{fit_line, fnum, Table};
+use emst_bench::{instance, run_trials, Options};
 use emst_percolation::giant_stats;
 
 /// Empirical survival function ln P(X ≥ k) over the pooled sample, at the
@@ -56,8 +56,7 @@ fn main() {
         opts.trials, opts.seed
     );
 
-    let trials: Vec<u64> = (0..opts.trials as u64).collect();
-    let per_trial: Vec<(Vec<usize>, Vec<usize>)> = parallel_map(&trials, |&t| {
+    let per_trial: Vec<(Vec<usize>, Vec<usize>)> = run_trials(&opts, |t| {
         let pts = instance(opts.seed, n, t);
         let s = giant_stats(&pts, (c / n as f64).sqrt());
         (s.regions.cells.clone(), s.regions.nodes.clone())

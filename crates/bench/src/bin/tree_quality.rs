@@ -19,8 +19,8 @@
 //!
 //! Run: `cargo run --release -p emst-bench --bin tree_quality [-- --trials N --csv]`
 
-use emst_analysis::{fnum, sweep_multi, Table};
-use emst_bench::{instance, Options};
+use emst_analysis::{fnum, Table};
+use emst_bench::{instance, run_sweep_multi, Options};
 use emst_core::{EoptConfig, GhsVariant, Protocol, RankScheme, Sim};
 use emst_geom::paper_phase2_radius;
 use emst_graph::euclidean_mst;
@@ -65,7 +65,7 @@ fn main() {
         opts.trials, opts.seed
     );
 
-    let rows = sweep_multi(&[n], opts.trials, |&n, t| measure(opts.seed, n, t));
+    let rows = run_sweep_multi(&opts, &[n], |&n, t| measure(opts.seed, n, t));
     let (_, s) = &rows[0];
     let mst_sq = s[12].mean;
 

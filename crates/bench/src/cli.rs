@@ -6,7 +6,9 @@
 //! * `--quick`     — shrink instance sizes / trials for smoke runs;
 //! * `--csv`       — additionally emit each table as CSV after the
 //!   human-readable rendering;
-//! * `--seed S`    — override the base seed.
+//! * `--seed S`    — override the base seed;
+//! * `--threads T` — worker threads for the trial fan-out (default: the
+//!   `EMST_THREADS` environment variable, then `available_parallelism()`).
 
 use crate::BASE_SEED;
 
@@ -23,6 +25,9 @@ pub struct Options {
     pub svg_dir: Option<String>,
     /// Base seed.
     pub seed: u64,
+    /// Worker-thread override for the trial fan-out (`None` = use
+    /// `EMST_THREADS`, then `available_parallelism()`).
+    pub threads: Option<usize>,
 }
 
 impl Default for Options {
@@ -33,6 +38,7 @@ impl Default for Options {
             csv: false,
             svg_dir: None,
             seed: BASE_SEED,
+            threads: None,
         }
     }
 }
@@ -65,8 +71,15 @@ impl Options {
                     let v = it.next().expect("--seed needs a value");
                     opts.seed = v.parse().expect("--seed needs an integer");
                 }
+                "--threads" => {
+                    let v = it.next().expect("--threads needs a value");
+                    let t: usize = v.parse().expect("--threads needs an integer");
+                    assert!(t > 0, "--threads must be positive");
+                    opts.threads = Some(t);
+                }
                 other => panic!(
-                    "unknown option {other}; supported: --trials N --quick --csv --svg DIR --seed S"
+                    "unknown option {other}; supported: --trials N --quick --csv --svg DIR \
+                     --seed S --threads T"
                 ),
             }
         }
@@ -107,11 +120,28 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let o = parse(&["--trials", "9", "--csv", "--seed", "42", "--svg", "out"]);
+        let o = parse(&[
+            "--trials",
+            "9",
+            "--csv",
+            "--seed",
+            "42",
+            "--svg",
+            "out",
+            "--threads",
+            "3",
+        ]);
         assert_eq!(o.trials, 9);
         assert!(o.csv);
         assert_eq!(o.seed, 42);
         assert_eq!(o.svg_dir.as_deref(), Some("out"));
+        assert_eq!(o.threads, Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads must be positive")]
+    fn rejects_zero_threads() {
+        let _ = parse(&["--threads", "0"]);
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Shared seeded trial fan-out for the experiment binaries.
+//!
+//! Every experiment is a set of independent seeded trials; this module is
+//! the single entry point that spreads them over worker threads. All
+//! binaries route through [`run_trials`] / [`run_sweep`] /
+//! [`run_sweep_multi`] so the `--threads` flag (and the `EMST_THREADS`
+//! environment variable) govern every sweep uniformly. Thread count never
+//! affects results: `emst_analysis::parallel_map` preserves output order
+//! and each trial derives its RNG from `(seed, n, trial)` alone.
+
+use crate::Options;
+use emst_analysis::{parallel_map, set_thread_override, sweep, sweep_multi, Summary, SweepPoint};
+
+/// Installs the options' thread override (if any) for all subsequent
+/// parallel fan-outs. Called implicitly by the `run_*` helpers.
+pub fn apply_thread_override(opts: &Options) {
+    set_thread_override(opts.threads);
+}
+
+/// Runs `f(trial)` for every trial index `0..opts.trials` in parallel,
+/// returning results in trial order.
+pub fn run_trials<O, F>(opts: &Options, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(u64) -> O + Sync,
+{
+    apply_thread_override(opts);
+    let trials: Vec<u64> = (0..opts.trials as u64).collect();
+    parallel_map(&trials, |&t| f(t))
+}
+
+/// [`emst_analysis::sweep`] with the options' trial count and thread
+/// override applied.
+pub fn run_sweep<P, F>(opts: &Options, params: &[P], f: F) -> Vec<SweepPoint<P>>
+where
+    P: Clone + Sync,
+    F: Fn(&P, u64) -> f64 + Sync,
+{
+    apply_thread_override(opts);
+    sweep(params, opts.trials, f)
+}
+
+/// [`emst_analysis::sweep_multi`] with the options' trial count and thread
+/// override applied.
+pub fn run_sweep_multi<P, F, const K: usize>(
+    opts: &Options,
+    params: &[P],
+    f: F,
+) -> Vec<(P, [Summary; K])>
+where
+    P: Clone + Sync,
+    F: Fn(&P, u64) -> [f64; K] + Sync,
+{
+    apply_thread_override(opts);
+    sweep_multi(params, opts.trials, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(trials: usize, threads: Option<usize>) -> Options {
+        Options {
+            trials,
+            threads,
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn run_trials_is_ordered_and_seeded() {
+        let out = run_trials(&opts(8, Some(2)), |t| t * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn run_sweep_matches_direct_sweep() {
+        let o = opts(3, Some(1));
+        let a = run_sweep(&o, &[10usize, 20], |&n, t| (n as f64) + t as f64);
+        let b = sweep(&[10usize, 20], 3, |&n, t| (n as f64) + t as f64);
+        set_thread_override(None);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.param, y.param);
+            assert_eq!(x.values, y.values);
+        }
+    }
+}

@@ -10,9 +10,11 @@
 //! can be regenerated in isolation.
 
 pub mod cli;
+pub mod fanout;
 pub mod runner;
 
 pub use cli::Options;
+pub use fanout::{apply_thread_override, run_sweep, run_sweep_multi, run_trials};
 pub use runner::*;
 
 /// Base seed for all experiments.

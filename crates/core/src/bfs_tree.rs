@@ -133,6 +133,9 @@ pub(crate) fn run_bfs_inner<'p>(
         };
     }
     let mut net = RadioNet::with_config(points, radius, energy);
+    // Every broadcast in the flood happens at the operating radius: serve
+    // them all from one cached adjacency.
+    net.cache_topology(radius);
     if let Some(sink) = sink {
         net.set_sink(sink);
     }

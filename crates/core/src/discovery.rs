@@ -41,10 +41,12 @@ pub const HELLO_KIND: &str = "discovery/hello";
 pub fn discover(net: &mut RadioNet<'_>, radius: f64, kind: &'static str) -> NeighborTable {
     let n = net.n();
     let mut table: NeighborTable = vec![Vec::new(); n];
+    let mut receivers = Vec::new();
     for u in 0..n {
-        // Receivers of u's hello learn (u, dist).
-        let receivers = net.local_broadcast(u, radius, kind);
-        for (v, d) in receivers {
+        // Receivers of u's hello learn (u, dist). Served from the cached
+        // topology when the caller has built one at this radius.
+        net.local_broadcast_into(u, radius, kind, &mut receivers);
+        for &(v, d) in &receivers {
             table[v].push(Neighbor {
                 id: u as u32,
                 dist: d,

@@ -69,7 +69,8 @@ pub fn run_election_flood(points: &[emst_geom::Point], radius: f64) -> ElectionO
             stats: RunStats::default(),
         };
     }
-    let net = RadioNet::new(points, radius);
+    let mut net = RadioNet::new(points, radius);
+    net.cache_topology(radius);
     let nodes: Vec<FloodElect> = (0..n)
         .map(|i| FloodElect {
             radius,

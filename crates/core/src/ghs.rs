@@ -44,7 +44,7 @@
 use crate::discovery::{discover, NeighborTable};
 use emst_graph::{Edge, SpanningTree};
 use emst_radio::{RadioNet, RunStats};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Which MOE-search mechanism to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,9 +188,18 @@ pub struct GhsEngine<'a, 'n> {
     /// Parent in the fragment tree; `parent[u] == u` for leaders.
     parent: Vec<u32>,
     children: Vec<Vec<u32>>,
+    /// Per-node neighbour rows, sorted by `(dist, id)` — positions are
+    /// recovered by binary search (distances are exactly symmetric, so a
+    /// row's entry for a peer carries the same bits the peer measured).
     nbrs: Vec<Vec<Nbr>>,
-    /// `nbr_index[u][v]` = position of `v` in `nbrs[u]`.
-    nbr_index: Vec<HashMap<u32, u32>>,
+    /// Member list per fragment id, each list ascending — maintained
+    /// incrementally across merges instead of rebuilt from `frag` every
+    /// stage.
+    members: BTreeMap<u32, Vec<u32>>,
+    /// `back_slot[u][k]` = position of `u` in `nbrs[v]`, where `v` is the
+    /// k-th entry of `u`'s cached topology row — announce cache updates
+    /// become direct writes instead of per-receiver binary searches.
+    back_slot: Vec<Vec<u32>>,
     /// Accumulated tree adjacency (for re-rooting after merges).
     tree_adj: Vec<Vec<(u32, f64)>>,
     tree_edges: Vec<Edge>,
@@ -199,6 +208,13 @@ pub struct GhsEngine<'a, 'n> {
     /// Fragments with no outgoing edge at the current radius.
     inactive: std::collections::HashSet<u32>,
     phases: usize,
+    /// Epoch-stamped visited marks + queue for re-rooting BFS.
+    visit_mark: Vec<u32>,
+    visit_epoch: u32,
+    bfs_queue: VecDeque<u32>,
+    /// Reusable frontier buffers for depth computation.
+    depth_frontier: Vec<u32>,
+    depth_next: Vec<u32>,
 }
 
 impl<'a, 'n> GhsEngine<'a, 'n> {
@@ -213,12 +229,18 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
             parent: (0..n as u32).collect(),
             children: vec![Vec::new(); n],
             nbrs: vec![Vec::new(); n],
-            nbr_index: vec![HashMap::new(); n],
+            members: (0..n as u32).map(|u| (u, vec![u])).collect(),
+            back_slot: vec![Vec::new(); n],
             tree_adj: vec![Vec::new(); n],
             tree_edges: Vec::new(),
             passive: Default::default(),
             inactive: Default::default(),
             phases: 0,
+            visit_mark: vec![0; n],
+            visit_epoch: 0,
+            bfs_queue: VecDeque::new(),
+            depth_frontier: Vec::new(),
+            depth_next: Vec::new(),
         }
     }
 
@@ -239,23 +261,19 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
 
     /// Members per fragment, keyed by fragment id (sorted map so that all
     /// iteration — and therefore floating-point energy summation — is
-    /// deterministic).
+    /// deterministic). Maintained incrementally; this returns a copy.
     pub fn fragments(&self) -> BTreeMap<u32, Vec<u32>> {
-        let mut m: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
-        for (u, &f) in self.frag.iter().enumerate() {
-            m.entry(f).or_default().push(u as u32);
-        }
-        m
+        self.members.clone()
     }
 
     /// Current number of fragments.
     pub fn fragment_count(&self) -> usize {
-        self.fragments().len()
+        self.members.len()
     }
 
     /// Sorted (descending) fragment sizes.
     pub fn fragment_sizes(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self.fragments().values().map(|m| m.len()).collect();
+        let mut v: Vec<usize> = self.members.values().map(|m| m.len()).collect();
         v.sort_unstable_by(|a, b| b.cmp(a));
         v
     }
@@ -297,6 +315,10 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
         for (u, &l) in labels.iter().enumerate() {
             self.frag[u] = leader_of_label[l];
         }
+        self.members.clear();
+        for (u, &f) in self.frag.iter().enumerate() {
+            self.members.entry(f).or_default().push(u as u32);
+        }
         for &leader in &leader_of_label {
             self.reroot(leader);
         }
@@ -312,6 +334,9 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
         self.net
             .note_phase(kinds.scope, self.phases as u64, "discover");
         self.radius = radius;
+        // The whole run operates at this radius: build the CSR adjacency
+        // once so discovery and every announce broadcast are slice lookups.
+        self.net.cache_topology(radius);
         let table: NeighborTable = discover(self.net, radius, kinds.hello);
         for (u, row) in table.iter().enumerate() {
             self.nbrs[u] = row
@@ -323,31 +348,65 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
                     rejected: false,
                 })
                 .collect();
-            self.nbr_index[u] = self.nbrs[u]
-                .iter()
-                .enumerate()
-                .map(|(i, nb)| (nb.id, i as u32))
-                .collect();
+        }
+        if self.variant == GhsVariant::Modified {
+            let topo = self.net.topology_at(radius).expect("cached above");
+            let n = table.len();
+            // Search-free back-slot construction. Every topology row lists
+            // neighbours in the grid's global visit order, so processing
+            // nodes `v` in that same order appends to each `back[u]` in
+            // exactly `u`'s row order — a per-node cursor replaces the
+            // per-edge binary search.
+            let mut back: Vec<Vec<u32>> = (0..n).map(|u| vec![0u32; topo.degree(u)]).collect();
+            let mut cursor = vec![0u32; n];
+            let mut slot_of = vec![0u32; n];
+            for &v in self.net.grid().visit_order() {
+                let v = v as usize;
+                for (j, e) in self.nbrs[v].iter().enumerate() {
+                    slot_of[e.id as usize] = j as u32;
+                }
+                for &u in topo.ids(v) {
+                    let u = u as usize;
+                    back[u][cursor[u] as usize] = slot_of[u];
+                    cursor[u] += 1;
+                }
+            }
+            self.back_slot = back;
         }
         self.inactive.clear();
     }
 
+    /// Position of the entry for neighbour `id` at distance `dist` in
+    /// `nbrs[v]`, which is sorted by `(dist, id)`. Distances are exactly
+    /// symmetric (IEEE negation and squaring commute), so the bits `v`
+    /// recorded for `id` equal the bits `id` recorded for `v`.
+    fn nbr_slot(&self, v: usize, dist: f64, id: u32) -> Option<usize> {
+        self.nbrs[v]
+            .binary_search_by(|nb| nb.dist.total_cmp(&dist).then(nb.id.cmp(&id)))
+            .ok()
+    }
+
     /// Depth of the fragment tree rooted at `leader` (via child lists).
-    fn depth(&self, leader: u32) -> u64 {
+    fn depth(&mut self, leader: u32) -> u64 {
+        let mut frontier = std::mem::take(&mut self.depth_frontier);
+        let mut next = std::mem::take(&mut self.depth_next);
+        frontier.clear();
+        frontier.push(leader);
         let mut depth = 0u64;
-        let mut frontier = vec![leader];
-        let mut next = Vec::new();
         loop {
             next.clear();
             for &u in &frontier {
                 next.extend_from_slice(&self.children[u as usize]);
             }
             if next.is_empty() {
-                return depth;
+                break;
             }
             depth += 1;
             std::mem::swap(&mut frontier, &mut next);
         }
+        self.depth_frontier = frontier;
+        self.depth_next = next;
+        depth
     }
 
     /// Charges one message per tree edge of `members` in the top-down
@@ -402,7 +461,9 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
             if self.frag[nb.id as usize] == my {
                 // Reject: mark on both sides, permanently.
                 self.nbrs[u][i].rejected = true;
-                let back = self.nbr_index[nb.id as usize][&(u as u32)] as usize;
+                let back = self
+                    .nbr_slot(nb.id as usize, nb.dist, u as u32)
+                    .expect("neighbourhoods are symmetric");
                 self.nbrs[nb.id as usize][back].rejected = true;
             } else {
                 found = Some(Cand {
@@ -419,13 +480,13 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
     /// Executes one phase. Returns the number of fragment merges performed
     /// (0 means the engine has quiesced at this radius).
     fn phase(&mut self, kinds: &GhsKinds) -> usize {
-        let frags = self.fragments();
-        let active: Vec<(u32, &Vec<u32>)> = frags
+        let active_owned: Vec<(u32, Vec<u32>)> = self
+            .members
             .iter()
             .filter(|(f, _)| !self.passive.contains(f) && !self.inactive.contains(f))
-            .map(|(&f, m)| (f, m))
+            .map(|(&f, m)| (f, m.clone()))
             .collect();
-        if active.is_empty() {
+        if active_owned.is_empty() {
             return 0;
         }
         self.phases += 1;
@@ -434,8 +495,6 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
         // Stage A: initiate broadcasts.
         self.net.note_phase(kinds.scope, phase_no, "initiate");
         let mut max_depth = 0u64;
-        let active_owned: Vec<(u32, Vec<u32>)> =
-            active.iter().map(|(f, m)| (*f, (*m).clone())).collect();
         for (f, members) in &active_owned {
             max_depth = max_depth.max(self.depth(*f));
             self.charge_broadcast(members, kinds.initiate);
@@ -514,13 +573,20 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
                 self.net.note_phase(kinds.scope, phase_no, "announce");
                 for &u in &changed {
                     let new_frag = self.frag[u as usize];
-                    let receivers =
-                        self.net
-                            .local_broadcast(u as usize, self.radius, kinds.announce);
-                    for (v, _) in receivers {
-                        if let Some(&idx) = self.nbr_index[v].get(&u) {
-                            self.nbrs[v][idx as usize].frag = new_frag;
-                        }
+                    // Charges and trace event are identical to a receiver-
+                    // returning broadcast; the receiver set is the cached
+                    // topology row, updated through the back-slot table.
+                    self.net
+                        .local_broadcast_silent(u as usize, self.radius, kinds.announce);
+                    let topo = self
+                        .net
+                        .topology_at(self.radius)
+                        .expect("discover cached this radius");
+                    let ids = topo.ids(u as usize);
+                    let slots = &self.back_slot[u as usize];
+                    debug_assert_eq!(ids.len(), slots.len());
+                    for (&v, &slot) in ids.iter().zip(slots) {
+                        self.nbrs[v as usize][slot as usize].frag = new_frag;
                     }
                 }
                 self.net.advance_rounds(1);
@@ -532,14 +598,14 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
     /// Coalesces fragments along the chosen connect edges. Returns the
     /// nodes whose fragment id changed and the number of merged groups.
     fn merge(&mut self, chosen: &BTreeMap<u32, Cand>) -> MergeResult {
-        // Union-find over fragment ids (dense map).
-        let frags = self.fragments();
-        let ids: Vec<u32> = frags.keys().copied().collect();
-        let index: HashMap<u32, usize> = ids.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+        // Union-find over fragment ids; `ids` is sorted (BTreeMap keys), so
+        // dense indices come from binary search instead of a hash map.
+        let ids: Vec<u32> = self.members.keys().copied().collect();
+        let index = |f: u32| ids.binary_search(&f).expect("unknown fragment id");
         let mut uf = emst_graph::UnionFind::new(ids.len());
         for (f, cand) in chosen {
             let g = self.frag[cand.v as usize];
-            uf.union(index[f], index[&g]);
+            uf.union(index(*f), index(g));
         }
         // Deduplicate connect edges (mutual choice of the same edge).
         let mut new_edges: Vec<Edge> = Vec::new();
@@ -557,7 +623,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
         // Group fragments.
         let mut groups: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
         for &f in &ids {
-            groups.entry(uf.find(index[&f])).or_default().push(f);
+            groups.entry(uf.find(index(f))).or_default().push(f);
         }
         // Record new tree edges.
         for e in &new_edges {
@@ -602,9 +668,12 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
                 core.u.max(core.v)
             };
             // Relabel members and re-root the merged tree at the new leader.
+            // Concatenation stays in group order (each list ascending) so
+            // `changed` — and thus announce order — is unchanged by the
+            // incremental member bookkeeping.
             let mut members: Vec<u32> = Vec::new();
             for f in group {
-                members.extend_from_slice(&frags[f]);
+                members.extend_from_slice(&self.members[f]);
                 self.inactive.remove(f);
                 if self.passive.contains(f) && *f != new_id {
                     // The passive flag follows the surviving id.
@@ -620,6 +689,11 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
             }
             self.net
                 .note_merge(new_id as usize, group.len() - 1, members.len());
+            for f in group {
+                self.members.remove(f);
+            }
+            members.sort_unstable();
+            self.members.insert(new_id, members);
             self.reroot(new_id);
         }
         MergeResult {
@@ -631,15 +705,19 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
     /// Re-roots the fragment containing `leader` at `leader` by BFS over
     /// the accumulated tree adjacency, rebuilding parent/child pointers.
     fn reroot(&mut self, leader: u32) {
-        let mut visited = std::collections::HashSet::new();
-        visited.insert(leader);
+        self.visit_epoch += 1;
+        let epoch = self.visit_epoch;
+        self.visit_mark[leader as usize] = epoch;
         self.parent[leader as usize] = leader;
         self.children[leader as usize].clear();
-        let mut queue = std::collections::VecDeque::from([leader]);
+        let mut queue = std::mem::take(&mut self.bfs_queue);
+        queue.clear();
+        queue.push_back(leader);
         while let Some(u) = queue.pop_front() {
-            let nbrs: Vec<u32> = self.tree_adj[u as usize].iter().map(|&(v, _)| v).collect();
-            for v in nbrs {
-                if visited.insert(v) {
+            for i in 0..self.tree_adj[u as usize].len() {
+                let v = self.tree_adj[u as usize][i].0;
+                if self.visit_mark[v as usize] != epoch {
+                    self.visit_mark[v as usize] = epoch;
                     self.parent[v as usize] = u;
                     self.children[v as usize].clear();
                     self.children[u as usize].push(v);
@@ -647,6 +725,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
                 }
             }
         }
+        self.bfs_queue = queue;
     }
 
     /// Runs phases until no active fragment can merge. Returns the number
@@ -672,10 +751,10 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
         kinds: &GhsKinds,
     ) -> Vec<(usize, usize, bool)> {
         self.net.note_phase(kinds.scope, self.phases as u64, "size");
-        let frags = self.fragments();
         let mut rows = Vec::new();
         let mut max_depth = 0u64;
-        let owned: Vec<(u32, Vec<u32>)> = frags.into_iter().collect();
+        let owned: Vec<(u32, Vec<u32>)> =
+            self.members.iter().map(|(&f, m)| (f, m.clone())).collect();
         for (f, members) in &owned {
             max_depth = max_depth.max(self.depth(*f));
             self.charge_broadcast(members, kinds.size); // size request
@@ -799,6 +878,33 @@ mod tests {
         let pts = uniform_points(60, &mut trial_rng(102, 0));
         let r = paper_phase2_radius(60);
         check_matches_kruskal(&pts, r, GhsVariant::Original);
+    }
+
+    #[test]
+    fn back_slot_table_matches_sorted_rows() {
+        // Invariant behind the announce fast path: for the k-th entry `v`
+        // of `u`'s cached topology row, `nbrs[v][back_slot[u][k]]` is the
+        // entry for `u` — and it agrees with the binary-search lookup the
+        // cursor construction replaced.
+        let pts = uniform_points(250, &mut trial_rng(105, 1));
+        let r = paper_phase2_radius(250);
+        let mut net = RadioNet::new(&pts, r);
+        let mut eng = GhsEngine::new(&mut net, GhsVariant::Modified);
+        eng.discover(r, &GHS_KINDS);
+        let topo = eng.net.topology_at(r).expect("cached by discover");
+        for u in 0..pts.len() {
+            let slots = &eng.back_slot[u];
+            assert_eq!(slots.len(), topo.degree(u));
+            for (k, (v, d)) in topo.neighbors(u).enumerate() {
+                let entry = &eng.nbrs[v][slots[k] as usize];
+                assert_eq!(entry.id as usize, u, "row {v} slot {k}");
+                assert_eq!(
+                    Some(slots[k] as usize),
+                    eng.nbr_slot(v, d, u as u32),
+                    "cursor and binary-search disagree at ({u}, {v})"
+                );
+            }
+        }
     }
 
     #[test]

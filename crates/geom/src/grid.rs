@@ -115,6 +115,16 @@ impl<'a> BucketGrid<'a> {
         self.side
     }
 
+    /// The global visit order: point indices grouped by ascending
+    /// row-major cell index, insertion order within each cell. Every
+    /// [`BucketGrid::for_each_in_disk`] visit sequence is a subsequence
+    /// of this array — consumers of cached adjacency rows rely on that
+    /// to pair mutual edges with per-node cursors instead of searches.
+    #[inline]
+    pub fn visit_order(&self) -> &[u32] {
+        &self.order
+    }
+
     /// Number of points in grid cell `(cx, cy)`.
     pub fn cell_population(&self, cx: usize, cy: usize) -> usize {
         assert!(cx < self.side && cy < self.side, "cell out of range");
@@ -162,15 +172,39 @@ impl<'a> BucketGrid<'a> {
         }
     }
 
-    /// Indices and distances of all points within `radius` of point `i`,
-    /// excluding `i` itself.
-    pub fn neighbors_within(&self, i: usize, radius: f64) -> Vec<(usize, f64)> {
-        let mut out = Vec::new();
+    /// Calls `f(j, dist)` for every point within `radius` of point `i`,
+    /// excluding `i` itself — the zero-allocation form of
+    /// [`BucketGrid::neighbors_within`].
+    ///
+    /// Visit order is deterministic and part of this type's contract:
+    /// cells row-major (`cy` outer, `cx` inner), then insertion (CSR)
+    /// order within each cell — identical to the order of the `Vec`
+    /// returned by `neighbors_within`. Simulation layers replay this
+    /// order when charging energy, so it must never change silently.
+    pub fn for_neighbors_within<F: FnMut(usize, f64)>(&self, i: usize, radius: f64, mut f: F) {
         self.for_each_in_disk(&self.points[i], radius, |j, d| {
             if j != i {
-                out.push((j, d));
+                f(j, d);
             }
         });
+    }
+
+    /// Fills `out` with the neighbours of `i` within `radius` (excluding
+    /// `i`), clearing it first — the scratch-buffer form of
+    /// [`BucketGrid::neighbors_within`] for callers that query in a loop
+    /// and want to reuse one allocation. Same deterministic visit order
+    /// as [`BucketGrid::for_neighbors_within`].
+    pub fn neighbors_within_into(&self, i: usize, radius: f64, out: &mut Vec<(usize, f64)>) {
+        out.clear();
+        self.for_neighbors_within(i, radius, |j, d| out.push((j, d)));
+    }
+
+    /// Indices and distances of all points within `radius` of point `i`,
+    /// excluding `i` itself. Thin wrapper over
+    /// [`BucketGrid::neighbors_within_into`] that allocates a fresh `Vec`.
+    pub fn neighbors_within(&self, i: usize, radius: f64) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        self.neighbors_within_into(i, radius, &mut out);
         out
     }
 
@@ -288,14 +322,28 @@ impl<'a> BucketGrid<'a> {
 
     /// The `k` nearest points to point `i` (excluding `i`), sorted by
     /// ascending distance. Returns fewer than `k` entries if the instance
-    /// has fewer than `k + 1` points.
+    /// has fewer than `k + 1` points. Thin wrapper over
+    /// [`BucketGrid::k_nearest_into`].
     pub fn k_nearest(&self, i: usize, k: usize) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        self.k_nearest_into(i, k, &mut out);
+        out
+    }
+
+    /// [`BucketGrid::k_nearest`] into a caller-supplied scratch buffer
+    /// (cleared first). The ring expansion accumulates candidates in `out`
+    /// itself, so a buffer reused across calls reaches a steady-state
+    /// capacity and the query becomes allocation-free — the k-NN distance
+    /// experiments call this once per node.
+    pub fn k_nearest_into(&self, i: usize, k: usize, out: &mut Vec<(usize, f64)>) {
+        out.clear();
         if k == 0 {
-            return Vec::new();
+            return;
         }
         let center = &self.points[i];
         let (ccx, ccy) = self.cell_of(center);
-        let mut found: Vec<(usize, f64)> = Vec::with_capacity(k + 8);
+        out.reserve(k + 8);
+        let found = out;
         let max_ring = self.side;
         for ring in 0..=max_ring {
             // Stop once the k-th best is confirmed against unscanned rings.
@@ -305,7 +353,7 @@ impl<'a> BucketGrid<'a> {
                 let kth = found[k - 1].1;
                 if kth <= (ring as f64 - 1.0).max(0.0) * self.cell_size {
                     found.truncate(k);
-                    return found;
+                    return;
                 }
             }
             let mut visit = |cx: usize, cy: usize| {
@@ -348,7 +396,6 @@ impl<'a> BucketGrid<'a> {
         }
         found.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
         found.truncate(k);
-        found
     }
 
     /// Distance from point `i` to its `k`-th nearest neighbour (1-indexed:
@@ -391,6 +438,39 @@ mod tests {
             got.sort_unstable();
             assert_eq!(got, brute_within(&pts, &pts[qi], 0.1), "query {qi}");
         }
+    }
+
+    #[test]
+    fn disk_visits_are_subsequences_of_visit_order() {
+        // The contract consumers of `visit_order` rely on: every disk
+        // query visits points in the same relative order as the global
+        // `visit_order` array, at any radius (including radii larger than
+        // the cell size, where many rings are scanned).
+        let mut rng = trial_rng(12, 0);
+        let pts = uniform_points(300, &mut rng);
+        let grid = BucketGrid::for_radius(&pts, 0.08);
+        let rank: std::collections::HashMap<usize, usize> = grid
+            .visit_order()
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| (i as usize, pos))
+            .collect();
+        for qi in [0usize, 33, 150, 299] {
+            for r in [0.03, 0.08, 0.4, 2.0] {
+                let mut prev = None;
+                grid.for_each_in_disk(&pts[qi], r, |j, _| {
+                    let pos = rank[&j];
+                    if let Some(p) = prev {
+                        assert!(p < pos, "query {qi} radius {r}: visit order diverged");
+                    }
+                    prev = Some(pos);
+                });
+            }
+        }
+        // And the order itself is a permutation of all indices.
+        let mut all: Vec<u32> = grid.visit_order().to_vec();
+        all.sort_unstable();
+        assert_eq!(all, (0..pts.len() as u32).collect::<Vec<_>>());
     }
 
     #[test]
@@ -531,6 +611,58 @@ mod tests {
         assert_eq!(grid.k_nearest(0, 5).len(), 1); // only one other point
         assert!(grid.kth_nearest_distance(0, 2).is_none());
         assert!(grid.kth_nearest_distance(0, 1).is_some());
+    }
+
+    #[test]
+    fn k_nearest_with_k_at_least_n_returns_everyone() {
+        // k ≥ n must return all n−1 other points, sorted, without the ring
+        // confirmation ever firing (it can't: there is no k-th candidate).
+        let pts = uniform_points(40, &mut trial_rng(18, 0));
+        let grid = BucketGrid::for_radius(&pts, 0.05);
+        for k in [40usize, 41, 1000] {
+            let got = grid.k_nearest(7, k);
+            assert_eq!(got.len(), 39, "k={k}");
+            for w in got.windows(2) {
+                assert!(w[0].1 <= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn k_nearest_into_reuses_buffer_and_matches() {
+        let pts = uniform_points(200, &mut trial_rng(19, 0));
+        let grid = BucketGrid::for_radius(&pts, 0.08);
+        let mut buf = Vec::new();
+        for qi in 0..pts.len() {
+            grid.k_nearest_into(qi, 10, &mut buf);
+            let fresh = grid.k_nearest(qi, 10);
+            assert_eq!(buf.len(), fresh.len(), "query {qi}");
+            for (a, b) in buf.iter().zip(fresh.iter()) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        }
+        grid.k_nearest_into(0, 0, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn visitor_and_into_match_vec_api_exactly() {
+        // All three query forms must agree element-for-element, in the
+        // same visit order (the determinism contract).
+        let pts = uniform_points(300, &mut trial_rng(20, 0));
+        let grid = BucketGrid::for_radius(&pts, 0.07);
+        let mut buf = Vec::new();
+        for qi in [0usize, 9, 150, 299] {
+            for r in [0.0, 0.03, 0.07, 0.4] {
+                let legacy = grid.neighbors_within(qi, r);
+                let mut visited = Vec::new();
+                grid.for_neighbors_within(qi, r, |j, d| visited.push((j, d)));
+                grid.neighbors_within_into(qi, r, &mut buf);
+                assert_eq!(legacy, visited, "q={qi} r={r}");
+                assert_eq!(legacy, buf, "q={qi} r={r}");
+            }
+        }
     }
 
     #[test]

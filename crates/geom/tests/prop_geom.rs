@@ -128,6 +128,50 @@ proptest! {
         }
     }
 
+    /// The three neighbour-query forms (visitor, `_into` scratch buffer,
+    /// legacy `Vec`) agree with each other in content *and order*, and agree
+    /// with the brute-force O(n²) scan as a set. The grid cell size is drawn
+    /// independently of the query radius, so this exercises query radii both
+    /// smaller and (much) larger than one cell.
+    #[test]
+    fn neighbor_query_forms_agree_with_brute_force(
+        pts in point_cloud(100),
+        cell in 0.01f64..0.3,
+        r in 0.0f64..1.2,
+        qraw in 0usize..1000,
+    ) {
+        let q = qraw % pts.len();
+        let grid = BucketGrid::for_radius(&pts, cell);
+
+        let legacy = grid.neighbors_within(q, r);
+        let mut visited: Vec<(usize, f64)> = Vec::new();
+        grid.for_neighbors_within(q, r, |j, d| visited.push((j, d)));
+        let mut scratch = vec![(usize::MAX, f64::NAN)]; // must be cleared
+        grid.neighbors_within_into(q, r, &mut scratch);
+
+        // Exact agreement, including visit order and float bit patterns.
+        prop_assert_eq!(legacy.len(), visited.len());
+        prop_assert_eq!(legacy.len(), scratch.len());
+        for ((a, b), c) in legacy.iter().zip(visited.iter()).zip(scratch.iter()) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.0, c.0);
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+            prop_assert_eq!(a.1.to_bits(), c.1.to_bits());
+        }
+
+        // Set agreement with the brute-force scan.
+        let mut got: Vec<usize> = legacy.iter().map(|&(j, _)| j).collect();
+        got.sort_unstable();
+        let mut brute: Vec<usize> = (0..pts.len())
+            .filter(|&j| j != q && pts[q].dist(&pts[j]) <= r)
+            .collect();
+        brute.sort_unstable();
+        prop_assert_eq!(got, brute);
+        for &(j, d) in &legacy {
+            prop_assert!((d - pts[q].dist(&pts[j])).abs() < 1e-15);
+        }
+    }
+
     /// NNT probe schedule: the last probe radius always covers l, and the
     /// penultimate one does not overshoot by more than the doubling factor.
     #[test]

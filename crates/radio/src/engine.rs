@@ -131,6 +131,9 @@ pub struct SyncEngine<'a, P: NodeProtocol> {
     net: RadioNet<'a>,
     nodes: Vec<P>,
     inboxes: Vec<Vec<Delivery<P::Msg>>>,
+    /// Reusable receiver buffer for broadcast fan-out — one allocation for
+    /// the whole run instead of one per broadcast.
+    rx_scratch: Vec<(usize, f64)>,
     contention: Option<(ContentionConfig, SlotRng)>,
     /// Logical protocol rounds executed. Equals the clock under
     /// collision-free delivery; under contention one logical round spans
@@ -152,6 +155,7 @@ impl<'a, P: NodeProtocol> SyncEngine<'a, P> {
             net,
             nodes,
             inboxes: (0..n).map(|_| Vec::new()).collect(),
+            rx_scratch: Vec::new(),
             contention: None,
             logical_round: 0,
         }
@@ -212,8 +216,9 @@ impl<'a, P: NodeProtocol> SyncEngine<'a, P> {
                     self.inboxes[to].push(Delivery { from, dist, msg });
                 }
                 Outgoing::Broadcast { radius, kind, msg } => {
-                    let receivers = self.net.local_broadcast(from, radius, kind);
-                    for (to, dist) in receivers {
+                    self.net
+                        .local_broadcast_into(from, radius, kind, &mut self.rx_scratch);
+                    for &(to, dist) in &self.rx_scratch {
                         self.inboxes[to].push(Delivery {
                             from,
                             dist,
@@ -248,12 +253,8 @@ impl<'a, P: NodeProtocol> SyncEngine<'a, P> {
                     payloads.push(msg);
                 }
                 Outgoing::Broadcast { radius, kind, msg } => {
-                    let waiting: Vec<usize> = self
-                        .net
-                        .neighbors(from, radius)
-                        .into_iter()
-                        .map(|(v, _)| v)
-                        .collect();
+                    self.net.neighbors_into(from, radius, &mut self.rx_scratch);
+                    let waiting: Vec<usize> = self.rx_scratch.iter().map(|&(v, _)| v).collect();
                     pending.push(PendingTx {
                         from,
                         radius,

@@ -17,6 +17,7 @@ pub mod energy;
 pub mod engine;
 pub mod network;
 pub mod stats;
+pub mod topology;
 pub mod trace;
 
 pub use contention::ContentionConfig;
@@ -24,6 +25,7 @@ pub use energy::{EnergyLedger, Tally};
 pub use engine::{Ctx, Delivery, NodeProtocol, RoundLimitExceeded, SyncEngine};
 pub use network::{Clock, EnergyConfig, RadioNet};
 pub use stats::RunStats;
+pub use topology::Topology;
 pub use trace::{
     CsvSink, JsonlSink, MergeMark, MetricsSink, NullSink, PhaseKey, TeeSink, TraceEvent, TraceSink,
 };

@@ -14,6 +14,7 @@
 //!   count since energy is size-independent in the model.
 
 use crate::energy::EnergyLedger;
+use crate::topology::Topology;
 use crate::trace::{TraceEvent, TraceSink};
 use emst_geom::{BucketGrid, PathLoss, Point};
 
@@ -112,6 +113,9 @@ pub struct RadioNet<'a> {
     points: &'a [Point],
     config: EnergyConfig,
     grid: BucketGrid<'a>,
+    /// Cached CSR adjacency at one operating radius (see
+    /// [`RadioNet::cache_topology`]); `None` until a protocol opts in.
+    topo: Option<Topology>,
     ledger: EnergyLedger,
     clock: Clock,
     sink: Option<&'a mut dyn TraceSink>,
@@ -158,6 +162,7 @@ impl<'a> RadioNet<'a> {
             points,
             config,
             grid: BucketGrid::for_radius(points, max_query_radius),
+            topo: None,
             ledger: EnergyLedger::new(),
             clock: Clock::default(),
             sink: None,
@@ -245,15 +250,69 @@ impl<'a> RadioNet<'a> {
         &mut self.clock
     }
 
+    /// Builds (or reuses) the cached CSR adjacency at `radius`. Fixed-radius
+    /// protocols call this once up front; every subsequent neighbour query
+    /// or broadcast at a bitwise-equal radius is then a slice lookup
+    /// instead of a grid scan. A second call with the same radius is free.
+    ///
+    /// The cached rows are in grid visit order — identical content and
+    /// order to a live [`BucketGrid`] query — so switching a protocol onto
+    /// the cache cannot change its energy ledger or trace.
+    pub fn cache_topology(&mut self, radius: f64) {
+        if self
+            .topo
+            .as_ref()
+            .is_some_and(|t| t.radius().to_bits() == radius.to_bits())
+        {
+            return;
+        }
+        self.topo = Some(Topology::build(&self.grid, radius));
+    }
+
+    /// The cached topology, if one has been built.
+    #[inline]
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topo.as_ref()
+    }
+
+    /// The cached topology *at this exact radius* (bitwise compare), if
+    /// present. Callers that may run at varying radii use this to take the
+    /// fast path only when it is actually valid.
+    #[inline]
+    pub fn topology_at(&self, radius: f64) -> Option<&Topology> {
+        self.topo
+            .as_ref()
+            .filter(|t| t.radius().to_bits() == radius.to_bits())
+    }
+
     /// Neighbours of `u` within `radius` with distances (the unit-disk
     /// neighbourhood at the current operating radius).
     pub fn neighbors(&self, u: usize, radius: f64) -> Vec<(usize, f64)> {
-        self.grid.neighbors_within(u, radius)
+        let mut out = Vec::new();
+        self.neighbors_into(u, radius, &mut out);
+        out
+    }
+
+    /// Fills `out` with the neighbours of `u` within `radius`, reusing the
+    /// buffer's capacity. Served from the cached topology when it matches,
+    /// otherwise from the grid; both produce the same list in the same
+    /// order.
+    pub fn neighbors_into(&self, u: usize, radius: f64, out: &mut Vec<(usize, f64)>) {
+        out.clear();
+        if let Some(t) = self.topology_at(radius) {
+            t.extend_row_into(u, out);
+        } else {
+            self.grid.neighbors_within_into(u, radius, out);
+        }
     }
 
     /// Degree of `u` at `radius`.
     pub fn degree(&self, u: usize, radius: f64) -> usize {
-        self.grid.degree_within(u, radius)
+        if let Some(t) = self.topology_at(radius) {
+            t.degree(u)
+        } else {
+            self.grid.degree_within(u, radius)
+        }
     }
 
     /// The spatial index (for read-only geometric queries by protocols).
@@ -305,10 +364,31 @@ impl<'a> RadioNet<'a> {
         radius: f64,
         kind: &'static str,
     ) -> Vec<(usize, f64)> {
+        let mut receivers = Vec::new();
+        self.local_broadcast_into(u, radius, kind, &mut receivers);
+        receivers
+    }
+
+    /// [`RadioNet::local_broadcast`] into a caller-owned scratch buffer:
+    /// identical charges, receivers, and trace event, but no per-call
+    /// allocation once the buffer has warmed up. The receiver list is
+    /// served from the cached topology when one matches `radius`.
+    pub fn local_broadcast_into(
+        &mut self,
+        u: usize,
+        radius: f64,
+        kind: &'static str,
+        receivers: &mut Vec<(usize, f64)>,
+    ) {
         assert!(radius >= 0.0, "negative broadcast radius");
         let e = self.config.loss.energy_for_distance(radius);
         self.ledger.charge(kind, e);
-        let receivers = self.grid.neighbors_within(u, radius);
+        receivers.clear();
+        if let Some(t) = self.topology_at(radius) {
+            t.extend_row_into(u, receivers);
+        } else {
+            self.grid.neighbors_within_into(u, radius, receivers);
+        }
         if self.config.rx > 0.0 {
             self.ledger
                 .charge_rx(receivers.len() as u64, self.config.rx);
@@ -322,7 +402,6 @@ impl<'a> RadioNet<'a> {
             power: radius,
             energy: e,
         });
-        receivers
     }
 
     /// Charges a broadcast without materialising the receiver list (for
@@ -334,7 +413,7 @@ impl<'a> RadioNet<'a> {
         let e = self.config.loss.energy_for_distance(radius);
         self.ledger.charge(kind, e);
         if self.config.rx > 0.0 {
-            let deg = self.grid.degree_within(u, radius) as u64;
+            let deg = self.degree(u, radius) as u64;
             self.ledger.charge_rx(deg, self.config.rx);
         }
         let round = self.clock.now();
@@ -521,6 +600,70 @@ mod tests {
             .filter(|&v| v != 7 && pts[7].dist(&pts[v]) <= 0.5)
             .count();
         assert_eq!(nb.len(), brute);
+    }
+
+    #[test]
+    fn cached_topology_broadcasts_are_bit_identical() {
+        // The same broadcast sequence, once against the grid and once
+        // against the cached topology, must produce identical receiver
+        // lists (content and order) and identical ledgers.
+        let pts = uniform_points(200, &mut trial_rng(73, 0));
+        let r = 0.09;
+        let mut plain = RadioNet::new(&pts, r);
+        let mut cached = RadioNet::new(&pts, r);
+        cached.cache_topology(r);
+        assert!(cached.topology_at(r).is_some());
+        assert!(cached.topology_at(r * 0.5).is_none());
+        let mut buf = Vec::new();
+        for u in 0..200 {
+            let a = plain.local_broadcast(u, r, "b");
+            cached.local_broadcast_into(u, r, "b", &mut buf);
+            assert_eq!(a.len(), buf.len(), "node {u}");
+            for (x, y) in a.iter().zip(buf.iter()) {
+                assert_eq!(x.0, y.0);
+                assert_eq!(x.1.to_bits(), y.1.to_bits());
+            }
+            assert_eq!(plain.degree(u, r), cached.degree(u, r));
+        }
+        assert_eq!(
+            plain.ledger().total_energy().to_bits(),
+            cached.ledger().total_energy().to_bits()
+        );
+        assert_eq!(
+            plain.ledger().total_messages(),
+            cached.ledger().total_messages()
+        );
+    }
+
+    #[test]
+    fn cache_topology_is_idempotent_and_radius_checked() {
+        let pts = uniform_points(50, &mut trial_rng(74, 0));
+        let mut net = RadioNet::new(&pts, 0.1);
+        assert!(net.topology().is_none());
+        net.cache_topology(0.1);
+        let edges = net.topology().unwrap().directed_edges();
+        net.cache_topology(0.1); // no-op rebuild
+        assert_eq!(net.topology().unwrap().directed_edges(), edges);
+        net.cache_topology(0.2); // different radius → rebuilt
+        assert!(net.topology_at(0.2).is_some());
+        assert!(net.topology_at(0.1).is_none());
+        assert!(net.topology().unwrap().directed_edges() >= edges);
+    }
+
+    #[test]
+    fn neighbors_into_matches_neighbors_under_cache_mismatch() {
+        // A cached topology at a *different* radius must not poison
+        // queries at other radii: they fall through to the grid.
+        let pts = uniform_points(150, &mut trial_rng(75, 0));
+        let mut net = RadioNet::new(&pts, 0.05);
+        net.cache_topology(0.05);
+        let mut buf = Vec::new();
+        for u in [0usize, 70, 149] {
+            for r in [0.02, 0.05, 0.3] {
+                net.neighbors_into(u, r, &mut buf);
+                assert_eq!(buf, net.neighbors(u, r), "u={u} r={r}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Cached unit-disk topology: the CSR adjacency of the network at a fixed
+//! operating radius.
+//!
+//! Fixed-radius protocols (GHS, BFS flood, discovery, leader election)
+//! query the same disk neighbourhoods over and over. Rebuilding each
+//! neighbour list from the [`BucketGrid`] on every broadcast allocates a
+//! fresh `Vec` and re-scans up to nine grid cells per call; a [`Topology`]
+//! materialises all rows once per run in compressed-sparse-row form, after
+//! which every query is a contiguous slice lookup.
+//!
+//! **Determinism contract.** Rows are stored in *grid visit order* — the
+//! exact order [`BucketGrid::for_neighbors_within`] yields neighbours
+//! (cells row-major, CSR order within a cell). Every receiver list the
+//! simulator hands to a protocol therefore has the same content *and
+//! order* whether it came from the cached topology or a live grid query,
+//! which keeps energy ledgers and golden traces bit-identical across the
+//! two paths.
+
+use emst_geom::BucketGrid;
+
+/// CSR adjacency of the unit-disk graph at one operating radius.
+///
+/// Row `u` holds the neighbours of `u` within `radius` (excluding `u`
+/// itself) in grid visit order, with their exact Euclidean distances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    radius: f64,
+    /// Row boundaries: row `u` is `nbr[offsets[u]..offsets[u+1]]`.
+    offsets: Vec<u32>,
+    /// Neighbour ids, concatenated row-major.
+    nbr: Vec<u32>,
+    /// Distances, parallel to `nbr`.
+    dist: Vec<f64>,
+}
+
+impl Topology {
+    /// Builds the adjacency for every node at `radius` by a single pass of
+    /// grid disk queries. O(n + m) memory for an m-edge unit-disk graph.
+    pub fn build(grid: &BucketGrid<'_>, radius: f64) -> Self {
+        assert!(radius >= 0.0, "negative topology radius");
+        let n = grid.points().len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut nbr: Vec<u32> = Vec::new();
+        let mut dist: Vec<f64> = Vec::new();
+        offsets.push(0u32);
+        for u in 0..n {
+            grid.for_neighbors_within(u, radius, |v, d| {
+                nbr.push(v as u32);
+                dist.push(d);
+            });
+            let end = u32::try_from(nbr.len()).expect("topology larger than u32 edge space");
+            offsets.push(end);
+        }
+        Topology {
+            radius,
+            offsets,
+            nbr,
+            dist,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The operating radius the adjacency was built at.
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Total directed edge count (sum of row lengths).
+    #[inline]
+    pub fn directed_edges(&self) -> usize {
+        self.nbr.len()
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        (self.offsets[u + 1] - self.offsets[u]) as usize
+    }
+
+    #[inline]
+    fn row(&self, u: usize) -> std::ops::Range<usize> {
+        self.offsets[u] as usize..self.offsets[u + 1] as usize
+    }
+
+    /// Neighbour ids of `u`, in grid visit order.
+    #[inline]
+    pub fn ids(&self, u: usize) -> &[u32] {
+        &self.nbr[self.row(u)]
+    }
+
+    /// Distances parallel to [`Topology::ids`].
+    #[inline]
+    pub fn dists(&self, u: usize) -> &[f64] {
+        &self.dist[self.row(u)]
+    }
+
+    /// Iterates `(neighbour, distance)` pairs of `u` in grid visit order.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let r = self.row(u);
+        self.nbr[r.clone()]
+            .iter()
+            .zip(&self.dist[r])
+            .map(|(&v, &d)| (v as usize, d))
+    }
+
+    /// Appends `u`'s row to `out` (which the caller has cleared or wants
+    /// extended) without allocating beyond `out`'s capacity growth.
+    pub fn extend_row_into(&self, u: usize, out: &mut Vec<(usize, f64)>) {
+        let r = self.row(u);
+        out.reserve(r.len());
+        for (&v, &d) in self.nbr[r.clone()].iter().zip(&self.dist[r]) {
+            out.push((v as usize, d));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_geom::{trial_rng, uniform_points};
+
+    #[test]
+    fn rows_match_grid_queries_exactly() {
+        let pts = uniform_points(250, &mut trial_rng(81, 0));
+        let grid = BucketGrid::for_radius(&pts, 0.08);
+        let topo = Topology::build(&grid, 0.08);
+        assert_eq!(topo.n(), 250);
+        assert!((topo.radius() - 0.08).abs() == 0.0);
+        let mut total = 0;
+        for u in 0..250 {
+            let live = grid.neighbors_within(u, 0.08);
+            assert_eq!(topo.degree(u), live.len());
+            let row: Vec<(usize, f64)> = topo.neighbors(u).collect();
+            assert_eq!(row, live, "node {u}");
+            let mut buf = vec![(usize::MAX, 0.0)];
+            buf.clear();
+            topo.extend_row_into(u, &mut buf);
+            assert_eq!(buf, live);
+            total += live.len();
+        }
+        assert_eq!(topo.directed_edges(), total);
+    }
+
+    #[test]
+    fn radius_beyond_grid_cell_is_exhaustive() {
+        let pts = uniform_points(120, &mut trial_rng(82, 0));
+        let grid = BucketGrid::for_radius(&pts, 0.05);
+        let topo = Topology::build(&grid, 0.4);
+        for u in [0usize, 60, 119] {
+            let brute = (0..120)
+                .filter(|&v| v != u && pts[u].dist(&pts[v]) <= 0.4)
+                .count();
+            assert_eq!(topo.degree(u), brute);
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated_rows() {
+        let pts = uniform_points(10, &mut trial_rng(83, 0));
+        let grid = BucketGrid::for_radius(&pts, 0.05);
+        let topo = Topology::build(&grid, 0.0);
+        for u in 0..10 {
+            assert_eq!(topo.degree(u), 0);
+            assert!(topo.ids(u).is_empty());
+            assert!(topo.dists(u).is_empty());
+        }
+    }
+}
