@@ -1,0 +1,116 @@
+//! **R1 — fault sweep:** reliability of the MST protocols under lossy
+//! links.
+//!
+//! The paper's analysis assumes every transmission is delivered; this
+//! experiment measures what each protocol actually does when the radio
+//! layer drops each (sender, receiver) delivery independently with
+//! probability `p` and senders retry a bounded number of times
+//! (acknowledgement/timeout model, default 3 retries). Reported per
+//! `(protocol, n, p)`:
+//!
+//! * **completed** — fraction of trials whose output forest spans
+//!   (a single fragment);
+//! * **weight/MST** — `Σ|e|` of the produced forest over the clean
+//!   Euclidean MST weight (partial forests weigh less, distorted trees
+//!   more);
+//! * **energy x** — energy inflation over the same protocol's fault-free
+//!   run (retry surcharge; expected a small constant factor at small `p`);
+//! * the raw drop/retry/timeout counters.
+//!
+//! Run: `cargo run --release -p emst-bench --bin fault_sweep [-- --trials N --quick --csv]`
+
+use emst_analysis::{fnum, Table};
+use emst_bench::{fault_trial, run_sweep_multi, Options};
+use emst_core::{EoptConfig, GhsVariant, Protocol, RankScheme};
+
+fn protocols() -> Vec<(&'static str, Protocol)> {
+    vec![
+        ("ghs_modified", Protocol::Ghs(GhsVariant::Modified)),
+        ("eopt", Protocol::Eopt(EoptConfig::default())),
+        ("co_nnt", Protocol::Nnt(RankScheme::Diagonal)),
+    ]
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let sizes: Vec<usize> = if opts.quick {
+        vec![500]
+    } else {
+        vec![500, 2000]
+    };
+    let ps = [0.0, 0.01, 0.05, 0.1, 0.2];
+    eprintln!(
+        "fault_sweep: link-drop reliability, p ∈ {ps:?} ({} trials per point, seed {:#x})",
+        opts.trials, opts.seed
+    );
+
+    let mut json_rows: Vec<String> = Vec::new();
+    for (name, proto) in protocols() {
+        for &n in &sizes {
+            let rows = run_sweep_multi(&opts, &ps, |&p, t| {
+                let ft = fault_trial(opts.seed, n, p, proto, t);
+                [
+                    if ft.completed { 1.0 } else { 0.0 },
+                    ft.weight / ft.mst_weight,
+                    ft.energy,
+                    ft.drops as f64,
+                    ft.retries as f64,
+                    ft.timeouts as f64,
+                ]
+            });
+            // The p = 0.0 row is the protocol's own fault-free baseline.
+            let base_energy = rows[0].1[2].mean;
+            let mut table = Table::new([
+                "drop p",
+                "completed",
+                "weight/MST",
+                "energy",
+                "energy x",
+                "drops",
+                "retries",
+                "timeouts",
+            ]);
+            for (p, [c, w, e, d, r, to]) in &rows {
+                table.row([
+                    fnum(*p, 2),
+                    fnum(c.mean, 2),
+                    fnum(w.mean, 3),
+                    fnum(e.mean, 2),
+                    fnum(e.mean / base_energy, 2),
+                    fnum(d.mean, 1),
+                    fnum(r.mean, 1),
+                    fnum(to.mean, 1),
+                ]);
+                json_rows.push(format!(
+                    "    {{\"protocol\": \"{name}\", \"n\": {n}, \"p\": {p}, \
+                     \"completed\": {:.3}, \"weight_ratio\": {:.4}, \"energy\": {:.3}, \
+                     \"energy_x\": {:.3}, \"drops\": {:.1}, \"retries\": {:.1}, \
+                     \"timeouts\": {:.1}}}",
+                    c.mean,
+                    w.mean,
+                    e.mean,
+                    e.mean / base_energy,
+                    d.mean,
+                    r.mean,
+                    to.mean
+                ));
+            }
+            println!("-- {name} under link faults (n = {n}) --");
+            println!("{}", table.render());
+            if opts.csv {
+                println!("{}", table.to_csv());
+            }
+        }
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"fault_sweep/v1\",\n");
+    json.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    json.push_str(&format!("  \"trials\": {},\n", opts.trials));
+    json.push_str("  \"rows\": [\n");
+    json.push_str(&json_rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    let path = "BENCH_faults.json";
+    std::fs::write(path, &json).expect("cannot write BENCH_faults.json");
+    eprintln!("wrote {path}");
+}

@@ -5,6 +5,7 @@ use emst_core::{EoptConfig, GhsVariant, Protocol, RankScheme, Sim};
 use emst_geom::{mix_seed, paper_phase2_radius, trial_rng, uniform_points, Point};
 use emst_graph::euclidean_mst;
 use emst_percolation::giant_stats;
+use emst_radio::FaultPlan;
 
 /// The seeded instance for `(seed, n, trial)`. The experiment seed and
 /// the instance size are combined with the SplitMix64 finaliser — a plain
@@ -134,6 +135,56 @@ pub fn rank_scheme_row(seed: u64, n: usize, trial: u64) -> [f64; 9] {
         out[3 * k + 2] = run.tree.cost(1.0) / mst_len;
     }
     out
+}
+
+/// One fault-injected run, reduced to the sweep's observables.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultTrial {
+    /// The run produced a single spanning fragment.
+    pub completed: bool,
+    /// `Σ|e|` of the produced forest (partial forests included).
+    pub weight: f64,
+    /// `Σ|e|` of the clean Euclidean MST on the same instance.
+    pub mst_weight: f64,
+    /// Total energy, including retry surcharges.
+    pub energy: f64,
+    /// Failed deliveries.
+    pub drops: u64,
+    /// Retransmissions.
+    pub retries: u64,
+    /// Abandoned messages.
+    pub timeouts: u64,
+}
+
+/// Fault-sweep kernel: runs `protocol` on the `(seed, n, trial)` instance
+/// under per-link drop probability `p` (default retry budget) and reports
+/// completion, weight vs the clean MST, energy, and the fault counters.
+/// The fault coin seed folds in the trial index so trials draw independent
+/// drop patterns while staying reproducible.
+pub fn fault_trial(seed: u64, n: usize, p: f64, protocol: Protocol, trial: u64) -> FaultTrial {
+    let pts = instance(seed, n, trial);
+    let mst_weight = euclidean_mst(&pts).cost(1.0);
+    let plan = FaultPlan::none()
+        .drop_probability(p)
+        .seed(mix_seed(seed, trial));
+    let outcome = Sim::new(&pts)
+        .radius(paper_phase2_radius(n))
+        .with_faults(plan)
+        .try_run(protocol);
+    let faults = outcome.faults();
+    let (completed, weight, energy) = match outcome.output() {
+        Some(out) => (out.fragments == 1, out.tree.cost(1.0), out.stats.energy),
+        None => (false, f64::NAN, f64::NAN),
+    };
+    FaultTrial {
+        completed,
+        weight,
+        mst_weight,
+        energy,
+        drops: faults.drops,
+        retries: faults.retries,
+        timeouts: faults.timeouts,
+    }
 }
 
 /// EOPT exactness kernel: 1.0 when EOPT's tree equals the Euclidean MST

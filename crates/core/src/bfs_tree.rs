@@ -17,8 +17,11 @@
 //!
 //! Implemented as a reactive protocol on the discrete-event engine.
 
+use crate::sim::RunError;
 use emst_graph::{Edge, SpanningTree};
-use emst_radio::{Ctx, Delivery, NodeProtocol, RadioNet, RunStats, SyncEngine};
+use emst_radio::{
+    Ctx, Delivery, EngineError, FaultStats, NodeProtocol, RadioNet, RunStats, SyncEngine,
+};
 
 /// Per-node flooding state.
 #[derive(Debug)]
@@ -95,7 +98,9 @@ pub fn run_bfs_tree(points: &[emst_geom::Point], radius: f64, root: usize) -> Bf
         emst_radio::EnergyConfig::paper(),
         None,
         None,
+        None,
     )
+    .unwrap_or_else(|(e, _)| panic!("{e}"))
 }
 
 /// [`run_bfs_tree`] under an explicit energy configuration and optional
@@ -110,43 +115,69 @@ pub fn run_bfs_configured(
     energy: emst_radio::EnergyConfig,
     contention: Option<emst_radio::ContentionConfig>,
 ) -> BfsOutcome {
-    run_bfs_inner(points, radius, root, energy, contention, None)
+    run_bfs_inner(points, radius, root, energy, contention, None, None)
+        .unwrap_or_else(|(e, _)| panic!("{e}"))
 }
 
 /// Shared implementation behind [`crate::Sim`] and the deprecated
-/// wrappers.
+/// wrappers. The error side carries the fault counters observed up to the
+/// failure so `Sim::try_run` can report them alongside the typed error.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_bfs_inner<'p>(
     points: &'p [emst_geom::Point],
     radius: f64,
     root: usize,
     energy: emst_radio::EnergyConfig,
     contention: Option<emst_radio::ContentionConfig>,
+    faults: Option<&emst_radio::FaultPlan>,
     sink: Option<&'p mut dyn emst_radio::TraceSink>,
-) -> BfsOutcome {
+) -> Result<BfsOutcome, (RunError, FaultStats)> {
     let n = points.len();
     assert!(root < n.max(1), "root out of range");
     if n == 0 {
-        return BfsOutcome {
+        return Ok(BfsOutcome {
             tree: SpanningTree::new(0, Vec::new()),
             stats: RunStats::default(),
             reached: 0,
-        };
+        });
     }
     let mut net = RadioNet::with_config(points, radius, energy);
     // Every broadcast in the flood happens at the operating radius: serve
     // them all from one cached adjacency.
     net.cache_topology(radius);
+    let faulted = match faults {
+        Some(plan) => {
+            net.set_faults(plan.clone());
+            net.faults().is_some()
+        }
+        None => false,
+    };
     if let Some(sink) = sink {
         net.set_sink(sink);
     }
     let nodes: Vec<BfsNode> = (0..n).map(|i| BfsNode::new(radius, i == root)).collect();
+    // Logical (MAC-agnostic) round budget; under faults each of the up to
+    // `n` flood hops can be stretched by the retry budget.
+    let mut budget = 2 * n as u64 + 8;
+    if faulted {
+        let slack = net
+            .faults()
+            .map(|p| p.max_retries() as u64 + 1)
+            .unwrap_or(0);
+        budget += n as u64 * slack + 8;
+    }
     let mut eng = match contention {
         Some(cfg) => SyncEngine::with_contention(net, nodes, cfg),
         None => SyncEngine::new(net, nodes),
     };
-    // run() counts logical (MAC-agnostic) rounds.
-    eng.run(2 * n as u64 + 8).expect("flooding quiesces");
+    let run_res = eng.try_run(budget);
     let (net, nodes) = eng.into_parts();
+    match run_res {
+        Ok(_) => {}
+        // A starved flood under faults is a partial tree, not an abort.
+        Err(EngineError::RoundLimit(_)) if faulted => {}
+        Err(e) => return Err((e.into(), net.fault_stats())),
+    }
     let mut edges = Vec::new();
     let mut reached = 1usize; // the root
     for (u, node) in nodes.iter().enumerate() {
@@ -155,11 +186,11 @@ pub(crate) fn run_bfs_inner<'p>(
             reached += 1;
         }
     }
-    BfsOutcome {
+    Ok(BfsOutcome {
         tree: SpanningTree::new(n, edges),
         stats: RunStats::capture(&net),
         reached,
-    }
+    })
 }
 
 #[cfg(test)]

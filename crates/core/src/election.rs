@@ -109,7 +109,9 @@ pub fn run_election_tree(points: &[emst_geom::Point], radius: f64) -> ElectionOu
         emst_radio::EnergyConfig::paper(),
         None,
         None,
-    );
+        None,
+    )
+    .unwrap_or_else(|(e, _)| panic!("{e}"));
     let mut stats = bfs.stats.clone();
     // Orchestrated convergecast + downcast along the tree, charged per
     // hop on a fresh net handle and absorbed into the stats.

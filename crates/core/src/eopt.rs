@@ -108,13 +108,14 @@ pub fn run_eopt(points: &[Point]) -> EoptOutcome {
         &EoptConfig::default(),
         emst_radio::EnergyConfig::paper(),
         None,
+        None,
     )
 }
 
 /// Runs EOPT with explicit parameters.
 #[deprecated(note = "use `emst_core::Sim` with `Protocol::Eopt(cfg)`")]
 pub fn run_eopt_with(points: &[Point], cfg: &EoptConfig) -> EoptOutcome {
-    run_eopt_inner(points, cfg, emst_radio::EnergyConfig::paper(), None)
+    run_eopt_inner(points, cfg, emst_radio::EnergyConfig::paper(), None, None)
 }
 
 /// [`run_eopt_with`] under an explicit energy configuration (extended
@@ -125,7 +126,7 @@ pub fn run_eopt_configured(
     cfg: &EoptConfig,
     energy: emst_radio::EnergyConfig,
 ) -> EoptOutcome {
-    run_eopt_inner(points, cfg, energy, None)
+    run_eopt_inner(points, cfg, energy, None, None)
 }
 
 /// Shared implementation behind [`crate::Sim`] and the deprecated
@@ -134,6 +135,7 @@ pub(crate) fn run_eopt_inner<'p>(
     points: &'p [Point],
     cfg: &EoptConfig,
     energy: emst_radio::EnergyConfig,
+    faults: Option<&emst_radio::FaultPlan>,
     sink: Option<&'p mut dyn emst_radio::TraceSink>,
 ) -> EoptOutcome {
     let n = points.len();
@@ -142,6 +144,9 @@ pub(crate) fn run_eopt_inner<'p>(
     let r1 = cfg.radius1(n.max(2));
     let r2 = cfg.radius2(n.max(2)).max(r1);
     let mut net = RadioNet::with_config(points, r2.max(r1), energy);
+    if let Some(plan) = faults {
+        net.set_faults(plan.clone());
+    }
     if let Some(sink) = sink {
         net.set_sink(sink);
     }

@@ -33,6 +33,19 @@
 //! progress in parallel, so stages cost the *maximum* depth over active
 //! fragments).
 //!
+//! ## Reliability
+//!
+//! When the underlying network carries a [`FaultPlan`], every control
+//! message goes through an ack/retry envelope ([`GhsEngine`] retries a
+//! lost unicast up to the plan's budget, charging full transmit energy
+//! per attempt). A fragment whose initiate/report traffic is lost simply
+//! *stalls* for the phase — it is retried next phase rather than being
+//! marked exhausted — and lost announcements leave neighbour caches
+//! stale, which the merge stage tolerates by accepting connect edges
+//! through a union-find (duplicate, cyclic, or stale-internal edges are
+//! discarded instead of corrupting the forest). Fault-free runs take
+//! byte-identical code paths and produce bit-identical ledgers.
+//!
 //! ## Correctness
 //!
 //! Every added edge is the minimum outgoing edge of some fragment at the
@@ -43,7 +56,7 @@
 
 use crate::discovery::{discover, NeighborTable};
 use emst_graph::{Edge, SpanningTree};
-use emst_radio::{RadioNet, RunStats};
+use emst_radio::{FaultKind, FaultPlan, RadioNet, RunStats};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Which MOE-search mechanism to use.
@@ -215,12 +228,23 @@ pub struct GhsEngine<'a, 'n> {
     /// Reusable frontier buffers for depth computation.
     depth_frontier: Vec<u32>,
     depth_next: Vec<u32>,
+    /// Fault schedule mirrored from the network at construction; `None`
+    /// keeps every code path byte-identical to the pre-fault engine.
+    faults: Option<FaultPlan>,
+    /// Extra rounds consumed by retransmissions in the current stage
+    /// (max over fragments, like stage depths); drained per stage.
+    stage_extra: u64,
+    /// Stale cache entries healed by the last phase's merge stage —
+    /// cache repair is forward progress a barren-phase cutoff must not
+    /// count against the run.
+    healed_last_phase: usize,
 }
 
 impl<'a, 'n> GhsEngine<'a, 'n> {
     /// Fresh engine: every node is its own single-node fragment.
     pub fn new(net: &'n mut RadioNet<'a>, variant: GhsVariant) -> Self {
         let n = net.n();
+        let faults = net.faults().cloned();
         GhsEngine {
             net,
             variant,
@@ -241,6 +265,9 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
             bfs_queue: VecDeque::new(),
             depth_frontier: Vec::new(),
             depth_next: Vec::new(),
+            faults,
+            stage_extra: 0,
+            healed_last_phase: 0,
         }
     }
 
@@ -337,6 +364,11 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
         // The whole run operates at this radius: build the CSR adjacency
         // once so discovery and every announce broadcast are slice lookups.
         self.net.cache_topology(radius);
+        if self.faults.is_some() {
+            self.discover_faulty(radius, kinds);
+            self.inactive.clear();
+            return;
+        }
         let table: NeighborTable = discover(self.net, radius, kinds.hello);
         for (u, row) in table.iter().enumerate() {
             self.nbrs[u] = row
@@ -376,6 +408,99 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
         self.inactive.clear();
     }
 
+    /// Discovery under a fault schedule: charges and round count match the
+    /// clean path, but each hello delivery is subject to the plan's drop
+    /// coin and sleep/crash schedule, so neighbour tables can come out
+    /// *asymmetric* — `v` may know `u` without `u` knowing `v`. Hello
+    /// broadcasts are one-shot (no retries): discovery is best-effort by
+    /// design, and a missed hello only hides an edge, never corrupts one.
+    /// The announce back-slot fast path is disabled (it assumes symmetric
+    /// tables); faulty announces fall back to binary-search cache updates.
+    fn discover_faulty(&mut self, radius: f64, kinds: &GhsKinds) {
+        let plan = self.faults.clone().expect("caller checked");
+        let round = self.net.clock().now();
+        let n = self.net.n();
+        let hello_energy = self.net.loss().energy_for_distance(radius);
+        let mut rows: Vec<Vec<Nbr>> = vec![Vec::new(); n];
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for u in 0..n {
+            if !plan.awake(u, round) {
+                // A sleeping or crashed node never transmits its hello.
+                self.net
+                    .note_fault(FaultKind::Timeout, kinds.hello, u, None);
+                continue;
+            }
+            self.net
+                .charge_tx(kinds.hello, u, None, radius, hello_energy);
+            self.net.neighbors_into(u, radius, &mut scratch);
+            let mut delivered = 0u64;
+            for &(v, d) in &scratch {
+                if plan.delivers(round, u, v) {
+                    rows[v].push(Nbr {
+                        id: u as u32,
+                        dist: d,
+                        frag: self.frag[u],
+                        rejected: false,
+                    });
+                    delivered += 1;
+                } else {
+                    self.net
+                        .note_fault(FaultKind::Drop, kinds.hello, u, Some(v));
+                }
+            }
+            self.net.charge_receptions(delivered);
+        }
+        for (u, mut row) in rows.into_iter().enumerate() {
+            row.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+            self.nbrs[u] = row;
+        }
+        self.back_slot = vec![Vec::new(); n];
+        self.net.tick_round();
+    }
+
+    /// Sends `u → v` through the ack/retry envelope when a fault schedule
+    /// is active (plain unicast otherwise). Every attempt charges the full
+    /// transmit energy; reception is charged only on actual delivery.
+    /// Returns whether the message got through. Extra rounds consumed by
+    /// retries accumulate into [`GhsEngine::take_stage_extra`] (max over
+    /// the stage — fragments retry in parallel).
+    fn reliable_unicast(&mut self, u: usize, v: usize, kind: &'static str) -> bool {
+        let Some(plan) = self.faults.as_ref() else {
+            self.net.unicast(u, v, kind);
+            return true;
+        };
+        let base = self.net.clock().now();
+        let d = self.net.dist(u, v);
+        let energy = self.net.loss().energy_for_distance(d);
+        for attempt in 0..=plan.max_retries() {
+            let round = base + attempt as u64;
+            if !plan.alive(u, round) {
+                // Dead sender: the message is abandoned, uncharged.
+                self.net.note_fault(FaultKind::Timeout, kind, u, Some(v));
+                self.stage_extra = self.stage_extra.max(attempt as u64);
+                return false;
+            }
+            if attempt > 0 {
+                self.net.note_fault(FaultKind::Retry, kind, u, Some(v));
+            }
+            self.net.charge_tx(kind, u, Some(v), d, energy);
+            if plan.delivers(round, u, v) {
+                self.net.charge_receptions(1);
+                self.stage_extra = self.stage_extra.max(attempt as u64);
+                return true;
+            }
+            self.net.note_fault(FaultKind::Drop, kind, u, Some(v));
+        }
+        self.net.note_fault(FaultKind::Timeout, kind, u, Some(v));
+        self.stage_extra = self.stage_extra.max(plan.max_retries() as u64);
+        false
+    }
+
+    /// Drains the retry-round surcharge accumulated since the last call.
+    fn take_stage_extra(&mut self) -> u64 {
+        std::mem::take(&mut self.stage_extra)
+    }
+
     /// Position of the entry for neighbour `id` at distance `dist` in
     /// `nbrs[v]`, which is sorted by `(dist, id)`. Distances are exactly
     /// symmetric (IEEE negation and squaring commute), so the bits `v`
@@ -410,25 +535,30 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
     }
 
     /// Charges one message per tree edge of `members` in the top-down
-    /// direction (initiate-style broadcast); returns the fragment depth.
-    fn charge_broadcast(&mut self, members: &[u32], kind: &'static str) {
+    /// direction (initiate-style broadcast). Returns whether every tree
+    /// edge was traversed successfully (always true without faults).
+    fn charge_broadcast(&mut self, members: &[u32], kind: &'static str) -> bool {
+        let mut ok = true;
         for &u in members {
             let p = self.parent[u as usize];
             if p != u {
-                self.net.unicast(p as usize, u as usize, kind);
+                ok &= self.reliable_unicast(p as usize, u as usize, kind);
             }
         }
+        ok
     }
 
     /// Charges one message per tree edge in the bottom-up direction
-    /// (report-style convergecast).
-    fn charge_convergecast(&mut self, members: &[u32], kind: &'static str) {
+    /// (report-style convergecast). Returns whether every hop succeeded.
+    fn charge_convergecast(&mut self, members: &[u32], kind: &'static str) -> bool {
+        let mut ok = true;
         for &u in members {
             let p = self.parent[u as usize];
             if p != u {
-                self.net.unicast(u as usize, p as usize, kind);
+                ok &= self.reliable_unicast(u as usize, p as usize, kind);
             }
         }
+        ok
     }
 
     /// Local MOE of node `u` under the modified variant: a pure cache
@@ -456,15 +586,32 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
                 continue;
             }
             // test -> accept/reject exchange, 2 messages at distance d.
-            self.net.exchange(u, nb.id as usize, kinds.test);
-            exchanges += 1;
+            if self.faults.is_some() {
+                exchanges += 1;
+                let ok = self.reliable_unicast(u, nb.id as usize, kinds.test)
+                    && self.reliable_unicast(nb.id as usize, u, kinds.test);
+                if !ok {
+                    // Exchange lost: nothing was learned about this edge;
+                    // it stays unrejected and is probed again next phase.
+                    continue;
+                }
+            } else {
+                self.net.exchange(u, nb.id as usize, kinds.test);
+                exchanges += 1;
+            }
             if self.frag[nb.id as usize] == my {
-                // Reject: mark on both sides, permanently.
+                // Reject: mark on both sides, permanently. Under faults
+                // the tables can be asymmetric — the peer may simply not
+                // have an entry to mark.
                 self.nbrs[u][i].rejected = true;
-                let back = self
-                    .nbr_slot(nb.id as usize, nb.dist, u as u32)
-                    .expect("neighbourhoods are symmetric");
-                self.nbrs[nb.id as usize][back].rejected = true;
+                if let Some(back) = self.nbr_slot(nb.id as usize, nb.dist, u as u32) {
+                    self.nbrs[nb.id as usize][back].rejected = true;
+                } else {
+                    debug_assert!(
+                        self.faults.is_some(),
+                        "neighbourhoods are symmetric in fault-free runs"
+                    );
+                }
             } else {
                 found = Some(Cand {
                     w: nb.dist,
@@ -480,6 +627,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
     /// Executes one phase. Returns the number of fragment merges performed
     /// (0 means the engine has quiesced at this radius).
     fn phase(&mut self, kinds: &GhsKinds) -> usize {
+        self.healed_last_phase = 0;
         let active_owned: Vec<(u32, Vec<u32>)> = self
             .members
             .iter()
@@ -492,20 +640,29 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
         self.phases += 1;
         let phase_no = self.phases as u64;
 
-        // Stage A: initiate broadcasts.
+        // Stage A: initiate broadcasts. Fragments whose initiate traffic is
+        // lost *stall* for this phase: their members never got the go-ahead,
+        // so they neither search nor report, and are retried next phase.
         self.net.note_phase(kinds.scope, phase_no, "initiate");
         let mut max_depth = 0u64;
+        let mut stalled: Vec<u32> = Vec::new();
         for (f, members) in &active_owned {
             max_depth = max_depth.max(self.depth(*f));
-            self.charge_broadcast(members, kinds.initiate);
+            if !self.charge_broadcast(members, kinds.initiate) {
+                stalled.push(*f);
+            }
         }
-        self.net.advance_rounds(max_depth);
+        let extra = self.take_stage_extra();
+        self.net.advance_rounds(max_depth + extra);
 
         // Stage B: local MOE search.
         self.net.note_phase(kinds.scope, phase_no, "test");
         let mut local: BTreeMap<u32, Cand> = BTreeMap::new(); // best per fragment
         let mut max_exchanges = 0u64;
         for (f, members) in &active_owned {
+            if stalled.contains(f) {
+                continue;
+            }
             for &u in members {
                 let (cand, ex) = match self.variant {
                     GhsVariant::Modified => (self.local_moe_modified(u as usize), 0),
@@ -522,18 +679,29 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
                 }
             }
         }
-        self.net.advance_rounds(2 * max_exchanges);
+        let extra = self.take_stage_extra();
+        self.net.advance_rounds(2 * max_exchanges + extra);
 
-        // Stage C: report convergecasts.
+        // Stage C: report convergecasts. A lost report means the leader
+        // never learns the candidate: the fragment stalls (and must not be
+        // marked exhausted below).
         self.net.note_phase(kinds.scope, phase_no, "report");
-        for (_, members) in &active_owned {
-            self.charge_convergecast(members, kinds.report);
+        for (f, members) in &active_owned {
+            if stalled.contains(f) {
+                continue;
+            }
+            if !self.charge_convergecast(members, kinds.report) {
+                local.remove(f);
+                stalled.push(*f);
+            }
         }
-        self.net.advance_rounds(max_depth);
+        let extra = self.take_stage_extra();
+        self.net.advance_rounds(max_depth + extra);
 
-        // Fragments with no outgoing edge are exhausted at this radius.
+        // Fragments with no outgoing edge are exhausted at this radius —
+        // but only if their control traffic actually went through.
         for (f, _) in &active_owned {
-            if !local.contains_key(f) {
+            if !local.contains_key(f) && !stalled.contains(f) {
                 self.inactive.insert(*f);
             }
         }
@@ -542,8 +710,11 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
         }
 
         // Stage D: change-root along the leader→endpoint path, then connect.
+        // Under faults a lost hop or connect abandons the candidate for the
+        // phase (the fragment picks a fresh MOE next phase).
         self.net.note_phase(kinds.scope, phase_no, "change-root");
         let mut max_path = 0u64;
+        let mut delivered: BTreeMap<u32, Cand> = BTreeMap::new();
         for (f, cand) in &local {
             // Path from the MOE endpoint up to the leader.
             let mut path = vec![cand.u];
@@ -553,40 +724,92 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
                 path.push(cur);
             }
             max_path = max_path.max(path.len() as u64 - 1);
-            // Authority flows leader → endpoint.
+            // Authority flows leader → endpoint; a failed hop stops it.
+            let mut ok = true;
             for pair in path.windows(2) {
-                self.net
-                    .unicast(pair[1] as usize, pair[0] as usize, kinds.chroot);
+                if ok {
+                    ok = self.reliable_unicast(pair[1] as usize, pair[0] as usize, kinds.chroot);
+                }
             }
-            self.net
-                .unicast(cand.u as usize, cand.v as usize, kinds.connect);
+            if ok {
+                ok = self.reliable_unicast(cand.u as usize, cand.v as usize, kinds.connect);
+            }
+            if ok {
+                delivered.insert(*f, *cand);
+            }
         }
-        self.net.advance_rounds(max_path + 1);
+        let extra = self.take_stage_extra();
+        self.net.advance_rounds(max_path + 1 + extra);
 
         // Stage E: merge bookkeeping (no messages).
-        let merges = self.merge(&local);
+        let merges = self.merge(&delivered);
+        self.healed_last_phase = merges.healed;
 
         // Stage F: announcements (modified variant).
         if self.variant == GhsVariant::Modified {
             let changed: Vec<u32> = merges.changed;
             if !changed.is_empty() {
                 self.net.note_phase(kinds.scope, phase_no, "announce");
-                for &u in &changed {
-                    let new_frag = self.frag[u as usize];
-                    // Charges and trace event are identical to a receiver-
-                    // returning broadcast; the receiver set is the cached
-                    // topology row, updated through the back-slot table.
-                    self.net
-                        .local_broadcast_silent(u as usize, self.radius, kinds.announce);
-                    let topo = self
-                        .net
-                        .topology_at(self.radius)
-                        .expect("discover cached this radius");
-                    let ids = topo.ids(u as usize);
-                    let slots = &self.back_slot[u as usize];
-                    debug_assert_eq!(ids.len(), slots.len());
-                    for (&v, &slot) in ids.iter().zip(slots) {
-                        self.nbrs[v as usize][slot as usize].frag = new_frag;
+                if let Some(plan) = self.faults.clone() {
+                    // One-shot broadcasts (no ack channel on a broadcast);
+                    // a missed receiver keeps a stale cache entry, which
+                    // the union-find merge acceptance tolerates.
+                    let round = self.net.clock().now();
+                    let energy = self.net.loss().energy_for_distance(self.radius);
+                    let mut scratch: Vec<(usize, f64)> = Vec::new();
+                    for &u in &changed {
+                        let new_frag = self.frag[u as usize];
+                        if !plan.awake(u as usize, round) {
+                            self.net.note_fault(
+                                FaultKind::Timeout,
+                                kinds.announce,
+                                u as usize,
+                                None,
+                            );
+                            continue;
+                        }
+                        self.net
+                            .charge_tx(kinds.announce, u as usize, None, self.radius, energy);
+                        self.net
+                            .neighbors_into(u as usize, self.radius, &mut scratch);
+                        let mut delivered = 0u64;
+                        for &(v, d) in &scratch {
+                            if plan.delivers(round, u as usize, v) {
+                                // `v` may never have heard `u`'s hello;
+                                // then there is no cache entry to refresh.
+                                if let Some(slot) = self.nbr_slot(v, d, u) {
+                                    self.nbrs[v][slot].frag = new_frag;
+                                }
+                                delivered += 1;
+                            } else {
+                                self.net.note_fault(
+                                    FaultKind::Drop,
+                                    kinds.announce,
+                                    u as usize,
+                                    Some(v),
+                                );
+                            }
+                        }
+                        self.net.charge_receptions(delivered);
+                    }
+                } else {
+                    for &u in &changed {
+                        let new_frag = self.frag[u as usize];
+                        // Charges and trace event are identical to a receiver-
+                        // returning broadcast; the receiver set is the cached
+                        // topology row, updated through the back-slot table.
+                        self.net
+                            .local_broadcast_silent(u as usize, self.radius, kinds.announce);
+                        let topo = self
+                            .net
+                            .topology_at(self.radius)
+                            .expect("discover cached this radius");
+                        let ids = topo.ids(u as usize);
+                        let slots = &self.back_slot[u as usize];
+                        debug_assert_eq!(ids.len(), slots.len());
+                        for (&v, &slot) in ids.iter().zip(slots) {
+                            self.nbrs[v as usize][slot as usize].frag = new_frag;
+                        }
                     }
                 }
                 self.net.advance_rounds(1);
@@ -603,20 +826,31 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
         let ids: Vec<u32> = self.members.keys().copied().collect();
         let index = |f: u32| ids.binary_search(&f).expect("unknown fragment id");
         let mut uf = emst_graph::UnionFind::new(ids.len());
+        // An edge is accepted iff it joins two fragments not already
+        // grouped this stage. In fault-free runs this is exactly the old
+        // mutual-choice dedup (unique weights admit only 2-cycles among
+        // MOE choices); under faults it additionally discards stale
+        // cache picks that turned out fragment-internal and ≥3-cycles
+        // among non-minimum candidates — either would corrupt the forest.
+        let mut new_edges: Vec<Edge> = Vec::new();
+        // Candidates that were fragment-internal before this stage: a stale
+        // announce cache proposed an edge to a node already merged in. The
+        // delivered connect doubles as the real protocol's "same fragment"
+        // reply, so the proposer's cache entry is healed below — without
+        // this, a stale fragment re-proposes the same internal edge every
+        // phase and livelocks until the barren-phase cutoff. Empty in
+        // fault-free runs (accurate caches only pick outgoing edges).
+        let mut stale: Vec<Cand> = Vec::new();
         for (f, cand) in chosen {
             let g = self.frag[cand.v as usize];
-            uf.union(index(*f), index(g));
-        }
-        // Deduplicate connect edges (mutual choice of the same edge).
-        let mut new_edges: Vec<Edge> = Vec::new();
-        let mut seen = std::collections::HashSet::new();
-        for cand in chosen.values() {
-            let (a, b) = if cand.u < cand.v {
-                (cand.u, cand.v)
-            } else {
-                (cand.v, cand.u)
-            };
-            if seen.insert((a, b)) {
+            if g == *f {
+                stale.push(*cand);
+            } else if uf.union(index(*f), index(g)) {
+                let (a, b) = if cand.u < cand.v {
+                    (cand.u, cand.v)
+                } else {
+                    (cand.v, cand.u)
+                };
                 new_edges.push(Edge::new(a as usize, b as usize, cand.w));
             }
         }
@@ -696,9 +930,20 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
             self.members.insert(new_id, members);
             self.reroot(new_id);
         }
+        // Heal the stale cache entries detected above with the peer's
+        // post-merge fragment id, so the proposer skips (or correctly
+        // re-evaluates) the edge next phase.
+        let mut healed = 0usize;
+        for cand in &stale {
+            if let Some(slot) = self.nbr_slot(cand.u as usize, cand.w, cand.v) {
+                self.nbrs[cand.u as usize][slot].frag = self.frag[cand.v as usize];
+                healed += 1;
+            }
+        }
         MergeResult {
             changed,
             merged_groups,
+            healed,
         }
     }
 
@@ -731,12 +976,34 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
     /// Runs phases until no active fragment can merge. Returns the number
     /// of phases executed by this call.
     pub fn run_phases(&mut self, kinds: &GhsKinds) -> usize {
-        // A phase with zero merges means no active fragment found an
-        // outgoing edge (any found edge merges something), so every active
-        // fragment was just marked exhausted and the engine has quiesced at
-        // this radius.
         let before = self.phases;
-        while self.phase(kinds) > 0 {}
+        if self.faults.is_none() {
+            // A phase with zero merges means no active fragment found an
+            // outgoing edge (any found edge merges something), so every
+            // active fragment was just marked exhausted and the engine has
+            // quiesced at this radius.
+            while self.phase(kinds) > 0 {}
+        } else {
+            // Under faults a merge-free phase can also mean "everything
+            // stalled on lost control traffic" (stalled fragments are
+            // deliberately not marked exhausted) or "the chosen candidates
+            // were stale and got healed". Both are retried: healing is
+            // monotone progress (after the last merge no new staleness is
+            // created, so the backlog strictly drains), and stalls redraw
+            // fresh retry coins next phase. Only a bounded number of
+            // consecutive phases with *neither* merges nor heals give up,
+            // accepting the forest as-is (the run is then reported as
+            // degraded by the `Sim` layer).
+            const MAX_BARREN: usize = 4;
+            let mut barren = 0usize;
+            while barren < MAX_BARREN {
+                if self.phase(kinds) > 0 || self.healed_last_phase > 0 {
+                    barren = 0;
+                } else {
+                    barren += 1;
+                }
+            }
+        }
         self.phases - before
     }
 
@@ -757,16 +1024,20 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
             self.members.iter().map(|(&f, m)| (f, m.clone())).collect();
         for (f, members) in &owned {
             max_depth = max_depth.max(self.depth(*f));
-            self.charge_broadcast(members, kinds.size); // size request
-            self.charge_convergecast(members, kinds.size); // partial sums
-            self.charge_broadcast(members, kinds.size); // verdict
-            let passive = members.len() as f64 > threshold;
+            let mut ok = self.charge_broadcast(members, kinds.size); // size request
+            ok &= self.charge_convergecast(members, kinds.size); // partial sums
+            ok &= self.charge_broadcast(members, kinds.size); // verdict
+                                                              // A fragment whose size traffic was lost cannot prove its size
+                                                              // and must not go passive (passivation on a wrong count would
+                                                              // freeze a fragment that still needs to merge).
+            let passive = ok && members.len() as f64 > threshold;
             if passive {
                 self.passive.insert(*f);
             }
             rows.push((*f as usize, members.len(), passive));
         }
-        self.net.advance_rounds(3 * max_depth);
+        let extra = self.take_stage_extra();
+        self.net.advance_rounds(3 * max_depth + extra);
         rows.sort_unstable_by_key(|r| std::cmp::Reverse(r.1));
         rows
     }
@@ -776,6 +1047,8 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
 struct MergeResult {
     changed: Vec<u32>,
     merged_groups: usize,
+    /// Stale cache entries corrected (fault-injected runs only).
+    healed: usize,
 }
 
 /// Outcome of a standalone GHS run.
@@ -802,6 +1075,7 @@ pub fn run_ghs(points: &[emst_geom::Point], radius: f64, variant: GhsVariant) ->
         variant,
         emst_radio::EnergyConfig::paper(),
         None,
+        None,
     )
 }
 
@@ -814,7 +1088,7 @@ pub fn run_ghs_configured(
     variant: GhsVariant,
     energy: emst_radio::EnergyConfig,
 ) -> GhsOutcome {
-    run_ghs_inner(points, radius, variant, energy, None)
+    run_ghs_inner(points, radius, variant, energy, None, None)
 }
 
 /// Shared implementation behind [`crate::Sim`] and the deprecated
@@ -824,9 +1098,13 @@ pub(crate) fn run_ghs_inner<'p>(
     radius: f64,
     variant: GhsVariant,
     energy: emst_radio::EnergyConfig,
+    faults: Option<&FaultPlan>,
     sink: Option<&'p mut dyn emst_radio::TraceSink>,
 ) -> GhsOutcome {
     let mut net = RadioNet::with_config(points, radius, energy);
+    if let Some(plan) = faults {
+        net.set_faults(plan.clone());
+    }
     if let Some(sink) = sink {
         net.set_sink(sink);
     }

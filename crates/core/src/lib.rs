@@ -39,7 +39,10 @@ pub use ghs::{
     GHS_KINDS,
 };
 pub use nnt::{NntMsg, NntNode, NntOutcome, RankScheme};
-pub use sim::{BfsDetail, Detail, EoptDetail, GhsDetail, NntDetail, Protocol, RunOutput, Sim};
+pub use sim::{
+    BfsDetail, Detail, EoptDetail, GhsDetail, NntDetail, Protocol, RunError, RunOutcome, RunOutput,
+    Sim,
+};
 
 // Deprecated pre-`Sim` entrypoints, re-exported for compatibility.
 #[allow(deprecated)]

@@ -27,9 +27,12 @@
 //! phase occupies three synchronous rounds (request broadcast → replies →
 //! connect).
 
+use crate::sim::RunError;
 use emst_geom::{diag_rank_less, nnt_probe_phases, nnt_probe_radius, x_rank_less, Point};
 use emst_graph::{Edge, SpanningTree};
-use emst_radio::{Ctx, Delivery, NodeProtocol, RadioNet, RunStats, SyncEngine};
+use emst_radio::{
+    Ctx, Delivery, EngineError, FaultStats, NodeProtocol, RadioNet, RunStats, SyncEngine,
+};
 
 /// Which total order on nodes to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -274,7 +277,9 @@ pub fn run_nnt(points: &[Point]) -> NntOutcome {
         emst_radio::EnergyConfig::paper(),
         None,
         None,
+        None,
     )
+    .unwrap_or_else(|(e, _)| panic!("{e}"))
 }
 
 /// Runs Co-NNT with an explicit ranking scheme.
@@ -286,7 +291,9 @@ pub fn run_nnt_with(points: &[Point], scheme: RankScheme) -> NntOutcome {
         emst_radio::EnergyConfig::paper(),
         None,
         None,
+        None,
     )
+    .unwrap_or_else(|(e, _)| panic!("{e}"))
 }
 
 /// [`run_nnt_with`] under an explicit energy configuration and, optionally,
@@ -300,30 +307,40 @@ pub fn run_nnt_configured(
     energy: emst_radio::EnergyConfig,
     contention: Option<emst_radio::ContentionConfig>,
 ) -> NntOutcome {
-    run_nnt_inner(points, scheme, energy, contention, None)
+    run_nnt_inner(points, scheme, energy, contention, None, None)
+        .unwrap_or_else(|(e, _)| panic!("{e}"))
 }
 
 /// Shared implementation behind [`crate::Sim`] and the deprecated
-/// wrappers.
+/// wrappers. The error side carries the fault counters observed up to the
+/// failure so `Sim::try_run` can report them alongside the typed error.
 pub(crate) fn run_nnt_inner<'p>(
     points: &'p [Point],
     scheme: RankScheme,
     energy: emst_radio::EnergyConfig,
     contention: Option<emst_radio::ContentionConfig>,
+    faults: Option<&emst_radio::FaultPlan>,
     sink: Option<&'p mut dyn emst_radio::TraceSink>,
-) -> NntOutcome {
+) -> Result<NntOutcome, (RunError, FaultStats)> {
     let n = points.len();
     if n == 0 {
-        return NntOutcome {
+        return Ok(NntOutcome {
             tree: SpanningTree::new(0, Vec::new()),
             stats: RunStats::default(),
             unconnected: 0,
             max_phases_used: 0,
-        };
+        });
     }
     // Grid sized for the common early probe radius; larger probes still
     // resolve correctly (they scan more cells).
     let mut net = RadioNet::with_config(points, nnt_probe_radius(2, n.max(2)), energy);
+    let faulted = match faults {
+        Some(plan) => {
+            net.set_faults(plan.clone());
+            net.faults().is_some()
+        }
+        None => false,
+    };
     if let Some(sink) = sink {
         net.set_sink(sink);
     }
@@ -335,13 +352,30 @@ pub(crate) fn run_nnt_inner<'p>(
         })
         .collect();
     let worst = nodes.iter().map(|nd| nd.max_phases).max().unwrap_or(1);
+    // Logical (MAC-agnostic) round budget; retransmissions stretch each
+    // 3-round probe phase by up to the retry budget.
+    let mut budget = 3 * worst as u64 + 6;
+    if faulted {
+        let slack = net
+            .faults()
+            .map(|p| p.max_retries() as u64 + 1)
+            .unwrap_or(0);
+        budget += 3 * worst as u64 * slack + 9;
+    }
     let mut eng = match contention {
         Some(cfg) => SyncEngine::with_contention(net, nodes, cfg),
         None => SyncEngine::new(net, nodes),
     };
-    // run() counts logical rounds, which are MAC-agnostic.
-    eng.run(3 * worst as u64 + 6).expect("Co-NNT quiesces");
+    let run_res = eng.try_run(budget);
     let (net, nodes) = eng.into_parts();
+    match run_res {
+        Ok(_) => {}
+        // Under faults a round-limit overrun means some probe schedule was
+        // starved by losses: report the partial tree as a degraded outcome
+        // rather than aborting the trial.
+        Err(EngineError::RoundLimit(_)) if faulted => {}
+        Err(e) => return Err((e.into(), net.fault_stats())),
+    }
     let mut edges = Vec::with_capacity(n.saturating_sub(1));
     let mut unconnected = 0usize;
     let mut max_phases_used = 0u32;
@@ -352,12 +386,12 @@ pub(crate) fn run_nnt_inner<'p>(
             None => unconnected += 1,
         }
     }
-    NntOutcome {
+    Ok(NntOutcome {
         tree: SpanningTree::new(n, edges),
         stats: RunStats::capture(&net),
         unconnected,
         max_phases_used,
-    }
+    })
 }
 
 #[cfg(test)]

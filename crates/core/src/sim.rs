@@ -34,7 +34,60 @@ use crate::ghs::{run_ghs_inner, GhsVariant};
 use crate::nnt::{run_nnt_inner, RankScheme};
 use emst_geom::Point;
 use emst_graph::SpanningTree;
-use emst_radio::{ContentionConfig, EnergyConfig, RunStats, TraceSink};
+use emst_radio::{
+    ContentionConfig, EnergyConfig, EngineError, FaultPlan, FaultStats, RunStats, TraceSink,
+};
+
+/// Why a protocol run aborted instead of producing a (possibly partial)
+/// forest. Carried by [`RunOutcome::Failed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// The slotted-ALOHA layer hit its per-round slot cap with
+    /// transmissions still undelivered (§VIII livelock guard).
+    ContentionOverflow {
+        /// Transmissions whose receiver set was still non-empty.
+        unresolved: usize,
+        /// The slot cap that was hit.
+        slots: u32,
+    },
+    /// The protocol failed to quiesce within its round budget on a run
+    /// where that indicates a logic error (clean reactive runs only;
+    /// faulty runs tolerate starvation as a degraded partial result).
+    RoundLimit {
+        /// The budget that ran out.
+        max_rounds: u64,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::ContentionOverflow { unresolved, slots } => write!(
+                f,
+                "contention livelock: {unresolved} transmissions unresolved after {slots} slots"
+            ),
+            RunError::RoundLimit { max_rounds } => {
+                write!(f, "protocol did not quiesce within {max_rounds} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<EngineError> for RunError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Contention(c) => RunError::ContentionOverflow {
+                unresolved: c.unresolved,
+                slots: c.slots,
+            },
+            EngineError::RoundLimit(r) => RunError::RoundLimit {
+                max_rounds: r.max_rounds,
+            },
+        }
+    }
+}
 
 /// Which algorithm to run. Radius semantics differ by protocol:
 /// GHS and BFS operate at the radius set with [`Sim::radius`]; EOPT and
@@ -167,6 +220,76 @@ impl RunOutput {
     }
 }
 
+/// Result of a fallible protocol run ([`Sim::try_run`]).
+///
+/// Without a fault plan every run is [`RunOutcome::Complete`] (or panics
+/// on a genuine logic error, exactly as before). With faults injected the
+/// protocol may still finish a spanning forest (`Complete`), finish with
+/// visible damage — lost messages that left the forest fragmented or
+/// exhausted a retry budget (`Degraded`) — or abort with a typed error
+/// (`Failed`).
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// The run finished and the fault layer left no mark on the result.
+    Complete(RunOutput),
+    /// The run finished, but faults were visible: at least one message
+    /// timed out, or drops left the forest with more than one fragment.
+    Degraded {
+        /// The (possibly partial) result.
+        output: RunOutput,
+        /// Drop/retry/timeout counters for the whole run.
+        faults: FaultStats,
+    },
+    /// The run aborted; no forest was produced.
+    Failed {
+        /// Why it aborted.
+        error: RunError,
+        /// Fault counters observed up to the failure.
+        faults: FaultStats,
+    },
+}
+
+impl RunOutcome {
+    /// The produced output, if the run finished (complete or degraded).
+    pub fn output(&self) -> Option<&RunOutput> {
+        match self {
+            RunOutcome::Complete(o) | RunOutcome::Degraded { output: o, .. } => Some(o),
+            RunOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Consumes the outcome, yielding the output if the run finished.
+    pub fn into_output(self) -> Option<RunOutput> {
+        match self {
+            RunOutcome::Complete(o) | RunOutcome::Degraded { output: o, .. } => Some(o),
+            RunOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Fault counters for the run (zero for a clean [`Complete`]).
+    ///
+    /// [`Complete`]: RunOutcome::Complete
+    pub fn faults(&self) -> FaultStats {
+        match self {
+            RunOutcome::Complete(o) => o.stats.faults,
+            RunOutcome::Degraded { faults, .. } | RunOutcome::Failed { faults, .. } => *faults,
+        }
+    }
+
+    /// Whether the run finished with no visible fault damage.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RunOutcome::Complete(_))
+    }
+
+    /// The abort reason, if the run failed.
+    pub fn error(&self) -> Option<RunError> {
+        match self {
+            RunOutcome::Failed { error, .. } => Some(*error),
+            _ => None,
+        }
+    }
+}
+
 /// Builder for a single protocol run over a fixed point set.
 ///
 /// Defaults: paper energy model (`rx = idle = 0`), no contention layer,
@@ -178,6 +301,7 @@ pub struct Sim<'a> {
     radius: Option<f64>,
     energy: EnergyConfig,
     contention: Option<ContentionConfig>,
+    faults: Option<FaultPlan>,
     sink: Option<&'a mut dyn TraceSink>,
 }
 
@@ -189,6 +313,7 @@ impl<'a> Sim<'a> {
             radius: None,
             energy: EnergyConfig::paper(),
             contention: None,
+            faults: None,
             sink: None,
         }
     }
@@ -215,6 +340,17 @@ impl<'a> Sim<'a> {
         self
     }
 
+    /// Injects a deterministic fault schedule (link drops, node crashes,
+    /// sleep windows) into the run. A no-op plan ([`FaultPlan::is_noop`])
+    /// is elided entirely, keeping the clean path bit-identical to a run
+    /// that never called this. Mutually exclusive with
+    /// [`Sim::contention`]: fault injection composes with the
+    /// collision-free engine only.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = if plan.is_noop() { None } else { Some(plan) };
+        self
+    }
+
     /// Attaches a trace sink that receives every structured event of the
     /// run (round boundaries, per-message energy, phase transitions,
     /// fragment merges). Untraced runs pay no observation cost.
@@ -225,20 +361,45 @@ impl<'a> Sim<'a> {
 
     /// Executes `protocol` and returns the uniform [`RunOutput`].
     ///
+    /// Degraded fault-injected runs still return their (possibly
+    /// partial) output; use [`Sim::try_run`] to distinguish them.
+    ///
     /// # Panics
     ///
     /// If GHS/BFS run without a radius, if BFS's root is out of range,
-    /// or if a contention layer is combined with an orchestrated
-    /// protocol (GHS/EOPT).
+    /// if a contention layer is combined with an orchestrated protocol
+    /// (GHS/EOPT) or with fault injection, or if the run aborts with a
+    /// [`RunError`].
     pub fn run(self, protocol: Protocol) -> RunOutput {
+        match self.try_run(protocol) {
+            RunOutcome::Complete(o) | RunOutcome::Degraded { output: o, .. } => o,
+            RunOutcome::Failed { error, .. } => panic!("{error}"),
+        }
+    }
+
+    /// Executes `protocol`, classifying the result instead of panicking
+    /// on fault-induced damage: see [`RunOutcome`].
+    ///
+    /// # Panics
+    ///
+    /// Only on configuration errors (missing radius, out-of-range root,
+    /// contention combined with GHS/EOPT or with fault injection) — never
+    /// on what happens during the run.
+    pub fn try_run(self, protocol: Protocol) -> RunOutcome {
         let Sim {
             points,
             radius,
             energy,
             contention,
+            faults,
             sink,
         } = self;
-        match protocol {
+        assert!(
+            !(contention.is_some() && faults.is_some()),
+            "fault injection composes with the collision-free engine only"
+        );
+        let faulted = faults.is_some();
+        let output = match protocol {
             Protocol::Ghs(variant) => {
                 assert!(
                     contention.is_none(),
@@ -246,7 +407,7 @@ impl<'a> Sim<'a> {
                      the contention layer applies to Nnt/Bfs only"
                 );
                 let r = radius.expect("Protocol::Ghs requires Sim::radius");
-                let out = run_ghs_inner(points, r, variant, energy, sink);
+                let out = run_ghs_inner(points, r, variant, energy, faults.as_ref(), sink);
                 RunOutput::build(
                     out.tree,
                     out.stats,
@@ -259,7 +420,7 @@ impl<'a> Sim<'a> {
                     "EOPT is orchestrated over the collision-free RBN model; \
                      the contention layer applies to Nnt/Bfs only"
                 );
-                let out = run_eopt_inner(points, &cfg, energy, sink);
+                let out = run_eopt_inner(points, &cfg, energy, faults.as_ref(), sink);
                 RunOutput::build(
                     out.tree,
                     out.stats,
@@ -274,27 +435,41 @@ impl<'a> Sim<'a> {
                 )
             }
             Protocol::Nnt(scheme) => {
-                let out = run_nnt_inner(points, scheme, energy, contention, sink);
-                RunOutput::build(
-                    out.tree,
-                    out.stats,
-                    Detail::Nnt(NntDetail {
-                        unconnected: out.unconnected,
-                        max_phases_used: out.max_phases_used,
-                    }),
-                )
+                match run_nnt_inner(points, scheme, energy, contention, faults.as_ref(), sink) {
+                    Ok(out) => RunOutput::build(
+                        out.tree,
+                        out.stats,
+                        Detail::Nnt(NntDetail {
+                            unconnected: out.unconnected,
+                            max_phases_used: out.max_phases_used,
+                        }),
+                    ),
+                    Err((error, faults)) => return RunOutcome::Failed { error, faults },
+                }
             }
             Protocol::Bfs { root } => {
                 let r = radius.expect("Protocol::Bfs requires Sim::radius");
-                let out = run_bfs_inner(points, r, root, energy, contention, sink);
-                RunOutput::build(
-                    out.tree,
-                    out.stats,
-                    Detail::Bfs(BfsDetail {
-                        reached: out.reached,
-                    }),
-                )
+                match run_bfs_inner(points, r, root, energy, contention, faults.as_ref(), sink) {
+                    Ok(out) => RunOutput::build(
+                        out.tree,
+                        out.stats,
+                        Detail::Bfs(BfsDetail {
+                            reached: out.reached,
+                        }),
+                    ),
+                    Err((error, faults)) => return RunOutcome::Failed { error, faults },
+                }
             }
+        };
+        let fs = output.stats.faults;
+        // Damage is visible when a message was abandoned outright, or
+        // when drops coincide with a fragmented forest (lost links can
+        // sever fragments that a clean run would have merged).
+        let degraded = faulted && (fs.timeouts > 0 || (output.fragments > 1 && fs.drops > 0));
+        if degraded {
+            RunOutcome::Degraded { output, faults: fs }
+        } else {
+            RunOutcome::Complete(output)
         }
     }
 }

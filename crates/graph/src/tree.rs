@@ -91,6 +91,24 @@ impl SpanningTree {
         self.validate().is_ok()
     }
 
+    /// Verifies the weaker *forest* invariant — acyclicity (no edge count
+    /// or connectivity requirement). Partial results from degraded
+    /// fault-injected runs are forests with `n − |edges|` components.
+    pub fn validate_forest(&self) -> Result<(), TreeError> {
+        let mut uf = UnionFind::new(self.n);
+        for e in &self.edges {
+            if !uf.union(e.u as usize, e.v as usize) {
+                return Err(TreeError::HasCycle);
+            }
+        }
+        Ok(())
+    }
+
+    /// True if the edge set is acyclic.
+    pub fn is_forest(&self) -> bool {
+        self.validate_forest().is_ok()
+    }
+
     /// Generalised tree cost `Σ w(e)^α`. Edge weights are Euclidean
     /// lengths for geometric instances, so `alpha = 1.0` is the total edge
     /// length and `alpha = 2.0` the sum of squared lengths reported in

@@ -35,8 +35,10 @@ pub struct ContentionConfig {
     /// Interference range as a multiple of the transmission range.
     pub range_factor: f64,
     /// Hard cap on slots per logical round (guards against livelock in
-    /// pathological configurations; hitting it panics loudly rather than
-    /// silently dropping messages).
+    /// pathological configurations; hitting it surfaces a typed
+    /// [`ContentionOverflow`] error rather than silently dropping
+    /// messages, so one pathological trial degrades instead of aborting a
+    /// whole parallel sweep).
     pub max_slots_per_round: u32,
     /// RNG seed for the backoff coin flips.
     pub seed: u64,
@@ -52,6 +54,32 @@ impl Default for ContentionConfig {
         }
     }
 }
+
+/// The contention layer failed to resolve a logical round within
+/// [`ContentionConfig::max_slots_per_round`] MAC slots.
+///
+/// Everything charged up to the overflow stays charged (attempts radiate
+/// energy whether or not the round completes); the error reports how much
+/// was still in flight so callers can degrade the trial gracefully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentionOverflow {
+    /// Transmissions whose receiver set was still non-empty.
+    pub unresolved: usize,
+    /// The slot cap that was hit.
+    pub slots: u32,
+}
+
+impl std::fmt::Display for ContentionOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "contention livelock: {} transmissions unresolved after {} slots",
+            self.unresolved, self.slots
+        )
+    }
+}
+
+impl std::error::Error for ContentionOverflow {}
 
 /// xorshift64* — a tiny deterministic RNG so the contention layer does not
 /// pull `rand` into `emst-radio`'s public dependency set.
@@ -102,7 +130,10 @@ pub(crate) struct PendingTx {
 ///
 /// `positions` gives node coordinates; `deliver(tx_index, receiver)` is
 /// invoked exactly once per (transmission, receiver) on success;
-/// `charge(tx_index)` once per attempt. Returns the number of slots used.
+/// `charge(tx_index)` once per attempt. Returns the number of slots used,
+/// or [`ContentionOverflow`] if the round did not resolve within
+/// [`ContentionConfig::max_slots_per_round`] slots (everything delivered
+/// and charged before the overflow stands).
 pub(crate) fn resolve_round<FD, FC>(
     cfg: &ContentionConfig,
     rng: &mut SlotRng,
@@ -110,7 +141,7 @@ pub(crate) fn resolve_round<FD, FC>(
     pending: &mut [PendingTx],
     mut deliver: FD,
     mut charge: FC,
-) -> u32
+) -> Result<u32, ContentionOverflow>
 where
     FD: FnMut(usize, usize),
     FC: FnMut(usize),
@@ -144,12 +175,12 @@ where
             refresh = slots + 16;
         }
         slots += 1;
-        assert!(
-            slots <= cfg.max_slots_per_round,
-            "contention livelock: {} transmissions unresolved after {} slots",
-            pending.iter().filter(|t| !t.waiting.is_empty()).count(),
-            slots
-        );
+        if slots > cfg.max_slots_per_round {
+            return Err(ContentionOverflow {
+                unresolved: pending.iter().filter(|t| !t.waiting.is_empty()).count(),
+                slots: cfg.max_slots_per_round,
+            });
+        }
         // Decide who transmits this slot.
         let active: Vec<usize> = (0..pending.len())
             .filter(|&i| !pending[i].waiting.is_empty() && rng.coin(rates[i]))
@@ -190,7 +221,7 @@ where
             }
         }
     }
-    slots
+    Ok(slots)
 }
 
 #[cfg(test)]
@@ -225,7 +256,8 @@ mod tests {
             &mut pending,
             |i, v| delivered.push((i, v)),
             |_| attempts += 1,
-        );
+        )
+        .unwrap();
         assert_eq!(delivered, vec![(0, 1)]);
         assert!(attempts >= 1);
         assert!(slots >= attempts as u32);
@@ -264,7 +296,8 @@ mod tests {
             &mut pending,
             |i, v| delivered.push((i, v)),
             |_| attempts += 1,
-        );
+        )
+        .unwrap();
         delivered.sort_unstable();
         assert_eq!(delivered, vec![(0, 2), (1, 2)]);
         // Collisions force strictly more attempts than deliveries whp with
@@ -305,15 +338,17 @@ mod tests {
             &mut pending,
             |_, _| {},
             |_| attempts += 1,
-        );
+        )
+        .unwrap();
         assert_eq!(slots, 1, "both should deliver in the first slot");
         assert_eq!(attempts, 2);
     }
 
     #[test]
-    fn colocated_always_on_transmitters_livelock_is_detected() {
+    fn colocated_always_on_transmitters_livelock_is_an_error() {
         // p = 1 with two mutually interfering transmissions can never
-        // resolve — the guard must fire instead of spinning forever.
+        // resolve — the guard must surface a typed error (not a panic)
+        // instead of spinning forever.
         let positions = pts(&[(0.4, 0.5), (0.6, 0.5), (0.5, 0.5)]);
         let cfg = ContentionConfig {
             attempt_probability: 1.0,
@@ -337,10 +372,21 @@ mod tests {
                 kind: "b",
             },
         ];
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            resolve_round(&cfg, &mut rng, &positions, &mut pending, |_, _| {}, |_| {})
-        }));
-        assert!(result.is_err(), "livelock guard must panic");
+        let mut attempts = 0usize;
+        let err = resolve_round(
+            &cfg,
+            &mut rng,
+            &positions,
+            &mut pending,
+            |_, _| {},
+            |_| attempts += 1,
+        )
+        .unwrap_err();
+        assert_eq!(err.unresolved, 2);
+        assert_eq!(err.slots, 50);
+        assert!(format!("{err}").contains("contention livelock"));
+        // Everything attempted before the overflow was still charged.
+        assert_eq!(attempts, 100, "p=1: both transmit every slot");
     }
 
     #[test]

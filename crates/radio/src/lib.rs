@@ -15,14 +15,16 @@
 pub mod contention;
 pub mod energy;
 pub mod engine;
+pub mod fault;
 pub mod network;
 pub mod stats;
 pub mod topology;
 pub mod trace;
 
-pub use contention::ContentionConfig;
+pub use contention::{ContentionConfig, ContentionOverflow};
 pub use energy::{EnergyLedger, Tally};
-pub use engine::{Ctx, Delivery, NodeProtocol, RoundLimitExceeded, SyncEngine};
+pub use engine::{Ctx, Delivery, EngineError, NodeProtocol, RoundLimitExceeded, SyncEngine};
+pub use fault::{backoff_stream_seed, fault_stream_seed, FaultKind, FaultPlan, FaultStats};
 pub use network::{Clock, EnergyConfig, RadioNet};
 pub use stats::RunStats;
 pub use topology::Topology;

@@ -14,6 +14,7 @@
 //!   count since energy is size-independent in the model.
 
 use crate::energy::EnergyLedger;
+use crate::fault::{FaultKind, FaultPlan, FaultStats};
 use crate::topology::Topology;
 use crate::trace::{TraceEvent, TraceSink};
 use emst_geom::{BucketGrid, PathLoss, Point};
@@ -119,6 +120,11 @@ pub struct RadioNet<'a> {
     ledger: EnergyLedger,
     clock: Clock,
     sink: Option<&'a mut dyn TraceSink>,
+    /// Fault schedule; `None` when fault injection is disabled (a no-op
+    /// plan is stored as `None`, so disabled runs take identical paths).
+    faults: Option<FaultPlan>,
+    /// Drop/retry/timeout counters, reported through [`RadioNet::note_fault`].
+    fault_stats: FaultStats,
 }
 
 impl std::fmt::Debug for RadioNet<'_> {
@@ -166,7 +172,48 @@ impl<'a> RadioNet<'a> {
             ledger: EnergyLedger::new(),
             clock: Clock::default(),
             sink: None,
+            faults: None,
+            fault_stats: FaultStats::default(),
         }
+    }
+
+    /// Installs a fault schedule. A no-op plan ([`FaultPlan::is_noop`]) is
+    /// discarded so fault-free runs keep their exact pre-fault behaviour
+    /// (bit-identical ledgers and traces).
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = if plan.is_noop() { None } else { Some(plan) };
+    }
+
+    /// The active fault schedule, if fault injection is enabled.
+    #[inline]
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Fault counters accumulated so far.
+    #[inline]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Records one fault event: bumps the matching counter and mirrors a
+    /// [`TraceEvent::Fault`] to the sink, if any.
+    pub fn note_fault(
+        &mut self,
+        what: FaultKind,
+        kind: &'static str,
+        src: usize,
+        dst: Option<usize>,
+    ) {
+        self.fault_stats.note(what);
+        let round = self.clock.now();
+        self.emit(|| TraceEvent::Fault {
+            round,
+            what,
+            kind,
+            src,
+            dst,
+        });
     }
 
     /// Attaches a trace sink: every subsequent transmission, clock advance
@@ -262,7 +309,7 @@ impl<'a> RadioNet<'a> {
         if self
             .topo
             .as_ref()
-            .is_some_and(|t| t.radius().to_bits() == radius.to_bits())
+            .is_some_and(|t| radius_close(t.radius(), radius))
         {
             return;
         }
@@ -275,14 +322,17 @@ impl<'a> RadioNet<'a> {
         self.topo.as_ref()
     }
 
-    /// The cached topology *at this exact radius* (bitwise compare), if
-    /// present. Callers that may run at varying radii use this to take the
-    /// fast path only when it is actually valid.
+    /// The cached topology *at this radius*, if present. Callers that may
+    /// run at varying radii use this to take the fast path only when it is
+    /// actually valid. The match tolerates a couple of ulps (see
+    /// [`radius_close`]): a caller that recomputes the operating radius
+    /// through a different floating-point expression must not silently
+    /// fall back to live-grid queries — that was a silent 4× slowdown.
     #[inline]
     pub fn topology_at(&self, radius: f64) -> Option<&Topology> {
         self.topo
             .as_ref()
-            .filter(|t| t.radius().to_bits() == radius.to_bits())
+            .filter(|t| radius_close(t.radius(), radius))
     }
 
     /// Neighbours of `u` within `radius` with distances (the unit-disk
@@ -454,13 +504,28 @@ impl<'a> RadioNet<'a> {
     /// energy — used by the contention layer to account ALOHA retries
     /// (each retry radiates the full transmit energy again).
     pub fn charge_attempt(&mut self, kind: &'static str, src: usize, power: f64, energy: f64) {
+        self.charge_tx(kind, src, None, power, energy);
+    }
+
+    /// [`RadioNet::charge_attempt`] with an explicit destination: one
+    /// transmit charge (no reception accounting — the caller decides which
+    /// receivers actually hear it). The reliability layer uses this so
+    /// retried unicasts keep their `dst` in the trace.
+    pub fn charge_tx(
+        &mut self,
+        kind: &'static str,
+        src: usize,
+        dst: Option<usize>,
+        power: f64,
+        energy: f64,
+    ) {
         self.ledger.charge(kind, energy);
         let round = self.clock.now();
         self.emit(|| TraceEvent::Message {
             round,
             kind,
             src,
-            dst: None,
+            dst,
             power,
             energy,
         });
@@ -505,6 +570,28 @@ impl<'a> RadioNet<'a> {
     pub fn take_ledger(&mut self) -> EnergyLedger {
         std::mem::take(&mut self.ledger)
     }
+}
+
+/// Whether a cached-topology radius matches a query radius.
+///
+/// Bitwise equality plus a two-ulp tolerance: operating radii are always
+/// recomputed through closed-form expressions (`paper_phase2_radius` and
+/// friends), so a mismatch of one or two ulps means "the same radius via a
+/// different floating-point expression", not a different operating radius.
+/// Serving the cache there is sound — a node whose distance falls strictly
+/// between two radii a couple of ulps apart would change the neighbourhood,
+/// but positions are continuous samples and such coincidences do not occur
+/// at f64 resolution. Genuinely different radii (protocol phase changes)
+/// differ by many orders of magnitude more and still rebuild/fall through.
+fn radius_close(cached: f64, query: f64) -> bool {
+    if cached.to_bits() == query.to_bits() {
+        return true;
+    }
+    cached.is_finite()
+        && query.is_finite()
+        && cached > 0.0
+        && query > 0.0
+        && cached.to_bits().abs_diff(query.to_bits()) <= 2
 }
 
 #[cfg(test)]
@@ -663,6 +750,96 @@ mod tests {
                 net.neighbors_into(u, r, &mut buf);
                 assert_eq!(buf, net.neighbors(u, r), "u={u} r={r}");
             }
+        }
+    }
+
+    #[test]
+    fn topology_cache_tolerates_ulp_recomputed_radius() {
+        // Regression: a caller recomputing the operating radius through a
+        // different floating-point expression lands a few ulps off; the
+        // bitwise compare used to miss the cache silently (a 4× slowdown),
+        // and a second `cache_topology` call used to rebuild from scratch.
+        let pts = uniform_points(120, &mut trial_rng(76, 0));
+        let r = (9.0f64 * (120f64).ln() / 120.0).sqrt();
+        let mut net = RadioNet::new(&pts, r);
+        net.cache_topology(r);
+        for ulps in [1u64, 2] {
+            let r_off = f64::from_bits(r.to_bits() + ulps);
+            assert!(
+                net.topology_at(r_off).is_some(),
+                "+{ulps} ulp must still hit the cache"
+            );
+            let r_off = f64::from_bits(r.to_bits() - ulps);
+            assert!(
+                net.topology_at(r_off).is_some(),
+                "-{ulps} ulp must still hit the cache"
+            );
+        }
+        // Genuinely different radii still miss (and rebuild on request).
+        assert!(net.topology_at(r * 0.5).is_none());
+        assert!(net.topology_at(r * 1.01).is_none());
+        let r_near = f64::from_bits(r.to_bits() + 1);
+        net.cache_topology(r_near); // must be a no-op, not a rebuild
+        assert_eq!(net.topology().unwrap().radius().to_bits(), r.to_bits());
+    }
+
+    #[test]
+    fn noop_fault_plan_is_discarded() {
+        use crate::fault::FaultPlan;
+        let pts = vec![Point::new(0.0, 0.0), Point::new(0.3, 0.4)];
+        let mut net = RadioNet::new(&pts, 1.0);
+        net.set_faults(FaultPlan::none().seed(9).retries(7));
+        assert!(net.faults().is_none(), "no-op plans must be elided");
+        net.set_faults(FaultPlan::none().drop_probability(0.1));
+        assert!(net.faults().is_some());
+        assert!(net.fault_stats().is_clean());
+    }
+
+    #[test]
+    fn note_fault_counts_and_traces() {
+        use crate::fault::FaultKind;
+        use crate::trace::MetricsSink;
+        let pts = vec![Point::new(0.0, 0.0), Point::new(0.3, 0.4)];
+        let mut sink = MetricsSink::new();
+        {
+            let mut net = RadioNet::new(&pts, 1.0);
+            net.set_sink(&mut sink);
+            net.note_fault(FaultKind::Drop, "t", 0, Some(1));
+            net.note_fault(FaultKind::Retry, "t", 0, Some(1));
+            net.note_fault(FaultKind::Retry, "t", 0, None);
+            net.note_fault(FaultKind::Timeout, "t", 1, None);
+            let fs = net.fault_stats();
+            assert_eq!((fs.drops, fs.retries, fs.timeouts), (1, 2, 1));
+        }
+        assert_eq!(sink.fault_drops(), 1);
+        assert_eq!(sink.fault_retries(), 2);
+        assert_eq!(sink.fault_timeouts(), 1);
+    }
+
+    #[test]
+    fn charge_tx_keeps_destination_in_trace() {
+        use crate::trace::{TraceEvent, TraceSink};
+        #[derive(Default)]
+        struct Last(Option<TraceEvent>);
+        impl TraceSink for Last {
+            fn record(&mut self, e: &TraceEvent) {
+                self.0 = Some(e.clone());
+            }
+        }
+        let pts = vec![Point::new(0.0, 0.0), Point::new(0.3, 0.4)];
+        let mut sink = Last::default();
+        {
+            let mut net = RadioNet::new(&pts, 1.0);
+            net.set_sink(&mut sink);
+            net.charge_tx("t", 0, Some(1), 0.5, 0.25);
+            assert!((net.ledger().total_energy() - 0.25).abs() < 1e-15);
+        }
+        match sink.0 {
+            Some(TraceEvent::Message { dst, power, .. }) => {
+                assert_eq!(dst, Some(1));
+                assert!((power - 0.5).abs() < 1e-15);
+            }
+            other => panic!("expected a message event, got {other:?}"),
         }
     }
 

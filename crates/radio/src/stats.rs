@@ -2,6 +2,7 @@
 //! evaluation reports, captured from a network after a protocol run.
 
 use crate::energy::EnergyLedger;
+use crate::fault::FaultStats;
 use crate::network::RadioNet;
 use std::fmt;
 
@@ -18,6 +19,8 @@ pub struct RunStats {
     pub messages: u64,
     /// Synchronous rounds consumed (time complexity).
     pub rounds: u64,
+    /// Drop/retry/timeout counters (all zero in fault-free runs).
+    pub faults: FaultStats,
     /// Full per-kind ledger for attribution.
     pub ledger: EnergyLedger,
 }
@@ -32,6 +35,7 @@ impl RunStats {
             idle_energy: ledger.idle_energy(),
             messages: ledger.total_messages(),
             rounds: net.clock().now(),
+            faults: net.fault_stats(),
             ledger,
         }
     }
@@ -50,6 +54,7 @@ impl RunStats {
         self.idle_energy = self.ledger.idle_energy();
         self.messages = self.ledger.total_messages();
         self.rounds += other.rounds;
+        self.faults.merge(&other.faults);
     }
 }
 
@@ -107,6 +112,7 @@ mod tests {
             idle_energy: 0.0,
             messages: 10,
             rounds: 4,
+            faults: FaultStats::default(),
             ledger: EnergyLedger::new(),
         };
         let txt = format!("{s}");

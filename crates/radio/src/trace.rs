@@ -23,6 +23,7 @@
 //!   analysis; byte-deterministic for a fixed seed.
 
 use crate::energy::Tally;
+use crate::fault::FaultKind;
 use std::collections::BTreeMap;
 use std::io::{self, Write};
 
@@ -79,6 +80,23 @@ pub enum TraceEvent {
         absorbed: usize,
         /// Member count of the merged fragment.
         size: usize,
+    },
+    /// A reliability-layer fault: a dropped delivery, a retransmission, or
+    /// an abandoned message. Emitted only when a
+    /// [`FaultPlan`](crate::FaultPlan) is active; fault-free traces are
+    /// byte-identical to pre-reliability-layer traces.
+    Fault {
+        /// Round of the event.
+        round: u64,
+        /// Drop / retry / timeout.
+        what: FaultKind,
+        /// Message kind of the affected transmission.
+        kind: &'static str,
+        /// Sender.
+        src: usize,
+        /// Receiver for a unicast-shaped message; `None` for a broadcast
+        /// or an aggregate event.
+        dst: Option<usize>,
     },
 }
 
@@ -156,6 +174,9 @@ pub struct MetricsSink {
     current_phase: Option<PhaseKey>,
     phase_log: Vec<(u64, PhaseKey)>,
     merges: Vec<MergeMark>,
+    fault_drops: u64,
+    fault_retries: u64,
+    fault_timeouts: u64,
 }
 
 impl MetricsSink {
@@ -261,6 +282,24 @@ impl MetricsSink {
     pub fn merges(&self) -> &[MergeMark] {
         &self.merges
     }
+
+    /// Dropped deliveries observed (0 in fault-free runs).
+    #[inline]
+    pub fn fault_drops(&self) -> u64 {
+        self.fault_drops
+    }
+
+    /// Retransmissions observed (0 in fault-free runs).
+    #[inline]
+    pub fn fault_retries(&self) -> u64 {
+        self.fault_retries
+    }
+
+    /// Abandoned messages observed (0 in fault-free runs).
+    #[inline]
+    pub fn fault_timeouts(&self) -> u64 {
+        self.fault_timeouts
+    }
 }
 
 impl TraceSink for MetricsSink {
@@ -323,6 +362,11 @@ impl TraceSink for MetricsSink {
                 absorbed,
                 size,
             }),
+            TraceEvent::Fault { what, .. } => match what {
+                FaultKind::Drop => self.fault_drops += 1,
+                FaultKind::Retry => self.fault_retries += 1,
+                FaultKind::Timeout => self.fault_timeouts += 1,
+            },
         }
     }
 }
@@ -404,6 +448,25 @@ impl<W: Write> JsonlSink<W> {
                 self.w,
                 r#"{{"t":"merge","round":{round},"leader":{leader},"absorbed":{absorbed},"size":{size}}}"#
             ),
+            TraceEvent::Fault {
+                round,
+                what,
+                kind,
+                src,
+                dst,
+            } => {
+                let what = what.label();
+                match dst {
+                    Some(d) => writeln!(
+                        self.w,
+                        r#"{{"t":"fault","round":{round},"what":"{what}","kind":"{kind}","src":{src},"dst":{d}}}"#
+                    ),
+                    None => writeln!(
+                        self.w,
+                        r#"{{"t":"fault","round":{round},"what":"{what}","kind":"{kind}","src":{src},"dst":null}}"#
+                    ),
+                }
+            }
         }
     }
 }
@@ -493,6 +556,22 @@ impl<W: Write> CsvSink<W> {
                 absorbed,
                 size,
             } => writeln!(self.w, "merge,{round},,,,,,,,,{leader},{absorbed},{size}"),
+            TraceEvent::Fault {
+                round,
+                what,
+                kind,
+                src,
+                dst,
+            } => {
+                // Fault rows reuse the fixed 13-column header: the `event`
+                // column carries the fault flavour (drop/retry/timeout).
+                let dst = dst.map(|d| d.to_string()).unwrap_or_default();
+                writeln!(
+                    self.w,
+                    "{},{round},{kind},{src},{dst},,,,,,,,",
+                    what.label()
+                )
+            }
         }
     }
 }
@@ -667,6 +746,54 @@ mod tests {
         for l in &lines[1..] {
             assert_eq!(l.split(',').count(), cols, "ragged row: {l}");
         }
+    }
+
+    #[test]
+    fn fault_events_flow_through_all_sinks() {
+        let fault = |what| TraceEvent::Fault {
+            round: 4,
+            what,
+            kind: "ghs/test",
+            src: 2,
+            dst: Some(5),
+        };
+        let mut m = MetricsSink::new();
+        m.record(&fault(FaultKind::Drop));
+        m.record(&fault(FaultKind::Drop));
+        m.record(&fault(FaultKind::Retry));
+        m.record(&fault(FaultKind::Timeout));
+        assert_eq!(m.fault_drops(), 2);
+        assert_eq!(m.fault_retries(), 1);
+        assert_eq!(m.fault_timeouts(), 1);
+        // Fault events carry no energy or message count.
+        assert_eq!(m.total_messages(), 0);
+
+        let mut j = JsonlSink::new(Vec::new());
+        j.record(&fault(FaultKind::Drop));
+        j.record(&TraceEvent::Fault {
+            round: 9,
+            what: FaultKind::Timeout,
+            kind: "nnt/request",
+            src: 0,
+            dst: None,
+        });
+        let text = String::from_utf8(j.finish().unwrap()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            r#"{"t":"fault","round":4,"what":"drop","kind":"ghs/test","src":2,"dst":5}"#
+        );
+        assert!(lines[1].contains(r#""what":"timeout""#));
+        assert!(lines[1].contains(r#""dst":null"#));
+
+        let mut c = CsvSink::new(Vec::new());
+        c.record(&msg(1, "k", 0, 1.0));
+        c.record(&fault(FaultKind::Retry));
+        let text = String::from_utf8(c.finish().unwrap()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let cols = lines[0].split(',').count();
+        assert_eq!(lines[2].split(',').count(), cols, "ragged fault row");
+        assert!(lines[2].starts_with("retry,4,ghs/test,2,5,"));
     }
 
     #[test]

@@ -14,5 +14,8 @@ pub use emst_radio as radio;
 
 // The unified run API and its observability surface, re-exported at the
 // top level: `energy_mst::Sim::new(&pts).sink(&mut metrics).run(..)`.
-pub use emst_core::{Detail, Protocol, RunOutput, Sim};
-pub use emst_radio::{CsvSink, JsonlSink, MetricsSink, NullSink, TeeSink, TraceEvent, TraceSink};
+pub use emst_core::{Detail, Protocol, RunError, RunOutcome, RunOutput, Sim};
+pub use emst_radio::{
+    CsvSink, FaultKind, FaultPlan, FaultStats, JsonlSink, MetricsSink, NullSink, TeeSink,
+    TraceEvent, TraceSink,
+};

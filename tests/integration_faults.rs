@@ -1,0 +1,208 @@
+//! Reliability-layer guarantees, exercised end-to-end through the facade.
+//!
+//! Three contracts:
+//!
+//! 1. **Zero cost when disabled** — a no-op [`FaultPlan`] must be elided
+//!    entirely: stats bitwise-identical and the trace byte-identical to a
+//!    run that never mentioned faults.
+//! 2. **Graceful degradation** — injected drops/crashes never panic; the
+//!    run finishes as `Complete` or `Degraded` with populated fault
+//!    counters, and a spanning forest (possibly partial) is returned.
+//! 3. **Determinism** — fault coins are drawn from the (seed, round,
+//!    sender, receiver) hash alone, so results are bitwise independent of
+//!    the worker-thread count and reproducible across runs.
+
+use energy_mst::analysis::set_thread_override;
+use energy_mst::core::{GhsVariant, RankScheme};
+use energy_mst::geom::{paper_phase2_radius, trial_rng, uniform_points, Point};
+use energy_mst::{FaultPlan, JsonlSink, MetricsSink, Protocol, RunOutcome, Sim};
+
+fn instance(n: usize) -> Vec<Point> {
+    uniform_points(n, &mut trial_rng(0x00FA_0170, 0))
+}
+
+fn protocols(n: usize) -> Vec<(&'static str, Protocol, Option<f64>)> {
+    let r = paper_phase2_radius(n);
+    vec![
+        ("ghs-mod", Protocol::Ghs(GhsVariant::Modified), Some(r)),
+        ("ghs-orig", Protocol::Ghs(GhsVariant::Original), Some(r)),
+        ("eopt", Protocol::Eopt(Default::default()), None),
+        ("nnt", Protocol::Nnt(RankScheme::Diagonal), None),
+        ("bfs", Protocol::Bfs { root: 0 }, Some(r)),
+    ]
+}
+
+fn sim<'a>(pts: &'a [Point], radius: Option<f64>) -> Sim<'a> {
+    let mut sim = Sim::new(pts);
+    if let Some(r) = radius {
+        sim = sim.radius(r);
+    }
+    sim
+}
+
+#[test]
+fn noop_plan_is_bit_identical_to_no_plan() {
+    let pts = instance(250);
+    for (label, protocol, radius) in protocols(250) {
+        let capture = |faulted: bool| {
+            let mut sink = JsonlSink::new(Vec::new());
+            let mut s = sim(&pts, radius).sink(&mut sink);
+            if faulted {
+                s = s.with_faults(FaultPlan::none());
+            }
+            let out = s.run(protocol);
+            (out, sink.finish().expect("in-memory write cannot fail"))
+        };
+        let (bare, bare_trace) = capture(false);
+        let (noop, noop_trace) = capture(true);
+        assert_eq!(
+            bare.stats.energy.to_bits(),
+            noop.stats.energy.to_bits(),
+            "{label}: no-op plan changed the energy ledger"
+        );
+        assert_eq!(bare.stats.messages, noop.stats.messages, "{label}");
+        assert_eq!(bare.stats.rounds, noop.stats.rounds, "{label}");
+        assert!(bare.tree.same_edges(&noop.tree), "{label}: tree changed");
+        assert_eq!(bare_trace, noop_trace, "{label}: trace bytes differ");
+        assert!(noop.stats.faults.is_clean(), "{label}: phantom faults");
+    }
+}
+
+#[test]
+fn clean_runs_classify_as_complete() {
+    let pts = instance(200);
+    for (label, protocol, radius) in protocols(200) {
+        let outcome = sim(&pts, radius).try_run(protocol);
+        assert!(outcome.is_complete(), "{label}: clean run not Complete");
+        assert!(outcome.faults().is_clean(), "{label}");
+    }
+}
+
+#[test]
+fn lossy_runs_finish_gracefully_with_populated_counters() {
+    let pts = instance(300);
+    let plan = FaultPlan::none().drop_probability(0.1).seed(0xD105_5000);
+    for (label, protocol, radius) in protocols(300) {
+        let outcome = sim(&pts, radius)
+            .with_faults(plan.clone())
+            .try_run(protocol);
+        let faults = outcome.faults();
+        assert!(
+            faults.drops > 0,
+            "{label}: 10% loss must drop something (drops={})",
+            faults.drops
+        );
+        let out = outcome
+            .output()
+            .unwrap_or_else(|| panic!("{label}: lossy run produced no output"));
+        // Degraded results may be partial, but never cyclic.
+        assert!(
+            out.tree.is_forest(),
+            "{label}: {:?}",
+            out.tree.validate_forest()
+        );
+        assert_eq!(
+            out.fragments,
+            out.tree.n() - out.tree.edges().len(),
+            "{label}"
+        );
+        // The classification is exactly the documented predicate.
+        let fs = out.stats.faults;
+        let expect_degraded = fs.timeouts > 0 || (out.fragments > 1 && fs.drops > 0);
+        assert_eq!(
+            matches!(outcome, RunOutcome::Degraded { .. }),
+            expect_degraded,
+            "{label}: misclassified (fragments={}, faults={fs:?})",
+            out.fragments
+        );
+    }
+}
+
+#[test]
+fn crashed_and_sleeping_nodes_do_not_panic() {
+    let pts = instance(200);
+    let r = paper_phase2_radius(200);
+    // Crash two nodes at the start, put one to sleep mid-run.
+    let plan = FaultPlan::none()
+        .crash_at(3, 0)
+        .crash_at(117, 2)
+        .sleep_between(50, 1, 40);
+    for (label, protocol, radius) in [
+        ("ghs-mod", Protocol::Ghs(GhsVariant::Modified), Some(r)),
+        ("eopt", Protocol::Eopt(Default::default()), None),
+        ("nnt", Protocol::Nnt(RankScheme::Diagonal), None),
+        ("bfs", Protocol::Bfs { root: 0 }, Some(r)),
+    ] {
+        let outcome = sim(&pts, radius)
+            .with_faults(plan.clone())
+            .try_run(protocol);
+        let out = outcome
+            .output()
+            .unwrap_or_else(|| panic!("{label}: crash schedule aborted the run"));
+        assert!(out.tree.is_forest(), "{label}");
+    }
+}
+
+#[test]
+fn metrics_sink_conserves_the_ledger_under_faults() {
+    // Retry surcharges and fault events flow through the same sink as
+    // ordinary messages; the totals must still agree bitwise.
+    let pts = instance(250);
+    let plan = FaultPlan::none().drop_probability(0.05).seed(7);
+    for (label, protocol, radius) in protocols(250) {
+        let mut m = MetricsSink::new();
+        let outcome = sim(&pts, radius)
+            .with_faults(plan.clone())
+            .sink(&mut m)
+            .try_run(protocol);
+        let out = outcome.output().expect("lossy run still finishes");
+        assert_eq!(
+            m.total_energy().to_bits(),
+            out.stats.energy.to_bits(),
+            "{label}: sink energy drifted from the ledger under faults"
+        );
+        assert_eq!(m.total_messages(), out.stats.messages, "{label}");
+    }
+}
+
+#[test]
+fn fault_coins_are_thread_count_independent() {
+    // The same faulty trials fanned out on 1 and 8 worker threads must
+    // produce bitwise-identical energies: fault coins depend only on
+    // (seed, round, sender, receiver), never on scheduling.
+    let kernel = |t: &u64| {
+        let pts = uniform_points(150, &mut trial_rng(0x7E57, *t));
+        let plan = FaultPlan::none().drop_probability(0.1).seed(*t ^ 0xC0);
+        let outcome = sim(&pts, Some(paper_phase2_radius(150)))
+            .with_faults(plan)
+            .try_run(Protocol::Ghs(GhsVariant::Modified));
+        let out = outcome.output().expect("lossy run still finishes");
+        (out.stats.energy.to_bits(), out.stats.faults)
+    };
+    let trials: Vec<u64> = (0..6).collect();
+    set_thread_override(Some(1));
+    let serial = energy_mst::analysis::parallel_map(&trials, kernel);
+    set_thread_override(Some(8));
+    let parallel = energy_mst::analysis::parallel_map(&trials, kernel);
+    set_thread_override(None);
+    assert_eq!(serial, parallel, "fault runs depend on thread count");
+}
+
+#[test]
+fn same_plan_reproduces_bitwise_and_different_seeds_differ() {
+    let pts = instance(200);
+    let run = |seed: u64| {
+        let plan = FaultPlan::none().drop_probability(0.1).seed(seed);
+        let outcome = sim(&pts, Some(paper_phase2_radius(200)))
+            .with_faults(plan)
+            .try_run(Protocol::Eopt(Default::default()));
+        let out = outcome.output().expect("lossy run still finishes");
+        (out.stats.energy.to_bits(), out.stats.faults)
+    };
+    assert_eq!(run(11), run(11), "same fault seed must reproduce bitwise");
+    assert_ne!(
+        run(11).1,
+        run(12).1,
+        "different fault seeds should draw different coins"
+    );
+}
