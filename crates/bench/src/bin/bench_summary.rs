@@ -11,11 +11,26 @@
 //! Timing reps run **serially** regardless of `--threads` — concurrent
 //! reps would contend for cores and corrupt the numbers. The instance is
 //! built outside the timed region; each rep times protocol execution only.
+//!
+//! With `--guard`, the pinned regression guard is enforced: the
+//! `ghs_modified` n = 5000 wall time must stay within
+//! [`GUARD_MAX_RATIO`]× of the committed baseline, and the run aborts
+//! (non-zero exit) if it regresses. The guard compares the *best* rep
+//! against the baseline *mean* so scheduler noise on shared CI runners
+//! doesn't flake the check.
 
 use emst_bench::{instance, Options};
 use emst_core::{EoptConfig, GhsVariant, Protocol, RankScheme, Sim};
 use emst_geom::paper_phase2_radius;
 use std::time::Instant;
+
+/// Guarded entry: modified GHS at the largest sweep size.
+const GUARD_PROTOCOL: &str = "ghs_modified";
+const GUARD_N: usize = 5000;
+/// Committed baseline (mean_ms of the pinned BENCH_core.json entry).
+const GUARD_BASELINE_MEAN_MS: f64 = 86.582;
+/// Allowed slowdown before the guard trips.
+const GUARD_MAX_RATIO: f64 = 1.25;
 
 struct Row {
     protocol: &'static str,
@@ -37,11 +52,15 @@ fn protocols(n: usize) -> Vec<(&'static str, Protocol)> {
 
 fn main() {
     let opts = Options::from_env();
-    let sizes: Vec<usize> = if opts.quick {
+    let mut sizes: Vec<usize> = if opts.quick {
         vec![500]
     } else {
         vec![500, 2000, 5000]
     };
+    // The guard needs its pinned size even in a --quick run.
+    if opts.guard && !sizes.contains(&GUARD_N) {
+        sizes.push(GUARD_N);
+    }
     let reps = opts.trials.max(1);
     let mut rows: Vec<Row> = Vec::new();
     for &n in &sizes {
@@ -80,10 +99,46 @@ fn main() {
         );
     }
 
+    // Regression guard: evaluated whenever the pinned row was measured,
+    // enforced (abort on trip) only under --guard.
+    let guard_row = rows
+        .iter()
+        .find(|r| r.protocol == GUARD_PROTOCOL && r.n == GUARD_N);
+    let mut guard_json = String::new();
+    if let Some(g) = guard_row {
+        let ratio = g.best_ms / GUARD_BASELINE_MEAN_MS;
+        let pass = ratio <= GUARD_MAX_RATIO;
+        println!(
+            "guard: {GUARD_PROTOCOL} n={GUARD_N} best {:.3} ms vs baseline mean \
+             {GUARD_BASELINE_MEAN_MS} ms -> {:.2}x (limit {GUARD_MAX_RATIO}x): {}",
+            g.best_ms,
+            ratio,
+            if pass { "ok" } else { "REGRESSED" }
+        );
+        guard_json = format!(
+            "  \"guard\": {{\"protocol\": \"{GUARD_PROTOCOL}\", \"n\": {GUARD_N}, \
+             \"baseline_mean_ms\": {GUARD_BASELINE_MEAN_MS}, \"max_ratio\": {GUARD_MAX_RATIO}, \
+             \"measured_best_ms\": {:.3}, \"ratio\": {:.3}, \"pass\": {pass}}},\n",
+            g.best_ms, ratio
+        );
+        if opts.guard {
+            assert!(
+                pass,
+                "wall-time guard tripped: {GUARD_PROTOCOL} n={GUARD_N} best {:.3} ms is \
+                 {:.2}x the pinned baseline ({GUARD_BASELINE_MEAN_MS} ms mean, limit \
+                 {GUARD_MAX_RATIO}x)",
+                g.best_ms, ratio
+            );
+        }
+    } else if opts.guard {
+        panic!("--guard set but the {GUARD_PROTOCOL} n={GUARD_N} row was not measured");
+    }
+
     let mut json = String::from("{\n");
     json.push_str("  \"schema\": \"bench_core/v1\",\n");
     json.push_str(&format!("  \"seed\": {},\n", opts.seed));
     json.push_str(&format!("  \"reps\": {},\n", reps));
+    json.push_str(&guard_json);
     json.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(

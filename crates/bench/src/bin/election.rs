@@ -17,7 +17,7 @@
 
 use emst_analysis::{fit_loglog_exponent, fnum, Table};
 use emst_bench::{instance, run_sweep_multi, Options};
-use emst_core::{run_election_flood, run_election_tree};
+use emst_core::{Protocol, Sim};
 use emst_geom::paper_phase2_radius;
 
 fn main() {
@@ -35,9 +35,13 @@ fn main() {
     let rows = run_sweep_multi(&opts, &sizes, |&n, t| {
         let pts = instance(opts.seed, n, t);
         let r = paper_phase2_radius(n);
-        let flood = run_election_flood(&pts, r);
-        let tree = run_election_tree(&pts, r);
-        assert_eq!(flood.leader, tree.leader, "elections disagree");
+        let flood = Sim::new(&pts).radius(r).run(Protocol::ElectionFlood);
+        let tree = Sim::new(&pts).radius(r).run(Protocol::ElectionTree);
+        assert_eq!(
+            flood.detail.as_election().unwrap().leader,
+            tree.detail.as_election().unwrap().leader,
+            "elections disagree"
+        );
         [
             flood.stats.energy,
             tree.stats.energy,

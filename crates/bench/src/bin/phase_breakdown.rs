@@ -73,21 +73,28 @@ fn main() {
     let d = eopt.detail.as_eopt().expect("EOPT detail");
     println!("== EOPT ==");
     println!("{}", summary_line(&m));
-    let mut steps = Table::new(["step", "messages", "energy", "% energy"]);
-    // Kind prefixes partition the traffic: `eopt1/`, `eopt2/` (which
-    // includes `eopt2/recover/`), with the recovery pass also isolated.
+    // The stage runtime records one mark per protocol stage; the stage
+    // scopes partition the run into step 1 (`eopt1`), step 2 (`eopt2`)
+    // and the beyond-paper recovery pass (`eopt2/recover`).
+    let mut stage_table = Table::new(["stage", "messages", "rounds", "energy"]);
     let mut sums = [(0u64, 0.0f64); 3]; // step1, step2 (non-recovery), recovery
-    for (kind, t) in m.kinds() {
-        let slot = if kind.starts_with("eopt2/recover/") {
-            2
-        } else if kind.starts_with("eopt2/") {
-            1
-        } else {
-            0
+    for s in &eopt.stages {
+        stage_table.row([
+            format!("{}/{}", s.scope, s.name),
+            s.messages.to_string(),
+            s.rounds.to_string(),
+            fnum(s.energy, 6),
+        ]);
+        let slot = match s.scope {
+            "eopt1" => 0,
+            "eopt2/recover" => 2,
+            _ => 1,
         };
-        sums[slot].0 += t.messages;
-        sums[slot].1 += t.energy;
+        sums[slot].0 += s.messages;
+        sums[slot].1 += s.energy;
     }
+    println!("{}", stage_table.render());
+    let mut steps = Table::new(["step", "messages", "energy", "% energy"]);
     for (label, (msgs, energy)) in [
         ("step 1 (percolation r1)", sums[0]),
         ("step 2 (connectivity r2)", sums[1]),
@@ -104,6 +111,34 @@ fn main() {
     if opts.csv {
         println!("{}", steps.to_csv());
     }
+    // Cross-check: the stage-delta attribution must agree with the
+    // ledger's kind-prefix partition (`eopt1/`, `eopt2/`, with
+    // `eopt2/recover/` isolated) — two independent accounting paths.
+    let mut ledger_sums = [(0u64, 0.0f64); 3];
+    for (kind, t) in m.kinds() {
+        let slot = if kind.starts_with("eopt2/recover/") {
+            2
+        } else if kind.starts_with("eopt2/") {
+            1
+        } else {
+            0
+        };
+        ledger_sums[slot].0 += t.messages;
+        ledger_sums[slot].1 += t.energy;
+    }
+    for (slot, (stage, ledger)) in sums.iter().zip(ledger_sums.iter()).enumerate() {
+        assert_eq!(stage.0, ledger.0, "EOPT step {slot} message split drifted");
+        assert!(
+            (stage.1 - ledger.1).abs() < 1e-9,
+            "EOPT step {slot} energy split drifted"
+        );
+    }
+    assert_eq!(d.messages_step1, sums[0].0, "detail vs stage marks");
+    assert_eq!(
+        d.messages_step2,
+        sums[1].0 + sums[2].0,
+        "detail vs stage marks"
+    );
     println!(
         "step-1 phases {}, step-2 phases {}, recovery used: {}; per-phase stage log has {} entries",
         d.phases_step1,

@@ -8,7 +8,9 @@
 //!   human-readable rendering;
 //! * `--seed S`    — override the base seed;
 //! * `--threads T` — worker threads for the trial fan-out (default: the
-//!   `EMST_THREADS` environment variable, then `available_parallelism()`).
+//!   `EMST_THREADS` environment variable, then `available_parallelism()`);
+//! * `--guard`     — (bench_summary only) assert the pinned wall-time
+//!   regression guard and fail the run if it trips.
 
 use crate::BASE_SEED;
 
@@ -28,6 +30,8 @@ pub struct Options {
     /// Worker-thread override for the trial fan-out (`None` = use
     /// `EMST_THREADS`, then `available_parallelism()`).
     pub threads: Option<usize>,
+    /// Enforce the pinned wall-time regression guard (bench_summary).
+    pub guard: bool,
 }
 
 impl Default for Options {
@@ -39,6 +43,7 @@ impl Default for Options {
             svg_dir: None,
             seed: BASE_SEED,
             threads: None,
+            guard: false,
         }
     }
 }
@@ -63,6 +68,7 @@ impl Options {
                 }
                 "--quick" => opts.quick = true,
                 "--csv" => opts.csv = true,
+                "--guard" => opts.guard = true,
                 "--svg" => {
                     let v = it.next().expect("--svg needs a directory");
                     opts.svg_dir = Some(v);
@@ -79,7 +85,7 @@ impl Options {
                 }
                 other => panic!(
                     "unknown option {other}; supported: --trials N --quick --csv --svg DIR \
-                     --seed S --threads T"
+                     --seed S --threads T --guard"
                 ),
             }
         }
@@ -130,12 +136,15 @@ mod tests {
             "out",
             "--threads",
             "3",
+            "--guard",
         ]);
         assert_eq!(o.trials, 9);
         assert!(o.csv);
         assert_eq!(o.seed, 42);
         assert_eq!(o.svg_dir.as_deref(), Some("out"));
         assert_eq!(o.threads, Some(3));
+        assert!(o.guard);
+        assert!(!parse(&[]).guard);
     }
 
     #[test]

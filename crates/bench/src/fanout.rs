@@ -29,7 +29,7 @@ where
     parallel_map(&trials, |&t| f(t))
 }
 
-/// [`emst_analysis::sweep`] with the options' trial count and thread
+/// [`fn@emst_analysis::sweep`] with the options' trial count and thread
 /// override applied.
 pub fn run_sweep<P, F>(opts: &Options, params: &[P], f: F) -> Vec<SweepPoint<P>>
 where

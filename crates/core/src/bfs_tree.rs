@@ -19,9 +19,7 @@
 
 use crate::sim::RunError;
 use emst_graph::{Edge, SpanningTree};
-use emst_radio::{
-    Ctx, Delivery, EngineError, FaultStats, NodeProtocol, RadioNet, RunStats, SyncEngine,
-};
+use emst_radio::{Ctx, Delivery, NodeProtocol};
 
 /// Per-node flooding state.
 #[derive(Debug)]
@@ -76,108 +74,38 @@ impl NodeProtocol for BfsNode {
     }
 }
 
-/// Outcome of a flooding BFS-tree construction.
-#[derive(Debug, Clone)]
-pub struct BfsOutcome {
-    /// The constructed tree (spanning iff `G(points, radius)` is connected
-    /// — otherwise it spans the root's component and `reached < n`).
+/// Result of a flooding BFS-tree construction (tree + read-outs; stats
+/// live on the [`crate::ExecEnv`]). The tree spans iff `G(points, radius)`
+/// is connected — otherwise it spans the root's component and
+/// `reached < n`.
+pub(crate) struct BfsRun {
     pub tree: SpanningTree,
-    /// Energy/messages/rounds.
-    pub stats: RunStats,
-    /// Nodes reached from the root (including the root).
     pub reached: usize,
 }
 
-/// Builds a BFS spanning tree rooted at `root` by flooding at `radius`.
-#[deprecated(note = "use `emst_core::Sim` with `.radius(r)` and `Protocol::Bfs { root }`")]
-pub fn run_bfs_tree(points: &[emst_geom::Point], radius: f64, root: usize) -> BfsOutcome {
-    run_bfs_inner(
-        points,
-        radius,
-        root,
-        emst_radio::EnergyConfig::paper(),
-        None,
-        None,
-        None,
-    )
-    .unwrap_or_else(|(e, _)| panic!("{e}"))
-}
-
-/// [`run_bfs_tree`] under an explicit energy configuration and optional
-/// contention layer.
-#[deprecated(
-    note = "use `emst_core::Sim` with `.energy(..)`/`.contention(..)` and `Protocol::Bfs { root }`"
-)]
-pub fn run_bfs_configured(
-    points: &[emst_geom::Point],
+/// The flood as a single reactive stage against the shared execution
+/// environment. Also the first leg of the tree election
+/// ([`crate::election`]).
+pub(crate) fn drive(
+    env: &mut crate::ExecEnv<'_>,
     radius: f64,
     root: usize,
-    energy: emst_radio::EnergyConfig,
-    contention: Option<emst_radio::ContentionConfig>,
-) -> BfsOutcome {
-    run_bfs_inner(points, radius, root, energy, contention, None, None)
-        .unwrap_or_else(|(e, _)| panic!("{e}"))
-}
-
-/// Shared implementation behind [`crate::Sim`] and the deprecated
-/// wrappers. The error side carries the fault counters observed up to the
-/// failure so `Sim::try_run` can report them alongside the typed error.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn run_bfs_inner<'p>(
-    points: &'p [emst_geom::Point],
-    radius: f64,
-    root: usize,
-    energy: emst_radio::EnergyConfig,
-    contention: Option<emst_radio::ContentionConfig>,
-    faults: Option<&emst_radio::FaultPlan>,
-    sink: Option<&'p mut dyn emst_radio::TraceSink>,
-) -> Result<BfsOutcome, (RunError, FaultStats)> {
-    let n = points.len();
+) -> Result<BfsRun, RunError> {
+    let n = env.n();
     assert!(root < n.max(1), "root out of range");
-    if n == 0 {
-        return Ok(BfsOutcome {
-            tree: SpanningTree::new(0, Vec::new()),
-            stats: RunStats::default(),
-            reached: 0,
-        });
-    }
-    let mut net = RadioNet::with_config(points, radius, energy);
     // Every broadcast in the flood happens at the operating radius: serve
     // them all from one cached adjacency.
-    net.cache_topology(radius);
-    let faulted = match faults {
-        Some(plan) => {
-            net.set_faults(plan.clone());
-            net.faults().is_some()
-        }
-        None => false,
-    };
-    if let Some(sink) = sink {
-        net.set_sink(sink);
-    }
+    env.cache_topology(radius);
     let nodes: Vec<BfsNode> = (0..n).map(|i| BfsNode::new(radius, i == root)).collect();
     // Logical (MAC-agnostic) round budget; under faults each of the up to
     // `n` flood hops can be stretched by the retry budget.
     let mut budget = 2 * n as u64 + 8;
-    if faulted {
-        let slack = net
-            .faults()
-            .map(|p| p.max_retries() as u64 + 1)
-            .unwrap_or(0);
-        budget += n as u64 * slack + 8;
+    if env.faulted() {
+        budget += n as u64 * env.retry_slack() + 8;
     }
-    let mut eng = match contention {
-        Some(cfg) => SyncEngine::with_contention(net, nodes, cfg),
-        None => SyncEngine::new(net, nodes),
-    };
-    let run_res = eng.try_run(budget);
-    let (net, nodes) = eng.into_parts();
-    match run_res {
-        Ok(_) => {}
-        // A starved flood under faults is a partial tree, not an abort.
-        Err(EngineError::RoundLimit(_)) if faulted => {}
-        Err(e) => return Err((e.into(), net.fault_stats())),
-    }
+    // A starved flood under faults is a partial tree, not an abort: the
+    // tolerant runner forgives the round-limit overrun.
+    let nodes = env.run_nodes_tolerant("bfs", "flood", nodes, budget)?;
     let mut edges = Vec::new();
     let mut reached = 1usize; // the root
     for (u, node) in nodes.iter().enumerate() {
@@ -186,25 +114,31 @@ pub(crate) fn run_bfs_inner<'p>(
             reached += 1;
         }
     }
-    Ok(BfsOutcome {
+    Ok(BfsRun {
         tree: SpanningTree::new(n, edges),
-        stats: RunStats::capture(&net),
         reached,
     })
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests deliberately exercise the legacy wrappers
 mod tests {
-    use super::*;
+    use crate::{Protocol, RunOutput, Sim};
     use emst_geom::{paper_phase2_radius, trial_rng, uniform_points, Point};
+
+    fn run_bfs_tree(pts: &[Point], radius: f64, root: usize) -> RunOutput {
+        Sim::new(pts).radius(radius).run(Protocol::Bfs { root })
+    }
+
+    fn reached(out: &RunOutput) -> usize {
+        out.detail.as_bfs().expect("BFS run").reached
+    }
 
     #[test]
     fn bfs_tree_spans_connected_instance() {
         let n = 400;
         let pts = uniform_points(n, &mut trial_rng(701, 0));
         let out = run_bfs_tree(&pts, paper_phase2_radius(n), 0);
-        assert_eq!(out.reached, n);
+        assert_eq!(reached(&out), n);
         assert!(out.tree.is_valid(), "{:?}", out.tree.validate());
     }
 
@@ -214,7 +148,7 @@ mod tests {
         let pts = uniform_points(n, &mut trial_rng(702, 0));
         let r = paper_phase2_radius(n);
         let out = run_bfs_tree(&pts, r, 0);
-        assert_eq!(out.reached, n, "instance must be connected for this test");
+        assert_eq!(reached(&out), n, "instance must be connected for this test");
         assert_eq!(out.stats.messages, n as u64);
         assert!((out.stats.energy - n as f64 * r * r).abs() < 1e-9);
     }
@@ -259,7 +193,7 @@ mod tests {
             Point::new(0.9, 0.9),
         ];
         let out = run_bfs_tree(&pts, 0.1, 0);
-        assert_eq!(out.reached, 2);
+        assert_eq!(reached(&out), 2);
         assert_eq!(out.tree.edges().len(), 1);
     }
 
@@ -283,7 +217,7 @@ mod tests {
     fn single_node() {
         let pts = vec![Point::new(0.5, 0.5)];
         let out = run_bfs_tree(&pts, 0.3, 0);
-        assert_eq!(out.reached, 1);
+        assert_eq!(reached(&out), 1);
         assert!(out.tree.is_valid());
     }
 }

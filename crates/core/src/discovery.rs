@@ -17,7 +17,7 @@
 //!
 //! A test asserts the two produce identical neighbour tables and charges.
 
-use emst_radio::{Ctx, Delivery, NodeProtocol, RadioNet, SyncEngine};
+use emst_radio::{Ctx, Delivery, NodeProtocol, RadioNet};
 
 /// One discovered neighbour.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,15 +107,16 @@ impl NodeProtocol for HelloProtocol {
     }
 }
 
-/// Runs [`HelloProtocol`] on the discrete-event engine and returns the
-/// neighbour table plus the network (for ledger inspection).
-pub fn discover_reactive<'a>(net: RadioNet<'a>, radius: f64) -> (NeighborTable, RadioNet<'a>) {
-    let n = net.n();
+/// Runs [`HelloProtocol`] as one reactive stage of the shared execution
+/// environment and returns the neighbour table. Unlike the historical
+/// free-standing version (which built its own bare network), this honours
+/// the env's energy model, fault plan, contention layer and trace sink.
+pub fn discover_reactive(env: &mut crate::ExecEnv<'_>, radius: f64) -> NeighborTable {
+    let n = env.n();
     let nodes = (0..n).map(|_| HelloProtocol::new(radius)).collect();
-    let mut eng = SyncEngine::new(net, nodes);
-    eng.run(16).expect("hello quiesces in two rounds");
-    let (net, nodes) = eng.into_parts();
-    (nodes.iter().map(|p| p.neighbors()).collect(), net)
+    let (nodes, res) = env.run_nodes("discovery", "hello", nodes, 16);
+    res.expect("hello quiesces in two rounds");
+    nodes.iter().map(|p| p.neighbors()).collect()
 }
 
 #[cfg(test)]
@@ -159,12 +160,14 @@ mod tests {
 
     #[test]
     fn reactive_and_orchestrated_agree() {
+        use emst_radio::EnergyConfig;
         let pts = uniform_points(150, &mut trial_rng(82, 0));
         let r = 0.12;
         let mut net1 = RadioNet::new(&pts, r);
         let t1 = discover(&mut net1, r, HELLO_KIND);
-        let net2 = RadioNet::new(&pts, r);
-        let (t2, net2) = discover_reactive(net2, r);
+        let mut env = crate::ExecEnv::new(&pts, r, EnergyConfig::paper(), None, None, None);
+        let t2 = discover_reactive(&mut env, r);
+        let (stats2, marks) = env.finish();
         for u in 0..150 {
             assert_eq!(t1[u].len(), t2[u].len(), "node {u}");
             for (a, b) in t1[u].iter().zip(t2[u].iter()) {
@@ -172,11 +175,12 @@ mod tests {
                 assert!((a.dist - b.dist).abs() < 1e-12);
             }
         }
-        assert_eq!(
-            net1.ledger().total_messages(),
-            net2.ledger().total_messages()
-        );
-        assert!((net1.ledger().total_energy() - net2.ledger().total_energy()).abs() < 1e-9);
+        assert_eq!(net1.ledger().total_messages(), stats2.messages);
+        assert!((net1.ledger().total_energy() - stats2.energy).abs() < 1e-9);
+        // The hello pass is one recorded stage.
+        assert_eq!(marks.len(), 1);
+        assert_eq!((marks[0].scope, marks[0].name), ("discovery", "hello"));
+        assert_eq!(marks[0].messages, stats2.messages);
     }
 
     #[test]

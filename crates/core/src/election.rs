@@ -6,32 +6,29 @@
 //! construction*, the two being classically equivalent. Two elections are
 //! implemented over the radio model:
 //!
-//! * [`run_election_flood`] — the folklore max-id flood: every node
-//!   repeatedly broadcasts the largest id it has heard whenever that value
-//!   improves. Simple, `O(diameter)` time, but a node may re-announce up
-//!   to `O(log n)` times in expectation (each improvement halves the
-//!   candidates that could beat it), so the energy is `Θ(log² n)`-ish at
-//!   the connectivity radius — the same class as plain GHS.
-//! * [`run_election_tree`] — election along a BFS spanning tree: build
-//!   the flooding tree ([`crate::bfs_tree`]), convergecast the maximum id
-//!   to the root, and broadcast the winner back down. Exactly
-//!   `n + 2(n−1)` messages and `Θ(log n)` energy — matching the Theorem
-//!   4.1 lower bound, and a concrete witness that the spanning-tree ↔
-//!   election equivalence preserves energy optimality.
+//! * [`Protocol::ElectionFlood`](crate::Protocol::ElectionFlood) — the
+//!   folklore max-id flood: every node repeatedly broadcasts the largest
+//!   id it has heard whenever that value improves. Simple, `O(diameter)`
+//!   time, but a node may re-announce up to `O(log n)` times in
+//!   expectation (each improvement halves the candidates that could beat
+//!   it), so the energy is `Θ(log² n)`-ish at the connectivity radius —
+//!   the same class as plain GHS.
+//! * [`Protocol::ElectionTree`](crate::Protocol::ElectionTree) — election
+//!   along a BFS spanning tree: build the flooding tree
+//!   ([`crate::bfs_tree`]), convergecast the maximum id to the root, and
+//!   broadcast the winner back down. Exactly `n + 2(n−1)` messages and
+//!   `Θ(log n)` energy — matching the Theorem 4.1 lower bound, and a
+//!   concrete witness that the spanning-tree ↔ election equivalence
+//!   preserves energy optimality.
+//!
+//! Both run through the shared [`crate::ExecEnv`], so they honour the
+//! configured energy model, fault plan, contention layer and trace sink
+//! like every other protocol (historically they silently ignored all
+//! four).
 
+use crate::sim::RunError;
 use emst_graph::SpanningTree;
-use emst_radio::{Ctx, Delivery, NodeProtocol, RadioNet, RunStats, SyncEngine};
-
-/// Outcome of a leader election.
-#[derive(Debug, Clone)]
-pub struct ElectionOutcome {
-    /// The elected leader (the maximum id of the root component).
-    pub leader: usize,
-    /// Whether every node agreed on that leader.
-    pub agreed: bool,
-    /// Energy/messages/rounds.
-    pub stats: RunStats,
-}
+use emst_radio::{Ctx, Delivery, NodeProtocol};
 
 /// Max-id flooding node.
 #[derive(Debug)]
@@ -59,18 +56,23 @@ impl NodeProtocol for FloodElect {
     }
 }
 
-/// Leader election by max-id flooding at `radius`.
-pub fn run_election_flood(points: &[emst_geom::Point], radius: f64) -> ElectionOutcome {
-    let n = points.len();
-    if n == 0 {
-        return ElectionOutcome {
-            leader: 0,
-            agreed: true,
-            stats: RunStats::default(),
-        };
-    }
-    let mut net = RadioNet::new(points, radius);
-    net.cache_topology(radius);
+/// Result of a leader election (leader/agreement read-outs plus the tree
+/// the election ran over: empty forest for the flood, the BFS tree for the
+/// tree election; stats live on the [`crate::ExecEnv`]).
+pub(crate) struct ElectionRun {
+    pub tree: SpanningTree,
+    pub leader: usize,
+    pub agreed: bool,
+}
+
+/// Leader election by max-id flooding at `radius`, as a single reactive
+/// stage against the shared execution environment.
+pub(crate) fn drive_flood(
+    env: &mut crate::ExecEnv<'_>,
+    radius: f64,
+) -> Result<ElectionRun, RunError> {
+    let n = env.n();
+    env.cache_topology(radius);
     let nodes: Vec<FloodElect> = (0..n)
         .map(|i| FloodElect {
             radius,
@@ -78,45 +80,35 @@ pub fn run_election_flood(points: &[emst_geom::Point], radius: f64) -> ElectionO
             announced: None,
         })
         .collect();
-    let mut eng = SyncEngine::new(net, nodes);
-    eng.run(4 * n as u64 + 16).expect("flood election quiesces");
-    let (net, nodes) = eng.into_parts();
+    // Logical round budget; under faults each re-announcement wave can be
+    // stretched by the retry budget.
+    let mut budget = 4 * n as u64 + 16;
+    if env.faulted() {
+        budget += n as u64 * env.retry_slack() + 8;
+    }
+    // A flood starved by losses still yields a (possibly disagreeing)
+    // per-node view: tolerate the round-limit overrun under faults.
+    let nodes = env.run_nodes_tolerant("elect", "flood", nodes, budget)?;
     let leader = nodes.iter().map(|e| e.best).max().unwrap_or(0);
     let agreed = nodes.iter().all(|e| e.best == leader);
-    ElectionOutcome {
+    Ok(ElectionRun {
+        tree: SpanningTree::new(n, Vec::new()),
         leader,
         agreed,
-        stats: RunStats::capture(&net),
-    }
+    })
 }
 
 /// Leader election along a BFS spanning tree: one flood to build the tree
 /// (`n` broadcasts), a convergecast of the maximum id (`n−1` unicasts),
-/// and a winner broadcast down the tree (`n−1` unicasts).
-pub fn run_election_tree(points: &[emst_geom::Point], radius: f64) -> ElectionOutcome {
-    let n = points.len();
-    if n == 0 {
-        return ElectionOutcome {
-            leader: 0,
-            agreed: true,
-            stats: RunStats::default(),
-        };
-    }
-    let bfs = crate::bfs_tree::run_bfs_inner(
-        points,
-        radius,
-        0,
-        emst_radio::EnergyConfig::paper(),
-        None,
-        None,
-        None,
-    )
-    .unwrap_or_else(|(e, _)| panic!("{e}"));
-    let mut stats = bfs.stats.clone();
-    // Orchestrated convergecast + downcast along the tree, charged per
-    // hop on a fresh net handle and absorbed into the stats.
-    let mut net = RadioNet::new(points, radius);
-    let tree: &SpanningTree = &bfs.tree;
+/// and a winner broadcast down the tree (`n−1` unicasts) — both tree legs
+/// as one orchestrated stage on the same shared network.
+pub(crate) fn drive_tree(
+    env: &mut crate::ExecEnv<'_>,
+    radius: f64,
+) -> Result<ElectionRun, RunError> {
+    let n = env.n();
+    let bfs = crate::bfs_tree::drive(env, radius, 0)?;
+    let tree = bfs.tree;
     let adj = tree.adjacency();
     // Orientation: parent via BFS from the root.
     let mut parent = vec![usize::MAX; n];
@@ -133,45 +125,61 @@ pub fn run_election_tree(points: &[emst_geom::Point], radius: f64) -> ElectionOu
             }
         }
     }
-    // Convergecast (leaf → root): each non-root reports its subtree max.
     let mut submax: Vec<usize> = (0..n).collect();
-    for &u in order.iter().rev() {
-        if parent[u] != u && parent[u] != usize::MAX {
-            net.unicast(u, parent[u], "elect/convergecast");
-            let p = parent[u];
-            submax[p] = submax[p].max(submax[u]);
+    let leader = env.stage("elect", "convergecast", |net| {
+        // Convergecast (leaf → root): each non-root reports its subtree
+        // max.
+        for &u in order.iter().rev() {
+            if parent[u] != u && parent[u] != usize::MAX {
+                net.unicast(u, parent[u], "elect/convergecast");
+                let p = parent[u];
+                submax[p] = submax[p].max(submax[u]);
+            }
         }
-    }
-    let leader = submax[0];
-    // Winner broadcast (root → leaves).
-    for &u in &order {
-        if parent[u] != u && parent[u] != usize::MAX {
-            net.unicast(parent[u], u, "elect/winner");
+        let leader = submax[0];
+        // Winner broadcast (root → leaves).
+        for &u in &order {
+            if parent[u] != u && parent[u] != usize::MAX {
+                net.unicast(parent[u], u, "elect/winner");
+            }
         }
-    }
-    net.advance_rounds(2 * tree.depth_from(0) as u64);
-    stats.absorb(&RunStats::capture(&net));
+        net.advance_rounds(2 * tree.depth_from(0) as u64);
+        leader
+    });
     // Agreement holds for every node the tree reaches.
     let agreed = bfs.reached == n;
-    ElectionOutcome {
+    Ok(ElectionRun {
+        tree,
         leader,
         agreed,
-        stats,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::{ElectionDetail, Protocol, RunOutput, Sim};
     use emst_geom::{paper_phase2_radius, trial_rng, uniform_points, Point};
+    use emst_radio::FaultPlan;
+
+    fn flood(pts: &[Point], r: f64) -> RunOutput {
+        Sim::new(pts).radius(r).run(Protocol::ElectionFlood)
+    }
+
+    fn tree(pts: &[Point], r: f64) -> RunOutput {
+        Sim::new(pts).radius(r).run(Protocol::ElectionTree)
+    }
+
+    fn election(out: &RunOutput) -> &ElectionDetail {
+        out.detail.as_election().expect("election run")
+    }
 
     #[test]
     fn flood_elects_global_max() {
         let n = 300;
         let pts = uniform_points(n, &mut trial_rng(1001, 0));
-        let out = run_election_flood(&pts, paper_phase2_radius(n));
-        assert_eq!(out.leader, n - 1);
-        assert!(out.agreed);
+        let out = flood(&pts, paper_phase2_radius(n));
+        assert_eq!(election(&out).leader, n - 1);
+        assert!(election(&out).agreed);
         assert!(out.stats.messages >= n as u64);
     }
 
@@ -179,11 +187,13 @@ mod tests {
     fn tree_elects_global_max_with_exact_message_count() {
         let n = 300;
         let pts = uniform_points(n, &mut trial_rng(1002, 0));
-        let out = run_election_tree(&pts, paper_phase2_radius(n));
-        assert_eq!(out.leader, n - 1);
-        assert!(out.agreed);
+        let out = tree(&pts, paper_phase2_radius(n));
+        assert_eq!(election(&out).leader, n - 1);
+        assert!(election(&out).agreed);
         // n tree broadcasts + (n−1) up + (n−1) down.
         assert_eq!(out.stats.messages, (n + 2 * (n - 1)) as u64);
+        // The tree the election ran over is the BFS tree itself.
+        assert_eq!(out.tree.edges().len(), n - 1);
     }
 
     #[test]
@@ -191,14 +201,14 @@ mod tests {
         let n = 800;
         let pts = uniform_points(n, &mut trial_rng(1003, 0));
         let r = paper_phase2_radius(n);
-        let flood = run_election_flood(&pts, r);
-        let tree = run_election_tree(&pts, r);
-        assert_eq!(flood.leader, tree.leader);
+        let f = flood(&pts, r);
+        let t = tree(&pts, r);
+        assert_eq!(election(&f).leader, election(&t).leader);
         assert!(
-            tree.stats.energy < flood.stats.energy,
+            t.stats.energy < f.stats.energy,
             "tree {} vs flood {}",
-            tree.stats.energy,
-            flood.stats.energy
+            t.stats.energy,
+            f.stats.energy
         );
     }
 
@@ -209,20 +219,48 @@ mod tests {
             Point::new(0.12, 0.1),
             Point::new(0.9, 0.9),
         ];
-        let out = run_election_flood(&pts, 0.1);
+        let out = flood(&pts, 0.1);
         // Node 2 never hears 0/1 and stays its own leader.
-        assert!(!out.agreed);
-        assert_eq!(out.leader, 2);
-        let tree = run_election_tree(&pts, 0.1);
-        assert!(!tree.agreed);
-        assert_eq!(tree.leader, 1, "root component max id");
+        assert!(!election(&out).agreed);
+        assert_eq!(election(&out).leader, 2);
+        let t = tree(&pts, 0.1);
+        assert!(!election(&t).agreed);
+        assert_eq!(election(&t).leader, 1, "root component max id");
     }
 
     #[test]
     fn single_node_elects_itself() {
         let pts = vec![Point::new(0.5, 0.5)];
-        let out = run_election_flood(&pts, 0.2);
-        assert_eq!(out.leader, 0);
-        assert!(out.agreed);
+        let out = flood(&pts, 0.2);
+        assert_eq!(election(&out).leader, 0);
+        assert!(election(&out).agreed);
+    }
+
+    #[test]
+    fn lossy_fault_plan_changes_election_stats() {
+        // Regression: elections used to build a bare `RadioNet::new` that
+        // silently ignored the configured fault plan (and energy model).
+        // Through the shared env a lossy plan must visibly perturb the run.
+        let n = 200;
+        let pts = uniform_points(n, &mut trial_rng(1005, 0));
+        let r = paper_phase2_radius(n);
+        let clean = flood(&pts, r);
+        let plan = FaultPlan::none().drop_probability(0.2).seed(11).retries(2);
+        let outcome = Sim::new(&pts)
+            .radius(r)
+            .with_faults(plan)
+            .try_run(Protocol::ElectionFlood);
+        let faults = outcome.faults();
+        assert!(faults.drops > 0, "lossy plan must actually drop messages");
+        let out = outcome
+            .output()
+            .expect("lossy flood still yields per-node views")
+            .clone();
+        assert!(
+            out.stats.messages != clean.stats.messages
+                || out.stats.energy != clean.stats.energy
+                || out.stats.rounds != clean.stats.rounds,
+            "fault plan left no trace on election stats"
+        );
     }
 }

@@ -28,10 +28,10 @@
 //! cleared — and reports it in the outcome so experiments can count how
 //! often the theorem's "unique giant" prediction failed.
 
-use crate::ghs::{GhsEngine, GhsVariant, EOPT1_KINDS, EOPT2_KINDS, EOPT2_RECOVERY_KINDS};
-use emst_geom::{paper_phase1_radius, paper_phase2_radius, Point};
+use crate::ghs::{GhsEngine, GhsKinds, GhsVariant};
+use crate::sim::EoptDetail;
+use emst_geom::{paper_phase1_radius, paper_phase2_radius};
 use emst_graph::SpanningTree;
-use emst_radio::{RadioNet, RunStats};
 
 /// EOPT parameters. `Default` reproduces §VII: `r₁ = 1.4·√(1/n)`,
 /// `r₂ = 1.6·√(ln n/n)`, giant threshold `β·ln² n` with `β = 1`.
@@ -75,157 +75,111 @@ impl EoptConfig {
     }
 }
 
-/// Outcome of an EOPT run.
-#[derive(Debug, Clone)]
-pub struct EoptOutcome {
-    /// The constructed tree — the exact MST of `G(points, r₂)` when that
-    /// graph is connected.
+/// Result of the EOPT stage composition (tree + the [`EoptDetail`]
+/// read-outs; stats and stage marks live on the [`crate::ExecEnv`]).
+pub(crate) struct EoptRun {
     pub tree: SpanningTree,
-    /// Aggregate energy/messages/rounds (per-step attribution lives in the
-    /// ledger under the `eopt1/`, `eopt2/` prefixes).
-    pub stats: RunStats,
-    /// GHS phases executed in step 1.
-    pub phases_step1: usize,
-    /// GHS phases executed in step 2 (excluding any recovery pass).
-    pub phases_step2: usize,
-    /// Fragments remaining after step 1.
-    pub fragments_after_step1: usize,
-    /// Size of the largest fragment after step 1.
-    pub largest_fragment: usize,
-    /// Number of fragments that crossed the giant threshold.
-    pub giants_declared: usize,
-    /// Whether the beyond-paper recovery pass had to run.
-    pub recovery_used: bool,
-    /// Fragments remaining at the end (1 iff `G(points, r₂)` is connected).
-    pub fragment_count: usize,
+    pub detail: EoptDetail,
 }
 
-/// Runs EOPT with the §VII parameters.
-#[deprecated(note = "use `emst_core::Sim` with `Protocol::Eopt(EoptConfig::default())`")]
-pub fn run_eopt(points: &[Point]) -> EoptOutcome {
-    run_eopt_inner(
-        points,
-        &EoptConfig::default(),
-        emst_radio::EnergyConfig::paper(),
-        None,
-        None,
-    )
-}
-
-/// Runs EOPT with explicit parameters.
-#[deprecated(note = "use `emst_core::Sim` with `Protocol::Eopt(cfg)`")]
-pub fn run_eopt_with(points: &[Point], cfg: &EoptConfig) -> EoptOutcome {
-    run_eopt_inner(points, cfg, emst_radio::EnergyConfig::paper(), None, None)
-}
-
-/// [`run_eopt_with`] under an explicit energy configuration (extended
-/// rx/idle model of §VIII).
-#[deprecated(note = "use `emst_core::Sim` with `.energy(..)` and `Protocol::Eopt(cfg)`")]
-pub fn run_eopt_configured(
-    points: &[Point],
-    cfg: &EoptConfig,
-    energy: emst_radio::EnergyConfig,
-) -> EoptOutcome {
-    run_eopt_inner(points, cfg, energy, None, None)
-}
-
-/// Shared implementation behind [`crate::Sim`] and the deprecated
-/// wrappers.
-pub(crate) fn run_eopt_inner<'p>(
-    points: &'p [Point],
-    cfg: &EoptConfig,
-    energy: emst_radio::EnergyConfig,
-    faults: Option<&emst_radio::FaultPlan>,
-    sink: Option<&'p mut dyn emst_radio::TraceSink>,
-) -> EoptOutcome {
-    let n = points.len();
+/// EOPT as its §V two-step stage composition against the shared execution
+/// environment: percolation-regime GHS (`eopt1/*` stages), size
+/// classification, connectivity-regime GHS with passive giants
+/// (`eopt2/*`), and the beyond-paper recovery pass when multiple giants
+/// stalled (`eopt2/recover`). Per-step energy/message attribution in the
+/// returned detail comes from the stage deltas, not from ledger prefix
+/// matching.
+pub(crate) fn drive(env: &mut crate::ExecEnv<'_>, cfg: &EoptConfig) -> EoptRun {
+    let n = env.n();
     // `ln 1 = 0` would degenerate the connectivity radius; clamp the size
     // used for radii so single-node instances still get positive power.
     let r1 = cfg.radius1(n.max(2));
     let r2 = cfg.radius2(n.max(2)).max(r1);
-    let mut net = RadioNet::with_config(points, r2.max(r1), energy);
-    if let Some(plan) = faults {
-        net.set_faults(plan.clone());
+    let k1 = GhsKinds::for_scope("eopt1");
+    let k2 = GhsKinds::for_scope("eopt2");
+    let marks_from = env.stage_marks().len();
+    let mut eng = GhsEngine::new(env.net(), GhsVariant::Modified);
+
+    // Step 1: percolation-regime GHS.
+    env.stage(k1.scope, "discover", |net| eng.discover(net, r1, k1));
+    let phases_step1 = env.stage(k1.scope, "phases", |net| eng.run_phases(net, k1));
+    let fragments_after_step1 = eng.fragment_count();
+    let largest_fragment = eng.fragment_sizes().first().copied().unwrap_or(0);
+
+    // Step 2 preamble: size computation and giant declaration.
+    let rows = env.stage(k1.scope, "size", |net| {
+        eng.classify_passive_by_size(net, cfg.giant_threshold(n.max(2)), k1)
+    });
+    let giants_declared = rows.iter().filter(|r| r.2).count();
+
+    // Step 2: connectivity-regime GHS with passive giant(s). The hello
+    // broadcast doubles as the fresh id announcement at the new radius.
+    env.stage(k2.scope, "discover", |net| eng.discover(net, r2, k2));
+    let phases_step2 = env.stage(k2.scope, "phases", |net| eng.run_phases(net, k2));
+
+    // Recovery (beyond the paper): multiple passive giants can stall.
+    // Its kinds live under `eopt2/recover/` so the recovery cost is
+    // separable while still counting toward the `eopt2/` step total.
+    let mut recovery_used = false;
+    if eng.fragment_count() > 1 && giants_declared > 1 {
+        recovery_used = true;
+        eng.clear_passive();
+        let kr = GhsKinds::for_scope("eopt2/recover");
+        env.stage(kr.scope, "phases", |net| eng.run_phases(net, kr));
     }
-    if let Some(sink) = sink {
-        net.set_sink(sink);
-    }
 
-    let (tree, outcome_parts) = {
-        let mut eng = GhsEngine::new(&mut net, GhsVariant::Modified);
-
-        // Step 1: percolation-regime GHS.
-        eng.discover(r1, &EOPT1_KINDS);
-        let phases_step1 = eng.run_phases(&EOPT1_KINDS);
-        let fragments_after_step1 = eng.fragment_count();
-        let largest_fragment = eng.fragment_sizes().first().copied().unwrap_or(0);
-
-        // Step 2 preamble: size computation and giant declaration.
-        let rows = eng.classify_passive_by_size(cfg.giant_threshold(n.max(2)), &EOPT1_KINDS);
-        let giants_declared = rows.iter().filter(|r| r.2).count();
-
-        // Step 2: connectivity-regime GHS with passive giant(s). The hello
-        // broadcast doubles as the fresh id announcement at the new radius.
-        eng.discover(r2, &EOPT2_KINDS);
-        let phases_step2 = eng.run_phases(&EOPT2_KINDS);
-
-        // Recovery (beyond the paper): multiple passive giants can stall.
-        // Its kinds live under `eopt2/recover/` so the recovery cost is
-        // separable while still counting toward the `eopt2/` step total.
-        let mut recovery_used = false;
-        if eng.fragment_count() > 1 && giants_declared > 1 {
-            recovery_used = true;
-            eng.clear_passive();
-            eng.run_phases(&EOPT2_RECOVERY_KINDS);
+    // Per-step attribution from the stage deltas this drive recorded:
+    // everything under the `eopt1` scope is step 1, the rest (`eopt2`,
+    // `eopt2/recover`) is step 2.
+    let (mut energy_step1, mut messages_step1) = (0.0f64, 0u64);
+    let (mut energy_step2, mut messages_step2) = (0.0f64, 0u64);
+    for mark in &env.stage_marks()[marks_from..] {
+        if mark.scope == "eopt1" {
+            energy_step1 += mark.energy;
+            messages_step1 += mark.messages;
+        } else {
+            energy_step2 += mark.energy;
+            messages_step2 += mark.messages;
         }
-        let fragment_count = eng.fragment_count();
-        (
-            eng.tree(),
-            (
-                phases_step1,
-                phases_step2,
-                fragments_after_step1,
-                largest_fragment,
-                giants_declared,
-                recovery_used,
-                fragment_count,
-            ),
-        )
-    };
-    let (
-        phases_step1,
-        phases_step2,
-        fragments_after_step1,
-        largest_fragment,
-        giants_declared,
-        recovery_used,
-        fragment_count,
-    ) = outcome_parts;
-    EoptOutcome {
-        tree,
-        stats: RunStats::capture(&net),
-        phases_step1,
-        phases_step2,
-        fragments_after_step1,
-        largest_fragment,
-        giants_declared,
-        recovery_used,
-        fragment_count,
+    }
+
+    EoptRun {
+        tree: eng.tree(),
+        detail: EoptDetail {
+            phases_step1,
+            phases_step2,
+            fragments_after_step1,
+            largest_fragment,
+            giants_declared,
+            recovery_used,
+            energy_step1,
+            energy_step2,
+            messages_step1,
+            messages_step2,
+        },
     }
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests deliberately exercise the legacy wrappers
 mod tests {
     use super::*;
-    use emst_geom::{trial_rng, uniform_points};
+    use crate::{Protocol, RunOutput, Sim};
+    use emst_geom::{trial_rng, uniform_points, Point};
     use emst_graph::{kruskal_forest, Graph};
+
+    fn run(pts: &[Point]) -> RunOutput {
+        Sim::new(pts).run(Protocol::Eopt(EoptConfig::default()))
+    }
+
+    fn eopt_of(out: &RunOutput) -> &EoptDetail {
+        out.detail.as_eopt().expect("EOPT run")
+    }
 
     #[test]
     fn eopt_builds_exact_mst_of_connectivity_graph() {
         for seed in 0..4 {
             let pts = uniform_points(300, &mut trial_rng(201, seed));
-            let out = run_eopt(&pts);
+            let out = run(&pts);
             let cfg = EoptConfig::default();
             let g = Graph::geometric(&pts, cfg.radius2(300));
             let reference = SpanningTree::new(300, kruskal_forest(&g));
@@ -239,8 +193,8 @@ mod tests {
     #[test]
     fn eopt_matches_euclidean_mst_when_connected() {
         let pts = uniform_points(400, &mut trial_rng(202, 0));
-        let out = run_eopt(&pts);
-        if out.fragment_count == 1 {
+        let out = run(&pts);
+        if out.fragments == 1 {
             let emst = emst_graph::euclidean_mst(&pts);
             assert!(out.tree.same_edges(&emst), "EOPT must be the exact MST");
         }
@@ -249,26 +203,25 @@ mod tests {
     #[test]
     fn step1_leaves_giant_and_small_fragments() {
         let pts = uniform_points(2000, &mut trial_rng(203, 0));
-        let out = run_eopt(&pts);
+        let out = run(&pts);
+        let d = eopt_of(&out);
         // At c₁ = 1.96 the giant holds a constant fraction of nodes.
         assert!(
-            out.largest_fragment > 2000 / 10,
+            d.largest_fragment > 2000 / 10,
             "giant too small: {}",
-            out.largest_fragment
+            d.largest_fragment
         );
-        assert!(out.fragments_after_step1 > 1);
-        assert!(out.giants_declared >= 1);
+        assert!(d.fragments_after_step1 > 1);
+        assert!(d.giants_declared >= 1);
     }
 
     #[test]
     fn eopt_uses_less_energy_than_ghs() {
         let pts = uniform_points(1500, &mut trial_rng(204, 0));
-        let out = run_eopt(&pts);
-        let ghs = crate::ghs::run_ghs(
-            &pts,
-            EoptConfig::default().radius2(1500),
-            GhsVariant::Original,
-        );
+        let out = run(&pts);
+        let ghs = Sim::new(&pts)
+            .radius(EoptConfig::default().radius2(1500))
+            .run(Protocol::Ghs(GhsVariant::Original));
         assert!(
             out.stats.energy < ghs.stats.energy,
             "EOPT {} vs GHS {}",
@@ -280,7 +233,7 @@ mod tests {
     #[test]
     fn energy_attribution_covers_both_steps() {
         let pts = uniform_points(500, &mut trial_rng(205, 0));
-        let out = run_eopt(&pts);
+        let out = run(&pts);
         let e1 = out.stats.ledger.energy_with_prefix("eopt1/");
         let e2 = out.stats.ledger.energy_with_prefix("eopt2/");
         assert!(e1 > 0.0 && e2 > 0.0);
@@ -293,13 +246,35 @@ mod tests {
     }
 
     #[test]
+    fn stage_attribution_matches_ledger_prefixes() {
+        let pts = uniform_points(400, &mut trial_rng(207, 0));
+        let out = run(&pts);
+        let d = eopt_of(&out);
+        // The per-step fields derive from stage deltas; the ledger derives
+        // from per-message kind accounting. They must agree exactly.
+        let e1 = out.stats.ledger.energy_with_prefix("eopt1/");
+        let e2 = out.stats.ledger.energy_with_prefix("eopt2/");
+        assert!((d.energy_step1 - e1).abs() < 1e-9);
+        assert!((d.energy_step2 - e2).abs() < 1e-9);
+        assert_eq!(
+            d.messages_step1,
+            out.stats.ledger.messages_with_prefix("eopt1/")
+        );
+        assert_eq!(
+            d.messages_step2,
+            out.stats.ledger.messages_with_prefix("eopt2/")
+        );
+        assert_eq!(d.messages_step1 + d.messages_step2, out.stats.messages);
+    }
+
+    #[test]
     fn tiny_instances() {
         for n in [1usize, 2, 3, 5] {
             let pts = uniform_points(n, &mut trial_rng(206, n as u64));
-            let out = run_eopt(&pts);
+            let out = run(&pts);
             // At tiny n the graph may be disconnected; the tree must still
             // be a valid forest (edge count n − fragments).
-            assert_eq!(out.tree.edges().len(), n - out.fragment_count, "n = {n}");
+            assert_eq!(out.tree.edges().len(), n - out.fragments, "n = {n}");
         }
     }
 

@@ -56,7 +56,7 @@
 
 use crate::discovery::{discover, NeighborTable};
 use emst_graph::{Edge, SpanningTree};
-use emst_radio::{FaultKind, FaultPlan, RadioNet, RunStats};
+use emst_radio::{FaultKind, FaultPlan, RadioNet};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Which MOE-search mechanism to use.
@@ -93,59 +93,43 @@ pub struct GhsKinds {
     pub size: &'static str,
 }
 
-/// Kind labels for a standalone GHS run.
-pub const GHS_KINDS: GhsKinds = GhsKinds {
-    scope: "ghs",
-    hello: "ghs/hello",
-    initiate: "ghs/initiate",
-    test: "ghs/test",
-    report: "ghs/report",
-    chroot: "ghs/chroot",
-    connect: "ghs/connect",
-    announce: "ghs/announce",
-    size: "ghs/size",
-};
-
-/// Kind labels for EOPT step 1.
-pub const EOPT1_KINDS: GhsKinds = GhsKinds {
-    scope: "eopt1",
-    hello: "eopt1/hello",
-    initiate: "eopt1/initiate",
-    test: "eopt1/test",
-    report: "eopt1/report",
-    chroot: "eopt1/chroot",
-    connect: "eopt1/connect",
-    announce: "eopt1/announce",
-    size: "eopt1/size",
-};
-
-/// Kind labels for EOPT step 2.
-pub const EOPT2_KINDS: GhsKinds = GhsKinds {
-    scope: "eopt2",
-    hello: "eopt2/hello",
-    initiate: "eopt2/initiate",
-    test: "eopt2/test",
-    report: "eopt2/report",
-    chroot: "eopt2/chroot",
-    connect: "eopt2/connect",
-    announce: "eopt2/announce",
-    size: "eopt2/size",
-};
-
-/// Kind labels for EOPT's beyond-paper recovery pass. Nested under the
-/// `eopt2/` namespace so step-level prefix sums (`eopt1/` + `eopt2/` =
-/// total) keep holding, while `eopt2/recover/` isolates recovery cost.
-pub const EOPT2_RECOVERY_KINDS: GhsKinds = GhsKinds {
-    scope: "eopt2/recover",
-    hello: "eopt2/recover/hello",
-    initiate: "eopt2/recover/initiate",
-    test: "eopt2/recover/test",
-    report: "eopt2/recover/report",
-    chroot: "eopt2/recover/chroot",
-    connect: "eopt2/recover/connect",
-    announce: "eopt2/recover/announce",
-    size: "eopt2/recover/size",
-};
+impl GhsKinds {
+    /// The kind table for `scope`, deriving every label as
+    /// `"{scope}/{stage}"` and interning the result (message kinds are
+    /// `&'static str` ledger keys). The first call for a scope leaks one
+    /// small allocation; later calls return the cached table. This
+    /// subsumes the hand-written per-scope const tables the EOPT steps
+    /// used to carry: `for_scope("ghs")` yields exactly the historical
+    /// `ghs/hello`, …, labels, `for_scope("eopt2/recover")` nests the
+    /// recovery pass under the `eopt2/` namespace so step-level prefix
+    /// sums (`eopt1/` + `eopt2/` = total) keep holding.
+    pub fn for_scope(scope: &str) -> &'static GhsKinds {
+        use std::collections::BTreeMap;
+        use std::sync::{Mutex, OnceLock};
+        static CACHE: OnceLock<Mutex<BTreeMap<String, &'static GhsKinds>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
+        let mut map = cache.lock().expect("kind interner poisoned");
+        if let Some(kinds) = map.get(scope) {
+            return kinds;
+        }
+        fn leak(s: String) -> &'static str {
+            Box::leak(s.into_boxed_str())
+        }
+        let kinds: &'static GhsKinds = Box::leak(Box::new(GhsKinds {
+            scope: leak(scope.to_owned()),
+            hello: leak(format!("{scope}/hello")),
+            initiate: leak(format!("{scope}/initiate")),
+            test: leak(format!("{scope}/test")),
+            report: leak(format!("{scope}/report")),
+            chroot: leak(format!("{scope}/chroot")),
+            connect: leak(format!("{scope}/connect")),
+            announce: leak(format!("{scope}/announce")),
+            size: leak(format!("{scope}/size")),
+        }));
+        map.insert(scope.to_owned(), kinds);
+        kinds
+    }
+}
 
 /// One cached neighbour entry.
 #[derive(Debug, Clone, Copy)]
@@ -185,15 +169,21 @@ impl Cand {
     }
 }
 
-/// The synchronous GHS engine over a [`RadioNet`].
+/// The synchronous GHS engine.
 ///
 /// Constructed with singleton fragments; [`GhsEngine::discover`] seeds
 /// neighbour tables (and, for the modified variant, the id caches) at a
 /// given radius; [`GhsEngine::run_phases`] merges fragments to quiescence.
 /// EOPT calls `discover` twice with different radii around a passivation
 /// step.
-pub struct GhsEngine<'a, 'n> {
-    net: &'n mut RadioNet<'a>,
+///
+/// The engine holds no borrow of the network: every stage method takes
+/// `&mut RadioNet` explicitly, so callers (the [`crate::ExecEnv`] stage
+/// runtime, examples composing repair scenarios) interleave engine stages
+/// with other traffic on the same network.
+pub struct GhsEngine {
+    /// Node count, mirrored from the network at construction.
+    n: usize,
     variant: GhsVariant,
     radius: f64,
     /// Fragment id per node (the id of some node — the fragment leader).
@@ -240,13 +230,15 @@ pub struct GhsEngine<'a, 'n> {
     healed_last_phase: usize,
 }
 
-impl<'a, 'n> GhsEngine<'a, 'n> {
-    /// Fresh engine: every node is its own single-node fragment.
-    pub fn new(net: &'n mut RadioNet<'a>, variant: GhsVariant) -> Self {
+impl GhsEngine {
+    /// Fresh engine: every node is its own single-node fragment. The node
+    /// count and fault schedule are mirrored from `net`; the network
+    /// itself is passed to each stage method explicitly.
+    pub fn new(net: &RadioNet<'_>, variant: GhsVariant) -> Self {
         let n = net.n();
         let faults = net.faults().cloned();
         GhsEngine {
-            net,
+            n,
             variant,
             radius: 0.0,
             frag: (0..n as u32).collect(),
@@ -283,7 +275,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
 
     /// The accumulated spanning forest.
     pub fn tree(&self) -> SpanningTree {
-        SpanningTree::new(self.net.n(), self.tree_edges.clone())
+        SpanningTree::new(self.n, self.tree_edges.clone())
     }
 
     /// Members per fragment, keyed by fragment id (sorted map so that all
@@ -326,7 +318,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
     /// fresh engine (before any phases); the edges must form a forest.
     pub fn seed_forest(&mut self, edges: &[(usize, usize, f64)]) {
         assert_eq!(self.phases, 0, "seed_forest requires a fresh engine");
-        let n = self.net.n();
+        let n = self.n;
         let mut uf = emst_graph::UnionFind::new(n);
         for &(u, v, w) in edges {
             assert!(uf.union(u, v), "seed edges must form a forest");
@@ -356,20 +348,19 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
     /// (`O(log n)`-bit payload). One synchronous round, `n` messages.
     /// Resets reject marks and the exhausted-fragment set — a larger radius
     /// can expose new outgoing edges.
-    pub fn discover(&mut self, radius: f64, kinds: &GhsKinds) {
+    pub fn discover(&mut self, net: &mut RadioNet<'_>, radius: f64, kinds: &GhsKinds) {
         assert!(radius > 0.0, "discovery radius must be positive");
-        self.net
-            .note_phase(kinds.scope, self.phases as u64, "discover");
+        net.note_phase(kinds.scope, self.phases as u64, "discover");
         self.radius = radius;
         // The whole run operates at this radius: build the CSR adjacency
         // once so discovery and every announce broadcast are slice lookups.
-        self.net.cache_topology(radius);
+        net.cache_topology(radius);
         if self.faults.is_some() {
-            self.discover_faulty(radius, kinds);
+            self.discover_faulty(net, radius, kinds);
             self.inactive.clear();
             return;
         }
-        let table: NeighborTable = discover(self.net, radius, kinds.hello);
+        let table: NeighborTable = discover(net, radius, kinds.hello);
         for (u, row) in table.iter().enumerate() {
             self.nbrs[u] = row
                 .iter()
@@ -382,7 +373,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
                 .collect();
         }
         if self.variant == GhsVariant::Modified {
-            let topo = self.net.topology_at(radius).expect("cached above");
+            let topo = net.topology_at(radius).expect("cached above");
             let n = table.len();
             // Search-free back-slot construction. Every topology row lists
             // neighbours in the grid's global visit order, so processing
@@ -392,7 +383,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
             let mut back: Vec<Vec<u32>> = (0..n).map(|u| vec![0u32; topo.degree(u)]).collect();
             let mut cursor = vec![0u32; n];
             let mut slot_of = vec![0u32; n];
-            for &v in self.net.grid().visit_order() {
+            for &v in net.grid().visit_order() {
                 let v = v as usize;
                 for (j, e) in self.nbrs[v].iter().enumerate() {
                     slot_of[e.id as usize] = j as u32;
@@ -416,23 +407,21 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
     /// design, and a missed hello only hides an edge, never corrupts one.
     /// The announce back-slot fast path is disabled (it assumes symmetric
     /// tables); faulty announces fall back to binary-search cache updates.
-    fn discover_faulty(&mut self, radius: f64, kinds: &GhsKinds) {
+    fn discover_faulty(&mut self, net: &mut RadioNet<'_>, radius: f64, kinds: &GhsKinds) {
         let plan = self.faults.clone().expect("caller checked");
-        let round = self.net.clock().now();
-        let n = self.net.n();
-        let hello_energy = self.net.loss().energy_for_distance(radius);
+        let round = net.clock().now();
+        let n = self.n;
+        let hello_energy = net.loss().energy_for_distance(radius);
         let mut rows: Vec<Vec<Nbr>> = vec![Vec::new(); n];
         let mut scratch: Vec<(usize, f64)> = Vec::new();
         for u in 0..n {
             if !plan.awake(u, round) {
                 // A sleeping or crashed node never transmits its hello.
-                self.net
-                    .note_fault(FaultKind::Timeout, kinds.hello, u, None);
+                net.note_fault(FaultKind::Timeout, kinds.hello, u, None);
                 continue;
             }
-            self.net
-                .charge_tx(kinds.hello, u, None, radius, hello_energy);
-            self.net.neighbors_into(u, radius, &mut scratch);
+            net.charge_tx(kinds.hello, u, None, radius, hello_energy);
+            net.neighbors_into(u, radius, &mut scratch);
             let mut delivered = 0u64;
             for &(v, d) in &scratch {
                 if plan.delivers(round, u, v) {
@@ -444,18 +433,17 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
                     });
                     delivered += 1;
                 } else {
-                    self.net
-                        .note_fault(FaultKind::Drop, kinds.hello, u, Some(v));
+                    net.note_fault(FaultKind::Drop, kinds.hello, u, Some(v));
                 }
             }
-            self.net.charge_receptions(delivered);
+            net.charge_receptions(delivered);
         }
         for (u, mut row) in rows.into_iter().enumerate() {
             row.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
             self.nbrs[u] = row;
         }
         self.back_slot = vec![Vec::new(); n];
-        self.net.tick_round();
+        net.tick_round();
     }
 
     /// Sends `u → v` through the ack/retry envelope when a fault schedule
@@ -464,34 +452,40 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
     /// Returns whether the message got through. Extra rounds consumed by
     /// retries accumulate into [`GhsEngine::take_stage_extra`] (max over
     /// the stage — fragments retry in parallel).
-    fn reliable_unicast(&mut self, u: usize, v: usize, kind: &'static str) -> bool {
+    fn reliable_unicast(
+        &mut self,
+        net: &mut RadioNet<'_>,
+        u: usize,
+        v: usize,
+        kind: &'static str,
+    ) -> bool {
         let Some(plan) = self.faults.as_ref() else {
-            self.net.unicast(u, v, kind);
+            net.unicast(u, v, kind);
             return true;
         };
-        let base = self.net.clock().now();
-        let d = self.net.dist(u, v);
-        let energy = self.net.loss().energy_for_distance(d);
+        let base = net.clock().now();
+        let d = net.dist(u, v);
+        let energy = net.loss().energy_for_distance(d);
         for attempt in 0..=plan.max_retries() {
             let round = base + attempt as u64;
             if !plan.alive(u, round) {
                 // Dead sender: the message is abandoned, uncharged.
-                self.net.note_fault(FaultKind::Timeout, kind, u, Some(v));
+                net.note_fault(FaultKind::Timeout, kind, u, Some(v));
                 self.stage_extra = self.stage_extra.max(attempt as u64);
                 return false;
             }
             if attempt > 0 {
-                self.net.note_fault(FaultKind::Retry, kind, u, Some(v));
+                net.note_fault(FaultKind::Retry, kind, u, Some(v));
             }
-            self.net.charge_tx(kind, u, Some(v), d, energy);
+            net.charge_tx(kind, u, Some(v), d, energy);
             if plan.delivers(round, u, v) {
-                self.net.charge_receptions(1);
+                net.charge_receptions(1);
                 self.stage_extra = self.stage_extra.max(attempt as u64);
                 return true;
             }
-            self.net.note_fault(FaultKind::Drop, kind, u, Some(v));
+            net.note_fault(FaultKind::Drop, kind, u, Some(v));
         }
-        self.net.note_fault(FaultKind::Timeout, kind, u, Some(v));
+        net.note_fault(FaultKind::Timeout, kind, u, Some(v));
         self.stage_extra = self.stage_extra.max(plan.max_retries() as u64);
         false
     }
@@ -537,12 +531,17 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
     /// Charges one message per tree edge of `members` in the top-down
     /// direction (initiate-style broadcast). Returns whether every tree
     /// edge was traversed successfully (always true without faults).
-    fn charge_broadcast(&mut self, members: &[u32], kind: &'static str) -> bool {
+    fn charge_broadcast(
+        &mut self,
+        net: &mut RadioNet<'_>,
+        members: &[u32],
+        kind: &'static str,
+    ) -> bool {
         let mut ok = true;
         for &u in members {
             let p = self.parent[u as usize];
             if p != u {
-                ok &= self.reliable_unicast(p as usize, u as usize, kind);
+                ok &= self.reliable_unicast(net, p as usize, u as usize, kind);
             }
         }
         ok
@@ -550,12 +549,17 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
 
     /// Charges one message per tree edge in the bottom-up direction
     /// (report-style convergecast). Returns whether every hop succeeded.
-    fn charge_convergecast(&mut self, members: &[u32], kind: &'static str) -> bool {
+    fn charge_convergecast(
+        &mut self,
+        net: &mut RadioNet<'_>,
+        members: &[u32],
+        kind: &'static str,
+    ) -> bool {
         let mut ok = true;
         for &u in members {
             let p = self.parent[u as usize];
             if p != u {
-                ok &= self.reliable_unicast(u as usize, p as usize, kind);
+                ok &= self.reliable_unicast(net, u as usize, p as usize, kind);
             }
         }
         ok
@@ -576,7 +580,12 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
     /// Local MOE of node `u` under the original variant: probe unrejected
     /// edges in ascending weight order with test/accept/reject exchanges.
     /// Returns the candidate and the number of exchanges performed.
-    fn local_moe_original(&mut self, u: usize, kinds: &GhsKinds) -> (Option<Cand>, u64) {
+    fn local_moe_original(
+        &mut self,
+        net: &mut RadioNet<'_>,
+        u: usize,
+        kinds: &GhsKinds,
+    ) -> (Option<Cand>, u64) {
         let my = self.frag[u];
         let mut exchanges = 0u64;
         let mut found = None;
@@ -588,15 +597,15 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
             // test -> accept/reject exchange, 2 messages at distance d.
             if self.faults.is_some() {
                 exchanges += 1;
-                let ok = self.reliable_unicast(u, nb.id as usize, kinds.test)
-                    && self.reliable_unicast(nb.id as usize, u, kinds.test);
+                let ok = self.reliable_unicast(net, u, nb.id as usize, kinds.test)
+                    && self.reliable_unicast(net, nb.id as usize, u, kinds.test);
                 if !ok {
                     // Exchange lost: nothing was learned about this edge;
                     // it stays unrejected and is probed again next phase.
                     continue;
                 }
             } else {
-                self.net.exchange(u, nb.id as usize, kinds.test);
+                net.exchange(u, nb.id as usize, kinds.test);
                 exchanges += 1;
             }
             if self.frag[nb.id as usize] == my {
@@ -626,7 +635,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
 
     /// Executes one phase. Returns the number of fragment merges performed
     /// (0 means the engine has quiesced at this radius).
-    fn phase(&mut self, kinds: &GhsKinds) -> usize {
+    fn phase(&mut self, net: &mut RadioNet<'_>, kinds: &GhsKinds) -> usize {
         self.healed_last_phase = 0;
         let active_owned: Vec<(u32, Vec<u32>)> = self
             .members
@@ -643,20 +652,20 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
         // Stage A: initiate broadcasts. Fragments whose initiate traffic is
         // lost *stall* for this phase: their members never got the go-ahead,
         // so they neither search nor report, and are retried next phase.
-        self.net.note_phase(kinds.scope, phase_no, "initiate");
+        net.note_phase(kinds.scope, phase_no, "initiate");
         let mut max_depth = 0u64;
         let mut stalled: Vec<u32> = Vec::new();
         for (f, members) in &active_owned {
             max_depth = max_depth.max(self.depth(*f));
-            if !self.charge_broadcast(members, kinds.initiate) {
+            if !self.charge_broadcast(net, members, kinds.initiate) {
                 stalled.push(*f);
             }
         }
         let extra = self.take_stage_extra();
-        self.net.advance_rounds(max_depth + extra);
+        net.advance_rounds(max_depth + extra);
 
         // Stage B: local MOE search.
-        self.net.note_phase(kinds.scope, phase_no, "test");
+        net.note_phase(kinds.scope, phase_no, "test");
         let mut local: BTreeMap<u32, Cand> = BTreeMap::new(); // best per fragment
         let mut max_exchanges = 0u64;
         for (f, members) in &active_owned {
@@ -666,7 +675,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
             for &u in members {
                 let (cand, ex) = match self.variant {
                     GhsVariant::Modified => (self.local_moe_modified(u as usize), 0),
-                    GhsVariant::Original => self.local_moe_original(u as usize, kinds),
+                    GhsVariant::Original => self.local_moe_original(net, u as usize, kinds),
                 };
                 max_exchanges = max_exchanges.max(ex);
                 if let Some(c) = cand {
@@ -680,23 +689,23 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
             }
         }
         let extra = self.take_stage_extra();
-        self.net.advance_rounds(2 * max_exchanges + extra);
+        net.advance_rounds(2 * max_exchanges + extra);
 
         // Stage C: report convergecasts. A lost report means the leader
         // never learns the candidate: the fragment stalls (and must not be
         // marked exhausted below).
-        self.net.note_phase(kinds.scope, phase_no, "report");
+        net.note_phase(kinds.scope, phase_no, "report");
         for (f, members) in &active_owned {
             if stalled.contains(f) {
                 continue;
             }
-            if !self.charge_convergecast(members, kinds.report) {
+            if !self.charge_convergecast(net, members, kinds.report) {
                 local.remove(f);
                 stalled.push(*f);
             }
         }
         let extra = self.take_stage_extra();
-        self.net.advance_rounds(max_depth + extra);
+        net.advance_rounds(max_depth + extra);
 
         // Fragments with no outgoing edge are exhausted at this radius —
         // but only if their control traffic actually went through.
@@ -712,7 +721,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
         // Stage D: change-root along the leader→endpoint path, then connect.
         // Under faults a lost hop or connect abandons the candidate for the
         // phase (the fragment picks a fresh MOE next phase).
-        self.net.note_phase(kinds.scope, phase_no, "change-root");
+        net.note_phase(kinds.scope, phase_no, "change-root");
         let mut max_path = 0u64;
         let mut delivered: BTreeMap<u32, Cand> = BTreeMap::new();
         for (f, cand) in &local {
@@ -728,50 +737,48 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
             let mut ok = true;
             for pair in path.windows(2) {
                 if ok {
-                    ok = self.reliable_unicast(pair[1] as usize, pair[0] as usize, kinds.chroot);
+                    ok = self.reliable_unicast(
+                        net,
+                        pair[1] as usize,
+                        pair[0] as usize,
+                        kinds.chroot,
+                    );
                 }
             }
             if ok {
-                ok = self.reliable_unicast(cand.u as usize, cand.v as usize, kinds.connect);
+                ok = self.reliable_unicast(net, cand.u as usize, cand.v as usize, kinds.connect);
             }
             if ok {
                 delivered.insert(*f, *cand);
             }
         }
         let extra = self.take_stage_extra();
-        self.net.advance_rounds(max_path + 1 + extra);
+        net.advance_rounds(max_path + 1 + extra);
 
         // Stage E: merge bookkeeping (no messages).
-        let merges = self.merge(&delivered);
+        let merges = self.merge(net, &delivered);
         self.healed_last_phase = merges.healed;
 
         // Stage F: announcements (modified variant).
         if self.variant == GhsVariant::Modified {
             let changed: Vec<u32> = merges.changed;
             if !changed.is_empty() {
-                self.net.note_phase(kinds.scope, phase_no, "announce");
+                net.note_phase(kinds.scope, phase_no, "announce");
                 if let Some(plan) = self.faults.clone() {
                     // One-shot broadcasts (no ack channel on a broadcast);
                     // a missed receiver keeps a stale cache entry, which
                     // the union-find merge acceptance tolerates.
-                    let round = self.net.clock().now();
-                    let energy = self.net.loss().energy_for_distance(self.radius);
+                    let round = net.clock().now();
+                    let energy = net.loss().energy_for_distance(self.radius);
                     let mut scratch: Vec<(usize, f64)> = Vec::new();
                     for &u in &changed {
                         let new_frag = self.frag[u as usize];
                         if !plan.awake(u as usize, round) {
-                            self.net.note_fault(
-                                FaultKind::Timeout,
-                                kinds.announce,
-                                u as usize,
-                                None,
-                            );
+                            net.note_fault(FaultKind::Timeout, kinds.announce, u as usize, None);
                             continue;
                         }
-                        self.net
-                            .charge_tx(kinds.announce, u as usize, None, self.radius, energy);
-                        self.net
-                            .neighbors_into(u as usize, self.radius, &mut scratch);
+                        net.charge_tx(kinds.announce, u as usize, None, self.radius, energy);
+                        net.neighbors_into(u as usize, self.radius, &mut scratch);
                         let mut delivered = 0u64;
                         for &(v, d) in &scratch {
                             if plan.delivers(round, u as usize, v) {
@@ -782,7 +789,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
                                 }
                                 delivered += 1;
                             } else {
-                                self.net.note_fault(
+                                net.note_fault(
                                     FaultKind::Drop,
                                     kinds.announce,
                                     u as usize,
@@ -790,7 +797,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
                                 );
                             }
                         }
-                        self.net.charge_receptions(delivered);
+                        net.charge_receptions(delivered);
                     }
                 } else {
                     for &u in &changed {
@@ -798,10 +805,8 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
                         // Charges and trace event are identical to a receiver-
                         // returning broadcast; the receiver set is the cached
                         // topology row, updated through the back-slot table.
-                        self.net
-                            .local_broadcast_silent(u as usize, self.radius, kinds.announce);
-                        let topo = self
-                            .net
+                        net.local_broadcast_silent(u as usize, self.radius, kinds.announce);
+                        let topo = net
                             .topology_at(self.radius)
                             .expect("discover cached this radius");
                         let ids = topo.ids(u as usize);
@@ -812,7 +817,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
                         }
                     }
                 }
-                self.net.advance_rounds(1);
+                net.advance_rounds(1);
             }
         }
         merges.merged_groups
@@ -820,7 +825,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
 
     /// Coalesces fragments along the chosen connect edges. Returns the
     /// nodes whose fragment id changed and the number of merged groups.
-    fn merge(&mut self, chosen: &BTreeMap<u32, Cand>) -> MergeResult {
+    fn merge(&mut self, net: &mut RadioNet<'_>, chosen: &BTreeMap<u32, Cand>) -> MergeResult {
         // Union-find over fragment ids; `ids` is sorted (BTreeMap keys), so
         // dense indices come from binary search instead of a hash map.
         let ids: Vec<u32> = self.members.keys().copied().collect();
@@ -921,8 +926,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
                     changed.push(u);
                 }
             }
-            self.net
-                .note_merge(new_id as usize, group.len() - 1, members.len());
+            net.note_merge(new_id as usize, group.len() - 1, members.len());
             for f in group {
                 self.members.remove(f);
             }
@@ -975,14 +979,14 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
 
     /// Runs phases until no active fragment can merge. Returns the number
     /// of phases executed by this call.
-    pub fn run_phases(&mut self, kinds: &GhsKinds) -> usize {
+    pub fn run_phases(&mut self, net: &mut RadioNet<'_>, kinds: &GhsKinds) -> usize {
         let before = self.phases;
         if self.faults.is_none() {
             // A phase with zero merges means no active fragment found an
             // outgoing edge (any found edge merges something), so every
             // active fragment was just marked exhausted and the engine has
             // quiesced at this radius.
-            while self.phase(kinds) > 0 {}
+            while self.phase(net, kinds) > 0 {}
         } else {
             // Under faults a merge-free phase can also mean "everything
             // stalled on lost control traffic" (stalled fragments are
@@ -997,7 +1001,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
             const MAX_BARREN: usize = 4;
             let mut barren = 0usize;
             while barren < MAX_BARREN {
-                if self.phase(kinds) > 0 || self.healed_last_phase > 0 {
+                if self.phase(net, kinds) > 0 || self.healed_last_phase > 0 {
                     barren = 0;
                 } else {
                     barren += 1;
@@ -1014,22 +1018,23 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
     /// `(fragment id, size, passive?)` rows.
     pub fn classify_passive_by_size(
         &mut self,
+        net: &mut RadioNet<'_>,
         threshold: f64,
         kinds: &GhsKinds,
     ) -> Vec<(usize, usize, bool)> {
-        self.net.note_phase(kinds.scope, self.phases as u64, "size");
+        net.note_phase(kinds.scope, self.phases as u64, "size");
         let mut rows = Vec::new();
         let mut max_depth = 0u64;
         let owned: Vec<(u32, Vec<u32>)> =
             self.members.iter().map(|(&f, m)| (f, m.clone())).collect();
         for (f, members) in &owned {
             max_depth = max_depth.max(self.depth(*f));
-            let mut ok = self.charge_broadcast(members, kinds.size); // size request
-            ok &= self.charge_convergecast(members, kinds.size); // partial sums
-            ok &= self.charge_broadcast(members, kinds.size); // verdict
-                                                              // A fragment whose size traffic was lost cannot prove its size
-                                                              // and must not go passive (passivation on a wrong count would
-                                                              // freeze a fragment that still needs to merge).
+            let mut ok = self.charge_broadcast(net, members, kinds.size); // size request
+            ok &= self.charge_convergecast(net, members, kinds.size); // partial sums
+            ok &= self.charge_broadcast(net, members, kinds.size); // verdict
+                                                                   // A fragment whose size traffic was lost cannot prove its size
+                                                                   // and must not go passive (passivation on a wrong count would
+                                                                   // freeze a fragment that still needs to merge).
             let passive = ok && members.len() as f64 > threshold;
             if passive {
                 self.passive.insert(*f);
@@ -1037,7 +1042,7 @@ impl<'a, 'n> GhsEngine<'a, 'n> {
             rows.push((*f as usize, members.len(), passive));
         }
         let extra = self.take_stage_extra();
-        self.net.advance_rounds(3 * max_depth + extra);
+        net.advance_rounds(3 * max_depth + extra);
         rows.sort_unstable_by_key(|r| std::cmp::Reverse(r.1));
         rows
     }
@@ -1051,86 +1056,45 @@ struct MergeResult {
     healed: usize,
 }
 
-/// Outcome of a standalone GHS run.
-#[derive(Debug, Clone)]
-pub struct GhsOutcome {
-    /// The constructed forest (a spanning tree iff `G(points, radius)` is
-    /// connected).
+/// Result of the GHS stage composition (tree + protocol read-outs; stats
+/// and stage marks live on the [`crate::ExecEnv`]).
+pub(crate) struct GhsRun {
     pub tree: SpanningTree,
-    /// Energy/messages/rounds.
-    pub stats: RunStats,
-    /// Number of merge phases executed.
     pub phases: usize,
-    /// Fragments remaining (1 for a connected instance).
-    pub fragment_count: usize,
 }
 
-/// Runs GHS (original or modified) at a fixed radius over `points`,
-/// including the initial neighbour-discovery broadcast.
-#[deprecated(note = "use `emst_core::Sim` with `Protocol::Ghs(variant)`")]
-pub fn run_ghs(points: &[emst_geom::Point], radius: f64, variant: GhsVariant) -> GhsOutcome {
-    run_ghs_inner(
-        points,
-        radius,
-        variant,
-        emst_radio::EnergyConfig::paper(),
-        None,
-        None,
-    )
-}
-
-/// [`run_ghs`] under an explicit energy configuration (extended rx/idle
-/// model of §VIII).
-#[deprecated(note = "use `emst_core::Sim` with `.energy(..)` and `Protocol::Ghs(variant)`")]
-pub fn run_ghs_configured(
-    points: &[emst_geom::Point],
-    radius: f64,
-    variant: GhsVariant,
-    energy: emst_radio::EnergyConfig,
-) -> GhsOutcome {
-    run_ghs_inner(points, radius, variant, energy, None, None)
-}
-
-/// Shared implementation behind [`crate::Sim`] and the deprecated
-/// wrappers.
-pub(crate) fn run_ghs_inner<'p>(
-    points: &'p [emst_geom::Point],
-    radius: f64,
-    variant: GhsVariant,
-    energy: emst_radio::EnergyConfig,
-    faults: Option<&FaultPlan>,
-    sink: Option<&'p mut dyn emst_radio::TraceSink>,
-) -> GhsOutcome {
-    let mut net = RadioNet::with_config(points, radius, energy);
-    if let Some(plan) = faults {
-        net.set_faults(plan.clone());
-    }
-    if let Some(sink) = sink {
-        net.set_sink(sink);
-    }
-    let (tree, phases, fragment_count) = {
-        let mut eng = GhsEngine::new(&mut net, variant);
-        eng.discover(radius, &GHS_KINDS);
-        eng.run_phases(&GHS_KINDS);
-        (eng.tree(), eng.phases(), eng.fragment_count())
-    };
-    GhsOutcome {
-        tree,
-        stats: RunStats::capture(&net),
-        phases,
-        fragment_count,
+/// GHS as a stage sequence against the shared execution environment:
+/// neighbour discovery, then merge phases to quiescence.
+pub(crate) fn drive(env: &mut crate::ExecEnv<'_>, radius: f64, variant: GhsVariant) -> GhsRun {
+    let kinds = GhsKinds::for_scope("ghs");
+    let mut eng = GhsEngine::new(env.net(), variant);
+    env.stage(kinds.scope, "discover", |net| {
+        eng.discover(net, radius, kinds)
+    });
+    env.stage(kinds.scope, "phases", |net| eng.run_phases(net, kinds));
+    GhsRun {
+        tree: eng.tree(),
+        phases: eng.phases(),
     }
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests deliberately exercise the legacy wrappers
 mod tests {
     use super::*;
+    use crate::{Protocol, RunOutput, Sim};
     use emst_geom::{paper_phase2_radius, trial_rng, uniform_points, Point};
     use emst_graph::{kruskal_forest, Graph};
 
-    fn check_matches_kruskal(points: &[Point], radius: f64, variant: GhsVariant) -> GhsOutcome {
-        let out = run_ghs(points, radius, variant);
+    fn run(points: &[Point], radius: f64, variant: GhsVariant) -> RunOutput {
+        Sim::new(points).radius(radius).run(Protocol::Ghs(variant))
+    }
+
+    fn phases_of(out: &RunOutput) -> usize {
+        out.detail.as_ghs().expect("GHS run").phases
+    }
+
+    fn check_matches_kruskal(points: &[Point], radius: f64, variant: GhsVariant) -> RunOutput {
+        let out = run(points, radius, variant);
         let g = Graph::geometric(points, radius);
         let forest = kruskal_forest(&g);
         let reference = SpanningTree::new(points.len(), forest);
@@ -1143,11 +1107,23 @@ mod tests {
     }
 
     #[test]
+    fn for_scope_reproduces_historic_labels_and_interns() {
+        let k = GhsKinds::for_scope("ghs");
+        assert_eq!(k.scope, "ghs");
+        assert_eq!(k.hello, "ghs/hello");
+        assert_eq!(k.size, "ghs/size");
+        let r = GhsKinds::for_scope("eopt2/recover");
+        assert_eq!(r.connect, "eopt2/recover/connect");
+        // Interned: the same table (same address) comes back.
+        assert!(std::ptr::eq(k, GhsKinds::for_scope("ghs")));
+    }
+
+    #[test]
     fn modified_ghs_builds_exact_mst_small() {
         let pts = uniform_points(60, &mut trial_rng(101, 0));
         let r = paper_phase2_radius(60);
         let out = check_matches_kruskal(&pts, r, GhsVariant::Modified);
-        assert!(out.phases >= 1);
+        assert!(phases_of(&out) >= 1);
         assert!(out.stats.energy > 0.0);
     }
 
@@ -1167,9 +1143,9 @@ mod tests {
         let pts = uniform_points(250, &mut trial_rng(105, 1));
         let r = paper_phase2_radius(250);
         let mut net = RadioNet::new(&pts, r);
-        let mut eng = GhsEngine::new(&mut net, GhsVariant::Modified);
-        eng.discover(r, &GHS_KINDS);
-        let topo = eng.net.topology_at(r).expect("cached by discover");
+        let mut eng = GhsEngine::new(&net, GhsVariant::Modified);
+        eng.discover(&mut net, r, GhsKinds::for_scope("ghs"));
+        let topo = net.topology_at(r).expect("cached by discover");
         for u in 0..pts.len() {
             let slots = &eng.back_slot[u];
             assert_eq!(slots.len(), topo.degree(u));
@@ -1190,8 +1166,8 @@ mod tests {
         for seed in 0..4 {
             let pts = uniform_points(150, &mut trial_rng(103, seed));
             let r = paper_phase2_radius(150);
-            let a = run_ghs(&pts, r, GhsVariant::Modified);
-            let b = run_ghs(&pts, r, GhsVariant::Original);
+            let a = run(&pts, r, GhsVariant::Modified);
+            let b = run(&pts, r, GhsVariant::Original);
             assert!(a.tree.same_edges(&b.tree), "seed {seed}");
         }
     }
@@ -1201,15 +1177,15 @@ mod tests {
         let pts = uniform_points(200, &mut trial_rng(104, 0));
         let r = emst_geom::paper_phase1_radius(200); // percolation regime
         let out = check_matches_kruskal(&pts, r, GhsVariant::Modified);
-        assert!(out.fragment_count > 1, "phase-1 radius should not connect");
+        assert!(out.fragments > 1, "phase-1 radius should not connect");
     }
 
     #[test]
     fn modified_uses_fewer_messages_than_original() {
         let pts = uniform_points(300, &mut trial_rng(105, 0));
         let r = paper_phase2_radius(300);
-        let orig = run_ghs(&pts, r, GhsVariant::Original);
-        let modi = run_ghs(&pts, r, GhsVariant::Modified);
+        let orig = run(&pts, r, GhsVariant::Original);
+        let modi = run(&pts, r, GhsVariant::Modified);
         // Test traffic scales with |E|; announcements with n·phases. At the
         // connectivity radius |E| ≫ n, so the modified variant must win on
         // messages.
@@ -1232,30 +1208,30 @@ mod tests {
     fn phase_count_is_logarithmic() {
         let pts = uniform_points(500, &mut trial_rng(106, 0));
         let r = paper_phase2_radius(500);
-        let out = run_ghs(&pts, r, GhsVariant::Modified);
+        let out = run(&pts, r, GhsVariant::Modified);
         assert!(
-            out.phases as f64 <= (500f64).log2() + 2.0,
+            phases_of(&out) as f64 <= (500f64).log2() + 2.0,
             "phases = {}",
-            out.phases
+            phases_of(&out)
         );
     }
 
     #[test]
     fn two_nodes() {
         let pts = vec![Point::new(0.4, 0.5), Point::new(0.6, 0.5)];
-        let out = run_ghs(&pts, 0.5, GhsVariant::Modified);
+        let out = run(&pts, 0.5, GhsVariant::Modified);
         assert_eq!(out.tree.edges().len(), 1);
         assert!(out.tree.is_valid());
-        assert_eq!(out.fragment_count, 1);
+        assert_eq!(out.fragments, 1);
     }
 
     #[test]
     fn single_node() {
         let pts = vec![Point::new(0.5, 0.5)];
-        let out = run_ghs(&pts, 0.5, GhsVariant::Modified);
+        let out = run(&pts, 0.5, GhsVariant::Modified);
         assert!(out.tree.is_valid());
         assert_eq!(out.tree.edges().len(), 0);
-        assert_eq!(out.fragment_count, 1);
+        assert_eq!(out.fragments, 1);
     }
 
     #[test]
@@ -1266,9 +1242,9 @@ mod tests {
         let pts = uniform_points(250, &mut trial_rng(107, 0));
         let r = paper_phase2_radius(250);
         let g = Graph::geometric(&pts, r);
-        let out = run_ghs(&pts, r, GhsVariant::Original);
+        let out = run(&pts, r, GhsVariant::Original);
         let tests = out.stats.ledger.kind("ghs/test").messages;
-        let bound = 2 * (2 * g.m() as u64) + 2 * (250 * out.phases as u64);
+        let bound = 2 * (2 * g.m() as u64) + 2 * (250 * phases_of(&out) as u64);
         assert!(tests <= bound, "tests {tests} > bound {bound}");
     }
 
@@ -1276,7 +1252,7 @@ mod tests {
     fn rounds_and_energy_are_positive_and_finite() {
         let pts = uniform_points(100, &mut trial_rng(108, 0));
         let r = paper_phase2_radius(100);
-        let out = run_ghs(&pts, r, GhsVariant::Modified);
+        let out = run(&pts, r, GhsVariant::Modified);
         assert!(out.stats.rounds > 0);
         assert!(out.stats.energy.is_finite() && out.stats.energy > 0.0);
         assert!(out.stats.messages as usize >= 100); // at least the hellos
@@ -1290,7 +1266,7 @@ mod tests {
         // First compute the true MST, then seed the engine with half of
         // its edges: the run must complete it to the same tree (seeded
         // MST edges are always consistent with the cut property).
-        let full = run_ghs(&pts, r, GhsVariant::Modified);
+        let full = run(&pts, r, GhsVariant::Modified);
         let seed_edges: Vec<(usize, usize, f64)> = full
             .tree
             .edges()
@@ -1299,14 +1275,13 @@ mod tests {
             .map(|e| (e.u as usize, e.v as usize, e.w))
             .collect();
         let mut net = RadioNet::new(&pts, r);
-        let (tree, frag_before) = {
-            let mut eng = GhsEngine::new(&mut net, GhsVariant::Modified);
-            eng.seed_forest(&seed_edges);
-            let before = eng.fragment_count();
-            eng.discover(r, &GHS_KINDS);
-            eng.run_phases(&GHS_KINDS);
-            (eng.tree(), before)
-        };
+        let kinds = GhsKinds::for_scope("ghs");
+        let mut eng = GhsEngine::new(&net, GhsVariant::Modified);
+        eng.seed_forest(&seed_edges);
+        let frag_before = eng.fragment_count();
+        eng.discover(&mut net, r, kinds);
+        eng.run_phases(&mut net, kinds);
+        let tree = eng.tree();
         assert_eq!(frag_before, 120 - 60);
         assert!(
             tree.same_edges(&full.tree),
@@ -1321,8 +1296,8 @@ mod tests {
     fn seed_forest_rejects_cycles() {
         use emst_radio::RadioNet;
         let pts = uniform_points(4, &mut trial_rng(110, 0));
-        let mut net = RadioNet::new(&pts, 0.5);
-        let mut eng = GhsEngine::new(&mut net, GhsVariant::Modified);
+        let net = RadioNet::new(&pts, 0.5);
+        let mut eng = GhsEngine::new(&net, GhsVariant::Modified);
         eng.seed_forest(&[(0, 1, 0.1), (1, 2, 0.1), (2, 0, 0.1)]);
     }
 
@@ -1336,17 +1311,18 @@ mod tests {
         let pts = uniform_points(80, &mut trial_rng(111, 0));
         let r = paper_phase2_radius(80);
         let mut net = RadioNet::new(&pts, r);
-        let mut eng = GhsEngine::new(&mut net, GhsVariant::Modified);
-        eng.discover(r, &GHS_KINDS);
+        let kinds = GhsKinds::for_scope("ghs");
+        let mut eng = GhsEngine::new(&net, GhsVariant::Modified);
+        eng.discover(&mut net, r, kinds);
         // All singletons; make everything passive.
-        let rows = eng.classify_passive_by_size(0.0, &GHS_KINDS);
+        let rows = eng.classify_passive_by_size(&mut net, 0.0, kinds);
         assert!(rows.iter().all(|r| r.2), "threshold 0 ⇒ all passive");
-        let phases = eng.run_phases(&GHS_KINDS);
+        let phases = eng.run_phases(&mut net, kinds);
         assert_eq!(phases, 0, "all-passive network must stay frozen");
         assert_eq!(eng.fragment_count(), 80);
         // Clearing passivity unfreezes the run.
         eng.clear_passive();
-        eng.run_phases(&GHS_KINDS);
+        eng.run_phases(&mut net, kinds);
         assert_eq!(eng.fragment_count(), 1);
         assert!(eng.tree().is_valid());
     }
@@ -1355,7 +1331,7 @@ mod tests {
     fn per_kind_attribution_is_complete() {
         let pts = uniform_points(150, &mut trial_rng(112, 0));
         let r = paper_phase2_radius(150);
-        let out = run_ghs(&pts, r, GhsVariant::Original);
+        let out = run(&pts, r, GhsVariant::Original);
         let known = [
             "ghs/hello",
             "ghs/initiate",
@@ -1388,9 +1364,9 @@ mod tests {
             .map(|i| Point::new(0.05 + 0.015 * i as f64, 0.5))
             .collect();
         let blob = uniform_points(60, &mut trial_rng(113, 0));
-        let line_out = run_ghs(&line, 0.05, GhsVariant::Modified);
-        let blob_out = run_ghs(&blob, paper_phase2_radius(60), GhsVariant::Modified);
-        assert_eq!(line_out.fragment_count, 1);
+        let line_out = run(&line, 0.05, GhsVariant::Modified);
+        let blob_out = run(&blob, paper_phase2_radius(60), GhsVariant::Modified);
+        assert_eq!(line_out.fragments, 1);
         assert!(
             line_out.stats.rounds > blob_out.stats.rounds,
             "line {} vs blob {}",

@@ -16,40 +16,30 @@
 //!   tree with `O(1)` expected energy and constant MST approximation,
 //!   under both the diagonal rank (this paper) and the x-rank of \[15\].
 //!
-//! Every run goes through the unified [`Sim`] builder (or a deprecated
-//! `run_*` wrapper) and returns its tree plus a [`emst_radio::RunStats`]
-//! with exact per-message-kind energy attribution; attach a
-//! [`emst_radio::TraceSink`] via [`Sim::sink`] for per-round, per-phase
-//! and per-node observability.
+//! Every run goes through the unified [`Sim`] builder, which hands the
+//! protocol's stage sequence to the shared execution environment
+//! ([`ExecEnv`]) and returns its tree plus a [`emst_radio::RunStats`]
+//! with exact per-message-kind energy attribution and per-stage
+//! [`emst_radio::StageMark`] deltas; attach a [`emst_radio::TraceSink`]
+//! via [`Sim::sink`] for per-round, per-phase, per-stage and per-node
+//! observability.
 
 pub mod bfs_tree;
 pub mod discovery;
 pub mod election;
 pub mod eopt;
+pub mod exec;
 pub mod ghs;
 pub mod nnt;
 pub mod sim;
 
-pub use bfs_tree::{BfsNode, BfsOutcome};
+pub use bfs_tree::BfsNode;
 pub use discovery::{discover, discover_reactive, HelloProtocol, Neighbor, NeighborTable};
-pub use election::{run_election_flood, run_election_tree, ElectionOutcome};
-pub use eopt::{EoptConfig, EoptOutcome};
-pub use ghs::{
-    GhsEngine, GhsKinds, GhsOutcome, GhsVariant, EOPT1_KINDS, EOPT2_KINDS, EOPT2_RECOVERY_KINDS,
-    GHS_KINDS,
-};
-pub use nnt::{NntMsg, NntNode, NntOutcome, RankScheme};
+pub use eopt::EoptConfig;
+pub use exec::ExecEnv;
+pub use ghs::{GhsEngine, GhsKinds, GhsVariant};
+pub use nnt::{NntMsg, NntNode, RankScheme};
 pub use sim::{
-    BfsDetail, Detail, EoptDetail, GhsDetail, NntDetail, Protocol, RunError, RunOutcome, RunOutput,
-    Sim,
+    BfsDetail, Detail, ElectionDetail, EoptDetail, GhsDetail, NntDetail, Protocol, RunError,
+    RunOutcome, RunOutput, Sim,
 };
-
-// Deprecated pre-`Sim` entrypoints, re-exported for compatibility.
-#[allow(deprecated)]
-pub use bfs_tree::{run_bfs_configured, run_bfs_tree};
-#[allow(deprecated)]
-pub use eopt::{run_eopt, run_eopt_configured, run_eopt_with};
-#[allow(deprecated)]
-pub use ghs::{run_ghs, run_ghs_configured};
-#[allow(deprecated)]
-pub use nnt::{run_nnt, run_nnt_configured, run_nnt_with};

@@ -30,9 +30,7 @@
 use crate::sim::RunError;
 use emst_geom::{diag_rank_less, nnt_probe_phases, nnt_probe_radius, x_rank_less, Point};
 use emst_graph::{Edge, SpanningTree};
-use emst_radio::{
-    Ctx, Delivery, EngineError, FaultStats, NodeProtocol, RadioNet, RunStats, SyncEngine,
-};
+use emst_radio::{Ctx, Delivery, NodeProtocol};
 
 /// Which total order on nodes to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -253,98 +251,22 @@ impl NodeProtocol for NntNode {
     }
 }
 
-/// Outcome of a Co-NNT run.
-#[derive(Debug, Clone)]
-pub struct NntOutcome {
-    /// The nearest-neighbour tree (valid spanning tree for ≥ 1 node under
-    /// either ranking with distinct coordinates).
+/// Result of the Co-NNT probe ladder (tree + read-outs; stats live on the
+/// [`crate::ExecEnv`]).
+pub(crate) struct NntRun {
     pub tree: SpanningTree,
-    /// Energy/messages/rounds.
-    pub stats: RunStats,
-    /// Nodes that exhausted all probe phases without connecting — exactly
-    /// one (the top-ranked node) on distinct-coordinate instances.
     pub unconnected: usize,
-    /// Maximum probe phases used by any node.
     pub max_phases_used: u32,
 }
 
-/// Runs Co-NNT with the paper's diagonal ranking.
-#[deprecated(note = "use `emst_core::Sim` with `Protocol::Nnt(RankScheme::Diagonal)`")]
-pub fn run_nnt(points: &[Point]) -> NntOutcome {
-    run_nnt_inner(
-        points,
-        RankScheme::Diagonal,
-        emst_radio::EnergyConfig::paper(),
-        None,
-        None,
-        None,
-    )
-    .unwrap_or_else(|(e, _)| panic!("{e}"))
-}
-
-/// Runs Co-NNT with an explicit ranking scheme.
-#[deprecated(note = "use `emst_core::Sim` with `Protocol::Nnt(scheme)`")]
-pub fn run_nnt_with(points: &[Point], scheme: RankScheme) -> NntOutcome {
-    run_nnt_inner(
-        points,
-        scheme,
-        emst_radio::EnergyConfig::paper(),
-        None,
-        None,
-        None,
-    )
-    .unwrap_or_else(|(e, _)| panic!("{e}"))
-}
-
-/// [`run_nnt_with`] under an explicit energy configuration and, optionally,
-/// the slotted-ALOHA contention layer (§VIII).
-#[deprecated(
-    note = "use `emst_core::Sim` with `.energy(..)`/`.contention(..)` and `Protocol::Nnt(scheme)`"
-)]
-pub fn run_nnt_configured(
-    points: &[Point],
-    scheme: RankScheme,
-    energy: emst_radio::EnergyConfig,
-    contention: Option<emst_radio::ContentionConfig>,
-) -> NntOutcome {
-    run_nnt_inner(points, scheme, energy, contention, None, None)
-        .unwrap_or_else(|(e, _)| panic!("{e}"))
-}
-
-/// Shared implementation behind [`crate::Sim`] and the deprecated
-/// wrappers. The error side carries the fault counters observed up to the
-/// failure so `Sim::try_run` can report them alongside the typed error.
-pub(crate) fn run_nnt_inner<'p>(
-    points: &'p [Point],
-    scheme: RankScheme,
-    energy: emst_radio::EnergyConfig,
-    contention: Option<emst_radio::ContentionConfig>,
-    faults: Option<&emst_radio::FaultPlan>,
-    sink: Option<&'p mut dyn emst_radio::TraceSink>,
-) -> Result<NntOutcome, (RunError, FaultStats)> {
-    let n = points.len();
-    if n == 0 {
-        return Ok(NntOutcome {
-            tree: SpanningTree::new(0, Vec::new()),
-            stats: RunStats::default(),
-            unconnected: 0,
-            max_phases_used: 0,
-        });
-    }
-    // Grid sized for the common early probe radius; larger probes still
-    // resolve correctly (they scan more cells).
-    let mut net = RadioNet::with_config(points, nnt_probe_radius(2, n.max(2)), energy);
-    let faulted = match faults {
-        Some(plan) => {
-            net.set_faults(plan.clone());
-            net.faults().is_some()
-        }
-        None => false,
-    };
-    if let Some(sink) = sink {
-        net.set_sink(sink);
-    }
-    let nodes: Vec<NntNode> = points
+/// Co-NNT as a single reactive stage against the shared execution
+/// environment. The env's network is sized for the common early probe
+/// radius; larger probes still resolve correctly (they scan more cells).
+pub(crate) fn drive(env: &mut crate::ExecEnv<'_>, scheme: RankScheme) -> Result<NntRun, RunError> {
+    let n = env.n();
+    let nodes: Vec<NntNode> = env
+        .net()
+        .points()
         .iter()
         .map(|p| {
             let l = scheme.potential_distance(p);
@@ -355,27 +277,13 @@ pub(crate) fn run_nnt_inner<'p>(
     // Logical (MAC-agnostic) round budget; retransmissions stretch each
     // 3-round probe phase by up to the retry budget.
     let mut budget = 3 * worst as u64 + 6;
-    if faulted {
-        let slack = net
-            .faults()
-            .map(|p| p.max_retries() as u64 + 1)
-            .unwrap_or(0);
-        budget += 3 * worst as u64 * slack + 9;
+    if env.faulted() {
+        budget += 3 * worst as u64 * env.retry_slack() + 9;
     }
-    let mut eng = match contention {
-        Some(cfg) => SyncEngine::with_contention(net, nodes, cfg),
-        None => SyncEngine::new(net, nodes),
-    };
-    let run_res = eng.try_run(budget);
-    let (net, nodes) = eng.into_parts();
-    match run_res {
-        Ok(_) => {}
-        // Under faults a round-limit overrun means some probe schedule was
-        // starved by losses: report the partial tree as a degraded outcome
-        // rather than aborting the trial.
-        Err(EngineError::RoundLimit(_)) if faulted => {}
-        Err(e) => return Err((e.into(), net.fault_stats())),
-    }
+    // Under faults a round-limit overrun means some probe schedule was
+    // starved by losses: the tolerant runner reports the partial tree as a
+    // degraded outcome rather than aborting the trial.
+    let nodes = env.run_nodes_tolerant("nnt", "probe", nodes, budget)?;
     let mut edges = Vec::with_capacity(n.saturating_sub(1));
     let mut unconnected = 0usize;
     let mut max_phases_used = 0u32;
@@ -386,19 +294,30 @@ pub(crate) fn run_nnt_inner<'p>(
             None => unconnected += 1,
         }
     }
-    Ok(NntOutcome {
+    Ok(NntRun {
         tree: SpanningTree::new(n, edges),
-        stats: RunStats::capture(&net),
         unconnected,
         max_phases_used,
     })
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests deliberately exercise the legacy wrappers
 mod tests {
     use super::*;
+    use crate::{Protocol, RunOutput, Sim};
     use emst_geom::{trial_rng, uniform_points};
+
+    fn run_nnt(pts: &[Point]) -> RunOutput {
+        Sim::new(pts).run(Protocol::Nnt(RankScheme::Diagonal))
+    }
+
+    fn run_nnt_with(pts: &[Point], scheme: RankScheme) -> RunOutput {
+        Sim::new(pts).run(Protocol::Nnt(scheme))
+    }
+
+    fn unconnected(out: &RunOutput) -> usize {
+        out.detail.as_nnt().expect("NNT run").unconnected
+    }
 
     #[test]
     fn potential_distance_known_points() {
@@ -504,7 +423,7 @@ mod tests {
                 "seed {seed}: {:?}",
                 out.tree.validate()
             );
-            assert_eq!(out.unconnected, 1, "only the top-ranked node is free");
+            assert_eq!(unconnected(&out), 1, "only the top-ranked node is free");
         }
     }
 
@@ -539,7 +458,7 @@ mod tests {
         let pts = uniform_points(200, &mut trial_rng(304, 0));
         let out = run_nnt_with(&pts, RankScheme::XOrder);
         assert!(out.tree.is_valid());
-        assert_eq!(out.unconnected, 1);
+        assert_eq!(unconnected(&out), 1);
     }
 
     #[test]
@@ -587,7 +506,7 @@ mod tests {
         assert!(run_nnt(&[]).tree.is_valid());
         let one = run_nnt(&[Point::new(0.3, 0.3)]);
         assert!(one.tree.is_valid());
-        assert_eq!(one.unconnected, 1);
+        assert_eq!(unconnected(&one), 1);
         let two = run_nnt(&[Point::new(0.2, 0.2), Point::new(0.8, 0.8)]);
         assert!(two.tree.is_valid());
         assert_eq!(two.tree.edges().len(), 1);
@@ -598,7 +517,7 @@ mod tests {
         let pts = uniform_points(150, &mut trial_rng(309, 0));
         let out = run_nnt_with(&pts, RankScheme::NodeId);
         assert!(out.tree.is_valid(), "{:?}", out.tree.validate());
-        assert_eq!(out.unconnected, 1);
+        assert_eq!(unconnected(&out), 1);
         // Every edge connects a node to the true nearest higher-id node.
         let mut parent = vec![usize::MAX; pts.len()];
         for e in out.tree.edges() {
@@ -636,15 +555,12 @@ mod tests {
 
     #[test]
     fn nnt_under_contention_builds_the_same_tree_at_higher_cost() {
-        use emst_radio::{ContentionConfig, EnergyConfig};
+        use emst_radio::ContentionConfig;
         let pts = uniform_points(200, &mut trial_rng(311, 0));
         let clean = run_nnt(&pts);
-        let contended = run_nnt_configured(
-            &pts,
-            RankScheme::Diagonal,
-            EnergyConfig::paper(),
-            Some(ContentionConfig::default()),
-        );
+        let contended = Sim::new(&pts)
+            .contention(ContentionConfig::default())
+            .run(Protocol::Nnt(RankScheme::Diagonal));
         // Contention delays but never loses messages, and the protocol is
         // schedule-driven by logical rounds, so the tree is identical.
         assert!(contended.tree.same_edges(&clean.tree));
@@ -666,7 +582,9 @@ mod tests {
         use emst_radio::EnergyConfig;
         let pts = uniform_points(300, &mut trial_rng(312, 0));
         let cfg = EnergyConfig::extended(emst_geom::PathLoss::paper(), 1e-4, 0.0);
-        let out = run_nnt_configured(&pts, RankScheme::Diagonal, cfg, None);
+        let out = Sim::new(&pts)
+            .energy(cfg)
+            .run(Protocol::Nnt(RankScheme::Diagonal));
         assert!(out.stats.rx_energy > 0.0);
         assert!(out.stats.full_energy() > out.stats.energy);
         // The tree itself is untouched by accounting changes.

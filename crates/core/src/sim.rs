@@ -28,14 +28,15 @@
 //! (tree, stats, surviving fragment count) lives directly on
 //! [`RunOutput`].
 
-use crate::bfs_tree::run_bfs_inner;
-use crate::eopt::{run_eopt_inner, EoptConfig};
-use crate::ghs::{run_ghs_inner, GhsVariant};
-use crate::nnt::{run_nnt_inner, RankScheme};
-use emst_geom::Point;
+use crate::eopt::EoptConfig;
+use crate::exec::ExecEnv;
+use crate::ghs::GhsVariant;
+use crate::nnt::RankScheme;
+use emst_geom::{nnt_probe_radius, Point};
 use emst_graph::SpanningTree;
 use emst_radio::{
-    ContentionConfig, EnergyConfig, EngineError, FaultPlan, FaultStats, RunStats, TraceSink,
+    ContentionConfig, EnergyConfig, EngineError, FaultPlan, FaultStats, RunStats, StageMark,
+    TraceSink,
 };
 
 /// Why a protocol run aborted instead of producing a (possibly partial)
@@ -105,6 +106,12 @@ pub enum Protocol {
         /// The flood origin.
         root: usize,
     },
+    /// Leader election by max-id flooding at the configured radius (§IV).
+    ElectionFlood,
+    /// Leader election along a BFS spanning tree at the configured radius:
+    /// flood, convergecast the maximum id, broadcast the winner back down
+    /// (`3n − 2` messages).
+    ElectionTree,
 }
 
 /// Protocol-specific read-outs of a [`Sim::run`].
@@ -118,6 +125,8 @@ pub enum Detail {
     Nnt(NntDetail),
     /// BFS extras.
     Bfs(BfsDetail),
+    /// Leader-election extras.
+    Election(ElectionDetail),
 }
 
 /// GHS-specific outputs.
@@ -127,8 +136,11 @@ pub struct GhsDetail {
     pub phases: usize,
 }
 
-/// EOPT-specific outputs (see [`crate::EoptOutcome`] for field docs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// EOPT-specific outputs. The per-step energy/message attribution is
+/// derived from the stage-runtime deltas (everything recorded under the
+/// `eopt1` stage scope is step 1; `eopt2` and `eopt2/recover` are step 2),
+/// not from ledger prefix matching.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EoptDetail {
     /// GHS phases executed in step 1.
     pub phases_step1: usize,
@@ -142,6 +154,15 @@ pub struct EoptDetail {
     pub giants_declared: usize,
     /// Whether the beyond-paper recovery pass had to run.
     pub recovery_used: bool,
+    /// Energy spent by the percolation-regime step (discover + phases +
+    /// size classification).
+    pub energy_step1: f64,
+    /// Energy spent by the connectivity-regime step (including recovery).
+    pub energy_step2: f64,
+    /// Messages sent by step 1.
+    pub messages_step1: u64,
+    /// Messages sent by step 2 (including recovery).
+    pub messages_step2: u64,
 }
 
 /// Co-NNT-specific outputs.
@@ -158,6 +179,15 @@ pub struct NntDetail {
 pub struct BfsDetail {
     /// Nodes reached from the root (including the root).
     pub reached: usize,
+}
+
+/// Leader-election outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElectionDetail {
+    /// The elected leader (the maximum id of the root component).
+    pub leader: usize,
+    /// Whether every node agreed on that leader.
+    pub agreed: bool,
 }
 
 impl Detail {
@@ -192,6 +222,14 @@ impl Detail {
             _ => None,
         }
     }
+
+    /// The election read-out, if this was a leader-election run.
+    pub fn as_election(&self) -> Option<&ElectionDetail> {
+        match self {
+            Detail::Election(d) => Some(d),
+            _ => None,
+        }
+    }
 }
 
 /// Uniform result of any protocol run.
@@ -204,17 +242,21 @@ pub struct RunOutput {
     /// Connected components of the output forest (`n − |edges|`); `1`
     /// means the tree spans.
     pub fragments: usize,
+    /// Per-stage resource deltas in execution order (one [`StageMark`]
+    /// per protocol stage); they telescope to `stats` exactly.
+    pub stages: Vec<StageMark>,
     /// Protocol-specific extras.
     pub detail: Detail,
 }
 
 impl RunOutput {
-    fn build(tree: SpanningTree, stats: RunStats, detail: Detail) -> Self {
+    fn build(tree: SpanningTree, stats: RunStats, stages: Vec<StageMark>, detail: Detail) -> Self {
         let fragments = tree.n().saturating_sub(tree.edges().len());
         RunOutput {
             tree,
             stats,
             fragments,
+            stages,
             detail,
         }
     }
@@ -332,9 +374,10 @@ impl<'a> Sim<'a> {
     }
 
     /// Enables the slotted-ALOHA contention layer (§VIII). Only the
-    /// reactive protocols (Co-NNT, BFS) model contention; [`Sim::run`]
-    /// panics if this is combined with GHS or EOPT, whose orchestrated
-    /// schedules assume the paper's collision-free RBN abstraction.
+    /// reactive protocols (Co-NNT, BFS, the elections) model contention;
+    /// [`Sim::run`] panics if this is combined with GHS or EOPT, whose
+    /// orchestrated schedules assume the paper's collision-free RBN
+    /// abstraction.
     pub fn contention(mut self, cfg: ContentionConfig) -> Self {
         self.contention = Some(cfg);
         self
@@ -398,74 +441,146 @@ impl<'a> Sim<'a> {
             !(contention.is_some() && faults.is_some()),
             "fault injection composes with the collision-free engine only"
         );
-        let faulted = faults.is_some();
-        let output = match protocol {
-            Protocol::Ghs(variant) => {
+        let n = points.len();
+        // Configuration checks and the run-wide operating radius the
+        // shared network is built at.
+        let max_radius = match protocol {
+            Protocol::Ghs(_) => {
                 assert!(
                     contention.is_none(),
                     "GHS is orchestrated over the collision-free RBN model; \
-                     the contention layer applies to Nnt/Bfs only"
+                     the contention layer applies to reactive protocols only"
                 );
-                let r = radius.expect("Protocol::Ghs requires Sim::radius");
-                let out = run_ghs_inner(points, r, variant, energy, faults.as_ref(), sink);
-                RunOutput::build(
-                    out.tree,
-                    out.stats,
-                    Detail::Ghs(GhsDetail { phases: out.phases }),
-                )
+                radius.expect("Protocol::Ghs requires Sim::radius")
             }
             Protocol::Eopt(cfg) => {
                 assert!(
                     contention.is_none(),
                     "EOPT is orchestrated over the collision-free RBN model; \
-                     the contention layer applies to Nnt/Bfs only"
+                     the contention layer applies to reactive protocols only"
                 );
-                let out = run_eopt_inner(points, &cfg, energy, faults.as_ref(), sink);
-                RunOutput::build(
+                cfg.radius2(n.max(2)).max(cfg.radius1(n.max(2)))
+            }
+            // Grid sized for the common early probe radius; larger probes
+            // still resolve correctly (they scan more cells).
+            Protocol::Nnt(_) => nnt_probe_radius(2, n.max(2)),
+            Protocol::Bfs { root } => {
+                assert!(root < n.max(1), "root out of range");
+                radius.expect("Protocol::Bfs requires Sim::radius")
+            }
+            Protocol::ElectionFlood => {
+                radius.expect("Protocol::ElectionFlood requires Sim::radius")
+            }
+            Protocol::ElectionTree => radius.expect("Protocol::ElectionTree requires Sim::radius"),
+        };
+        // The reactive protocols historically short-circuited empty
+        // instances before touching the network; preserve that.
+        if n == 0 {
+            let detail = match protocol {
+                Protocol::Nnt(_) => Some(Detail::Nnt(NntDetail {
+                    unconnected: 0,
+                    max_phases_used: 0,
+                })),
+                Protocol::Bfs { .. } => Some(Detail::Bfs(BfsDetail { reached: 0 })),
+                Protocol::ElectionFlood | Protocol::ElectionTree => {
+                    Some(Detail::Election(ElectionDetail {
+                        leader: 0,
+                        agreed: true,
+                    }))
+                }
+                Protocol::Ghs(_) | Protocol::Eopt(_) => None,
+            };
+            if let Some(detail) = detail {
+                return RunOutcome::Complete(RunOutput::build(
+                    SpanningTree::new(0, Vec::new()),
+                    RunStats::default(),
+                    Vec::new(),
+                    detail,
+                ));
+            }
+        }
+        let mut env = ExecEnv::new(
+            points,
+            max_radius,
+            energy,
+            faults.as_ref(),
+            contention,
+            sink,
+        );
+        let result: Result<(SpanningTree, Detail), RunError> = match protocol {
+            Protocol::Ghs(variant) => {
+                let out = crate::ghs::drive(&mut env, max_radius, variant);
+                Ok((out.tree, Detail::Ghs(GhsDetail { phases: out.phases })))
+            }
+            Protocol::Eopt(cfg) => {
+                let out = crate::eopt::drive(&mut env, &cfg);
+                Ok((out.tree, Detail::Eopt(out.detail)))
+            }
+            Protocol::Nnt(scheme) => crate::nnt::drive(&mut env, scheme).map(|out| {
+                (
                     out.tree,
-                    out.stats,
-                    Detail::Eopt(EoptDetail {
-                        phases_step1: out.phases_step1,
-                        phases_step2: out.phases_step2,
-                        fragments_after_step1: out.fragments_after_step1,
-                        largest_fragment: out.largest_fragment,
-                        giants_declared: out.giants_declared,
-                        recovery_used: out.recovery_used,
+                    Detail::Nnt(NntDetail {
+                        unconnected: out.unconnected,
+                        max_phases_used: out.max_phases_used,
                     }),
                 )
-            }
-            Protocol::Nnt(scheme) => {
-                match run_nnt_inner(points, scheme, energy, contention, faults.as_ref(), sink) {
-                    Ok(out) => RunOutput::build(
-                        out.tree,
-                        out.stats,
-                        Detail::Nnt(NntDetail {
-                            unconnected: out.unconnected,
-                            max_phases_used: out.max_phases_used,
-                        }),
-                    ),
-                    Err((error, faults)) => return RunOutcome::Failed { error, faults },
-                }
-            }
+            }),
             Protocol::Bfs { root } => {
-                let r = radius.expect("Protocol::Bfs requires Sim::radius");
-                match run_bfs_inner(points, r, root, energy, contention, faults.as_ref(), sink) {
-                    Ok(out) => RunOutput::build(
+                crate::bfs_tree::drive(&mut env, max_radius, root).map(|out| {
+                    (
                         out.tree,
-                        out.stats,
                         Detail::Bfs(BfsDetail {
                             reached: out.reached,
                         }),
-                    ),
-                    Err((error, faults)) => return RunOutcome::Failed { error, faults },
+                    )
+                })
+            }
+            Protocol::ElectionFlood => {
+                crate::election::drive_flood(&mut env, max_radius).map(|out| {
+                    (
+                        out.tree,
+                        Detail::Election(ElectionDetail {
+                            leader: out.leader,
+                            agreed: out.agreed,
+                        }),
+                    )
+                })
+            }
+            Protocol::ElectionTree => {
+                crate::election::drive_tree(&mut env, max_radius).map(|out| {
+                    (
+                        out.tree,
+                        Detail::Election(ElectionDetail {
+                            leader: out.leader,
+                            agreed: out.agreed,
+                        }),
+                    )
+                })
+            }
+        };
+        let (tree, detail) = match result {
+            Ok(parts) => parts,
+            Err(error) => {
+                return RunOutcome::Failed {
+                    error,
+                    faults: env.net().fault_stats(),
                 }
             }
         };
+        let faulted = env.faulted();
+        let (stats, stages) = env.finish();
+        let output = RunOutput::build(tree, stats, stages, detail);
         let fs = output.stats.faults;
-        // Damage is visible when a message was abandoned outright, or
-        // when drops coincide with a fragmented forest (lost links can
-        // sever fragments that a clean run would have merged).
-        let degraded = faulted && (fs.timeouts > 0 || (output.fragments > 1 && fs.drops > 0));
+        // Damage is visible when a message was abandoned outright, or when
+        // drops coincide with structural damage: a fragmented forest for
+        // the tree builders (lost links can sever fragments a clean run
+        // would have merged), disagreement for the elections (the flood
+        // builds no tree, so fragment count says nothing there).
+        let structural = match &output.detail {
+            Detail::Election(d) => !d.agreed,
+            _ => output.fragments > 1,
+        };
+        let degraded = faulted && (fs.timeouts > 0 || (structural && fs.drops > 0));
         if degraded {
             RunOutcome::Degraded { output, faults: fs }
         } else {
@@ -480,35 +595,52 @@ mod tests {
     use emst_geom::{paper_phase2_radius, trial_rng, uniform_points};
     use emst_radio::MetricsSink;
 
+    const ALL_PROTOCOLS: [Protocol; 7] = [
+        Protocol::Ghs(GhsVariant::Original),
+        Protocol::Ghs(GhsVariant::Modified),
+        Protocol::Eopt(EoptConfig {
+            phase1_multiplier: emst_geom::PAPER_PHASE1_MULTIPLIER,
+            phase2_multiplier: emst_geom::PAPER_PHASE2_MULTIPLIER,
+            beta: 1.0,
+        }),
+        Protocol::Nnt(RankScheme::Diagonal),
+        Protocol::Bfs { root: 0 },
+        Protocol::ElectionFlood,
+        Protocol::ElectionTree,
+    ];
+
     #[test]
-    #[allow(deprecated)]
-    fn sim_matches_legacy_wrappers_exactly() {
+    fn repeated_runs_are_bit_identical() {
         let pts = uniform_points(200, &mut trial_rng(901, 0));
         let r = paper_phase2_radius(200);
+        for p in ALL_PROTOCOLS {
+            let a = Sim::new(&pts).radius(r).run(p);
+            let b = Sim::new(&pts).radius(r).run(p);
+            assert!(a.tree.same_edges(&b.tree), "{p:?}");
+            assert_eq!(a.stats.energy, b.stats.energy, "{p:?}");
+            assert_eq!(a.stats.messages, b.stats.messages, "{p:?}");
+            assert_eq!(a.stats.rounds, b.stats.rounds, "{p:?}");
+            assert_eq!(a.stages, b.stages, "{p:?}");
+        }
+    }
 
-        let a = Sim::new(&pts)
-            .radius(r)
-            .run(Protocol::Ghs(GhsVariant::Modified));
-        let b = crate::ghs::run_ghs(&pts, r, GhsVariant::Modified);
-        assert!(a.tree.same_edges(&b.tree));
-        assert_eq!(a.stats.energy, b.stats.energy);
-        assert_eq!(a.detail.as_ghs().unwrap().phases, b.phases);
-
-        let a = Sim::new(&pts).run(Protocol::Eopt(EoptConfig::default()));
-        let b = crate::eopt::run_eopt(&pts);
-        assert!(a.tree.same_edges(&b.tree));
-        assert_eq!(a.stats.energy, b.stats.energy);
-        assert_eq!(a.fragments, b.fragment_count);
-
-        let a = Sim::new(&pts).run(Protocol::Nnt(RankScheme::Diagonal));
-        let b = crate::nnt::run_nnt(&pts);
-        assert!(a.tree.same_edges(&b.tree));
-        assert_eq!(a.detail.as_nnt().unwrap().unconnected, b.unconnected);
-
-        let a = Sim::new(&pts).radius(r).run(Protocol::Bfs { root: 0 });
-        let b = crate::bfs_tree::run_bfs_tree(&pts, r, 0);
-        assert!(a.tree.same_edges(&b.tree));
-        assert_eq!(a.detail.as_bfs().unwrap().reached, b.reached);
+    #[test]
+    fn stage_marks_telescope_to_run_totals() {
+        let pts = uniform_points(180, &mut trial_rng(907, 0));
+        let r = paper_phase2_radius(180);
+        for p in ALL_PROTOCOLS {
+            let out = Sim::new(&pts).radius(r).run(p);
+            assert!(!out.stages.is_empty(), "{p:?}: no stages recorded");
+            let msgs: u64 = out.stages.iter().map(|s| s.messages).sum();
+            let rounds: u64 = out.stages.iter().map(|s| s.rounds).sum();
+            let energy: f64 = out.stages.iter().map(|s| s.energy).sum();
+            assert_eq!(msgs, out.stats.messages, "{p:?}");
+            assert_eq!(rounds, out.stats.rounds, "{p:?}");
+            assert!((energy - out.stats.energy).abs() < 1e-9, "{p:?}");
+            for (i, s) in out.stages.iter().enumerate() {
+                assert_eq!(s.index, i as u64, "{p:?}");
+            }
+        }
     }
 
     #[test]
@@ -524,14 +656,7 @@ mod tests {
     fn sink_observes_every_protocol() {
         let pts = uniform_points(150, &mut trial_rng(903, 0));
         let r = paper_phase2_radius(150);
-        let protocols = [
-            Protocol::Ghs(GhsVariant::Original),
-            Protocol::Ghs(GhsVariant::Modified),
-            Protocol::Eopt(EoptConfig::default()),
-            Protocol::Nnt(RankScheme::Diagonal),
-            Protocol::Bfs { root: 0 },
-        ];
-        for p in protocols {
+        for p in ALL_PROTOCOLS {
             let mut m = MetricsSink::new();
             let out = Sim::new(&pts).radius(r).sink(&mut m).run(p);
             assert_eq!(m.total_energy(), out.stats.energy, "{p:?}");
@@ -563,7 +688,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "contention layer applies to Nnt/Bfs only")]
+    #[should_panic(expected = "contention layer applies to reactive protocols only")]
     fn contended_ghs_panics() {
         use emst_radio::ContentionConfig;
         let pts = uniform_points(10, &mut trial_rng(906, 0));

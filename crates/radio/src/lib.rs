@@ -26,8 +26,9 @@ pub use energy::{EnergyLedger, Tally};
 pub use engine::{Ctx, Delivery, EngineError, NodeProtocol, RoundLimitExceeded, SyncEngine};
 pub use fault::{backoff_stream_seed, fault_stream_seed, FaultKind, FaultPlan, FaultStats};
 pub use network::{Clock, EnergyConfig, RadioNet};
-pub use stats::RunStats;
+pub use stats::{RunStats, StatSnapshot};
 pub use topology::Topology;
 pub use trace::{
-    CsvSink, JsonlSink, MergeMark, MetricsSink, NullSink, PhaseKey, TeeSink, TraceEvent, TraceSink,
+    CsvSink, JsonlSink, MergeMark, MetricsSink, NullSink, PhaseKey, StageMark, TeeSink, TraceEvent,
+    TraceSink,
 };

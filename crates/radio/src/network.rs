@@ -325,7 +325,7 @@ impl<'a> RadioNet<'a> {
     /// The cached topology *at this radius*, if present. Callers that may
     /// run at varying radii use this to take the fast path only when it is
     /// actually valid. The match tolerates a couple of ulps (see
-    /// [`radius_close`]): a caller that recomputes the operating radius
+    /// `radius_close`): a caller that recomputes the operating radius
     /// through a different floating-point expression must not silently
     /// fall back to live-grid queries — that was a silent 4× slowdown.
     #[inline]
@@ -555,6 +555,13 @@ impl<'a> RadioNet<'a> {
             absorbed,
             size,
         });
+    }
+
+    /// Publishes a completed stage's resource deltas to the sink (pure
+    /// telemetry: no ledger or clock effect). Called by the stage runtime
+    /// at every stage boundary.
+    pub fn note_stage(&mut self, mark: crate::trace::StageMark) {
+        self.emit(|| TraceEvent::Stage(mark));
     }
 
     /// Charges `count` successful receptions under the extended model

@@ -4,7 +4,58 @@
 use crate::energy::EnergyLedger;
 use crate::fault::FaultStats;
 use crate::network::RadioNet;
+use crate::trace::StageMark;
 use std::fmt;
+
+/// A point-in-time snapshot of a network's run-wide counters, used by the
+/// stage runtime to compute per-stage deltas: snapshot before a stage,
+/// [`StatSnapshot::delta`] after it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatSnapshot {
+    energy: f64,
+    messages: u64,
+    rounds: u64,
+    faults: FaultStats,
+}
+
+impl StatSnapshot {
+    /// Captures the network's current totals. O(1) — no ledger clone.
+    pub fn capture(net: &RadioNet<'_>) -> Self {
+        StatSnapshot {
+            energy: net.ledger().total_energy(),
+            messages: net.ledger().total_messages(),
+            rounds: net.clock().now(),
+            faults: net.fault_stats(),
+        }
+    }
+
+    /// The resources consumed since this snapshot, stamped with the
+    /// stage's identity. `round` in the mark is the network's current
+    /// round (the round the stage ended at).
+    pub fn delta(
+        &self,
+        net: &RadioNet<'_>,
+        scope: &'static str,
+        name: &'static str,
+        index: u64,
+    ) -> StageMark {
+        let now = StatSnapshot::capture(net);
+        StageMark {
+            round: now.rounds,
+            scope,
+            name,
+            index,
+            energy: now.energy - self.energy,
+            messages: now.messages - self.messages,
+            rounds: now.rounds - self.rounds,
+            faults: FaultStats {
+                drops: now.faults.drops - self.faults.drops,
+                retries: now.faults.retries - self.faults.retries,
+                timeouts: now.faults.timeouts - self.faults.timeouts,
+            },
+        }
+    }
+}
 
 /// Summary of one protocol execution.
 #[derive(Debug, Clone, Default)]

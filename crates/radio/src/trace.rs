@@ -5,7 +5,7 @@
 //! transitions, fragment merges — as it happens, straight from the
 //! [`RadioNet`](crate::RadioNet) charge points. Because events are emitted
 //! where energy is charged, *any* protocol built on the network (the
-//! stage-orchestrated GHS family as well as reactive [`SyncEngine`]
+//! stage-orchestrated GHS family as well as reactive [`SyncEngine`](crate::engine::SyncEngine)
 //! protocols, contended or collision-free) is covered without
 //! per-protocol instrumentation.
 //!
@@ -18,12 +18,12 @@
 //!   per-phase energy/message tallies, per-node transmit budgets, and the
 //!   maximum-power watermark. Its running totals reproduce
 //!   [`RunStats`](crate::RunStats) totals *exactly* (bit-for-bit): it
-//!   accumulates in the same order as the [`EnergyLedger`].
+//!   accumulates in the same order as the [`EnergyLedger`](crate::energy::EnergyLedger).
 //! * [`JsonlSink`] / [`CsvSink`] — streaming event logs for offline
 //!   analysis; byte-deterministic for a fixed seed.
 
 use crate::energy::Tally;
-use crate::fault::FaultKind;
+use crate::fault::{FaultKind, FaultStats};
 use std::collections::BTreeMap;
 use std::io::{self, Write};
 
@@ -81,6 +81,13 @@ pub enum TraceEvent {
         /// Member count of the merged fragment.
         size: usize,
     },
+    /// A protocol stage completed. Carries the stage's identity and its
+    /// resource *deltas* (energy/messages/rounds/faults consumed by that
+    /// stage alone), as recorded by the stage runtime. Purely additive
+    /// telemetry: stage events never alter the ledger or the clock, so a
+    /// trace with its `stage` lines removed is byte-identical to one from
+    /// a runtime that does not emit them.
+    Stage(StageMark),
     /// A reliability-layer fault: a dropped delivery, a retransmission, or
     /// an abandoned message. Emitted only when a
     /// [`FaultPlan`](crate::FaultPlan) is active; fault-free traces are
@@ -141,6 +148,35 @@ impl PhaseKey {
     };
 }
 
+/// One completed protocol stage with its resource deltas.
+///
+/// Produced by the stage runtime (`emst-core`'s `ExecEnv`) at every stage
+/// boundary: the runtime snapshots the network counters before the stage
+/// body runs and publishes the difference afterwards. Deltas telescope —
+/// summing a run's marks recovers (up to float re-association) the run's
+/// `RunStats` totals, and summing marks of one scope gives exact
+/// per-stage attribution without ledger prefix matching.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageMark {
+    /// Round at which the stage ended.
+    pub round: u64,
+    /// Protocol scope (`"ghs"`, `"eopt1"`, `"eopt2/recover"`, …) — also
+    /// the message-kind prefix of everything the stage transmitted.
+    pub scope: &'static str,
+    /// Stage name (`"discover"`, `"merge"`, `"probe"`, …).
+    pub name: &'static str,
+    /// Position in the run's stage sequence (0-based).
+    pub index: u64,
+    /// Radiated energy consumed by this stage.
+    pub energy: f64,
+    /// Transmissions sent by this stage.
+    pub messages: u64,
+    /// Clock rounds elapsed during this stage.
+    pub rounds: u64,
+    /// Fault events (drops/retries/timeouts) observed during this stage.
+    pub faults: FaultStats,
+}
+
 /// One recorded merge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MergeMark {
@@ -159,7 +195,7 @@ pub struct MergeMark {
 /// Message energies are accumulated in event order, which is charge order,
 /// so [`MetricsSink::total_energy`] equals
 /// [`RunStats::energy`](crate::RunStats) bit-for-bit, and each per-kind
-/// tally equals the corresponding [`EnergyLedger`](crate::EnergyLedger)
+/// tally equals the corresponding [`EnergyLedger`](crate::energy::EnergyLedger)(crate::EnergyLedger)
 /// entry bit-for-bit.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSink {
@@ -174,6 +210,7 @@ pub struct MetricsSink {
     current_phase: Option<PhaseKey>,
     phase_log: Vec<(u64, PhaseKey)>,
     merges: Vec<MergeMark>,
+    stage_log: Vec<StageMark>,
     fault_drops: u64,
     fault_retries: u64,
     fault_timeouts: u64,
@@ -283,6 +320,12 @@ impl MetricsSink {
         &self.merges
     }
 
+    /// Completed stages in execution order, with per-stage resource
+    /// deltas (empty unless the run went through the stage runtime).
+    pub fn stages(&self) -> &[StageMark] {
+        &self.stage_log
+    }
+
     /// Dropped deliveries observed (0 in fault-free runs).
     #[inline]
     pub fn fault_drops(&self) -> u64 {
@@ -362,6 +405,7 @@ impl TraceSink for MetricsSink {
                 absorbed,
                 size,
             }),
+            TraceEvent::Stage(mark) => self.stage_log.push(mark),
             TraceEvent::Fault { what, .. } => match what {
                 FaultKind::Drop => self.fault_drops += 1,
                 FaultKind::Retry => self.fault_retries += 1,
@@ -447,6 +491,20 @@ impl<W: Write> JsonlSink<W> {
             } => writeln!(
                 self.w,
                 r#"{{"t":"merge","round":{round},"leader":{leader},"absorbed":{absorbed},"size":{size}}}"#
+            ),
+            TraceEvent::Stage(StageMark {
+                round,
+                scope,
+                name,
+                index,
+                energy,
+                messages,
+                rounds,
+                faults,
+            }) => writeln!(
+                self.w,
+                r#"{{"t":"stage","round":{round},"scope":"{scope}","name":"{name}","index":{index},"energy":{energy},"messages":{messages},"rounds":{rounds},"drops":{},"retries":{},"timeouts":{}}}"#,
+                faults.drops, faults.retries, faults.timeouts
             ),
             TraceEvent::Fault {
                 round,
@@ -556,6 +614,23 @@ impl<W: Write> CsvSink<W> {
                 absorbed,
                 size,
             } => writeln!(self.w, "merge,{round},,,,,,,,,{leader},{absorbed},{size}"),
+            TraceEvent::Stage(StageMark {
+                round,
+                scope,
+                name,
+                index,
+                energy,
+                messages,
+                ..
+            }) => {
+                // Stage rows reuse the fixed 13-column header: the stage
+                // name rides in `stage`, the message delta in `size`;
+                // round/fault deltas are JSONL-only.
+                writeln!(
+                    self.w,
+                    "stage,{round},,,,,{energy},{scope},{index},{name},,,{messages}"
+                )
+            }
             TraceEvent::Fault {
                 round,
                 what,

@@ -23,12 +23,12 @@
 //! cargo run --release --example node_failures
 //! ```
 
-use energy_mst::core::{EoptConfig, GhsEngine, GhsVariant, EOPT1_KINDS, EOPT2_KINDS};
+use energy_mst::core::{EoptConfig, ExecEnv, GhsEngine, GhsKinds, GhsVariant};
 use energy_mst::geom::{
     paper_phase1_radius, paper_phase2_radius, trial_rng, uniform_points, Point,
 };
 use energy_mst::graph::euclidean_mst;
-use energy_mst::radio::{RadioNet, RunStats};
+use energy_mst::radio::EnergyConfig;
 use energy_mst::{Protocol, Sim};
 use rand::seq::SliceRandom;
 
@@ -85,34 +85,46 @@ fn main() {
     let m = survivors.len();
     let r1 = paper_phase1_radius(m);
     let r2 = paper_phase2_radius(m);
-    let mut net = RadioNet::new(&survivors, r2);
-    let (repair_tree, repair_stats, fragments_before) = {
-        let mut eng = GhsEngine::new(&mut net, GhsVariant::Modified);
-        // Surviving edges become pre-merged fragments: replay them as free
-        // unions (the nodes already know their tree neighbours; no radio
-        // traffic needed to remember them).
-        let surviving_edges: Vec<(usize, usize, f64)> = initial
-            .tree
-            .edges()
+    let k1 = GhsKinds::for_scope("eopt1");
+    let k2 = GhsKinds::for_scope("eopt2");
+    let mut env = ExecEnv::new(&survivors, r2, EnergyConfig::paper(), None, None, None);
+    let mut eng = GhsEngine::new(env.net(), GhsVariant::Modified);
+    // Surviving edges become pre-merged fragments: replay them as free
+    // unions (the nodes already know their tree neighbours; no radio
+    // traffic needed to remember them).
+    let surviving_edges: Vec<(usize, usize, f64)> = initial
+        .tree
+        .edges()
+        .iter()
+        .filter(|e| !dead.contains(&(e.u as usize)) && !dead.contains(&(e.v as usize)))
+        .map(|e| (new_id[e.u as usize], new_id[e.v as usize], e.w))
+        .collect();
+    eng.seed_forest(&surviving_edges);
+    let fragments_before = eng.fragment_count();
+    // EOPT's two-phase schedule over the seeded forest, run as stages of
+    // the shared execution environment.
+    env.stage(k1.scope, "discover", |net| eng.discover(net, r1, k1));
+    env.stage(k1.scope, "phases", |net| eng.run_phases(net, k1));
+    let threshold = EoptConfig::default().giant_threshold(m);
+    env.stage(k1.scope, "size", |net| {
+        eng.classify_passive_by_size(net, threshold, k1)
+    });
+    env.stage(k2.scope, "discover", |net| eng.discover(net, r2, k2));
+    env.stage(k2.scope, "phases", |net| eng.run_phases(net, k2));
+    if eng.fragment_count() > 1 {
+        eng.clear_passive();
+        env.stage(k2.scope, "recover", |net| eng.run_phases(net, k2));
+    }
+    let repair_tree = eng.tree();
+    let (repair_stats, repair_stages) = env.finish();
+    println!(
+        "repair stages: {}",
+        repair_stages
             .iter()
-            .filter(|e| !dead.contains(&(e.u as usize)) && !dead.contains(&(e.v as usize)))
-            .map(|e| (new_id[e.u as usize], new_id[e.v as usize], e.w))
-            .collect();
-        eng.seed_forest(&surviving_edges);
-        let fragments_before = eng.fragment_count();
-        // EOPT's two-phase schedule over the seeded forest.
-        eng.discover(r1, &EOPT1_KINDS);
-        eng.run_phases(&EOPT1_KINDS);
-        let threshold = EoptConfig::default().giant_threshold(m);
-        eng.classify_passive_by_size(threshold, &EOPT1_KINDS);
-        eng.discover(r2, &EOPT2_KINDS);
-        eng.run_phases(&EOPT2_KINDS);
-        if eng.fragment_count() > 1 {
-            eng.clear_passive();
-            eng.run_phases(&EOPT2_KINDS);
-        }
-        (eng.tree(), RunStats::capture(&net), fragments_before)
-    };
+            .map(|s| format!("{}/{} {:.3}", s.scope, s.name, s.energy))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     println!(
         "fragment repair: {} fragments to reconnect, energy {:.2} ({:.0}% of a rebuild)",
         fragments_before,

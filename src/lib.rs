@@ -16,6 +16,6 @@ pub use emst_radio as radio;
 // top level: `energy_mst::Sim::new(&pts).sink(&mut metrics).run(..)`.
 pub use emst_core::{Detail, Protocol, RunError, RunOutcome, RunOutput, Sim};
 pub use emst_radio::{
-    CsvSink, FaultKind, FaultPlan, FaultStats, JsonlSink, MetricsSink, NullSink, TeeSink,
-    TraceEvent, TraceSink,
+    CsvSink, FaultKind, FaultPlan, FaultStats, JsonlSink, MetricsSink, NullSink, StageMark,
+    TeeSink, TraceEvent, TraceSink,
 };

@@ -1,0 +1,172 @@
+//! Refactor-equivalence golden fixtures.
+//!
+//! These fixtures were pinned from the pre-stage-runtime implementation
+//! (PR 3 tree edges, energy ledger, and trace JSONL at fixed seeds, with
+//! and without faults). The stage runtime must reproduce every one of
+//! them **bit-for-bit** — float payloads are compared through `to_bits`,
+//! traces byte-for-byte.
+//!
+//! The only tolerated difference is purely additive: `{"t":"stage",...}`
+//! lines (stage-boundary events introduced by the stage runtime) are
+//! stripped from the observed trace before comparison, because the
+//! pre-refactor code could not emit them. Everything else — message
+//! order, rounds, phases, merges, faults — must match exactly.
+//!
+//! Regenerate (only when intentionally changing protocol behaviour) with:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test --test golden_fixtures
+//! ```
+
+use energy_mst::core::{GhsVariant, RankScheme};
+use energy_mst::geom::{paper_phase2_radius, trial_rng, uniform_points, Point};
+use energy_mst::{FaultPlan, JsonlSink, Protocol, RunOutcome, Sim};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const SEEDS: [u64; 2] = [0xA11CE, 0xB0B5];
+const N: usize = 60;
+
+fn instance(seed: u64) -> Vec<Point> {
+    uniform_points(N, &mut trial_rng(seed, 0))
+}
+
+fn cases() -> Vec<(&'static str, Protocol, Option<f64>)> {
+    let r = paper_phase2_radius(N);
+    vec![
+        ("ghs_modified", Protocol::Ghs(GhsVariant::Modified), Some(r)),
+        ("eopt", Protocol::Eopt(Default::default()), None),
+        ("co_nnt", Protocol::Nnt(RankScheme::Diagonal), None),
+        ("bfs", Protocol::Bfs { root: 0 }, Some(r)),
+    ]
+}
+
+/// The faulted variant of every case: light link loss plus one crash and
+/// one sleep window, exercising the retry/timeout paths without pushing
+/// any protocol into `Failed`.
+fn fault_plan() -> FaultPlan {
+    FaultPlan::none()
+        .drop_probability(0.03)
+        .seed(0xFA57)
+        .crash_at(N - 1, 40)
+        .sleep_between(3, 6, 12)
+}
+
+/// Renders one run into the canonical fixture text.
+fn render(
+    pts: &[Point],
+    protocol: Protocol,
+    radius: Option<f64>,
+    faults: Option<FaultPlan>,
+) -> String {
+    let mut sink = JsonlSink::new(Vec::new());
+    let mut sim = Sim::new(pts).sink(&mut sink);
+    if let Some(r) = radius {
+        sim = sim.radius(r);
+    }
+    if let Some(plan) = faults.clone() {
+        sim = sim.with_faults(plan);
+    }
+    let outcome = sim.try_run(protocol);
+    let (status, fstats) = match &outcome {
+        RunOutcome::Complete(_) => ("complete", Default::default()),
+        RunOutcome::Degraded { faults, .. } => ("degraded", *faults),
+        RunOutcome::Failed { error, .. } => panic!("fixture run failed: {error}"),
+    };
+    let out = outcome.into_output().expect("non-failed outcome");
+    let trace = String::from_utf8(sink.finish().expect("in-memory write")).expect("utf-8 trace");
+
+    let mut s = String::new();
+    writeln!(s, "STATUS {status}").unwrap();
+    writeln!(
+        s,
+        "FAULTS drops={} retries={} timeouts={}",
+        fstats.drops, fstats.retries, fstats.timeouts
+    )
+    .unwrap();
+    writeln!(s, "FRAGMENTS {}", out.fragments).unwrap();
+    writeln!(s, "TREE {}", out.tree.edges().len()).unwrap();
+    let mut edges: Vec<_> = out
+        .tree
+        .edges()
+        .iter()
+        .map(|e| (e.u.min(e.v), e.u.max(e.v), e.w))
+        .collect();
+    edges.sort_by_key(|a| (a.0, a.1));
+    for (u, v, w) in edges {
+        writeln!(s, "{u} {v} {:016x}", w.to_bits()).unwrap();
+    }
+    let ledger = &out.stats.ledger;
+    writeln!(
+        s,
+        "LEDGER total={} energy={:016x} rounds={}",
+        ledger.total_messages(),
+        ledger.total_energy().to_bits(),
+        out.stats.rounds
+    )
+    .unwrap();
+    for (kind, tally) in ledger.kinds() {
+        writeln!(
+            s,
+            "{kind} {} {:016x}",
+            tally.messages,
+            tally.energy.to_bits()
+        )
+        .unwrap();
+    }
+    writeln!(s, "TRACE").unwrap();
+    // Stage-boundary events are the stage runtime's own (additive)
+    // telemetry; everything else is pinned byte-for-byte.
+    for line in trace.lines() {
+        if !line.starts_with("{\"t\":\"stage\"") {
+            writeln!(s, "{line}").unwrap();
+        }
+    }
+    s
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("{name}.txt"))
+}
+
+#[test]
+fn stage_runtime_reproduces_pre_refactor_runs_bit_for_bit() {
+    let bless = std::env::var_os("GOLDEN_BLESS").is_some();
+    let mut checked = 0usize;
+    for seed in SEEDS {
+        let pts = instance(seed);
+        for (proto_name, protocol, radius) in cases() {
+            for (mode, faults) in [("clean", None), ("faulted", Some(fault_plan()))] {
+                let name = format!("{proto_name}_{seed:x}_{mode}");
+                let got = render(&pts, protocol, radius, faults);
+                let path = fixture_path(&name);
+                if bless {
+                    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+                    std::fs::write(&path, &got).unwrap();
+                    continue;
+                }
+                let want = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("missing fixture {name}: {e}"));
+                if got != want {
+                    // Point at the first diverging line instead of dumping
+                    // two multi-kilobyte blobs.
+                    let (mut lineno, mut detail) = (0usize, String::from("trailing difference"));
+                    for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+                        if g != w {
+                            lineno = i + 1;
+                            detail = format!("got:  {g}\nwant: {w}");
+                            break;
+                        }
+                    }
+                    panic!("golden fixture {name} diverged at line {lineno}:\n{detail}");
+                }
+                checked += 1;
+            }
+        }
+    }
+    if !bless {
+        assert_eq!(checked, 16, "all fixture cases must be compared");
+    }
+}
