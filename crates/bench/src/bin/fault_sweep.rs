@@ -1,27 +1,39 @@
-//! **R1 — fault sweep:** reliability of the MST protocols under lossy
-//! links.
+//! **R1/R2 — fault sweep:** reliability of the MST protocols under lossy
+//! links, before and after the recovery runtime.
 //!
 //! The paper's analysis assumes every transmission is delivered; this
 //! experiment measures what each protocol actually does when the radio
 //! layer drops each (sender, receiver) delivery independently with
 //! probability `p` and senders retry a bounded number of times
-//! (acknowledgement/timeout model, default 3 retries). Reported per
-//! `(protocol, n, p)`:
+//! (acknowledgement/timeout model, default 3 retries). Each trial runs
+//! twice on identical fault coins — once bare (R1) and once with the
+//! repair stage enabled (R2) — so the `repaired` column isolates exactly
+//! what the recovery runtime buys. Reported per `(protocol, n, p)`:
 //!
-//! * **completed** — fraction of trials whose output forest spans
+//! * **completed** — fraction of bare trials whose output forest spans
 //!   (a single fragment);
+//! * **repaired** — same fraction with repair enabled (the tree builders
+//!   recover the p = 0.2 cliff to ~1.0);
 //! * **weight/MST** — `Σ|e|` of the produced forest over the clean
 //!   Euclidean MST weight (partial forests weigh less, distorted trees
 //!   more);
 //! * **energy x** — energy inflation over the same protocol's fault-free
 //!   run (retry surcharge; expected a small constant factor at small `p`);
-//! * the raw drop/retry/timeout counters.
+//! * the raw drop/retry/timeout counters;
+//! * **degraded stage** — for trials that degraded, the stage that
+//!   exhausted its retry budget (modal label across trials, from the
+//!   per-stage fault deltas on the stage marks).
+//!
+//! Co-NNT has no repair path (no salvageable fragment forest — its
+//! partial structures are per-node parent pointers), so its `repaired`
+//! column equals `completed`.
 //!
 //! Run: `cargo run --release -p emst-bench --bin fault_sweep [-- --trials N --quick --csv]`
 
 use emst_analysis::{fnum, Table};
-use emst_bench::{fault_trial, run_sweep_multi, Options};
+use emst_bench::{repair_trial, run_trials, Options, RepairTrial};
 use emst_core::{EoptConfig, GhsVariant, Protocol, RankScheme};
+use std::collections::BTreeMap;
 
 fn protocols() -> Vec<(&'static str, Protocol)> {
     vec![
@@ -29,6 +41,51 @@ fn protocols() -> Vec<(&'static str, Protocol)> {
         ("eopt", Protocol::Eopt(EoptConfig::default())),
         ("co_nnt", Protocol::Nnt(RankScheme::Diagonal)),
     ]
+}
+
+/// Per-`(protocol, n, p)` aggregates over the trial fan-out.
+struct Row {
+    completed: f64,
+    repaired: f64,
+    weight_ratio: f64,
+    energy: f64,
+    repaired_energy: f64,
+    drops: f64,
+    retries: f64,
+    timeouts: f64,
+    attempts: f64,
+    /// Modal degraded-stage label, as `"scope/name (count/degraded)"`.
+    degraded_stage: Option<(String, usize, usize)>,
+}
+
+fn aggregate(trials: &[RepairTrial]) -> Row {
+    let n = trials.len() as f64;
+    let mean = |f: &dyn Fn(&RepairTrial) -> f64| trials.iter().map(f).sum::<f64>() / n;
+    let mut stages: BTreeMap<&str, usize> = BTreeMap::new();
+    for t in trials {
+        if let Some(stage) = &t.degraded_stage {
+            *stages.entry(stage.as_str()).or_default() += 1;
+        }
+    }
+    let degraded: usize = stages.values().sum();
+    // Modal label; BTreeMap iteration makes the tie-break lexicographic
+    // and therefore deterministic.
+    let degraded_stage = stages
+        .iter()
+        .max_by_key(|&(_, &count)| count)
+        .map(|(stage, &count)| (stage.to_string(), count, degraded));
+    Row {
+        completed: mean(&|t| f64::from(u8::from(t.base.completed))),
+        repaired: mean(&|t| f64::from(u8::from(t.repaired_completed))),
+        weight_ratio: mean(&|t| t.base.weight / t.base.mst_weight),
+        energy: mean(&|t| t.base.energy),
+        repaired_energy: mean(&|t| t.repaired_energy),
+        drops: mean(&|t| t.base.drops as f64),
+        retries: mean(&|t| t.base.retries as f64),
+        timeouts: mean(&|t| t.base.timeouts as f64),
+        attempts: mean(&|t| f64::from(t.repair_attempts)),
+        degraded_stage,
+    }
 }
 
 fn main() {
@@ -40,59 +97,71 @@ fn main() {
     };
     let ps = [0.0, 0.01, 0.05, 0.1, 0.2];
     eprintln!(
-        "fault_sweep: link-drop reliability, p ∈ {ps:?} ({} trials per point, seed {:#x})",
+        "fault_sweep: link-drop reliability ± repair, p ∈ {ps:?} ({} trials per point, seed {:#x})",
         opts.trials, opts.seed
     );
 
     let mut json_rows: Vec<String> = Vec::new();
     for (name, proto) in protocols() {
         for &n in &sizes {
-            let rows = run_sweep_multi(&opts, &ps, |&p, t| {
-                let ft = fault_trial(opts.seed, n, p, proto, t);
-                [
-                    if ft.completed { 1.0 } else { 0.0 },
-                    ft.weight / ft.mst_weight,
-                    ft.energy,
-                    ft.drops as f64,
-                    ft.retries as f64,
-                    ft.timeouts as f64,
-                ]
-            });
+            let rows: Vec<(f64, Row)> = ps
+                .iter()
+                .map(|&p| {
+                    let trials = run_trials(&opts, |t| repair_trial(opts.seed, n, p, proto, t));
+                    (p, aggregate(&trials))
+                })
+                .collect();
             // The p = 0.0 row is the protocol's own fault-free baseline.
-            let base_energy = rows[0].1[2].mean;
+            let base_energy = rows[0].1.energy;
             let mut table = Table::new([
                 "drop p",
                 "completed",
+                "repaired",
                 "weight/MST",
-                "energy",
                 "energy x",
+                "repair x",
                 "drops",
                 "retries",
                 "timeouts",
+                "degraded stage",
             ]);
-            for (p, [c, w, e, d, r, to]) in &rows {
+            for (p, row) in &rows {
+                let stage_cell = match &row.degraded_stage {
+                    Some((stage, count, total)) => format!("{stage} ({count}/{total})"),
+                    None => "-".into(),
+                };
                 table.row([
                     fnum(*p, 2),
-                    fnum(c.mean, 2),
-                    fnum(w.mean, 3),
-                    fnum(e.mean, 2),
-                    fnum(e.mean / base_energy, 2),
-                    fnum(d.mean, 1),
-                    fnum(r.mean, 1),
-                    fnum(to.mean, 1),
+                    fnum(row.completed, 2),
+                    fnum(row.repaired, 2),
+                    fnum(row.weight_ratio, 3),
+                    fnum(row.energy / base_energy, 2),
+                    fnum(row.repaired_energy / base_energy, 2),
+                    fnum(row.drops, 1),
+                    fnum(row.retries, 1),
+                    fnum(row.timeouts, 1),
+                    stage_cell.clone(),
                 ]);
+                let stage_json = match &row.degraded_stage {
+                    Some((stage, _, _)) => format!("\"{stage}\""),
+                    None => "null".into(),
+                };
                 json_rows.push(format!(
                     "    {{\"protocol\": \"{name}\", \"n\": {n}, \"p\": {p}, \
-                     \"completed\": {:.3}, \"weight_ratio\": {:.4}, \"energy\": {:.3}, \
-                     \"energy_x\": {:.3}, \"drops\": {:.1}, \"retries\": {:.1}, \
-                     \"timeouts\": {:.1}}}",
-                    c.mean,
-                    w.mean,
-                    e.mean,
-                    e.mean / base_energy,
-                    d.mean,
-                    r.mean,
-                    to.mean
+                     \"completed\": {:.3}, \"repaired\": {:.3}, \"weight_ratio\": {:.4}, \
+                     \"energy\": {:.3}, \"energy_x\": {:.3}, \"repaired_energy\": {:.3}, \
+                     \"repair_attempts\": {:.2}, \"drops\": {:.1}, \"retries\": {:.1}, \
+                     \"timeouts\": {:.1}, \"degraded_stage\": {stage_json}}}",
+                    row.completed,
+                    row.repaired,
+                    row.weight_ratio,
+                    row.energy,
+                    row.energy / base_energy,
+                    row.repaired_energy,
+                    row.attempts,
+                    row.drops,
+                    row.retries,
+                    row.timeouts,
                 ));
             }
             println!("-- {name} under link faults (n = {n}) --");
@@ -104,7 +173,7 @@ fn main() {
     }
 
     let mut json = String::from("{\n");
-    json.push_str("  \"schema\": \"fault_sweep/v1\",\n");
+    json.push_str("  \"schema\": \"fault_sweep/v2\",\n");
     json.push_str(&format!("  \"seed\": {},\n", opts.seed));
     json.push_str(&format!("  \"trials\": {},\n", opts.trials));
     json.push_str("  \"rows\": [\n");

@@ -9,10 +9,12 @@
 //! `trial_rng(mix_seed(BASE_SEED, n), trial)`, so any row of any table
 //! can be regenerated in isolation.
 
+pub mod chaos;
 pub mod cli;
 pub mod fanout;
 pub mod runner;
 
+pub use chaos::{random_plan, run_chaos, shrink, violations, ChaosReport, ChaosViolation};
 pub use cli::Options;
 pub use fanout::{apply_thread_override, run_sweep, run_sweep_multi, run_trials};
 pub use runner::*;

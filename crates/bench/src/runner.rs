@@ -1,11 +1,11 @@
 //! Single-trial experiment kernels shared by binaries and Criterion
 //! benches.
 
-use emst_core::{EoptConfig, GhsVariant, Protocol, RankScheme, Sim};
+use emst_core::{EoptConfig, GhsVariant, Protocol, RankScheme, RepairPolicy, RunOutcome, Sim};
 use emst_geom::{mix_seed, paper_phase2_radius, trial_rng, uniform_points, Point};
 use emst_graph::euclidean_mst;
 use emst_percolation::giant_stats;
-use emst_radio::FaultPlan;
+use emst_radio::{FaultPlan, StageMark};
 
 /// The seeded instance for `(seed, n, trial)`. The experiment seed and
 /// the instance size are combined with the SplitMix64 finaliser — a plain
@@ -184,6 +184,97 @@ pub fn fault_trial(seed: u64, n: usize, p: f64, protocol: Protocol, trial: u64) 
         drops: faults.drops,
         retries: faults.retries,
         timeouts: faults.timeouts,
+    }
+}
+
+/// One `(protocol, n, p)` trial of the post-repair fault sweep (R2):
+/// the same run as [`fault_trial`] plus, for degraded runs, the stage
+/// that exhausted the retry budget, and a second run with the recovery
+/// runtime enabled reporting whether repair closed the forest.
+pub struct RepairTrial {
+    /// The repair-disabled run (R1 semantics, bit-identical to
+    /// [`fault_trial`]).
+    pub base: FaultTrial,
+    /// `repair/*`-attributed stage label that exhausted the retry budget
+    /// (most timeouts; falls back to most drops) — `None` unless the
+    /// repair-disabled run classified `Degraded`.
+    pub degraded_stage: Option<String>,
+    /// Whether the repair-enabled run's forest spans (single fragment).
+    pub repaired_completed: bool,
+    /// Reconnection attempts the repair stage used (0 when it was
+    /// elided or never triggered).
+    pub repair_attempts: u32,
+    /// Total energy of the repair-enabled run (baseline + repair
+    /// traffic; equals `base.energy` when repair is elided).
+    pub repaired_energy: f64,
+}
+
+/// The stage a degraded run starved in: the stage mark with the most
+/// abandoned messages, falling back to the most dropped deliveries (a
+/// fragmented run can degrade without ever exhausting a retry budget).
+/// Ties go to the later stage — where the run finally gave up.
+fn blame_stage(stages: &[StageMark]) -> Option<String> {
+    let pick = |key: fn(&StageMark) -> u64| {
+        stages
+            .iter()
+            .filter(|s| key(s) > 0)
+            .max_by_key(|s| (key(s), s.index))
+            .map(|s| format!("{}/{}", s.scope, s.name))
+    };
+    pick(|s| s.faults.timeouts).or_else(|| pick(|s| s.faults.drops))
+}
+
+/// Post-repair fault-sweep kernel: [`fault_trial`] with per-stage blame
+/// and a repair-enabled rerun of the same plan. Both runs share the
+/// instance and fault coins, so the delta is exactly the recovery
+/// runtime's doing.
+pub fn repair_trial(seed: u64, n: usize, p: f64, protocol: Protocol, trial: u64) -> RepairTrial {
+    let pts = instance(seed, n, trial);
+    let mst_weight = euclidean_mst(&pts).cost(1.0);
+    let plan = FaultPlan::none()
+        .drop_probability(p)
+        .seed(mix_seed(seed, trial));
+    let radius = paper_phase2_radius(n);
+    let outcome = Sim::new(&pts)
+        .radius(radius)
+        .with_faults(plan.clone())
+        .try_run(protocol);
+    let faults = outcome.faults();
+    let (completed, weight, energy) = match outcome.output() {
+        Some(out) => (out.fragments == 1, out.tree.cost(1.0), out.stats.energy),
+        None => (false, f64::NAN, f64::NAN),
+    };
+    let degraded_stage = match &outcome {
+        RunOutcome::Degraded { output, .. } => blame_stage(&output.stages),
+        _ => None,
+    };
+    let fixed = Sim::new(&pts)
+        .radius(radius)
+        .with_faults(plan)
+        .repair(RepairPolicy::default())
+        .try_run(protocol);
+    let repair_attempts = fixed.repair().map(|r| r.attempts).unwrap_or(0);
+    // `Repaired` spans the survivors by definition (crashed nodes stay
+    // isolated); for drop-only sweep plans that coincides with a single
+    // fragment.
+    let (repaired_completed, repaired_energy) = match fixed.output() {
+        Some(out) => (fixed.is_repaired() || out.fragments == 1, out.stats.energy),
+        None => (false, f64::NAN),
+    };
+    RepairTrial {
+        base: FaultTrial {
+            completed,
+            weight,
+            mst_weight,
+            energy,
+            drops: faults.drops,
+            retries: faults.retries,
+            timeouts: faults.timeouts,
+        },
+        degraded_stage,
+        repaired_completed,
+        repair_attempts,
+        repaired_energy,
     }
 }
 

@@ -127,6 +127,32 @@ impl<'a> ExecEnv<'a> {
         self.net.as_ref().expect("network is held by a stage")
     }
 
+    /// The active fault plan, cloned (repair escalation rebuilds it with a
+    /// grown retry budget between attempts).
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.net().faults().cloned()
+    }
+
+    /// Replaces the run's fault plan mid-run — the repair stage's
+    /// escalation knob. The plan's coin stream is still keyed on
+    /// `(seed, round, src, dst)`, so swapping in a plan that differs only
+    /// in its retry budget leaves every already-drawn coin unchanged and
+    /// future coins deterministic. Installing a no-op plan on a faulted
+    /// run is rejected (it would silently change classification).
+    pub fn escalate_faults(&mut self, plan: FaultPlan) {
+        assert!(
+            !plan.is_noop(),
+            "escalate_faults: an effective plan cannot be escalated to a no-op"
+        );
+        let net = self.net.as_mut().expect("network is held by a stage");
+        net.set_faults(plan);
+        self.faulted = true;
+        self.retry_slack = net
+            .faults()
+            .map(|p| p.max_retries() as u64 + 1)
+            .unwrap_or(0);
+    }
+
     /// Builds (or reuses) the cached adjacency at `radius` — call before
     /// stages that query neighbourhoods at a fixed radius.
     pub fn cache_topology(&mut self, radius: f64) {

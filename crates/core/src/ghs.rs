@@ -310,6 +310,28 @@ impl GhsEngine {
         self.inactive.clear();
     }
 
+    /// Marks the fragment with id `frag` passive: it stops searching for
+    /// outgoing edges and only accepts connections, keeping its id across
+    /// merges. EOPT uses this for declared giants; the repair stage uses
+    /// it to keep the surviving trunk silent while orphaned fragments
+    /// reconnect to it.
+    pub fn mark_passive(&mut self, frag: usize) {
+        assert!(
+            self.members.contains_key(&(frag as u32)),
+            "mark_passive: {frag} is not a live fragment id"
+        );
+        self.passive.insert(frag as u32);
+    }
+
+    /// Id and size of the largest current fragment (ties broken by the
+    /// higher id, deterministically). `None` on an empty engine.
+    pub fn largest_fragment(&self) -> Option<(usize, usize)> {
+        self.members
+            .iter()
+            .map(|(&f, m)| (f as usize, m.len()))
+            .max_by_key(|&(f, len)| (len, f))
+    }
+
     /// Seeds the engine with an existing forest: the given `(u, v, w)`
     /// edges become fragment-internal tree edges with **no radio traffic**
     /// — used for repair scenarios where surviving nodes already know
@@ -980,6 +1002,25 @@ impl GhsEngine {
     /// Runs phases until no active fragment can merge. Returns the number
     /// of phases executed by this call.
     pub fn run_phases(&mut self, net: &mut RadioNet<'_>, kinds: &GhsKinds) -> usize {
+        self.run_phases_with_patience(net, kinds, Self::DEFAULT_PATIENCE)
+    }
+
+    /// Default barren-phase budget for fault-injected runs (see
+    /// [`GhsEngine::run_phases_with_patience`]).
+    pub const DEFAULT_PATIENCE: usize = 4;
+
+    /// Runs phases until no active fragment can merge, with an explicit
+    /// *patience* — the number of consecutive barren phases tolerated
+    /// under an active fault plan before giving up. The repair stage grows
+    /// this budget per escalation attempt (round slack); fault-free runs
+    /// ignore it (a barren phase is then a proof of quiescence). Returns
+    /// the number of phases executed by this call.
+    pub fn run_phases_with_patience(
+        &mut self,
+        net: &mut RadioNet<'_>,
+        kinds: &GhsKinds,
+        patience: usize,
+    ) -> usize {
         let before = self.phases;
         if self.faults.is_none() {
             // A phase with zero merges means no active fragment found an
@@ -997,10 +1038,11 @@ impl GhsEngine {
             // fresh retry coins next phase. Only a bounded number of
             // consecutive phases with *neither* merges nor heals give up,
             // accepting the forest as-is (the run is then reported as
-            // degraded by the `Sim` layer).
-            const MAX_BARREN: usize = 4;
+            // degraded by the `Sim` layer, which may hand it to the repair
+            // stage).
+            let patience = patience.max(1);
             let mut barren = 0usize;
-            while barren < MAX_BARREN {
+            while barren < patience {
                 if self.phase(net, kinds) > 0 || self.healed_last_phase > 0 {
                     barren = 0;
                 } else {

@@ -31,6 +31,7 @@ pub mod eopt;
 pub mod exec;
 pub mod ghs;
 pub mod nnt;
+pub mod repair;
 pub mod sim;
 
 pub use bfs_tree::BfsNode;
@@ -39,6 +40,7 @@ pub use eopt::EoptConfig;
 pub use exec::ExecEnv;
 pub use ghs::{GhsEngine, GhsKinds, GhsVariant};
 pub use nnt::{NntMsg, NntNode, RankScheme};
+pub use repair::{RepairPolicy, RepairStats};
 pub use sim::{
     BfsDetail, Detail, ElectionDetail, EoptDetail, GhsDetail, NntDetail, Protocol, RunError,
     RunOutcome, RunOutput, Sim,

@@ -32,6 +32,7 @@ use crate::eopt::EoptConfig;
 use crate::exec::ExecEnv;
 use crate::ghs::GhsVariant;
 use crate::nnt::RankScheme;
+use crate::repair::{RepairPolicy, RepairStats};
 use emst_geom::{nnt_probe_radius, Point};
 use emst_graph::SpanningTree;
 use emst_radio::{
@@ -269,13 +270,28 @@ impl RunOutput {
 /// protocol may still finish a spanning forest (`Complete`), finish with
 /// visible damage — lost messages that left the forest fragmented or
 /// exhausted a retry budget (`Degraded`) — or abort with a typed error
-/// (`Failed`).
+/// (`Failed`). With [`Sim::repair`] enabled, a would-be-degraded tree
+/// build whose recovery pass reconnects every surviving node lands one
+/// rung higher, at `Repaired`.
+///
+/// The variants form a quality lattice: `Complete` > `Repaired` >
+/// `Degraded` > `Failed`.
 #[derive(Debug, Clone)]
 pub enum RunOutcome {
     /// The run finished and the fault layer left no mark on the result.
     Complete(RunOutput),
+    /// The run degraded, but the repair stage reconnected the forest: it
+    /// spans every node still alive when repair started. All repair
+    /// traffic is charged to `output` (ledger, stats, `repair/*` stages).
+    Repaired {
+        /// The recovered result.
+        output: RunOutput,
+        /// What the repair stage did to get there.
+        repair: RepairStats,
+    },
     /// The run finished, but faults were visible: at least one message
-    /// timed out, or drops left the forest with more than one fragment.
+    /// timed out, or drops left the forest with more than one fragment
+    /// (and any attempted repair could not fix it).
     Degraded {
         /// The (possibly partial) result.
         output: RunOutput,
@@ -292,10 +308,13 @@ pub enum RunOutcome {
 }
 
 impl RunOutcome {
-    /// The produced output, if the run finished (complete or degraded).
+    /// The produced output, if the run finished (complete, repaired or
+    /// degraded).
     pub fn output(&self) -> Option<&RunOutput> {
         match self {
-            RunOutcome::Complete(o) | RunOutcome::Degraded { output: o, .. } => Some(o),
+            RunOutcome::Complete(o)
+            | RunOutcome::Repaired { output: o, .. }
+            | RunOutcome::Degraded { output: o, .. } => Some(o),
             RunOutcome::Failed { .. } => None,
         }
     }
@@ -303,17 +322,21 @@ impl RunOutcome {
     /// Consumes the outcome, yielding the output if the run finished.
     pub fn into_output(self) -> Option<RunOutput> {
         match self {
-            RunOutcome::Complete(o) | RunOutcome::Degraded { output: o, .. } => Some(o),
+            RunOutcome::Complete(o)
+            | RunOutcome::Repaired { output: o, .. }
+            | RunOutcome::Degraded { output: o, .. } => Some(o),
             RunOutcome::Failed { .. } => None,
         }
     }
 
-    /// Fault counters for the run (zero for a clean [`Complete`]).
+    /// Fault counters for the run (zero for a clean [`Complete`]). For a
+    /// repaired run these cover the whole run, original stages and repair
+    /// stages alike.
     ///
     /// [`Complete`]: RunOutcome::Complete
     pub fn faults(&self) -> FaultStats {
         match self {
-            RunOutcome::Complete(o) => o.stats.faults,
+            RunOutcome::Complete(o) | RunOutcome::Repaired { output: o, .. } => o.stats.faults,
             RunOutcome::Degraded { faults, .. } | RunOutcome::Failed { faults, .. } => *faults,
         }
     }
@@ -321,6 +344,19 @@ impl RunOutcome {
     /// Whether the run finished with no visible fault damage.
     pub fn is_complete(&self) -> bool {
         matches!(self, RunOutcome::Complete(_))
+    }
+
+    /// Whether the recovery runtime upgraded this run.
+    pub fn is_repaired(&self) -> bool {
+        matches!(self, RunOutcome::Repaired { .. })
+    }
+
+    /// The repair read-outs, if the recovery runtime upgraded this run.
+    pub fn repair(&self) -> Option<&RepairStats> {
+        match self {
+            RunOutcome::Repaired { repair, .. } => Some(repair),
+            _ => None,
+        }
     }
 
     /// The abort reason, if the run failed.
@@ -344,6 +380,7 @@ pub struct Sim<'a> {
     energy: EnergyConfig,
     contention: Option<ContentionConfig>,
     faults: Option<FaultPlan>,
+    repair: Option<RepairPolicy>,
     sink: Option<&'a mut dyn TraceSink>,
 }
 
@@ -356,6 +393,7 @@ impl<'a> Sim<'a> {
             energy: EnergyConfig::paper(),
             contention: None,
             faults: None,
+            repair: None,
             sink: None,
         }
     }
@@ -394,6 +432,20 @@ impl<'a> Sim<'a> {
         self
     }
 
+    /// Enables the recovery runtime for the tree builders (GHS, EOPT):
+    /// a fault-injected run that would classify `Degraded` with its
+    /// surviving nodes split across fragments gets a repair stage —
+    /// salvaged forest, targeted modified-GHS reconnection, escalating
+    /// retry budgets per `policy` — and on success lands at
+    /// [`RunOutcome::Repaired`]. Ignored by the reactive protocols and
+    /// the elections (they build no salvageable forest), and fully
+    /// elided on clean runs: without visible fault damage the run stays
+    /// bit-identical to one that never called this.
+    pub fn repair(mut self, policy: RepairPolicy) -> Self {
+        self.repair = Some(policy);
+        self
+    }
+
     /// Attaches a trace sink that receives every structured event of the
     /// run (round boundaries, per-message energy, phase transitions,
     /// fragment merges). Untraced runs pay no observation cost.
@@ -414,9 +466,27 @@ impl<'a> Sim<'a> {
     /// (GHS/EOPT) or with fault injection, or if the run aborts with a
     /// [`RunError`].
     pub fn run(self, protocol: Protocol) -> RunOutput {
+        match self.run_checked(protocol) {
+            Ok(o) => o,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// Executes `protocol`, returning the output or the typed abort
+    /// reason instead of panicking. This is the entrypoint for parallel
+    /// fan-out workers (bench sweeps), where one aborted trial must
+    /// surface as a row-level error, not tear down the whole sweep.
+    ///
+    /// # Panics
+    ///
+    /// Only on configuration errors, like [`Sim::try_run`] — never on
+    /// what happens during the run.
+    pub fn run_checked(self, protocol: Protocol) -> Result<RunOutput, RunError> {
         match self.try_run(protocol) {
-            RunOutcome::Complete(o) | RunOutcome::Degraded { output: o, .. } => o,
-            RunOutcome::Failed { error, .. } => panic!("{error}"),
+            RunOutcome::Complete(o)
+            | RunOutcome::Repaired { output: o, .. }
+            | RunOutcome::Degraded { output: o, .. } => Ok(o),
+            RunOutcome::Failed { error, .. } => Err(error),
         }
     }
 
@@ -435,6 +505,7 @@ impl<'a> Sim<'a> {
             energy,
             contention,
             faults,
+            repair,
             sink,
         } = self;
         assert!(
@@ -558,7 +629,7 @@ impl<'a> Sim<'a> {
                 })
             }
         };
-        let (tree, detail) = match result {
+        let (mut tree, detail) = match result {
             Ok(parts) => parts,
             Err(error) => {
                 return RunOutcome::Failed {
@@ -568,9 +639,38 @@ impl<'a> Sim<'a> {
             }
         };
         let faulted = env.faulted();
+        // Recovery runtime: before the environment is torn down, a
+        // would-be-degraded tree build whose survivors sit in more than
+        // one fragment gets the repair stage. Clean runs never enter
+        // this block, so enabling repair leaves them bit-identical.
+        let mut repaired: Option<(RepairStats, bool)> = None;
+        if faulted && matches!(protocol, Protocol::Ghs(_) | Protocol::Eopt(_)) {
+            if let Some(policy) = &repair {
+                let fs = env.net().fault_stats();
+                let fragments = tree.n().saturating_sub(tree.edges().len());
+                let would_degrade = fs.timeouts > 0 || (fragments > 1 && fs.drops > 0);
+                if would_degrade && crate::repair::needs_repair(&env, &tree) {
+                    debug_assert!(tree.validate_forest().is_ok());
+                    let (fixed, stats, success) =
+                        crate::repair::run_repair(&mut env, max_radius, &tree, policy);
+                    tree = fixed;
+                    repaired = Some((stats, success));
+                }
+            }
+        }
         let (stats, stages) = env.finish();
         let output = RunOutput::build(tree, stats, stages, detail);
         let fs = output.stats.faults;
+        if let Some((repair, success)) = repaired {
+            // The repair stage only runs on runs that already classified
+            // as degraded; success upgrades them, failure leaves the
+            // (still improved) partial forest where it was.
+            return if success {
+                RunOutcome::Repaired { output, repair }
+            } else {
+                RunOutcome::Degraded { output, faults: fs }
+            };
+        }
         // Damage is visible when a message was abandoned outright, or when
         // drops coincide with structural damage: a fragmented forest for
         // the tree builders (lost links can sever fragments a clean run

@@ -214,6 +214,58 @@ impl FaultPlan {
         self.seed
     }
 
+    /// The crash schedule: `(node, round)` pairs in insertion order.
+    #[inline]
+    pub fn crashes(&self) -> &[(usize, u64)] {
+        &self.crash
+    }
+
+    /// The sleep schedule: `(node, from, to)` windows in insertion order.
+    #[inline]
+    pub fn sleeps(&self) -> &[(usize, u64, u64)] {
+        &self.sleep
+    }
+
+    /// Number of discrete fault entries in the plan: one per crash, one
+    /// per sleep window, plus one when a drop probability is set. The
+    /// chaos shrinker minimises this count.
+    pub fn entry_count(&self) -> usize {
+        self.crash.len() + self.sleep.len() + usize::from(self.drop_p > 0.0)
+    }
+
+    /// Renders the plan as a copy-pastable builder expression — the chaos
+    /// harness prints minimised failing plans in this form so a reproducer
+    /// can be dropped straight into a test:
+    ///
+    /// ```
+    /// use emst_radio::FaultPlan;
+    /// let plan = FaultPlan::none().seed(7).drop_probability(0.2).crash_at(3, 9);
+    /// assert_eq!(
+    ///     plan.to_source(),
+    ///     "FaultPlan::none().seed(7).retries(3).drop_probability(0.2).crash_at(3, 9)"
+    /// );
+    /// ```
+    ///
+    /// Float formatting uses `{:?}` (shortest round-tripping form), so the
+    /// rebuilt plan draws bit-identical coins.
+    pub fn to_source(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "FaultPlan::none().seed({}).retries({})",
+            self.seed, self.max_retries
+        );
+        if self.drop_p > 0.0 {
+            write!(s, ".drop_probability({:?})", self.drop_p).unwrap();
+        }
+        for &(node, round) in &self.crash {
+            write!(s, ".crash_at({node}, {round})").unwrap();
+        }
+        for &(node, from, to) in &self.sleep {
+            write!(s, ".sleep_between({node}, {from}, {to})").unwrap();
+        }
+        s
+    }
+
     /// Whether `node` has not crashed by `round`.
     #[inline]
     pub fn alive(&self, node: usize, round: u64) -> bool {
@@ -372,5 +424,48 @@ mod tests {
     #[should_panic(expected = "∉ [0,1]")]
     fn rejects_bad_probability() {
         let _ = FaultPlan::none().drop_probability(1.5);
+    }
+
+    #[test]
+    fn schedules_are_observable_and_counted() {
+        let plan = FaultPlan::none()
+            .drop_probability(0.1)
+            .crash_at(3, 10)
+            .crash_at(8, 2)
+            .sleep_between(5, 2, 6);
+        assert_eq!(plan.crashes(), &[(3, 10), (8, 2)]);
+        assert_eq!(plan.sleeps(), &[(5, 2, 6)]);
+        assert_eq!(plan.entry_count(), 4);
+        assert_eq!(FaultPlan::none().entry_count(), 0);
+        assert_eq!(FaultPlan::none().retries(9).entry_count(), 0);
+    }
+
+    #[test]
+    fn to_source_round_trips_bitwise() {
+        // The printed builder expression, re-evaluated, must equal the
+        // plan — including the exact drop-probability bits, so the
+        // reproducer draws the same coin stream.
+        let plan = FaultPlan::none()
+            .seed(0xC0FFEE)
+            .retries(5)
+            .drop_probability(0.07 + 0.13) // a value with a long decimal tail
+            .crash_at(1, 4)
+            .sleep_between(2, 3, 9);
+        let rebuilt = FaultPlan::none()
+            .seed(0xC0FFEE)
+            .retries(5)
+            .drop_probability(0.07 + 0.13)
+            .crash_at(1, 4)
+            .sleep_between(2, 3, 9);
+        assert_eq!(plan, rebuilt);
+        let src = plan.to_source();
+        assert!(src.starts_with("FaultPlan::none().seed(12648430).retries(5)"));
+        assert!(src.contains(".crash_at(1, 4)"));
+        assert!(src.contains(".sleep_between(2, 3, 9)"));
+        // The shortest round-trip form of 0.07+0.13 re-parses to the same
+        // bits.
+        let printed = format!("{:?}", 0.07f64 + 0.13f64);
+        let reparsed: f64 = printed.parse().unwrap();
+        assert_eq!(reparsed.to_bits(), (0.07f64 + 0.13f64).to_bits());
     }
 }

@@ -20,7 +20,7 @@
 
 use energy_mst::core::{GhsVariant, RankScheme};
 use energy_mst::geom::{paper_phase2_radius, trial_rng, uniform_points, Point};
-use energy_mst::{FaultPlan, JsonlSink, Protocol, RunOutcome, Sim};
+use energy_mst::{FaultPlan, JsonlSink, Protocol, RepairPolicy, RunOutcome, Sim};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -52,12 +52,15 @@ fn fault_plan() -> FaultPlan {
         .sleep_between(3, 6, 12)
 }
 
-/// Renders one run into the canonical fixture text.
+/// Renders one run into the canonical fixture text. `repair` enables the
+/// recovery runtime — used by the refresh guard, which pins that doing so
+/// leaves clean runs bit-identical.
 fn render(
     pts: &[Point],
     protocol: Protocol,
     radius: Option<f64>,
     faults: Option<FaultPlan>,
+    repair: bool,
 ) -> String {
     let mut sink = JsonlSink::new(Vec::new());
     let mut sim = Sim::new(pts).sink(&mut sink);
@@ -67,9 +70,13 @@ fn render(
     if let Some(plan) = faults.clone() {
         sim = sim.with_faults(plan);
     }
+    if repair {
+        sim = sim.repair(RepairPolicy::default());
+    }
     let outcome = sim.try_run(protocol);
     let (status, fstats) = match &outcome {
         RunOutcome::Complete(_) => ("complete", Default::default()),
+        RunOutcome::Repaired { output, .. } => ("repaired", output.stats.faults),
         RunOutcome::Degraded { faults, .. } => ("degraded", *faults),
         RunOutcome::Failed { error, .. } => panic!("fixture run failed: {error}"),
     };
@@ -140,7 +147,7 @@ fn stage_runtime_reproduces_pre_refactor_runs_bit_for_bit() {
         for (proto_name, protocol, radius) in cases() {
             for (mode, faults) in [("clean", None), ("faulted", Some(fault_plan()))] {
                 let name = format!("{proto_name}_{seed:x}_{mode}");
-                let got = render(&pts, protocol, radius, faults);
+                let got = render(&pts, protocol, radius, faults, false);
                 let path = fixture_path(&name);
                 if bless {
                     std::fs::create_dir_all(path.parent().unwrap()).unwrap();
@@ -169,4 +176,28 @@ fn stage_runtime_reproduces_pre_refactor_runs_bit_for_bit() {
     if !bless {
         assert_eq!(checked, 16, "all fixture cases must be compared");
     }
+}
+
+/// Refresh guard for the recovery runtime: with repair *enabled*, every
+/// clean (no-fault) run must still reproduce its pinned fixture
+/// byte-for-byte — the repair stage has to be fully elided when there is
+/// no visible fault damage, leaving ledgers and traces untouched.
+#[test]
+fn repair_enabled_clean_runs_match_pinned_fixtures() {
+    let mut checked = 0usize;
+    for seed in SEEDS {
+        let pts = instance(seed);
+        for (proto_name, protocol, radius) in cases() {
+            let name = format!("{proto_name}_{seed:x}_clean");
+            let got = render(&pts, protocol, radius, None, true);
+            let want = std::fs::read_to_string(fixture_path(&name))
+                .unwrap_or_else(|e| panic!("missing fixture {name}: {e}"));
+            assert_eq!(
+                got, want,
+                "{name}: enabling repair perturbed a clean run (it must be elided)"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 8, "all clean fixture cases must be compared");
 }

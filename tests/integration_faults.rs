@@ -15,7 +15,7 @@
 use energy_mst::analysis::set_thread_override;
 use energy_mst::core::{GhsVariant, RankScheme};
 use energy_mst::geom::{paper_phase2_radius, trial_rng, uniform_points, Point};
-use energy_mst::{FaultPlan, JsonlSink, MetricsSink, Protocol, RunOutcome, Sim};
+use energy_mst::{FaultPlan, JsonlSink, MetricsSink, Protocol, RepairPolicy, RunOutcome, Sim};
 
 fn instance(n: usize) -> Vec<Point> {
     uniform_points(n, &mut trial_rng(0x00FA_0170, 0))
@@ -186,6 +186,183 @@ fn fault_coins_are_thread_count_independent() {
     let parallel = energy_mst::analysis::parallel_map(&trials, kernel);
     set_thread_override(None);
     assert_eq!(serial, parallel, "fault runs depend on thread count");
+}
+
+#[test]
+fn repair_upgrades_fragmented_lossy_runs() {
+    // The PR 3 cliff: at 20% link loss the tree builders routinely end
+    // `Degraded` with a fragmented forest. With the recovery runtime
+    // enabled the same plans must land at `Repaired` (or `Complete`),
+    // with a spanning forest — every node survives a drop-only plan.
+    let pts = instance(300);
+    let r = paper_phase2_radius(300);
+    // EOPT's own eopt2/recover pass masks fragmentation at n=300 until
+    // the loss rate climbs, hence the higher p for it. Seed windows are
+    // chosen so each protocol fragments at least once (deterministic).
+    for (label, protocol, radius, p, seeds) in [
+        (
+            "ghs-mod",
+            Protocol::Ghs(GhsVariant::Modified),
+            Some(r),
+            0.2,
+            16..22u64,
+        ),
+        (
+            "eopt",
+            Protocol::Eopt(Default::default()),
+            None,
+            0.35,
+            24..30u64,
+        ),
+    ] {
+        let mut upgraded = 0usize;
+        for seed in seeds {
+            let plan = FaultPlan::none().drop_probability(p).seed(0xF1F0 + seed);
+            let bare = sim(&pts, radius)
+                .with_faults(plan.clone())
+                .try_run(protocol);
+            let fragmented = bare.output().is_some_and(|o| o.fragments > 1);
+            let fixed = sim(&pts, radius)
+                .with_faults(plan)
+                .repair(RepairPolicy::default())
+                .try_run(protocol);
+            match &fixed {
+                RunOutcome::Complete(out) | RunOutcome::Repaired { output: out, .. } => {
+                    assert_eq!(
+                        out.fragments, 1,
+                        "{label}/{seed}: usable outcome must span (drop-only plan)"
+                    );
+                    assert!(out.tree.validate_forest().is_ok(), "{label}/{seed}");
+                }
+                // A degraded run that already spans (timeouts only) has
+                // nothing for the repair stage to reconnect.
+                RunOutcome::Degraded { output, .. } => {
+                    assert_eq!(
+                        output.fragments, 1,
+                        "{label}/{seed}: fragmented run left unrepaired"
+                    );
+                }
+                RunOutcome::Failed { error, .. } => panic!("{label}/{seed}: {error}"),
+            }
+            if fragmented {
+                assert!(
+                    fixed.is_repaired(),
+                    "{label}/{seed}: fragmented degraded run was not upgraded"
+                );
+                let repair = fixed.repair().expect("repaired outcome");
+                assert!(repair.attempts >= 1, "{label}/{seed}");
+                assert!(repair.fragments_before > 1, "{label}/{seed}");
+                assert_eq!(repair.fragments_after, 1, "{label}/{seed}");
+                assert_eq!(repair.survivors, 300, "{label}/{seed}: drop-only plan");
+                assert!(
+                    repair.energy > 0.0,
+                    "{label}/{seed}: repair must be charged"
+                );
+                upgraded += 1;
+            }
+        }
+        assert!(
+            upgraded > 0,
+            "{label}: no seed fragmented at p={p} — the scenario lost its teeth"
+        );
+    }
+}
+
+#[test]
+fn repair_charges_the_shared_ledger_and_stage_log() {
+    // Repair traffic is ordinary traffic: `repair/*` stage marks appear
+    // in the stage log and the marks still telescope to the run totals,
+    // and an attached metrics sink reproduces the ledger bitwise.
+    let pts = instance(300);
+    let r = paper_phase2_radius(300);
+    let mut found = false;
+    for seed in 0..6u64 {
+        let plan = FaultPlan::none().drop_probability(0.2).seed(0xAB + seed);
+        let mut m = MetricsSink::new();
+        let outcome = sim(&pts, Some(r))
+            .with_faults(plan)
+            .repair(RepairPolicy::default())
+            .sink(&mut m)
+            .try_run(Protocol::Ghs(GhsVariant::Modified));
+        let out = outcome.output().expect("lossy run still finishes");
+        assert_eq!(m.total_energy().to_bits(), out.stats.energy.to_bits());
+        assert_eq!(m.total_messages(), out.stats.messages);
+        let msgs: u64 = out.stages.iter().map(|s| s.messages).sum();
+        let energy: f64 = out.stages.iter().map(|s| s.energy).sum();
+        assert_eq!(msgs, out.stats.messages);
+        assert!((energy - out.stats.energy).abs() < 1e-9);
+        if let Some(repair) = outcome.repair() {
+            found = true;
+            let repair_marks: Vec<_> = out.stages.iter().filter(|s| s.scope == "repair").collect();
+            assert!(!repair_marks.is_empty(), "no repair stage marks recorded");
+            // Two marks (discover + phases) per attempt.
+            assert_eq!(repair_marks.len(), 2 * repair.attempts as usize);
+            let repair_energy: f64 = repair_marks.iter().map(|s| s.energy).sum();
+            assert_eq!(repair_energy.to_bits(), repair.energy.to_bits());
+        }
+    }
+    assert!(found, "no seed exercised the repair stage");
+}
+
+#[test]
+fn repair_is_elided_without_visible_damage() {
+    // Enabling repair must not perturb clean runs (bit-identical trace)
+    // or runs whose faults never bite.
+    let pts = instance(250);
+    for (label, protocol, radius) in protocols(250) {
+        let capture = |with_repair: bool| {
+            let mut sink = JsonlSink::new(Vec::new());
+            let mut s = sim(&pts, radius).sink(&mut sink);
+            if with_repair {
+                s = s.repair(RepairPolicy::default());
+            }
+            let out = s.run(protocol);
+            (out, sink.finish().expect("in-memory write cannot fail"))
+        };
+        let (bare, bare_trace) = capture(false);
+        let (guarded, guarded_trace) = capture(true);
+        assert_eq!(
+            bare.stats.energy.to_bits(),
+            guarded.stats.energy.to_bits(),
+            "{label}: repair policy changed a clean run's ledger"
+        );
+        assert_eq!(bare.stats.messages, guarded.stats.messages, "{label}");
+        assert!(bare.tree.same_edges(&guarded.tree), "{label}");
+        assert_eq!(bare_trace, guarded_trace, "{label}: trace bytes differ");
+    }
+}
+
+#[test]
+fn repair_excludes_crashed_nodes_and_spans_the_rest() {
+    let pts = instance(250);
+    let r = paper_phase2_radius(250);
+    let mut exercised = false;
+    for seed in 0..6u64 {
+        let plan = FaultPlan::none()
+            .drop_probability(0.2)
+            .seed(0xDEAD + seed)
+            .crash_at(7, 5)
+            .crash_at(133, 9);
+        let outcome = sim(&pts, Some(r))
+            .with_faults(plan)
+            .repair(RepairPolicy::default())
+            .try_run(Protocol::Ghs(GhsVariant::Modified));
+        if let RunOutcome::Repaired { output, repair } = &outcome {
+            exercised = true;
+            assert_eq!(repair.crashed, 2, "both crash entries fired before repair");
+            assert_eq!(repair.survivors, 248);
+            assert!(output.tree.validate_forest().is_ok());
+            // Survivors form one component; crashed nodes stay isolated.
+            assert_eq!(output.fragments, 1 + repair.crashed);
+            for e in output.tree.edges() {
+                assert!(
+                    e.u != 7 && e.v != 7 && e.u != 133 && e.v != 133,
+                    "repaired forest keeps an edge at a crashed node"
+                );
+            }
+        }
+    }
+    assert!(exercised, "no seed produced a Repaired run with crashes");
 }
 
 #[test]
