@@ -10,7 +10,10 @@
 //! * `--threads T` — worker threads for the trial fan-out (default: the
 //!   `EMST_THREADS` environment variable, then `available_parallelism()`);
 //! * `--guard`     — (bench_summary only) assert the pinned wall-time
-//!   regression guard and fail the run if it trips.
+//!   regression guard and the throughput-flatness guard, failing the run
+//!   if either trips;
+//! * `--large`     — (bench_summary / large_smoke) extend the sweep to
+//!   the large-n sizes (20 000 and 100 000 for the scalable protocols).
 
 use crate::BASE_SEED;
 
@@ -32,6 +35,8 @@ pub struct Options {
     pub threads: Option<usize>,
     /// Enforce the pinned wall-time regression guard (bench_summary).
     pub guard: bool,
+    /// Extend the sweep to the large-n sizes (bench_summary/large_smoke).
+    pub large: bool,
 }
 
 impl Default for Options {
@@ -44,6 +49,7 @@ impl Default for Options {
             seed: BASE_SEED,
             threads: None,
             guard: false,
+            large: false,
         }
     }
 }
@@ -69,6 +75,7 @@ impl Options {
                 "--quick" => opts.quick = true,
                 "--csv" => opts.csv = true,
                 "--guard" => opts.guard = true,
+                "--large" => opts.large = true,
                 "--svg" => {
                     let v = it.next().expect("--svg needs a directory");
                     opts.svg_dir = Some(v);
@@ -85,7 +92,7 @@ impl Options {
                 }
                 other => panic!(
                     "unknown option {other}; supported: --trials N --quick --csv --svg DIR \
-                     --seed S --threads T --guard"
+                     --seed S --threads T --guard --large"
                 ),
             }
         }
@@ -137,6 +144,7 @@ mod tests {
             "--threads",
             "3",
             "--guard",
+            "--large",
         ]);
         assert_eq!(o.trials, 9);
         assert!(o.csv);
@@ -144,7 +152,9 @@ mod tests {
         assert_eq!(o.svg_dir.as_deref(), Some("out"));
         assert_eq!(o.threads, Some(3));
         assert!(o.guard);
+        assert!(o.large);
         assert!(!parse(&[]).guard);
+        assert!(!parse(&[]).large);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Single-trial experiment kernels shared by binaries and Criterion
 //! benches.
 
-use emst_core::{EoptConfig, GhsVariant, Protocol, RankScheme, RepairPolicy, RunOutcome, Sim};
+use emst_core::{
+    EoptConfig, GhsVariant, Instance, Protocol, RankScheme, RepairPolicy, RunOutcome, Sim,
+};
 use emst_geom::{mix_seed, paper_phase2_radius, trial_rng, uniform_points, Point};
 use emst_graph::euclidean_mst;
 use emst_percolation::giant_stats;
@@ -15,23 +17,30 @@ pub fn instance(seed: u64, n: usize, trial: u64) -> Vec<Point> {
     uniform_points(n, &mut trial_rng(mix_seed(seed, n as u64), trial))
 }
 
+/// The same `(seed, n, trial)` stream as [`instance`], wrapped in a
+/// reusable [`Instance`] so kernels that run several protocols over one
+/// point set share a single topology build per radius.
+pub fn sim_instance(seed: u64, n: usize, trial: u64) -> Instance {
+    Instance::generate(seed, n, trial)
+}
+
 /// Fig 3 kernel: total energy of GHS (original, §VII baseline), EOPT and
 /// Co-NNT on the *same* instance. Radii follow §VII exactly.
 pub fn fig3_energies(seed: u64, n: usize, trial: u64) -> [f64; 3] {
-    let pts = instance(seed, n, trial);
-    let ghs = Sim::new(&pts)
+    let inst = sim_instance(seed, n, trial);
+    let ghs = Sim::from_instance(&inst)
         .radius(paper_phase2_radius(n))
         .run(Protocol::Ghs(GhsVariant::Original));
-    let eopt = Sim::new(&pts).run(Protocol::Eopt(EoptConfig::default()));
-    let nnt = Sim::new(&pts).run(Protocol::Nnt(RankScheme::Diagonal));
+    let eopt = Sim::from_instance(&inst).run(Protocol::Eopt(EoptConfig::default()));
+    let nnt = Sim::from_instance(&inst).run(Protocol::Nnt(RankScheme::Diagonal));
     [ghs.stats.energy, eopt.stats.energy, nnt.stats.energy]
 }
 
 /// §VII quality kernel: `(Σ|e| NNT, Σ|e| MST, Σ|e|² NNT, Σ|e|² MST)`.
 pub fn quality_row(seed: u64, n: usize, trial: u64) -> [f64; 4] {
-    let pts = instance(seed, n, trial);
-    let nnt = Sim::new(&pts).run(Protocol::Nnt(RankScheme::Diagonal));
-    let mst = euclidean_mst(&pts);
+    let inst = sim_instance(seed, n, trial);
+    let nnt = Sim::from_instance(&inst).run(Protocol::Nnt(RankScheme::Diagonal));
+    let mst = euclidean_mst(inst.points());
     [
         nnt.tree.cost(1.0),
         mst.cost(1.0),
@@ -85,12 +94,12 @@ pub fn knn_energy_ratio(seed: u64, n: usize, k: usize, trial: u64) -> f64 {
 /// EOPT ablation kernel: `(energy, fragments after step 1, giant size,
 /// recovery used)` for an explicit phase-1 multiplier.
 pub fn eopt_radius_row(seed: u64, n: usize, m1: f64, trial: u64) -> [f64; 4] {
-    let pts = instance(seed, n, trial);
+    let inst = sim_instance(seed, n, trial);
     let cfg = EoptConfig {
         phase1_multiplier: m1,
         ..EoptConfig::default()
     };
-    let out = Sim::new(&pts).run(Protocol::Eopt(cfg));
+    let out = Sim::from_instance(&inst).run(Protocol::Eopt(cfg));
     let d = *out.detail.as_eopt().expect("EOPT detail");
     [
         out.stats.energy,
@@ -103,12 +112,12 @@ pub fn eopt_radius_row(seed: u64, n: usize, m1: f64, trial: u64) -> [f64; 4] {
 /// GHS-variant ablation kernel: `(messages, energy)` for original then
 /// modified on the same instance.
 pub fn ghs_variant_row(seed: u64, n: usize, trial: u64) -> [f64; 4] {
-    let pts = instance(seed, n, trial);
+    let inst = sim_instance(seed, n, trial);
     let r = paper_phase2_radius(n);
-    let orig = Sim::new(&pts)
+    let orig = Sim::from_instance(&inst)
         .radius(r)
         .run(Protocol::Ghs(GhsVariant::Original));
-    let modi = Sim::new(&pts)
+    let modi = Sim::from_instance(&inst)
         .radius(r)
         .run(Protocol::Ghs(GhsVariant::Modified));
     [
@@ -122,14 +131,14 @@ pub fn ghs_variant_row(seed: u64, n: usize, trial: u64) -> [f64; 4] {
 /// Ranking ablation kernel: per scheme (diagonal, x-rank, id-rank) the
 /// `(max edge, energy, Σ|e| quality ratio vs MST)` on the same instance.
 pub fn rank_scheme_row(seed: u64, n: usize, trial: u64) -> [f64; 9] {
-    let pts = instance(seed, n, trial);
-    let mst_len = euclidean_mst(&pts).cost(1.0);
+    let inst = sim_instance(seed, n, trial);
+    let mst_len = euclidean_mst(inst.points()).cost(1.0);
     let mut out = [0.0; 9];
     for (k, scheme) in [RankScheme::Diagonal, RankScheme::XOrder, RankScheme::NodeId]
         .into_iter()
         .enumerate()
     {
-        let run = Sim::new(&pts).run(Protocol::Nnt(scheme));
+        let run = Sim::from_instance(&inst).run(Protocol::Nnt(scheme));
         out[3 * k] = run.tree.max_edge_len();
         out[3 * k + 1] = run.stats.energy;
         out[3 * k + 2] = run.tree.cost(1.0) / mst_len;
@@ -162,12 +171,12 @@ pub struct FaultTrial {
 /// The fault coin seed folds in the trial index so trials draw independent
 /// drop patterns while staying reproducible.
 pub fn fault_trial(seed: u64, n: usize, p: f64, protocol: Protocol, trial: u64) -> FaultTrial {
-    let pts = instance(seed, n, trial);
-    let mst_weight = euclidean_mst(&pts).cost(1.0);
+    let inst = sim_instance(seed, n, trial);
+    let mst_weight = euclidean_mst(inst.points()).cost(1.0);
     let plan = FaultPlan::none()
         .drop_probability(p)
         .seed(mix_seed(seed, trial));
-    let outcome = Sim::new(&pts)
+    let outcome = Sim::from_instance(&inst)
         .radius(paper_phase2_radius(n))
         .with_faults(plan)
         .try_run(protocol);
@@ -229,13 +238,13 @@ fn blame_stage(stages: &[StageMark]) -> Option<String> {
 /// instance and fault coins, so the delta is exactly the recovery
 /// runtime's doing.
 pub fn repair_trial(seed: u64, n: usize, p: f64, protocol: Protocol, trial: u64) -> RepairTrial {
-    let pts = instance(seed, n, trial);
-    let mst_weight = euclidean_mst(&pts).cost(1.0);
+    let inst = sim_instance(seed, n, trial);
+    let mst_weight = euclidean_mst(inst.points()).cost(1.0);
     let plan = FaultPlan::none()
         .drop_probability(p)
         .seed(mix_seed(seed, trial));
     let radius = paper_phase2_radius(n);
-    let outcome = Sim::new(&pts)
+    let outcome = Sim::from_instance(&inst)
         .radius(radius)
         .with_faults(plan.clone())
         .try_run(protocol);
@@ -248,7 +257,7 @@ pub fn repair_trial(seed: u64, n: usize, p: f64, protocol: Protocol, trial: u64)
         RunOutcome::Degraded { output, .. } => blame_stage(&output.stages),
         _ => None,
     };
-    let fixed = Sim::new(&pts)
+    let fixed = Sim::from_instance(&inst)
         .radius(radius)
         .with_faults(plan)
         .repair(RepairPolicy::default())
@@ -282,12 +291,12 @@ pub fn repair_trial(seed: u64, n: usize, p: f64, protocol: Protocol, trial: u64)
 /// (given connectivity), else 0.0; `None` when the §VII radius leaves the
 /// instance disconnected (exactness is then vacuous for the full MST).
 pub fn exactness_trial(seed: u64, n: usize, trial: u64) -> Option<f64> {
-    let pts = instance(seed, n, trial);
-    let out = Sim::new(&pts).run(Protocol::Eopt(EoptConfig::default()));
+    let inst = sim_instance(seed, n, trial);
+    let out = Sim::from_instance(&inst).run(Protocol::Eopt(EoptConfig::default()));
     if out.fragments != 1 {
         return None;
     }
-    let mst = euclidean_mst(&pts);
+    let mst = euclidean_mst(inst.points());
     Some(if out.tree.same_edges(&mst) { 1.0 } else { 0.0 })
 }
 

@@ -99,6 +99,7 @@ pub(crate) fn drive(env: &mut crate::ExecEnv<'_>, cfg: &EoptConfig) -> EoptRun {
     let k2 = GhsKinds::for_scope("eopt2");
     let marks_from = env.stage_marks().len();
     let mut eng = GhsEngine::new(env.net(), GhsVariant::Modified);
+    eng.set_shards(env.shards());
 
     // Step 1: percolation-regime GHS.
     env.stage(k1.scope, "discover", |net| eng.discover(net, r1, k1));

@@ -47,6 +47,9 @@ pub struct ExecEnv<'a> {
     /// Retry slack for round budgets: `max_retries + 1` under an active
     /// fault plan, `0` otherwise.
     retry_slack: u64,
+    /// Worker-thread count for stages that shard per-round node work
+    /// (see [`ExecEnv::set_shards`]).
+    shards: usize,
     stages: Vec<StageMark>,
 }
 
@@ -92,8 +95,26 @@ impl<'a> ExecEnv<'a> {
             contention,
             faulted,
             retry_slack,
+            shards: 1,
             stages: Vec::new(),
         }
+    }
+
+    /// Sets the worker-thread count for stages that partition per-round
+    /// node work (the GHS MOE search). Sharding changes wall-clock only:
+    /// nodes are assigned to shards by a fixed mapping and per-shard
+    /// results are reduced in canonical sequential order, so ledgers,
+    /// traces and stage marks stay bit-identical to `shards = 1`
+    /// (pinned by `tests/shard_identity.rs`). Values are clamped to at
+    /// least 1.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
+    }
+
+    /// Worker-thread count for shardable stages (1 = sequential).
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Number of nodes.
@@ -151,6 +172,17 @@ impl<'a> ExecEnv<'a> {
             .faults()
             .map(|p| p.max_retries() as u64 + 1)
             .unwrap_or(0);
+    }
+
+    /// Registers a pre-built shared topology (the instance-reuse fast
+    /// path): stages that cache the adjacency at its radius reuse the
+    /// build instead of repeating it. See
+    /// [`RadioNet::install_topology`](emst_radio::RadioNet::install_topology).
+    pub fn install_topology(&mut self, topo: std::sync::Arc<emst_radio::Topology>) {
+        self.net
+            .as_mut()
+            .expect("network is held by a stage")
+            .install_topology(topo);
     }
 
     /// Builds (or reuses) the cached adjacency at `radius` — call before

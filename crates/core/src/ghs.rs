@@ -54,10 +54,12 @@
 //! agreement with Kruskal edge-for-edge. The two-phase EOPT algorithm
 //! (`crate::eopt`) drives this same engine at two radii.
 
-use crate::discovery::{discover, NeighborTable};
 use emst_graph::{Edge, SpanningTree};
 use emst_radio::{FaultKind, FaultPlan, RadioNet};
 use std::collections::{BTreeMap, VecDeque};
+
+/// Sentinel terminating intrusive member lists.
+const NONE: u32 = u32::MAX;
 
 /// Which MOE-search mechanism to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -190,19 +192,67 @@ pub struct GhsEngine {
     frag: Vec<u32>,
     /// Parent in the fragment tree; `parent[u] == u` for leaders.
     parent: Vec<u32>,
-    children: Vec<Vec<u32>>,
-    /// Per-node neighbour rows, sorted by `(dist, id)` — positions are
-    /// recovered by binary search (distances are exactly symmetric, so a
-    /// row's entry for a peer carries the same bits the peer measured).
-    nbrs: Vec<Vec<Nbr>>,
-    /// Member list per fragment id, each list ascending — maintained
-    /// incrementally across merges instead of rebuilt from `frag` every
-    /// stage.
-    members: BTreeMap<u32, Vec<u32>>,
-    /// `back_slot[u][k]` = position of `u` in `nbrs[v]`, where `v` is the
-    /// k-th entry of `u`'s cached topology row — announce cache updates
-    /// become direct writes instead of per-receiver binary searches.
-    back_slot: Vec<Vec<u32>>,
+    /// Memoised transmit energy of each node's parent edge
+    /// (`INFINITY` = not computed / parent changed). Tree edges are
+    /// charged once per phase per direction, so caching the path-loss
+    /// evaluation removes two random point loads per control message;
+    /// distances are exactly symmetric, so one entry serves both
+    /// directions bit-identically.
+    parent_energy: Vec<f64>,
+    /// Per-node neighbour rows in one flat CSR arena (row `u` is
+    /// `nbr_data[nbr_off[u]..nbr_off[u + 1]]`), each row sorted by
+    /// `(dist, id)` — positions are recovered by binary search (distances
+    /// are exactly symmetric, so a row's entry for a peer carries the same
+    /// bits the peer measured).
+    nbr_data: Vec<Nbr>,
+    nbr_off: Vec<u32>,
+    /// Arena-backed membership: an intrusive singly-linked member list per
+    /// fragment, kept sorted ascending. Fragment ids are node ids, so all
+    /// slabs are `n`-sized and indexed directly — no per-fragment heap
+    /// allocations, and merges relink pointers instead of rebuilding maps.
+    member_next: Vec<u32>,
+    /// First member of each fragment's list (`NONE` when dead).
+    frag_head: Vec<u32>,
+    /// Last member of each fragment's list (fast appends during rebuilds).
+    frag_tail: Vec<u32>,
+    /// Member count per live fragment id.
+    frag_size: Vec<u32>,
+    /// Live fragment ids, ascending — the arena's deterministic iteration
+    /// order, identical to the sorted member map it replaced.
+    live: Vec<u32>,
+    /// Liveness slab mirroring `live` for O(1) membership tests.
+    is_live: Vec<bool>,
+    /// Reusable per-phase scratch: flattened member lists of the active
+    /// fragments plus `(frag, start, end)` bounds into it.
+    active_nodes: Vec<u32>,
+    active_bounds: Vec<(u32, u32, u32)>,
+    /// Reusable per-phase scratch: best candidate / stalled flag per
+    /// active-fragment index, and delivered connects per fragment id.
+    cand_scratch: Vec<Option<Cand>>,
+    stalled_scratch: Vec<bool>,
+    delivered_scratch: Vec<(u32, Cand)>,
+    /// Reusable merge scratch: relabeled nodes, `(group root, fragment)`
+    /// pairs, gathered group members, and fresh fragment ids.
+    changed_scratch: Vec<u32>,
+    group_pairs: Vec<(u32, u32)>,
+    member_gather: Vec<u32>,
+    new_ids_scratch: Vec<u32>,
+    /// Reusable merge scratch: accepted edges annotated with fragment
+    /// endpoints, plus CSR adjacency + BFS state for the fragment-level
+    /// re-rooting walk.
+    group_edges_scratch: Vec<GroupEdge>,
+    live_index_scratch: Vec<u32>,
+    reflip_off: Vec<u32>,
+    reflip_cur: Vec<u32>,
+    reflip_adj: Vec<u32>,
+    reflip_visited: Vec<bool>,
+    reflip_queue: VecDeque<u32>,
+    /// Per-node scan cursor into the topology's sorted rows (clean
+    /// modified runs). Entries before the cursor joined the node's own
+    /// fragment in an earlier phase; fragments only ever merge, so they
+    /// can never turn foreign again and each row is scanned O(deg) total
+    /// across all phases instead of O(deg) per phase.
+    moe_state: Vec<MoeSlot>,
     /// Accumulated tree adjacency (for re-rooting after merges).
     tree_adj: Vec<Vec<(u32, f64)>>,
     tree_edges: Vec<Edge>,
@@ -216,8 +266,8 @@ pub struct GhsEngine {
     visit_epoch: u32,
     bfs_queue: VecDeque<u32>,
     /// Reusable frontier buffers for depth computation.
-    depth_frontier: Vec<u32>,
-    depth_next: Vec<u32>,
+    depth_val: Vec<u32>,
+    depth_path: Vec<u32>,
     /// Fault schedule mirrored from the network at construction; `None`
     /// keeps every code path byte-identical to the pre-fault engine.
     faults: Option<FaultPlan>,
@@ -228,6 +278,13 @@ pub struct GhsEngine {
     /// cache repair is forward progress a barren-phase cutoff must not
     /// count against the run.
     healed_last_phase: usize,
+    /// Worker-thread count for the sharded MOE stage (1 = in-place
+    /// sequential). See [`GhsEngine::set_shards`].
+    shards: usize,
+    /// Per-shard `(position, candidate)` output buffers and replay
+    /// cursors, reused across phases.
+    shard_results: Vec<Vec<(u32, Cand)>>,
+    shard_idx: Vec<usize>,
 }
 
 impl GhsEngine {
@@ -243,10 +300,32 @@ impl GhsEngine {
             radius: 0.0,
             frag: (0..n as u32).collect(),
             parent: (0..n as u32).collect(),
-            children: vec![Vec::new(); n],
-            nbrs: vec![Vec::new(); n],
-            members: (0..n as u32).map(|u| (u, vec![u])).collect(),
-            back_slot: vec![Vec::new(); n],
+            parent_energy: vec![f64::INFINITY; n],
+            nbr_data: Vec::new(),
+            nbr_off: vec![0; n + 1],
+            member_next: vec![NONE; n],
+            frag_head: (0..n as u32).collect(),
+            frag_tail: (0..n as u32).collect(),
+            frag_size: vec![1; n],
+            live: (0..n as u32).collect(),
+            is_live: vec![true; n],
+            active_nodes: Vec::new(),
+            active_bounds: Vec::new(),
+            cand_scratch: Vec::new(),
+            stalled_scratch: Vec::new(),
+            delivered_scratch: Vec::new(),
+            changed_scratch: Vec::new(),
+            group_pairs: Vec::new(),
+            member_gather: Vec::new(),
+            new_ids_scratch: Vec::new(),
+            group_edges_scratch: Vec::new(),
+            live_index_scratch: Vec::new(),
+            reflip_off: Vec::new(),
+            reflip_cur: Vec::new(),
+            reflip_adj: Vec::new(),
+            reflip_visited: Vec::new(),
+            reflip_queue: VecDeque::new(),
+            moe_state: Vec::new(),
             tree_adj: vec![Vec::new(); n],
             tree_edges: Vec::new(),
             passive: Default::default(),
@@ -255,12 +334,30 @@ impl GhsEngine {
             visit_mark: vec![0; n],
             visit_epoch: 0,
             bfs_queue: VecDeque::new(),
-            depth_frontier: Vec::new(),
-            depth_next: Vec::new(),
+            depth_val: vec![0; n],
+            depth_path: Vec::new(),
             faults,
             stage_extra: 0,
             healed_last_phase: 0,
+            shards: 1,
+            shard_results: Vec::new(),
+            shard_idx: Vec::new(),
         }
+    }
+
+    /// Sets the worker-thread count for the per-round sharded MOE stage.
+    ///
+    /// The modified variant's stage B is pure computation (cache/topology
+    /// scans, zero messages), so with `shards > 1` it is partitioned
+    /// across scoped worker threads under a **fixed shard→node mapping**
+    /// (contiguous blocks of node-id space) and reduced back in the exact
+    /// sequential visit order. Ledgers, traces and stage marks are
+    /// bit-identical to the single-thread run for any shard count —
+    /// pinned by `tests/shard_identity.rs`. The original variant's stage
+    /// B exchanges test/accept/reject messages and always runs
+    /// sequentially.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
     }
 
     /// Number of executed merge phases so far.
@@ -278,21 +375,64 @@ impl GhsEngine {
         SpanningTree::new(self.n, self.tree_edges.clone())
     }
 
-    /// Members per fragment, keyed by fragment id (sorted map so that all
-    /// iteration — and therefore floating-point energy summation — is
-    /// deterministic). Maintained incrementally; this returns a copy.
+    /// Members per fragment, keyed by fragment id, materialized as an
+    /// owned sorted map — a wholesale copy of the arena.
+    #[deprecated(
+        since = "0.6.0",
+        note = "copies every member list; iterate `live_fragments()` + `members_of()` instead"
+    )]
     pub fn fragments(&self) -> BTreeMap<u32, Vec<u32>> {
-        self.members.clone()
+        self.live
+            .iter()
+            .map(|&f| (f, self.members_of(f as usize).map(|u| u as u32).collect()))
+            .collect()
+    }
+
+    /// Live fragment ids in ascending order — the deterministic iteration
+    /// order every stage uses (so floating-point energy summation is
+    /// reproducible). Borrow-based replacement for the cloning
+    /// [`GhsEngine::fragments`] accessor.
+    pub fn live_fragments(&self) -> &[u32] {
+        &self.live
+    }
+
+    /// Iterates the members of fragment `frag` in ascending node order.
+    /// Yields nothing if `frag` is not a live fragment id.
+    pub fn members_of(&self, frag: usize) -> impl Iterator<Item = usize> + '_ {
+        let links = &self.member_next;
+        let head = if self.is_live.get(frag).copied().unwrap_or(false) {
+            self.frag_head[frag]
+        } else {
+            NONE
+        };
+        std::iter::successors((head != NONE).then_some(head), move |&u| {
+            let nx = links[u as usize];
+            (nx != NONE).then_some(nx)
+        })
+        .map(|u| u as usize)
+    }
+
+    /// Size of fragment `frag` (0 if not a live fragment id).
+    pub fn fragment_size(&self, frag: usize) -> usize {
+        if self.is_live.get(frag).copied().unwrap_or(false) {
+            self.frag_size[frag] as usize
+        } else {
+            0
+        }
     }
 
     /// Current number of fragments.
     pub fn fragment_count(&self) -> usize {
-        self.members.len()
+        self.live.len()
     }
 
     /// Sorted (descending) fragment sizes.
     pub fn fragment_sizes(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self.members.values().map(|m| m.len()).collect();
+        let mut v: Vec<usize> = self
+            .live
+            .iter()
+            .map(|&f| self.frag_size[f as usize] as usize)
+            .collect();
         v.sort_unstable_by(|a, b| b.cmp(a));
         v
     }
@@ -317,7 +457,7 @@ impl GhsEngine {
     /// reconnect to it.
     pub fn mark_passive(&mut self, frag: usize) {
         assert!(
-            self.members.contains_key(&(frag as u32)),
+            self.is_live.get(frag).copied().unwrap_or(false),
             "mark_passive: {frag} is not a live fragment id"
         );
         self.passive.insert(frag as u32);
@@ -326,9 +466,9 @@ impl GhsEngine {
     /// Id and size of the largest current fragment (ties broken by the
     /// higher id, deterministically). `None` on an empty engine.
     pub fn largest_fragment(&self) -> Option<(usize, usize)> {
-        self.members
+        self.live
             .iter()
-            .map(|(&f, m)| (f as usize, m.len()))
+            .map(|&f| (f as usize, self.frag_size[f as usize] as usize))
             .max_by_key(|&(f, len)| (len, f))
     }
 
@@ -356,10 +496,26 @@ impl GhsEngine {
         for (u, &l) in labels.iter().enumerate() {
             self.frag[u] = leader_of_label[l];
         }
-        self.members.clear();
-        for (u, &f) in self.frag.iter().enumerate() {
-            self.members.entry(f).or_default().push(u as u32);
+        // Rebuild the arena from `frag`: appending nodes in ascending order
+        // keeps every member list sorted.
+        self.is_live.iter_mut().for_each(|b| *b = false);
+        for u in 0..n {
+            let f = self.frag[u] as usize;
+            if !self.is_live[f] {
+                self.is_live[f] = true;
+                self.frag_head[f] = u as u32;
+                self.frag_size[f] = 1;
+            } else {
+                self.member_next[self.frag_tail[f] as usize] = u as u32;
+                self.frag_size[f] += 1;
+            }
+            self.frag_tail[f] = u as u32;
+            self.member_next[u] = NONE;
         }
+        self.live.clear();
+        let is_live = &self.is_live;
+        self.live
+            .extend((0..n as u32).filter(|&f| is_live[f as usize]));
         for &leader in &leader_of_label {
             self.reroot(leader);
         }
@@ -382,41 +538,56 @@ impl GhsEngine {
             self.inactive.clear();
             return;
         }
-        let table: NeighborTable = discover(net, radius, kinds.hello);
-        for (u, row) in table.iter().enumerate() {
-            self.nbrs[u] = row
-                .iter()
-                .map(|nb| Nbr {
-                    id: nb.id,
-                    dist: nb.dist,
-                    frag: self.frag[nb.id as usize],
-                    rejected: false,
-                })
-                .collect();
+        // Hello round: one local broadcast per node, charged exactly like a
+        // table-returning discovery (same kind, energy, rx count, and trace
+        // event per node, one round on the clock) — but the neighbour rows
+        // are assembled straight from the cached topology into the flat CSR
+        // arena, with no per-node allocations or an intermediate table.
+        let n = self.n;
+        for u in 0..n {
+            net.local_broadcast_silent(u, radius, kinds.hello);
         }
+        net.tick_round();
+        let topo = net.topology_at(radius).expect("cached above");
         if self.variant == GhsVariant::Modified {
-            let topo = net.topology_at(radius).expect("cached above");
-            let n = table.len();
-            // Search-free back-slot construction. Every topology row lists
-            // neighbours in the grid's global visit order, so processing
-            // nodes `v` in that same order appends to each `back[u]` in
-            // exactly `u`'s row order — a per-node cursor replaces the
-            // per-edge binary search.
-            let mut back: Vec<Vec<u32>> = (0..n).map(|u| vec![0u32; topo.degree(u)]).collect();
-            let mut cursor = vec![0u32; n];
-            let mut slot_of = vec![0u32; n];
-            for &v in net.grid().visit_order() {
-                let v = v as usize;
-                for (j, e) in self.nbrs[v].iter().enumerate() {
-                    slot_of[e.id as usize] = j as u32;
-                }
-                for &u in topo.ids(v) {
-                    let u = u as usize;
-                    back[u][cursor[u] as usize] = slot_of[u];
-                    cursor[u] += 1;
-                }
+            // Clean modified runs never materialise private neighbour rows:
+            // MOE search borrows the topology's shared `(dist, id)`-sorted
+            // rows and reads live fragment ids directly (announces keep the
+            // §V-A caches *exact* here — every row-holder is in announce
+            // range — so the cache IS the live id). The sorted view is
+            // forced now so phase timings don't absorb the one-time build;
+            // with an instance-cached topology it is already built.
+            let _ = topo.sorted();
+            self.nbr_data.clear();
+            self.nbr_off.clear();
+            self.nbr_off.resize(n + 1, 0);
+            self.moe_state.clear();
+            self.moe_state.resize(n, MoeSlot::UNSCANNED);
+        } else {
+            // The original variant keeps private rows: test/accept/reject
+            // bookkeeping needs a mutable `rejected` flag per edge.
+            self.nbr_off.clear();
+            self.nbr_off.push(0);
+            let mut total = 0u32;
+            for u in 0..n {
+                total += topo.degree(u) as u32;
+                self.nbr_off.push(total);
             }
-            self.back_slot = back;
+            self.nbr_data.clear();
+            self.nbr_data.reserve(total as usize);
+            for u in 0..n {
+                let start = self.nbr_data.len();
+                for (&v, &d) in topo.ids(u).iter().zip(topo.dists(u)) {
+                    self.nbr_data.push(Nbr {
+                        id: v,
+                        dist: d,
+                        frag: self.frag[v as usize],
+                        rejected: false,
+                    });
+                }
+                self.nbr_data[start..]
+                    .sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+            }
         }
         self.inactive.clear();
     }
@@ -460,11 +631,19 @@ impl GhsEngine {
             }
             net.charge_receptions(delivered);
         }
-        for (u, mut row) in rows.into_iter().enumerate() {
-            row.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
-            self.nbrs[u] = row;
+        self.nbr_off.clear();
+        self.nbr_off.push(0);
+        let mut total = 0u32;
+        for row in &rows {
+            total += row.len() as u32;
+            self.nbr_off.push(total);
         }
-        self.back_slot = vec![Vec::new(); n];
+        self.nbr_data.clear();
+        self.nbr_data.reserve(total as usize);
+        for mut row in rows {
+            row.sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+            self.nbr_data.extend_from_slice(&row);
+        }
         net.tick_round();
     }
 
@@ -522,32 +701,81 @@ impl GhsEngine {
     /// symmetric (IEEE negation and squaring commute), so the bits `v`
     /// recorded for `id` equal the bits `id` recorded for `v`.
     fn nbr_slot(&self, v: usize, dist: f64, id: u32) -> Option<usize> {
-        self.nbrs[v]
+        self.nbr_row(v)
             .binary_search_by(|nb| nb.dist.total_cmp(&dist).then(nb.id.cmp(&id)))
             .ok()
     }
 
-    /// Depth of the fragment tree rooted at `leader` (via child lists).
-    fn depth(&mut self, leader: u32) -> u64 {
-        let mut frontier = std::mem::take(&mut self.depth_frontier);
-        let mut next = std::mem::take(&mut self.depth_next);
-        frontier.clear();
-        frontier.push(leader);
-        let mut depth = 0u64;
-        loop {
-            next.clear();
-            for &u in &frontier {
-                next.extend_from_slice(&self.children[u as usize]);
+    /// Neighbour row of node `u` (sorted by `(dist, id)`).
+    #[inline]
+    fn nbr_row(&self, u: usize) -> &[Nbr] {
+        &self.nbr_data[self.nbr_off[u] as usize..self.nbr_off[u + 1] as usize]
+    }
+
+    /// Depth of the fragment tree rooted at `leader`: the maximum
+    /// parent-chain length over `members`, computed by walking parent
+    /// pointers with per-epoch memoisation. Each node's depth is
+    /// established exactly once, so a whole fragment costs O(members)
+    /// flat-array reads — no adjacency-list traversal.
+    fn depth_of(&mut self, leader: u32, members: &[u32]) -> u64 {
+        self.visit_epoch += 1;
+        let epoch = self.visit_epoch;
+        self.visit_mark[leader as usize] = epoch;
+        self.depth_val[leader as usize] = 0;
+        let mut path = std::mem::take(&mut self.depth_path);
+        let mut maxd = 0u32;
+        for &u in members {
+            let mut v = u;
+            path.clear();
+            while self.visit_mark[v as usize] != epoch {
+                path.push(v);
+                v = self.parent[v as usize];
             }
-            if next.is_empty() {
-                break;
+            let mut d = self.depth_val[v as usize];
+            for &w in path.iter().rev() {
+                d += 1;
+                self.visit_mark[w as usize] = epoch;
+                self.depth_val[w as usize] = d;
             }
-            depth += 1;
-            std::mem::swap(&mut frontier, &mut next);
+            maxd = maxd.max(d);
         }
-        self.depth_frontier = frontier;
-        self.depth_next = next;
-        depth
+        self.depth_path = path;
+        maxd as u64
+    }
+
+    /// Memoised transmit energy of `u`'s parent edge (computing and
+    /// caching it on first use after a parent change).
+    #[inline]
+    fn parent_edge_energy(&mut self, net: &RadioNet<'_>, u: usize) -> f64 {
+        let e = self.parent_energy[u];
+        if e != f64::INFINITY {
+            return e;
+        }
+        let e = net
+            .loss()
+            .energy(&net.pos(u), &net.pos(self.parent[u] as usize));
+        self.parent_energy[u] = e;
+        e
+    }
+
+    /// [`GhsEngine::reliable_unicast`] specialised to `u`'s parent edge
+    /// (`up` = child→parent direction): fault-free runs charge the
+    /// memoised edge energy without re-evaluating the path-loss model.
+    fn reliable_unicast_parent(
+        &mut self,
+        net: &mut RadioNet<'_>,
+        child: usize,
+        up: bool,
+        kind: &'static str,
+    ) -> bool {
+        let p = self.parent[child] as usize;
+        let (src, dst) = if up { (child, p) } else { (p, child) };
+        if self.faults.is_none() {
+            let e = self.parent_edge_energy(net, child);
+            net.unicast_with_energy(src, dst, kind, e);
+            return true;
+        }
+        self.reliable_unicast(net, src, dst, kind)
     }
 
     /// Charges one message per tree edge of `members` in the top-down
@@ -561,9 +789,8 @@ impl GhsEngine {
     ) -> bool {
         let mut ok = true;
         for &u in members {
-            let p = self.parent[u as usize];
-            if p != u {
-                ok &= self.reliable_unicast(net, p as usize, u as usize, kind);
+            if self.parent[u as usize] != u {
+                ok &= self.reliable_unicast_parent(net, u as usize, false, kind);
             }
         }
         ok
@@ -579,9 +806,8 @@ impl GhsEngine {
     ) -> bool {
         let mut ok = true;
         for &u in members {
-            let p = self.parent[u as usize];
-            if p != u {
-                ok &= self.reliable_unicast(net, u as usize, p as usize, kind);
+            if self.parent[u as usize] != u {
+                ok &= self.reliable_unicast_parent(net, u as usize, true, kind);
             }
         }
         ok
@@ -589,14 +815,70 @@ impl GhsEngine {
 
     /// Local MOE of node `u` under the modified variant: a pure cache
     /// lookup, zero messages. The neighbour list is distance-sorted, so the
-    /// first foreign entry is the minimum outgoing edge.
+    /// first foreign entry is the minimum outgoing edge. Fault-injected
+    /// runs only (rows seeded by `discover_faulty`); clean runs take
+    /// [`GhsEngine::local_moe_clean`].
     fn local_moe_modified(&self, u: usize) -> Option<Cand> {
         let my = self.frag[u];
-        self.nbrs[u].iter().find(|nb| nb.frag != my).map(|nb| Cand {
-            w: nb.dist,
-            u: u as u32,
-            v: nb.id,
-        })
+        self.nbr_row(u)
+            .iter()
+            .find(|nb| nb.frag != my)
+            .map(|nb| Cand {
+                w: nb.dist,
+                u: u as u32,
+                v: nb.id,
+            })
+    }
+
+    /// Clean-run MOE of node `u`: same result as the cache lookup (clean
+    /// caches are exact, so `cache[v] == frag[v]` at every read), served
+    /// from the topology's shared sorted rows. The cursor skips the prefix
+    /// that already belongs to `u`'s fragment — sound because fragments
+    /// only merge: once `v` shares `u`'s fragment they share it forever.
+    fn local_moe_clean(&mut self, topo: &emst_radio::Topology, u: usize) -> Option<Cand> {
+        Self::moe_scan(topo, &self.frag, &mut self.moe_state[u], u)
+    }
+
+    /// The cursor scan behind [`GhsEngine::local_moe_clean`], shared with
+    /// the sharded stage's workers (no `&self` so a worker can borrow its
+    /// slot block mutably while `frag` stays shared).
+    fn moe_scan(
+        topo: &emst_radio::Topology,
+        frag: &[u32],
+        slot: &mut MoeSlot,
+        u: usize,
+    ) -> Option<Cand> {
+        let my = frag[u];
+        if slot.v == MOE_EXHAUSTED {
+            return None;
+        }
+        if slot.v != MOE_UNSCANNED && frag[slot.v as usize] != my {
+            // Candidate still foreign: the prefix before the cursor is
+            // all same-fragment (permanently), so it is still the MOE.
+            return Some(Cand {
+                w: slot.w,
+                u: u as u32,
+                v: slot.v,
+            });
+        }
+        let ids = topo.sorted_ids(u);
+        let mut k = slot.cursor as usize;
+        while k < ids.len() && frag[ids[k] as usize] == my {
+            k += 1;
+        }
+        slot.cursor = k as u32;
+        if k < ids.len() {
+            slot.v = ids[k];
+            slot.w = topo.sorted_dists(u)[k];
+            Some(Cand {
+                w: slot.w,
+                u: u as u32,
+                v: slot.v,
+            })
+        } else {
+            slot.v = MOE_EXHAUSTED;
+            None
+        }
     }
 
     /// Local MOE of node `u` under the original variant: probe unrejected
@@ -611,8 +893,9 @@ impl GhsEngine {
         let my = self.frag[u];
         let mut exchanges = 0u64;
         let mut found = None;
-        for i in 0..self.nbrs[u].len() {
-            let nb = self.nbrs[u][i];
+        let off = self.nbr_off[u] as usize;
+        for i in 0..self.nbr_row(u).len() {
+            let nb = self.nbr_data[off + i];
             if nb.rejected {
                 continue;
             }
@@ -634,9 +917,9 @@ impl GhsEngine {
                 // Reject: mark on both sides, permanently. Under faults
                 // the tables can be asymmetric — the peer may simply not
                 // have an entry to mark.
-                self.nbrs[u][i].rejected = true;
+                self.nbr_data[off + i].rejected = true;
                 if let Some(back) = self.nbr_slot(nb.id as usize, nb.dist, u as u32) {
-                    self.nbrs[nb.id as usize][back].rejected = true;
+                    self.nbr_data[self.nbr_off[nb.id as usize] as usize + back].rejected = true;
                 } else {
                     debug_assert!(
                         self.faults.is_some(),
@@ -655,17 +938,159 @@ impl GhsEngine {
         (found, exchanges)
     }
 
+    /// The sharded MOE stage (modified variant only): partitions nodes
+    /// across `shards` scoped worker threads and reduces candidates back
+    /// deterministically.
+    ///
+    /// **Mapping.** Node `u` belongs to shard `u / ceil(n / shards)` —
+    /// contiguous blocks of node-id space, fixed for the whole run. The
+    /// per-node scan cursors are `split_at_mut` along the same blocks, so
+    /// every cursor write is provably disjoint; all other engine state
+    /// (`frag`, neighbour rows, the shared sorted topology) is read-only
+    /// during the stage.
+    ///
+    /// **Reduce.** Each worker emits `(position, candidate)` pairs in
+    /// ascending position order over the phase's flattened active-node
+    /// list. The orchestrating thread then replays the exact sequential
+    /// visit order, folding each position's candidate with the same
+    /// `better_than` comparison the unsharded loop uses — so the winning
+    /// candidate per fragment (and therefore every downstream message,
+    /// ledger charge and trace event) is bit-identical for any shard
+    /// count.
+    #[allow(clippy::needless_range_loop)] // `p` is the position value itself
+    fn moe_sharded(
+        &mut self,
+        topo: Option<&emst_radio::Topology>,
+        active_nodes: &[u32],
+        bounds: &[(u32, u32, u32)],
+        stalled: &[bool],
+        cand: &mut [Option<Cand>],
+        shards: usize,
+    ) {
+        let n = self.n;
+        let block = n.div_ceil(shards);
+        let mut results = std::mem::take(&mut self.shard_results);
+        results.resize_with(shards, Vec::new);
+        for r in &mut results {
+            r.clear();
+        }
+        {
+            let frag = &self.frag;
+            let nbr_data = &self.nbr_data;
+            let nbr_off = &self.nbr_off;
+            // Clean runs own a cursor slab; faulty runs scan private rows
+            // and the slab is empty — the split below just yields empty
+            // per-shard slices that are never indexed.
+            let mut cursor_blocks: Vec<&mut [MoeSlot]> = Vec::with_capacity(shards);
+            let mut rest: &mut [MoeSlot] = &mut self.moe_state;
+            for _ in 0..shards {
+                let take = block.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                cursor_blocks.push(head);
+                rest = tail;
+            }
+            std::thread::scope(|sc| {
+                for (s, (cursor, out)) in cursor_blocks
+                    .into_iter()
+                    .zip(results.iter_mut())
+                    .enumerate()
+                {
+                    let lo = s * block;
+                    let hi = ((s + 1) * block).min(n);
+                    sc.spawn(move || {
+                        for (ai, &(_f, s0, e0)) in bounds.iter().enumerate() {
+                            if stalled[ai] {
+                                continue;
+                            }
+                            for p in s0 as usize..e0 as usize {
+                                let u = active_nodes[p] as usize;
+                                if u < lo || u >= hi {
+                                    continue;
+                                }
+                                let my = frag[u];
+                                let c = match topo {
+                                    Some(topo) => {
+                                        // local_moe_clean against this
+                                        // shard's slot block.
+                                        Self::moe_scan(topo, frag, &mut cursor[u - lo], u)
+                                    }
+                                    None => {
+                                        // local_moe_modified: first foreign
+                                        // entry of the distance-sorted row.
+                                        let row =
+                                            &nbr_data[nbr_off[u] as usize..nbr_off[u + 1] as usize];
+                                        row.iter().find(|nb| nb.frag != my).map(|nb| Cand {
+                                            w: nb.dist,
+                                            u: u as u32,
+                                            v: nb.id,
+                                        })
+                                    }
+                                };
+                                if let Some(c) = c {
+                                    out.push((p as u32, c));
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        // Deterministic reduce: walk positions in the sequential order and
+        // pop each shard's stream in lockstep (streams are position-sorted
+        // by construction).
+        let mut idx = std::mem::take(&mut self.shard_idx);
+        idx.clear();
+        idx.resize(shards, 0);
+        for (ai, &(_f, s0, e0)) in bounds.iter().enumerate() {
+            if stalled[ai] {
+                continue;
+            }
+            for p in s0 as usize..e0 as usize {
+                let s = active_nodes[p] as usize / block;
+                if let Some(&(pp, c)) = results[s].get(idx[s]) {
+                    if pp as usize == p {
+                        idx[s] += 1;
+                        match &cand[ai] {
+                            Some(best) if !c.better_than(best) => {}
+                            _ => cand[ai] = Some(c),
+                        }
+                    }
+                }
+            }
+        }
+        self.shard_idx = idx;
+        self.shard_results = results;
+    }
+
     /// Executes one phase. Returns the number of fragment merges performed
     /// (0 means the engine has quiesced at this radius).
     fn phase(&mut self, net: &mut RadioNet<'_>, kinds: &GhsKinds) -> usize {
         self.healed_last_phase = 0;
-        let active_owned: Vec<(u32, Vec<u32>)> = self
-            .members
-            .iter()
-            .filter(|(f, _)| !self.passive.contains(f) && !self.inactive.contains(f))
-            .map(|(&f, m)| (f, m.clone()))
-            .collect();
-        if active_owned.is_empty() {
+        // Flatten the active fragments' member lists into reusable scratch —
+        // the arena equivalent of the per-phase cloned member map, without
+        // the allocations. Bounds are built in ascending fragment order, so
+        // every stage below iterates fragments exactly as the old sorted
+        // map did.
+        let mut active_nodes = std::mem::take(&mut self.active_nodes);
+        let mut bounds = std::mem::take(&mut self.active_bounds);
+        active_nodes.clear();
+        bounds.clear();
+        for idx in 0..self.live.len() {
+            let f = self.live[idx];
+            if self.passive.contains(&f) || self.inactive.contains(&f) {
+                continue;
+            }
+            let start = active_nodes.len() as u32;
+            let mut u = self.frag_head[f as usize];
+            while u != NONE {
+                active_nodes.push(u);
+                u = self.member_next[u as usize];
+            }
+            bounds.push((f, start, active_nodes.len() as u32));
+        }
+        if bounds.is_empty() {
+            self.active_nodes = active_nodes;
+            self.active_bounds = bounds;
             return 0;
         }
         self.phases += 1;
@@ -676,11 +1101,14 @@ impl GhsEngine {
         // so they neither search nor report, and are retried next phase.
         net.note_phase(kinds.scope, phase_no, "initiate");
         let mut max_depth = 0u64;
-        let mut stalled: Vec<u32> = Vec::new();
-        for (f, members) in &active_owned {
-            max_depth = max_depth.max(self.depth(*f));
+        let mut stalled = std::mem::take(&mut self.stalled_scratch);
+        stalled.clear();
+        stalled.resize(bounds.len(), false);
+        for (ai, &(f, s, e)) in bounds.iter().enumerate() {
+            let members = &active_nodes[s as usize..e as usize];
+            max_depth = max_depth.max(self.depth_of(f, members));
             if !self.charge_broadcast(net, members, kinds.initiate) {
-                stalled.push(*f);
+                stalled[ai] = true;
             }
         }
         let extra = self.take_stage_extra();
@@ -688,23 +1116,49 @@ impl GhsEngine {
 
         // Stage B: local MOE search.
         net.note_phase(kinds.scope, phase_no, "test");
-        let mut local: BTreeMap<u32, Cand> = BTreeMap::new(); // best per fragment
+        let mut cand = std::mem::take(&mut self.cand_scratch); // best per fragment
+        cand.clear();
+        cand.resize(bounds.len(), None);
         let mut max_exchanges = 0u64;
-        for (f, members) in &active_owned {
-            if stalled.contains(f) {
-                continue;
-            }
-            for &u in members {
-                let (cand, ex) = match self.variant {
-                    GhsVariant::Modified => (self.local_moe_modified(u as usize), 0),
-                    GhsVariant::Original => self.local_moe_original(net, u as usize, kinds),
-                };
-                max_exchanges = max_exchanges.max(ex);
-                if let Some(c) = cand {
-                    match local.get(f) {
-                        Some(best) if !c.better_than(best) => {}
-                        _ => {
-                            local.insert(*f, c);
+        // Clean modified runs search over the shared sorted topology rows
+        // (an owned handle, so `net` stays free for the original variant's
+        // test exchanges below).
+        let clean_topo = (self.variant == GhsVariant::Modified && self.faults.is_none())
+            .then(|| net.topology_handle().expect("discover cached this radius"));
+        let shard_count = if self.variant == GhsVariant::Modified {
+            self.shards.min(self.n.max(1))
+        } else {
+            // The original variant's MOE search exchanges messages — it
+            // must stay on the orchestrating thread.
+            1
+        };
+        if shard_count > 1 {
+            self.moe_sharded(
+                clean_topo.as_deref(),
+                &active_nodes,
+                &bounds,
+                &stalled,
+                &mut cand,
+                shard_count,
+            );
+        } else {
+            for (ai, &(_f, s, e)) in bounds.iter().enumerate() {
+                if stalled[ai] {
+                    continue;
+                }
+                for &u in &active_nodes[s as usize..e as usize] {
+                    let (c, ex) = match (&clean_topo, self.variant) {
+                        (Some(topo), _) => (self.local_moe_clean(topo, u as usize), 0),
+                        (None, GhsVariant::Modified) => (self.local_moe_modified(u as usize), 0),
+                        (None, GhsVariant::Original) => {
+                            self.local_moe_original(net, u as usize, kinds)
+                        }
+                    };
+                    max_exchanges = max_exchanges.max(ex);
+                    if let Some(c) = c {
+                        match &cand[ai] {
+                            Some(best) if !c.better_than(best) => {}
+                            _ => cand[ai] = Some(c),
                         }
                     }
                 }
@@ -717,13 +1171,14 @@ impl GhsEngine {
         // never learns the candidate: the fragment stalls (and must not be
         // marked exhausted below).
         net.note_phase(kinds.scope, phase_no, "report");
-        for (f, members) in &active_owned {
-            if stalled.contains(f) {
+        for (ai, &(_f, s, e)) in bounds.iter().enumerate() {
+            if stalled[ai] {
                 continue;
             }
+            let members = &active_nodes[s as usize..e as usize];
             if !self.charge_convergecast(net, members, kinds.report) {
-                local.remove(f);
-                stalled.push(*f);
+                cand[ai] = None;
+                stalled[ai] = true;
             }
         }
         let extra = self.take_stage_extra();
@@ -731,12 +1186,16 @@ impl GhsEngine {
 
         // Fragments with no outgoing edge are exhausted at this radius —
         // but only if their control traffic actually went through.
-        for (f, _) in &active_owned {
-            if !local.contains_key(f) && !stalled.contains(f) {
-                self.inactive.insert(*f);
+        for (ai, &(f, _, _)) in bounds.iter().enumerate() {
+            if cand[ai].is_none() && !stalled[ai] {
+                self.inactive.insert(f);
             }
         }
-        if local.is_empty() {
+        if cand.iter().all(|c| c.is_none()) {
+            self.active_nodes = active_nodes;
+            self.active_bounds = bounds;
+            self.cand_scratch = cand;
+            self.stalled_scratch = stalled;
             return 0;
         }
 
@@ -745,33 +1204,30 @@ impl GhsEngine {
         // phase (the fragment picks a fresh MOE next phase).
         net.note_phase(kinds.scope, phase_no, "change-root");
         let mut max_path = 0u64;
-        let mut delivered: BTreeMap<u32, Cand> = BTreeMap::new();
-        for (f, cand) in &local {
-            // Path from the MOE endpoint up to the leader.
-            let mut path = vec![cand.u];
-            let mut cur = cand.u;
-            while cur != *f {
-                cur = self.parent[cur as usize];
-                path.push(cur);
-            }
-            max_path = max_path.max(path.len() as u64 - 1);
-            // Authority flows leader → endpoint; a failed hop stops it.
+        let mut delivered = std::mem::take(&mut self.delivered_scratch);
+        delivered.clear();
+        for (ai, &(f, _, _)) in bounds.iter().enumerate() {
+            let Some(c) = cand[ai] else { continue };
+            // Walk the MOE endpoint → leader path; messages are charged in
+            // that (upward) traversal order, one hop at a time. Authority
+            // flows leader → endpoint; a failed hop stops it.
+            let mut hops = 0u64;
+            let mut cur = c.u;
             let mut ok = true;
-            for pair in path.windows(2) {
+            while cur != f {
+                let p = self.parent[cur as usize];
+                hops += 1;
                 if ok {
-                    ok = self.reliable_unicast(
-                        net,
-                        pair[1] as usize,
-                        pair[0] as usize,
-                        kinds.chroot,
-                    );
+                    ok = self.reliable_unicast_parent(net, cur as usize, false, kinds.chroot);
                 }
+                cur = p;
+            }
+            max_path = max_path.max(hops);
+            if ok {
+                ok = self.reliable_unicast(net, c.u as usize, c.v as usize, kinds.connect);
             }
             if ok {
-                ok = self.reliable_unicast(net, cand.u as usize, cand.v as usize, kinds.connect);
-            }
-            if ok {
-                delivered.insert(*f, *cand);
+                delivered.push((f, c));
             }
         }
         let extra = self.take_stage_extra();
@@ -782,77 +1238,71 @@ impl GhsEngine {
         self.healed_last_phase = merges.healed;
 
         // Stage F: announcements (modified variant).
-        if self.variant == GhsVariant::Modified {
-            let changed: Vec<u32> = merges.changed;
-            if !changed.is_empty() {
-                net.note_phase(kinds.scope, phase_no, "announce");
-                if let Some(plan) = self.faults.clone() {
-                    // One-shot broadcasts (no ack channel on a broadcast);
-                    // a missed receiver keeps a stale cache entry, which
-                    // the union-find merge acceptance tolerates.
-                    let round = net.clock().now();
-                    let energy = net.loss().energy_for_distance(self.radius);
-                    let mut scratch: Vec<(usize, f64)> = Vec::new();
-                    for &u in &changed {
-                        let new_frag = self.frag[u as usize];
-                        if !plan.awake(u as usize, round) {
-                            net.note_fault(FaultKind::Timeout, kinds.announce, u as usize, None);
-                            continue;
-                        }
-                        net.charge_tx(kinds.announce, u as usize, None, self.radius, energy);
-                        net.neighbors_into(u as usize, self.radius, &mut scratch);
-                        let mut delivered = 0u64;
-                        for &(v, d) in &scratch {
-                            if plan.delivers(round, u as usize, v) {
-                                // `v` may never have heard `u`'s hello;
-                                // then there is no cache entry to refresh.
-                                if let Some(slot) = self.nbr_slot(v, d, u) {
-                                    self.nbrs[v][slot].frag = new_frag;
-                                }
-                                delivered += 1;
-                            } else {
-                                net.note_fault(
-                                    FaultKind::Drop,
-                                    kinds.announce,
-                                    u as usize,
-                                    Some(v),
-                                );
+        let changed = std::mem::take(&mut self.changed_scratch);
+        if self.variant == GhsVariant::Modified && !changed.is_empty() {
+            net.note_phase(kinds.scope, phase_no, "announce");
+            if let Some(plan) = self.faults.clone() {
+                // One-shot broadcasts (no ack channel on a broadcast);
+                // a missed receiver keeps a stale cache entry, which
+                // the union-find merge acceptance tolerates.
+                let round = net.clock().now();
+                let energy = net.loss().energy_for_distance(self.radius);
+                let mut scratch: Vec<(usize, f64)> = Vec::new();
+                for &u in &changed {
+                    let new_frag = self.frag[u as usize];
+                    if !plan.awake(u as usize, round) {
+                        net.note_fault(FaultKind::Timeout, kinds.announce, u as usize, None);
+                        continue;
+                    }
+                    net.charge_tx(kinds.announce, u as usize, None, self.radius, energy);
+                    net.neighbors_into(u as usize, self.radius, &mut scratch);
+                    let mut delivered = 0u64;
+                    for &(v, d) in &scratch {
+                        if plan.delivers(round, u as usize, v) {
+                            // `v` may never have heard `u`'s hello;
+                            // then there is no cache entry to refresh.
+                            if let Some(slot) = self.nbr_slot(v, d, u) {
+                                self.nbr_data[self.nbr_off[v] as usize + slot].frag = new_frag;
                             }
-                        }
-                        net.charge_receptions(delivered);
-                    }
-                } else {
-                    for &u in &changed {
-                        let new_frag = self.frag[u as usize];
-                        // Charges and trace event are identical to a receiver-
-                        // returning broadcast; the receiver set is the cached
-                        // topology row, updated through the back-slot table.
-                        net.local_broadcast_silent(u as usize, self.radius, kinds.announce);
-                        let topo = net
-                            .topology_at(self.radius)
-                            .expect("discover cached this radius");
-                        let ids = topo.ids(u as usize);
-                        let slots = &self.back_slot[u as usize];
-                        debug_assert_eq!(ids.len(), slots.len());
-                        for (&v, &slot) in ids.iter().zip(slots) {
-                            self.nbrs[v as usize][slot as usize].frag = new_frag;
+                            delivered += 1;
+                        } else {
+                            net.note_fault(FaultKind::Drop, kinds.announce, u as usize, Some(v));
                         }
                     }
+                    net.charge_receptions(delivered);
                 }
-                net.advance_rounds(1);
+            } else {
+                // Clean runs charge the announce broadcasts but skip
+                // the per-receiver cache writes entirely: every node
+                // holding a row entry for `u` is within announce range
+                // (rows and broadcasts use the same radius), so the
+                // caches stay exact and stage B reads the live
+                // fragment ids instead. Ledger and trace are identical
+                // — cache maintenance was pure memory traffic.
+                for &u in &changed {
+                    net.local_broadcast_silent(u as usize, self.radius, kinds.announce);
+                }
             }
+            net.advance_rounds(1);
         }
+        // Hand every scratch buffer back for the next phase.
+        self.changed_scratch = changed;
+        self.active_nodes = active_nodes;
+        self.active_bounds = bounds;
+        self.cand_scratch = cand;
+        self.stalled_scratch = stalled;
+        self.delivered_scratch = delivered;
         merges.merged_groups
     }
 
-    /// Coalesces fragments along the chosen connect edges. Returns the
-    /// nodes whose fragment id changed and the number of merged groups.
-    fn merge(&mut self, net: &mut RadioNet<'_>, chosen: &BTreeMap<u32, Cand>) -> MergeResult {
-        // Union-find over fragment ids; `ids` is sorted (BTreeMap keys), so
-        // dense indices come from binary search instead of a hash map.
-        let ids: Vec<u32> = self.members.keys().copied().collect();
-        let index = |f: u32| ids.binary_search(&f).expect("unknown fragment id");
-        let mut uf = emst_graph::UnionFind::new(ids.len());
+    /// Coalesces fragments along the chosen connect edges (`chosen` is
+    /// sorted ascending by fragment id). Leaves the nodes whose fragment id
+    /// changed in `self.changed_scratch` (in merge-group order) and returns
+    /// the number of merged groups.
+    fn merge(&mut self, net: &mut RadioNet<'_>, chosen: &[(u32, Cand)]) -> MergeResult {
+        self.changed_scratch.clear();
+        let mut pairs = std::mem::take(&mut self.group_pairs);
+        pairs.clear();
         // An edge is accepted iff it joins two fragments not already
         // grouped this stage. In fault-free runs this is exactly the old
         // mutual-choice dedup (unique weights admit only 2-cycles among
@@ -860,6 +1310,11 @@ impl GhsEngine {
         // cache picks that turned out fragment-internal and ≥3-cycles
         // among non-minimum candidates — either would corrupt the forest.
         let mut new_edges: Vec<Edge> = Vec::new();
+        // Accepted edges annotated with their (pre-merge) fragment
+        // endpoints and, after all unions, their group root — the
+        // fragment-level spanning tree each merge group re-roots along.
+        let mut group_edges = std::mem::take(&mut self.group_edges_scratch);
+        group_edges.clear();
         // Candidates that were fragment-internal before this stage: a stale
         // announce cache proposed an edge to a node already merged in. The
         // delivered connect doubles as the real protocol's "same fragment"
@@ -868,33 +1323,71 @@ impl GhsEngine {
         // phase and livelocks until the barren-phase cutoff. Empty in
         // fault-free runs (accurate caches only pick outgoing edges).
         let mut stale: Vec<Cand> = Vec::new();
-        for (f, cand) in chosen {
-            let g = self.frag[cand.v as usize];
-            if g == *f {
-                stale.push(*cand);
-            } else if uf.union(index(*f), index(g)) {
-                let (a, b) = if cand.u < cand.v {
-                    (cand.u, cand.v)
-                } else {
-                    (cand.v, cand.u)
-                };
-                new_edges.push(Edge::new(a as usize, b as usize, cand.w));
+        let mut live_index = std::mem::take(&mut self.live_index_scratch);
+        {
+            // Union-find over live fragment ids; dense indices come from a
+            // reusable id -> position array (entries for dead ids are stale
+            // but never read — every lookup goes through a live id).
+            let ids = &self.live;
+            live_index.resize(self.n, 0);
+            for (i, &f) in ids.iter().enumerate() {
+                live_index[f as usize] = i as u32;
+            }
+            let index = |f: u32| live_index[f as usize] as usize;
+            let mut uf = emst_graph::UnionFind::new(ids.len());
+            for &(f, cand) in chosen {
+                let g = self.frag[cand.v as usize];
+                if g == f {
+                    stale.push(cand);
+                } else if uf.union(index(f), index(g)) {
+                    let (a, b) = if cand.u < cand.v {
+                        (cand.u, cand.v)
+                    } else {
+                        (cand.v, cand.u)
+                    };
+                    new_edges.push(Edge::new(a as usize, b as usize, cand.w));
+                    group_edges.push(GroupEdge {
+                        root: 0, // filled below once the unions settle
+                        frag_u: f,
+                        frag_v: g,
+                        u: cand.u,
+                        v: cand.v,
+                    });
+                }
+            }
+            for ge in group_edges.iter_mut() {
+                ge.root = uf.find(index(ge.frag_u)) as u32;
+            }
+            // Group fragments: `(root, f)` pairs sorted by root then id give
+            // each union-find class as a contiguous run with members in
+            // ascending order — the same grouping (and group-internal order)
+            // a sorted map of root → sorted members would produce.
+            for &f in ids {
+                pairs.push((uf.find(index(f)) as u32, f));
             }
         }
-        // Group fragments.
-        let mut groups: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
-        for &f in &ids {
-            groups.entry(uf.find(index(f))).or_default().push(f);
-        }
+        self.live_index_scratch = live_index;
+        pairs.sort_unstable();
+        group_edges.sort_by_key(|ge| ge.root);
+        let mut ge_cursor = 0usize;
         // Record new tree edges.
         for e in &new_edges {
             self.tree_adj[e.u as usize].push((e.v, e.w));
             self.tree_adj[e.v as usize].push((e.u, e.w));
             self.tree_edges.push(*e);
         }
-        let mut changed: Vec<u32> = Vec::new();
+        let mut gather = std::mem::take(&mut self.member_gather);
+        let mut new_ids = std::mem::take(&mut self.new_ids_scratch);
+        new_ids.clear();
         let mut merged_groups = 0usize;
-        for group in groups.values() {
+        let mut i = 0usize;
+        while i < pairs.len() {
+            let mut j = i + 1;
+            while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+                j += 1;
+            }
+            let group = &pairs[i..j];
+            i = j;
             if group.len() < 2 {
                 continue;
             }
@@ -902,22 +1395,28 @@ impl GhsEngine {
             // New fragment id: a passive member's id if present (the giant
             // keeps its id), else the higher endpoint of the group's core
             // edge (its minimum chosen edge, which both sides selected).
-            let passives: Vec<u32> = group
-                .iter()
-                .copied()
-                .filter(|f| self.passive.contains(f))
-                .collect();
-            assert!(
-                passives.len() <= 1,
-                "two passive fragments cannot be joined (no fragment chose \
-                 an edge out of a passive one): {passives:?}"
-            );
-            let new_id = if let Some(&p) = passives.first() {
+            let mut passive_id: Option<u32> = None;
+            for &(_, f) in group {
+                if self.passive.contains(&f) {
+                    assert!(
+                        passive_id.is_none(),
+                        "two passive fragments cannot be joined (no fragment \
+                         chose an edge out of a passive one)"
+                    );
+                    passive_id = Some(f);
+                }
+            }
+            let new_id = if let Some(p) = passive_id {
                 p
             } else {
                 let core = group
                     .iter()
-                    .filter_map(|f| chosen.get(f))
+                    .filter_map(|&(_, f)| {
+                        chosen
+                            .binary_search_by_key(&f, |&(g, _)| g)
+                            .ok()
+                            .map(|k| &chosen[k].1)
+                    })
                     .min_by(|a, b| {
                         a.key().0.total_cmp(&b.key().0).then_with(|| {
                             let ka = (a.key().1, a.key().2);
@@ -928,33 +1427,71 @@ impl GhsEngine {
                     .expect("non-trivial group has at least one chosen edge");
                 core.u.max(core.v)
             };
+            // The new leader's pre-merge fragment — the BFS root of the
+            // fragment-level re-attachment walk below.
+            let f_star = self.frag[new_id as usize];
+            // This group's slice of the accepted-edge list (both are
+            // sorted by union-find root; singleton groups own no edges,
+            // so skipping them cannot desynchronise the cursor).
+            let ge_start = ge_cursor;
+            while ge_cursor < group_edges.len() && group_edges[ge_cursor].root == group[0].0 {
+                ge_cursor += 1;
+            }
+            debug_assert_eq!(ge_cursor - ge_start, group.len() - 1);
             // Relabel members and re-root the merged tree at the new leader.
             // Concatenation stays in group order (each list ascending) so
             // `changed` — and thus announce order — is unchanged by the
             // incremental member bookkeeping.
-            let mut members: Vec<u32> = Vec::new();
-            for f in group {
-                members.extend_from_slice(&self.members[f]);
-                self.inactive.remove(f);
-                if self.passive.contains(f) && *f != new_id {
+            gather.clear();
+            for &(_, f) in group {
+                let mut u = self.frag_head[f as usize];
+                while u != NONE {
+                    gather.push(u);
+                    u = self.member_next[u as usize];
+                }
+                self.inactive.remove(&f);
+                if self.passive.contains(&f) && f != new_id {
                     // The passive flag follows the surviving id.
-                    self.passive.remove(f);
+                    self.passive.remove(&f);
                     self.passive.insert(new_id);
                 }
             }
-            for &u in &members {
+            for &u in &gather {
                 if self.frag[u as usize] != new_id {
                     self.frag[u as usize] = new_id;
-                    changed.push(u);
+                    self.changed_scratch.push(u);
                 }
             }
-            net.note_merge(new_id as usize, group.len() - 1, members.len());
-            for f in group {
-                self.members.remove(f);
+            net.note_merge(new_id as usize, group.len() - 1, gather.len());
+            for &(_, f) in group {
+                self.is_live[f as usize] = false;
             }
-            members.sort_unstable();
-            self.members.insert(new_id, members);
-            self.reroot(new_id);
+            gather.sort_unstable();
+            for w in gather.windows(2) {
+                self.member_next[w[0] as usize] = w[1];
+            }
+            let head = gather[0];
+            let tail = *gather.last().unwrap();
+            self.member_next[tail as usize] = NONE;
+            self.frag_head[new_id as usize] = head;
+            self.frag_tail[new_id as usize] = tail;
+            self.frag_size[new_id as usize] = gather.len() as u32;
+            self.is_live[new_id as usize] = true;
+            new_ids.push(new_id);
+            self.reflip_group(new_id, f_star, group, &group_edges[ge_start..ge_cursor]);
+        }
+        if merged_groups > 0 {
+            // Rebuild the sorted live-id list: drop absorbed ids, insert the
+            // survivors (a surviving id may coincide with a group member, in
+            // which case `retain` already dropped it — reinsert).
+            let is_live = std::mem::take(&mut self.is_live);
+            self.live.retain(|&f| is_live[f as usize]);
+            self.is_live = is_live;
+            for &f in &new_ids {
+                if let Err(pos) = self.live.binary_search(&f) {
+                    self.live.insert(pos, f);
+                }
+            }
         }
         // Heal the stale cache entries detected above with the peer's
         // post-merge fragment id, so the proposer skips (or correctly
@@ -962,12 +1499,16 @@ impl GhsEngine {
         let mut healed = 0usize;
         for cand in &stale {
             if let Some(slot) = self.nbr_slot(cand.u as usize, cand.w, cand.v) {
-                self.nbrs[cand.u as usize][slot].frag = self.frag[cand.v as usize];
+                self.nbr_data[self.nbr_off[cand.u as usize] as usize + slot].frag =
+                    self.frag[cand.v as usize];
                 healed += 1;
             }
         }
+        self.group_pairs = pairs;
+        self.group_edges_scratch = group_edges;
+        self.member_gather = gather;
+        self.new_ids_scratch = new_ids;
         MergeResult {
-            changed,
             merged_groups,
             healed,
         }
@@ -980,7 +1521,7 @@ impl GhsEngine {
         let epoch = self.visit_epoch;
         self.visit_mark[leader as usize] = epoch;
         self.parent[leader as usize] = leader;
-        self.children[leader as usize].clear();
+        self.parent_energy[leader as usize] = f64::INFINITY;
         let mut queue = std::mem::take(&mut self.bfs_queue);
         queue.clear();
         queue.push_back(leader);
@@ -990,13 +1531,112 @@ impl GhsEngine {
                 if self.visit_mark[v as usize] != epoch {
                     self.visit_mark[v as usize] = epoch;
                     self.parent[v as usize] = u;
-                    self.children[v as usize].clear();
-                    self.children[u as usize].push(v);
+                    self.parent_energy[v as usize] = f64::INFINITY;
                     queue.push_back(v);
                 }
             }
         }
         self.bfs_queue = queue;
+    }
+
+    /// Reverses the parent chain from `r` to its old root, making `r` the
+    /// root of its (old) fragment tree — `O(path length)` instead of a
+    /// whole-fragment BFS. The resulting orientation is the unique
+    /// "towards `r`" one, so it is bit-identical to a full re-rooting.
+    fn flip_to_root(&mut self, r: u32) {
+        let mut prev = r;
+        let mut cur = self.parent[r as usize];
+        self.parent[r as usize] = r;
+        self.parent_energy[r as usize] = f64::INFINITY;
+        while cur != prev {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = prev;
+            self.parent_energy[cur as usize] = f64::INFINITY;
+            prev = cur;
+            cur = next;
+        }
+    }
+
+    /// Re-roots a merge group's combined tree at `new_id` by walking the
+    /// fragment-level spanning tree (`edges`) breadth-first from
+    /// `f_star` (= `new_id`'s old fragment) and reversing one
+    /// root-to-attachment parent path per old fragment. Total cost is
+    /// `O(k + Σ path lengths)` for a `k`-fragment group, against the
+    /// whole-fragment BFS it replaces; the final parent orientation
+    /// ("towards `new_id`") is unique on a tree, so the result is
+    /// bit-identical.
+    fn reflip_group(
+        &mut self,
+        new_id: u32,
+        f_star: u32,
+        group: &[(u32, u32)],
+        edges: &[GroupEdge],
+    ) {
+        let k = group.len();
+        let local = |f: u32| {
+            group
+                .binary_search_by_key(&f, |&(_, g)| g)
+                .expect("edge endpoint outside its merge group")
+        };
+        // CSR adjacency over the group's dense fragment indices.
+        let mut off = std::mem::take(&mut self.reflip_off);
+        let mut cur = std::mem::take(&mut self.reflip_cur);
+        let mut adj = std::mem::take(&mut self.reflip_adj);
+        off.clear();
+        off.resize(k + 1, 0);
+        for e in edges {
+            off[local(e.frag_u) + 1] += 1;
+            off[local(e.frag_v) + 1] += 1;
+        }
+        for i in 0..k {
+            let prev = off[i];
+            off[i + 1] += prev;
+        }
+        cur.clear();
+        cur.extend_from_slice(&off[..k]);
+        adj.clear();
+        adj.resize(2 * edges.len(), 0);
+        for (ei, e) in edges.iter().enumerate() {
+            for f in [e.frag_u, e.frag_v] {
+                let l = local(f);
+                adj[cur[l] as usize] = ei as u32;
+                cur[l] += 1;
+            }
+        }
+        let mut visited = std::mem::take(&mut self.reflip_visited);
+        visited.clear();
+        visited.resize(k, false);
+        let mut queue = std::mem::take(&mut self.reflip_queue);
+        queue.clear();
+        let start = local(f_star);
+        visited[start] = true;
+        queue.push_back(start as u32);
+        self.flip_to_root(new_id);
+        while let Some(fi) = queue.pop_front() {
+            let fi = fi as usize;
+            for ai in off[fi] as usize..off[fi + 1] as usize {
+                let e = edges[adj[ai] as usize];
+                // Orient the edge away from the visited side.
+                let (child_f, attach, connector) = if local(e.frag_u) == fi {
+                    (e.frag_v, e.v, e.u)
+                } else {
+                    (e.frag_u, e.u, e.v)
+                };
+                let ci = local(child_f);
+                if !visited[ci] {
+                    visited[ci] = true;
+                    self.flip_to_root(attach);
+                    self.parent[attach as usize] = connector;
+                    self.parent_energy[attach as usize] = f64::INFINITY;
+                    queue.push_back(ci as u32);
+                }
+            }
+        }
+        self.reflip_off = off;
+        self.reflip_cur = cur;
+        self.reflip_adj = adj;
+        self.reflip_visited = visited;
+        self.reflip_queue = queue;
     }
 
     /// Runs phases until no active fragment can merge. Returns the number
@@ -1067,22 +1707,29 @@ impl GhsEngine {
         net.note_phase(kinds.scope, self.phases as u64, "size");
         let mut rows = Vec::new();
         let mut max_depth = 0u64;
-        let owned: Vec<(u32, Vec<u32>)> =
-            self.members.iter().map(|(&f, m)| (f, m.clone())).collect();
-        for (f, members) in &owned {
-            max_depth = max_depth.max(self.depth(*f));
-            let mut ok = self.charge_broadcast(net, members, kinds.size); // size request
-            ok &= self.charge_convergecast(net, members, kinds.size); // partial sums
-            ok &= self.charge_broadcast(net, members, kinds.size); // verdict
+        let mut gather = std::mem::take(&mut self.member_gather);
+        for idx in 0..self.live.len() {
+            let f = self.live[idx];
+            gather.clear();
+            let mut u = self.frag_head[f as usize];
+            while u != NONE {
+                gather.push(u);
+                u = self.member_next[u as usize];
+            }
+            max_depth = max_depth.max(self.depth_of(f, &gather));
+            let mut ok = self.charge_broadcast(net, &gather, kinds.size); // size request
+            ok &= self.charge_convergecast(net, &gather, kinds.size); // partial sums
+            ok &= self.charge_broadcast(net, &gather, kinds.size); // verdict
                                                                    // A fragment whose size traffic was lost cannot prove its size
                                                                    // and must not go passive (passivation on a wrong count would
                                                                    // freeze a fragment that still needs to merge).
-            let passive = ok && members.len() as f64 > threshold;
+            let passive = ok && gather.len() as f64 > threshold;
             if passive {
-                self.passive.insert(*f);
+                self.passive.insert(f);
             }
-            rows.push((*f as usize, members.len(), passive));
+            rows.push((f as usize, gather.len(), passive));
         }
+        self.member_gather = gather;
         let extra = self.take_stage_extra();
         net.advance_rounds(3 * max_depth + extra);
         rows.sort_unstable_by_key(|r| std::cmp::Reverse(r.1));
@@ -1090,9 +1737,52 @@ impl GhsEngine {
     }
 }
 
+/// Per-node clean-run MOE scan state: a resume cursor into the node's
+/// shared sorted row plus the id and weight of the entry under the
+/// cursor — the node's current outgoing candidate. While that entry
+/// stays foreign, a stage-B visit reads this 16-byte slot and probes
+/// `frag[]` once; the sorted row itself is only touched again when the
+/// candidate gets absorbed into the node's own fragment and the cursor
+/// has to advance (amortised O(row) over the whole run).
+#[derive(Clone, Copy)]
+struct MoeSlot {
+    cursor: u32,
+    /// Row id under the cursor; `MOE_UNSCANNED` before the first scan,
+    /// `MOE_EXHAUSTED` once the row holds no foreign entry (permanent,
+    /// since fragments only merge).
+    v: u32,
+    w: f64,
+}
+
+const MOE_UNSCANNED: u32 = u32::MAX;
+const MOE_EXHAUSTED: u32 = u32::MAX - 1;
+
+impl MoeSlot {
+    const UNSCANNED: MoeSlot = MoeSlot {
+        cursor: 0,
+        v: MOE_UNSCANNED,
+        w: 0.0,
+    };
+}
+
+/// An accepted merge edge annotated with its (pre-merge) fragment
+/// endpoints and, once the union-find settles, its merge-group root —
+/// together the edges of one group form the fragment-level spanning tree
+/// the group's trees are re-attached along.
+#[derive(Clone, Copy)]
+struct GroupEdge {
+    /// Union-find root (dense index) identifying the merge group.
+    root: u32,
+    /// Fragment that proposed the edge (contains `u`).
+    frag_u: u32,
+    /// Fragment on the receiving end (contains `v`).
+    frag_v: u32,
+    u: u32,
+    v: u32,
+}
+
 /// Internal result of a merge stage.
 struct MergeResult {
-    changed: Vec<u32>,
     merged_groups: usize,
     /// Stale cache entries corrected (fault-injected runs only).
     healed: usize,
@@ -1110,6 +1800,7 @@ pub(crate) struct GhsRun {
 pub(crate) fn drive(env: &mut crate::ExecEnv<'_>, radius: f64, variant: GhsVariant) -> GhsRun {
     let kinds = GhsKinds::for_scope("ghs");
     let mut eng = GhsEngine::new(env.net(), variant);
+    eng.set_shards(env.shards());
     env.stage(kinds.scope, "discover", |net| {
         eng.discover(net, radius, kinds)
     });
@@ -1177,29 +1868,36 @@ mod tests {
     }
 
     #[test]
-    fn back_slot_table_matches_sorted_rows() {
-        // Invariant behind the announce fast path: for the k-th entry `v`
-        // of `u`'s cached topology row, `nbrs[v][back_slot[u][k]]` is the
-        // entry for `u` — and it agrees with the binary-search lookup the
-        // cursor construction replaced.
+    fn clean_moe_cursor_matches_full_scan() {
+        // Invariants behind the clean-run MOE fast path: the topology's
+        // sorted rows are the grid rows reordered by `(dist, id)`, and the
+        // cursor-resumed scan returns exactly what a from-scratch scan of
+        // the row against live fragment ids would.
         let pts = uniform_points(250, &mut trial_rng(105, 1));
         let r = paper_phase2_radius(250);
         let mut net = RadioNet::new(&pts, r);
         let mut eng = GhsEngine::new(&net, GhsVariant::Modified);
-        eng.discover(&mut net, r, GhsKinds::for_scope("ghs"));
-        let topo = net.topology_at(r).expect("cached by discover");
+        let kinds = GhsKinds::for_scope("ghs");
+        eng.discover(&mut net, r, kinds);
+        let topo = net.topology_handle().expect("cached by discover");
         for u in 0..pts.len() {
-            let slots = &eng.back_slot[u];
-            assert_eq!(slots.len(), topo.degree(u));
-            for (k, (v, d)) in topo.neighbors(u).enumerate() {
-                let entry = &eng.nbrs[v][slots[k] as usize];
-                assert_eq!(entry.id as usize, u, "row {v} slot {k}");
-                assert_eq!(
-                    Some(slots[k] as usize),
-                    eng.nbr_slot(v, d, u as u32),
-                    "cursor and binary-search disagree at ({u}, {v})"
-                );
-            }
+            let mut row: Vec<(f64, u32)> = topo.neighbors(u).map(|(v, d)| (d, v as u32)).collect();
+            row.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let ids: Vec<u32> = row.iter().map(|&(_, v)| v).collect();
+            assert_eq!(topo.sorted_ids(u), ids.as_slice(), "row {u}");
+        }
+        // Merge a few fragments, then check the cursor scan against a
+        // cursor-free reference on every node.
+        eng.run_phases(&mut net, kinds);
+        for u in 0..pts.len() {
+            let reference = topo
+                .sorted_ids(u)
+                .iter()
+                .zip(topo.sorted_dists(u))
+                .find(|(&v, _)| eng.frag[v as usize] != eng.frag[u])
+                .map(|(&v, &d)| (v, d));
+            let got = eng.local_moe_clean(&topo, u).map(|c| (c.v, c.w));
+            assert_eq!(got, reference, "node {u}");
         }
     }
 

@@ -1,0 +1,125 @@
+//! Reusable simulation instances: one point set, many runs.
+//!
+//! A benchmark sweep runs dozens of trials against the *same* `(seed, n,
+//! radius)` instance, and every [`Sim::new`](crate::Sim::new) run used to
+//! rebuild the same bucket grid, CSR topology and `(dist, id)`-sorted
+//! rows from scratch — at `n = 10⁵` those rebuilds cost more than the
+//! protocol itself and were the dominant superlinear term in the scale
+//! curve. An [`Instance`] owns the points and memoises the topology
+//! builds behind shared handles, so
+//! [`Sim::from_instance`](crate::Sim::from_instance) runs start with the
+//! adjacency (and its lazily-built sorted view) already warm.
+//!
+//! **Determinism.** An installed topology is byte-for-byte the build the
+//! run would have produced itself: same grid cell size (the run's
+//! operating radius), same visit order, same row bits. Ledgers, traces
+//! and stage marks are therefore bit-identical between
+//! `Sim::new(points)` and `Sim::from_instance(&inst)` runs — the
+//! instance only moves the build out of the timed run and shares it.
+
+use emst_geom::{mix_seed, trial_rng, uniform_points, BucketGrid, Point};
+use emst_radio::Topology;
+use std::sync::{Arc, Mutex};
+
+/// A point set plus memoised topology builds, shared across runs.
+///
+/// Cheap to share by reference; the topology cache is internally
+/// synchronised, so parallel sweep workers can run trials off one
+/// instance.
+pub struct Instance {
+    points: Vec<Point>,
+    /// Memoised builds keyed by `(grid radius, row radius)` — exact f64
+    /// bits, since every caller derives radii through the same
+    /// expressions. A run needs at most two entries (EOPT's two radii).
+    topos: Mutex<Vec<(u64, u64, Arc<Topology>)>>,
+}
+
+impl Instance {
+    /// Wraps an existing point set.
+    pub fn new(points: Vec<Point>) -> Self {
+        Instance {
+            points,
+            topos: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The seeded `(seed, n, trial)` instance — the same point stream as
+    /// the bench runner's generator (SplitMix64-mixed so distinct
+    /// `(seed, n)` pairs never alias).
+    pub fn generate(seed: u64, n: usize, trial: u64) -> Self {
+        Self::new(uniform_points(
+            n,
+            &mut trial_rng(mix_seed(seed, n as u64), trial),
+        ))
+    }
+
+    /// The instance's points.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Shared topology at `radius`, built on first request (grid cell
+    /// size = `radius`, matching a run whose operating radius is
+    /// `radius`).
+    pub fn topology(&self, radius: f64) -> Arc<Topology> {
+        self.topology_with_grid(radius, radius)
+    }
+
+    /// Shared topology with rows at `radius` over a bucket grid sized for
+    /// `grid_radius` — the exact build a run operating at `grid_radius`
+    /// performs when it caches the adjacency at `radius`. Rows are in
+    /// grid visit order, so the grid cell size is part of the cache key:
+    /// EOPT's step-1 rows (radius `r1` on an `r2`-sized grid) differ in
+    /// *order* from a standalone `r1` build, and order is
+    /// determinism-bearing.
+    pub fn topology_with_grid(&self, grid_radius: f64, radius: f64) -> Arc<Topology> {
+        let key = (grid_radius.to_bits(), radius.to_bits());
+        let mut cache = self.topos.lock().expect("instance cache poisoned");
+        if let Some((_, _, t)) = cache.iter().find(|(g, r, _)| (*g, *r) == key) {
+            return t.clone();
+        }
+        let grid = BucketGrid::for_radius(&self.points, grid_radius);
+        let t = Arc::new(Topology::build(&grid, radius));
+        cache.push((key.0, key.1, t.clone()));
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_matches_the_runner_stream() {
+        let inst = Instance::generate(0xBEEF, 64, 3);
+        let direct = uniform_points(64, &mut trial_rng(mix_seed(0xBEEF, 64), 3));
+        assert_eq!(inst.points(), &direct[..]);
+        assert_eq!(inst.n(), 64);
+    }
+
+    #[test]
+    fn topology_is_memoised_per_key() {
+        let inst = Instance::generate(0xBEEF, 50, 0);
+        let a = inst.topology(0.3);
+        let b = inst.topology(0.3);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one build");
+        let c = inst.topology_with_grid(0.3, 0.2);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.radius(), 0.2);
+    }
+
+    #[test]
+    fn build_matches_a_run_local_build() {
+        let inst = Instance::generate(7, 80, 0);
+        let grid = BucketGrid::for_radius(inst.points(), 0.4);
+        let direct = Topology::build(&grid, 0.25);
+        assert_eq!(*inst.topology_with_grid(0.4, 0.25), direct);
+    }
+}

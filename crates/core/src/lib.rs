@@ -30,6 +30,7 @@ pub mod election;
 pub mod eopt;
 pub mod exec;
 pub mod ghs;
+pub mod instance;
 pub mod nnt;
 pub mod repair;
 pub mod sim;
@@ -39,6 +40,7 @@ pub use discovery::{discover, discover_reactive, HelloProtocol, Neighbor, Neighb
 pub use eopt::EoptConfig;
 pub use exec::ExecEnv;
 pub use ghs::{GhsEngine, GhsKinds, GhsVariant};
+pub use instance::Instance;
 pub use nnt::{NntMsg, NntNode, RankScheme};
 pub use repair::{RepairPolicy, RepairStats};
 pub use sim::{

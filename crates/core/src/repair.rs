@@ -224,6 +224,7 @@ pub(crate) fn run_repair(
         let patience = policy.patience(attempts);
 
         let mut eng = GhsEngine::new(env.net(), GhsVariant::Modified);
+        eng.set_shards(env.shards());
         eng.seed_forest(
             &tree
                 .edges()

@@ -376,11 +376,15 @@ impl RunOutcome {
 /// radii ([`Protocol::Eopt`], [`Protocol::Nnt`]).
 pub struct Sim<'a> {
     points: &'a [Point],
+    /// Shared-build source for repeated runs (see [`Sim::from_instance`]).
+    instance: Option<&'a crate::Instance>,
     radius: Option<f64>,
     energy: EnergyConfig,
     contention: Option<ContentionConfig>,
     faults: Option<FaultPlan>,
     repair: Option<RepairPolicy>,
+    /// Worker-thread count for shardable stages (see [`Sim::shards`]).
+    shards: usize,
     sink: Option<&'a mut dyn TraceSink>,
 }
 
@@ -389,13 +393,37 @@ impl<'a> Sim<'a> {
     pub fn new(points: &'a [Point]) -> Self {
         Sim {
             points,
+            instance: None,
             radius: None,
             energy: EnergyConfig::paper(),
             contention: None,
             faults: None,
             repair: None,
+            shards: 1,
             sink: None,
         }
+    }
+
+    /// Starts a run description over a reusable [`crate::Instance`]: the
+    /// instance's memoised topology builds (bucket grid, CSR adjacency,
+    /// sorted rows) are installed on the run's network, so repeated runs
+    /// over one instance skip the per-run rebuild entirely. Results are
+    /// bit-identical to [`Sim::new`] over the same points — the instance
+    /// performs the exact build the run would have, just once.
+    pub fn from_instance(instance: &'a crate::Instance) -> Self {
+        let mut sim = Sim::new(instance.points());
+        sim.instance = Some(instance);
+        sim
+    }
+
+    /// Sets the worker-thread count for stages that partition per-round
+    /// node work across threads (the GHS MOE search). Purely a wall-clock
+    /// knob: shard results are reduced in canonical order, so ledgers,
+    /// traces and stage marks are bit-identical for any value (pinned by
+    /// `tests/shard_identity.rs`). Clamped to at least 1.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     /// Sets the operating radius (required for GHS and BFS).
@@ -501,11 +529,13 @@ impl<'a> Sim<'a> {
     pub fn try_run(self, protocol: Protocol) -> RunOutcome {
         let Sim {
             points,
+            instance,
             radius,
             energy,
             contention,
             faults,
             repair,
+            shards,
             sink,
         } = self;
         assert!(
@@ -578,6 +608,17 @@ impl<'a> Sim<'a> {
             contention,
             sink,
         );
+        env.set_shards(shards);
+        if let Some(inst) = instance {
+            // Prewarm every radius the run will cache. The network's grid
+            // is sized for `max_radius`, and topology rows are in grid
+            // visit order, so builds at a smaller radius (EOPT step 1)
+            // must come off the same-sized grid to stay bit-identical.
+            if let Protocol::Eopt(cfg) = &protocol {
+                env.install_topology(inst.topology_with_grid(max_radius, cfg.radius1(n.max(2))));
+            }
+            env.install_topology(inst.topology(max_radius));
+        }
         let result: Result<(SpanningTree, Detail), RunError> = match protocol {
             Protocol::Ghs(variant) => {
                 let out = crate::ghs::drive(&mut env, max_radius, variant);

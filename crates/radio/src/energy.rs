@@ -6,7 +6,6 @@
 //! by message kind so experiments can attribute energy to protocol stages
 //! (initiate vs test vs report vs announce, …).
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Message count and accumulated energy for one message kind.
@@ -33,12 +32,19 @@ impl Tally {
 /// Accumulates messages and energy, per message kind and in total.
 ///
 /// Kinds are `&'static str` labels chosen by the protocols
-/// (`"ghs/initiate"`, `"nnt/request"`, …). A `BTreeMap` keeps report
-/// ordering deterministic.
+/// (`"ghs/initiate"`, `"nnt/request"`, …). The per-kind table is a small
+/// `Vec` kept sorted by label, so reports stay deterministic while the
+/// per-message hot path is a memoized index check instead of a tree walk
+/// — a run only ever touches a dozen kinds but charges millions of
+/// messages, and protocols charge long runs of the same kind.
 #[derive(Debug, Clone, Default)]
 pub struct EnergyLedger {
     total: Tally,
-    by_kind: BTreeMap<&'static str, Tally>,
+    /// `(kind, tally)` pairs sorted by kind label.
+    by_kind: Vec<(&'static str, Tally)>,
+    /// Index of the most recently charged kind (perf memo only; validated
+    /// by label comparison before use).
+    last: usize,
     /// Reception cost (extended model; zero under the paper's §II model).
     rx: Tally,
     /// Idle/listen cost (extended model; zero under the paper's §II model).
@@ -58,7 +64,26 @@ impl EnergyLedger {
             "bad energy charge {energy} for kind {kind}"
         );
         self.total.add(energy);
-        self.by_kind.entry(kind).or_default().add(energy);
+        if let Some(entry) = self.by_kind.get_mut(self.last) {
+            if entry.0 == kind {
+                entry.1.add(energy);
+                return;
+            }
+        }
+        let idx = self.kind_index(kind);
+        self.by_kind[idx].1.add(energy);
+        self.last = idx;
+    }
+
+    /// Index of `kind` in the sorted table, inserting a zero tally if absent.
+    fn kind_index(&mut self, kind: &'static str) -> usize {
+        match self.by_kind.binary_search_by(|e| e.0.cmp(kind)) {
+            Ok(i) => i,
+            Err(i) => {
+                self.by_kind.insert(i, (kind, Tally::default()));
+                i
+            }
+        }
     }
 
     /// Total *radiated* (transmit) energy over all messages so far — the
@@ -115,7 +140,10 @@ impl EnergyLedger {
 
     /// Tally for one message kind (zero tally if never charged).
     pub fn kind(&self, kind: &str) -> Tally {
-        self.by_kind.get(kind).copied().unwrap_or_default()
+        match self.by_kind.binary_search_by(|e| e.0.cmp(kind)) {
+            Ok(i) => self.by_kind[i].1,
+            Err(_) => Tally::default(),
+        }
     }
 
     /// Iterates `(kind, tally)` in deterministic (sorted) order.
@@ -129,8 +157,9 @@ impl EnergyLedger {
         self.total.merge(&other.total);
         self.rx.merge(&other.rx);
         self.idle.merge(&other.idle);
-        for (k, v) in &other.by_kind {
-            self.by_kind.entry(k).or_default().merge(v);
+        for &(k, ref v) in &other.by_kind {
+            let idx = self.kind_index(k);
+            self.by_kind[idx].1.merge(v);
         }
     }
 

@@ -183,6 +183,18 @@ pub struct SyncEngine<'a, P: NodeProtocol> {
     /// Reusable receiver buffer for broadcast fan-out — one allocation for
     /// the whole run instead of one per broadcast.
     rx_scratch: Vec<(usize, f64)>,
+    /// Pooled outbox: taken at the start of each round, drained by the
+    /// transmit path, returned with its capacity intact.
+    outbox: Vec<(usize, Outgoing<P::Msg>)>,
+    /// Pooled per-node inbox view: each node's inbox is swapped in here
+    /// for its callback and swapped back cleared, so the per-node buffers
+    /// keep their capacity instead of being dropped every round.
+    inbox_scratch: Vec<Delivery<P::Msg>>,
+    /// Pooled survivor list for the reliability layer's per-transmission
+    /// retry filtering.
+    still_scratch: Vec<(usize, f64)>,
+    /// Pooled drain buffer for the retry queue.
+    retry_scratch: Vec<ReliableTx<P::Msg>>,
     contention: Option<(ContentionConfig, SlotRng)>,
     /// Fault schedule mirrored from the network at construction time;
     /// `Some` switches delivery onto the ack/timeout/retry path.
@@ -211,6 +223,10 @@ impl<'a, P: NodeProtocol> SyncEngine<'a, P> {
             nodes,
             inboxes: (0..n).map(|_| Vec::new()).collect(),
             rx_scratch: Vec::new(),
+            outbox: Vec::new(),
+            inbox_scratch: Vec::new(),
+            still_scratch: Vec::new(),
+            retry_scratch: Vec::new(),
             contention: None,
             faults,
             retry_queue: Vec::new(),
@@ -254,8 +270,13 @@ impl<'a, P: NodeProtocol> SyncEngine<'a, P> {
         let round = self.logical_round;
         self.logical_round += 1;
         let clock_round = self.net.clock().now();
-        let mut outbox: Vec<(usize, Outgoing<P::Msg>)> = Vec::new();
-        // Deliver: swap each inbox out, call the node, collect sends.
+        let mut outbox = std::mem::take(&mut self.outbox);
+        outbox.clear();
+        // Deliver: swap each inbox out, call the node, collect sends. The
+        // swap-in/swap-back dance (instead of dropping a taken inbox)
+        // keeps every per-node buffer's capacity, so steady-state rounds
+        // allocate nothing.
+        let mut inbox = std::mem::take(&mut self.inbox_scratch);
         for i in 0..n {
             if let Some(plan) = &self.faults {
                 if !plan.alive(i, clock_round) {
@@ -268,7 +289,7 @@ impl<'a, P: NodeProtocol> SyncEngine<'a, P> {
                     continue;
                 }
             }
-            let inbox = std::mem::take(&mut self.inboxes[i]);
+            std::mem::swap(&mut self.inboxes[i], &mut inbox);
             let mut ctx = Ctx {
                 me: i,
                 pos: self.net.pos(i),
@@ -277,27 +298,38 @@ impl<'a, P: NodeProtocol> SyncEngine<'a, P> {
                 outbox: &mut outbox,
             };
             self.nodes[i].on_round(&inbox, &mut ctx);
+            inbox.clear();
+            std::mem::swap(&mut self.inboxes[i], &mut inbox);
         }
+        self.inbox_scratch = inbox;
         let sent = !outbox.is_empty();
         if self.contention.is_some() {
-            self.transmit_contended(outbox)?;
+            let res = self.transmit_contended(&mut outbox);
+            self.outbox = outbox;
+            res?;
         } else if self.faults.is_some() {
-            self.transmit_faulty(outbox);
+            self.transmit_faulty(&mut outbox);
+            self.outbox = outbox;
         } else {
-            self.transmit_collision_free(outbox);
+            self.transmit_collision_free(&mut outbox);
+            self.outbox = outbox;
         }
         // Deterministic inbox order: by sender id (stable by arrival within
-        // equal senders).
+        // equal senders). The collision-free path delivers in ascending
+        // sender order already, so the pre-check keeps steady-state rounds
+        // away from the sort's scratch allocation.
         for inbox in &mut self.inboxes {
-            inbox.sort_by_key(|d| d.from);
+            if !inbox.windows(2).all(|w| w[0].from <= w[1].from) {
+                inbox.sort_by_key(|d| d.from);
+            }
         }
         Ok(sent)
     }
 
     /// The paper's §II semantics: every transmission is delivered in one
     /// attempt; one logical round is one clock round.
-    fn transmit_collision_free(&mut self, outbox: Vec<(usize, Outgoing<P::Msg>)>) {
-        for (from, out) in outbox {
+    fn transmit_collision_free(&mut self, outbox: &mut Vec<(usize, Outgoing<P::Msg>)>) {
+        for (from, out) in outbox.drain(..) {
             match out {
                 Outgoing::Unicast { to, kind, msg } => {
                     self.net.unicast(from, to, kind);
@@ -325,12 +357,15 @@ impl<'a, P: NodeProtocol> SyncEngine<'a, P> {
     /// coins and crash/sleep schedules; undelivered messages are retried
     /// in subsequent rounds up to [`FaultPlan::max_retries`] extra
     /// attempts, then abandoned with a timeout.
-    fn transmit_faulty(&mut self, outbox: Vec<(usize, Outgoing<P::Msg>)>) {
+    fn transmit_faulty(&mut self, outbox: &mut Vec<(usize, Outgoing<P::Msg>)>) {
         let plan = self.faults.clone().expect("faulty path requires a plan");
         let round = self.net.clock().now();
         let loss = self.net.loss();
-        let mut queue = std::mem::take(&mut self.retry_queue);
-        for (from, out) in outbox {
+        // Rotate the retry queue through the pooled drain buffer so the
+        // requeue below reuses the old queue's capacity.
+        std::mem::swap(&mut self.retry_queue, &mut self.retry_scratch);
+        let mut queue = std::mem::take(&mut self.retry_scratch);
+        for (from, out) in outbox.drain(..) {
             match out {
                 Outgoing::Unicast { to, kind, msg } => {
                     let d = self.net.dist(from, to);
@@ -361,7 +396,7 @@ impl<'a, P: NodeProtocol> SyncEngine<'a, P> {
             }
         }
         let mut delivered = 0u64;
-        for mut tx in queue {
+        for mut tx in queue.drain(..) {
             if !plan.alive(tx.from, round) {
                 // The sender crashed with the message in hand: abandoned,
                 // nothing radiated.
@@ -383,7 +418,7 @@ impl<'a, P: NodeProtocol> SyncEngine<'a, P> {
             // Every attempt radiates full transmit energy, delivered or not.
             self.net
                 .charge_tx(tx.kind, tx.from, tx.dst, tx.power, tx.energy);
-            let mut still: Vec<(usize, f64)> = Vec::new();
+            let mut still = std::mem::take(&mut self.still_scratch);
             for (v, d) in tx.pending.drain(..) {
                 if !plan.alive(v, round) {
                     // A crashed receiver will never ack: count the loss
@@ -404,16 +439,21 @@ impl<'a, P: NodeProtocol> SyncEngine<'a, P> {
                 }
             }
             if still.is_empty() {
+                self.still_scratch = still;
                 continue;
             }
             if tx.attempts > plan.max_retries() {
                 self.net
                     .note_fault(FaultKind::Timeout, tx.kind, tx.from, tx.dst);
+                still.clear();
+                self.still_scratch = still;
             } else {
-                tx.pending = still;
+                std::mem::swap(&mut tx.pending, &mut still);
+                self.still_scratch = still; // the drained old pending buffer
                 self.retry_queue.push(tx);
             }
         }
+        self.retry_scratch = queue;
         // rx energy only for messages actually heard.
         self.net.charge_receptions(delivered);
         self.net.tick_round();
@@ -424,13 +464,13 @@ impl<'a, P: NodeProtocol> SyncEngine<'a, P> {
     /// charged in full and the clock advances by the slot count.
     fn transmit_contended(
         &mut self,
-        outbox: Vec<(usize, Outgoing<P::Msg>)>,
+        outbox: &mut Vec<(usize, Outgoing<P::Msg>)>,
     ) -> Result<(), ContentionOverflow> {
         let positions = self.net.points();
         let loss = self.net.loss();
         let mut pending: Vec<PendingTx> = Vec::with_capacity(outbox.len());
         let mut payloads: Vec<P::Msg> = Vec::with_capacity(outbox.len());
-        for (from, out) in outbox {
+        for (from, out) in outbox.drain(..) {
             match out {
                 Outgoing::Unicast { to, kind, msg } => {
                     let d = positions[from].dist(&positions[to]);

@@ -116,7 +116,13 @@ pub struct RadioNet<'a> {
     grid: BucketGrid<'a>,
     /// Cached CSR adjacency at one operating radius (see
     /// [`RadioNet::cache_topology`]); `None` until a protocol opts in.
-    topo: Option<Topology>,
+    /// Behind an `Arc` so an [`RadioNet::install_topology`] caller (the
+    /// instance-reuse API) can share one build across many runs.
+    topo: Option<std::sync::Arc<Topology>>,
+    /// Pre-built topologies registered by [`RadioNet::install_topology`];
+    /// consulted by [`RadioNet::cache_topology`] before building, so a
+    /// run that switches radii (EOPT) can have every radius prewarmed.
+    prewarmed: Vec<std::sync::Arc<Topology>>,
     ledger: EnergyLedger,
     clock: Clock,
     sink: Option<&'a mut dyn TraceSink>,
@@ -169,6 +175,7 @@ impl<'a> RadioNet<'a> {
             config,
             grid: BucketGrid::for_radius(points, max_query_radius),
             topo: None,
+            prewarmed: Vec::new(),
             ledger: EnergyLedger::new(),
             clock: Clock::default(),
             sink: None,
@@ -313,13 +320,40 @@ impl<'a> RadioNet<'a> {
         {
             return;
         }
-        self.topo = Some(Topology::build(&self.grid, radius));
+        if let Some(t) = self
+            .prewarmed
+            .iter()
+            .find(|t| radius_close(t.radius(), radius))
+        {
+            self.topo = Some(t.clone());
+            return;
+        }
+        self.topo = Some(std::sync::Arc::new(Topology::build(&self.grid, radius)));
+    }
+
+    /// Installs a pre-built shared topology (the instance-reuse fast path):
+    /// subsequent [`RadioNet::cache_topology`] calls at the same radius
+    /// reuse it instead of rebuilding. The rows must describe this
+    /// network's points — [`crate::Topology::build`] over the same
+    /// positions — which `Sim::from_instance` guarantees by construction.
+    pub fn install_topology(&mut self, topo: std::sync::Arc<Topology>) {
+        if self.topo.is_none() {
+            self.topo = Some(topo.clone());
+        }
+        self.prewarmed.push(topo);
+    }
+
+    /// Shared handle to the cached topology, if one has been built —
+    /// lets a caller keep the build alive past this run (instance reuse).
+    #[inline]
+    pub fn topology_handle(&self) -> Option<std::sync::Arc<Topology>> {
+        self.topo.clone()
     }
 
     /// The cached topology, if one has been built.
     #[inline]
     pub fn topology(&self) -> Option<&Topology> {
-        self.topo.as_ref()
+        self.topo.as_deref()
     }
 
     /// The cached topology *at this radius*, if present. Callers that may
@@ -331,7 +365,7 @@ impl<'a> RadioNet<'a> {
     #[inline]
     pub fn topology_at(&self, radius: f64) -> Option<&Topology> {
         self.topo
-            .as_ref()
+            .as_deref()
             .filter(|t| radius_close(t.radius(), radius))
     }
 
@@ -378,6 +412,41 @@ impl<'a> RadioNet<'a> {
     pub fn unicast(&mut self, u: usize, v: usize, kind: &'static str) {
         assert!(u != v, "node {u} cannot unicast to itself");
         let e = self.config.loss.energy(&self.points[u], &self.points[v]);
+        self.ledger.charge(kind, e);
+        if self.config.rx > 0.0 {
+            self.ledger.charge_rx(1, self.config.rx);
+        }
+        let round = self.clock.now();
+        let power = if self.sink.is_some() {
+            self.points[u].dist(&self.points[v])
+        } else {
+            0.0
+        };
+        self.emit(|| TraceEvent::Message {
+            round,
+            kind,
+            src: u,
+            dst: Some(v),
+            power,
+            energy: e,
+        });
+    }
+
+    /// [`RadioNet::unicast`] with the transmit energy precomputed by the
+    /// caller — identical charges and trace event, but the (cacheable)
+    /// path-loss evaluation is skipped. The energy must be exactly
+    /// `loss().energy(&pos(u), &pos(v))`; protocols use this to memoise
+    /// tree-edge energies that are charged once per phase.
+    pub fn unicast_with_energy(&mut self, u: usize, v: usize, kind: &'static str, e: f64) {
+        assert!(u != v, "node {u} cannot unicast to itself");
+        debug_assert_eq!(
+            e.to_bits(),
+            self.config
+                .loss
+                .energy(&self.points[u], &self.points[v])
+                .to_bits(),
+            "prepaid unicast energy must match the live path-loss value"
+        );
         self.ledger.charge(kind, e);
         if self.config.rx > 0.0 {
             self.ledger.charge_rx(1, self.config.rx);

@@ -17,12 +17,13 @@
 //! two paths.
 
 use emst_geom::BucketGrid;
+use std::sync::OnceLock;
 
 /// CSR adjacency of the unit-disk graph at one operating radius.
 ///
 /// Row `u` holds the neighbours of `u` within `radius` (excluding `u`
 /// itself) in grid visit order, with their exact Euclidean distances.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct Topology {
     radius: f64,
     /// Row boundaries: row `u` is `nbr[offsets[u]..offsets[u+1]]`.
@@ -31,6 +32,48 @@ pub struct Topology {
     nbr: Vec<u32>,
     /// Distances, parallel to `nbr`.
     dist: Vec<f64>,
+    /// Lazily-built `(dist, id)`-sorted view of the rows (see
+    /// [`Topology::sorted`]). Built at most once, then shared by every
+    /// run holding this topology.
+    sorted: OnceLock<SortedRows>,
+}
+
+/// Distance-sorted view of a [`Topology`]: the same rows, each reordered
+/// ascending by `(dist, id)`. Row boundaries are the parent topology's
+/// offsets; access goes through [`Topology::sorted_ids`] /
+/// [`Topology::sorted_dists`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortedRows {
+    ids: Vec<u32>,
+    dists: Vec<f64>,
+}
+
+impl Clone for Topology {
+    fn clone(&self) -> Self {
+        let sorted = OnceLock::new();
+        if let Some(s) = self.sorted.get() {
+            let _ = sorted.set(s.clone());
+        }
+        Topology {
+            radius: self.radius,
+            offsets: self.offsets.clone(),
+            nbr: self.nbr.clone(),
+            dist: self.dist.clone(),
+            sorted,
+        }
+    }
+}
+
+impl PartialEq for Topology {
+    fn eq(&self, other: &Self) -> bool {
+        // The sorted view is a cache derived from the base rows: two
+        // topologies with equal rows are equal regardless of whether
+        // either has materialised it yet.
+        self.radius == other.radius
+            && self.offsets == other.offsets
+            && self.nbr == other.nbr
+            && self.dist == other.dist
+    }
 }
 
 impl Topology {
@@ -56,7 +99,48 @@ impl Topology {
             offsets,
             nbr,
             dist,
+            sorted: OnceLock::new(),
         }
+    }
+
+    /// The `(dist, id)`-sorted view of the rows, built on first use and
+    /// cached for the topology's lifetime. Protocols that scan rows in
+    /// ascending-weight order (modified-GHS MOE search) borrow this
+    /// instead of sorting private copies per run.
+    pub fn sorted(&self) -> &SortedRows {
+        self.sorted.get_or_init(|| {
+            let mut ids = vec![0u32; self.nbr.len()];
+            let mut dists = vec![0f64; self.nbr.len()];
+            let mut scratch: Vec<(f64, u32)> = Vec::new();
+            for u in 0..self.n() {
+                let r = self.row(u);
+                scratch.clear();
+                scratch.extend(
+                    self.nbr[r.clone()]
+                        .iter()
+                        .zip(&self.dist[r.clone()])
+                        .map(|(&v, &d)| (d, v)),
+                );
+                scratch.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                for (k, &(d, v)) in scratch.iter().enumerate() {
+                    ids[r.start + k] = v;
+                    dists[r.start + k] = d;
+                }
+            }
+            SortedRows { ids, dists }
+        })
+    }
+
+    /// Neighbour ids of `u` in ascending `(dist, id)` order.
+    #[inline]
+    pub fn sorted_ids(&self, u: usize) -> &[u32] {
+        &self.sorted().ids[self.row(u)]
+    }
+
+    /// Distances parallel to [`Topology::sorted_ids`].
+    #[inline]
+    pub fn sorted_dists(&self, u: usize) -> &[f64] {
+        &self.sorted().dists[self.row(u)]
     }
 
     /// Number of nodes.

@@ -8,16 +8,18 @@
 use energy_mst::core::{EoptConfig, GhsVariant, RankScheme};
 use energy_mst::geom::{paper_phase2_radius, trial_rng, uniform_points};
 use energy_mst::graph::euclidean_mst;
-use energy_mst::{MetricsSink, Protocol, Sim};
+use energy_mst::{Instance, MetricsSink, Protocol, Sim};
 
 fn main() {
-    // 1. A sensor field: 1000 nodes uniform in the unit square.
+    // 1. A sensor field: 1000 nodes uniform in the unit square. Wrapping
+    //    the points in an `Instance` lets the three runs below share one
+    //    topology build per radius instead of re-deriving it each time.
     let n = 1000;
-    let points = uniform_points(n, &mut trial_rng(7, 0));
+    let field = Instance::new(uniform_points(n, &mut trial_rng(7, 0)));
 
     // 2. The classical baseline: GHS at the connectivity radius
     //    1.6·√(ln n / n) — energy grows as Θ(log² n).
-    let ghs = Sim::new(&points)
+    let ghs = Sim::from_instance(&field)
         .radius(paper_phase2_radius(n))
         .run(Protocol::Ghs(GhsVariant::Original));
 
@@ -25,16 +27,16 @@ fn main() {
     //    at Θ(log n) energy. Attach a metrics sink to see where the
     //    energy goes (per message kind, per round, per GHS stage).
     let mut metrics = MetricsSink::new();
-    let eopt = Sim::new(&points)
+    let eopt = Sim::from_instance(&field)
         .sink(&mut metrics)
         .run(Protocol::Eopt(EoptConfig::default()));
 
     // 4. With coordinates: Co-NNT — O(1) energy, constant-factor
     //    approximation.
-    let nnt = Sim::new(&points).run(Protocol::Nnt(RankScheme::Diagonal));
+    let nnt = Sim::from_instance(&field).run(Protocol::Nnt(RankScheme::Diagonal));
 
     // 5. Sequential ground truth for quality comparison.
-    let mst = euclidean_mst(&points);
+    let mst = euclidean_mst(field.points());
 
     println!("n = {n} random nodes in the unit square\n");
     println!(
