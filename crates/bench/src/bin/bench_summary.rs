@@ -40,6 +40,13 @@
 //!
 //! Both guards compare *best* reps so scheduler noise on shared CI
 //! runners doesn't flake the check.
+//!
+//! With `--churn-schema PATH`, the binary instead validates that the
+//! `BENCH_churn.json` at PATH parses under the `bench_churn/v1` schema
+//! (schema tag, top-level fields, every row carrying every column with
+//! parseable values, zero recorded invariant violations) and exits —
+//! the CI guard that `churn_sweep` output stays consumable by the
+//! tooling that reads it.
 
 use emst_bench::Options;
 use emst_core::{EoptConfig, GhsVariant, Instance, Protocol, RankScheme, Sim};
@@ -90,8 +97,95 @@ fn protocols(n: usize, large_only: bool) -> Vec<(&'static str, Protocol)> {
     v
 }
 
+/// Extracts the raw text of `key`'s value from a single-line JSON
+/// object (the hand-rolled row format both sweep writers emit).
+fn field<'a>(obj: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\": ");
+    let start = obj
+        .find(&pat)
+        .unwrap_or_else(|| panic!("row missing key {key:?}: {obj}"))
+        + pat.len();
+    let rest = &obj[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim()
+}
+
+/// Validates a `BENCH_churn.json` against the `bench_churn/v1` schema:
+/// schema tag, top-level fields, at least one row, every row carrying
+/// every column with a parseable value, and zero recorded invariant
+/// violations. Panics (non-zero exit) on any mismatch.
+fn validate_churn_schema(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    assert!(
+        text.contains("\"schema\": \"bench_churn/v1\""),
+        "{path}: missing or wrong schema tag (want bench_churn/v1)"
+    );
+    for key in ["seed", "trials", "epochs", "violations", "incremental_win"] {
+        assert!(
+            text.contains(&format!("\"{key}\": ")),
+            "{path}: missing top-level field {key:?}"
+        );
+    }
+    let header = text
+        .split("\"rows\": [")
+        .next()
+        .expect("split yields at least one piece");
+    let total_violations: u64 = field(header, "violations")
+        .parse()
+        .unwrap_or_else(|e| panic!("{path}: unparseable violations count: {e}"));
+    assert!(
+        total_violations == 0,
+        "{path}: records {total_violations} invariant violations"
+    );
+    let rows_at = text
+        .find("\"rows\": [")
+        .unwrap_or_else(|| panic!("{path}: missing rows array"));
+    let mut rows = 0usize;
+    for line in text[rows_at..].lines().skip(1) {
+        let line = line.trim();
+        if !line.starts_with('{') {
+            break;
+        }
+        let obj = line.trim_end_matches(',');
+        rows += 1;
+        let strategy = field(obj, "strategy");
+        assert!(
+            strategy == "\"incremental\"" || strategy == "\"recompute\"",
+            "{path}: unknown strategy {strategy} in row {rows}"
+        );
+        for key in ["n", "epochs", "messages", "violations"] {
+            field(obj, key)
+                .parse::<f64>()
+                .unwrap_or_else(|e| panic!("{path}: row {rows} field {key:?}: {e}"));
+        }
+        for key in [
+            "rate",
+            "bootstrap_energy",
+            "maintenance_energy",
+            "energy_per_round",
+            "rounds",
+            "edges_added",
+            "edges_removed",
+        ] {
+            let value: f64 = field(obj, key)
+                .parse()
+                .unwrap_or_else(|e| panic!("{path}: row {rows} field {key:?}: {e}"));
+            assert!(
+                value.is_finite() && value >= 0.0,
+                "{path}: row {rows} field {key:?} is {value}"
+            );
+        }
+    }
+    assert!(rows > 0, "{path}: rows array is empty");
+    println!("churn schema: {path} parses as bench_churn/v1 ({rows} rows, 0 violations)");
+}
+
 fn main() {
     let opts = Options::from_env();
+    if let Some(path) = &opts.churn_schema {
+        validate_churn_schema(path);
+        return;
+    }
     let mut sizes: Vec<usize> = if opts.quick {
         vec![500]
     } else {

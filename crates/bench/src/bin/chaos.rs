@@ -12,12 +12,20 @@
 //! as a copy-pastable `FaultPlan` constructor so the failure can be
 //! replayed in a unit test verbatim.
 //!
+//! `--churn` switches the search space from fault plans to churn
+//! timelines: `--plans` seeded random [`emst_bench::random_timeline`]s
+//! drive the maintenance loop through
+//! [`emst_bench::churn_violations`] (epoch monotonicity, bitwise ledger
+//! conservation, forest validity, strategy/Kruskal agreement, bitwise
+//! determinism), with failing timelines shrunk and printed as
+//! `ChurnTimeline` constructors.
+//!
 //! `--shrink-demo` instead exercises the shrinker on a synthetic failing
 //! predicate seeded with noise entries, printing the minimization trace;
 //! CI runs it twice and diffs the output to pin the shrinker's
 //! determinism.
 
-use emst_bench::{run_chaos, shrink};
+use emst_bench::{run_chaos, run_churn_chaos, shrink};
 use emst_radio::FaultPlan;
 
 struct ChaosOptions {
@@ -25,6 +33,7 @@ struct ChaosOptions {
     seed: u64,
     n: usize,
     shrink_demo: bool,
+    churn: bool,
 }
 
 /// The shared [`emst_bench::Options`] parser rejects unknown flags, so
@@ -35,6 +44,7 @@ fn parse() -> ChaosOptions {
         seed: 0xC4A0_5EED,
         n: 120,
         shrink_demo: false,
+        churn: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -47,7 +57,10 @@ fn parse() -> ChaosOptions {
             "--seed" => opts.seed = value("--seed").parse().expect("--seed: u64"),
             "--n" => opts.n = value("--n").parse().expect("--n: usize"),
             "--shrink-demo" => opts.shrink_demo = true,
-            other => panic!("unknown flag {other} (chaos takes --plans/--seed/--n/--shrink-demo)"),
+            "--churn" => opts.churn = true,
+            other => panic!(
+                "unknown flag {other} (chaos takes --plans/--seed/--n/--churn/--shrink-demo)"
+            ),
         }
     }
     opts
@@ -90,6 +103,30 @@ fn main() {
     let opts = parse();
     if opts.shrink_demo {
         shrink_demo(opts.seed);
+        return;
+    }
+    if opts.churn {
+        eprintln!(
+            "chaos: {} churn timelines, n={}, seed={:#x}, strategies=[incremental, recompute]",
+            opts.plans, opts.n, opts.seed
+        );
+        let report = run_churn_chaos(opts.seed, opts.plans, opts.n);
+        for v in &report.violations {
+            println!("VIOLATION timeline {}:", v.index);
+            for m in &v.messages {
+                println!("  - {m}");
+            }
+            println!("  timeline:  {}", v.timeline.to_source());
+            println!("  minimized: {}", v.minimized.to_source());
+        }
+        println!(
+            "chaos: {} churn timelines, {} violations",
+            report.timelines,
+            report.violations.len()
+        );
+        if !report.violations.is_empty() {
+            std::process::exit(1);
+        }
         return;
     }
     eprintln!(

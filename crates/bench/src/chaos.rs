@@ -13,11 +13,23 @@
 //! flake: the harness shrinks the offending plan to a minimal failing
 //! core ([`shrink`]) and prints it as a copy-pastable `FaultPlan`
 //! constructor ([`FaultPlan::to_source`]).
+//!
+//! The churn side does the same for the maintenance loop (PR 7):
+//! seeded random [`ChurnTimeline`]s ([`random_timeline`]) drive
+//! [`emst_core::maintain()`] under both strategies, and
+//! [`churn_violations`] checks the epoch invariants — monotone epoch
+//! counters, bitwise ledger conservation, forest validity over the live
+//! set, incremental/recompute/Kruskal agreement and bitwise determinism.
+//! Failing timelines shrink to a minimal event core
+//! ([`shrink_timeline`]) printed via [`ChurnTimeline::to_source`].
 
 use crate::runner::instance;
-use emst_core::{GhsVariant, Protocol, RepairPolicy, RunOutcome, Sim};
+use emst_core::{
+    maintain, ChurnTimeline, GhsVariant, MaintainStrategy, Protocol, RepairPolicy, RunOutcome, Sim,
+};
 use emst_geom::{mix_seed, paper_phase2_radius, trial_rng, Point};
-use emst_radio::{FaultPlan, MetricsSink};
+use emst_graph::{kruskal_forest, Edge, Graph, SpanningTree};
+use emst_radio::{FaultPlan, Membership, MetricsSink};
 use rand::Rng;
 
 /// Generates the `index`-th random fault plan of a chaos run: a drop
@@ -308,6 +320,310 @@ pub fn run_chaos(seed: u64, plans: u64, n: usize) -> ChaosReport {
     report
 }
 
+/// Generates the `index`-th random churn timeline of a churn-chaos run:
+/// 2–5 epochs, each carrying up to three membership events drawn from
+/// joins, crashes, sleeps, wakes and moves. The generator tracks the
+/// evolving live set so every event is well-formed (only live nodes
+/// crash/sleep/move, only sleepers wake, join ids follow the universe
+/// growth order [`maintain()`] applies). Deterministic in `(seed, index)`.
+pub fn random_timeline(seed: u64, index: u64, n: usize) -> ChurnTimeline {
+    let mut rng = trial_rng(mix_seed(seed, 0xC4A0_6000), index);
+    let epochs = rng.gen_range(2..=5usize);
+    let mut tl = ChurnTimeline::new(epochs);
+    let mut alive: Vec<usize> = (0..n).collect();
+    let mut sleeping: Vec<usize> = Vec::new();
+    let mut universe = n;
+    for e in 0..epochs {
+        for _ in 0..rng.gen_range(0..=3u32) {
+            match rng.gen_range(0..5u32) {
+                0 => {
+                    tl = tl.join(e, rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+                    alive.push(universe);
+                    universe += 1;
+                }
+                1 if alive.len() > 1 => {
+                    let u = alive.swap_remove(rng.gen_range(0..alive.len()));
+                    tl = tl.crash(e, u);
+                }
+                2 if alive.len() > 1 => {
+                    let u = alive.swap_remove(rng.gen_range(0..alive.len()));
+                    sleeping.push(u);
+                    tl = tl.sleep(e, u);
+                }
+                3 if !sleeping.is_empty() => {
+                    let u = sleeping.swap_remove(rng.gen_range(0..sleeping.len()));
+                    alive.push(u);
+                    tl = tl.wake(e, u);
+                }
+                4 if !alive.is_empty() => {
+                    let u = alive[rng.gen_range(0..alive.len())];
+                    tl = tl.move_to(e, u, rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+                }
+                _ => {}
+            }
+        }
+    }
+    tl
+}
+
+/// Generates a churn timeline at a target *churn rate*: `epochs` epochs
+/// of `max(1, round(n · rate))` events each, drawn from the deployment
+/// mix (25% crash, 20% sleep, 20% wake, 15% join, 20% move, with
+/// inapplicable draws — e.g. a wake with nobody asleep — skipped). Same
+/// liveness bookkeeping as [`random_timeline`]; deterministic in
+/// `(seed, index)`. This is the schedule shape `churn_sweep` measures.
+pub fn rate_timeline(seed: u64, index: u64, n: usize, epochs: usize, rate: f64) -> ChurnTimeline {
+    assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+    let mut rng = trial_rng(mix_seed(seed, 0xC4A0_7000), index);
+    let per_epoch = ((n as f64 * rate).round() as usize).max(1);
+    let mut tl = ChurnTimeline::new(epochs);
+    let mut alive: Vec<usize> = (0..n).collect();
+    let mut sleeping: Vec<usize> = Vec::new();
+    let mut universe = n;
+    for e in 0..epochs {
+        for _ in 0..per_epoch {
+            match rng.gen_range(0..100u32) {
+                0..=24 if alive.len() > 1 => {
+                    let u = alive.swap_remove(rng.gen_range(0..alive.len()));
+                    tl = tl.crash(e, u);
+                }
+                25..=44 if alive.len() > 1 => {
+                    let u = alive.swap_remove(rng.gen_range(0..alive.len()));
+                    sleeping.push(u);
+                    tl = tl.sleep(e, u);
+                }
+                45..=64 if !sleeping.is_empty() => {
+                    let u = sleeping.swap_remove(rng.gen_range(0..sleeping.len()));
+                    alive.push(u);
+                    tl = tl.wake(e, u);
+                }
+                65..=79 => {
+                    tl = tl.join(e, rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+                    alive.push(universe);
+                    universe += 1;
+                }
+                80..=99 if !alive.is_empty() => {
+                    let u = alive[rng.gen_range(0..alive.len())];
+                    tl = tl.move_to(e, u, rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+                }
+                _ => {}
+            }
+        }
+    }
+    tl
+}
+
+/// MSF of the live unit-disk subgraph by Kruskal — the ground truth any
+/// maintained forest must match edge-for-edge.
+fn live_msf(points: &[Point], radius: f64, members: &Membership) -> SpanningTree {
+    let n = points.len();
+    let mut edges = Vec::new();
+    for u in 0..n {
+        if !members.is_live(u) {
+            continue;
+        }
+        for v in (u + 1)..n {
+            if !members.is_live(v) {
+                continue;
+            }
+            let d = points[u].dist(&points[v]);
+            if d <= radius {
+                edges.push(Edge::new(u, v, d));
+            }
+        }
+    }
+    SpanningTree::new(n, kruskal_forest(&Graph::from_edges(n, edges)))
+}
+
+/// Runs the churn maintenance loop on `pts` under `timeline` with both
+/// strategies and returns every violated epoch invariant:
+///
+/// 1. **Epoch monotonicity** — reports carry epochs `1..=len` in order.
+/// 2. **Ledger conservation** — every epoch's trace sink reproduces its
+///    energy bitwise and its message count exactly (bootstrap included).
+/// 3. **Forest validity** — every epoch leaves an acyclic forest whose
+///    endpoints are all live.
+/// 4. **Strategy agreement** — incremental maintenance ends on the same
+///    forest (edge-for-edge) as per-epoch recomputation, and both match
+///    the Kruskal MSF of the final live subgraph.
+/// 5. **Determinism** — a second incremental run reproduces every
+///    epoch's energy bitwise.
+pub fn churn_violations(pts: &[Point], radius: f64, timeline: &ChurnTimeline) -> Vec<String> {
+    let mut v = Vec::new();
+    macro_rules! check {
+        ($ok:expr, $($msg:tt)*) => {
+            if !$ok {
+                v.push(format!($($msg)*));
+            }
+        };
+    }
+    let inc = maintain(pts, radius, timeline, MaintainStrategy::Incremental);
+    let rec = maintain(pts, radius, timeline, MaintainStrategy::Recompute);
+    for rep in [&inc, &rec] {
+        let tag = format!("{:?}", rep.strategy);
+        check!(rep.bootstrap_conserved, "{tag}: bootstrap ledger leaked");
+        for (i, e) in rep.epochs.iter().enumerate() {
+            check!(
+                e.epoch == i as u64 + 1,
+                "{tag}: epoch counter jumped to {} at step {i}",
+                e.epoch
+            );
+            check!(e.ledger_conserved, "{tag}: epoch {} leaked energy", e.epoch);
+            check!(e.forest_valid, "{tag}: epoch {} broke the forest", e.epoch);
+        }
+        check!(
+            rep.members.epoch() == timeline.len() as u64,
+            "{tag}: final epoch {} != timeline length {}",
+            rep.members.epoch(),
+            timeline.len()
+        );
+    }
+    check!(
+        inc.tree().same_edges(&rec.tree()),
+        "incremental and recompute forests disagree"
+    );
+    let truth = live_msf(&inc.points, radius, &inc.members);
+    check!(
+        inc.tree().same_edges(&truth),
+        "maintained forest is not the MSF of the live subgraph"
+    );
+    let again = maintain(pts, radius, timeline, MaintainStrategy::Incremental);
+    check!(
+        again.epochs.len() == inc.epochs.len()
+            && again
+                .epochs
+                .iter()
+                .zip(&inc.epochs)
+                .all(|(a, b)| a.energy.to_bits() == b.energy.to_bits()),
+        "incremental maintenance is not deterministic"
+    );
+    v
+}
+
+/// Whether every [`ChurnEvent::Wake`]/[`ChurnEvent::Move`] target is
+/// inside the id universe at the moment the event applies (the universe
+/// starts at `n` and grows by one per preceding join) — exactly the
+/// well-formedness [`maintain()`] asserts. The shrinker uses this to skip
+/// candidates whose join removal orphaned a later id reference.
+fn valid_ids(n: usize, tl: &ChurnTimeline) -> bool {
+    let mut universe = n;
+    for events in tl.epochs() {
+        for ev in events {
+            match *ev {
+                emst_core::ChurnEvent::Join(_) => universe += 1,
+                emst_core::ChurnEvent::Wake(u) | emst_core::ChurnEvent::Move(u, _)
+                    if u >= universe =>
+                {
+                    return false;
+                }
+                _ => {}
+            }
+        }
+    }
+    true
+}
+
+/// Greedily shrinks a failing timeline over an `n`-node instance by
+/// dropping single events while `fails` stays true — the churn
+/// counterpart of [`shrink`]. Events are removed latest-first, and
+/// candidates that would orphan an id reference (a wake/move pointing
+/// past the shrunk universe) are skipped via the same well-formedness
+/// check [`maintain()`] asserts. Panics if
+/// `timeline` does not fail to begin with.
+pub fn shrink_timeline(
+    timeline: &ChurnTimeline,
+    n: usize,
+    fails: &dyn Fn(&ChurnTimeline) -> bool,
+) -> ChurnTimeline {
+    assert!(fails(timeline), "shrink requires a failing timeline");
+    let mut tl = timeline.clone();
+    loop {
+        let mut progressed = false;
+        'removal: for e in (0..tl.len()).rev() {
+            for i in (0..tl.epochs()[e].len()).rev() {
+                let mut epochs: Vec<Vec<emst_core::ChurnEvent>> = tl.epochs().to_vec();
+                epochs[e].remove(i);
+                let mut candidate = ChurnTimeline::new(tl.len());
+                for (idx, evs) in epochs.iter().enumerate() {
+                    for ev in evs {
+                        candidate = replay(candidate, idx, *ev);
+                    }
+                }
+                if valid_ids(n, &candidate) && fails(&candidate) {
+                    tl = candidate;
+                    progressed = true;
+                    break 'removal;
+                }
+            }
+        }
+        if !progressed {
+            return tl;
+        }
+    }
+}
+
+/// Re-adds one event to a timeline under construction (the shrinker's
+/// rebuild primitive).
+fn replay(tl: ChurnTimeline, epoch: usize, ev: emst_core::ChurnEvent) -> ChurnTimeline {
+    use emst_core::ChurnEvent::*;
+    match ev {
+        Join(p) => tl.join(epoch, p.x, p.y),
+        Crash(u) => tl.crash(epoch, u),
+        Sleep(u) => tl.sleep(epoch, u),
+        Wake(u) => tl.wake(epoch, u),
+        Move(u, p) => tl.move_to(epoch, u, p.x, p.y),
+    }
+}
+
+/// One churn invariant violation found by [`run_churn_chaos`], with its
+/// minimized reproducer.
+pub struct ChurnViolation {
+    /// Index of the failing timeline within the run.
+    pub index: u64,
+    /// The violated invariants.
+    pub messages: Vec<String>,
+    /// The original failing timeline.
+    pub timeline: ChurnTimeline,
+    /// The shrunk reproducer (still failing, locally minimal); print
+    /// with [`ChurnTimeline::to_source`].
+    pub minimized: ChurnTimeline,
+}
+
+/// Read-out of a churn-chaos run.
+pub struct ChurnChaosReport {
+    /// Timelines exercised.
+    pub timelines: u64,
+    /// Every churn invariant violation, already minimized.
+    pub violations: Vec<ChurnViolation>,
+}
+
+/// Runs the churn-chaos loop: `timelines` random churn schedules over
+/// `(seed, index)`-seeded `n`-node instances, each driven through
+/// [`churn_violations`]. Violations are shrunk before being reported.
+pub fn run_churn_chaos(seed: u64, timelines: u64, n: usize) -> ChurnChaosReport {
+    let mut report = ChurnChaosReport {
+        timelines,
+        violations: Vec::new(),
+    };
+    let radius = paper_phase2_radius(n);
+    for index in 0..timelines {
+        let pts = instance(seed, n, index);
+        let tl = random_timeline(seed, index, n);
+        let messages = churn_violations(&pts, radius, &tl);
+        if !messages.is_empty() {
+            let fails = |t: &ChurnTimeline| !churn_violations(&pts, radius, t).is_empty();
+            let minimized = shrink_timeline(&tl, n, &fails);
+            report.violations.push(ChurnViolation {
+                index,
+                messages,
+                timeline: tl,
+                minimized,
+            });
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +662,64 @@ mod tests {
         assert_eq!(min.crashes(), &[(0, 10)]);
         // Deterministic: same input, same minimum.
         assert_eq!(shrink(&noisy, &fails).to_source(), min.to_source());
+    }
+
+    #[test]
+    fn timeline_generation_is_deterministic_and_well_formed() {
+        let a = random_timeline(7, 3, 80);
+        let b = random_timeline(7, 3, 80);
+        assert_eq!(a, b);
+        assert_eq!(a.to_source(), b.to_source());
+        let c = random_timeline(7, 4, 80);
+        assert_ne!(a.to_source(), c.to_source(), "indices must decorrelate");
+        for index in 0..20 {
+            assert!(
+                valid_ids(80, &random_timeline(7, index, 80)),
+                "generator emitted an orphaned id reference at index {index}"
+            );
+        }
+    }
+
+    #[test]
+    fn timeline_shrink_finds_the_minimal_core() {
+        // Synthetic failure: "crashes node 3 somewhere". The core is that
+        // single crash; every other event is noise.
+        let noisy = ChurnTimeline::new(3)
+            .join(0, 0.2, 0.2)
+            .crash(0, 3)
+            .sleep(1, 5)
+            .move_to(1, 7, 0.9, 0.9)
+            .wake(2, 5);
+        let fails = |t: &ChurnTimeline| {
+            t.epochs()
+                .iter()
+                .flatten()
+                .any(|ev| matches!(ev, emst_core::ChurnEvent::Crash(3)))
+        };
+        let min = shrink_timeline(&noisy, 10, &fails);
+        assert!(fails(&min), "shrink must preserve failure");
+        assert_eq!(
+            min.event_count(),
+            1,
+            "core is crash(3): {}",
+            min.to_source()
+        );
+        assert_eq!(min.to_source(), "ChurnTimeline::new(3).crash(0, 3)");
+    }
+
+    #[test]
+    fn small_churn_chaos_run_is_clean_and_reproducible() {
+        let report = run_churn_chaos(0xC4A1, 4, 60);
+        assert_eq!(report.timelines, 4);
+        assert!(
+            report.violations.is_empty(),
+            "seeded churn-chaos run found violations: {:?}",
+            report
+                .violations
+                .iter()
+                .map(|v| (v.index, v.messages.clone(), v.minimized.to_source()))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!   regression guard and the throughput-flatness guard, failing the run
 //!   if either trips;
 //! * `--large`     — (bench_summary / large_smoke) extend the sweep to
-//!   the large-n sizes (20 000 and 100 000 for the scalable protocols).
+//!   the large-n sizes (20 000 and 100 000 for the scalable protocols);
+//! * `--churn-schema PATH` — (bench_summary only) validate that the
+//!   `BENCH_churn.json` at PATH parses under the `bench_churn/v1`
+//!   schema and exit (the CI guard that `churn_sweep` output stays
+//!   consumable).
 
 use crate::BASE_SEED;
 
@@ -37,6 +41,8 @@ pub struct Options {
     pub guard: bool,
     /// Extend the sweep to the large-n sizes (bench_summary/large_smoke).
     pub large: bool,
+    /// Validate a `BENCH_churn.json` file and exit (bench_summary).
+    pub churn_schema: Option<String>,
 }
 
 impl Default for Options {
@@ -50,6 +56,7 @@ impl Default for Options {
             threads: None,
             guard: false,
             large: false,
+            churn_schema: None,
         }
     }
 }
@@ -90,9 +97,13 @@ impl Options {
                     assert!(t > 0, "--threads must be positive");
                     opts.threads = Some(t);
                 }
+                "--churn-schema" => {
+                    let v = it.next().expect("--churn-schema needs a path");
+                    opts.churn_schema = Some(v);
+                }
                 other => panic!(
                     "unknown option {other}; supported: --trials N --quick --csv --svg DIR \
-                     --seed S --threads T --guard --large"
+                     --seed S --threads T --guard --large --churn-schema PATH"
                 ),
             }
         }
@@ -155,6 +166,13 @@ mod tests {
         assert!(o.large);
         assert!(!parse(&[]).guard);
         assert!(!parse(&[]).large);
+        assert_eq!(
+            parse(&["--churn-schema", "BENCH_churn.json"])
+                .churn_schema
+                .as_deref(),
+            Some("BENCH_churn.json")
+        );
+        assert_eq!(parse(&[]).churn_schema, None);
     }
 
     #[test]

@@ -14,7 +14,11 @@ pub mod cli;
 pub mod fanout;
 pub mod runner;
 
-pub use chaos::{random_plan, run_chaos, shrink, violations, ChaosReport, ChaosViolation};
+pub use chaos::{
+    churn_violations, random_plan, random_timeline, rate_timeline, run_chaos, run_churn_chaos,
+    shrink, shrink_timeline, violations, ChaosReport, ChaosViolation, ChurnChaosReport,
+    ChurnViolation,
+};
 pub use cli::Options;
 pub use fanout::{apply_thread_override, run_sweep, run_sweep_multi, run_trials};
 pub use runner::*;

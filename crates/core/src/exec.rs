@@ -27,8 +27,8 @@
 use crate::sim::RunError;
 use emst_geom::Point;
 use emst_radio::{
-    ContentionConfig, EnergyConfig, EngineError, FaultPlan, NodeProtocol, RadioNet, RunStats,
-    StageMark, StatSnapshot, SyncEngine, TraceSink,
+    ContentionConfig, EnergyConfig, EngineError, FaultPlan, Membership, NodeProtocol, RadioNet,
+    RunStats, StageMark, StatSnapshot, SyncEngine, TraceSink,
 };
 
 /// The single owner of run-wide state: points, the radio network (with
@@ -172,6 +172,29 @@ impl<'a> ExecEnv<'a> {
             .faults()
             .map(|p| p.max_retries() as u64 + 1)
             .unwrap_or(0);
+    }
+
+    /// Installs the run's live set. All-live memberships are elided
+    /// exactly like no-op fault plans (the clean path stays
+    /// bit-identical); an effective membership restricts delivery,
+    /// reception charges and idle accounting to live ids, and stages
+    /// constructed after this call (e.g. a [`crate::GhsEngine`]) mirror
+    /// it. See [`RadioNet::set_members`].
+    ///
+    /// # Panics
+    ///
+    /// If an effective membership meets an effective fault plan — the
+    /// two layers would be dual owners of per-round liveness.
+    pub fn set_members(&mut self, members: Membership) {
+        self.net
+            .as_mut()
+            .expect("network is held by a stage")
+            .set_members(members);
+    }
+
+    /// The installed live set (`None` when every node participates).
+    pub fn members(&self) -> Option<&Membership> {
+        self.net().members()
     }
 
     /// Registers a pre-built shared topology (the instance-reuse fast

@@ -55,8 +55,8 @@
 //! (`crate::eopt`) drives this same engine at two radii.
 
 use emst_graph::{Edge, SpanningTree};
-use emst_radio::{FaultKind, FaultPlan, RadioNet};
-use std::collections::{BTreeMap, VecDeque};
+use emst_radio::{FaultKind, FaultPlan, Membership, RadioNet};
+use std::collections::VecDeque;
 
 /// Sentinel terminating intrusive member lists.
 const NONE: u32 = u32::MAX;
@@ -271,6 +271,12 @@ pub struct GhsEngine {
     /// Fault schedule mirrored from the network at construction; `None`
     /// keeps every code path byte-identical to the pre-fault engine.
     faults: Option<FaultPlan>,
+    /// Live set mirrored from the network at construction; `None` (the
+    /// all-live case, elided upstream by `RadioNet::set_members`) keeps
+    /// every code path byte-identical to the fixed-array engine. When
+    /// present, discovery and MOE search are restricted to live ids and
+    /// dead ids degrade to zero-cost singleton fragments.
+    members: Option<Membership>,
     /// Extra rounds consumed by retransmissions in the current stage
     /// (max over fragments, like stage depths); drained per stage.
     stage_extra: u64,
@@ -294,6 +300,7 @@ impl GhsEngine {
     pub fn new(net: &RadioNet<'_>, variant: GhsVariant) -> Self {
         let n = net.n();
         let faults = net.faults().cloned();
+        let members = net.members().cloned();
         GhsEngine {
             n,
             variant,
@@ -337,6 +344,7 @@ impl GhsEngine {
             depth_val: vec![0; n],
             depth_path: Vec::new(),
             faults,
+            members,
             stage_extra: 0,
             healed_last_phase: 0,
             shards: 1,
@@ -375,23 +383,10 @@ impl GhsEngine {
         SpanningTree::new(self.n, self.tree_edges.clone())
     }
 
-    /// Members per fragment, keyed by fragment id, materialized as an
-    /// owned sorted map — a wholesale copy of the arena.
-    #[deprecated(
-        since = "0.6.0",
-        note = "copies every member list; iterate `live_fragments()` + `members_of()` instead"
-    )]
-    pub fn fragments(&self) -> BTreeMap<u32, Vec<u32>> {
-        self.live
-            .iter()
-            .map(|&f| (f, self.members_of(f as usize).map(|u| u as u32).collect()))
-            .collect()
-    }
-
     /// Live fragment ids in ascending order — the deterministic iteration
     /// order every stage uses (so floating-point energy summation is
-    /// reproducible). Borrow-based replacement for the cloning
-    /// [`GhsEngine::fragments`] accessor.
+    /// reproducible). Pair with [`GhsEngine::members_of`] to walk the
+    /// arena without copying it.
     pub fn live_fragments(&self) -> &[u32] {
         &self.live
     }
@@ -538,6 +533,11 @@ impl GhsEngine {
             self.inactive.clear();
             return;
         }
+        if self.members.is_some() {
+            self.discover_restricted(net, radius, kinds);
+            self.inactive.clear();
+            return;
+        }
         // Hello round: one local broadcast per node, charged exactly like a
         // table-returning discovery (same kind, energy, rx count, and trace
         // event per node, one round on the clock) — but the neighbour rows
@@ -645,6 +645,78 @@ impl GhsEngine {
             self.nbr_data.extend_from_slice(&row);
         }
         net.tick_round();
+    }
+
+    /// Discovery restricted to a live set: only live nodes transmit a
+    /// hello (one broadcast each, one synchronous round, `live` messages)
+    /// and only live nodes appear in the assembled neighbour rows. Both
+    /// variants keep *private filtered* rows here — the shared sorted
+    /// topology spans the whole id universe, and a dead id in a shared
+    /// row would read as a permanently-foreign fragment to the clean
+    /// cursor scan. Dead ids end up with empty rows: they are zero-cost
+    /// singleton fragments (no parent edge, so they pay no
+    /// initiate/report traffic) that the first phase marks inactive.
+    fn discover_restricted(&mut self, net: &mut RadioNet<'_>, radius: f64, kinds: &GhsKinds) {
+        let members = self.members.clone().expect("caller checked");
+        for &u in members.live_ids() {
+            net.local_broadcast_silent(u as usize, radius, kinds.hello);
+        }
+        net.tick_round();
+        self.build_restricted_rows(net, &members);
+    }
+
+    /// Assembles the private `(dist, id)`-sorted neighbour rows over the
+    /// live set only. Pure bookkeeping: no charges, no rounds.
+    fn build_restricted_rows(&mut self, net: &RadioNet<'_>, members: &Membership) {
+        let n = self.n;
+        let topo = net.topology_at(self.radius).expect("caller cached");
+        self.nbr_off.clear();
+        self.nbr_off.push(0);
+        let mut total = 0u32;
+        for u in 0..n {
+            if members.is_live(u) {
+                total += topo.degree_live(u, members) as u32;
+            }
+            self.nbr_off.push(total);
+        }
+        self.nbr_data.clear();
+        self.nbr_data.reserve(total as usize);
+        for u in 0..n {
+            if !members.is_live(u) {
+                continue;
+            }
+            let start = self.nbr_data.len();
+            for (v, d) in topo.neighbors_live(u, members) {
+                self.nbr_data.push(Nbr {
+                    id: v as u32,
+                    dist: d,
+                    frag: self.frag[v],
+                    rejected: false,
+                });
+            }
+            self.nbr_data[start..]
+                .sort_unstable_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        }
+    }
+
+    /// Rebuilds the live-filtered neighbour rows with **zero radio
+    /// traffic**: the incremental maintenance loop calls this instead of
+    /// [`GhsEngine::discover`] at the start of an epoch, because
+    /// surviving nodes already hold their neighbour tables (and §V-A
+    /// caches) from the previous epoch, and a departed neighbour is
+    /// detected by lease expiry — silence costs no transmissions. The
+    /// engine must have been constructed against a membership-carrying
+    /// network (`RadioNet::set_members` before [`GhsEngine::new`]).
+    pub fn restore_neighbor_caches(&mut self, net: &mut RadioNet<'_>, radius: f64) {
+        assert!(radius > 0.0, "restore radius must be positive");
+        let members = self
+            .members
+            .clone()
+            .expect("restore_neighbor_caches requires a membership-carrying engine");
+        self.radius = radius;
+        net.cache_topology(radius);
+        self.build_restricted_rows(net, &members);
+        self.inactive.clear();
     }
 
     /// Sends `u → v` through the ack/retry envelope when a fault schedule
@@ -879,6 +951,27 @@ impl GhsEngine {
             slot.v = MOE_EXHAUSTED;
             None
         }
+    }
+
+    /// Restricted-mode MOE of node `u` (modified variant under a live
+    /// set): the same zero-message lookup as
+    /// [`GhsEngine::local_moe_modified`], but reading the *live* fragment
+    /// id of each neighbour instead of the row's cached copy. Restricted
+    /// runs are fault-free, so the §V-A caches are exact at every stage-B
+    /// read point (every row-holder is within announce range) and the
+    /// live read returns the very bits the maintained cache would hold —
+    /// without the announce stage having to write per-receiver cache
+    /// entries, and without re-announcing across maintenance epochs.
+    fn local_moe_restricted(&self, u: usize) -> Option<Cand> {
+        let my = self.frag[u];
+        self.nbr_row(u)
+            .iter()
+            .find(|nb| self.frag[nb.id as usize] != my)
+            .map(|nb| Cand {
+                w: nb.dist,
+                u: u as u32,
+                v: nb.id,
+            })
     }
 
     /// Local MOE of node `u` under the original variant: probe unrejected
@@ -1123,13 +1216,16 @@ impl GhsEngine {
         // Clean modified runs search over the shared sorted topology rows
         // (an owned handle, so `net` stays free for the original variant's
         // test exchanges below).
-        let clean_topo = (self.variant == GhsVariant::Modified && self.faults.is_none())
-            .then(|| net.topology_handle().expect("discover cached this radius"));
-        let shard_count = if self.variant == GhsVariant::Modified {
+        let clean_topo = (self.variant == GhsVariant::Modified
+            && self.faults.is_none()
+            && self.members.is_none())
+        .then(|| net.topology_handle().expect("discover cached this radius"));
+        let shard_count = if self.variant == GhsVariant::Modified && self.members.is_none() {
             self.shards.min(self.n.max(1))
         } else {
-            // The original variant's MOE search exchanges messages — it
-            // must stay on the orchestrating thread.
+            // The original variant's MOE search exchanges messages, and
+            // restricted (live-set) runs read live fragment ids per row
+            // entry — both stay on the orchestrating thread.
             1
         };
         if shard_count > 1 {
@@ -1149,6 +1245,9 @@ impl GhsEngine {
                 for &u in &active_nodes[s as usize..e as usize] {
                     let (c, ex) = match (&clean_topo, self.variant) {
                         (Some(topo), _) => (self.local_moe_clean(topo, u as usize), 0),
+                        (None, GhsVariant::Modified) if self.members.is_some() => {
+                            (self.local_moe_restricted(u as usize), 0)
+                        }
                         (None, GhsVariant::Modified) => (self.local_moe_modified(u as usize), 0),
                         (None, GhsVariant::Original) => {
                             self.local_moe_original(net, u as usize, kinds)

@@ -65,6 +65,33 @@ impl Instance {
         self.points.len()
     }
 
+    /// Appends a point (a node joining the universe) and returns its id.
+    /// Every memoised topology build is invalidated: the cached rows
+    /// cover the old point set, and a stale adjacency handed to a run
+    /// would silently hide the new node from every neighbourhood query.
+    pub fn push_point(&mut self, p: Point) -> usize {
+        self.points.push(p);
+        self.invalidate();
+        self.points.len() - 1
+    }
+
+    /// Overwrites the position of node `u` (a node moving), invalidating
+    /// the memoised topology builds.
+    pub fn update_point(&mut self, u: usize, p: Point) {
+        self.points[u] = p;
+        self.invalidate();
+    }
+
+    /// Drops every memoised topology build. Called by the mutating
+    /// methods above; also available to callers that mutate positions in
+    /// bulk through other means.
+    pub fn invalidate(&mut self) {
+        self.topos
+            .get_mut()
+            .expect("instance cache poisoned")
+            .clear();
+    }
+
     /// Shared topology at `radius`, built on first request (grid cell
     /// size = `radius`, matching a run whose operating radius is
     /// `radius`).
@@ -113,6 +140,26 @@ mod tests {
         let c = inst.topology_with_grid(0.3, 0.2);
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(c.radius(), 0.2);
+    }
+
+    #[test]
+    fn growth_invalidates_the_topology_cache() {
+        let mut inst = Instance::generate(0xBEEF, 40, 0);
+        let before = inst.topology(0.3);
+        let id = inst.push_point(Point { x: 0.5, y: 0.5 });
+        assert_eq!(id, 40);
+        assert_eq!(inst.n(), 41);
+        let after = inst.topology(0.3);
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "growth must rebuild the adjacency"
+        );
+        assert_eq!(after.n(), 41);
+        // Moves invalidate too: the same key rebuilds once more.
+        inst.update_point(0, Point { x: 0.25, y: 0.25 });
+        let moved = inst.topology(0.3);
+        assert!(!Arc::ptr_eq(&after, &moved));
+        assert_eq!(moved.n(), 41);
     }
 
     #[test]

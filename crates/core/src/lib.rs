@@ -31,6 +31,7 @@ pub mod eopt;
 pub mod exec;
 pub mod ghs;
 pub mod instance;
+pub mod maintain;
 pub mod nnt;
 pub mod repair;
 pub mod sim;
@@ -41,6 +42,9 @@ pub use eopt::EoptConfig;
 pub use exec::ExecEnv;
 pub use ghs::{GhsEngine, GhsKinds, GhsVariant};
 pub use instance::Instance;
+pub use maintain::{
+    maintain, ChurnEvent, ChurnTimeline, EpochReport, MaintainReport, MaintainStrategy,
+};
 pub use nnt::{NntMsg, NntNode, RankScheme};
 pub use repair::{RepairPolicy, RepairStats};
 pub use sim::{

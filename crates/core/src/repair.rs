@@ -144,8 +144,10 @@ pub struct RepairStats {
 
 /// Number of distinct forest components that contain at least one
 /// survivor. Crashed nodes are ignored: an isolated dead vertex is not
-/// damage the repair stage can (or should) fix.
-fn survivor_fragments(n: usize, tree: &SpanningTree, survivors: &[bool]) -> usize {
+/// damage the repair stage can (or should) fix. Shared with the churn
+/// maintenance loop (`crate::maintain`), whose per-epoch reports count
+/// fragments over the live set the same way.
+pub(crate) fn survivor_fragments(n: usize, tree: &SpanningTree, survivors: &[bool]) -> usize {
     let mut uf = UnionFind::new(n);
     for e in tree.edges() {
         uf.union(e.u as usize, e.v as usize);

@@ -36,8 +36,8 @@ use crate::repair::{RepairPolicy, RepairStats};
 use emst_geom::{nnt_probe_radius, Point};
 use emst_graph::SpanningTree;
 use emst_radio::{
-    ContentionConfig, EnergyConfig, EngineError, FaultPlan, FaultStats, RunStats, StageMark,
-    TraceSink,
+    ContentionConfig, EnergyConfig, EngineError, FaultPlan, FaultStats, Membership, RunStats,
+    StageMark, TraceSink,
 };
 
 /// Why a protocol run aborted instead of producing a (possibly partial)
@@ -382,6 +382,7 @@ pub struct Sim<'a> {
     energy: EnergyConfig,
     contention: Option<ContentionConfig>,
     faults: Option<FaultPlan>,
+    members: Option<Membership>,
     repair: Option<RepairPolicy>,
     /// Worker-thread count for shardable stages (see [`Sim::shards`]).
     shards: usize,
@@ -398,6 +399,7 @@ impl<'a> Sim<'a> {
             energy: EnergyConfig::paper(),
             contention: None,
             faults: None,
+            members: None,
             repair: None,
             shards: 1,
             sink: None,
@@ -457,6 +459,22 @@ impl<'a> Sim<'a> {
     /// collision-free engine only.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = if plan.is_noop() { None } else { Some(plan) };
+        self
+    }
+
+    /// Restricts the run to a live set: only live ids transmit, receive
+    /// or idle-charge, and the protocol engines build their state over
+    /// live ids (dead ids degrade to zero-cost singleton fragments). An
+    /// all-live membership is elided entirely — exactly like a no-op
+    /// [`FaultPlan`] — so static runs stay bit-identical to runs that
+    /// never called this. Mutually exclusive with [`Sim::with_faults`]
+    /// when both are effective (two owners of per-round liveness).
+    pub fn members(mut self, members: Membership) -> Self {
+        self.members = if members.is_all_live() {
+            None
+        } else {
+            Some(members)
+        };
         self
     }
 
@@ -534,6 +552,7 @@ impl<'a> Sim<'a> {
             energy,
             contention,
             faults,
+            members,
             repair,
             shards,
             sink,
@@ -609,6 +628,9 @@ impl<'a> Sim<'a> {
             sink,
         );
         env.set_shards(shards);
+        if let Some(members) = members {
+            env.set_members(members);
+        }
         if let Some(inst) = instance {
             // Prewarm every radius the run will cache. The network's grid
             // is sized for `max_radius`, and topology rows are in grid

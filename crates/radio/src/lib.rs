@@ -16,6 +16,7 @@ pub mod contention;
 pub mod energy;
 pub mod engine;
 pub mod fault;
+pub mod membership;
 pub mod network;
 pub mod stats;
 pub mod topology;
@@ -25,6 +26,7 @@ pub use contention::{ContentionConfig, ContentionOverflow};
 pub use energy::{EnergyLedger, Tally};
 pub use engine::{Ctx, Delivery, EngineError, NodeProtocol, RoundLimitExceeded, SyncEngine};
 pub use fault::{backoff_stream_seed, fault_stream_seed, FaultKind, FaultPlan, FaultStats};
+pub use membership::Membership;
 pub use network::{Clock, EnergyConfig, RadioNet};
 pub use stats::{RunStats, StatSnapshot};
 pub use topology::Topology;

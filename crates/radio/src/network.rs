@@ -15,6 +15,7 @@
 
 use crate::energy::EnergyLedger;
 use crate::fault::{FaultKind, FaultPlan, FaultStats};
+use crate::membership::Membership;
 use crate::topology::Topology;
 use crate::trace::{TraceEvent, TraceSink};
 use emst_geom::{BucketGrid, PathLoss, Point};
@@ -131,6 +132,10 @@ pub struct RadioNet<'a> {
     faults: Option<FaultPlan>,
     /// Drop/retry/timeout counters, reported through [`RadioNet::note_fault`].
     fault_stats: FaultStats,
+    /// Live set; `None` when every node participates (an all-live
+    /// membership is stored as `None`, mirroring the no-op fault-plan
+    /// elision, so static runs take identical paths).
+    members: Option<Membership>,
 }
 
 impl std::fmt::Debug for RadioNet<'_> {
@@ -181,14 +186,83 @@ impl<'a> RadioNet<'a> {
             sink: None,
             faults: None,
             fault_stats: FaultStats::default(),
+            members: None,
         }
     }
 
     /// Installs a fault schedule. A no-op plan ([`FaultPlan::is_noop`]) is
     /// discarded so fault-free runs keep their exact pre-fault behaviour
     /// (bit-identical ledgers and traces).
+    ///
+    /// # Panics
+    ///
+    /// If an effective membership is installed: fault injection and
+    /// membership are mutually exclusive (see [`RadioNet::set_members`]).
     pub fn set_faults(&mut self, plan: FaultPlan) {
-        self.faults = if plan.is_noop() { None } else { Some(plan) };
+        let effective = !plan.is_noop();
+        assert!(
+            !(effective && self.members.is_some()),
+            "fault injection and an effective membership are mutually exclusive"
+        );
+        self.faults = if effective { Some(plan) } else { None };
+    }
+
+    /// Installs the live set. An all-live membership
+    /// ([`Membership::is_all_live`]) is discarded so static runs keep
+    /// their exact pre-membership behaviour (bit-identical ledgers and
+    /// traces) — the same elision contract as no-op fault plans.
+    ///
+    /// With an effective membership, broadcast delivery and reception
+    /// accounting are filtered to live nodes; dead nodes keep their array
+    /// slots (stable ids) but neither receive nor count as receivers.
+    ///
+    /// # Panics
+    ///
+    /// If an effective fault plan is installed: a plan models transient
+    /// loss on a fixed node set, a membership models the authoritative
+    /// live set — composing both would give two owners of per-round
+    /// liveness.
+    pub fn set_members(&mut self, members: Membership) {
+        let effective = !members.is_all_live();
+        assert!(
+            !(effective && self.faults.is_some()),
+            "fault injection and an effective membership are mutually exclusive"
+        );
+        self.members = if effective { Some(members) } else { None };
+    }
+
+    /// The active live set, if an effective membership is installed.
+    #[inline]
+    pub fn members(&self) -> Option<&Membership> {
+        self.members.as_ref()
+    }
+
+    /// Whether node `u` is live (true for every node when no effective
+    /// membership is installed).
+    #[inline]
+    pub fn live(&self, u: usize) -> bool {
+        self.members.as_ref().is_none_or(|m| m.is_live(u))
+    }
+
+    /// Degree of `u` at `radius` counting live neighbours only (equals
+    /// [`RadioNet::degree`] when no effective membership is installed).
+    pub fn live_degree(&self, u: usize, radius: f64) -> usize {
+        match &self.members {
+            None => self.degree(u, radius),
+            Some(m) => {
+                if let Some(t) = self.topology_at(radius) {
+                    t.ids(u).iter().filter(|&&v| m.is_live(v as usize)).count()
+                } else {
+                    let mut deg = 0usize;
+                    self.grid.for_neighbors_within(u, radius, |v, _| {
+                        if m.is_live(v) {
+                            deg += 1;
+                        }
+                    });
+                    deg
+                }
+            }
+        }
     }
 
     /// The active fault schedule, if fault injection is enabled.
@@ -411,6 +485,10 @@ impl<'a> RadioNet<'a> {
     /// here; radius-disciplined protocols should assert on their side.
     pub fn unicast(&mut self, u: usize, v: usize, kind: &'static str) {
         assert!(u != v, "node {u} cannot unicast to itself");
+        debug_assert!(
+            self.live(u) && self.live(v),
+            "unicast {u}→{v} with a dead endpoint"
+        );
         let e = self.config.loss.energy(&self.points[u], &self.points[v]);
         self.ledger.charge(kind, e);
         if self.config.rx > 0.0 {
@@ -508,6 +586,11 @@ impl<'a> RadioNet<'a> {
         } else {
             self.grid.neighbors_within_into(u, radius, receivers);
         }
+        // Dead nodes are not delivered to: the transmission still radiates
+        // (and is charged) at full power, but only live nodes hear it.
+        if let Some(m) = &self.members {
+            receivers.retain(|&(v, _)| m.is_live(v));
+        }
         if self.config.rx > 0.0 {
             self.ledger
                 .charge_rx(receivers.len() as u64, self.config.rx);
@@ -532,7 +615,7 @@ impl<'a> RadioNet<'a> {
         let e = self.config.loss.energy_for_distance(radius);
         self.ledger.charge(kind, e);
         if self.config.rx > 0.0 {
-            let deg = self.degree(u, radius) as u64;
+            let deg = self.live_degree(u, radius) as u64;
             self.ledger.charge_rx(deg, self.config.rx);
         }
         let round = self.clock.now();
@@ -562,8 +645,10 @@ impl<'a> RadioNet<'a> {
         let from = self.clock.now();
         self.clock.advance(k);
         if self.config.idle_per_round > 0.0 {
+            // Dead nodes draw no idle power: only the live set listens.
+            let awake = self.members.as_ref().map_or(self.n(), |m| m.live_count());
             self.ledger
-                .charge_idle(k as f64 * self.n() as f64 * self.config.idle_per_round);
+                .charge_idle(k as f64 * awake as f64 * self.config.idle_per_round);
         }
         let to = self.clock.now();
         self.emit(|| TraceEvent::Rounds { from, to });
@@ -869,6 +954,75 @@ mod tests {
         net.set_faults(FaultPlan::none().drop_probability(0.1));
         assert!(net.faults().is_some());
         assert!(net.fault_stats().is_clean());
+    }
+
+    #[test]
+    fn all_live_membership_is_discarded() {
+        use crate::membership::Membership;
+        let pts = uniform_points(10, &mut trial_rng(77, 0));
+        let mut net = RadioNet::new(&pts, 0.3);
+        net.set_members(Membership::all_live(10));
+        assert!(
+            net.members().is_none(),
+            "all-live memberships must be elided"
+        );
+        let mut m = Membership::all_live(10);
+        m.leave(3);
+        net.set_members(m);
+        assert!(net.members().is_some());
+        assert!(net.live(0) && !net.live(3));
+    }
+
+    #[test]
+    fn membership_filters_delivery_and_reception() {
+        use crate::membership::Membership;
+        let pts = uniform_points(120, &mut trial_rng(78, 0));
+        let r = 0.2;
+        let mut m = Membership::all_live(120);
+        for u in (0..120).step_by(3) {
+            m.leave(u);
+        }
+        let mut net = RadioNet::with_config(
+            &pts,
+            r,
+            EnergyConfig::extended(PathLoss::paper(), 0.001, 0.0),
+        );
+        net.cache_topology(r);
+        net.set_members(m.clone());
+        let mut plain = RadioNet::new(&pts, r);
+        plain.cache_topology(r);
+        let mut buf = Vec::new();
+        for u in [1usize, 50, 119] {
+            net.local_broadcast_into(u, r, "b", &mut buf);
+            assert!(buf.iter().all(|&(v, _)| m.is_live(v)), "dead receiver");
+            assert_eq!(buf.len(), net.live_degree(u, r));
+            let full: Vec<_> = plain
+                .local_broadcast(u, r, "b")
+                .into_iter()
+                .filter(|&(v, _)| m.is_live(v))
+                .collect();
+            assert_eq!(buf, full, "live sublist must keep grid visit order");
+        }
+        // Silent broadcasts charge receptions for live neighbours only.
+        let before = net.ledger().rx_count();
+        net.local_broadcast_silent(1, r, "b");
+        assert_eq!(
+            net.ledger().rx_count() - before,
+            net.live_degree(1, r) as u64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn membership_and_faults_are_mutually_exclusive() {
+        use crate::fault::FaultPlan;
+        use crate::membership::Membership;
+        let pts = uniform_points(6, &mut trial_rng(79, 0));
+        let mut net = RadioNet::new(&pts, 0.3);
+        net.set_faults(FaultPlan::none().drop_probability(0.1));
+        let mut m = Membership::all_live(6);
+        m.leave(0);
+        net.set_members(m);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! which keeps energy ledgers and golden traces bit-identical across the
 //! two paths.
 
+use crate::membership::Membership;
 use emst_geom::BucketGrid;
 use std::sync::OnceLock;
 
@@ -202,6 +203,28 @@ impl Topology {
         for (&v, &d) in self.nbr[r.clone()].iter().zip(&self.dist[r]) {
             out.push((v as usize, d));
         }
+    }
+
+    /// Iterates the *live* `(neighbour, distance)` pairs of `u` in grid
+    /// visit order — the row restricted to `members`' live set. The rows
+    /// themselves are built over the full id universe (dead nodes keep
+    /// their slots, so the CSR never has to be rebuilt on churn); this is
+    /// the filtered view every membership-aware stage iterates.
+    #[inline]
+    pub fn neighbors_live<'m>(
+        &'m self,
+        u: usize,
+        members: &'m Membership,
+    ) -> impl Iterator<Item = (usize, f64)> + 'm {
+        self.neighbors(u).filter(move |&(v, _)| members.is_live(v))
+    }
+
+    /// Live degree of `u` under `members` (row length minus dead entries).
+    pub fn degree_live(&self, u: usize, members: &Membership) -> usize {
+        self.ids(u)
+            .iter()
+            .filter(|&&v| members.is_live(v as usize))
+            .count()
     }
 }
 

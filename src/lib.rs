@@ -15,9 +15,10 @@ pub use emst_radio as radio;
 // The unified run API and its observability surface, re-exported at the
 // top level: `energy_mst::Sim::new(&pts).sink(&mut metrics).run(..)`.
 pub use emst_core::{
-    Detail, Instance, Protocol, RepairPolicy, RepairStats, RunError, RunOutcome, RunOutput, Sim,
+    maintain, ChurnEvent, ChurnTimeline, Detail, EpochReport, Instance, MaintainReport,
+    MaintainStrategy, Protocol, RepairPolicy, RepairStats, RunError, RunOutcome, RunOutput, Sim,
 };
 pub use emst_radio::{
-    CsvSink, FaultKind, FaultPlan, FaultStats, JsonlSink, MetricsSink, NullSink, StageMark,
-    TeeSink, TraceEvent, TraceSink,
+    CsvSink, FaultKind, FaultPlan, FaultStats, JsonlSink, Membership, MetricsSink, NullSink,
+    StageMark, TeeSink, TraceEvent, TraceSink,
 };
