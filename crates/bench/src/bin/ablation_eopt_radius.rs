@@ -11,12 +11,22 @@
 //! Run: `cargo run --release -p emst-bench --bin ablation_eopt_radius [-- --trials N --csv]`
 
 use emst_analysis::{fnum, Table};
-use emst_bench::{eopt_radius_row, run_sweep_multi, Options};
+use emst_bench::{
+    eopt_radius_row, first_row, row_at, run_sweep_multi, Options, ReportError,
+    EOPT_ABLATION_MULTIPLIERS, EOPT_ABLATION_PAPER_INDEX,
+};
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("ablation_eopt_radius: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), ReportError> {
     let opts = Options::from_env();
     let n = if opts.quick { 1000 } else { 4000 };
-    let multipliers = [0.6, 0.8, 1.0, 1.2, 1.4, 1.7, 2.0, 2.5, 3.0];
+    let multipliers = EOPT_ABLATION_MULTIPLIERS;
     eprintln!(
         "ablation_eopt_radius: phase-1 multiplier sweep at n = {n} ({} trials, seed {:#x})",
         opts.trials, opts.seed
@@ -49,16 +59,21 @@ fn main() {
     let best = rows
         .iter()
         .min_by(|a, b| a.1[0].mean.total_cmp(&b.1[0].mean))
-        .unwrap();
+        .ok_or(ReportError::EmptySweep {
+            what: "phase-1 multiplier",
+        })?;
     println!("shape checks:");
     println!(
         "  energy-minimising multiplier ≈ {:.2} (paper uses 1.40)",
         best.0
     );
-    let sub = &rows[0]; // m = 0.6, subcritical
-    let paper = rows.iter().find(|(m, _)| (*m - 1.4).abs() < 1e-9).unwrap();
+    // The paper's row is selected by its declared index into the
+    // multiplier list, not by re-finding 1.4 with a float comparison.
+    let sub = first_row(&rows, "phase-1 multiplier")?; // m = 0.6, subcritical
+    let paper = row_at(&rows, EOPT_ABLATION_PAPER_INDEX, "phase-1 multiplier")?;
     println!(
-        "  subcritical m = {:.1}: largest fragment {:.0} of {n}; paper m = 1.4: {:.0} — giant emerges",
-        sub.0, sub.1[2].mean, paper.1[2].mean
+        "  subcritical m = {:.1}: largest fragment {:.0} of {n}; paper m = {:.1}: {:.0} — giant emerges",
+        sub.0, sub.1[2].mean, paper.0, paper.1[2].mean
     );
+    Ok(())
 }

@@ -12,9 +12,16 @@
 //! Run: `cargo run --release -p emst-bench --bin ablation_rank [-- --trials N --csv]`
 
 use emst_analysis::{fnum, Table};
-use emst_bench::{rank_scheme_row, run_sweep_multi, Options};
+use emst_bench::{first_row, last_row, rank_scheme_row, run_sweep_multi, Options, ReportError};
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("ablation_rank: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), ReportError> {
     let opts = Options::from_env();
     let sizes: Vec<usize> = if opts.quick {
         vec![200, 800]
@@ -61,8 +68,8 @@ fn main() {
         println!("{}", table.to_csv());
     }
 
-    let first = &rows[0];
-    let last = rows.last().unwrap();
+    let first = first_row(&rows, "rank-scheme size")?;
+    let last = last_row(&rows, "rank-scheme size")?;
     let unit = |n: usize| ((n as f64).ln() / n as f64).sqrt();
     println!("shape checks:");
     println!(
@@ -82,4 +89,5 @@ fn main() {
         first.1[2].mean,
         last.1[2].mean
     );
+    Ok(())
 }

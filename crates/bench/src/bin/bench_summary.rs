@@ -47,6 +47,12 @@
 //! parseable values, zero recorded invariant violations) and exits —
 //! the CI guard that `churn_sweep` output stays consumable by the
 //! tooling that reads it.
+//!
+//! With `--service-schema PATH`, it likewise validates a
+//! `BENCH_service.json` under the `bench_service/v1` schema (schema
+//! tag, every field present and parseable, finite positive throughput,
+//! p50 ≤ p99, hit rate in [0, 1], zero server errors) — the CI guard
+//! that `load_gen` output stays consumable.
 
 use emst_bench::Options;
 use emst_core::{EoptConfig, GhsVariant, Instance, Protocol, RankScheme, Sim};
@@ -180,10 +186,79 @@ fn validate_churn_schema(path: &str) {
     println!("churn schema: {path} parses as bench_churn/v1 ({rows} rows, 0 violations)");
 }
 
+/// Validates a `BENCH_service.json` against the `bench_service/v1`
+/// schema: schema tag, every field present with a parseable value,
+/// finite positive throughput, latency percentiles ordered, cache hit
+/// rate in [0, 1], and zero server errors. Panics (non-zero exit) on
+/// any mismatch.
+fn validate_service_schema(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    assert!(
+        text.contains("\"schema\": \"bench_service/v1\""),
+        "{path}: missing or wrong schema tag (want bench_service/v1)"
+    );
+    let num = |key: &str| -> f64 {
+        field(&text, key)
+            .parse()
+            .unwrap_or_else(|e| panic!("{path}: field {key:?}: {e}"))
+    };
+    for key in [
+        "clients",
+        "requests",
+        "n",
+        "cold_ratio",
+        "warm_keys",
+        "wall_s",
+        "cache_hits",
+        "cache_misses",
+        "cache_evictions",
+        "responses_2xx",
+        "responses_4xx",
+    ] {
+        let value = num(key);
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "{path}: field {key:?} is {value}"
+        );
+    }
+    assert!(
+        field(&text, "protocol").starts_with('"'),
+        "{path}: field \"protocol\" is not a string"
+    );
+    let rps = num("rps");
+    assert!(
+        rps.is_finite() && rps > 0.0,
+        "{path}: rps is {rps} (want finite > 0)"
+    );
+    let (p50, p99) = (num("p50_ms"), num("p99_ms"));
+    assert!(
+        p50.is_finite() && p99.is_finite() && 0.0 <= p50 && p50 <= p99,
+        "{path}: latency percentiles disordered (p50 {p50} ms, p99 {p99} ms)"
+    );
+    let hit_rate = num("cache_hit_rate");
+    assert!(
+        (0.0..=1.0).contains(&hit_rate),
+        "{path}: cache_hit_rate is {hit_rate} (want [0, 1])"
+    );
+    let server_5xx = num("responses_5xx");
+    assert!(
+        server_5xx == 0.0,
+        "{path}: records {server_5xx} server errors (5xx)"
+    );
+    println!(
+        "service schema: {path} parses as bench_service/v1 \
+         ({rps:.0} req/s, p50 {p50:.2} ms, p99 {p99:.2} ms, hit rate {hit_rate:.2}, 0 × 5xx)"
+    );
+}
+
 fn main() {
     let opts = Options::from_env();
     if let Some(path) = &opts.churn_schema {
         validate_churn_schema(path);
+        return;
+    }
+    if let Some(path) = &opts.service_schema {
+        validate_service_schema(path);
         return;
     }
     let mut sizes: Vec<usize> = if opts.quick {

@@ -10,9 +10,19 @@
 //! Run: `cargo run --release -p emst-bench --bin connectivity [-- --trials N --csv]`
 
 use emst_analysis::{fnum, Table};
-use emst_bench::{connectivity_trial, run_sweep, Options};
+use emst_bench::{
+    connectivity_trial, first_row, last_row, row_at, run_sweep, Options, ReportError,
+    CONNECTIVITY_MULTIPLIERS, CONNECTIVITY_PAPER_INDEX,
+};
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("connectivity: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), ReportError> {
     let mut opts = Options::from_env();
     // Probabilities need more trials than energy means.
     if opts.trials == Options::default().trials {
@@ -28,7 +38,7 @@ fn main() {
     } else {
         vec![200, 1000, 5000]
     };
-    let multipliers = [0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.4];
+    let multipliers = CONNECTIVITY_MULTIPLIERS;
 
     let mut table = Table::new([
         "m (r = m·sqrt(ln n/n))",
@@ -62,13 +72,19 @@ fn main() {
     }
 
     println!("shape checks:");
-    let first = &results[0];
-    let last = &results[multipliers.len() - 1];
+    let first = first_row(&results, "connectivity multiplier")?;
+    let last = last_row(&results, "connectivity multiplier")?;
     println!(
         "  monotone threshold: P at m=0.6 → {:.2}, P at m=2.4 → {:.2}",
         first[0], last[0]
     );
-    let at16 = &results[multipliers.iter().position(|&m| m == 1.6).unwrap()];
+    // §VII's operating point is addressed by its declared index, not by
+    // an exact-`f64` scan of the multiplier list.
+    let at16 = row_at(
+        &results,
+        CONNECTIVITY_PAPER_INDEX,
+        "connectivity multiplier",
+    )?;
     println!(
         "  §VII's m = 1.6 is empirically connected: {}",
         at16.iter()
@@ -77,4 +93,5 @@ fn main() {
             .collect::<Vec<_>>()
             .join(" / ")
     );
+    Ok(())
 }

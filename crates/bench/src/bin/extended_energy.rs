@@ -20,7 +20,7 @@
 //! Run: `cargo run --release -p emst-bench --bin extended_energy [-- --trials N --csv]`
 
 use emst_analysis::{fnum, Table};
-use emst_bench::{instance, run_sweep_multi, Options};
+use emst_bench::{first_row, instance, last_row, run_sweep_multi, Options, ReportError};
 use emst_core::{EoptConfig, GhsVariant, Protocol, RankScheme, Sim};
 use emst_geom::{paper_phase2_radius, PathLoss};
 use emst_radio::EnergyConfig;
@@ -46,6 +46,13 @@ fn full_energies(seed: u64, n: usize, cfg: EnergyConfig, trial: u64) -> [f64; 3]
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("extended_energy: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), ReportError> {
     let opts = Options::from_env();
     let n = if opts.quick { 500 } else { 2000 };
     eprintln!(
@@ -124,8 +131,8 @@ fn main() {
     }
 
     println!("shape checks:");
-    let base = &rows[0].1;
-    let heavy = &rows.last().unwrap().1;
+    let base = &first_row(&rows, "rx-cost")?.1;
+    let heavy = &last_row(&rows, "rx-cost")?.1;
     println!(
         "  ordering GHS > EOPT > Co-NNT preserved at every rx cost: {}",
         rows.iter()
@@ -139,12 +146,14 @@ fn main() {
         base[0].mean / base[1].mean,
         heavy[0].mean / heavy[1].mean
     );
+    let idle_heavy = &last_row(&rows_idle, "idle-cost")?.1;
     println!(
         "  Co-NNT benefits most from idle costs (fewest rounds): winner at the highest idle rate = {}",
-        if rows_idle.last().unwrap().1[2].mean <= rows_idle.last().unwrap().1[1].mean {
+        if idle_heavy[2].mean <= idle_heavy[1].mean {
             "Co-NNT"
         } else {
             "EOPT"
         }
     );
+    Ok(())
 }

@@ -11,9 +11,18 @@
 //! Run: `cargo run --release -p emst-bench --bin giant_component [-- --trials N --csv]`
 
 use emst_analysis::{fnum, Table, UnitSquarePlot};
-use emst_bench::{giant_row, instance, run_sweep_multi, save_svg, Options};
+use emst_bench::{
+    giant_row, instance, last_row, row_at, run_sweep_multi, save_svg, Options, ReportError,
+};
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("giant_component: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), ReportError> {
     let opts = Options::from_env();
     eprintln!(
         "giant_component: Theorem 5.2 structure ({} trials per point, seed {:#x})",
@@ -90,7 +99,9 @@ fn main() {
         let r = (c_paper / n_map as f64).sqrt();
         let g = emst_graph::Graph::geometric(&pts, r);
         let comps = emst_graph::Components::of(&g);
-        let giant = comps.largest().unwrap();
+        let giant = comps.largest().ok_or(ReportError::Missing {
+            what: "giant component",
+        })?;
         let mut plot = UnitSquarePlot::new(format!(
             "Figure 1: giant component at r = sqrt({c_paper}/n), n = {n_map}"
         ));
@@ -107,15 +118,18 @@ fn main() {
     }
 
     println!("shape checks:");
-    let (gf_lo, gf_paper) = (rows[0].1[0].mean, rows[4].1[0].mean);
+    let sub = row_at(&rows, 0, "percolation constant")?;
+    let paper = row_at(&rows, 4, "percolation constant")?;
+    let (gf_lo, gf_paper) = (sub.1[0].mean, paper.1[0].mean);
     println!(
         "  subcritical c1 = {} → giant frac {:.3}; paper c1 = {} → {:.3} (transition visible: {})",
-        rows[0].0,
+        sub.0,
         gf_lo,
-        rows[4].0,
+        paper.0,
         gf_paper,
         gf_paper > 5.0 * gf_lo
     );
-    let last_beta = rows.last().unwrap().1[3].mean;
+    let last_beta = last_row(&rows, "percolation constant")?.1[3].mean;
     println!("  beta_hat stays O(1) in the supercritical regime: {last_beta:.3}");
+    Ok(())
 }

@@ -12,7 +12,7 @@
 //! Run: `cargo run --release -p emst-bench --bin interference [-- --trials N --csv]`
 
 use emst_analysis::{fnum, Table};
-use emst_bench::{instance, run_sweep_multi, Options};
+use emst_bench::{instance, last_row, run_sweep_multi, Options, ReportError};
 use emst_core::{Protocol, RankScheme, RunError, RunOutput, Sim};
 use emst_geom::paper_phase2_radius;
 use emst_radio::ContentionConfig;
@@ -67,6 +67,13 @@ fn inflation(seed: u64, n: usize, trial: u64, which: &str, p_attempt: f64) -> [f
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("interference: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), ReportError> {
     let opts = Options::from_env();
     let sizes: Vec<usize> = if opts.quick {
         vec![100, 300]
@@ -97,7 +104,7 @@ fn main() {
         if opts.csv {
             println!("{}", table.to_csv());
         }
-        let last = rows.last().unwrap();
+        let last = last_row(&rows, "contention size")?;
         println!(
             "  verdict: energy x{:.2} (constant factor), time x{:.1} (large), trees preserved: {}\n",
             last.1[0].mean,
@@ -122,4 +129,5 @@ fn main() {
         println!("{}", table.to_csv());
     }
     println!("  trade-off: aggressive p collides more (energy); timid p idles more (rounds)");
+    Ok(())
 }

@@ -15,11 +15,21 @@
 //! Run: `cargo run --release -p emst-bench --bin lower_bound [-- --trials N --csv]`
 
 use emst_analysis::{fnum, Table};
-use emst_bench::{instance, knn_energy_ratio, run_sweep, run_sweep_multi, Options};
+use emst_bench::{
+    first_row, instance, knn_energy_ratio, last_row, run_sweep, run_sweep_multi, Options,
+    ReportError,
+};
 use emst_core::{EoptConfig, Protocol, Sim};
 use emst_graph::euclidean_mst;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("lower_bound: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), ReportError> {
     let opts = Options::from_env();
     eprintln!(
         "lower_bound: Lemma 4.1 k-NN energy + Theorem 4.1 pinch ({} trials, seed {:#x})",
@@ -77,11 +87,12 @@ fn main() {
     if opts.csv {
         println!("{}", t2.to_csv());
     }
-    let first = rows.first().unwrap().1[1].mean;
-    let last = rows.last().unwrap().1[1].mean;
+    let first = first_row(&rows, "pinch size")?;
+    let last = last_row(&rows, "pinch size")?;
     println!(
         "  energy/ln n drifts by x{:.2} over a {}x size range (Θ(1) if the bounds pinch)",
-        last / first,
-        rows.last().unwrap().0 / rows.first().unwrap().0
+        last.1[1].mean / first.1[1].mean,
+        last.0 / first.0
     );
+    Ok(())
 }

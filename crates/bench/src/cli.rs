@@ -17,6 +17,10 @@
 //! * `--churn-schema PATH` — (bench_summary only) validate that the
 //!   `BENCH_churn.json` at PATH parses under the `bench_churn/v1`
 //!   schema and exit (the CI guard that `churn_sweep` output stays
+//!   consumable);
+//! * `--service-schema PATH` — (bench_summary only) validate that the
+//!   `BENCH_service.json` at PATH parses under the `bench_service/v1`
+//!   schema and exit (the CI guard that `load_gen` output stays
 //!   consumable).
 
 use crate::BASE_SEED;
@@ -43,6 +47,8 @@ pub struct Options {
     pub large: bool,
     /// Validate a `BENCH_churn.json` file and exit (bench_summary).
     pub churn_schema: Option<String>,
+    /// Validate a `BENCH_service.json` file and exit (bench_summary).
+    pub service_schema: Option<String>,
 }
 
 impl Default for Options {
@@ -57,6 +63,7 @@ impl Default for Options {
             guard: false,
             large: false,
             churn_schema: None,
+            service_schema: None,
         }
     }
 }
@@ -101,9 +108,14 @@ impl Options {
                     let v = it.next().expect("--churn-schema needs a path");
                     opts.churn_schema = Some(v);
                 }
+                "--service-schema" => {
+                    let v = it.next().expect("--service-schema needs a path");
+                    opts.service_schema = Some(v);
+                }
                 other => panic!(
                     "unknown option {other}; supported: --trials N --quick --csv --svg DIR \
-                     --seed S --threads T --guard --large --churn-schema PATH"
+                     --seed S --threads T --guard --large --churn-schema PATH \
+                     --service-schema PATH"
                 ),
             }
         }
@@ -173,6 +185,13 @@ mod tests {
             Some("BENCH_churn.json")
         );
         assert_eq!(parse(&[]).churn_schema, None);
+        assert_eq!(
+            parse(&["--service-schema", "BENCH_service.json"])
+                .service_schema
+                .as_deref(),
+            Some("BENCH_service.json")
+        );
+        assert_eq!(parse(&[]).service_schema, None);
     }
 
     #[test]

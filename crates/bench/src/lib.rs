@@ -12,6 +12,7 @@
 pub mod chaos;
 pub mod cli;
 pub mod fanout;
+pub mod report;
 pub mod runner;
 
 pub use chaos::{
@@ -21,6 +22,10 @@ pub use chaos::{
 };
 pub use cli::Options;
 pub use fanout::{apply_thread_override, run_sweep, run_sweep_multi, run_trials};
+pub use report::{
+    first_row, last_row, row_at, ReportError, CONNECTIVITY_MULTIPLIERS, CONNECTIVITY_PAPER_INDEX,
+    EOPT_ABLATION_MULTIPLIERS, EOPT_ABLATION_PAPER_INDEX,
+};
 pub use runner::*;
 
 /// Base seed for all experiments.

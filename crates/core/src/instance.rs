@@ -21,17 +21,66 @@ use emst_geom::{mix_seed, trial_rng, uniform_points, BucketGrid, Point};
 use emst_radio::Topology;
 use std::sync::{Arc, Mutex};
 
+/// Capacity of the per-instance topology cache. A run needs at most two
+/// entries (EOPT's two radii); four leaves headroom for a caller mixing
+/// protocols over one instance before LRU eviction kicks in.
+const TOPOLOGY_CACHE_CAPACITY: usize = 4;
+
+/// Counters of one bounded cache: how often it answered from memory, how
+/// often it had to build, and how many entries the bound pushed out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered by an existing entry.
+    pub hits: u64,
+    /// Requests that had to build (and insert) a fresh entry.
+    pub misses: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+    /// Entries currently held.
+    pub len: usize,
+    /// The capacity bound.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of requests served from memory (0 when nothing was
+    /// requested yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The bounded, most-recently-used-first store behind [`Instance`]'s
+/// topology memoisation. Entries are keyed by `(grid radius, row radius)`
+/// bits and kept in recency order: a hit moves its entry to the front, an
+/// insert beyond capacity evicts the back (the least recently used key).
+#[derive(Default)]
+struct TopoCache {
+    entries: Vec<(u64, u64, Arc<Topology>)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
 /// A point set plus memoised topology builds, shared across runs.
 ///
 /// Cheap to share by reference; the topology cache is internally
 /// synchronised, so parallel sweep workers can run trials off one
-/// instance.
+/// instance. The cache is *bounded* (`TOPOLOGY_CACHE_CAPACITY` entries,
+/// LRU eviction): a long-lived process sweeping many radii over one
+/// instance holds a fixed number of adjacency builds, not one per radius
+/// it ever touched.
 pub struct Instance {
     points: Vec<Point>,
-    /// Memoised builds keyed by `(grid radius, row radius)` — exact f64
-    /// bits, since every caller derives radii through the same
-    /// expressions. A run needs at most two entries (EOPT's two radii).
-    topos: Mutex<Vec<(u64, u64, Arc<Topology>)>>,
+    /// Bounded memoised builds keyed by `(grid radius, row radius)` —
+    /// exact f64 bits, since every caller derives radii through the same
+    /// expressions.
+    topos: Mutex<TopoCache>,
 }
 
 impl Instance {
@@ -39,7 +88,7 @@ impl Instance {
     pub fn new(points: Vec<Point>) -> Self {
         Instance {
             points,
-            topos: Mutex::new(Vec::new()),
+            topos: Mutex::new(TopoCache::default()),
         }
     }
 
@@ -84,11 +133,13 @@ impl Instance {
 
     /// Drops every memoised topology build. Called by the mutating
     /// methods above; also available to callers that mutate positions in
-    /// bulk through other means.
+    /// bulk through other means. Counters survive invalidation — they
+    /// describe the cache's lifetime, not its current contents.
     pub fn invalidate(&mut self) {
         self.topos
             .get_mut()
             .expect("instance cache poisoned")
+            .entries
             .clear();
     }
 
@@ -106,16 +157,149 @@ impl Instance {
     /// EOPT's step-1 rows (radius `r1` on an `r2`-sized grid) differ in
     /// *order* from a standalone `r1` build, and order is
     /// determinism-bearing.
+    ///
+    /// The build happens under the cache lock, so concurrent first
+    /// requests for one key perform exactly one build and everyone gets
+    /// the same [`Arc`].
     pub fn topology_with_grid(&self, grid_radius: f64, radius: f64) -> Arc<Topology> {
         let key = (grid_radius.to_bits(), radius.to_bits());
         let mut cache = self.topos.lock().expect("instance cache poisoned");
-        if let Some((_, _, t)) = cache.iter().find(|(g, r, _)| (*g, *r) == key) {
-            return t.clone();
+        if let Some(at) = cache
+            .entries
+            .iter()
+            .position(|(g, r, _)| (*g, *r) == (key.0, key.1))
+        {
+            cache.hits += 1;
+            // Refresh recency: the hit entry moves to the front.
+            let entry = cache.entries.remove(at);
+            let t = entry.2.clone();
+            cache.entries.insert(0, entry);
+            return t;
         }
+        cache.misses += 1;
         let grid = BucketGrid::for_radius(&self.points, grid_radius);
         let t = Arc::new(Topology::build(&grid, radius));
-        cache.push((key.0, key.1, t.clone()));
+        cache.entries.insert(0, (key.0, key.1, t.clone()));
+        if cache.entries.len() > TOPOLOGY_CACHE_CAPACITY {
+            cache.entries.pop();
+            cache.evictions += 1;
+        }
         t
+    }
+
+    /// Lifetime hit/miss/eviction counters of this instance's topology
+    /// cache.
+    pub fn topology_cache_stats(&self) -> CacheStats {
+        let cache = self.topos.lock().expect("instance cache poisoned");
+        CacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            evictions: cache.evictions,
+            len: cache.entries.len(),
+            capacity: TOPOLOGY_CACHE_CAPACITY,
+        }
+    }
+}
+
+/// Key of one cached instance: the full seed of its point stream plus the
+/// radius family it serves. See [`InstanceCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InstanceKey {
+    /// Base seed of the point stream.
+    pub seed: u64,
+    /// Number of nodes.
+    pub n: usize,
+    /// Trial index within the `(seed, n)` stream.
+    pub trial: u64,
+    /// Bits of the operating radius the caller runs at (`to_bits`, so
+    /// bitwise-equal radii share an entry and nothing else does).
+    pub radius_bits: u64,
+}
+
+impl InstanceKey {
+    /// Builds the key for a `(seed, n, trial)` instance served at
+    /// `radius`.
+    pub fn new(seed: u64, n: usize, trial: u64, radius: f64) -> Self {
+        InstanceKey {
+            seed,
+            n,
+            trial,
+            radius_bits: radius.to_bits(),
+        }
+    }
+}
+
+/// A bounded, LRU-evicting store of generated [`Instance`]s keyed by
+/// `(seed, n, trial, radius)` — the hot-parameter cache behind the trial
+/// service.
+///
+/// Replaces the pattern of regenerating points and topology per request:
+/// a hit hands back the shared [`Arc<Instance>`] whose memoised topology
+/// is already warm, so repeated requests for one parameter point pay only
+/// the protocol run. Generation happens under the cache lock — N
+/// concurrent first requests for one key perform exactly one generation
+/// (and, via [`Instance`]'s own lock, one topology build), so the hit
+/// counter reads `N − 1`.
+pub struct InstanceCache {
+    capacity: usize,
+    inner: Mutex<InstanceCacheInner>,
+}
+
+#[derive(Default)]
+struct InstanceCacheInner {
+    /// Most-recently-used first.
+    entries: Vec<(InstanceKey, Arc<Instance>)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl InstanceCache {
+    /// Creates a cache bounded to `capacity` entries (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        InstanceCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(InstanceCacheInner::default()),
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The shared instance for `key`, generating (and possibly evicting
+    /// the least recently used entry) on first request. Returns the
+    /// instance and whether it was served from memory.
+    pub fn get_or_generate(&self, key: InstanceKey) -> (Arc<Instance>, bool) {
+        let mut inner = self.inner.lock().expect("instance cache poisoned");
+        if let Some(at) = inner.entries.iter().position(|(k, _)| *k == key) {
+            inner.hits += 1;
+            let entry = inner.entries.remove(at);
+            let inst = entry.1.clone();
+            inner.entries.insert(0, entry);
+            return (inst, true);
+        }
+        inner.misses += 1;
+        let inst = Arc::new(Instance::generate(key.seed, key.n, key.trial));
+        inner.entries.insert(0, (key, inst.clone()));
+        if inner.entries.len() > self.capacity {
+            inner.entries.pop();
+            inner.evictions += 1;
+        }
+        (inst, false)
+    }
+
+    /// Lifetime hit/miss/eviction counters plus current occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("instance cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            len: inner.entries.len(),
+            capacity: self.capacity,
+        }
     }
 }
 
@@ -168,5 +352,84 @@ mod tests {
         let grid = BucketGrid::for_radius(inst.points(), 0.4);
         let direct = Topology::build(&grid, 0.25);
         assert_eq!(*inst.topology_with_grid(0.4, 0.25), direct);
+    }
+
+    #[test]
+    fn topology_cache_is_bounded_and_lru() {
+        let inst = Instance::generate(11, 30, 0);
+        // Fill to capacity, oldest first.
+        for i in 0..TOPOLOGY_CACHE_CAPACITY {
+            let _ = inst.topology(0.1 + 0.05 * i as f64);
+        }
+        // Touch the oldest entry so it is no longer the eviction victim.
+        let refreshed = inst.topology(0.1);
+        let s = inst.topology_cache_stats();
+        assert_eq!(s.misses, TOPOLOGY_CACHE_CAPACITY as u64);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.len, TOPOLOGY_CACHE_CAPACITY);
+        // One more key evicts the LRU entry (0.15), not the refreshed one.
+        let _ = inst.topology(0.9);
+        let s = inst.topology_cache_stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.len, TOPOLOGY_CACHE_CAPACITY);
+        assert!(
+            Arc::ptr_eq(&refreshed, &inst.topology(0.1)),
+            "refreshed entry must survive the eviction"
+        );
+        let rebuilt = inst.topology(0.15);
+        assert_eq!(rebuilt.radius(), 0.15);
+        let s = inst.topology_cache_stats();
+        assert_eq!(s.evictions, 2, "re-requesting the victim rebuilds it");
+        assert!((s.hit_rate() - s.hits as f64 / (s.hits + s.misses) as f64).abs() < 1e-15);
+    }
+
+    #[test]
+    fn instance_cache_shares_hits_and_evicts_lru() {
+        let cache = InstanceCache::new(2);
+        assert_eq!(cache.capacity(), 2);
+        let k1 = InstanceKey::new(1, 40, 0, 0.3);
+        let k2 = InstanceKey::new(2, 40, 0, 0.3);
+        let k3 = InstanceKey::new(1, 40, 0, 0.4); // same points, new radius family
+        let (a, hit) = cache.get_or_generate(k1);
+        assert!(!hit);
+        let (b, hit) = cache.get_or_generate(k1);
+        assert!(hit, "second request for one key must be a hit");
+        assert!(Arc::ptr_eq(&a, &b), "hits share one instance");
+        let (_, hit) = cache.get_or_generate(k2);
+        assert!(!hit);
+        // Recency is now [k2, k1]; inserting k3 evicts k1, the LRU key.
+        let (_, hit) = cache.get_or_generate(k3);
+        assert!(!hit);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.len), (1, 3, 1, 2));
+        let (c, hit) = cache.get_or_generate(k1);
+        assert!(!hit, "evicted key must regenerate");
+        assert!(!Arc::ptr_eq(&a, &c));
+        // Identical content regardless of cache history.
+        assert_eq!(a.points(), c.points());
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn instance_cache_concurrent_same_key_builds_once() {
+        let cache = std::sync::Arc::new(InstanceCache::new(4));
+        let key = InstanceKey::new(77, 60, 0, 0.25);
+        let n_threads = 8;
+        std::thread::scope(|scope| {
+            for _ in 0..n_threads {
+                let cache = cache.clone();
+                scope.spawn(move || {
+                    let (inst, _) = cache.get_or_generate(key);
+                    let _ = inst.topology(0.25);
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "one generation for N concurrent requests");
+        assert_eq!(s.hits, n_threads - 1, "hit counter reads N - 1");
+        // And the instance underneath performed exactly one topology build.
+        let (inst, _) = cache.get_or_generate(key);
+        assert_eq!(inst.topology_cache_stats().misses, 1);
     }
 }

@@ -41,13 +41,13 @@ pub use discovery::{discover, discover_reactive, HelloProtocol, Neighbor, Neighb
 pub use eopt::EoptConfig;
 pub use exec::ExecEnv;
 pub use ghs::{GhsEngine, GhsKinds, GhsVariant};
-pub use instance::Instance;
+pub use instance::{CacheStats, Instance, InstanceCache, InstanceKey};
 pub use maintain::{
     maintain, ChurnEvent, ChurnTimeline, EpochReport, MaintainReport, MaintainStrategy,
 };
 pub use nnt::{NntMsg, NntNode, RankScheme};
 pub use repair::{RepairPolicy, RepairStats};
 pub use sim::{
-    BfsDetail, Detail, ElectionDetail, EoptDetail, GhsDetail, NntDetail, Protocol, RunError,
-    RunOutcome, RunOutput, Sim,
+    BfsDetail, ConfigError, Detail, ElectionDetail, EoptDetail, GhsDetail, NntDetail, Protocol,
+    RunError, RunOutcome, RunOutput, Sim,
 };

@@ -91,6 +91,73 @@ impl From<EngineError> for RunError {
     }
 }
 
+/// A malformed [`Sim`] configuration, detected before anything executes.
+///
+/// [`Sim::run`]/[`Sim::try_run`] keep their historical panic behaviour on
+/// these — inside one experiment binary a bad configuration is a
+/// programming error and the backtrace is the feature. Long-lived callers
+/// (the trial service) use [`Sim::try_run_checked`], which returns them
+/// as values instead: a malformed request must never take the process
+/// down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A radius-bound protocol (GHS, BFS, the elections) ran without
+    /// [`Sim::radius`].
+    MissingRadius {
+        /// The protocol variant that needed the radius.
+        protocol: &'static str,
+    },
+    /// [`Protocol::Bfs`]'s root is outside the point set.
+    RootOutOfRange {
+        /// The requested root.
+        root: usize,
+        /// Number of nodes.
+        n: usize,
+    },
+    /// The contention layer was combined with an orchestrated protocol
+    /// (GHS/EOPT), whose schedules assume the collision-free RBN model.
+    ContentionWithOrchestrated {
+        /// Which orchestrated protocol was requested.
+        protocol: &'static str,
+    },
+    /// The contention layer was combined with fault injection; fault
+    /// injection composes with the collision-free engine only.
+    ContentionWithFaults,
+    /// An effective fault plan was combined with an effective membership
+    /// — two owners of per-round liveness.
+    FaultsWithMembership,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::MissingRadius { protocol } => {
+                write!(f, "{protocol} requires Sim::radius")
+            }
+            ConfigError::RootOutOfRange { root, n } => {
+                write!(f, "root out of range: {root} with n = {n}")
+            }
+            ConfigError::ContentionWithOrchestrated { protocol } => write!(
+                f,
+                "{protocol} is orchestrated over the collision-free RBN model; \
+                 the contention layer applies to reactive protocols only"
+            ),
+            ConfigError::ContentionWithFaults => {
+                write!(
+                    f,
+                    "fault injection composes with the collision-free engine only"
+                )
+            }
+            ConfigError::FaultsWithMembership => write!(
+                f,
+                "fault injection and an effective membership are mutually exclusive"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Which algorithm to run. Radius semantics differ by protocol:
 /// GHS and BFS operate at the radius set with [`Sim::radius`]; EOPT and
 /// Co-NNT derive their own radii (`r₁`/`r₂`, probe ladder) from `n`.
@@ -536,19 +603,89 @@ impl<'a> Sim<'a> {
         }
     }
 
+    /// Validates the configuration against `protocol` and computes the
+    /// run-wide operating radius the shared network is built at.
+    fn validate(&self, protocol: Protocol) -> Result<f64, ConfigError> {
+        if self.contention.is_some() && self.faults.is_some() {
+            return Err(ConfigError::ContentionWithFaults);
+        }
+        // `with_faults` elides no-op plans and `members` elides all-live
+        // memberships, so `Some` means *effective* on both sides — the
+        // same conflict `RadioNet::set_members` asserts, surfaced as a
+        // value before any network exists.
+        if self.faults.is_some() && self.members.is_some() {
+            return Err(ConfigError::FaultsWithMembership);
+        }
+        let n = self.points.len();
+        match protocol {
+            Protocol::Ghs(_) => {
+                if self.contention.is_some() {
+                    return Err(ConfigError::ContentionWithOrchestrated { protocol: "GHS" });
+                }
+                self.radius.ok_or(ConfigError::MissingRadius {
+                    protocol: "Protocol::Ghs",
+                })
+            }
+            Protocol::Eopt(cfg) => {
+                if self.contention.is_some() {
+                    return Err(ConfigError::ContentionWithOrchestrated { protocol: "EOPT" });
+                }
+                Ok(cfg.radius2(n.max(2)).max(cfg.radius1(n.max(2))))
+            }
+            // Grid sized for the common early probe radius; larger probes
+            // still resolve correctly (they scan more cells).
+            Protocol::Nnt(_) => Ok(nnt_probe_radius(2, n.max(2))),
+            Protocol::Bfs { root } => {
+                if root >= n.max(1) {
+                    return Err(ConfigError::RootOutOfRange { root, n });
+                }
+                self.radius.ok_or(ConfigError::MissingRadius {
+                    protocol: "Protocol::Bfs",
+                })
+            }
+            Protocol::ElectionFlood => self.radius.ok_or(ConfigError::MissingRadius {
+                protocol: "Protocol::ElectionFlood",
+            }),
+            Protocol::ElectionTree => self.radius.ok_or(ConfigError::MissingRadius {
+                protocol: "Protocol::ElectionTree",
+            }),
+        }
+    }
+
     /// Executes `protocol`, classifying the result instead of panicking
     /// on fault-induced damage: see [`RunOutcome`].
     ///
     /// # Panics
     ///
     /// Only on configuration errors (missing radius, out-of-range root,
-    /// contention combined with GHS/EOPT or with fault injection) — never
-    /// on what happens during the run.
+    /// contention combined with GHS/EOPT or with fault injection, faults
+    /// combined with a membership) — never on what happens during the
+    /// run. Use [`Sim::try_run_checked`] to get those as values too.
     pub fn try_run(self, protocol: Protocol) -> RunOutcome {
+        match self.try_run_checked(protocol) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Validates the configuration for `protocol` without running it —
+    /// the same checks [`Sim::try_run_checked`] performs up front. Lets a
+    /// server reject a bad configuration before committing to a streamed
+    /// response.
+    pub fn check(&self, protocol: Protocol) -> Result<(), ConfigError> {
+        self.validate(protocol).map(|_| ())
+    }
+
+    /// Fully checked execution: configuration errors come back as
+    /// [`ConfigError`] values and run-time damage is classified by the
+    /// [`RunOutcome`] lattice, so this entrypoint never panics on any
+    /// request content — the contract a long-lived server needs.
+    pub fn try_run_checked(self, protocol: Protocol) -> Result<RunOutcome, ConfigError> {
+        let max_radius = self.validate(protocol)?;
         let Sim {
             points,
             instance,
-            radius,
+            radius: _,
             energy,
             contention,
             faults,
@@ -557,42 +694,7 @@ impl<'a> Sim<'a> {
             shards,
             sink,
         } = self;
-        assert!(
-            !(contention.is_some() && faults.is_some()),
-            "fault injection composes with the collision-free engine only"
-        );
         let n = points.len();
-        // Configuration checks and the run-wide operating radius the
-        // shared network is built at.
-        let max_radius = match protocol {
-            Protocol::Ghs(_) => {
-                assert!(
-                    contention.is_none(),
-                    "GHS is orchestrated over the collision-free RBN model; \
-                     the contention layer applies to reactive protocols only"
-                );
-                radius.expect("Protocol::Ghs requires Sim::radius")
-            }
-            Protocol::Eopt(cfg) => {
-                assert!(
-                    contention.is_none(),
-                    "EOPT is orchestrated over the collision-free RBN model; \
-                     the contention layer applies to reactive protocols only"
-                );
-                cfg.radius2(n.max(2)).max(cfg.radius1(n.max(2)))
-            }
-            // Grid sized for the common early probe radius; larger probes
-            // still resolve correctly (they scan more cells).
-            Protocol::Nnt(_) => nnt_probe_radius(2, n.max(2)),
-            Protocol::Bfs { root } => {
-                assert!(root < n.max(1), "root out of range");
-                radius.expect("Protocol::Bfs requires Sim::radius")
-            }
-            Protocol::ElectionFlood => {
-                radius.expect("Protocol::ElectionFlood requires Sim::radius")
-            }
-            Protocol::ElectionTree => radius.expect("Protocol::ElectionTree requires Sim::radius"),
-        };
         // The reactive protocols historically short-circuited empty
         // instances before touching the network; preserve that.
         if n == 0 {
@@ -611,12 +713,12 @@ impl<'a> Sim<'a> {
                 Protocol::Ghs(_) | Protocol::Eopt(_) => None,
             };
             if let Some(detail) = detail {
-                return RunOutcome::Complete(RunOutput::build(
+                return Ok(RunOutcome::Complete(RunOutput::build(
                     SpanningTree::new(0, Vec::new()),
                     RunStats::default(),
                     Vec::new(),
                     detail,
-                ));
+                )));
             }
         }
         let mut env = ExecEnv::new(
@@ -695,10 +797,10 @@ impl<'a> Sim<'a> {
         let (mut tree, detail) = match result {
             Ok(parts) => parts,
             Err(error) => {
-                return RunOutcome::Failed {
+                return Ok(RunOutcome::Failed {
                     error,
                     faults: env.net().fault_stats(),
-                }
+                })
             }
         };
         let faulted = env.faulted();
@@ -728,11 +830,11 @@ impl<'a> Sim<'a> {
             // The repair stage only runs on runs that already classified
             // as degraded; success upgrades them, failure leaves the
             // (still improved) partial forest where it was.
-            return if success {
+            return Ok(if success {
                 RunOutcome::Repaired { output, repair }
             } else {
                 RunOutcome::Degraded { output, faults: fs }
-            };
+            });
         }
         // Damage is visible when a message was abandoned outright, or when
         // drops coincide with structural damage: a fragmented forest for
@@ -744,11 +846,11 @@ impl<'a> Sim<'a> {
             _ => output.fragments > 1,
         };
         let degraded = faulted && (fs.timeouts > 0 || (structural && fs.drops > 0));
-        if degraded {
+        Ok(if degraded {
             RunOutcome::Degraded { output, faults: fs }
         } else {
             RunOutcome::Complete(output)
-        }
+        })
     }
 }
 
@@ -841,6 +943,66 @@ mod tests {
         // still reproduce the ledger exactly.
         assert_eq!(m.total_energy(), out.stats.energy);
         assert_eq!(m.total_messages(), out.stats.messages);
+    }
+
+    #[test]
+    fn config_conflicts_surface_as_typed_errors() {
+        use emst_radio::{ContentionConfig, FaultPlan, Membership};
+        let pts = uniform_points(30, &mut trial_rng(908, 0));
+        // Effective faults + effective membership: the conflict that used
+        // to fire the `RadioNet::set_members` assert mid-run.
+        let mut members = Membership::all_live(30);
+        members.leave(3);
+        let err = Sim::new(&pts)
+            .radius(0.4)
+            .with_faults(FaultPlan::none().drop_probability(0.1))
+            .members(members.clone())
+            .try_run_checked(Protocol::Ghs(GhsVariant::Modified))
+            .unwrap_err();
+        assert_eq!(err, ConfigError::FaultsWithMembership);
+        assert!(err.to_string().contains("mutually exclusive"));
+
+        // A *no-op* plan is elided by the builder, so the same request
+        // without effective faults is not a conflict.
+        assert!(Sim::new(&pts)
+            .radius(0.4)
+            .with_faults(FaultPlan::none())
+            .members(members)
+            .try_run_checked(Protocol::Ghs(GhsVariant::Modified))
+            .is_ok());
+
+        let err = Sim::new(&pts)
+            .try_run_checked(Protocol::Ghs(GhsVariant::Modified))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::MissingRadius {
+                protocol: "Protocol::Ghs"
+            }
+        );
+
+        let err = Sim::new(&pts)
+            .radius(0.4)
+            .contention(ContentionConfig::default())
+            .try_run_checked(Protocol::Ghs(GhsVariant::Modified))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ContentionWithOrchestrated { protocol: "GHS" }
+        );
+
+        let err = Sim::new(&pts)
+            .contention(ContentionConfig::default())
+            .with_faults(FaultPlan::none().drop_probability(0.1))
+            .try_run_checked(Protocol::Nnt(RankScheme::Diagonal))
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ContentionWithFaults);
+
+        let err = Sim::new(&pts)
+            .radius(0.4)
+            .try_run_checked(Protocol::Bfs { root: 30 })
+            .unwrap_err();
+        assert_eq!(err, ConfigError::RootOutOfRange { root: 30, n: 30 });
     }
 
     #[test]

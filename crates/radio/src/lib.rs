@@ -31,6 +31,6 @@ pub use network::{Clock, EnergyConfig, RadioNet};
 pub use stats::{RunStats, StatSnapshot};
 pub use topology::Topology;
 pub use trace::{
-    CsvSink, JsonlSink, MergeMark, MetricsSink, NullSink, PhaseKey, StageMark, TeeSink, TraceEvent,
-    TraceSink,
+    ClassMask, CsvSink, EventClass, FilterSink, JsonlSink, MergeMark, MetricsSink, NullSink,
+    PhaseKey, StageMark, TeeSink, TraceEvent, TraceSink,
 };

@@ -107,6 +107,107 @@ pub enum TraceEvent {
     },
 }
 
+/// Coarse classes of [`TraceEvent`], for stream filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventClass {
+    /// [`TraceEvent::Rounds`].
+    Rounds,
+    /// [`TraceEvent::Message`] — the high-volume class.
+    Message,
+    /// [`TraceEvent::Phase`].
+    Phase,
+    /// [`TraceEvent::Merge`].
+    Merge,
+    /// [`TraceEvent::Stage`].
+    Stage,
+    /// [`TraceEvent::Fault`].
+    Fault,
+}
+
+impl EventClass {
+    const fn bit(self) -> u8 {
+        match self {
+            EventClass::Rounds => 1 << 0,
+            EventClass::Message => 1 << 1,
+            EventClass::Phase => 1 << 2,
+            EventClass::Merge => 1 << 3,
+            EventClass::Stage => 1 << 4,
+            EventClass::Fault => 1 << 5,
+        }
+    }
+}
+
+impl TraceEvent {
+    /// This event's [`EventClass`].
+    pub fn class(&self) -> EventClass {
+        match self {
+            TraceEvent::Rounds { .. } => EventClass::Rounds,
+            TraceEvent::Message { .. } => EventClass::Message,
+            TraceEvent::Phase { .. } => EventClass::Phase,
+            TraceEvent::Merge { .. } => EventClass::Merge,
+            TraceEvent::Stage(_) => EventClass::Stage,
+            TraceEvent::Fault { .. } => EventClass::Fault,
+        }
+    }
+}
+
+/// A set of [`EventClass`]es, for [`FilterSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassMask(u8);
+
+impl ClassMask {
+    /// Every event class.
+    pub const ALL: ClassMask = ClassMask(0x3F);
+    /// Nothing.
+    pub const NONE: ClassMask = ClassMask(0);
+    /// The per-run summary classes — everything except the high-volume
+    /// per-transmission [`EventClass::Message`] stream. This is what a
+    /// streamed service response ships by default: phase transitions,
+    /// merges, stage deltas, clock advances and fault marks, at a volume
+    /// proportional to protocol structure rather than message count.
+    pub const SUMMARY: ClassMask = ClassMask(0x3F & !(1 << 1));
+
+    /// The mask containing exactly `class`.
+    pub const fn only(class: EventClass) -> ClassMask {
+        ClassMask(class.bit())
+    }
+
+    /// This mask plus `class`.
+    pub const fn with(self, class: EventClass) -> ClassMask {
+        ClassMask(self.0 | class.bit())
+    }
+
+    /// Whether `class` is in the mask.
+    pub const fn contains(self, class: EventClass) -> bool {
+        self.0 & class.bit() != 0
+    }
+}
+
+/// Forwards only the event classes in its mask to the wrapped sink.
+///
+/// The service's streaming responses use this to put a [`JsonlSink`]
+/// directly on the response socket without paying per-transmission
+/// serialisation for clients that only want the structural summary.
+pub struct FilterSink<'s> {
+    allow: ClassMask,
+    inner: &'s mut dyn TraceSink,
+}
+
+impl<'s> FilterSink<'s> {
+    /// Wraps `inner`, forwarding only classes in `allow`.
+    pub fn new(allow: ClassMask, inner: &'s mut dyn TraceSink) -> Self {
+        FilterSink { allow, inner }
+    }
+}
+
+impl TraceSink for FilterSink<'_> {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.allow.contains(event.class()) {
+            self.inner.record(event);
+        }
+    }
+}
+
 /// Receiver of [`TraceEvent`]s.
 ///
 /// Implementations must be cheap per call; the network invokes `record`
@@ -869,6 +970,34 @@ mod tests {
         let cols = lines[0].split(',').count();
         assert_eq!(lines[2].split(',').count(), cols, "ragged fault row");
         assert!(lines[2].starts_with("retry,4,ghs/test,2,5,"));
+    }
+
+    #[test]
+    fn filter_sink_forwards_only_masked_classes() {
+        let mut m = MetricsSink::new();
+        {
+            let mut f = FilterSink::new(ClassMask::SUMMARY, &mut m);
+            f.record(&msg(0, "k", 0, 1.0)); // Message: filtered out
+            f.record(&TraceEvent::Rounds { from: 0, to: 3 });
+            f.record(&TraceEvent::Merge {
+                round: 1,
+                leader: 2,
+                absorbed: 1,
+                size: 2,
+            });
+        }
+        assert_eq!(m.total_messages(), 0);
+        assert_eq!(m.rounds(), 3);
+        assert_eq!(m.merges().len(), 1);
+
+        assert!(ClassMask::ALL.contains(EventClass::Message));
+        assert!(!ClassMask::SUMMARY.contains(EventClass::Message));
+        assert!(ClassMask::SUMMARY.contains(EventClass::Stage));
+        assert!(!ClassMask::NONE.contains(EventClass::Rounds));
+        let only = ClassMask::only(EventClass::Phase).with(EventClass::Fault);
+        assert!(only.contains(EventClass::Phase) && only.contains(EventClass::Fault));
+        assert!(!only.contains(EventClass::Merge));
+        assert_eq!(msg(0, "k", 0, 1.0).class(), EventClass::Message);
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! The trial server binary.
+//!
+//! ```text
+//! emst_service [--addr HOST:PORT] [--cache-capacity K] [--max-connections C]
+//! ```
+//!
+//! Prints the bound address (one line, `listening on ADDR`) once ready,
+//! then serves until killed. Port 0 picks a free port — useful under CI
+//! where the load generator reads the printed address.
+
+use emst_service::{serve, ServiceConfig};
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("emst_service: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = ServiceConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .ok_or_else(|| format!("{what} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--cache-capacity" => cfg.cache_capacity = value("--cache-capacity")?.parse()?,
+            "--max-connections" => cfg.max_connections = value("--max-connections")?.parse()?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: emst_service [--addr HOST:PORT] [--cache-capacity K] [--max-connections C]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other:?} (see --help)").into()),
+        }
+    }
+
+    let handle = serve(cfg)?;
+    println!("listening on {}", handle.addr());
+    // Serve until the process is killed; the accept loop lives in a
+    // background thread, so park this one.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,144 @@
+//! A minimal keep-alive HTTP/1.1 client for the load generator and the
+//! integration tests. Speaks exactly the dialect the server emits:
+//! fixed-length responses and chunked NDJSON streams.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// A decoded response.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Full body (chunked transfer already reassembled).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Body as UTF-8 (lossy — only used for diagnostics and JSON, both
+    /// ASCII in practice).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// One persistent connection to the service.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:8080`).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads the complete response (reassembling a
+    /// chunked body). The connection stays open for the next call.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: emst\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )?;
+        self.writer.write_all(body)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// GET convenience wrapper.
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        self.request("GET", path, b"")
+    }
+
+    /// POST convenience wrapper.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> io::Result<Response> {
+        self.request("POST", path, body)
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        let status_line = self.read_line()?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(format!("unparseable status line {status_line:?}")))?;
+
+        let mut content_length: Option<usize> = None;
+        let mut chunked = false;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(bad(format!("malformed response header {line:?}")));
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
+                content_length = Some(
+                    value
+                        .parse()
+                        .map_err(|_| bad("bad content-length".into()))?,
+                );
+            } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+                chunked = true;
+            }
+        }
+
+        let mut body = Vec::new();
+        if chunked {
+            loop {
+                let size_line = self.read_line()?;
+                let size = usize::from_str_radix(size_line.trim(), 16)
+                    .map_err(|_| bad(format!("bad chunk size {size_line:?}")))?;
+                if size == 0 {
+                    // Trailer section: the server sends none, so expect the
+                    // final blank line.
+                    let trailer = self.read_line()?;
+                    if !trailer.is_empty() {
+                        return Err(bad("unexpected trailer".into()));
+                    }
+                    break;
+                }
+                let start = body.len();
+                body.resize(start + size, 0);
+                self.reader.read_exact(&mut body[start..])?;
+                let crlf = self.read_line()?;
+                if !crlf.is_empty() {
+                    return Err(bad("chunk not CRLF-terminated".into()));
+                }
+            }
+        } else if let Some(len) = content_length {
+            body.resize(len, 0);
+            self.reader.read_exact(&mut body)?;
+        }
+        Ok(Response { status, body })
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}

@@ -1,0 +1,345 @@
+//! Blocking HTTP/1.1 plumbing over `std::net`.
+//!
+//! The workspace vendors no async runtime, so the service is a
+//! thread-per-worker server and this module is the wire layer it shares
+//! with the in-crate client: request parsing with hard size limits,
+//! fixed-length keep-alive responses, and a [`ChunkedWriter`] that turns
+//! any `Write` into a `Transfer-Encoding: chunked` body so trace sinks
+//! can stream NDJSON straight onto the socket.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+
+/// Header-section cap; anything larger is hostile, not a trial request.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+/// Default body cap (the server makes its own configurable).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request head plus its body.
+#[derive(Debug)]
+pub struct HttpRequest {
+    /// Method verb, uppercased by the sender (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target, e.g. `/run`.
+    pub path: String,
+    /// Headers with lowercased names; duplicate names keep the last value
+    /// (none of the headers the service reads may legally repeat).
+    pub headers: BTreeMap<String, String>,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// How request reading can fail, separated so the server can map each to
+/// the right status code.
+#[derive(Debug)]
+pub enum RequestReadError {
+    /// Socket error or connection dropped mid-request.
+    Io(io::Error),
+    /// Request line / headers malformed → 400.
+    Malformed(&'static str),
+    /// Headers or body over the cap → 431 / 413.
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for RequestReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestReadError::Io(e) => write!(f, "i/o error: {e}"),
+            RequestReadError::Malformed(what) => write!(f, "malformed request: {what}"),
+            RequestReadError::TooLarge(what) => write!(f, "request too large: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestReadError {}
+
+impl From<io::Error> for RequestReadError {
+    fn from(e: io::Error) -> Self {
+        RequestReadError::Io(e)
+    }
+}
+
+/// Reads one request from a keep-alive connection. Returns `Ok(None)` on
+/// a clean EOF before any byte of a request line (client closed between
+/// requests).
+pub fn read_request<R: BufRead>(
+    r: &mut R,
+    max_body: usize,
+) -> Result<Option<HttpRequest>, RequestReadError> {
+    let mut line = String::new();
+    if read_crlf_line(r, &mut line, MAX_HEADER_BYTES)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(RequestReadError::Malformed("empty request line"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or(RequestReadError::Malformed("request line missing target"))?
+        .to_string();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(RequestReadError::Malformed("unsupported protocol version")),
+    }
+
+    let mut headers = BTreeMap::new();
+    let mut header_bytes = line.len();
+    loop {
+        line.clear();
+        let n = read_crlf_line(r, &mut line, MAX_HEADER_BYTES)?;
+        if n == 0 && line.is_empty() {
+            return Err(RequestReadError::Malformed("eof inside headers"));
+        }
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += n;
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(RequestReadError::TooLarge("header section"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(RequestReadError::Malformed("header without ':'"))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    let mut body = Vec::new();
+    if let Some(len) = headers.get("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| RequestReadError::Malformed("unparseable content-length"))?;
+        if len > max_body {
+            return Err(RequestReadError::TooLarge("body"));
+        }
+        body.resize(len, 0);
+        r.read_exact(&mut body)?;
+    } else if headers.contains_key("transfer-encoding") {
+        // Chunked *requests* are out of scope; the service only streams
+        // responses.
+        return Err(RequestReadError::Malformed("chunked request body"));
+    }
+    Ok(Some(HttpRequest {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// Reads a CRLF (or bare-LF) terminated line into `out` (terminator
+/// stripped); returns raw bytes consumed, 0 on EOF.
+fn read_crlf_line<R: BufRead>(
+    r: &mut R,
+    out: &mut String,
+    cap: usize,
+) -> Result<usize, RequestReadError> {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    let mut consumed = 0usize;
+    loop {
+        if raw.len() > cap {
+            return Err(RequestReadError::TooLarge("header line"));
+        }
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if consumed == 0 {
+                    return Ok(0); // clean EOF before any byte of a line
+                }
+                break;
+            }
+            Ok(_) => {
+                consumed += 1;
+                if byte[0] == b'\n' {
+                    break;
+                }
+                raw.push(byte[0]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    out.push_str(
+        std::str::from_utf8(&raw).map_err(|_| RequestReadError::Malformed("non-utf8 header"))?,
+    );
+    Ok(consumed)
+}
+
+/// Writes a complete fixed-length response and flushes; the connection
+/// stays usable for the next request.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Writes the head of a chunked response; follow with a [`ChunkedWriter`]
+/// over the same stream and call [`ChunkedWriter::finish`] when done.
+pub fn write_chunked_head<W: Write>(w: &mut W, status: u16, content_type: &str) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: keep-alive\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+    )
+}
+
+/// Reason phrase for the handful of statuses the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Adapts any `Write` into a `Transfer-Encoding: chunked` body. Bytes are
+/// buffered and emitted as one chunk per flush threshold, so a trace sink
+/// writing one NDJSON line at a time doesn't pay a syscall per line.
+pub struct ChunkedWriter<W: Write> {
+    inner: W,
+    buf: Vec<u8>,
+}
+
+/// Flush threshold: large enough to amortise framing, small enough that
+/// a streaming client sees progress during a long run.
+const CHUNK_FLUSH_BYTES: usize = 8 * 1024;
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Wraps `inner`, which must already have a chunked response head
+    /// written (see [`write_chunked_head`]).
+    pub fn new(inner: W) -> Self {
+        ChunkedWriter {
+            inner,
+            buf: Vec::with_capacity(CHUNK_FLUSH_BYTES),
+        }
+    }
+
+    fn emit_buf(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            write!(self.inner, "{:x}\r\n", self.buf.len())?;
+            self.inner.write_all(&self.buf)?;
+            self.inner.write_all(b"\r\n")?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Flushes pending bytes and writes the terminating zero-length
+    /// chunk. The connection remains usable for further requests. Wrap a
+    /// `&mut` borrow of the stream if you need it afterwards.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.emit_buf()?;
+        self.inner.write_all(b"0\r\n\r\n")?;
+        self.inner.flush()
+    }
+}
+
+impl<W: Write> Write for ChunkedWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(buf);
+        if self.buf.len() >= CHUNK_FLUSH_BYTES {
+            self.emit_buf()?;
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.emit_buf()?;
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_request_with_body_and_keepalive_sequencing() {
+        let wire = b"POST /run HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcdGET /stats HTTP/1.1\r\n\r\n";
+        let mut r = BufReader::new(&wire[..]);
+        let first = read_request(&mut r, MAX_BODY_BYTES).unwrap().unwrap();
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.path, "/run");
+        assert_eq!(first.headers.get("host").map(String::as_str), Some("x"));
+        assert_eq!(first.body, b"abcd");
+        let second = read_request(&mut r, MAX_BODY_BYTES).unwrap().unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/stats");
+        assert!(second.body.is_empty());
+        assert!(read_request(&mut r, MAX_BODY_BYTES).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized_requests() {
+        let mut r = BufReader::new(&b"NOT-HTTP\r\n\r\n"[..]);
+        assert!(matches!(
+            read_request(&mut r, MAX_BODY_BYTES),
+            Err(RequestReadError::Malformed(_))
+        ));
+
+        let wire = b"POST /run HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789";
+        let mut r = BufReader::new(&wire[..]);
+        assert!(matches!(
+            read_request(&mut r, 4),
+            Err(RequestReadError::TooLarge("body"))
+        ));
+
+        let big = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "y".repeat(MAX_HEADER_BYTES)
+        );
+        let mut r = BufReader::new(big.as_bytes());
+        assert!(matches!(
+            read_request(&mut r, MAX_BODY_BYTES),
+            Err(RequestReadError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn chunked_writer_frames_and_terminates() {
+        let mut wire = Vec::new();
+        let mut w = ChunkedWriter::new(&mut wire);
+        w.write_all(b"hello ").unwrap();
+        w.write_all(b"world").unwrap();
+        w.flush().unwrap();
+        w.write_all(b"!").unwrap();
+        w.finish().unwrap();
+        assert_eq!(&wire[..], b"b\r\nhello world\r\n1\r\n!\r\n0\r\n\r\n");
+    }
+
+    #[test]
+    fn fixed_response_has_length_and_body() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, "application/json", b"{\"ok\":true}").unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

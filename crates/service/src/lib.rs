@@ -1,0 +1,36 @@
+//! # emst-service — simulation-as-a-service
+//!
+//! An HTTP/JSON front door over the [`emst_core::Sim`] builder: clients
+//! POST an experiment point (protocol, `(seed, n, radius)`, fault plan,
+//! membership, churn timeline, energy model) to `/run` and get back the
+//! same bit-exact result a direct library call produces — energies are
+//! reported with their `f64` bit patterns so equality is checkable, not
+//! approximate.
+//!
+//! The pieces:
+//!
+//! * [`server`] — routing, validation, execution; hot parameter points
+//!   are served from a bounded LRU [`emst_core::InstanceCache`], with
+//!   hit/miss/eviction counters on `GET /stats`;
+//! * [`request`] — typed request decoding: every malformed shape,
+//!   out-of-cap value or config conflict becomes a [`request::RequestError`]
+//!   with a stable code and a 400-class status, never a panic;
+//! * [`http`] / [`client`] — hand-rolled HTTP/1.1 (the workspace vendors
+//!   no async runtime): keep-alive fixed-length responses plus chunked
+//!   `Transfer-Encoding` for NDJSON trace streaming via
+//!   [`emst_radio::JsonlSink`] over [`http::ChunkedWriter`];
+//! * [`json`] — the minimal JSON parser behind request decoding.
+//!
+//! Binaries: `emst_service` (the server) and `load_gen` (closed-loop
+//! benchmark clients writing `BENCH_service.json`, schema
+//! `bench_service/v1`).
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod request;
+pub mod server;
+
+pub use client::{Client, Response};
+pub use request::{RequestError, StreamMode, TrialRequest};
+pub use server::{serve, ServerHandle, ServiceConfig};

@@ -1,0 +1,575 @@
+//! The trial server: routing, execution, caching and streaming.
+//!
+//! A request names an experiment point — protocol, `(seed, n, radius)`,
+//! optional fault plan / membership / churn timeline / energy model —
+//! and the server runs it through the same [`Sim`] builder the library
+//! tests and benches use, so a served result is bit-identical to a
+//! direct in-process run. Topologies and instances come from a bounded
+//! LRU [`InstanceCache`] keyed by `(seed, n, trial, radius)`; hot
+//! parameter points cost one generation total no matter how many
+//! clients ask for them, and `/stats` exposes the hit/miss/eviction
+//! counters.
+//!
+//! Concurrency model: accept thread plus one handler thread per
+//! connection (the workspace vendors no async runtime; connections are
+//! few and long-lived — keep-alive clients). Batch requests fan out
+//! across trials with the same [`parallel_map`] the bench sweeps use.
+
+use crate::http::{
+    read_request, write_chunked_head, write_response, ChunkedWriter, HttpRequest, RequestReadError,
+};
+use crate::request::{ChurnRequest, RequestError, StreamMode, TrialRequest};
+use emst_analysis::parallel_map;
+use emst_core::{maintain, Instance, InstanceCache, InstanceKey, RepairPolicy, RunOutcome, Sim};
+use emst_radio::{ClassMask, FilterSink, JsonlSink, Membership, TraceSink};
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address; port 0 picks a free port (the handle reports it).
+    pub addr: String,
+    /// Instance-cache capacity (distinct `(seed, n, trial, radius)`
+    /// points kept warm).
+    pub cache_capacity: usize,
+    /// Request-body cap in bytes.
+    pub max_body: usize,
+    /// Concurrent-connection cap; excess connections get a 503.
+    pub max_connections: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            cache_capacity: 64,
+            max_body: crate::http::MAX_BODY_BYTES,
+            max_connections: 64,
+        }
+    }
+}
+
+/// Shared server state: the instance cache and the response counters.
+struct ServiceState {
+    cache: InstanceCache,
+    max_body: usize,
+    max_connections: usize,
+    connections: AtomicU64,
+    requests_total: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+}
+
+impl ServiceState {
+    fn count(&self, status: u16) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        let bucket = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        bucket.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A running server. Dropping the handle shuts it down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread. In-flight
+    /// connections finish their current request and close.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_accepting();
+        }
+    }
+}
+
+/// Binds and starts serving in background threads.
+pub fn serve(cfg: ServiceConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let state = Arc::new(ServiceState {
+        cache: InstanceCache::new(cfg.cache_capacity),
+        max_body: cfg.max_body,
+        max_connections: cfg.max_connections.max(1),
+        connections: AtomicU64::new(0),
+        requests_total: AtomicU64::new(0),
+        responses_2xx: AtomicU64::new(0),
+        responses_4xx: AtomicU64::new(0),
+        responses_5xx: AtomicU64::new(0),
+    });
+
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = thread::spawn(move || {
+        for conn in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&accept_stop);
+            thread::spawn(move || handle_connection(state, stop, stream));
+        }
+    });
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn handle_connection(state: Arc<ServiceState>, stop: Arc<AtomicBool>, stream: TcpStream) {
+    if state.connections.fetch_add(1, Ordering::SeqCst) >= state.max_connections as u64 {
+        let mut w = &stream;
+        state.count(503);
+        let _ = write_response(
+            &mut w,
+            503,
+            "application/json",
+            br#"{"t":"error","code":"overloaded","message":"connection limit reached"}"#,
+        );
+        state.connections.fetch_sub(1, Ordering::SeqCst);
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let result = serve_connection(&state, &stop, &stream);
+    drop(result);
+    state.connections.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn serve_connection(state: &ServiceState, stop: &AtomicBool, stream: &TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut writer = stream;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let req = match read_request(&mut reader, state.max_body) {
+            Ok(None) => return Ok(()),
+            Ok(Some(req)) => req,
+            Err(RequestReadError::Io(e)) => return Err(e),
+            Err(RequestReadError::Malformed(what)) => {
+                respond_error(state, &mut writer, 400, "malformed_http", what)?;
+                return Ok(()); // framing is unreliable now; drop the connection
+            }
+            Err(RequestReadError::TooLarge(what)) => {
+                let status = if what == "body" { 413 } else { 431 };
+                respond_error(state, &mut writer, status, "too_large", what)?;
+                return Ok(());
+            }
+        };
+        route(state, &req, &mut writer)?;
+    }
+}
+
+fn route(state: &ServiceState, req: &HttpRequest, writer: &mut &TcpStream) -> io::Result<()> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => respond(state, writer, 200, br#"{"ok":true}"#),
+        ("GET", "/stats") => {
+            let body = stats_json(state);
+            respond(state, writer, 200, body.as_bytes())
+        }
+        ("POST", "/run") => handle_run(state, &req.body, writer),
+        (_, "/healthz") | (_, "/stats") | (_, "/run") => respond_error(
+            state,
+            writer,
+            405,
+            "method_not_allowed",
+            "see GET /healthz, GET /stats, POST /run",
+        ),
+        _ => respond_error(state, writer, 404, "not_found", "no such endpoint"),
+    }
+}
+
+fn handle_run(state: &ServiceState, body: &[u8], writer: &mut &TcpStream) -> io::Result<()> {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return respond_error(state, writer, 400, "bad_json", "body is not utf-8");
+    };
+    let req = match TrialRequest::parse(text) {
+        Ok(req) => req,
+        Err(e) => return respond_request_error(state, writer, &e),
+    };
+
+    // A panic below a served request must not take the worker down; it
+    // becomes a 500 (or, mid-stream, a truncated chunked body — the
+    // client sees the missing terminator).
+    let outcome = catch_unwind(AssertUnwindSafe(|| execute(state, &req, writer)));
+    match outcome {
+        Ok(r) => r,
+        Err(_) => respond_error(state, writer, 500, "internal", "request execution panicked"),
+    }
+}
+
+fn execute(state: &ServiceState, req: &TrialRequest, writer: &mut &TcpStream) -> io::Result<()> {
+    if let Some(churn) = &req.churn {
+        return execute_churn(state, req, churn, writer);
+    }
+    if req.trials > 1 {
+        return execute_batch(state, req, writer);
+    }
+    execute_single(state, req, writer)
+}
+
+/// Cache key for a request's trial `t`. Protocols that derive their own
+/// radius key under radius 0, which no explicit radius can collide with
+/// (requests require radius > 0).
+fn key_for(req: &TrialRequest, trial: u64) -> InstanceKey {
+    InstanceKey::new(req.seed, req.n, trial, req.radius.unwrap_or(0.0))
+}
+
+/// Builds the `Sim` for one trial exactly as a direct caller would, so
+/// served results stay bit-identical to library runs.
+fn build_sim<'a>(req: &TrialRequest, instance: &'a Instance) -> Sim<'a> {
+    let mut sim = Sim::from_instance(instance)
+        .energy(req.energy)
+        .shards(req.shards);
+    if let Some(r) = req.radius {
+        sim = sim.radius(r);
+    }
+    if let Some(plan) = &req.faults {
+        sim = sim.with_faults(plan.clone());
+    }
+    if !req.dead.is_empty() {
+        let mut members = Membership::all_live(req.n);
+        for &u in &req.dead {
+            members.leave(u);
+        }
+        sim = sim.members(members);
+    }
+    if req.repair {
+        sim = sim.repair(RepairPolicy::default());
+    }
+    sim
+}
+
+fn execute_single(
+    state: &ServiceState,
+    req: &TrialRequest,
+    writer: &mut &TcpStream,
+) -> io::Result<()> {
+    let (instance, cache_hit) = state.cache.get_or_generate(key_for(req, req.trial));
+
+    // Pre-flight the configuration before committing to a response head:
+    // a streamed response cannot change its status after the first chunk.
+    if let Err(e) = build_sim(req, &instance).check(req.protocol) {
+        return respond_request_error(state, writer, &RequestError::Config(e));
+    }
+
+    if req.stream == StreamMode::Off {
+        let outcome = build_sim(req, &instance)
+            .try_run_checked(req.protocol)
+            .expect("configuration pre-flighted");
+        let line = render_outcome(req, req.trial, cache_hit, &outcome);
+        return respond(state, writer, 200, line.as_bytes());
+    }
+
+    // Streaming: chunked NDJSON of trace events, then the result line.
+    state.count(200);
+    write_chunked_head(writer, 200, "application/x-ndjson")?;
+    let mut chunked = ChunkedWriter::new(&mut *writer);
+    let mut jsonl = JsonlSink::new(&mut chunked);
+    let outcome = {
+        let mut filtered;
+        let sink: &mut dyn TraceSink = match req.stream {
+            StreamMode::Full => &mut jsonl,
+            StreamMode::Summary => {
+                filtered = FilterSink::new(ClassMask::SUMMARY, &mut jsonl);
+                &mut filtered
+            }
+            StreamMode::Off => unreachable!("handled above"),
+        };
+        build_sim(req, &instance)
+            .sink(sink)
+            .try_run_checked(req.protocol)
+            .expect("configuration pre-flighted")
+    };
+    jsonl.finish()?;
+    let line = render_outcome(req, req.trial, cache_hit, &outcome);
+    writeln!(chunked, "{line}")?;
+    chunked.finish()
+}
+
+fn execute_batch(
+    state: &ServiceState,
+    req: &TrialRequest,
+    writer: &mut &TcpStream,
+) -> io::Result<()> {
+    // Pre-flight on the first trial's instance (the configuration checks
+    // do not depend on the point set beyond its existence).
+    let (first, _hit) = state.cache.get_or_generate(key_for(req, req.trial));
+    if let Err(e) = build_sim(req, &first).check(req.protocol) {
+        return respond_request_error(state, writer, &RequestError::Config(e));
+    }
+    drop(first);
+
+    let trials: Vec<u64> = (req.trial..req.trial + req.trials).collect();
+    let rows = parallel_map(&trials, |&t| {
+        let (instance, cache_hit) = state.cache.get_or_generate(key_for(req, t));
+        let outcome = build_sim(req, &instance)
+            .try_run_checked(req.protocol)
+            .expect("configuration pre-flighted");
+        render_outcome(req, t, cache_hit, &outcome)
+    });
+
+    let mut body = String::with_capacity(rows.len() * 160 + 128);
+    body.push_str(&format!(
+        r#"{{"t":"batch","protocol":"{}","n":{},"seed":{},"trials":{},"rows":["#,
+        req.protocol_name, req.n, req.seed, req.trials
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(row);
+    }
+    body.push_str("]}");
+    respond(state, writer, 200, body.as_bytes())
+}
+
+fn execute_churn(
+    state: &ServiceState,
+    req: &TrialRequest,
+    churn: &ChurnRequest,
+    writer: &mut &TcpStream,
+) -> io::Result<()> {
+    let radius = req.radius.expect("validated: churn requires radius");
+    let (instance, cache_hit) = state.cache.get_or_generate(key_for(req, req.trial));
+    let report = maintain(instance.points(), radius, &churn.timeline, churn.strategy);
+
+    let strategy = match churn.strategy {
+        emst_core::MaintainStrategy::Incremental => "incremental",
+        emst_core::MaintainStrategy::Recompute => "recompute",
+    };
+    let epoch_lines: Vec<String> = report
+        .epochs
+        .iter()
+        .map(|e| {
+            format!(
+                r#"{{"t":"epoch","epoch":{},"live":{},"arrivals":{},"departures":{},"energy":{},"energy_bits":{},"messages":{},"rounds":{},"edges_added":{},"edges_removed":{},"fragments":{},"ledger_conserved":{},"forest_valid":{}}}"#,
+                e.epoch,
+                e.live,
+                e.arrivals,
+                e.departures,
+                e.energy,
+                e.energy.to_bits(),
+                e.messages,
+                e.rounds,
+                e.edges_added,
+                e.edges_removed,
+                e.fragments,
+                e.ledger_conserved,
+                e.forest_valid
+            )
+        })
+        .collect();
+    let summary = format!(
+        r#"{{"t":"maintain","protocol":"{}","n":{},"seed":{},"strategy":"{strategy}","radius":{},"cache_hit":{cache_hit},"bootstrap":{{"energy":{},"energy_bits":{},"messages":{},"rounds":{},"conserved":{}}},"epochs_run":{},"maintenance_energy":{},"maintenance_energy_bits":{},"maintenance_messages":{},"final_live":{},"final_forest_edges":{}}}"#,
+        req.protocol_name,
+        req.n,
+        req.seed,
+        radius,
+        report.bootstrap_energy,
+        report.bootstrap_energy.to_bits(),
+        report.bootstrap_messages,
+        report.bootstrap_rounds,
+        report.bootstrap_conserved,
+        report.epochs.len(),
+        report.maintenance_energy(),
+        report.maintenance_energy().to_bits(),
+        report.maintenance_messages(),
+        report.members.live_count(),
+        report.forest.len()
+    );
+
+    if req.stream == StreamMode::Off {
+        let mut body = String::with_capacity(
+            summary.len() + epoch_lines.iter().map(String::len).sum::<usize>() + 64,
+        );
+        // Single document: the summary object with the epoch reports
+        // inlined as an array.
+        body.push_str(&summary[..summary.len() - 1]);
+        body.push_str(",\"epochs\":[");
+        for (i, line) in epoch_lines.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(line);
+        }
+        body.push_str("]}");
+        return respond(state, writer, 200, body.as_bytes());
+    }
+
+    state.count(200);
+    write_chunked_head(writer, 200, "application/x-ndjson")?;
+    let mut chunked = ChunkedWriter::new(&mut *writer);
+    for line in &epoch_lines {
+        writeln!(chunked, "{line}")?;
+    }
+    writeln!(chunked, "{summary}")?;
+    chunked.finish()
+}
+
+/// Renders one trial's outcome as a JSON object (no trailing newline).
+/// Energies carry both the decimal value and the exact bit pattern so
+/// clients can verify bit-identity against direct runs.
+fn render_outcome(req: &TrialRequest, trial: u64, cache_hit: bool, outcome: &RunOutcome) -> String {
+    let tag = match outcome {
+        RunOutcome::Complete(_) => "complete",
+        RunOutcome::Repaired { .. } => "repaired",
+        RunOutcome::Degraded { .. } => "degraded",
+        RunOutcome::Failed { .. } => "failed",
+    };
+    let faults = outcome.faults();
+    let mut s = format!(
+        r#"{{"t":"result","protocol":"{}","n":{},"seed":{},"trial":{trial},"outcome":"{tag}","cache_hit":{cache_hit},"faults":{{"drops":{},"retries":{},"timeouts":{}}}"#,
+        req.protocol_name, req.n, req.seed, faults.drops, faults.retries, faults.timeouts
+    );
+    match outcome {
+        RunOutcome::Failed { error, .. } => {
+            s.push_str(&format!(r#","error":"{}""#, esc(&error.to_string())));
+        }
+        _ => {
+            let output = outcome.output().expect("non-failed outcome has output");
+            let stats = &output.stats;
+            s.push_str(&format!(
+                r#","energy":{},"energy_bits":{},"rx_energy_bits":{},"idle_energy_bits":{},"messages":{},"rounds":{},"fragments":{},"edges":{}"#,
+                stats.energy,
+                stats.energy.to_bits(),
+                stats.rx_energy.to_bits(),
+                stats.idle_energy.to_bits(),
+                stats.messages,
+                stats.rounds,
+                output.fragments,
+                output.tree.edges().len()
+            ));
+            if let Some(repair) = outcome.repair() {
+                s.push_str(&format!(
+                    r#","repair":{{"attempts":{},"edges_added":{},"fragments_before":{},"fragments_after":{}}}"#,
+                    repair.attempts,
+                    repair.edges_added,
+                    repair.fragments_before,
+                    repair.fragments_after
+                ));
+            }
+            s.push_str(r#","ledger":{"#);
+            for (i, (kind, tally)) in stats.ledger.kinds().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    r#""{kind}":{{"messages":{},"energy_bits":{}}}"#,
+                    tally.messages,
+                    tally.energy.to_bits()
+                ));
+            }
+            s.push('}');
+        }
+    }
+    s.push('}');
+    s
+}
+
+fn stats_json(state: &ServiceState) -> String {
+    let cache = state.cache.stats();
+    format!(
+        r#"{{"t":"stats","cache":{{"hits":{},"misses":{},"evictions":{},"len":{},"capacity":{},"hit_rate":{}}},"requests":{{"total":{},"ok_2xx":{},"client_4xx":{},"server_5xx":{}}}}}"#,
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.len,
+        cache.capacity,
+        cache.hit_rate(),
+        state.requests_total.load(Ordering::Relaxed),
+        state.responses_2xx.load(Ordering::Relaxed),
+        state.responses_4xx.load(Ordering::Relaxed),
+        state.responses_5xx.load(Ordering::Relaxed),
+    )
+}
+
+fn respond(
+    state: &ServiceState,
+    writer: &mut &TcpStream,
+    status: u16,
+    body: &[u8],
+) -> io::Result<()> {
+    state.count(status);
+    write_response(writer, status, "application/json", body)
+}
+
+fn respond_error(
+    state: &ServiceState,
+    writer: &mut &TcpStream,
+    status: u16,
+    code: &str,
+    message: &str,
+) -> io::Result<()> {
+    let body = format!(
+        r#"{{"t":"error","code":"{code}","message":"{}"}}"#,
+        esc(message)
+    );
+    respond(state, writer, status, body.as_bytes())
+}
+
+fn respond_request_error(
+    state: &ServiceState,
+    writer: &mut &TcpStream,
+    e: &RequestError,
+) -> io::Result<()> {
+    // Config conflicts are well-formed requests the simulator refuses:
+    // 422, to keep them distinguishable from shape errors in dashboards.
+    let status = match e {
+        RequestError::Config(_) => 422,
+        _ => 400,
+    };
+    respond_error(state, writer, status, e.code(), &e.to_string())
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,347 @@
+//! End-to-end tests over a real socket: served results must be
+//! bit-identical to direct `Sim` runs, the instance cache must share
+//! work across concurrent clients and evict under pressure, and every
+//! invalid request shape must come back as a 400-class typed error.
+
+use emst_core::{GhsVariant, Instance, Protocol, Sim};
+use emst_radio::JsonlSink;
+use emst_service::json::Json;
+use emst_service::{serve, Client, ServiceConfig};
+
+const SEED: u64 = 0xE0E7_2008;
+
+fn boot(cache_capacity: usize) -> emst_service::ServerHandle {
+    serve(ServiceConfig {
+        cache_capacity,
+        ..ServiceConfig::default()
+    })
+    .expect("bind local server")
+}
+
+fn post(addr: &str, body: &str) -> (u16, Json) {
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client.post("/run", body.as_bytes()).expect("request");
+    let doc = Json::parse(&resp.text())
+        .unwrap_or_else(|e| panic!("unparseable body {:?}: {e}", resp.text()));
+    (resp.status, doc)
+}
+
+fn cache_counter(addr: &str, field: &str) -> u64 {
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = Json::parse(&client.get("/stats").expect("stats").text()).expect("stats json");
+    stats
+        .get("cache")
+        .and_then(|c| c.get(field))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing cache.{field}"))
+}
+
+#[test]
+fn concurrent_same_key_requests_share_one_generation() {
+    let server = boot(8);
+    let addr = server.addr().to_string();
+    const CLIENTS: usize = 8;
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let (status, doc) = post(
+                    &addr,
+                    r#"{"protocol": "ghs_modified", "n": 200, "radius": 0.25}"#,
+                );
+                assert_eq!(status, 200);
+                doc.get("energy_bits").and_then(Json::as_u64).unwrap()
+            })
+        })
+        .collect();
+    let energies: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Every client saw the same bit-exact result...
+    assert!(energies.windows(2).all(|w| w[0] == w[1]));
+    // ...and the cache collapsed the 8 requests into one generation.
+    assert_eq!(cache_counter(&addr, "misses"), 1);
+    assert_eq!(cache_counter(&addr, "hits"), CLIENTS as u64 - 1);
+}
+
+#[test]
+fn served_ledger_is_bit_identical_to_direct_sim_run() {
+    let server = boot(4);
+    let addr = server.addr().to_string();
+    let (n, radius) = (150, 0.3);
+
+    let (status, doc) = post(
+        &addr,
+        &format!(r#"{{"protocol": "ghs_modified", "n": {n}, "seed": {SEED}, "radius": {radius}}}"#),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("outcome").and_then(Json::as_str), Some("complete"));
+
+    let instance = Instance::generate(SEED, n, 0);
+    let direct = Sim::new(instance.points())
+        .radius(radius)
+        .run(Protocol::Ghs(GhsVariant::Modified));
+
+    let field = |name: &str| doc.get(name).and_then(Json::as_u64).unwrap();
+    assert_eq!(field("energy_bits"), direct.stats.energy.to_bits());
+    assert_eq!(field("messages"), direct.stats.messages);
+    assert_eq!(field("rounds"), direct.stats.rounds);
+    assert_eq!(field("edges"), direct.tree.edges().len() as u64);
+    assert_eq!(field("fragments"), direct.fragments as u64);
+
+    // Per-kind ledger, bit for bit.
+    let ledger = doc.get("ledger").expect("ledger object");
+    let mut kinds = 0;
+    for (kind, tally) in direct.stats.ledger.kinds() {
+        let served = ledger.get(kind).unwrap_or_else(|| panic!("kind {kind}"));
+        assert_eq!(
+            served.get("messages").and_then(Json::as_u64),
+            Some(tally.messages),
+            "{kind} messages"
+        );
+        assert_eq!(
+            served.get("energy_bits").and_then(Json::as_u64),
+            Some(tally.energy.to_bits()),
+            "{kind} energy"
+        );
+        kinds += 1;
+    }
+    assert_eq!(ledger.keys().unwrap().count(), kinds);
+}
+
+#[test]
+fn streamed_trace_matches_direct_jsonl_sink_bytes() {
+    let server = boot(4);
+    let addr = server.addr().to_string();
+    let (n, radius) = (60, 0.4);
+
+    let mut client = Client::connect(&addr).unwrap();
+    let resp = client
+        .post(
+            "/run",
+            format!(
+                r#"{{"protocol": "ghs_modified", "n": {n}, "seed": {SEED}, "radius": {radius}, "stream": "full"}}"#
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let body = resp.text();
+    let result_line = body.lines().last().expect("result line");
+    assert!(result_line.contains(r#""t":"result""#));
+
+    // The stream before the result line must be byte-identical to a
+    // direct JsonlSink attached to the same run.
+    let instance = Instance::generate(SEED, n, 0);
+    let mut sink = JsonlSink::new(Vec::new());
+    let _ = Sim::new(instance.points())
+        .radius(radius)
+        .sink(&mut sink)
+        .run(Protocol::Ghs(GhsVariant::Modified));
+    let direct = String::from_utf8(sink.finish().unwrap()).unwrap();
+
+    let streamed_prefix = &body[..body.len() - result_line.len() - 1];
+    assert_eq!(streamed_prefix, direct);
+
+    // The summary mode must drop per-message events but keep the rest.
+    let resp = client
+        .post(
+            "/run",
+            format!(
+                r#"{{"protocol": "ghs_modified", "n": {n}, "seed": {SEED}, "radius": {radius}, "stream": "summary"}}"#
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let summary_body = resp.text();
+    assert!(!summary_body.contains(r#""t":"msg""#));
+    let direct_no_msg: String = direct
+        .lines()
+        .filter(|l| !l.starts_with(r#"{"t":"msg""#))
+        .fold(String::new(), |mut acc, l| {
+            acc.push_str(l);
+            acc.push('\n');
+            acc
+        });
+    let summary_result = summary_body.lines().last().unwrap();
+    let summary_prefix = &summary_body[..summary_body.len() - summary_result.len() - 1];
+    assert_eq!(summary_prefix, direct_no_msg);
+}
+
+#[test]
+fn tiny_cache_evicts_lru_and_counts_it() {
+    let server = boot(2);
+    let addr = server.addr().to_string();
+    let req = |seed: u64| format!(r#"{{"protocol": "co_nnt", "n": 80, "seed": {seed}}}"#);
+
+    // Three distinct keys through a capacity-2 cache...
+    for seed in [1, 2, 3] {
+        let (status, _) = post(&addr, &req(seed));
+        assert_eq!(status, 200);
+    }
+    assert_eq!(cache_counter(&addr, "misses"), 3);
+    assert_eq!(cache_counter(&addr, "evictions"), 1);
+    // ...seed 1 was evicted (LRU), so re-requesting it misses again...
+    let (status, _) = post(&addr, &req(1));
+    assert_eq!(status, 200);
+    assert_eq!(cache_counter(&addr, "misses"), 4);
+    // ...while seed 3 is still resident.
+    let (status, _) = post(&addr, &req(3));
+    assert_eq!(status, 200);
+    assert_eq!(cache_counter(&addr, "hits"), 1);
+}
+
+#[test]
+fn invalid_request_shapes_get_typed_400_class_responses() {
+    let server = boot(4);
+    let addr = server.addr().to_string();
+
+    // (body, expected status, expected error code)
+    let cases: &[(&str, u16, &str)] = &[
+        ("{not json", 400, "bad_json"),
+        (r#"[1, 2, 3]"#, 400, "bad_json"),
+        (r#"{"n": 100}"#, 400, "missing_field"),
+        (
+            r#"{"protocol": "ghs_modified", "radius": 0.3}"#,
+            400,
+            "missing_field",
+        ),
+        (
+            r#"{"protocol": "kruskal", "n": 100}"#,
+            400,
+            "unknown_protocol",
+        ),
+        (
+            r#"{"protocol": "eopt", "n": 100, "radios": 0.5}"#,
+            400,
+            "unknown_field",
+        ),
+        (r#"{"protocol": "eopt", "n": 0}"#, 400, "bad_field"),
+        (r#"{"protocol": "eopt", "n": 200000}"#, 400, "bad_field"),
+        (
+            r#"{"protocol": "eopt", "n": 100, "trials": 1000}"#,
+            400,
+            "bad_field",
+        ),
+        (
+            r#"{"protocol": "eopt", "n": 100, "trials": 2, "stream": "full"}"#,
+            400,
+            "conflict",
+        ),
+        // Config-level conflicts surface with the library's taxonomy.
+        (r#"{"protocol": "ghs_modified", "n": 100}"#, 422, "config"),
+        (
+            r#"{"protocol": "ghs_modified", "n": 100, "radius": 0.3, "dead": [1],
+                "faults": {"drop": 0.1}}"#,
+            422,
+            "config",
+        ),
+    ];
+    for (body, want_status, want_code) in cases {
+        let (status, doc) = post(&addr, body);
+        assert_eq!(status, *want_status, "{body}");
+        assert_eq!(
+            doc.get("code").and_then(Json::as_str),
+            Some(*want_code),
+            "{body}"
+        );
+    }
+
+    // Routing errors.
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(client.get("/nope").unwrap().status, 404);
+    assert_eq!(client.get("/run").unwrap().status, 405);
+    assert_eq!(client.post("/stats", b"{}").unwrap().status, 405);
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+
+    // All of the above counted as client errors, none as server errors.
+    let stats = Json::parse(&client.get("/stats").unwrap().text()).unwrap();
+    let requests = stats.get("requests").unwrap();
+    assert_eq!(requests.get("server_5xx").and_then(Json::as_u64), Some(0));
+    assert!(requests.get("client_4xx").and_then(Json::as_u64).unwrap() >= cases.len() as u64);
+}
+
+#[test]
+fn batch_requests_fan_out_and_report_per_trial_rows() {
+    let server = boot(8);
+    let addr = server.addr().to_string();
+    let (status, doc) = post(
+        &addr,
+        r#"{"protocol": "ghs_modified", "n": 100, "radius": 0.3, "trials": 4}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("t").and_then(Json::as_str), Some("batch"));
+    let rows = doc.get("rows").and_then(Json::as_arr).expect("rows");
+    assert_eq!(rows.len(), 4);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.get("trial").and_then(Json::as_u64), Some(i as u64));
+        assert_eq!(row.get("outcome").and_then(Json::as_str), Some("complete"));
+        // Each trial is its own instance: a direct run must reproduce it.
+        let instance = Instance::generate(SEED, 100, i as u64);
+        let direct = Sim::new(instance.points())
+            .radius(0.3)
+            .run(Protocol::Ghs(GhsVariant::Modified));
+        assert_eq!(
+            row.get("energy_bits").and_then(Json::as_u64),
+            Some(direct.stats.energy.to_bits())
+        );
+    }
+}
+
+#[test]
+fn churn_requests_run_the_maintenance_loop() {
+    let server = boot(4);
+    let addr = server.addr().to_string();
+    let body = r#"{"protocol": "ghs_modified", "n": 60, "radius": 0.4,
+        "churn": {"epochs": 3, "events": [
+            {"epoch": 0, "op": "crash", "node": 7},
+            {"epoch": 1, "op": "join", "x": 0.5, "y": 0.5},
+            {"epoch": 2, "op": "sleep", "node": 11}
+        ]}}"#;
+    let (status, doc) = post(&addr, body);
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("t").and_then(Json::as_str), Some("maintain"));
+    let epochs = doc.get("epochs").and_then(Json::as_arr).expect("epochs");
+    assert_eq!(epochs.len(), 3);
+    for epoch in epochs {
+        assert_eq!(
+            epoch.get("ledger_conserved").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            epoch.get("forest_valid").and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+    // Crash in epoch 0, join in epoch 1, sleep in epoch 2: 60 - 2 + 1.
+    assert_eq!(doc.get("final_live").and_then(Json::as_u64), Some(59));
+}
+
+#[test]
+fn faulty_and_repaired_runs_round_trip_the_outcome_lattice() {
+    let server = boot(4);
+    let addr = server.addr().to_string();
+
+    // A lossy plan without repair; the outcome tag must be one of the
+    // lattice values and fault counters must be present.
+    let (status, doc) = post(
+        &addr,
+        r#"{"protocol": "ghs_modified", "n": 80, "radius": 0.35,
+            "faults": {"drop": 0.2, "seed": 11, "retries": 2}}"#,
+    );
+    assert_eq!(status, 200);
+    let tag = doc.get("outcome").and_then(Json::as_str).unwrap();
+    assert!(["complete", "repaired", "degraded", "failed"].contains(&tag));
+    assert!(doc.get("faults").is_some());
+
+    // Same point with repair enabled must also succeed over HTTP.
+    let (status, doc) = post(
+        &addr,
+        r#"{"protocol": "ghs_modified", "n": 80, "radius": 0.35, "repair": true,
+            "faults": {"drop": 0.2, "seed": 11, "retries": 2}}"#,
+    );
+    assert_eq!(status, 200);
+    let tag = doc.get("outcome").and_then(Json::as_str).unwrap();
+    assert!(["complete", "repaired", "degraded"].contains(&tag));
+}
