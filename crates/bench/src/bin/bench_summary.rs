@@ -53,6 +53,13 @@
 //! tag, every field present and parseable, finite positive throughput,
 //! p50 ≤ p99, hit rate in [0, 1], zero server errors) — the CI guard
 //! that `load_gen` output stays consumable.
+//!
+//! With `--awake-schema PATH`, it validates a `BENCH_awake.json` under
+//! the `bench_awake/v1` schema (schema tag, every row carrying every
+//! column with parseable values) **and re-checks the low-awake pin**: at
+//! the largest measured n, `ghs_lowawake` must beat `ghs_modified` on
+//! max-per-node awake rounds — the CI guard that the committed sweep
+//! output still certifies the variant's headline claim.
 
 use emst_bench::Options;
 use emst_core::{EoptConfig, GhsVariant, Instance, Protocol, RankScheme, Sim};
@@ -251,6 +258,78 @@ fn validate_service_schema(path: &str) {
     );
 }
 
+/// Validates a `BENCH_awake.json` against the `bench_awake/v1` schema:
+/// schema tag, top-level fields, at least one row, every row carrying
+/// every column with a parseable finite value, a recorded passing
+/// `lowawake_win`, and — re-derived from the rows themselves — the pin
+/// that `ghs_lowawake` beats `ghs_modified` on max-per-node awake rounds
+/// at the largest measured size. Panics (non-zero exit) on any mismatch.
+fn validate_awake_schema(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    assert!(
+        text.contains("\"schema\": \"bench_awake/v1\""),
+        "{path}: missing or wrong schema tag (want bench_awake/v1)"
+    );
+    for key in ["seed", "trials", "lowawake_win"] {
+        assert!(
+            text.contains(&format!("\"{key}\": ")),
+            "{path}: missing top-level field {key:?}"
+        );
+    }
+    assert!(
+        text.contains("\"pass\": true"),
+        "{path}: lowawake_win did not pass when the sweep ran"
+    );
+    let rows_at = text
+        .find("\"rows\": [")
+        .unwrap_or_else(|| panic!("{path}: missing rows array"));
+    let mut rows = 0usize;
+    // (n, protocol, awake_max) triples for the re-derived pin.
+    let mut maxima: Vec<(u64, String, f64)> = Vec::new();
+    for line in text[rows_at..].lines().skip(1) {
+        let line = line.trim();
+        if !line.starts_with('{') {
+            break;
+        }
+        let obj = line.trim_end_matches(',');
+        rows += 1;
+        let protocol = field(obj, "protocol").trim_matches('"').to_string();
+        let n: u64 = field(obj, "n")
+            .parse()
+            .unwrap_or_else(|e| panic!("{path}: row {rows} field \"n\": {e}"));
+        for key in ["awake_total", "awake_max", "energy", "messages", "rounds"] {
+            let value: f64 = field(obj, key)
+                .parse()
+                .unwrap_or_else(|e| panic!("{path}: row {rows} field {key:?}: {e}"));
+            assert!(
+                value.is_finite() && value >= 0.0,
+                "{path}: row {rows} field {key:?} is {value}"
+            );
+        }
+        let awake_max: f64 = field(obj, "awake_max").parse().expect("checked above");
+        maxima.push((n, protocol, awake_max));
+    }
+    assert!(rows > 0, "{path}: rows array is empty");
+    let largest = maxima.iter().map(|r| r.0).max().expect("rows > 0");
+    let at = |proto: &str| -> f64 {
+        maxima
+            .iter()
+            .find(|(n, p, _)| *n == largest && p == proto)
+            .unwrap_or_else(|| panic!("{path}: no {proto} row at n={largest}"))
+            .2
+    };
+    let (low, ghs) = (at("ghs_lowawake"), at("ghs_modified"));
+    assert!(
+        low < ghs,
+        "{path}: low-awake pin broken at n={largest}: ghs_lowawake awake_max {low} \
+         is not below ghs_modified {ghs}"
+    );
+    println!(
+        "awake schema: {path} parses as bench_awake/v1 ({rows} rows; pin at n={largest}: \
+         lowawake {low} < ghs {ghs})"
+    );
+}
+
 fn main() {
     let opts = Options::from_env();
     if let Some(path) = &opts.churn_schema {
@@ -259,6 +338,10 @@ fn main() {
     }
     if let Some(path) = &opts.service_schema {
         validate_service_schema(path);
+        return;
+    }
+    if let Some(path) = &opts.awake_schema {
+        validate_awake_schema(path);
         return;
     }
     let mut sizes: Vec<usize> = if opts.quick {

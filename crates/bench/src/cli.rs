@@ -21,7 +21,11 @@
 //! * `--service-schema PATH` — (bench_summary only) validate that the
 //!   `BENCH_service.json` at PATH parses under the `bench_service/v1`
 //!   schema and exit (the CI guard that `load_gen` output stays
-//!   consumable).
+//!   consumable);
+//! * `--awake-schema PATH` — (bench_summary only) validate that the
+//!   `BENCH_awake.json` at PATH parses under the `bench_awake/v1`
+//!   schema — including the pinned low-awake-beats-GHS guard at the
+//!   largest measured size — and exit.
 
 use crate::BASE_SEED;
 
@@ -49,6 +53,8 @@ pub struct Options {
     pub churn_schema: Option<String>,
     /// Validate a `BENCH_service.json` file and exit (bench_summary).
     pub service_schema: Option<String>,
+    /// Validate a `BENCH_awake.json` file and exit (bench_summary).
+    pub awake_schema: Option<String>,
 }
 
 impl Default for Options {
@@ -64,6 +70,7 @@ impl Default for Options {
             large: false,
             churn_schema: None,
             service_schema: None,
+            awake_schema: None,
         }
     }
 }
@@ -112,10 +119,14 @@ impl Options {
                     let v = it.next().expect("--service-schema needs a path");
                     opts.service_schema = Some(v);
                 }
+                "--awake-schema" => {
+                    let v = it.next().expect("--awake-schema needs a path");
+                    opts.awake_schema = Some(v);
+                }
                 other => panic!(
                     "unknown option {other}; supported: --trials N --quick --csv --svg DIR \
                      --seed S --threads T --guard --large --churn-schema PATH \
-                     --service-schema PATH"
+                     --service-schema PATH --awake-schema PATH"
                 ),
             }
         }
@@ -192,6 +203,13 @@ mod tests {
             Some("BENCH_service.json")
         );
         assert_eq!(parse(&[]).service_schema, None);
+        assert_eq!(
+            parse(&["--awake-schema", "BENCH_awake.json"])
+                .awake_schema
+                .as_deref(),
+            Some("BENCH_awake.json")
+        );
+        assert_eq!(parse(&[]).awake_schema, None);
     }
 
     #[test]

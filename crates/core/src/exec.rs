@@ -197,6 +197,32 @@ impl<'a> ExecEnv<'a> {
         self.net().members()
     }
 
+    /// Enables awake-round tracking by installing an all-awake
+    /// [`emst_radio::AwakeSchedule`] over the run's nodes (idempotent).
+    /// Charges stay bit-identical — only the awake read-outs on
+    /// [`RunStats`]/[`StageMark`] flip from `None` to `Some`. Low-awake
+    /// protocols then carve sleep windows into the installed schedule
+    /// via [`RadioNet::sleep_node`](emst_radio::RadioNet::sleep_node).
+    ///
+    /// # Panics
+    ///
+    /// If an effective fault plan is active — a fault plan already owns
+    /// adversarial sleep windows (see
+    /// [`RadioNet::set_awake`](emst_radio::RadioNet::set_awake)).
+    pub fn track_awake(&mut self) {
+        let net = self.net.as_mut().expect("network is held by a stage");
+        if net.awake_schedule().is_none() {
+            let n = net.n();
+            net.set_awake(emst_radio::AwakeSchedule::new(n));
+        }
+    }
+
+    /// Whether awake-round tracking is enabled.
+    #[inline]
+    pub fn awake_tracked(&self) -> bool {
+        self.net().awake_schedule().is_some()
+    }
+
     /// Registers a pre-built shared topology (the instance-reuse fast
     /// path): stages that cache the adjacency at its radius reuse the
     /// build instead of repeating it. See

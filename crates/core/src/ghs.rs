@@ -68,6 +68,24 @@ pub enum GhsVariant {
     Original,
     /// §V-A modified GHS: neighbour fragment-id cache + announcements.
     Modified,
+    /// The awake-optimised variant: modified GHS whose nodes sleep the
+    /// tail of every stage their fragment finishes early, and sleep
+    /// whole stages once their fragment is exhausted — waking exactly
+    /// at stage boundaries (the scheduled merge/announce windows).
+    /// Identical forest, messages and rounds to [`GhsVariant::Modified`];
+    /// what drops is the per-node awake-round count (the Augustine–
+    /// Moses–Pandurangan awake complexity). Implies awake tracking:
+    /// `RunStats::awake` is always `Some` for this variant.
+    LowAwake,
+}
+
+impl GhsVariant {
+    /// Whether this variant uses the §V-A modified machinery (fragment-id
+    /// caches + announcements) — everything except [`GhsVariant::Original`].
+    #[inline]
+    pub fn is_modified(self) -> bool {
+        !matches!(self, GhsVariant::Original)
+    }
 }
 
 /// Message-kind labels for one GHS execution, so composite algorithms
@@ -152,6 +170,46 @@ struct Cand {
     w: f64,
     u: u32,
     v: u32,
+}
+
+/// Low-awake stage scheduling: called immediately before a stage advances
+/// `advance` rounds, puts every node to sleep for the part of the stage it
+/// does not participate in. A stage's message charging all happens at the
+/// stage-start round, so windows opening at `now + 1` (or later) can never
+/// miss a delivery; windows close exactly at the next stage's charging
+/// round, so everyone is back up when traffic resumes.
+///
+/// `costs[ai]` is fragment `ai`'s own cost for this stage (tree depth for
+/// broadcast/convergecast stages, path length + 1 for change-root); its
+/// members sleep the `[now + max(cost, 1), now + advance)` tail. Nodes in
+/// `idle` (members of passive/exhausted fragments) have no stage work at
+/// all and sleep `[now + 1, now + advance)`.
+fn schedule_stage_sleep(
+    net: &mut RadioNet<'_>,
+    active_nodes: &[u32],
+    bounds: &[(u32, u32, u32)],
+    costs: &[u64],
+    idle: &[u32],
+    advance: u64,
+) {
+    if advance == 0 || net.awake_schedule().is_none() {
+        return;
+    }
+    let now = net.clock().now();
+    for (ai, &(_f, s, e)) in bounds.iter().enumerate() {
+        let own = costs.get(ai).copied().unwrap_or(advance).max(1);
+        if own >= advance {
+            continue;
+        }
+        for &u in &active_nodes[s as usize..e as usize] {
+            net.sleep_node(u as usize, now + own, now + advance);
+        }
+    }
+    if advance > 1 {
+        for &u in idle {
+            net.sleep_node(u as usize, now + 1, now + advance);
+        }
+    }
 }
 
 impl Cand {
@@ -549,7 +607,7 @@ impl GhsEngine {
         }
         net.tick_round();
         let topo = net.topology_at(radius).expect("cached above");
-        if self.variant == GhsVariant::Modified {
+        if self.variant.is_modified() {
             // Clean modified runs never materialise private neighbour rows:
             // MOE search borrows the topology's shared `(dist, id)`-sorted
             // rows and reads live fragment ids directly (announces keep the
@@ -1168,9 +1226,23 @@ impl GhsEngine {
         let mut bounds = std::mem::take(&mut self.active_bounds);
         active_nodes.clear();
         bounds.clear();
+        // Low-awake bookkeeping: members of passive/exhausted fragments do
+        // nothing for the rest of this radius (exhausted fragments have no
+        // outgoing edges, and edges are symmetric, so nobody connects *to*
+        // them either) — they sleep through every stage of the phase,
+        // waking only at stage boundaries.
+        let low_awake = self.variant == GhsVariant::LowAwake;
+        let mut idle_nodes: Vec<u32> = Vec::new();
         for idx in 0..self.live.len() {
             let f = self.live[idx];
             if self.passive.contains(&f) || self.inactive.contains(&f) {
+                if low_awake {
+                    let mut u = self.frag_head[f as usize];
+                    while u != NONE {
+                        idle_nodes.push(u);
+                        u = self.member_next[u as usize];
+                    }
+                }
                 continue;
             }
             let start = active_nodes.len() as u32;
@@ -1197,14 +1269,33 @@ impl GhsEngine {
         let mut stalled = std::mem::take(&mut self.stalled_scratch);
         stalled.clear();
         stalled.resize(bounds.len(), false);
+        // Per-fragment stage cost (its own tree depth): a low-awake
+        // fragment sleeps the tail of the stage once its own broadcast or
+        // convergecast is done, while the deepest fragment stays up.
+        let mut depths: Vec<u64> = Vec::new();
         for (ai, &(f, s, e)) in bounds.iter().enumerate() {
             let members = &active_nodes[s as usize..e as usize];
-            max_depth = max_depth.max(self.depth_of(f, members));
+            let d = self.depth_of(f, members);
+            max_depth = max_depth.max(d);
+            if low_awake {
+                depths.push(d);
+                debug_assert_eq!(depths.len(), ai + 1);
+            }
             if !self.charge_broadcast(net, members, kinds.initiate) {
                 stalled[ai] = true;
             }
         }
         let extra = self.take_stage_extra();
+        if low_awake {
+            schedule_stage_sleep(
+                net,
+                &active_nodes,
+                &bounds,
+                &depths,
+                &idle_nodes,
+                max_depth + extra,
+            );
+        }
         net.advance_rounds(max_depth + extra);
 
         // Stage B: local MOE search.
@@ -1216,11 +1307,10 @@ impl GhsEngine {
         // Clean modified runs search over the shared sorted topology rows
         // (an owned handle, so `net` stays free for the original variant's
         // test exchanges below).
-        let clean_topo = (self.variant == GhsVariant::Modified
-            && self.faults.is_none()
-            && self.members.is_none())
-        .then(|| net.topology_handle().expect("discover cached this radius"));
-        let shard_count = if self.variant == GhsVariant::Modified && self.members.is_none() {
+        let clean_topo =
+            (self.variant.is_modified() && self.faults.is_none() && self.members.is_none())
+                .then(|| net.topology_handle().expect("discover cached this radius"));
+        let shard_count = if self.variant.is_modified() && self.members.is_none() {
             self.shards.min(self.n.max(1))
         } else {
             // The original variant's MOE search exchanges messages, and
@@ -1245,13 +1335,13 @@ impl GhsEngine {
                 for &u in &active_nodes[s as usize..e as usize] {
                     let (c, ex) = match (&clean_topo, self.variant) {
                         (Some(topo), _) => (self.local_moe_clean(topo, u as usize), 0),
-                        (None, GhsVariant::Modified) if self.members.is_some() => {
-                            (self.local_moe_restricted(u as usize), 0)
-                        }
-                        (None, GhsVariant::Modified) => (self.local_moe_modified(u as usize), 0),
                         (None, GhsVariant::Original) => {
                             self.local_moe_original(net, u as usize, kinds)
                         }
+                        (None, _) if self.members.is_some() => {
+                            (self.local_moe_restricted(u as usize), 0)
+                        }
+                        (None, _) => (self.local_moe_modified(u as usize), 0),
                     };
                     max_exchanges = max_exchanges.max(ex);
                     if let Some(c) = c {
@@ -1281,6 +1371,18 @@ impl GhsEngine {
             }
         }
         let extra = self.take_stage_extra();
+        if low_awake {
+            // The report convergecast costs each fragment its own depth
+            // again, so stage A's per-fragment costs apply verbatim.
+            schedule_stage_sleep(
+                net,
+                &active_nodes,
+                &bounds,
+                &depths,
+                &idle_nodes,
+                max_depth + extra,
+            );
+        }
         net.advance_rounds(max_depth + extra);
 
         // Fragments with no outgoing edge are exhausted at this radius —
@@ -1305,6 +1407,14 @@ impl GhsEngine {
         let mut max_path = 0u64;
         let mut delivered = std::mem::take(&mut self.delivered_scratch);
         delivered.clear();
+        // Per-fragment stage cost: path length + 1 connect round; a
+        // fragment without a candidate (just exhausted) has cost 0 and
+        // sleeps all but the stage's first round.
+        let mut paths: Vec<u64> = if low_awake {
+            vec![0; bounds.len()]
+        } else {
+            Vec::new()
+        };
         for (ai, &(f, _, _)) in bounds.iter().enumerate() {
             let Some(c) = cand[ai] else { continue };
             // Walk the MOE endpoint → leader path; messages are charged in
@@ -1322,6 +1432,9 @@ impl GhsEngine {
                 cur = p;
             }
             max_path = max_path.max(hops);
+            if low_awake {
+                paths[ai] = hops + 1;
+            }
             if ok {
                 ok = self.reliable_unicast(net, c.u as usize, c.v as usize, kinds.connect);
             }
@@ -1330,6 +1443,16 @@ impl GhsEngine {
             }
         }
         let extra = self.take_stage_extra();
+        if low_awake {
+            schedule_stage_sleep(
+                net,
+                &active_nodes,
+                &bounds,
+                &paths,
+                &idle_nodes,
+                max_path + 1 + extra,
+            );
+        }
         net.advance_rounds(max_path + 1 + extra);
 
         // Stage E: merge bookkeeping (no messages).
@@ -1338,7 +1461,7 @@ impl GhsEngine {
 
         // Stage F: announcements (modified variant).
         let changed = std::mem::take(&mut self.changed_scratch);
-        if self.variant == GhsVariant::Modified && !changed.is_empty() {
+        if self.variant.is_modified() && !changed.is_empty() {
             net.note_phase(kinds.scope, phase_no, "announce");
             if let Some(plan) = self.faults.clone() {
                 // One-shot broadcasts (no ack channel on a broadcast);

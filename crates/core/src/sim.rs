@@ -126,6 +126,19 @@ pub enum ConfigError {
     /// An effective fault plan was combined with an effective membership
     /// — two owners of per-round liveness.
     FaultsWithMembership,
+    /// Awake tracking (or a low-awake protocol, which installs a
+    /// schedule) was combined with an effective fault plan — a
+    /// [`FaultPlan`] already owns adversarial sleep windows, so the two
+    /// would be dual owners of per-round wakefulness.
+    AwakeWithFaults,
+    /// The energy configuration carries a negative or non-finite cost
+    /// (`rx` or `idle_per_round`). Formerly an `assert!` inside
+    /// `EnergyConfig::extended`; surfaced as a value so a service can
+    /// answer 422 instead of tripping a panic guard.
+    NegativeEnergy {
+        /// Which field was malformed (`"rx"` or `"idle_per_round"`).
+        field: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -152,6 +165,13 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "fault injection and an effective membership are mutually exclusive"
             ),
+            ConfigError::AwakeWithFaults => write!(
+                f,
+                "fault injection and an awake schedule are mutually exclusive"
+            ),
+            ConfigError::NegativeEnergy { field } => {
+                write!(f, "energy config: {field} must be finite and non-negative")
+            }
         }
     }
 }
@@ -318,6 +338,13 @@ pub struct RunOutput {
 }
 
 impl RunOutput {
+    /// Awake-round read-outs (total + max-per-node), present when the
+    /// run tracked an awake schedule ([`Sim::awake`] or a low-awake
+    /// protocol).
+    pub fn awake(&self) -> Option<emst_radio::AwakeStats> {
+        self.stats.awake
+    }
+
     fn build(tree: SpanningTree, stats: RunStats, stages: Vec<StageMark>, detail: Detail) -> Self {
         let fragments = tree.n().saturating_sub(tree.edges().len());
         RunOutput {
@@ -451,6 +478,8 @@ pub struct Sim<'a> {
     faults: Option<FaultPlan>,
     members: Option<Membership>,
     repair: Option<RepairPolicy>,
+    /// Whether to track awake rounds (see [`Sim::awake`]).
+    awake: bool,
     /// Worker-thread count for shardable stages (see [`Sim::shards`]).
     shards: usize,
     sink: Option<&'a mut dyn TraceSink>,
@@ -468,6 +497,7 @@ impl<'a> Sim<'a> {
             faults: None,
             members: None,
             repair: None,
+            awake: false,
             shards: 1,
             sink: None,
         }
@@ -545,6 +575,23 @@ impl<'a> Sim<'a> {
         self
     }
 
+    /// Enables awake-round tracking: the run installs an all-awake
+    /// [`emst_radio::AwakeSchedule`] and reports awake node-rounds
+    /// (total + max-per-node) on [`RunStats::awake`] with per-stage
+    /// attribution on every [`StageMark`]. Charges and traces stay
+    /// bit-identical to an untracked run except for the purely additive
+    /// awake read-outs (pinned by `tests/awake_layer.rs`); `false` (the
+    /// default) is fully elided — no schedule exists and every awake
+    /// read-out is `None`. Low-awake protocols
+    /// ([`GhsVariant::LowAwake`]) install the schedule themselves, so
+    /// this knob is only needed to measure always-awake protocols.
+    /// Mutually exclusive with [`Sim::with_faults`] (a fault plan
+    /// already owns adversarial sleep windows).
+    pub fn awake(mut self, track: bool) -> Self {
+        self.awake = track;
+        self
+    }
+
     /// Enables the recovery runtime for the tree builders (GHS, EOPT):
     /// a fault-injected run that would classify `Degraded` with its
     /// surviving nodes split across fragments gets a repair stage —
@@ -606,6 +653,9 @@ impl<'a> Sim<'a> {
     /// Validates the configuration against `protocol` and computes the
     /// run-wide operating radius the shared network is built at.
     fn validate(&self, protocol: Protocol) -> Result<f64, ConfigError> {
+        if let Err(field) = self.energy.check() {
+            return Err(ConfigError::NegativeEnergy { field });
+        }
         if self.contention.is_some() && self.faults.is_some() {
             return Err(ConfigError::ContentionWithFaults);
         }
@@ -615,6 +665,13 @@ impl<'a> Sim<'a> {
         // value before any network exists.
         if self.faults.is_some() && self.members.is_some() {
             return Err(ConfigError::FaultsWithMembership);
+        }
+        // Awake tracking is requested explicitly or implied by a
+        // low-awake protocol (which installs its own schedule); either
+        // way it cannot meet a fault plan's adversarial sleep windows.
+        let awake = self.awake || matches!(protocol, Protocol::Ghs(GhsVariant::LowAwake));
+        if awake && self.faults.is_some() {
+            return Err(ConfigError::AwakeWithFaults);
         }
         let n = self.points.len();
         match protocol {
@@ -691,6 +748,7 @@ impl<'a> Sim<'a> {
             faults,
             members,
             repair,
+            awake,
             shards,
             sink,
         } = self;
@@ -732,6 +790,11 @@ impl<'a> Sim<'a> {
         env.set_shards(shards);
         if let Some(members) = members {
             env.set_members(members);
+        }
+        // The low-awake variant measures itself by definition; plain
+        // protocols report awake rounds only when asked.
+        if awake || matches!(protocol, Protocol::Ghs(GhsVariant::LowAwake)) {
+            env.track_awake();
         }
         if let Some(inst) = instance {
             // Prewarm every radius the run will cache. The network's grid

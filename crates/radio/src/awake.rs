@@ -1,0 +1,290 @@
+//! The awake-complexity layer: per-node sleep/wake scheduling.
+//!
+//! The paper's §VIII defers non-transmit energy; our [`EnergyConfig`]
+//! carries the deferred rx/idle costs, but until this layer a node could
+//! never *stop* paying them — every node was implicitly awake for every
+//! round, so awake time was not a measurable quantity. Augustine, Moses &
+//! Pandurangan ("Awake Complexity of Distributed MST", PAPERS.md) make
+//! the number of rounds a node spends awake the headline measure; an
+//! [`AwakeSchedule`] turns it into a first-class metric here.
+//!
+//! Semantics — sleep is *scheduling*, not a fault:
+//!
+//! * a sleeping node pays no idle energy, hears no broadcast, and cannot
+//!   transmit;
+//! * unlike a crash it retains all protocol state and wakes exactly when
+//!   its window ends — protocols schedule windows they can prove silent
+//!   (all charging in a stage happens at the stage-start round, so a
+//!   window starting one round later never misses a delivery);
+//! * unlike a [`crate::FaultPlan`] sleep it is cooperative: the protocol
+//!   itself decides the windows, so there is nothing to retry or heal.
+//!
+//! An installed schedule with no sleep windows is the *all-awake* case:
+//! every charging path behaves bit-identically to no schedule at all
+//! (pinned by golden-fixture tests); only the awake-round counters become
+//! observable. No schedule installed means awake rounds are not tracked
+//! and every read-out stays `None` — the same elision contract as no-op
+//! fault plans and all-live memberships.
+//!
+//! ```
+//! use emst_radio::AwakeSchedule;
+//! let mut s = AwakeSchedule::new(3);
+//! s.sleep(1, 4, 9);            // node 1 sleeps rounds 4..9
+//! assert!(s.is_awake(1, 3));
+//! assert!(!s.is_awake(1, 4));
+//! assert!(s.is_awake(1, 9));   // half-open: awake again at 9
+//! s.on_advance(0, 10, |_| true);
+//! assert_eq!(s.awake_rounds(0), 10);
+//! assert_eq!(s.awake_rounds(1), 5);
+//! assert_eq!(s.total_awake_rounds(), 25);
+//! assert_eq!(s.max_awake_rounds(), 10);
+//! ```
+//!
+//! [`EnergyConfig`]: crate::EnergyConfig
+
+/// Aggregate awake-round read-outs of a run, reported next to energy in
+/// `RunStats` when a schedule is installed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AwakeStats {
+    /// Total awake node-rounds summed over every node.
+    pub total: u64,
+    /// The largest per-node awake-round count — the awake complexity of
+    /// the run in the Augustine–Moses–Pandurangan sense.
+    pub max_per_node: u64,
+}
+
+/// Per-node pending sleep window, absolute rounds, half-open `[from, to)`.
+/// `from == to` encodes "no window".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Window {
+    from: u64,
+    to: u64,
+}
+
+impl Window {
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.from >= self.to
+    }
+
+    /// Rounds of `[lo, hi)` covered by this window.
+    #[inline]
+    fn overlap(&self, lo: u64, hi: u64) -> u64 {
+        let a = self.from.max(lo);
+        let b = self.to.min(hi);
+        b.saturating_sub(a)
+    }
+}
+
+/// Per-node awake/asleep state with protocol-driven sleep windows and
+/// awake-round accounting.
+///
+/// Each node holds at most one pending window at a time; protocols
+/// schedule one window per stage and the clock advance consumes it, so a
+/// later [`AwakeSchedule::sleep`] simply replaces the (spent) previous
+/// window. Accounting happens in [`AwakeSchedule::on_advance`], which the
+/// network calls for every clock movement — protocols cannot bypass it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AwakeSchedule {
+    windows: Vec<Window>,
+    awake_rounds: Vec<u64>,
+    /// Earliest window start / latest window end over all nodes — a
+    /// conservative summary so the hot charging paths can answer "is
+    /// anyone possibly asleep at round r?" in O(1).
+    span: Window,
+}
+
+impl AwakeSchedule {
+    /// An all-awake schedule over `n` nodes (no sleep windows).
+    pub fn new(n: usize) -> Self {
+        AwakeSchedule {
+            windows: vec![Window::default(); n],
+            awake_rounds: vec![0; n],
+            span: Window::default(),
+        }
+    }
+
+    /// Number of nodes covered.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Schedules node `u` to sleep rounds `[from, to)`, replacing any
+    /// previous window. An empty range is a no-op (clears the window).
+    pub fn sleep(&mut self, u: usize, from: u64, to: u64) {
+        if from >= to {
+            self.windows[u] = Window::default();
+            return;
+        }
+        self.windows[u] = Window { from, to };
+        if self.span.is_empty() {
+            self.span = Window { from, to };
+        } else {
+            self.span.from = self.span.from.min(from);
+            self.span.to = self.span.to.max(to);
+        }
+    }
+
+    /// Schedules node `u` to sleep from `now` until round `to`
+    /// (exclusive): the `sleep_until` transition.
+    pub fn sleep_until(&mut self, u: usize, now: u64, to: u64) {
+        self.sleep(u, now, to);
+    }
+
+    /// Wakes node `u` at `round`: truncates any pending window so the
+    /// node is awake from `round` on.
+    pub fn wake(&mut self, u: usize, round: u64) {
+        let w = &mut self.windows[u];
+        if !w.is_empty() && w.to > round {
+            w.to = round;
+            if w.is_empty() {
+                *w = Window::default();
+            }
+        }
+    }
+
+    /// Whether node `u` is awake at `round`.
+    #[inline]
+    pub fn is_awake(&self, u: usize, round: u64) -> bool {
+        let w = self.windows[u];
+        w.is_empty() || round < w.from || round >= w.to
+    }
+
+    /// Whether *any* node might be asleep at `round` (conservative: may
+    /// return true when every window at `round` belongs to another node,
+    /// never false when someone is asleep). Lets all-awake charging paths
+    /// skip per-node checks entirely.
+    #[inline]
+    pub fn any_asleep_at(&self, round: u64) -> bool {
+        !self.span.is_empty() && round >= self.span.from && round < self.span.to
+    }
+
+    /// Accounts the clock advancing from `from` to `to` (half-open):
+    /// every node for which `live(u)` holds accrues one awake round per
+    /// round of the range outside its sleep window. Dead nodes accrue
+    /// nothing — awake complexity is a property of participating nodes.
+    /// Returns the total awake node-rounds accrued by this advance (what
+    /// idle charging owes).
+    pub fn on_advance(&mut self, from: u64, to: u64, live: impl Fn(usize) -> bool) -> u64 {
+        if to <= from {
+            return 0;
+        }
+        let k = to - from;
+        let mut accrued = 0u64;
+        if self.span.overlap(from, to) == 0 {
+            // No window can intersect the range: all-awake fast path.
+            for u in 0..self.windows.len() {
+                if live(u) {
+                    self.awake_rounds[u] += k;
+                    accrued += k;
+                }
+            }
+            return accrued;
+        }
+        for u in 0..self.windows.len() {
+            if live(u) {
+                let inc = k - self.windows[u].overlap(from, to);
+                self.awake_rounds[u] += inc;
+                accrued += inc;
+            }
+        }
+        accrued
+    }
+
+    /// Awake node-rounds accrued by node `u` so far.
+    #[inline]
+    pub fn awake_rounds(&self, u: usize) -> u64 {
+        self.awake_rounds[u]
+    }
+
+    /// Total awake node-rounds over all nodes.
+    pub fn total_awake_rounds(&self) -> u64 {
+        self.awake_rounds.iter().sum()
+    }
+
+    /// The largest per-node awake-round count.
+    pub fn max_awake_rounds(&self) -> u64 {
+        self.awake_rounds.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The aggregate read-outs as one [`AwakeStats`].
+    pub fn stats(&self) -> AwakeStats {
+        AwakeStats {
+            total: self.total_awake_rounds(),
+            max_per_node: self.max_awake_rounds(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_awake_accrues_every_round() {
+        let mut s = AwakeSchedule::new(4);
+        s.on_advance(0, 7, |_| true);
+        assert_eq!(s.total_awake_rounds(), 28);
+        assert_eq!(s.max_awake_rounds(), 7);
+        assert_eq!(s.stats().total, 28);
+    }
+
+    #[test]
+    fn sleep_window_subtracts_exactly_its_overlap() {
+        let mut s = AwakeSchedule::new(2);
+        s.sleep(1, 3, 8);
+        // Advance 0..5: node 1 sleeps rounds 3 and 4 of it.
+        s.on_advance(0, 5, |_| true);
+        assert_eq!(s.awake_rounds(0), 5);
+        assert_eq!(s.awake_rounds(1), 3);
+        // Advance 5..10: node 1 sleeps rounds 5,6,7.
+        s.on_advance(5, 10, |_| true);
+        assert_eq!(s.awake_rounds(0), 10);
+        assert_eq!(s.awake_rounds(1), 5);
+    }
+
+    #[test]
+    fn wake_truncates_pending_window() {
+        let mut s = AwakeSchedule::new(1);
+        s.sleep(0, 2, 10);
+        s.wake(0, 5);
+        assert!(!s.is_awake(0, 4));
+        assert!(s.is_awake(0, 5));
+        s.on_advance(0, 10, |_| true);
+        assert_eq!(s.awake_rounds(0), 7);
+    }
+
+    #[test]
+    fn dead_nodes_accrue_nothing() {
+        let mut s = AwakeSchedule::new(3);
+        s.on_advance(0, 4, |u| u != 1);
+        assert_eq!(s.awake_rounds(0), 4);
+        assert_eq!(s.awake_rounds(1), 0);
+        assert_eq!(s.awake_rounds(2), 4);
+        assert_eq!(s.total_awake_rounds(), 8);
+    }
+
+    #[test]
+    fn empty_and_replaced_windows() {
+        let mut s = AwakeSchedule::new(1);
+        s.sleep(0, 5, 5); // empty: no-op
+        assert!(s.is_awake(0, 5));
+        s.sleep(0, 1, 3);
+        s.sleep(0, 4, 6); // replaces
+        assert!(s.is_awake(0, 2));
+        assert!(!s.is_awake(0, 4));
+    }
+
+    #[test]
+    fn any_asleep_is_conservative_but_sound() {
+        let mut s = AwakeSchedule::new(2);
+        assert!(!s.any_asleep_at(0));
+        s.sleep(0, 4, 6);
+        s.sleep(1, 8, 9);
+        assert!(s.any_asleep_at(4));
+        assert!(s.any_asleep_at(8));
+        assert!(!s.any_asleep_at(3));
+        assert!(!s.any_asleep_at(9));
+    }
+}

@@ -13,6 +13,7 @@
 //! * a message carries `O(log n)` bits — message size is tracked only as a
 //!   count since energy is size-independent in the model.
 
+use crate::awake::{AwakeSchedule, AwakeStats};
 use crate::energy::EnergyLedger;
 use crate::fault::{FaultKind, FaultPlan, FaultStats};
 use crate::membership::Membership;
@@ -46,13 +47,30 @@ impl EnergyConfig {
     }
 
     /// An extended model with explicit rx/idle costs.
+    ///
+    /// Does not validate the costs: a malformed configuration is reported
+    /// through the typed [`EnergyConfig::check`] path (surfaced as a
+    /// `ConfigError` by `Sim::validate`), not a panic — a long-lived
+    /// service must be able to reject a bad energy config as a value.
     pub fn extended(loss: PathLoss, rx: f64, idle_per_round: f64) -> Self {
-        assert!(rx >= 0.0 && idle_per_round >= 0.0, "negative energy cost");
         EnergyConfig {
             loss,
             rx,
             idle_per_round,
         }
+    }
+
+    /// Validates the per-reception and idle costs, naming the offending
+    /// field. Both must be finite and non-negative (`NaN` fails both
+    /// comparisons and is rejected).
+    pub fn check(&self) -> Result<(), &'static str> {
+        if !(self.rx >= 0.0 && self.rx.is_finite()) {
+            return Err("rx");
+        }
+        if !(self.idle_per_round >= 0.0 && self.idle_per_round.is_finite()) {
+            return Err("idle_per_round");
+        }
+        Ok(())
     }
 }
 
@@ -136,6 +154,11 @@ pub struct RadioNet<'a> {
     /// membership is stored as `None`, mirroring the no-op fault-plan
     /// elision, so static runs take identical paths).
     members: Option<Membership>,
+    /// Sleep/wake schedule; `None` when awake tracking was never
+    /// requested (the default), so untracked runs take identical paths.
+    /// An *installed* schedule with no windows is the observable
+    /// all-awake case: counters accrue, charges stay bit-identical.
+    awake: Option<AwakeSchedule>,
 }
 
 impl std::fmt::Debug for RadioNet<'_> {
@@ -187,6 +210,7 @@ impl<'a> RadioNet<'a> {
             faults: None,
             fault_stats: FaultStats::default(),
             members: None,
+            awake: None,
         }
     }
 
@@ -203,6 +227,10 @@ impl<'a> RadioNet<'a> {
         assert!(
             !(effective && self.members.is_some()),
             "fault injection and an effective membership are mutually exclusive"
+        );
+        assert!(
+            !(effective && self.awake.is_some()),
+            "fault injection and an awake schedule are mutually exclusive"
         );
         self.faults = if effective { Some(plan) } else { None };
     }
@@ -262,6 +290,109 @@ impl<'a> RadioNet<'a> {
                     deg
                 }
             }
+        }
+    }
+
+    /// Installs a sleep/wake schedule, enabling awake-round tracking.
+    /// Unlike fault plans and memberships there is no no-op elision
+    /// here: installing an all-awake schedule is exactly how a caller
+    /// asks for the counters — charges stay bit-identical (pinned by
+    /// golden tests), only the awake read-outs become `Some`. Callers
+    /// that do not want tracking simply never call this.
+    ///
+    /// # Panics
+    ///
+    /// If the schedule does not cover this network's nodes, or if an
+    /// effective fault plan is installed — a [`FaultPlan`] already owns
+    /// adversarial sleep windows; composing both would give two owners
+    /// of per-round wakefulness.
+    pub fn set_awake(&mut self, schedule: AwakeSchedule) {
+        assert_eq!(
+            schedule.n(),
+            self.n(),
+            "awake schedule must cover every node"
+        );
+        assert!(
+            self.faults.is_none(),
+            "fault injection and an awake schedule are mutually exclusive"
+        );
+        self.awake = Some(schedule);
+    }
+
+    /// The installed sleep/wake schedule, if awake tracking is enabled.
+    #[inline]
+    pub fn awake_schedule(&self) -> Option<&AwakeSchedule> {
+        self.awake.as_ref()
+    }
+
+    /// Schedules node `u` to sleep rounds `[from, to)` (protocol-driven
+    /// `sleep_until` transition; see [`AwakeSchedule::sleep`]).
+    ///
+    /// # Panics
+    ///
+    /// If no awake schedule is installed.
+    pub fn sleep_node(&mut self, u: usize, from: u64, to: u64) {
+        self.awake
+            .as_mut()
+            .expect("sleep_node requires an installed awake schedule")
+            .sleep(u, from, to);
+    }
+
+    /// Wakes node `u` at `round`, truncating its pending sleep window
+    /// (no-op without a schedule).
+    pub fn wake_node(&mut self, u: usize, round: u64) {
+        if let Some(aw) = self.awake.as_mut() {
+            aw.wake(u, round);
+        }
+    }
+
+    /// Whether node `u` is awake at the current round (true for every
+    /// node when no schedule is installed).
+    #[inline]
+    pub fn awake_now(&self, u: usize) -> bool {
+        match &self.awake {
+            None => true,
+            Some(aw) => aw.is_awake(u, self.clock.now()),
+        }
+    }
+
+    /// Total awake node-rounds accrued so far; `None` when awake
+    /// tracking is not enabled. O(n) — called at stage boundaries only.
+    pub fn awake_total(&self) -> Option<u64> {
+        self.awake.as_ref().map(|a| a.total_awake_rounds())
+    }
+
+    /// Aggregate awake read-outs; `None` when tracking is not enabled.
+    pub fn awake_stats(&self) -> Option<AwakeStats> {
+        self.awake.as_ref().map(|a| a.stats())
+    }
+
+    /// Degree of `u` at `radius` counting only neighbours that can hear
+    /// right now: live *and* awake. Equals [`RadioNet::live_degree`]
+    /// whenever nobody can be asleep at the current round, which is the
+    /// only case the clean charging paths ever see.
+    fn hearing_degree(&self, u: usize, radius: f64) -> usize {
+        let round = self.clock.now();
+        match &self.awake {
+            Some(aw) if aw.any_asleep_at(round) => {
+                let mut deg = 0usize;
+                let count = |v: usize, deg: &mut usize| {
+                    if self.live(v) && aw.is_awake(v, round) {
+                        *deg += 1;
+                    }
+                };
+                if let Some(t) = self.topology_at(radius) {
+                    for &v in t.ids(u) {
+                        count(v as usize, &mut deg);
+                    }
+                } else {
+                    self.grid.for_neighbors_within(u, radius, |v, _| {
+                        count(v, &mut deg);
+                    });
+                }
+                deg
+            }
+            _ => self.live_degree(u, radius),
         }
     }
 
@@ -489,6 +620,10 @@ impl<'a> RadioNet<'a> {
             self.live(u) && self.live(v),
             "unicast {u}→{v} with a dead endpoint"
         );
+        debug_assert!(
+            self.awake_now(u),
+            "unicast {u}→{v} from a sleeping transmitter"
+        );
         let e = self.config.loss.energy(&self.points[u], &self.points[v]);
         self.ledger.charge(kind, e);
         if self.config.rx > 0.0 {
@@ -517,6 +652,10 @@ impl<'a> RadioNet<'a> {
     /// tree-edge energies that are charged once per phase.
     pub fn unicast_with_energy(&mut self, u: usize, v: usize, kind: &'static str, e: f64) {
         assert!(u != v, "node {u} cannot unicast to itself");
+        debug_assert!(
+            self.awake_now(u),
+            "unicast {u}→{v} from a sleeping transmitter"
+        );
         debug_assert_eq!(
             e.to_bits(),
             self.config
@@ -578,6 +717,7 @@ impl<'a> RadioNet<'a> {
         receivers: &mut Vec<(usize, f64)>,
     ) {
         assert!(radius >= 0.0, "negative broadcast radius");
+        debug_assert!(self.awake_now(u), "broadcast from sleeping transmitter {u}");
         let e = self.config.loss.energy_for_distance(radius);
         self.ledger.charge(kind, e);
         receivers.clear();
@@ -591,11 +731,19 @@ impl<'a> RadioNet<'a> {
         if let Some(m) = &self.members {
             receivers.retain(|&(v, _)| m.is_live(v));
         }
+        let round = self.clock.now();
+        // Sleeping nodes hear nothing either — but unlike dead nodes they
+        // come back. The `any_asleep_at` pre-check keeps the all-awake
+        // case on the identical path (no retain call at all).
+        if let Some(aw) = &self.awake {
+            if aw.any_asleep_at(round) {
+                receivers.retain(|&(v, _)| aw.is_awake(v, round));
+            }
+        }
         if self.config.rx > 0.0 {
             self.ledger
                 .charge_rx(receivers.len() as u64, self.config.rx);
         }
-        let round = self.clock.now();
         self.emit(|| TraceEvent::Message {
             round,
             kind,
@@ -612,10 +760,11 @@ impl<'a> RadioNet<'a> {
     /// degree query) so the two broadcast flavours stay energy-equivalent.
     pub fn local_broadcast_silent(&mut self, u: usize, radius: f64, kind: &'static str) {
         assert!(radius >= 0.0, "negative broadcast radius");
+        debug_assert!(self.awake_now(u), "broadcast from sleeping transmitter {u}");
         let e = self.config.loss.energy_for_distance(radius);
         self.ledger.charge(kind, e);
         if self.config.rx > 0.0 {
-            let deg = self.live_degree(u, radius) as u64;
+            let deg = self.hearing_degree(u, radius) as u64;
             self.ledger.charge_rx(deg, self.config.rx);
         }
         let round = self.clock.now();
@@ -637,20 +786,41 @@ impl<'a> RadioNet<'a> {
         self.advance_rounds(1);
     }
 
-    /// Advances the round clock by `k`, charging `k·n·idle_per_round`.
+    /// Advances the round clock by `k`, charging `k·n·idle_per_round`
+    /// (awake live nodes only: dead nodes draw no idle power, and a node
+    /// inside a sleep window pays nothing for the rounds it sleeps).
+    /// With an awake schedule installed this is also where awake-round
+    /// accounting happens — every clock movement goes through here, so
+    /// protocols cannot bypass it.
     pub fn advance_rounds(&mut self, k: u64) {
         if k == 0 {
             return;
         }
         let from = self.clock.now();
         self.clock.advance(k);
-        if self.config.idle_per_round > 0.0 {
-            // Dead nodes draw no idle power: only the live set listens.
-            let awake = self.members.as_ref().map_or(self.n(), |m| m.live_count());
-            self.ledger
-                .charge_idle(k as f64 * awake as f64 * self.config.idle_per_round);
-        }
         let to = self.clock.now();
+        let mut awake_node_rounds: Option<u64> = None;
+        if let Some(aw) = self.awake.as_mut() {
+            let members = self.members.as_ref();
+            awake_node_rounds =
+                Some(aw.on_advance(from, to, |u| members.is_none_or(|m| m.is_live(u))));
+        }
+        if self.config.idle_per_round > 0.0 {
+            match awake_node_rounds {
+                // Dead nodes draw no idle power: only the live set listens.
+                None => {
+                    let awake = self.members.as_ref().map_or(self.n(), |m| m.live_count());
+                    self.ledger
+                        .charge_idle(k as f64 * awake as f64 * self.config.idle_per_round);
+                }
+                // `k·count` and the schedule's node-round total are exact
+                // integers below 2^53, so the all-awake case multiplies
+                // out bit-identically to the untracked branch above.
+                Some(node_rounds) => self
+                    .ledger
+                    .charge_idle(node_rounds as f64 * self.config.idle_per_round),
+            }
+        }
         self.emit(|| TraceEvent::Rounds { from, to });
     }
 

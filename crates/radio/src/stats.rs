@@ -1,6 +1,7 @@
 //! Run statistics: the (energy, messages, rounds) triple the paper's
 //! evaluation reports, captured from a network after a protocol run.
 
+use crate::awake::AwakeStats;
 use crate::energy::EnergyLedger;
 use crate::fault::FaultStats;
 use crate::network::RadioNet;
@@ -16,16 +17,21 @@ pub struct StatSnapshot {
     messages: u64,
     rounds: u64,
     faults: FaultStats,
+    /// Total awake node-rounds at capture time; `None` when the network
+    /// tracks no awake schedule.
+    awake: Option<u64>,
 }
 
 impl StatSnapshot {
-    /// Captures the network's current totals. O(1) — no ledger clone.
+    /// Captures the network's current totals. O(1) without an awake
+    /// schedule; O(n) with one (stage boundaries only).
     pub fn capture(net: &RadioNet<'_>) -> Self {
         StatSnapshot {
             energy: net.ledger().total_energy(),
             messages: net.ledger().total_messages(),
             rounds: net.clock().now(),
             faults: net.fault_stats(),
+            awake: net.awake_total(),
         }
     }
 
@@ -53,6 +59,14 @@ impl StatSnapshot {
                 retries: now.faults.retries - self.faults.retries,
                 timeouts: now.faults.timeouts - self.faults.timeouts,
             },
+            awake: match (now.awake, self.awake) {
+                (Some(a), Some(b)) => Some(a - b),
+                // A schedule installed mid-stage attributes its whole
+                // total to that stage; never happens in practice (the
+                // runtime installs schedules before the first stage).
+                (Some(a), None) => Some(a),
+                _ => None,
+            },
         }
     }
 }
@@ -72,6 +86,9 @@ pub struct RunStats {
     pub rounds: u64,
     /// Drop/retry/timeout counters (all zero in fault-free runs).
     pub faults: FaultStats,
+    /// Awake-round read-outs (total + max-per-node); `None` unless the
+    /// run installed an [`crate::AwakeSchedule`].
+    pub awake: Option<AwakeStats>,
     /// Full per-kind ledger for attribution.
     pub ledger: EnergyLedger,
 }
@@ -87,6 +104,7 @@ impl RunStats {
             messages: ledger.total_messages(),
             rounds: net.clock().now(),
             faults: net.fault_stats(),
+            awake: net.awake_stats(),
             ledger,
         }
     }
@@ -106,6 +124,16 @@ impl RunStats {
         self.messages = self.ledger.total_messages();
         self.rounds += other.rounds;
         self.faults.merge(&other.faults);
+        // Sequential composition over the same node set: totals add and
+        // the per-node maxima add as an upper bound (the true combined
+        // max would need per-node vectors, which the aggregates drop).
+        self.awake = match (self.awake, other.awake) {
+            (Some(a), Some(b)) => Some(AwakeStats {
+                total: a.total + b.total,
+                max_per_node: a.max_per_node + b.max_per_node,
+            }),
+            (a, b) => a.or(b),
+        };
     }
 }
 
@@ -164,6 +192,7 @@ mod tests {
             messages: 10,
             rounds: 4,
             faults: FaultStats::default(),
+            awake: None,
             ledger: EnergyLedger::new(),
         };
         let txt = format!("{s}");

@@ -276,6 +276,10 @@ pub struct StageMark {
     pub rounds: u64,
     /// Fault events (drops/retries/timeouts) observed during this stage.
     pub faults: FaultStats,
+    /// Awake node-rounds accrued during this stage; `None` unless the
+    /// run tracks an awake schedule (kept `None` for untracked runs so
+    /// pre-awake trace consumers see byte-identical stage lines).
+    pub awake: Option<u64>,
 }
 
 /// One recorded merge.
@@ -602,11 +606,21 @@ impl<W: Write> JsonlSink<W> {
                 messages,
                 rounds,
                 faults,
-            }) => writeln!(
-                self.w,
-                r#"{{"t":"stage","round":{round},"scope":"{scope}","name":"{name}","index":{index},"energy":{energy},"messages":{messages},"rounds":{rounds},"drops":{},"retries":{},"timeouts":{}}}"#,
-                faults.drops, faults.retries, faults.timeouts
-            ),
+                awake,
+            }) => {
+                // The awake field is emitted only when the run tracks a
+                // schedule: untracked runs keep their pre-awake stage
+                // lines byte-identical (golden fixtures).
+                let awake = match awake {
+                    Some(a) => format!(r#","awake":{a}"#),
+                    None => String::new(),
+                };
+                writeln!(
+                    self.w,
+                    r#"{{"t":"stage","round":{round},"scope":"{scope}","name":"{name}","index":{index},"energy":{energy},"messages":{messages},"rounds":{rounds},"drops":{},"retries":{},"timeouts":{}{awake}}}"#,
+                    faults.drops, faults.retries, faults.timeouts
+                )
+            }
             TraceEvent::Fault {
                 round,
                 what,

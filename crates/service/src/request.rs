@@ -71,6 +71,9 @@ pub struct TrialRequest {
     pub dead: Vec<usize>,
     /// Whether to enable the recovery runtime.
     pub repair: bool,
+    /// Whether to track awake rounds (sleep/wake scheduling layer). The
+    /// `ghs_lowawake` protocol implies tracking regardless of this flag.
+    pub awake: bool,
     /// Churn maintenance request, if any.
     pub churn: Option<ChurnRequest>,
 }
@@ -136,8 +139,9 @@ impl std::fmt::Display for RequestError {
             RequestError::BadField { field, why } => write!(f, "field {field:?}: {why}"),
             RequestError::UnknownProtocol(p) => write!(
                 f,
-                "unknown protocol {p:?} (expected one of ghs_original, ghs_modified, eopt, \
-                 co_nnt, nnt_xorder, nnt_id, bfs, election_flood, election_tree)"
+                "unknown protocol {p:?} (expected one of ghs_original, ghs_modified, \
+                 ghs_lowawake, eopt, co_nnt, nnt_xorder, nnt_id, bfs, election_flood, \
+                 election_tree)"
             ),
             RequestError::UnknownField(name) => write!(f, "unknown field {name:?}"),
             RequestError::Conflict(what) => write!(f, "conflicting fields: {what}"),
@@ -163,7 +167,7 @@ impl TrialRequest {
         };
         const TOP: &[&str] = &[
             "protocol", "n", "seed", "trial", "trials", "shards", "root", "radius", "stream",
-            "energy", "faults", "dead", "repair", "churn",
+            "energy", "faults", "dead", "repair", "churn", "awake",
         ];
         for k in keys {
             if !TOP.contains(&k) {
@@ -211,6 +215,12 @@ impl TrialRequest {
                 .as_bool()
                 .ok_or_else(|| bad("repair", "must be a boolean"))?,
         };
+        let awake = match doc.get("awake") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| bad("awake", "must be a boolean"))?,
+        };
         let energy = decode_energy(doc.get("energy"))?;
         let faults = decode_faults(doc.get("faults"))?;
         let dead = decode_dead(doc.get("dead"), n)?;
@@ -247,6 +257,11 @@ impl TrialRequest {
             if radius.is_none() {
                 return Err(RequestError::MissingField("radius"));
             }
+            if awake {
+                return Err(RequestError::Conflict(
+                    "churn maintenance does not track awake rounds",
+                ));
+            }
         }
         if trials > 1 && stream != StreamMode::Off {
             return Err(RequestError::Conflict(
@@ -269,6 +284,7 @@ impl TrialRequest {
             dead,
             repair,
             churn,
+            awake,
         })
     }
 }
@@ -319,6 +335,7 @@ fn decode_protocol(name: &str, root: usize) -> Result<Protocol, RequestError> {
     Ok(match name {
         "ghs_original" => Protocol::Ghs(GhsVariant::Original),
         "ghs_modified" => Protocol::Ghs(GhsVariant::Modified),
+        "ghs_lowawake" => Protocol::Ghs(GhsVariant::LowAwake),
         "eopt" => Protocol::Eopt(EoptConfig::default()),
         "co_nnt" => Protocol::Nnt(RankScheme::Diagonal),
         "nnt_xorder" => Protocol::Nnt(RankScheme::XOrder),
@@ -685,6 +702,31 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(e.code(), "bad_field");
+    }
+
+    #[test]
+    fn awake_field_and_lowawake_protocol_decode() {
+        let r = TrialRequest::parse(
+            r#"{"protocol": "ghs_modified", "n": 50, "radius": 0.5, "awake": true}"#,
+        )
+        .unwrap();
+        assert!(r.awake);
+        let r =
+            TrialRequest::parse(r#"{"protocol": "ghs_lowawake", "n": 50, "radius": 0.5}"#).unwrap();
+        assert!(matches!(r.protocol, Protocol::Ghs(GhsVariant::LowAwake)));
+        assert!(!r.awake, "the variant implies tracking; the flag stays raw");
+        let e = TrialRequest::parse(
+            r#"{"protocol": "ghs_modified", "n": 50, "radius": 0.5, "awake": 1}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.code(), "bad_field");
+        // Churn maintenance has no awake accounting.
+        let e = TrialRequest::parse(
+            r#"{"protocol": "ghs_modified", "n": 50, "radius": 0.5, "awake": true,
+                "churn": {"epochs": 2}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.code(), "conflict");
     }
 
     #[test]

@@ -64,9 +64,23 @@ struct ServiceState {
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,
+    /// Trials served with awake tracking enabled.
+    awake_runs: AtomicU64,
+    /// Total awake node-rounds across those trials.
+    awake_rounds_total: AtomicU64,
 }
 
 impl ServiceState {
+    /// Folds a trial's awake read-out (if tracked) into the `/stats`
+    /// counters.
+    fn note_awake(&self, outcome: &RunOutcome) {
+        if let Some(awake) = outcome.output().and_then(|o| o.awake()) {
+            self.awake_runs.fetch_add(1, Ordering::Relaxed);
+            self.awake_rounds_total
+                .fetch_add(awake.total, Ordering::Relaxed);
+        }
+    }
+
     fn count(&self, status: u16) {
         self.requests_total.fetch_add(1, Ordering::Relaxed);
         let bucket = match status {
@@ -129,6 +143,8 @@ pub fn serve(cfg: ServiceConfig) -> io::Result<ServerHandle> {
         responses_2xx: AtomicU64::new(0),
         responses_4xx: AtomicU64::new(0),
         responses_5xx: AtomicU64::new(0),
+        awake_runs: AtomicU64::new(0),
+        awake_rounds_total: AtomicU64::new(0),
     });
 
     let accept_stop = Arc::clone(&stop);
@@ -272,6 +288,9 @@ fn build_sim<'a>(req: &TrialRequest, instance: &'a Instance) -> Sim<'a> {
     if req.repair {
         sim = sim.repair(RepairPolicy::default());
     }
+    if req.awake {
+        sim = sim.awake(true);
+    }
     sim
 }
 
@@ -292,6 +311,7 @@ fn execute_single(
         let outcome = build_sim(req, &instance)
             .try_run_checked(req.protocol)
             .expect("configuration pre-flighted");
+        state.note_awake(&outcome);
         let line = render_outcome(req, req.trial, cache_hit, &outcome);
         return respond(state, writer, 200, line.as_bytes());
     }
@@ -317,6 +337,7 @@ fn execute_single(
             .expect("configuration pre-flighted")
     };
     jsonl.finish()?;
+    state.note_awake(&outcome);
     let line = render_outcome(req, req.trial, cache_hit, &outcome);
     writeln!(chunked, "{line}")?;
     chunked.finish()
@@ -341,6 +362,7 @@ fn execute_batch(
         let outcome = build_sim(req, &instance)
             .try_run_checked(req.protocol)
             .expect("configuration pre-flighted");
+        state.note_awake(&outcome);
         render_outcome(req, t, cache_hit, &outcome)
     });
 
@@ -475,6 +497,12 @@ fn render_outcome(req: &TrialRequest, trial: u64, cache_hit: bool, outcome: &Run
                 output.fragments,
                 output.tree.edges().len()
             ));
+            if let Some(awake) = output.awake() {
+                s.push_str(&format!(
+                    r#","awake_rounds":{},"awake_max":{}"#,
+                    awake.total, awake.max_per_node
+                ));
+            }
             if let Some(repair) = outcome.repair() {
                 s.push_str(&format!(
                     r#","repair":{{"attempts":{},"edges_added":{},"fragments_before":{},"fragments_after":{}}}"#,
@@ -505,7 +533,7 @@ fn render_outcome(req: &TrialRequest, trial: u64, cache_hit: bool, outcome: &Run
 fn stats_json(state: &ServiceState) -> String {
     let cache = state.cache.stats();
     format!(
-        r#"{{"t":"stats","cache":{{"hits":{},"misses":{},"evictions":{},"len":{},"capacity":{},"hit_rate":{}}},"requests":{{"total":{},"ok_2xx":{},"client_4xx":{},"server_5xx":{}}}}}"#,
+        r#"{{"t":"stats","cache":{{"hits":{},"misses":{},"evictions":{},"len":{},"capacity":{},"hit_rate":{}}},"requests":{{"total":{},"ok_2xx":{},"client_4xx":{},"server_5xx":{}}},"awake":{{"runs":{},"rounds_total":{}}}}}"#,
         cache.hits,
         cache.misses,
         cache.evictions,
@@ -516,6 +544,8 @@ fn stats_json(state: &ServiceState) -> String {
         state.responses_2xx.load(Ordering::Relaxed),
         state.responses_4xx.load(Ordering::Relaxed),
         state.responses_5xx.load(Ordering::Relaxed),
+        state.awake_runs.load(Ordering::Relaxed),
+        state.awake_rounds_total.load(Ordering::Relaxed),
     )
 }
 

@@ -345,3 +345,80 @@ fn faulty_and_repaired_runs_round_trip_the_outcome_lattice() {
     let tag = doc.get("outcome").and_then(Json::as_str).unwrap();
     assert!(["complete", "repaired", "degraded"].contains(&tag));
 }
+
+#[test]
+fn awake_tracking_round_trips_rows_stats_and_conflicts() {
+    let server = boot(4);
+    let addr = server.addr().to_string();
+
+    // Untracked runs must not grow awake fields.
+    let (status, doc) = post(
+        &addr,
+        r#"{"protocol": "ghs_modified", "n": 120, "radius": 0.3}"#,
+    );
+    assert_eq!(status, 200);
+    assert!(doc.get("awake_rounds").is_none());
+
+    // Tracked run: awake counters appear and match the direct Sim run.
+    let (status, doc) = post(
+        &addr,
+        &format!(
+            r#"{{"protocol": "ghs_modified", "n": 120, "seed": {SEED}, "radius": 0.3, "awake": true}}"#
+        ),
+    );
+    assert_eq!(status, 200);
+    let instance = Instance::generate(SEED, 120, 0);
+    let direct = Sim::new(instance.points())
+        .radius(0.3)
+        .awake(true)
+        .run(Protocol::Ghs(GhsVariant::Modified));
+    let awake = direct.awake().expect("tracked run reports awake");
+    assert_eq!(
+        doc.get("awake_rounds").and_then(Json::as_u64),
+        Some(awake.total)
+    );
+    assert_eq!(
+        doc.get("awake_max").and_then(Json::as_u64),
+        Some(awake.max_per_node)
+    );
+    // The all-awake run stays bit-identical to the untracked baseline.
+    assert_eq!(
+        doc.get("energy_bits").and_then(Json::as_u64),
+        Some(direct.stats.energy.to_bits())
+    );
+
+    // The low-awake protocol implies tracking and beats the all-awake
+    // max-per-node count.
+    let (status, low) = post(
+        &addr,
+        &format!(r#"{{"protocol": "ghs_lowawake", "n": 120, "seed": {SEED}, "radius": 0.3}}"#),
+    );
+    assert_eq!(status, 200);
+    let low_max = low.get("awake_max").and_then(Json::as_u64).unwrap();
+    assert!(low_max < awake.max_per_node);
+
+    // /stats accumulates awake counters across the two tracked runs.
+    let mut client = Client::connect(&addr).expect("connect");
+    let stats = Json::parse(&client.get("/stats").expect("stats").text()).expect("stats json");
+    let runs = stats
+        .get("awake")
+        .and_then(|a| a.get("runs"))
+        .and_then(Json::as_u64)
+        .expect("awake.runs");
+    assert_eq!(runs, 2);
+    let total = stats
+        .get("awake")
+        .and_then(|a| a.get("rounds_total"))
+        .and_then(Json::as_u64)
+        .expect("awake.rounds_total");
+    assert!(total > 0);
+
+    // Awake tracking with an effective fault plan is a 422 config error.
+    let (status, err) = post(
+        &addr,
+        r#"{"protocol": "ghs_modified", "n": 120, "radius": 0.3, "awake": true,
+            "faults": {"drop": 0.1, "seed": 3}}"#,
+    );
+    assert_eq!(status, 422);
+    assert_eq!(err.get("code").and_then(Json::as_str), Some("config"));
+}
