@@ -200,9 +200,12 @@ fn validate_churn_schema(path: &str) {
 /// any mismatch.
 fn validate_service_schema(path: &str) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    // v2 = v1 + retry accounting (`retries`, `turnaways`) from the
+    // backoff-aware load generator; v1 documents stay valid.
+    let v2 = text.contains("\"schema\": \"bench_service/v2\"");
     assert!(
-        text.contains("\"schema\": \"bench_service/v1\""),
-        "{path}: missing or wrong schema tag (want bench_service/v1)"
+        v2 || text.contains("\"schema\": \"bench_service/v1\""),
+        "{path}: missing or wrong schema tag (want bench_service/v1 or /v2)"
     );
     let num = |key: &str| -> f64 {
         field(&text, key)
@@ -252,9 +255,22 @@ fn validate_service_schema(path: &str) {
         server_5xx == 0.0,
         "{path}: records {server_5xx} server errors (5xx)"
     );
+    let mut retries = 0.0;
+    if v2 {
+        for key in ["retries", "turnaways"] {
+            let value = num(key);
+            assert!(
+                value.is_finite() && value >= 0.0,
+                "{path}: field {key:?} is {value}"
+            );
+        }
+        retries = num("retries");
+    }
     println!(
-        "service schema: {path} parses as bench_service/v1 \
-         ({rps:.0} req/s, p50 {p50:.2} ms, p99 {p99:.2} ms, hit rate {hit_rate:.2}, 0 × 5xx)"
+        "service schema: {path} parses as bench_service/v{} \
+         ({rps:.0} req/s, p50 {p50:.2} ms, p99 {p99:.2} ms, hit rate {hit_rate:.2}, \
+         {retries} retries, 0 × 5xx)",
+        if v2 { 2 } else { 1 }
     );
 }
 

@@ -43,7 +43,8 @@ pub use exec::ExecEnv;
 pub use ghs::{GhsEngine, GhsKinds, GhsVariant};
 pub use instance::{CacheStats, Instance, InstanceCache, InstanceKey};
 pub use maintain::{
-    maintain, ChurnEvent, ChurnTimeline, EpochReport, MaintainReport, MaintainStrategy,
+    maintain, ChurnEvent, ChurnTimeline, EpochReport, MaintainReport, MaintainSession,
+    MaintainStrategy, SessionLedger,
 };
 pub use nnt::{NntMsg, NntNode, RankScheme};
 pub use repair::{RepairPolicy, RepairStats};

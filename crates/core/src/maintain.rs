@@ -325,40 +325,165 @@ fn sort_dedup(edges: &mut Vec<Edge>) {
     edges.dedup_by(|a, b| a.u == b.u && a.v == b.v);
 }
 
-/// Drives the forest through `timeline` at `radius` under `strategy`.
+/// A cumulative accounting snapshot of a maintenance session: bootstrap
+/// plus every advanced epoch, with energy carried as exact bits so two
+/// snapshots compare bitwise, never approximately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionLedger {
+    /// Membership epoch the session has advanced to.
+    pub epoch: u64,
+    /// Bit pattern of the cumulative radiated energy (bootstrap +
+    /// maintenance, summed in epoch order).
+    pub energy_bits: u64,
+    /// Cumulative messages.
+    pub messages: u64,
+    /// Cumulative synchronous rounds.
+    pub rounds: u64,
+    /// Whether every step so far conserved its ledger bitwise.
+    pub conserved: bool,
+}
+
+/// A *standing* churn-maintenance session: the persistent state
+/// [`maintain`] threads through its epoch loop, split out so a caller
+/// (the service's `/session` endpoints, a REPL, a long-horizon drift
+/// study) can advance epochs incrementally instead of replaying a whole
+/// timeline per request.
 ///
-/// Bootstraps with a full clean modified-GHS construction over
-/// `initial_points` (identical for both strategies, and bit-identical
-/// to a plain [`crate::Sim`] run — the all-live membership is elided),
-/// then applies one epoch per timeline entry. See the module docs for
-/// the per-epoch mechanics and the correctness argument.
-pub fn maintain(
-    initial_points: &[Point],
-    radius: f64,
-    timeline: &ChurnTimeline,
+/// [`maintain`] itself is a thin replay wrapper over this type — one
+/// `bootstrap` plus one [`MaintainSession::advance`] per timeline epoch
+/// — so a session advanced epoch-by-epoch is *bitwise identical* to a
+/// replayed timeline by construction, not by parallel maintenance of
+/// two code paths.
+#[derive(Debug, Clone)]
+pub struct MaintainSession {
     strategy: MaintainStrategy,
-) -> MaintainReport {
-    assert!(
-        radius.is_finite() && radius > 0.0,
-        "maintenance radius must be positive"
-    );
-    let mut points: Vec<Point> = initial_points.to_vec();
-    let mut members = Membership::all_live(points.len());
-    let kinds = GhsKinds::for_scope("maintain");
+    radius: f64,
+    points: Vec<Point>,
+    members: Membership,
+    forest: Vec<Edge>,
+    kinds: &'static GhsKinds,
+    bootstrap_energy: f64,
+    bootstrap_messages: u64,
+    bootstrap_rounds: u64,
+    bootstrap_conserved: bool,
+    total_energy: f64,
+    total_messages: u64,
+    total_rounds: u64,
+    conserved: bool,
+}
 
-    // Bootstrap: the ordinary full construction. The all-live
-    // membership is elided inside `run_step`, so this takes the same
-    // clean code path (and produces the same bits) as `Sim::run`.
-    let (boot_forest, boot_stats, boot_conserved) = run_step(&points, radius, &members, |env| {
-        crate::ghs::drive(env, radius, GhsVariant::Modified)
-            .tree
-            .edges()
-            .to_vec()
-    });
-    let mut forest = boot_forest;
+impl MaintainSession {
+    /// Runs the bootstrap construction (clean modified GHS over the
+    /// all-live initial points — bit-identical to a plain
+    /// [`crate::Sim`] run; the all-live membership is elided) and
+    /// returns the session poised at epoch 0.
+    pub fn bootstrap(initial_points: &[Point], radius: f64, strategy: MaintainStrategy) -> Self {
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "maintenance radius must be positive"
+        );
+        let points: Vec<Point> = initial_points.to_vec();
+        let members = Membership::all_live(points.len());
+        let kinds = GhsKinds::for_scope("maintain");
+        let (forest, boot_stats, boot_conserved) = run_step(&points, radius, &members, |env| {
+            crate::ghs::drive(env, radius, GhsVariant::Modified)
+                .tree
+                .edges()
+                .to_vec()
+        });
+        MaintainSession {
+            strategy,
+            radius,
+            points,
+            members,
+            forest,
+            kinds,
+            bootstrap_energy: boot_stats.energy,
+            bootstrap_messages: boot_stats.messages,
+            bootstrap_rounds: boot_stats.rounds,
+            bootstrap_conserved: boot_conserved,
+            total_energy: boot_stats.energy,
+            total_messages: boot_stats.messages,
+            total_rounds: boot_stats.rounds,
+            conserved: boot_conserved,
+        }
+    }
 
-    let mut epochs = Vec::with_capacity(timeline.len());
-    for events in timeline.epochs() {
+    /// The strategy every [`MaintainSession::advance`] applies.
+    pub fn strategy(&self) -> MaintainStrategy {
+        self.strategy
+    }
+
+    /// The operating radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The current id universe size (grown by joins). Ids at or beyond
+    /// this bound may only enter via [`ChurnEvent::Join`].
+    pub fn universe(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Current positions (grown by joins, overwritten by moves).
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Current membership (epoch counter = number of advances so far).
+    pub fn members(&self) -> &Membership {
+        &self.members
+    }
+
+    /// The maintained forest over the current id universe.
+    pub fn forest(&self) -> &[Edge] {
+        &self.forest
+    }
+
+    /// The maintained forest as a [`SpanningTree`] over the current
+    /// universe (dead ids are isolated vertices).
+    pub fn tree(&self) -> SpanningTree {
+        SpanningTree::new(self.points.len(), self.forest.clone())
+    }
+
+    /// Bootstrap stats as `(energy, messages, rounds, conserved)`.
+    pub fn bootstrap_stats(&self) -> (f64, u64, u64, bool) {
+        (
+            self.bootstrap_energy,
+            self.bootstrap_messages,
+            self.bootstrap_rounds,
+            self.bootstrap_conserved,
+        )
+    }
+
+    /// The cumulative ledger snapshot. Pure read-out: calling this any
+    /// number of times between advances returns the same bits — the
+    /// reclaim-conservation pin the service layer enforces (ledger at
+    /// reclaim == ledger at last advance, bitwise).
+    pub fn ledger(&self) -> SessionLedger {
+        SessionLedger {
+            epoch: self.members.epoch(),
+            energy_bits: self.total_energy.to_bits(),
+            messages: self.total_messages,
+            rounds: self.total_rounds,
+            conserved: self.conserved,
+        }
+    }
+
+    /// Advances the session one epoch, applying `events` and repairing
+    /// the forest under the session's strategy. This is the exact body
+    /// of [`maintain`]'s epoch loop.
+    pub fn advance(&mut self, events: &[ChurnEvent]) -> EpochReport {
+        let MaintainSession {
+            strategy,
+            radius,
+            points,
+            members,
+            forest,
+            kinds,
+            ..
+        } = self;
+        let (strategy, radius, kinds) = (*strategy, *radius, *kinds);
         members.advance_epoch();
         // Classify the epoch's events. Position updates (joins, moves)
         // apply immediately: a mover is dead during the departure
@@ -429,7 +554,7 @@ pub fn maintain(
                         .iter()
                         .map(|e| (e.u as usize, e.v as usize, e.w))
                         .collect();
-                    let (new_forest, stats, ok) = run_step(&points, radius, &members, |env| {
+                    let (new_forest, stats, ok) = run_step(points, radius, members, |env| {
                         let mut eng = GhsEngine::new(env.net(), GhsVariant::Modified);
                         eng.seed_forest(&seeded);
                         if let Some((f, size)) = eng.largest_fragment() {
@@ -444,7 +569,7 @@ pub fn maintain(
                         eng.tree().edges().to_vec()
                     });
                     edges_added += new_forest.len() - forest.len();
-                    forest = new_forest;
+                    *forest = new_forest;
                     energy += stats.energy;
                     messages += stats.messages;
                     rounds += stats.rounds;
@@ -461,11 +586,11 @@ pub fn maintain(
                         members.admit(a);
                     }
                     let m = members.clone();
-                    let old_forest = std::mem::take(&mut forest);
+                    let old_forest = std::mem::take(forest);
                     let arrivals_ref = &arrivals;
                     let old_ref = &old_forest;
                     let ((adopted, evicted), stats, ok) =
-                        run_step(&points, radius, &members, |env| {
+                        run_step(points, radius, members, |env| {
                             env.stage(kinds.scope, "arrivals", |net| {
                                 net.cache_topology(radius);
                                 let topo = net.topology_handle().expect("cached above");
@@ -514,7 +639,7 @@ pub fn maintain(
                         });
                     edges_removed += evicted;
                     edges_added += adopted.len() - (old_forest.len() - evicted);
-                    forest = adopted;
+                    *forest = adopted;
                     energy += stats.energy;
                     messages += stats.messages;
                     rounds += stats.rounds;
@@ -526,7 +651,7 @@ pub fn maintain(
                     members.admit(a);
                 }
                 if !departures.is_empty() || !arrivals.is_empty() {
-                    let (new_forest, stats, ok) = run_step(&points, radius, &members, |env| {
+                    let (new_forest, stats, ok) = run_step(points, radius, members, |env| {
                         let mut eng = GhsEngine::new(env.net(), GhsVariant::Modified);
                         env.stage(kinds.scope, "discover", |net| {
                             eng.discover(net, radius, kinds)
@@ -547,7 +672,7 @@ pub fn maintain(
                     }
                     edges_added += new_forest.len() - shared;
                     edges_removed += forest.len() - shared;
-                    forest = new_forest;
+                    *forest = new_forest;
                     energy += stats.energy;
                     messages += stats.messages;
                     rounds += stats.rounds;
@@ -563,7 +688,7 @@ pub fn maintain(
             && forest
                 .iter()
                 .all(|e| alive[e.u as usize] && alive[e.v as usize]);
-        epochs.push(EpochReport {
+        let report = EpochReport {
             epoch: members.epoch(),
             live: members.live_count(),
             arrivals: arrivals.len(),
@@ -576,16 +701,52 @@ pub fn maintain(
             fragments: survivor_fragments(n_now, &tree, &alive),
             ledger_conserved: conserved,
             forest_valid,
-        });
+        };
+        self.total_energy += energy;
+        self.total_messages += messages;
+        self.total_rounds += rounds;
+        self.conserved &= conserved;
+        report
     }
+}
 
+/// Drives the forest through `timeline` at `radius` under `strategy`.
+///
+/// A pure replay over [`MaintainSession`]: one
+/// [`MaintainSession::bootstrap`] (identical for both strategies, and
+/// bit-identical to a plain [`crate::Sim`] run — the all-live
+/// membership is elided) plus one [`MaintainSession::advance`] per
+/// timeline epoch. A standing session advanced with the same events in
+/// the same order therefore reproduces this report's ledgers bitwise.
+/// See the module docs for the per-epoch mechanics and the correctness
+/// argument.
+pub fn maintain(
+    initial_points: &[Point],
+    radius: f64,
+    timeline: &ChurnTimeline,
+    strategy: MaintainStrategy,
+) -> MaintainReport {
+    let mut session = MaintainSession::bootstrap(initial_points, radius, strategy);
+    let epochs: Vec<EpochReport> = timeline
+        .epochs()
+        .iter()
+        .map(|events| session.advance(events))
+        .collect();
+    let (bootstrap_energy, bootstrap_messages, bootstrap_rounds, bootstrap_conserved) =
+        session.bootstrap_stats();
+    let MaintainSession {
+        points,
+        members,
+        forest,
+        ..
+    } = session;
     MaintainReport {
         strategy,
         radius,
-        bootstrap_energy: boot_stats.energy,
-        bootstrap_messages: boot_stats.messages,
-        bootstrap_rounds: boot_stats.rounds,
-        bootstrap_conserved: boot_conserved,
+        bootstrap_energy,
+        bootstrap_messages,
+        bootstrap_rounds,
+        bootstrap_conserved,
         epochs,
         points,
         members,

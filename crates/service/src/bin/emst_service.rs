@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! emst_service [--addr HOST:PORT] [--cache-capacity K] [--max-connections C]
+//!              [--request-timeout-ms T] [--idle-timeout-ms T] [--retry-after S]
+//!              [--max-sessions K] [--session-ttl-ms T]
 //! ```
 //!
 //! Prints the bound address (one line, `listening on ADDR`) once ready,
@@ -9,6 +11,7 @@
 //! where the load generator reads the printed address.
 
 use emst_service::{serve, ServiceConfig};
+use std::time::Duration;
 
 fn main() {
     if let Err(e) = run() {
@@ -29,9 +32,22 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "--addr" => cfg.addr = value("--addr")?,
             "--cache-capacity" => cfg.cache_capacity = value("--cache-capacity")?.parse()?,
             "--max-connections" => cfg.max_connections = value("--max-connections")?.parse()?,
+            "--request-timeout-ms" => {
+                cfg.request_timeout = Duration::from_millis(value("--request-timeout-ms")?.parse()?)
+            }
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout = Duration::from_millis(value("--idle-timeout-ms")?.parse()?)
+            }
+            "--retry-after" => cfg.retry_after_secs = value("--retry-after")?.parse()?,
+            "--max-sessions" => cfg.max_sessions = value("--max-sessions")?.parse()?,
+            "--session-ttl-ms" => {
+                cfg.session_ttl = Duration::from_millis(value("--session-ttl-ms")?.parse()?)
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: emst_service [--addr HOST:PORT] [--cache-capacity K] [--max-connections C]"
+                    "usage: emst_service [--addr HOST:PORT] [--cache-capacity K] \
+                     [--max-connections C] [--request-timeout-ms T] [--idle-timeout-ms T] \
+                     [--retry-after S] [--max-sessions K] [--session-ttl-ms T]"
                 );
                 return Ok(());
             }

@@ -12,9 +12,18 @@
 //! `--cold-ratio` fraction of requests use a fresh never-seen seed
 //! (cache miss + generation), the rest rotate through `--warm-keys` hot
 //! seeds (cache hits after warmup). Results land in `BENCH_service.json`
-//! (schema `bench_service/v1`): requests/s, p50/p99 latency, cache hit
-//! rate, response-class counts. Exits non-zero on any 5xx, on request
-//! failures, or when `--min-rps` is given and missed.
+//! (schema `bench_service/v2`): requests/s, p50/p99 latency, cache hit
+//! rate, response-class counts, retry counts. Exits non-zero on
+//! unexpected 5xx, on request failures, or when `--min-rps` is given
+//! and missed.
+//!
+//! Turn-aways (`503` at the accept gate, `429` from a full session
+//! table) are the server's backpressure contract, so the generator is a
+//! polite client: it honors `Retry-After` with capped exponential
+//! backoff plus deterministic splitmix-seeded jitter (synchronized
+//! clients desynchronize identically on every run), reconnects after a
+//! connection-closing turn-away, and reports the retry total in the
+//! results document rather than failing.
 
 use emst_service::json::Json;
 use emst_service::{serve, Client, ServiceConfig};
@@ -93,6 +102,33 @@ fn parse_args() -> Result<Options, Box<dyn std::error::Error>> {
     Ok(o)
 }
 
+/// Retry budget per request before the run is declared failed.
+const MAX_RETRIES: u32 = 8;
+/// First backoff step; doubles per consecutive retry of one request.
+const BACKOFF_BASE_MS: u64 = 25;
+/// Backoff ceiling (also caps an outsized server `Retry-After` hint so
+/// one throttle cannot stall the closed loop for whole seconds).
+const BACKOFF_CAP_MS: u64 = 2000;
+
+/// Backoff before retry number `attempt` (1-based) of request `request`
+/// on client `client`: capped exponential, floored by the server's
+/// `Retry-After` hint, with ±25% splitmix-derived jitter. Deterministic
+/// in `(client, request, attempt)` — reruns back off identically.
+fn backoff_ms(attempt: u32, retry_after: Option<u64>, client: usize, request: usize) -> u64 {
+    let exp = BACKOFF_BASE_MS
+        .saturating_mul(1u64 << attempt.min(10))
+        .min(BACKOFF_CAP_MS);
+    let floor = retry_after.map_or(0, |s| s.saturating_mul(1000).min(BACKOFF_CAP_MS));
+    let base = exp.max(floor);
+    let mix = emst_geom::mix_seed(
+        0xB0FF_0000 ^ client as u64,
+        ((request as u64) << 8) | attempt as u64,
+    );
+    // mix % span lands in [0, base/2): shifted down a quarter, the wait
+    // spreads over [0.75·base, 1.25·base).
+    base - base / 4 + mix % (base / 2).max(1)
+}
+
 /// Seed for the k-th warm (hot, cacheable) key.
 fn warm_seed(k: usize) -> u64 {
     0xE0E7_2008 + k as u64
@@ -164,10 +200,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     // deterministic slice of the key mix.
     let cold_per_mille = (o.cold_ratio * 1000.0).round() as usize;
     let started = Instant::now();
-    let worker = |c: usize| -> Result<(Vec<u64>, u64), String> {
+    let worker = |c: usize| -> Result<(Vec<u64>, u64, u64), String> {
         let mut client = Client::connect(&addr).map_err(|e| format!("client {c}: connect: {e}"))?;
         let mut latencies_us = Vec::with_capacity(o.requests);
         let mut non_2xx = 0u64;
+        let mut retries = 0u64;
         for i in 0..o.requests {
             let global = c * o.requests + i;
             // Bresenham spread: a request is cold when the running
@@ -180,11 +217,72 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 warm_seed(global % o.warm_keys)
             };
             let body = body_for(&o, seed);
-            let t = Instant::now();
-            let resp = client
-                .post("/run", body.as_bytes())
-                .map_err(|e| format!("client {c} request {i}: {e}"))?;
-            latencies_us.push(t.elapsed().as_micros() as u64);
+            // Turn-aways (503 accept gate, 429 session table) are retried
+            // with backoff; anything else settles the request. The
+            // recorded latency is the settling attempt's alone — backoff
+            // waits are deliberate, not service time.
+            let mut attempts = 0u32;
+            let resp = loop {
+                let t = Instant::now();
+                let result = client.post("/run", body.as_bytes());
+                let elapsed_us = t.elapsed().as_micros() as u64;
+                match result {
+                    Ok(resp) if resp.status == 503 || resp.status == 429 => {
+                        attempts += 1;
+                        retries += 1;
+                        if attempts > MAX_RETRIES {
+                            return Err(format!(
+                                "client {c} request {i}: still turned away ({}) after \
+                                 {MAX_RETRIES} retries",
+                                resp.status
+                            ));
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(backoff_ms(
+                            attempts,
+                            resp.retry_after,
+                            c,
+                            i,
+                        )));
+                        if resp.status == 503 {
+                            // The accept gate closes turned-away
+                            // connections; start a fresh one.
+                            client = Client::connect(&addr)
+                                .map_err(|e| format!("client {c} reconnect: {e}"))?;
+                        }
+                    }
+                    Ok(resp) => {
+                        latencies_us.push(elapsed_us);
+                        break resp;
+                    }
+                    // An accept-gate turn-away often surfaces as a broken
+                    // connection rather than a parsed 503: the server
+                    // writes the refusal and closes before the request
+                    // bytes land. Same contract, same backoff.
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::BrokenPipe
+                                | std::io::ErrorKind::ConnectionReset
+                                | std::io::ErrorKind::UnexpectedEof
+                        ) =>
+                    {
+                        attempts += 1;
+                        retries += 1;
+                        if attempts > MAX_RETRIES {
+                            return Err(format!(
+                                "client {c} request {i}: still turned away (connection \
+                                 refused mid-handshake) after {MAX_RETRIES} retries"
+                            ));
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(backoff_ms(
+                            attempts, None, c, i,
+                        )));
+                        client = Client::connect(&addr)
+                            .map_err(|e| format!("client {c} reconnect: {e}"))?;
+                    }
+                    Err(e) => return Err(format!("client {c} request {i}: {e}")),
+                }
+            };
             if resp.status != 200 {
                 non_2xx += 1;
             }
@@ -196,7 +294,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 ));
             }
         }
-        Ok((latencies_us, non_2xx))
+        Ok((latencies_us, non_2xx, retries))
     };
     let client_ids: Vec<usize> = (0..o.clients).collect();
     let results = emst_analysis::parallel_map(&client_ids, |&c| worker(c));
@@ -204,10 +302,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut latencies = Vec::with_capacity(o.clients * o.requests);
     let mut non_2xx = 0u64;
+    let mut retries = 0u64;
     for r in results {
-        let (l, bad) = r?;
+        let (l, bad, r#try) = r?;
         latencies.extend(l);
         non_2xx += bad;
+        retries += r#try;
     }
     latencies.sort_unstable();
     let total = latencies.len();
@@ -218,8 +318,24 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let (p50_ms, p99_ms) = (pct(0.50), pct(0.99));
     let rps = total as f64 / wall_s;
 
-    // Server-side counters.
-    let stats_text = Client::connect(&addr)?.get("/stats")?.text();
+    // Server-side counters. The fetch itself can draw a turn-away while
+    // worker connections are still being reclaimed — be a polite client
+    // here too.
+    let stats_text = {
+        let mut text = None;
+        for _ in 0..20 {
+            if let Ok(mut probe) = Client::connect(&addr) {
+                if let Ok(resp) = probe.get("/stats") {
+                    if resp.status == 200 {
+                        text = Some(resp.text());
+                        break;
+                    }
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        text.ok_or("could not fetch /stats after the run")?
+    };
     let stats = Json::parse(&stats_text).map_err(|e| format!("bad /stats body: {e}"))?;
     let counter = |section: &str, field: &str| -> u64 {
         stats
@@ -234,11 +350,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         0.0
     };
-    let server_5xx = counter("requests", "server_5xx");
+    // Deliberate 503 turn-aways are counted in `server_5xx` (that keeps
+    // the conservation identity exact); subtract them to get the 5xx
+    // count that means something went wrong.
+    let turnaways = counter("lifecycle", "turnaways");
+    let server_5xx = counter("requests", "server_5xx").saturating_sub(turnaways);
 
     let doc = format!(
         r#"{{
-  "schema": "bench_service/v1",
+  "schema": "bench_service/v2",
   "clients": {},
   "requests": {total},
   "n": {},
@@ -255,7 +375,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
   "cache_evictions": {},
   "responses_2xx": {},
   "responses_4xx": {},
-  "responses_5xx": {server_5xx}
+  "responses_5xx": {server_5xx},
+  "retries": {retries},
+  "turnaways": {turnaways}
 }}
 "#,
         o.clients,
@@ -271,12 +393,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     f.write_all(doc.as_bytes())?;
     println!(
         "load_gen: {total} requests in {wall_s:.2}s — {rps:.0} req/s, p50 {p50_ms:.2}ms, \
-         p99 {p99_ms:.2}ms, cache hit rate {:.2} → {}",
+         p99 {p99_ms:.2}ms, cache hit rate {:.2}, {retries} retries → {}",
         hit_rate, o.out
     );
 
     if server_5xx > 0 {
-        return Err(format!("{server_5xx} server errors (5xx) during the run").into());
+        return Err(format!("{server_5xx} unexpected server errors (5xx) during the run").into());
     }
     if non_2xx > 0 {
         return Err(format!("{non_2xx} non-200 responses during the run").into());

@@ -12,6 +12,9 @@ pub struct Response {
     pub status: u16,
     /// Full body (chunked transfer already reassembled).
     pub body: Vec<u8>,
+    /// Parsed `Retry-After` seconds, when the server sent one (503/429
+    /// turn-aways advertise how long to back off).
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -63,6 +66,11 @@ impl Client {
         self.request("POST", path, body)
     }
 
+    /// DELETE convenience wrapper.
+    pub fn delete(&mut self, path: &str) -> io::Result<Response> {
+        self.request("DELETE", path, b"")
+    }
+
     fn read_response(&mut self) -> io::Result<Response> {
         let status_line = self.read_line()?;
         let status: u16 = status_line
@@ -73,6 +81,7 @@ impl Client {
 
         let mut content_length: Option<usize> = None;
         let mut chunked = false;
+        let mut retry_after = None;
         loop {
             let line = self.read_line()?;
             if line.is_empty() {
@@ -91,6 +100,8 @@ impl Client {
                 );
             } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
                 chunked = true;
+            } else if name == "retry-after" {
+                retry_after = value.parse().ok();
             }
         }
 
@@ -121,7 +132,11 @@ impl Client {
             body.resize(len, 0);
             self.reader.read_exact(&mut body)?;
         }
-        Ok(Response { status, body })
+        Ok(Response {
+            status,
+            body,
+            retry_after,
+        })
     }
 
     fn read_line(&mut self) -> io::Result<String> {

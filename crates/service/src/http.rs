@@ -177,14 +177,31 @@ pub fn write_response<W: Write>(
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
+    write_response_with(w, status, content_type, &[], body)
+}
+
+/// [`write_response`] with extra headers (e.g. `Retry-After` on a 503,
+/// `Connection: close` on a polite turn-away). Header names and values
+/// must already be wire-safe; this writes them verbatim.
+pub fn write_response_with<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n",
         status,
         reason(status),
         content_type,
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
     w.write_all(body)?;
     w.flush()
 }
@@ -208,8 +225,11 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",

@@ -29,6 +29,8 @@ pub const MAX_SHARDS: usize = 64;
 pub const MAX_RETRIES: u64 = 16;
 /// Largest accepted churn timeline (epochs and events).
 pub const MAX_CHURN_EPOCHS: u64 = 256;
+/// Largest accepted event batch in one standing-session advance.
+pub const MAX_ADVANCE_EVENTS: usize = 1024;
 
 /// How much trace to stream ahead of the result line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +87,104 @@ pub struct ChurnRequest {
     pub timeline: ChurnTimeline,
     /// Repair strategy per epoch.
     pub strategy: MaintainStrategy,
+}
+
+/// A validated `POST /session` body: the parameters of a standing
+/// churn-maintenance session. The protocol is implicitly `ghs_modified`
+/// (the only one churn maintenance runs over), so the body carries just
+/// the instance point and the strategy.
+#[derive(Debug)]
+pub struct SessionRequest {
+    /// Instance size.
+    pub n: usize,
+    /// Generation seed.
+    pub seed: u64,
+    /// Trial index (instance-cache key component).
+    pub trial: u64,
+    /// Maintenance radius.
+    pub radius: f64,
+    /// Repair strategy applied by every advance.
+    pub strategy: MaintainStrategy,
+}
+
+impl SessionRequest {
+    /// Parses and validates a session-creation body.
+    pub fn parse(body: &str) -> Result<SessionRequest, RequestError> {
+        let doc = Json::parse(body).map_err(RequestError::BadJson)?;
+        let Some(keys) = doc.keys() else {
+            return Err(RequestError::NotAnObject);
+        };
+        const TOP: &[&str] = &["n", "seed", "trial", "radius", "strategy"];
+        for k in keys {
+            if !TOP.contains(&k) {
+                return Err(RequestError::UnknownField(k.to_string()));
+            }
+        }
+        let n = bounded_usize(&doc, "n", 1, MAX_N)?.ok_or(RequestError::MissingField("n"))?;
+        let seed = opt_u64(&doc, "seed")?.unwrap_or(DEFAULT_SEED);
+        let trial = opt_u64(&doc, "trial")?.unwrap_or(0);
+        let radius = match doc.get("radius") {
+            None => return Err(RequestError::MissingField("radius")),
+            Some(v) => {
+                let r = v
+                    .as_f64()
+                    .ok_or_else(|| bad("radius", "must be a number"))?;
+                if !(r > 0.0 && r <= 2.0) {
+                    return Err(bad("radius", "must be in (0, 2]"));
+                }
+                r
+            }
+        };
+        let strategy = decode_strategy(doc.get("strategy"))?;
+        Ok(SessionRequest {
+            n,
+            seed,
+            trial,
+            radius,
+            strategy,
+        })
+    }
+}
+
+/// A validated `POST /session/{id}/advance` body: one epoch's worth of
+/// churn events, carried as a single-epoch [`ChurnTimeline`].
+#[derive(Debug)]
+pub struct AdvanceRequest {
+    /// One-epoch timeline holding this advance's events in order.
+    pub timeline: ChurnTimeline,
+}
+
+impl AdvanceRequest {
+    /// Parses and validates an advance body (`{"events": [...]}`; an
+    /// absent or empty list is a valid quiet epoch).
+    pub fn parse(body: &str) -> Result<AdvanceRequest, RequestError> {
+        let doc = Json::parse(body).map_err(RequestError::BadJson)?;
+        let Some(keys) = doc.keys() else {
+            return Err(RequestError::NotAnObject);
+        };
+        for k in keys {
+            if k != "events" {
+                return Err(RequestError::UnknownField(k.to_string()));
+            }
+        }
+        let mut timeline = ChurnTimeline::new(1);
+        if let Some(events) = doc.get("events") {
+            let arr = events
+                .as_arr()
+                .ok_or_else(|| bad("events", "must be an array of event objects"))?;
+            if arr.len() > MAX_ADVANCE_EVENTS {
+                return Err(bad(
+                    "events",
+                    format!("must hold at most {MAX_ADVANCE_EVENTS} events"),
+                ));
+            }
+            for ev in arr {
+                check_fields(ev, "events[..]", &["op", "node", "x", "y"])?;
+                timeline = apply_event(timeline, 0, ev, "events")?;
+            }
+        }
+        Ok(AdvanceRequest { timeline })
+    }
 }
 
 /// Everything that can be wrong with a request, each with a stable code
@@ -494,17 +594,7 @@ fn decode_churn(v: Option<&Json>) -> Result<Option<ChurnRequest>, RequestError> 
                 format!("must be in [1, {MAX_CHURN_EPOCHS}]"),
             )
         })? as usize;
-    let strategy = match v.get("strategy").map(|s| s.as_str()) {
-        None => MaintainStrategy::Incremental,
-        Some(Some("incremental")) => MaintainStrategy::Incremental,
-        Some(Some("recompute")) => MaintainStrategy::Recompute,
-        Some(_) => {
-            return Err(bad(
-                "churn.strategy",
-                "must be \"incremental\" or \"recompute\"",
-            ))
-        }
-    };
+    let strategy = decode_strategy(v.get("strategy"))?;
     let mut timeline = ChurnTimeline::new(epochs);
     if let Some(events) = v.get("events") {
         let arr = events
@@ -522,41 +612,64 @@ fn decode_churn(v: Option<&Json>) -> Result<Option<ChurnRequest>, RequestError> 
                 .filter(|e| (*e as usize) < epochs)
                 .ok_or_else(|| bad("churn.events", "epoch out of range"))?
                 as usize;
-            let op = ev
-                .get("op")
-                .and_then(Json::as_str)
-                .ok_or_else(|| bad("churn.events", "op must be a string"))?;
-            let node = || -> Result<usize, RequestError> {
-                // Joins grow the id space beyond the original n, so later
-                // events may legitimately address ids ≥ n; `maintain`
-                // validates those against the live universe.
-                ev.get("node")
-                    .and_then(Json::as_u64)
-                    .map(|u| u as usize)
-                    .ok_or_else(|| bad("churn.events", "node must be an integer"))
-            };
-            let coord = |field: &'static str| -> Result<f64, RequestError> {
-                ev.get(field)
-                    .and_then(Json::as_f64)
-                    .filter(|c| (0.0..=1.0).contains(c))
-                    .ok_or_else(|| bad("churn.events", format!("{field} must be in [0, 1]")))
-            };
-            timeline = match op {
-                "join" => timeline.join(epoch, coord("x")?, coord("y")?),
-                "crash" => timeline.crash(epoch, node()?),
-                "sleep" => timeline.sleep(epoch, node()?),
-                "wake" => timeline.wake(epoch, node()?),
-                "move" => timeline.move_to(epoch, node()?, coord("x")?, coord("y")?),
-                _ => {
-                    return Err(bad(
-                        "churn.events",
-                        "op must be one of join, crash, sleep, wake, move",
-                    ))
-                }
-            };
+            timeline = apply_event(timeline, epoch, ev, "churn.events")?;
         }
     }
     Ok(Some(ChurnRequest { timeline, strategy }))
+}
+
+/// Decodes one event object's `op`/`node`/`x`/`y` and appends it to
+/// `timeline` at `epoch`. Shared by the timeline (`/run` churn) and
+/// standing-session (`/session/{id}/advance`) decoders; `what` names the
+/// field path in errors.
+fn apply_event(
+    timeline: ChurnTimeline,
+    epoch: usize,
+    ev: &Json,
+    what: &'static str,
+) -> Result<ChurnTimeline, RequestError> {
+    let op = ev
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad(what, "op must be a string"))?;
+    let node = || -> Result<usize, RequestError> {
+        // Joins grow the id space beyond the original n, so later
+        // events may legitimately address ids ≥ n; the session layer
+        // validates those against the live universe.
+        ev.get("node")
+            .and_then(Json::as_u64)
+            .map(|u| u as usize)
+            .ok_or_else(|| bad(what, "node must be an integer"))
+    };
+    let coord = |field: &'static str| -> Result<f64, RequestError> {
+        ev.get(field)
+            .and_then(Json::as_f64)
+            .filter(|c| (0.0..=1.0).contains(c))
+            .ok_or_else(|| bad(what, format!("{field} must be in [0, 1]")))
+    };
+    Ok(match op {
+        "join" => timeline.join(epoch, coord("x")?, coord("y")?),
+        "crash" => timeline.crash(epoch, node()?),
+        "sleep" => timeline.sleep(epoch, node()?),
+        "wake" => timeline.wake(epoch, node()?),
+        "move" => timeline.move_to(epoch, node()?, coord("x")?, coord("y")?),
+        _ => {
+            return Err(bad(
+                what,
+                "op must be one of join, crash, sleep, wake, move",
+            ))
+        }
+    })
+}
+
+/// Decodes a `strategy` field; absent defaults to incremental.
+fn decode_strategy(v: Option<&Json>) -> Result<MaintainStrategy, RequestError> {
+    match v.map(|s| s.as_str()) {
+        None => Ok(MaintainStrategy::Incremental),
+        Some(Some("incremental")) => Ok(MaintainStrategy::Incremental),
+        Some(Some("recompute")) => Ok(MaintainStrategy::Recompute),
+        Some(_) => Err(bad("strategy", "must be \"incremental\" or \"recompute\"")),
+    }
 }
 
 fn check_fields(v: &Json, what: &str, allowed: &[&str]) -> Result<(), RequestError> {

@@ -3,10 +3,12 @@
 //! work across concurrent clients and evict under pressure, and every
 //! invalid request shape must come back as a 400-class typed error.
 
-use emst_core::{GhsVariant, Instance, Protocol, Sim};
+use emst_core::{GhsVariant, Instance, MaintainStrategy, Protocol, Sim};
 use emst_radio::JsonlSink;
 use emst_service::json::Json;
-use emst_service::{serve, Client, ServiceConfig};
+use emst_service::{serve, Client, Drain, ServiceConfig};
+use std::io::{Read, Write};
+use std::time::Duration;
 
 const SEED: u64 = 0xE0E7_2008;
 
@@ -16,6 +18,10 @@ fn boot(cache_capacity: usize) -> emst_service::ServerHandle {
         ..ServiceConfig::default()
     })
     .expect("bind local server")
+}
+
+fn boot_cfg(cfg: ServiceConfig) -> emst_service::ServerHandle {
+    serve(cfg).expect("bind local server")
 }
 
 fn post(addr: &str, body: &str) -> (u16, Json) {
@@ -421,4 +427,560 @@ fn awake_tracking_round_trips_rows_stats_and_conflicts() {
     );
     assert_eq!(status, 422);
     assert_eq!(err.get("code").and_then(Json::as_str), Some("config"));
+}
+
+/// Asserts the /stats request counters conserve: total == 2xx + 4xx + 5xx.
+fn assert_stats_conserved(addr: &str) {
+    let mut client = Client::connect(addr).unwrap();
+    assert_stats_conserved_on(&mut client);
+}
+
+/// Same conservation check over an already-open connection (needed when
+/// the server's connection cap would turn a fresh one away).
+fn assert_stats_conserved_on(client: &mut Client) {
+    let stats = Json::parse(&client.get("/stats").unwrap().text()).unwrap();
+    let requests = stats.get("requests").unwrap();
+    let get = |f: &str| requests.get(f).and_then(Json::as_u64).unwrap();
+    assert_eq!(
+        get("total"),
+        get("ok_2xx") + get("client_4xx") + get("server_5xx"),
+        "request counters leaked"
+    );
+}
+
+/// The acceptance pin: a standing session advanced epoch-by-epoch over a
+/// live connection is bitwise identical to the one-shot `/run` churn
+/// replay of the same timeline — per-epoch reports, the streamed trace
+/// bytes, and the cumulative ledger at reclaim.
+#[test]
+fn standing_session_matches_replay_bitwise() {
+    let server = boot(4);
+    let addr = server.addr().to_string();
+    let (n, radius) = (60usize, 0.4f64);
+    let mut client = Client::connect(&addr).unwrap();
+
+    // One-shot replay of the 3-epoch timeline, streamed so the epoch
+    // lines arrive as raw NDJSON bytes.
+    let replay = client
+        .post(
+            "/run",
+            format!(
+                r#"{{"protocol": "ghs_modified", "n": {n}, "seed": {SEED}, "radius": {radius},
+                    "stream": "summary",
+                    "churn": {{"epochs": 3, "events": [
+                        {{"epoch": 0, "op": "crash", "node": 7}},
+                        {{"epoch": 1, "op": "join", "x": 0.5, "y": 0.5}},
+                        {{"epoch": 2, "op": "sleep", "node": 11}}
+                    ]}}}}"#
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(replay.status, 200);
+    let replay_text = replay.text();
+    let replay_epoch_lines: Vec<&str> = replay_text
+        .lines()
+        .filter(|l| l.starts_with(r#"{"t":"epoch""#))
+        .collect();
+    assert_eq!(replay_epoch_lines.len(), 3);
+
+    // The same three epochs, advanced one request at a time on a
+    // standing session.
+    let created = client
+        .post(
+            "/session",
+            format!(r#"{{"n": {n}, "seed": {SEED}, "radius": {radius}}}"#).as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(created.status, 200, "{}", created.text());
+    let created_doc = Json::parse(&created.text()).unwrap();
+    let id = created_doc.get("id").and_then(Json::as_u64).unwrap();
+
+    let batches = [
+        r#"{"events": [{"op": "crash", "node": 7}]}"#,
+        r#"{"events": [{"op": "join", "x": 0.5, "y": 0.5}]}"#,
+        r#"{"events": [{"op": "sleep", "node": 11}]}"#,
+    ];
+    for (i, batch) in batches.iter().enumerate() {
+        let resp = client
+            .post(&format!("/session/{id}/advance"), batch.as_bytes())
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let doc = Json::parse(&resp.text()).unwrap();
+        assert_eq!(doc.get("epoch").and_then(Json::as_u64), Some(i as u64 + 1));
+        // The embedded per-epoch report must match the replay's epoch
+        // object field by field (same renderer, same bits).
+        let report = doc.get("report").expect("report");
+        let replayed = Json::parse(replay_epoch_lines[i]).unwrap();
+        for field in [
+            "epoch",
+            "live",
+            "arrivals",
+            "departures",
+            "energy_bits",
+            "messages",
+            "rounds",
+            "edges_added",
+            "edges_removed",
+            "fragments",
+        ] {
+            assert_eq!(
+                report.get(field).and_then(Json::as_u64),
+                replayed.get(field).and_then(Json::as_u64),
+                "epoch {i} field {field}"
+            );
+        }
+        assert_eq!(
+            report.get("ledger_conserved").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            report.get("forest_valid").and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    // The trace tail replays the session's epoch lines — byte-identical
+    // to the replay's streamed lines.
+    let trace = client
+        .get(&format!("/session/{id}/trace?from=0&wait_ms=0"))
+        .unwrap();
+    assert_eq!(trace.status, 200);
+    let trace_text = trace.text();
+    let trace_lines: Vec<&str> = trace_text
+        .lines()
+        .filter(|l| l.starts_with(r#"{"t":"epoch""#))
+        .collect();
+    assert_eq!(trace_lines, replay_epoch_lines, "trace bytes diverged");
+    assert!(trace_text.contains(r#""t":"trace_tail""#));
+
+    // DELETE reclaims with the conservation pin; the final cumulative
+    // ledger must equal an in-process session folded the same way.
+    let deleted = client.delete(&format!("/session/{id}")).unwrap();
+    assert_eq!(deleted.status, 200);
+    let deleted_doc = Json::parse(&deleted.text()).unwrap();
+    assert_eq!(
+        deleted_doc
+            .get("conserved_at_reclaim")
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    let ledger = deleted_doc.get("ledger").unwrap();
+
+    let instance = Instance::generate(SEED, n, 0);
+    let mut direct = emst_core::MaintainSession::bootstrap(
+        instance.points(),
+        radius,
+        MaintainStrategy::Incremental,
+    );
+    let timeline = emst_core::ChurnTimeline::new(3)
+        .crash(0, 7)
+        .join(1, 0.5, 0.5)
+        .sleep(2, 11);
+    for events in timeline.epochs() {
+        direct.advance(events);
+    }
+    let expect = direct.ledger();
+    assert_eq!(
+        ledger.get("energy_bits").and_then(Json::as_u64),
+        Some(expect.energy_bits),
+        "cumulative energy diverged from the in-process session"
+    );
+    assert_eq!(
+        ledger.get("messages").and_then(Json::as_u64),
+        Some(expect.messages)
+    );
+    assert_eq!(
+        ledger.get("rounds").and_then(Json::as_u64),
+        Some(expect.rounds)
+    );
+    assert_eq!(ledger.get("epoch").and_then(Json::as_u64), Some(3));
+    assert_eq!(ledger.get("conserved").and_then(Json::as_bool), Some(true));
+
+    // Double-DELETE: the second reclaim of the same id is a typed 404.
+    let again = client.delete(&format!("/session/{id}")).unwrap();
+    assert_eq!(again.status, 404);
+    assert_eq!(
+        Json::parse(&again.text())
+            .unwrap()
+            .get("code")
+            .and_then(Json::as_str),
+        Some("no_session")
+    );
+    assert_stats_conserved(&addr);
+}
+
+/// S1 regression: an idle keep-alive connection must be closed by the
+/// server within the idle timeout, reclaiming the handler thread, not
+/// pinned forever.
+#[test]
+fn idle_keepalive_connection_is_reclaimed_within_timeout() {
+    let server = boot_cfg(ServiceConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..ServiceConfig::default()
+    });
+    let addr = server.addr();
+
+    let mut idler = std::net::TcpStream::connect(addr).unwrap();
+    idler
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let start = std::time::Instant::now();
+    let mut buf = [0u8; 64];
+    // Send nothing; the server must close (clean EOF) within the idle
+    // timeout, well before our 5s client-side guard.
+    let n = idler
+        .read(&mut buf)
+        .expect("server closed cleanly, not by timeout");
+    assert_eq!(n, 0, "expected EOF, got {n} bytes");
+    assert!(
+        start.elapsed() < Duration::from_secs(3),
+        "idle close took {:?}",
+        start.elapsed()
+    );
+
+    // The handler thread is reclaimed: the idle-close is counted and no
+    // connection remains open besides the stats probe itself.
+    let addr = addr.to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let stats = Json::parse(&client.get("/stats").unwrap().text()).unwrap();
+    let lifecycle = stats.get("lifecycle").unwrap();
+    assert_eq!(lifecycle.get("idle_closed").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        lifecycle.get("connections_open").and_then(Json::as_u64),
+        Some(1),
+        "only the stats connection should remain"
+    );
+}
+
+/// S2: both overflow paths (connection cap at accept, session-table cap)
+/// are typed turn-aways carrying `Retry-After`.
+#[test]
+fn overflow_turnaways_carry_retry_after() {
+    let server = boot_cfg(ServiceConfig {
+        max_connections: 1,
+        max_sessions: 1,
+        retry_after_secs: 2,
+        ..ServiceConfig::default()
+    });
+    let addr = server.addr().to_string();
+
+    // Hold the single connection slot, then connect again: the accept
+    // gate turns the second connection away with 503 + Retry-After. The
+    // turn-away is written unprompted (the gate never reads a request),
+    // so read it from a raw socket without sending anything — writing a
+    // request would race the server's close and surface as RST.
+    let holder = Client::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(50)); // let the handler register
+    let mut second = std::net::TcpStream::connect(&addr).unwrap();
+    let mut raw = String::new();
+    second.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 503 "), "got: {raw:?}");
+    assert!(raw.contains("Retry-After: 2\r\n"), "got: {raw:?}");
+    assert!(raw.contains(r#""code":"overloaded""#), "got: {raw:?}");
+    drop(second);
+    drop(holder);
+    std::thread::sleep(Duration::from_millis(50)); // slot frees
+
+    // Session-table overflow: 429 + Retry-After, and the first session
+    // still works afterwards.
+    let mut client = Client::connect(&addr).unwrap();
+    let body = format!(r#"{{"n": 40, "seed": {SEED}, "radius": 0.5}}"#);
+    let first = client.post("/session", body.as_bytes()).unwrap();
+    assert_eq!(first.status, 200, "{}", first.text());
+    let id = Json::parse(&first.text())
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_u64)
+        .unwrap();
+    let overflow = client.post("/session", body.as_bytes()).unwrap();
+    assert_eq!(overflow.status, 429);
+    assert_eq!(overflow.retry_after, Some(2));
+    assert_eq!(
+        Json::parse(&overflow.text())
+            .unwrap()
+            .get("code")
+            .and_then(Json::as_str),
+        Some("session_table_full")
+    );
+    let adv = client
+        .post(&format!("/session/{id}/advance"), br#"{"events": []}"#)
+        .unwrap();
+    assert_eq!(adv.status, 200, "{}", adv.text());
+    assert_stats_conserved_on(&mut client);
+}
+
+/// S3: malformed input on the hardened paths maps to typed 4xx (or a
+/// dropped connection) with conserved counters — never a 500 or a hang.
+#[test]
+fn malformed_inputs_on_hardened_paths_are_typed() {
+    let server = boot_cfg(ServiceConfig {
+        request_timeout: Duration::from_millis(500),
+        ..ServiceConfig::default()
+    });
+    let addr = server.addr();
+    let read_response = |stream: &mut std::net::TcpStream| -> String {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        out
+    };
+
+    // Truncated chunked request body: rejected as malformed HTTP (the
+    // service only streams responses), connection dropped.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.write_all(b"POST /run HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhel")
+        .unwrap();
+    let resp = read_response(&mut raw);
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp:?}");
+    assert!(resp.contains("malformed_http"), "{resp:?}");
+
+    // Oversized header block: typed 431.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    let huge = format!(
+        "GET /healthz HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+        "y".repeat(16 * 1024)
+    );
+    raw.write_all(huge.as_bytes()).unwrap();
+    let resp = read_response(&mut raw);
+    assert!(resp.starts_with("HTTP/1.1 431"), "{resp:?}");
+
+    // A started-then-stalled request hits the per-request deadline: 408,
+    // connection dropped, thread reclaimed.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.write_all(b"POST /run HTTP/1.1\r\nContent-Le").unwrap();
+    let resp = read_response(&mut raw);
+    assert!(resp.starts_with("HTTP/1.1 408"), "{resp:?}");
+
+    // Client disconnect mid-chunked-response: the server's write fails,
+    // the handler exits, and the server stays fully live.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.write_all(
+        format!(
+            "POST /run HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            r#"{"protocol": "ghs_modified", "n": 2000, "seed": 7, "radius": 0.08, "stream": "full"}"#.len()
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    raw.write_all(
+        br#"{"protocol": "ghs_modified", "n": 2000, "seed": 7, "radius": 0.08, "stream": "full"}"#,
+    )
+    .unwrap();
+    let mut first = [0u8; 256];
+    let _ = raw.read(&mut first); // a few bytes of the stream...
+    drop(raw); // ...then vanish mid-body
+
+    std::thread::sleep(Duration::from_millis(100));
+    let addr = addr.to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    let stats = Json::parse(&client.get("/stats").unwrap().text()).unwrap();
+    let requests = stats.get("requests").unwrap();
+    let get = |f: &str| requests.get(f).and_then(Json::as_u64).unwrap();
+    assert_eq!(get("server_5xx"), 0, "hardened paths must never 500");
+    assert_eq!(
+        get("total"),
+        get("ok_2xx") + get("client_4xx") + get("server_5xx")
+    );
+}
+
+/// An expired lease is reclaimed by the reaper with the conservation pin
+/// intact, and later requests against the id are typed 404s.
+#[test]
+fn session_lease_expiry_reclaims_conserved() {
+    let server = boot_cfg(ServiceConfig {
+        session_ttl: Duration::from_millis(150),
+        ..ServiceConfig::default()
+    });
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let created = client
+        .post(
+            "/session",
+            format!(r#"{{"n": 40, "seed": {SEED}, "radius": 0.5}}"#).as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(created.status, 200, "{}", created.text());
+    let id = Json::parse(&created.text())
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_u64)
+        .unwrap();
+    let adv = client
+        .post(
+            &format!("/session/{id}/advance"),
+            br#"{"events": [{"op": "crash", "node": 3}]}"#,
+        )
+        .unwrap();
+    assert_eq!(adv.status, 200);
+
+    // Idle past the lease: the reaper reclaims the session.
+    std::thread::sleep(Duration::from_millis(600));
+    let gone = client
+        .post(&format!("/session/{id}/advance"), br#"{"events": []}"#)
+        .unwrap();
+    assert_eq!(gone.status, 404);
+
+    let stats = Json::parse(&client.get("/stats").unwrap().text()).unwrap();
+    let sessions = stats.get("sessions").unwrap();
+    assert_eq!(sessions.get("expired").and_then(Json::as_u64), Some(1));
+    assert_eq!(sessions.get("open").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        sessions.get("reclaim_violations").and_then(Json::as_u64),
+        Some(0),
+        "reclaim must observe the last-advance ledger bitwise"
+    );
+}
+
+/// Session advances validate event node ids against the live universe
+/// before touching core state: out-of-range ids are typed 400s and the
+/// session remains advanceable.
+#[test]
+fn session_advance_rejects_out_of_universe_ids() {
+    let server = boot(4);
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let created = client
+        .post(
+            "/session",
+            format!(r#"{{"n": 40, "seed": {SEED}, "radius": 0.5}}"#).as_bytes(),
+        )
+        .unwrap();
+    let id = Json::parse(&created.text())
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_u64)
+        .unwrap();
+
+    let bad = client
+        .post(
+            &format!("/session/{id}/advance"),
+            br#"{"events": [{"op": "wake", "node": 40}]}"#,
+        )
+        .unwrap();
+    assert_eq!(bad.status, 400);
+    assert_eq!(
+        Json::parse(&bad.text())
+            .unwrap()
+            .get("code")
+            .and_then(Json::as_str),
+        Some("bad_field")
+    );
+    // A join in the same batch grows the universe, so id 40 becomes
+    // addressable — order matters and is honored.
+    let ok = client
+        .post(
+            &format!("/session/{id}/advance"),
+            br#"{"events": [{"op": "join", "x": 0.2, "y": 0.8}, {"op": "sleep", "node": 40}]}"#,
+        )
+        .unwrap();
+    assert_eq!(ok.status, 200, "{}", ok.text());
+    assert_stats_conserved(&addr);
+}
+
+/// A trace long-poll parked on a quiet session wakes as soon as another
+/// connection advances it.
+#[test]
+fn trace_long_poll_wakes_on_concurrent_advance() {
+    let server = boot(4);
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let created = client
+        .post(
+            "/session",
+            format!(r#"{{"n": 40, "seed": {SEED}, "radius": 0.5}}"#).as_bytes(),
+        )
+        .unwrap();
+    let id = Json::parse(&created.text())
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_u64)
+        .unwrap();
+
+    let addr2 = addr.clone();
+    let advancer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        let mut other = Client::connect(&addr2).unwrap();
+        let resp = other
+            .post(&format!("/session/{id}/advance"), br#"{"events": []}"#)
+            .unwrap();
+        assert_eq!(resp.status, 200);
+    });
+
+    let start = std::time::Instant::now();
+    let trace = client
+        .get(&format!("/session/{id}/trace?from=0&wait_ms=10000"))
+        .unwrap();
+    advancer.join().unwrap();
+    assert_eq!(trace.status, 200);
+    let text = trace.text();
+    assert!(text.contains(r#""t":"epoch""#), "{text:?}");
+    assert!(text.contains(r#""next":1"#), "{text:?}");
+    assert!(
+        start.elapsed() < Duration::from_secs(8),
+        "long-poll should wake on advance, not sleep out its window"
+    );
+}
+
+/// `/healthz` reports degraded while the session table is saturated and
+/// recovers when a slot frees.
+#[test]
+fn healthz_degrades_on_session_saturation() {
+    let server = boot_cfg(ServiceConfig {
+        max_sessions: 1,
+        ..ServiceConfig::default()
+    });
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let degraded = |client: &mut Client| -> bool {
+        Json::parse(&client.get("/healthz").unwrap().text())
+            .unwrap()
+            .get("degraded")
+            .and_then(Json::as_bool)
+            .unwrap()
+    };
+    assert!(!degraded(&mut client));
+    let created = client
+        .post(
+            "/session",
+            format!(r#"{{"n": 40, "seed": {SEED}, "radius": 0.5}}"#).as_bytes(),
+        )
+        .unwrap();
+    let id = Json::parse(&created.text())
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(degraded(&mut client), "saturated table must degrade health");
+    assert_eq!(
+        client.delete(&format!("/session/{id}")).unwrap().status,
+        200
+    );
+    assert!(!degraded(&mut client), "freeing the slot must recover");
+}
+
+/// Graceful drain: idle keep-alive connections are nudged to a clean
+/// close and reported as drained, not aborted.
+#[test]
+fn shutdown_drains_idle_connections_cleanly() {
+    let server = boot(4);
+    let addr = server.addr().to_string();
+    let a = Client::connect(&addr).unwrap();
+    let b = Client::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // handlers register
+
+    let report = server.shutdown(Drain {
+        deadline: Duration::from_secs(5),
+    });
+    assert_eq!(report.aborted, 0, "idle connections must drain, not abort");
+    assert_eq!(report.drained, 2);
+    assert!(report.wall < Duration::from_secs(5));
+    drop(a);
+    drop(b);
 }
